@@ -1,0 +1,201 @@
+//! A learned cost model: gradient-boosted regression stumps.
+//!
+//! Ansor uses gradient-boosted trees (XGBoost) trained online on measured
+//! programs. We implement the same idea from scratch — L2 gradient
+//! boosting with depth-1 trees (stumps) — which is plenty for the ~12-
+//! dimensional feature space of [`crate::features`] and keeps the crate
+//! dependency-free.
+
+use serde::{Deserialize, Serialize};
+
+/// One depth-1 regression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Stump {
+    feature: usize,
+    threshold: f64,
+    left: f64,
+    right: f64,
+}
+
+impl Stump {
+    fn predict(&self, x: &[f64]) -> f64 {
+        if x[self.feature] <= self.threshold {
+            self.left
+        } else {
+            self.right
+        }
+    }
+}
+
+/// Gradient-boosted stumps with squared-error loss.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BoostedStumps {
+    base: f64,
+    learning_rate: f64,
+    stumps: Vec<Stump>,
+}
+
+impl BoostedStumps {
+    /// Fits `rounds` stumps on `(xs, ys)` with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], rounds: usize, learning_rate: f64) -> Self {
+        assert_eq!(xs.len(), ys.len(), "features and targets must align");
+        if xs.is_empty() {
+            return BoostedStumps { base: 0.0, learning_rate, stumps: Vec::new() };
+        }
+        let base = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut residuals: Vec<f64> = ys.iter().map(|y| y - base).collect();
+        let mut stumps = Vec::with_capacity(rounds);
+        let num_features = xs[0].len();
+
+        for _ in 0..rounds {
+            let Some(stump) = best_stump(xs, &residuals, num_features) else {
+                break;
+            };
+            for (r, x) in residuals.iter_mut().zip(xs) {
+                *r -= learning_rate * stump.predict(x);
+            }
+            stumps.push(stump);
+        }
+        BoostedStumps { base, learning_rate, stumps }
+    }
+
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
+    }
+
+    /// Number of fitted stumps.
+    pub fn len(&self) -> usize {
+        self.stumps.len()
+    }
+
+    /// True if the model is untrained.
+    pub fn is_empty(&self) -> bool {
+        self.stumps.is_empty()
+    }
+}
+
+/// Finds the stump minimizing SSE against `residuals`, trying quantile
+/// thresholds per feature.
+fn best_stump(xs: &[Vec<f64>], residuals: &[f64], num_features: usize) -> Option<Stump> {
+    let n = xs.len();
+    let mut best: Option<(f64, Stump)> = None;
+
+    for f in 0..num_features {
+        let mut values: Vec<f64> = xs.iter().map(|x| x[f]).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Try up to 8 quantile thresholds.
+        let step = (values.len() / 8).max(1);
+        for t in values.iter().step_by(step) {
+            let mut sum_l = 0.0;
+            let mut cnt_l = 0usize;
+            let mut sum_r = 0.0;
+            let mut cnt_r = 0usize;
+            for (x, &r) in xs.iter().zip(residuals) {
+                if x[f] <= *t {
+                    sum_l += r;
+                    cnt_l += 1;
+                } else {
+                    sum_r += r;
+                    cnt_r += 1;
+                }
+            }
+            if cnt_l == 0 || cnt_r == 0 {
+                continue;
+            }
+            let left = sum_l / cnt_l as f64;
+            let right = sum_r / cnt_r as f64;
+            // SSE reduction = sum of squared means weighted by counts.
+            let gain = left * left * cnt_l as f64 + right * right * cnt_r as f64;
+            let stump = Stump { feature: f, threshold: *t, left, right };
+            if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                best = Some((gain, stump));
+            }
+        }
+    }
+    let _ = n;
+    best.map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 3.0 }).collect();
+        let model = BoostedStumps::fit(&xs, &ys, 20, 0.5);
+        assert!((model.predict(&[10.0]) - 1.0).abs() < 0.2);
+        assert!((model.predict(&[90.0]) - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn fits_additive_structure() {
+        // y = 2*[x0 > 0.5] + [x1 > 0.5]
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..4 {
+            for _ in 0..25 {
+                let x0 = (i & 1) as f64;
+                let x1 = ((i >> 1) & 1) as f64;
+                xs.push(vec![x0, x1]);
+                ys.push(2.0 * x0 + x1);
+            }
+        }
+        let model = BoostedStumps::fit(&xs, &ys, 50, 0.3);
+        for (x, y) in xs.iter().zip(&ys).step_by(25) {
+            assert!((model.predict(x) - y).abs() < 0.3, "{x:?} -> {y}");
+        }
+    }
+
+    #[test]
+    fn ranks_better_than_random_on_noisy_data() {
+        // Ranking quality is what the search uses the model for.
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 3.0 + x[1]).collect();
+        let model = BoostedStumps::fit(&xs, &ys, 80, 0.3);
+        // Check pairwise order agreement on well-separated pairs.
+        let mut agree = 0;
+        let mut total = 0;
+        for i in (0..xs.len()).step_by(7) {
+            for j in (0..xs.len()).step_by(13) {
+                if (ys[i] - ys[j]).abs() < 10.0 {
+                    continue;
+                }
+                total += 1;
+                if (model.predict(&xs[i]) > model.predict(&xs[j])) == (ys[i] > ys[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.85, "{agree}/{total}");
+    }
+
+    #[test]
+    fn empty_training_set_predicts_zero() {
+        let model = BoostedStumps::fit(&[], &[], 10, 0.3);
+        assert!(model.is_empty());
+        assert_eq!(model.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn constant_targets_return_base() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![5.0; 10];
+        let model = BoostedStumps::fit(&xs, &ys, 10, 0.3);
+        assert!((model.predict(&[3.0]) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Feature extraction for the learned cost model.
+//!
+//! Ansor featurizes the generated loop nest (arithmetic intensity, touched
+//! memory, vectorization, parallelism, ...) and regresses measured
+//! throughput. We extract the analogous features from a
+//! ([`GpuSchedule`], workload) pair.
+
+use bolt_graph::Workload;
+
+use crate::schedule::GpuSchedule;
+
+/// Number of features produced by [`featurize`].
+pub const NUM_FEATURES: usize = 12;
+
+/// Extracts the feature vector of a schedule on a workload.
+pub fn featurize(workload: &Workload, schedule: &GpuSchedule) -> [f64; NUM_FEATURES] {
+    let (m, n, k) = workload_mnk(workload);
+    let batch = workload_batch(workload) as f64;
+    let threads = schedule.threads() as f64;
+    let grid = (batch
+        * (m as f64 / schedule.block_m as f64).ceil()
+        * (n as f64 / schedule.block_n as f64).ceil())
+    .max(1.0);
+    [
+        (schedule.block_m as f64).log2(),
+        (schedule.block_n as f64).log2(),
+        (schedule.tile_k as f64).log2(),
+        (schedule.thread_m * schedule.thread_n) as f64,
+        threads.log2(),
+        grid.log2(),
+        if schedule.use_smem { 1.0 } else { 0.0 },
+        (schedule.vectorize as f64).log2(),
+        (schedule.unroll.max(1) as f64).log2(),
+        schedule.regs_per_thread() as f64 / 255.0,
+        // Tile waste fractions.
+        m as f64 / ((m as f64 / schedule.block_m as f64).ceil() * schedule.block_m as f64),
+        (k as f64).log2(),
+    ]
+}
+
+/// The implicit GEMM dimensions of a workload (per batch entry).
+pub fn workload_mnk(workload: &Workload) -> (usize, usize, usize) {
+    match *workload {
+        Workload::Gemm { m, n, k } | Workload::BatchedGemm { m, n, k, .. } => (m, n, k),
+        Workload::Conv2d { .. } => {
+            let p = workload.to_conv_problem().expect("conv workload");
+            p.implicit_gemm_mnk()
+        }
+    }
+}
+
+/// The batch count of a workload (1 unless strided-batched).
+pub fn workload_batch(workload: &Workload) -> usize {
+    match *workload {
+        Workload::BatchedGemm { batch, .. } => batch,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn features_are_finite_and_distinct() {
+        let w = Workload::Gemm { m: 1024, n: 1024, k: 512 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = GpuSchedule::random_valid(&mut rng);
+        let b = GpuSchedule::random_valid(&mut rng);
+        let fa = featurize(&w, &a);
+        let fb = featurize(&w, &b);
+        assert!(fa.iter().all(|v| v.is_finite()));
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn conv_workload_maps_to_implicit_gemm() {
+        let w = Workload::Conv2d {
+            n: 32,
+            h: 56,
+            w: 56,
+            c: 64,
+            k: 64,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        };
+        let (m, n, k) = workload_mnk(&w);
+        assert_eq!(m, 32 * 56 * 56);
+        assert_eq!(n, 64);
+        assert_eq!(k, 3 * 3 * 64);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # bolt-ansor
+//!
+//! A search-based auto-tuner in the style of Ansor (Zheng et al., OSDI
+//! 2020) — the baseline of every comparison in the Bolt paper.
+//!
+//! Ansor treats the device as an opaque cost model: it samples tensor
+//! programs from a large schedule space, measures them on the hardware,
+//! learns a cost model from the measurements, and evolves the population
+//! toward predicted-fast programs. Two consequences — the premises of the
+//! Bolt paper — are faithfully reproduced here:
+//!
+//! 1. **No hardware-native performance.** The generated CUDA kernels use
+//!    the ordinary FMA pipeline; they cannot emit tensor-core MMA
+//!    instructions, so FP16 GEMMs top out well below 20% of cuBLAS speed
+//!    (Figure 1). The schedules in [`schedule`] therefore price on
+//!    [`Pipeline::CudaCore`](bolt_gpu_sim::Pipeline), with a codegen
+//!    efficiency ceiling documented at
+//!    [`measure::ANSOR_CODEGEN_EFFICIENCY_CAP`].
+//! 2. **Long tuning time.** Every trial pays program generation +
+//!    compilation + on-device measurement (~1.3 s wall-clock, matching
+//!    AutoTVM/Ansor practice); at the recommended 900 trials per task a
+//!    ResNet-sized model takes hours (Figure 10b).
+//!
+//! The tuner really searches: random population → learned
+//! gradient-boosted-stump cost model → evolutionary mutation, measuring
+//! the most promising candidates on the GPU simulator each round.
+
+pub mod cost_model;
+pub mod features;
+pub mod measure;
+pub mod schedule;
+pub mod search;
+pub mod tuner;
+
+pub use cost_model::BoostedStumps;
+pub use measure::{measure_schedule, ANSOR_CODEGEN_EFFICIENCY_CAP, SECONDS_PER_TRIAL};
+pub use schedule::GpuSchedule;
+pub use search::{EvolutionarySearch, SearchOptions};
+pub use tuner::{AnsorTuner, TaskResult, TuningReport};

@@ -1,0 +1,233 @@
+//! Pricing auto-tuned schedules on the simulator ("on-device
+//! measurement").
+//!
+//! An Ansor trial compiles the sampled program and runs it on the device.
+//! Here the device is `bolt-gpu-sim`; the translation from a
+//! [`GpuSchedule`] to a [`KernelProfile`] encodes what Ansor-generated
+//! CUDA can and cannot do:
+//!
+//! * **CUDA-core pipeline only.** Auto-scheduler codegen cannot emit
+//!   tensor-core MMA intrinsics (the paper's core observation), so all
+//!   arithmetic is priced on the FMA pipeline.
+//! * **Codegen efficiency ceiling.** Generated inner loops (no hand-tuned
+//!   HFMA2 dual-issue, extra predicates and index math) top out at
+//!   [`ANSOR_CODEGEN_EFFICIENCY_CAP`] of the FMA pipeline peak — the
+//!   constant is calibrated so the best FP16 schedules reach ~9 TFLOPS on
+//!   the simulated T4, ≈14% of cuBLAS (Figure 1 reports <20%).
+
+use bolt_gpu_sim::{
+    simulate_kernel, BlockResources, GpuArch, KernelProfile, KernelTime, PipelineFlops,
+};
+use bolt_graph::Workload;
+use bolt_tensor::DType;
+
+use crate::features::workload_mnk;
+use crate::schedule::GpuSchedule;
+
+/// Fraction of the CUDA-core pipeline peak the best auto-generated inner
+/// loop achieves (see module docs).
+pub const ANSOR_CODEGEN_EFFICIENCY_CAP: f64 = 0.45;
+
+/// Simulated wall-clock cost of one tuning trial in seconds: program
+/// generation + NVCC compilation + on-device measurement, matching the
+/// ~1-1.5 s/trial of AutoTVM/Ansor in practice.
+pub const SECONDS_PER_TRIAL: f64 = 1.3;
+
+/// Builds the kernel profile of an auto-tuned schedule for `workload`.
+pub fn schedule_profile(
+    arch: &GpuArch,
+    workload: &Workload,
+    schedule: &GpuSchedule,
+) -> KernelProfile {
+    let (m, n, k) = workload_mnk(workload);
+    let batch = crate::features::workload_batch(workload);
+    let elt = 2.0_f64; // FP16
+    let grid_m = m.div_ceil(schedule.block_m);
+    let grid_n = n.div_ceil(schedule.block_n);
+    let grid = (batch * grid_m * grid_n) as u64;
+
+    let macs = (m * n * k) as f64 * batch as f64;
+    let flops = 2.0 * macs;
+
+    // --- Main-loop efficiency ---------------------------------------------
+    // Vectorization quality (HFMA2 needs vec >= 2; full rate at 4+).
+    let vec_factor: f64 = match schedule.vectorize {
+        1 => 0.55,
+        2 => 0.8,
+        _ => 1.0,
+    };
+    // Unrolling hides loop overhead.
+    let unroll_factor: f64 = match schedule.unroll {
+        0 => 0.8,
+        16 => 0.92,
+        _ => 1.0,
+    };
+    // Per-thread tile: too small starves ILP, too large spills registers.
+    let tile = (schedule.thread_m * schedule.thread_n) as f64;
+    let tile_factor = (tile.sqrt() / 8.0).min(1.0) * if tile > 128.0 { 0.7 } else { 1.0 };
+    // Without shared-memory staging, operands stream from L2/DRAM.
+    let smem_factor = if schedule.use_smem { 1.0 } else { 0.45 };
+    // Boundary waste.
+    let util_m = m as f64 / (grid_m * schedule.block_m) as f64;
+    let util_n = n as f64 / (grid_n * schedule.block_n) as f64;
+    let k_fill = {
+        let iters = (k as f64 / schedule.tile_k as f64).max(1.0);
+        iters / (iters + 2.0)
+    };
+    let mainloop_efficiency = ANSOR_CODEGEN_EFFICIENCY_CAP
+        * vec_factor
+        * unroll_factor
+        * tile_factor
+        * smem_factor
+        * util_m
+        * util_n
+        * k_fill;
+
+    // --- Memory traffic ------------------------------------------------------
+    // Per-block operand traffic with an unswizzled wave (poor L2 reuse vs
+    // the templated kernels' swizzled grids).
+    let compulsory = batch as f64 * elt * (m * k + k * n) as f64;
+    let block_traffic =
+        batch as f64 * elt * ((grid_n * m * k) as f64 + (grid_m * k * n) as f64);
+    let wave_blocks = (arch.sm_count as f64 * 2.0).max(1.0);
+    let leak = (3.0 / wave_blocks.sqrt()).min(1.0);
+    let mut dram_read = compulsory + (block_traffic - compulsory).max(0.0) * leak;
+    // Conv workloads re-read halos; generated conv code caches them worse
+    // than the templated implicit-GEMM kernels.
+    if let Workload::Conv2d { kernel, .. } = workload {
+        let taps = (kernel.0 * kernel.1) as f64;
+        let act = compulsory.min(batch as f64 * elt * (m * k) as f64);
+        dram_read += act * (taps - 1.0) * 0.06;
+    }
+    let dram_write = batch as f64 * (m * n) as f64 * elt;
+
+    let smem_bytes = if schedule.use_smem {
+        2.0 * macs * elt * (1.0 / schedule.block_m as f64 + 1.0 / schedule.block_n as f64)
+            * (schedule.block_m * schedule.block_n) as f64
+            / (schedule.threads() as f64 * tile)
+    } else {
+        0.0
+    };
+
+    // Ansor tunes in the model's native layout; vectorized global accesses
+    // are limited by the schedule's vector width and by the contiguous
+    // extent of the output/B matrices.
+    let alignment = schedule
+        .vectorize
+        .min(bolt_gpu_sim::memory::max_alignment(DType::F16, n))
+        .min(8);
+
+    KernelProfile {
+        name: format!("ansor_{workload:?}"),
+        grid_blocks: grid,
+        block: BlockResources::new(
+            schedule.threads() as u32,
+            schedule.regs_per_thread() as u32,
+            schedule.smem_bytes() as u32,
+        ),
+        flops: PipelineFlops { tensor_core: 0.0, cuda_core: flops, sfu: 0.0 },
+        dram_read_bytes: dram_read,
+        dram_write_bytes: dram_write,
+        smem_bytes,
+        dtype: DType::F16,
+        alignment_elems: alignment,
+        bank_conflict_ways: if schedule.use_smem { 1.3 } else { 1.0 },
+        mainloop_efficiency,
+        // Generated code double-buffers at best; no cp.async pipelining.
+        pipelined_overlap: 0.0,
+    }
+}
+
+/// Simulated execution time of a schedule ("one on-device measurement").
+pub fn measure_schedule(arch: &GpuArch, workload: &Workload, schedule: &GpuSchedule) -> KernelTime {
+    simulate_kernel(arch, &schedule_profile(arch, workload, schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t4() -> GpuArch {
+        GpuArch::tesla_t4()
+    }
+
+    fn good_schedule() -> GpuSchedule {
+        GpuSchedule {
+            block_m: 64,
+            block_n: 64,
+            tile_k: 16,
+            thread_m: 8,
+            thread_n: 8,
+            use_smem: true,
+            vectorize: 4,
+            unroll: 512,
+        }
+    }
+
+    #[test]
+    fn best_case_fp16_gemm_lands_under_20pct_of_tensor_cores() {
+        let w = Workload::Gemm { m: 4096, n: 4096, k: 4096 };
+        let t = measure_schedule(&t4(), &w, &good_schedule());
+        let tflops = 2.0 * 4096f64.powi(3) / (t.total_us * 1e6);
+        assert!(
+            tflops > 4.0 && tflops < 13.0,
+            "Ansor-class FP16 GEMM should land at 5-13 TFLOPS on T4, got {tflops:.1}"
+        );
+    }
+
+    #[test]
+    fn schedule_quality_orders_sensibly() {
+        let w = Workload::Gemm { m: 2048, n: 2048, k: 2048 };
+        let good = measure_schedule(&t4(), &w, &good_schedule());
+        let mut bad_sched = good_schedule();
+        bad_sched.vectorize = 1;
+        bad_sched.use_smem = false;
+        bad_sched.thread_m = 1;
+        bad_sched.thread_n = 2;
+        let bad = measure_schedule(&t4(), &w, &bad_sched);
+        assert!(bad.total_us > good.total_us * 2.0, "{} vs {}", bad.total_us, good.total_us);
+    }
+
+    #[test]
+    fn random_schedules_are_measurable() {
+        // Structurally valid schedules may still fail to launch (occupancy
+        // zero) — a failed trial, priced as infinite, exactly like a real
+        // on-device measurement error. Most must succeed, none may be NaN.
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = Workload::Gemm { m: 1280, n: 768, k: 768 };
+        let mut finite = 0;
+        for _ in 0..50 {
+            let s = GpuSchedule::random_valid(&mut rng);
+            let t = measure_schedule(&t4(), &w, &s);
+            assert!(!t.total_us.is_nan() && t.total_us > 0.0);
+            if t.total_us.is_finite() {
+                finite += 1;
+            }
+        }
+        assert!(finite > 35, "only {finite}/50 schedules launchable");
+    }
+
+    #[test]
+    fn conv_measurement_includes_halo_penalty() {
+        let conv = Workload::Conv2d {
+            n: 32,
+            h: 56,
+            w: 56,
+            c: 64,
+            k: 64,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        };
+        let gemm_equiv = {
+            let (m, n, k) = workload_mnk(&conv);
+            Workload::Gemm { m, n, k }
+        };
+        let s = good_schedule();
+        let pc = schedule_profile(&t4(), &conv, &s);
+        let pg = schedule_profile(&t4(), &gemm_equiv, &s);
+        assert!(pc.dram_read_bytes > pg.dram_read_bytes);
+    }
+}

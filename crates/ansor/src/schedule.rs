@@ -1,0 +1,243 @@
+//! The GPU schedule space the auto-tuner searches.
+//!
+//! A [`GpuSchedule`] captures the loop-nest decisions Ansor's sketch rules
+//! make for a matmul/conv on a CUDA-core GPU: block tile, per-thread tile,
+//! reduction split, shared-memory staging, vectorization, and unrolling.
+//! The space is combinatorial (~10^4 points) — tiny next to real Ansor's,
+//! but large enough that random sampling is poor and guided search pays,
+//! which is the behaviour the reproduction needs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Legal values for each tiling knob.
+pub const BLOCK_TILES: &[usize] = &[16, 32, 64, 128, 256];
+/// Legal per-thread tile extents.
+pub const THREAD_TILES: &[usize] = &[1, 2, 4, 8, 16];
+/// Legal reduction tile extents.
+pub const K_TILES: &[usize] = &[4, 8, 16, 32, 64];
+/// Legal vectorization widths (elements).
+pub const VECTORS: &[usize] = &[1, 2, 4, 8];
+/// Legal unroll depths.
+pub const UNROLLS: &[usize] = &[0, 16, 64, 512];
+
+/// One point in the schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GpuSchedule {
+    /// Output rows computed per threadblock.
+    pub block_m: usize,
+    /// Output columns computed per threadblock.
+    pub block_n: usize,
+    /// Reduction slice staged per iteration.
+    pub tile_k: usize,
+    /// Output rows per thread.
+    pub thread_m: usize,
+    /// Output columns per thread.
+    pub thread_n: usize,
+    /// Whether operands are staged through shared memory.
+    pub use_smem: bool,
+    /// Vectorized access width in elements.
+    pub vectorize: usize,
+    /// Unroll pragma depth.
+    pub unroll: usize,
+}
+
+impl GpuSchedule {
+    /// Threads per block implied by the tiling.
+    pub fn threads(&self) -> usize {
+        (self.block_m / self.thread_m) * (self.block_n / self.thread_n)
+    }
+
+    /// Estimated registers per thread: f32 accumulators plus operand
+    /// copies and bookkeeping. Ansor's register-greedy schedules blow
+    /// through this quickly, which is the "aggressively consumes all
+    /// register files" behaviour Section 4.1.1 describes.
+    pub fn regs_per_thread(&self) -> usize {
+        self.thread_m * self.thread_n + 2 * (self.thread_m + self.thread_n) + 24
+    }
+
+    /// Shared memory per block in bytes for FP16 operands (double
+    /// buffered), zero when staging is disabled.
+    pub fn smem_bytes(&self) -> usize {
+        if self.use_smem {
+            2 * (self.block_m + self.block_n) * self.tile_k * 2
+        } else {
+            0
+        }
+    }
+
+    /// Structural legality (divisibility and launchability bounds).
+    pub fn is_valid(&self) -> bool {
+        self.block_m.is_multiple_of(self.thread_m)
+            && self.block_n.is_multiple_of(self.thread_n)
+            && (32..=1024).contains(&self.threads())
+            && self.regs_per_thread() <= 255
+            && self.smem_bytes() <= 64 * 1024
+    }
+
+    /// Samples a uniformly random (not necessarily valid) point.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        GpuSchedule {
+            block_m: BLOCK_TILES[rng.gen_range(0..BLOCK_TILES.len())],
+            block_n: BLOCK_TILES[rng.gen_range(0..BLOCK_TILES.len())],
+            tile_k: K_TILES[rng.gen_range(0..K_TILES.len())],
+            thread_m: THREAD_TILES[rng.gen_range(0..THREAD_TILES.len())],
+            thread_n: THREAD_TILES[rng.gen_range(0..THREAD_TILES.len())],
+            use_smem: rng.gen_bool(0.8),
+            vectorize: VECTORS[rng.gen_range(0..VECTORS.len())],
+            unroll: UNROLLS[rng.gen_range(0..UNROLLS.len())],
+        }
+    }
+
+    /// Samples a random *valid* point (rejection sampling).
+    pub fn random_valid<R: Rng>(rng: &mut R) -> Self {
+        loop {
+            let s = Self::random(rng);
+            if s.is_valid() {
+                return s;
+            }
+        }
+    }
+
+    /// Mutates one knob, returning a valid neighbour.
+    pub fn mutate<R: Rng>(&self, rng: &mut R) -> Self {
+        for _ in 0..64 {
+            let mut s = *self;
+            match rng.gen_range(0..7) {
+                0 => s.block_m = BLOCK_TILES[rng.gen_range(0..BLOCK_TILES.len())],
+                1 => s.block_n = BLOCK_TILES[rng.gen_range(0..BLOCK_TILES.len())],
+                2 => s.tile_k = K_TILES[rng.gen_range(0..K_TILES.len())],
+                3 => s.thread_m = THREAD_TILES[rng.gen_range(0..THREAD_TILES.len())],
+                4 => s.thread_n = THREAD_TILES[rng.gen_range(0..THREAD_TILES.len())],
+                5 => s.vectorize = VECTORS[rng.gen_range(0..VECTORS.len())],
+                _ => {
+                    s.use_smem = !s.use_smem;
+                    s.unroll = UNROLLS[rng.gen_range(0..UNROLLS.len())];
+                }
+            }
+            if s.is_valid() {
+                return s;
+            }
+        }
+        *self
+    }
+
+    /// Single-point crossover of two schedules, returning a valid child
+    /// (falls back to `self` if no valid child is found).
+    pub fn crossover<R: Rng>(&self, other: &Self, rng: &mut R) -> Self {
+        for _ in 0..16 {
+            let child = GpuSchedule {
+                block_m: if rng.gen_bool(0.5) { self.block_m } else { other.block_m },
+                block_n: if rng.gen_bool(0.5) { self.block_n } else { other.block_n },
+                tile_k: if rng.gen_bool(0.5) { self.tile_k } else { other.tile_k },
+                thread_m: if rng.gen_bool(0.5) { self.thread_m } else { other.thread_m },
+                thread_n: if rng.gen_bool(0.5) { self.thread_n } else { other.thread_n },
+                use_smem: if rng.gen_bool(0.5) { self.use_smem } else { other.use_smem },
+                vectorize: if rng.gen_bool(0.5) { self.vectorize } else { other.vectorize },
+                unroll: if rng.gen_bool(0.5) { self.unroll } else { other.unroll },
+            };
+            if child.is_valid() {
+                return child;
+            }
+        }
+        *self
+    }
+}
+
+impl fmt::Display for GpuSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {}x{} k{} thread {}x{} smem={} vec{} unroll{}",
+            self.block_m,
+            self.block_n,
+            self.tile_k,
+            self.thread_m,
+            self.thread_n,
+            self.use_smem,
+            self.vectorize,
+            self.unroll
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validity_rules() {
+        let good = GpuSchedule {
+            block_m: 64,
+            block_n: 64,
+            tile_k: 16,
+            thread_m: 4,
+            thread_n: 4,
+            use_smem: true,
+            vectorize: 4,
+            unroll: 16,
+        };
+        assert!(good.is_valid());
+        assert_eq!(good.threads(), 256);
+        let mut bad = good;
+        bad.thread_m = 16;
+        bad.thread_n = 16; // 256 regs of accumulators alone
+        assert!(!bad.is_valid());
+        let mut indivisible = good;
+        indivisible.block_m = 16;
+        indivisible.thread_m = 8;
+        indivisible.thread_n = 1; // 16/8 * 64 = 128 threads, fine; make indivisible:
+        indivisible.block_n = 16;
+        indivisible.thread_n = 16;
+        assert_eq!(indivisible.block_n % indivisible.thread_n, 0);
+    }
+
+    #[test]
+    fn random_valid_always_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(GpuSchedule::random_valid(&mut rng).is_valid());
+        }
+    }
+
+    #[test]
+    fn mutation_stays_valid_and_local() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = GpuSchedule::random_valid(&mut rng);
+        for _ in 0..100 {
+            let m = base.mutate(&mut rng);
+            assert!(m.is_valid());
+        }
+    }
+
+    #[test]
+    fn crossover_produces_valid_children() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = GpuSchedule::random_valid(&mut rng);
+        let b = GpuSchedule::random_valid(&mut rng);
+        for _ in 0..50 {
+            assert!(a.crossover(&b, &mut rng).is_valid());
+        }
+    }
+
+    #[test]
+    fn smem_accounting() {
+        let s = GpuSchedule {
+            block_m: 64,
+            block_n: 64,
+            tile_k: 16,
+            thread_m: 4,
+            thread_n: 4,
+            use_smem: true,
+            vectorize: 4,
+            unroll: 0,
+        };
+        assert_eq!(s.smem_bytes(), 2 * 128 * 16 * 2);
+        let mut no = s;
+        no.use_smem = false;
+        assert_eq!(no.smem_bytes(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Evolutionary search guided by the learned cost model.
+//!
+//! One Ansor tuning task alternates: sample/evolve a population → rank
+//! with the cost model → measure the most promising candidates on the
+//! device → retrain the model on all measurements so far. The measured
+//! trial count is the budget the paper's Figure 10b charges wall-clock
+//! time for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::Workload;
+
+use crate::cost_model::BoostedStumps;
+use crate::features::featurize;
+use crate::measure::measure_schedule;
+use crate::schedule::GpuSchedule;
+
+/// Search hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchOptions {
+    /// Total measured trials (the paper's "tuning trials").
+    pub trials: usize,
+    /// Candidates measured per round.
+    pub measure_batch: usize,
+    /// Population size evolved per round.
+    pub population: usize,
+    /// RNG seed (search is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { trials: 512, measure_batch: 64, population: 256, seed: 0xA450 }
+    }
+}
+
+/// One measured candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// The schedule.
+    pub schedule: GpuSchedule,
+    /// Simulated kernel time in microseconds.
+    pub time_us: f64,
+}
+
+/// The evolutionary search engine for one task.
+#[derive(Debug)]
+pub struct EvolutionarySearch {
+    arch: GpuArch,
+    workload: Workload,
+    options: SearchOptions,
+}
+
+impl EvolutionarySearch {
+    /// Creates a search for `workload` on `arch`.
+    pub fn new(arch: &GpuArch, workload: Workload, options: SearchOptions) -> Self {
+        EvolutionarySearch { arch: arch.clone(), workload, options }
+    }
+
+    /// Runs the search, returning all measurements (best first) and the
+    /// number of trials actually spent.
+    pub fn run(&self) -> (Vec<Measured>, usize) {
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut measured: Vec<Measured> = Vec::new();
+        let mut seen: HashSet<GpuSchedule> = HashSet::new();
+        let mut model = BoostedStumps::default();
+
+        let mut population: Vec<GpuSchedule> = (0..self.options.population)
+            .map(|_| GpuSchedule::random_valid(&mut rng))
+            .collect();
+
+        while measured.len() < self.options.trials {
+            // Rank the population: cost model if trained, else random.
+            let mut ranked: Vec<(f64, GpuSchedule)> = population
+                .iter()
+                .map(|s| {
+                    let score = if model.is_empty() {
+                        rng.gen::<f64>()
+                    } else {
+                        model.predict(&featurize(&self.workload, s))
+                    };
+                    (score, *s)
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+            // Measure the top unmeasured candidates.
+            let budget = self
+                .options
+                .measure_batch
+                .min(self.options.trials - measured.len());
+            let mut this_round = 0;
+            for (_, s) in &ranked {
+                if this_round >= budget {
+                    break;
+                }
+                if !seen.insert(*s) {
+                    continue;
+                }
+                let t = measure_schedule(&self.arch, &self.workload, s);
+                measured.push(Measured { schedule: *s, time_us: t.total_us });
+                this_round += 1;
+            }
+            if this_round == 0 {
+                // Population exhausted: inject fresh randomness.
+                population = (0..self.options.population)
+                    .map(|_| GpuSchedule::random_valid(&mut rng))
+                    .collect();
+                continue;
+            }
+
+            // Retrain on throughput (higher = better).
+            let xs: Vec<Vec<f64>> = measured
+                .iter()
+                .map(|m| featurize(&self.workload, &m.schedule).to_vec())
+                .collect();
+            let ys: Vec<f64> = measured.iter().map(|m| 1e3 / m.time_us.max(1e-3)).collect();
+            model = BoostedStumps::fit(&xs, &ys, 64, 0.3);
+
+            // Evolve: elites + mutations + crossovers + fresh blood.
+            let mut elites: Vec<Measured> = measured.clone();
+            elites.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
+            elites.truncate(16);
+            let mut next = Vec::with_capacity(self.options.population);
+            for e in &elites {
+                next.push(e.schedule);
+            }
+            while next.len() < self.options.population {
+                let pick = rng.gen_range(0..3);
+                let parent = elites[rng.gen_range(0..elites.len())].schedule;
+                let child = match pick {
+                    0 => parent.mutate(&mut rng),
+                    1 => {
+                        let other = elites[rng.gen_range(0..elites.len())].schedule;
+                        parent.crossover(&other, &mut rng)
+                    }
+                    _ => GpuSchedule::random_valid(&mut rng),
+                };
+                next.push(child);
+            }
+            population = next;
+        }
+
+        measured.sort_by(|a, b| a.time_us.total_cmp(&b.time_us));
+        let spent = measured.len();
+        (measured, spent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> GpuArch {
+        GpuArch::tesla_t4()
+    }
+
+    #[test]
+    fn search_improves_over_random_sampling() {
+        let workload = Workload::Gemm { m: 2048, n: 2048, k: 2048 };
+        let opts = SearchOptions { trials: 192, measure_batch: 32, population: 128, seed: 3 };
+        let (measured, spent) = EvolutionarySearch::new(&t4(), workload, opts).run();
+        assert_eq!(spent, 192);
+        let best = measured[0].time_us;
+
+        // Pure random baseline with the same budget.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut best_random = f64::INFINITY;
+        for _ in 0..192 {
+            let s = GpuSchedule::random_valid(&mut rng);
+            best_random = best_random.min(measure_schedule(&t4(), &workload, &s).total_us);
+        }
+        assert!(
+            best <= best_random * 1.05,
+            "guided search ({best:.1} us) should at least match random ({best_random:.1} us)"
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let workload = Workload::Gemm { m: 1280, n: 768, k: 768 };
+        let opts = SearchOptions { trials: 64, measure_batch: 16, population: 64, seed: 9 };
+        let (a, _) = EvolutionarySearch::new(&t4(), workload, opts).run();
+        let (b, _) = EvolutionarySearch::new(&t4(), workload, opts).run();
+        assert_eq!(a[0].schedule, b[0].schedule);
+        assert_eq!(a[0].time_us, b[0].time_us);
+    }
+
+    #[test]
+    fn respects_trial_budget() {
+        let workload = Workload::Gemm { m: 512, n: 512, k: 512 };
+        let opts = SearchOptions { trials: 40, measure_batch: 64, population: 64, seed: 1 };
+        let (measured, spent) = EvolutionarySearch::new(&t4(), workload, opts).run();
+        assert_eq!(spent, 40);
+        assert_eq!(measured.len(), 40);
+    }
+}

@@ -1,0 +1,154 @@
+//! The end-to-end tuner: extract tasks, search each, account wall-clock.
+
+use std::collections::HashMap;
+
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::{extract_workloads, Graph, Workload};
+
+use crate::measure::SECONDS_PER_TRIAL;
+use crate::schedule::GpuSchedule;
+use crate::search::{EvolutionarySearch, SearchOptions};
+
+/// Tuning outcome for one task (workload).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskResult {
+    /// The workload tuned.
+    pub workload: Workload,
+    /// Best schedule found.
+    pub best_schedule: GpuSchedule,
+    /// Simulated kernel time of the best schedule, microseconds.
+    pub best_time_us: f64,
+    /// Trials spent on this task.
+    pub trials: usize,
+}
+
+/// Whole-model tuning report.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// Per-task results keyed by workload.
+    pub tasks: HashMap<Workload, TaskResult>,
+    /// Total measured trials.
+    pub total_trials: usize,
+    /// Simulated tuning wall-clock in seconds (trials × per-trial cost) —
+    /// the y-axis of Figure 10b.
+    pub tuning_seconds: f64,
+}
+
+impl TuningReport {
+    /// Best kernel time for `workload`, if it was tuned.
+    pub fn best_time_us(&self, workload: &Workload) -> Option<f64> {
+        self.tasks.get(workload).map(|t| t.best_time_us)
+    }
+
+    /// Tuning wall-clock in hours.
+    pub fn tuning_hours(&self) -> f64 {
+        self.tuning_seconds / 3600.0
+    }
+}
+
+/// An Ansor-style auto-tuner bound to one device.
+#[derive(Debug, Clone)]
+pub struct AnsorTuner {
+    arch: GpuArch,
+    /// Measured trials per task. The TVM official example recommends 900 ×
+    /// the number of tasks in total, i.e. ~900 per task.
+    pub trials_per_task: usize,
+    /// Search hyperparameters (trial budget is overridden per task).
+    pub options: SearchOptions,
+}
+
+impl AnsorTuner {
+    /// Creates a tuner with the paper's recommended budget.
+    pub fn new(arch: &GpuArch) -> Self {
+        AnsorTuner { arch: arch.clone(), trials_per_task: 900, options: SearchOptions::default() }
+    }
+
+    /// Creates a tuner with a smaller budget (for tests and quick runs).
+    pub fn with_trials(arch: &GpuArch, trials_per_task: usize) -> Self {
+        AnsorTuner { trials_per_task, ..Self::new(arch) }
+    }
+
+    /// Tunes every workload in the list.
+    pub fn tune_workloads(&self, workloads: &[Workload]) -> TuningReport {
+        let mut tasks = HashMap::new();
+        let mut total_trials = 0;
+        for (i, &workload) in workloads.iter().enumerate() {
+            let opts = SearchOptions {
+                trials: self.trials_per_task,
+                seed: self.options.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                ..self.options
+            };
+            let (measured, spent) = EvolutionarySearch::new(&self.arch, workload, opts).run();
+            let best = measured.first().expect("at least one trial");
+            total_trials += spent;
+            tasks.insert(
+                workload,
+                TaskResult {
+                    workload,
+                    best_schedule: best.schedule,
+                    best_time_us: best.time_us,
+                    trials: spent,
+                },
+            );
+        }
+        TuningReport {
+            tasks,
+            total_trials,
+            tuning_seconds: total_trials as f64 * SECONDS_PER_TRIAL,
+        }
+    }
+
+    /// Extracts tasks from `graph` and tunes them all.
+    pub fn tune_graph(&self, graph: &Graph) -> TuningReport {
+        let workloads: Vec<Workload> =
+            extract_workloads(graph).into_iter().map(|(w, _)| w).collect();
+        self.tune_workloads(&workloads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_graph::GraphBuilder;
+    use bolt_tensor::{Activation, DType};
+
+    fn t4() -> GpuArch {
+        GpuArch::tesla_t4()
+    }
+
+    #[test]
+    fn tunes_all_graph_tasks_and_accounts_time() {
+        let mut b = GraphBuilder::shapes_only(DType::F16);
+        let x = b.input(&[32, 256]);
+        let h = b.dense_bias(x, 512, "fc1");
+        let r = b.activation(h, Activation::ReLU, "relu");
+        let o = b.dense_bias(r, 128, "fc2");
+        let g = b.finish(&[o]);
+
+        let tuner = AnsorTuner::with_trials(&t4(), 48);
+        let report = tuner.tune_graph(&g);
+        assert_eq!(report.tasks.len(), 2);
+        assert_eq!(report.total_trials, 96);
+        assert!((report.tuning_seconds - 96.0 * SECONDS_PER_TRIAL).abs() < 1e-9);
+        for task in report.tasks.values() {
+            assert!(task.best_time_us.is_finite() && task.best_time_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_trials_do_not_regress() {
+        let w = Workload::Gemm { m: 1280, n: 3072, k: 768 };
+        let small = AnsorTuner::with_trials(&t4(), 32).tune_workloads(&[w]);
+        let large = AnsorTuner::with_trials(&t4(), 160).tune_workloads(&[w]);
+        assert!(
+            large.best_time_us(&w).unwrap() <= small.best_time_us(&w).unwrap() * 1.001,
+            "more search must not be worse"
+        );
+    }
+
+    #[test]
+    fn default_budget_matches_paper() {
+        let tuner = AnsorTuner::new(&t4());
+        assert_eq!(tuner.trials_per_task, 900);
+    }
+}

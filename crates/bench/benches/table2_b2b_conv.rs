@@ -1,0 +1,58 @@
+//! Table 2: persistent-kernel fusion of back-to-back Conv2Ds.
+//!
+//! The 3×3 convolutions come from the first layers of the RepVGG models;
+//! each gets a same-channel 1×1 companion (stride 1, no padding). Each
+//! conv carries BiasAdd+ReLU epilogues; the pair fuses into one
+//! persistent kernel. Batch 32, FP16, simulated T4.
+//!
+//! Paper claim: speedups **1.10-2.02×** across the six rows.
+
+use bolt_bench::{fmt_us, Table};
+use bolt_cutlass::{B2bConvKernel, Epilogue};
+use bolt_gpu_sim::GpuArch;
+use bolt_tensor::conv_ref::Conv2dProblem;
+use bolt_tensor::{Activation, DType};
+
+fn rows() -> Vec<(usize, usize, usize, (usize, usize), f64)> {
+    // (hw, ic, oc, stride, paper speedup)
+    vec![
+        (224, 3, 48, (2, 2), 1.10),
+        (112, 48, 48, (2, 2), 1.41),
+        (56, 48, 48, (1, 1), 1.87),
+        (224, 3, 64, (2, 2), 1.24),
+        (112, 64, 64, (2, 2), 1.12),
+        (56, 64, 64, (1, 1), 2.02),
+    ]
+}
+
+fn main() {
+    let t4 = GpuArch::tesla_t4();
+    let ep = Epilogue::bias_activation(Activation::ReLU, DType::F16);
+    let batch = 32;
+
+    let mut table = Table::new(&[
+        "3x3 conv (H,W / IC,OC / stride)", "1x1 conv (H,W / IC,OC)", "residence",
+        "w/o fuse", "w/ fuse", "speedup", "paper",
+    ]);
+    for (hw, ic, oc, stride, paper_x) in rows() {
+        let conv0 = Conv2dProblem::new(batch, hw, hw, ic, oc, 3, 3, stride, (1, 1));
+        let (oh, ow) = (conv0.out_h(), conv0.out_w());
+        let conv1 = Conv2dProblem::new(batch, oh, ow, oc, oc, 1, 1, (1, 1), (0, 0));
+        let kernel =
+            B2bConvKernel::auto(&t4, conv0, conv1, ep, ep, DType::F16).expect("fusible pair");
+        let fused = kernel.time(&t4).total_us;
+        let unfused = kernel.unfused_time_us(&t4);
+        let speedup = unfused / fused;
+        table.row(&[
+            format!("{hw}^2 / {ic},{oc} / {stride:?}"),
+            format!("{oh}x{ow} / {oc},{oc}"),
+            kernel.residence.to_string(),
+            fmt_us(unfused),
+            fmt_us(fused),
+            format!("{speedup:.2}x"),
+            format!("{paper_x:.2}x"),
+        ]);
+    }
+    table.print("Table 2: back-to-back Conv2D persistent-kernel fusion (batch 32)");
+    table.write_csv("table2_b2b_conv");
+}

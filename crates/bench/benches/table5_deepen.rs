@@ -1,0 +1,57 @@
+//! Table 5: deepening RepVGG with 1×1 Conv2Ds (codesign principle 2 —
+//! persistent kernels make 1×1 deepening cheap).
+//!
+//! Paper (200 epochs + simple augmentation):
+//! A0 73.05 @ 7861, A1 74.75 @ 6253, B0 75.28 @ 4888;
+//! Aug-A0 73.87 @ 6716, Aug-A1 75.52 @ 5241, Aug-B0 76.02 @ 4145 —
+//! +0.74-0.82% top-1 for ~15% speed loss.
+
+use bolt::{BoltCompiler, BoltConfig};
+use bolt_bench::Table;
+use bolt_gpu_sim::GpuArch;
+use bolt_models::repvgg::RepVggVariant;
+use bolt_models::{AccuracyModel, RepVggSpec, TrainRecipe};
+use bolt_tensor::Activation;
+
+fn main() {
+    let t4 = GpuArch::tesla_t4();
+    let accuracy = AccuracyModel::default();
+    let batch = 32;
+    let rows: Vec<(RepVggSpec, f64, f64)> = vec![
+        (RepVggSpec::original(RepVggVariant::A0), 73.05, 7861.0),
+        (RepVggSpec::original(RepVggVariant::A1), 74.75, 6253.0),
+        (RepVggSpec::original(RepVggVariant::B0), 75.28, 4888.0),
+        (RepVggSpec::augmented(RepVggVariant::A0, Activation::ReLU), 73.87, 6716.0),
+        (RepVggSpec::augmented(RepVggVariant::A1, Activation::ReLU), 75.52, 5241.0),
+        (RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU), 76.02, 4145.0),
+    ];
+
+    let mut table = Table::new(&[
+        "model", "top-1 (%)", "paper top-1", "speed (img/s)", "paper speed", "params (M)",
+        "b2b fused kernels",
+    ]);
+    for (spec, paper_acc, paper_speed) in rows {
+        let graph = spec.deploy_graph(batch);
+        let compiler = BoltCompiler::new(t4.clone(), BoltConfig::default());
+        let model = compiler.compile(&graph).expect("compiles");
+        let ips = model.time().images_per_sec(batch);
+        let fused = model
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, bolt::StepKind::B2bConv { .. }))
+            .count();
+        let top1 = accuracy.top1(&spec, TrainRecipe::TABLE5);
+        table.row(&[
+            spec.name(),
+            format!("{top1:.2}"),
+            format!("{paper_acc:.2}"),
+            format!("{ips:.0}"),
+            format!("{paper_speed:.0}"),
+            format!("{:.2}", spec.paper_params_m()),
+            fused.to_string(),
+        ]);
+    }
+    table.print("Table 5: RepVGG vs RepVGGAug (+1x1 convs), 200 epochs");
+    table.write_csv("table5_deepen");
+    println!("paper: +0.74-0.82% top-1, speed drops 15.3% on average");
+}

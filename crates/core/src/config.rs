@@ -1,0 +1,81 @@
+//! Compiler configuration: every Bolt optimization is independently
+//! switchable for the ablation benches DESIGN.md calls out.
+
+use serde::{Deserialize, Serialize};
+
+/// Bolt compiler options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoltConfig {
+    /// Fuse BiasAdd / activation / residual epilogues into the anchor
+    /// kernels (paper Section 3.1 prerequisite).
+    pub epilogue_fusion: bool,
+    /// Fuse back-to-back GEMM/Conv chains into persistent kernels
+    /// (Section 3.1.1).
+    pub persistent_kernels: bool,
+    /// Automatically pad unaligned channels to alignment 8
+    /// (Section 3.2.3).
+    pub kernel_padding: bool,
+    /// Fold NCHW→NHWC transformation into the boundary kernels instead of
+    /// standalone transform kernels around every offloaded region
+    /// (Section 3.2.3).
+    pub layout_transform_folding: bool,
+    /// How many template candidates the light-weight profiler measures
+    /// per workload ("tens of best parameter combinations").
+    pub profiler_candidates: usize,
+    /// Run graph deployment passes (BN fold + RepVGG re-parameterization)
+    /// before compilation.
+    pub deployment_passes: bool,
+}
+
+impl Default for BoltConfig {
+    fn default() -> Self {
+        BoltConfig {
+            epilogue_fusion: true,
+            persistent_kernels: true,
+            kernel_padding: true,
+            layout_transform_folding: true,
+            profiler_candidates: 30,
+            deployment_passes: true,
+        }
+    }
+}
+
+impl BoltConfig {
+    /// Baseline for Figure 9 / Tables 1-2: epilogue fusion only, no
+    /// persistent kernels.
+    pub fn epilogue_only() -> Self {
+        BoltConfig { persistent_kernels: false, ..Self::default() }
+    }
+
+    /// All Bolt optimizations off (kernels still templated + profiled).
+    pub fn no_optimizations() -> Self {
+        BoltConfig {
+            epilogue_fusion: false,
+            persistent_kernels: false,
+            kernel_padding: false,
+            layout_transform_folding: false,
+            profiler_candidates: 30,
+            deployment_passes: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let c = BoltConfig::default();
+        assert!(c.epilogue_fusion && c.persistent_kernels && c.kernel_padding);
+        assert!(c.profiler_candidates >= 10 && c.profiler_candidates <= 100);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(!BoltConfig::epilogue_only().persistent_kernels);
+        assert!(BoltConfig::epilogue_only().epilogue_fusion);
+        let off = BoltConfig::no_optimizations();
+        assert!(!off.epilogue_fusion && !off.kernel_padding);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the Bolt compiler.
+
+use std::fmt;
+
+use bolt_cutlass::KernelError;
+use bolt_graph::GraphError;
+use bolt_tensor::TensorError;
+
+/// Errors produced while compiling or executing a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoltError {
+    /// No template configuration could serve a workload.
+    NoKernel {
+        /// Description of the workload.
+        workload: String,
+    },
+    /// The runtime was fed inputs inconsistent with the graph.
+    BadInput {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A graph operation failed.
+    Graph(GraphError),
+    /// A kernel-library operation failed.
+    Kernel(KernelError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for BoltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoltError::NoKernel { workload } => {
+                write!(f, "no legal template configuration for workload {workload}")
+            }
+            BoltError::BadInput { reason } => write!(f, "bad runtime input: {reason}"),
+            BoltError::Graph(e) => write!(f, "graph error: {e}"),
+            BoltError::Kernel(e) => write!(f, "kernel error: {e}"),
+            BoltError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BoltError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BoltError::Graph(e) => Some(e),
+            BoltError::Kernel(e) => Some(e),
+            BoltError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for BoltError {
+    fn from(e: GraphError) -> Self {
+        BoltError::Graph(e)
+    }
+}
+
+impl From<KernelError> for BoltError {
+    fn from(e: KernelError) -> Self {
+        BoltError::Kernel(e)
+    }
+}
+
+impl From<TensorError> for BoltError {
+    fn from(e: TensorError) -> Self {
+        BoltError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BoltError = TensorError::invalid("x").into();
+        assert!(e.to_string().contains("tensor error"));
+        let k: BoltError = KernelError::illegal("y").into();
+        assert!(k.to_string().contains("kernel error"));
+        let n = BoltError::NoKernel { workload: "gemm".into() };
+        assert!(n.to_string().contains("gemm"));
+    }
+}

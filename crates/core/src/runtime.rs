@@ -1,0 +1,866 @@
+//! The compiled-model runtime.
+//!
+//! A [`CompiledModel`] is an ordered list of [`Step`]s produced by the
+//! lowering pipeline. It executes in two modes:
+//!
+//! * **functional** ([`CompiledModel::run`]) — really computes every step
+//!   with the templated kernel executors and host reference ops, so fused
+//!   and unfused compilations can be compared for numerical equality;
+//! * **timing** ([`CompiledModel::time`]) — prices every step on the GPU
+//!   simulator and returns a per-kernel [`Timeline`], the measurement
+//!   behind Figures 8-10.
+
+use std::collections::HashMap;
+
+use bolt_cutlass::{B2bConvKernel, B2bGemmKernel, Conv2dKernel, GemmKernel, PersistentGemmChain};
+use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile, KernelTime, Timeline};
+use bolt_graph::{Graph, NodeId, OpKind, PoolKind};
+use bolt_tensor::{activation::apply_slice, DType, Layout, Tensor};
+
+use crate::config::BoltConfig;
+use crate::error::BoltError;
+use crate::Result;
+
+/// What one step executes.
+#[derive(Debug, Clone)]
+pub enum StepKind {
+    /// A templated GEMM (dense layer) with fused epilogue.
+    Gemm {
+        /// The instantiated kernel.
+        kernel: GemmKernel,
+        /// Weight constant node (`(units, in)` logical).
+        weight: NodeId,
+        /// Optional bias constant node.
+        bias: Option<NodeId>,
+        /// Optional residual activation input (fused as the full-C
+        /// operand).
+        residual: Option<NodeId>,
+    },
+    /// A templated implicit-GEMM convolution with fused epilogue.
+    Conv2d {
+        /// The instantiated kernel (problem uses *padded* channels when
+        /// `pad_to` is set).
+        kernel: Conv2dKernel,
+        /// Filter constant node (`(K, C, R, S)` logical).
+        filter: NodeId,
+        /// Optional per-channel bias constant node.
+        bias: Option<NodeId>,
+        /// Input channels after automatic padding, if padding applied.
+        pad_to: Option<usize>,
+        /// True when the pad is folded into the boundary layout-transform
+        /// kernel (first layer) instead of a standalone pad kernel.
+        pad_fused: bool,
+    },
+    /// A persistent back-to-back GEMM kernel.
+    B2bGemm {
+        /// The fused kernel.
+        kernel: B2bGemmKernel,
+        /// Weights and biases of both main loops.
+        w0: NodeId,
+        /// First bias, if any.
+        b0: Option<NodeId>,
+        /// Second weight.
+        w1: NodeId,
+        /// Second bias, if any.
+        b1: Option<NodeId>,
+    },
+    /// A persistent chain of three or more fused GEMMs (the paper's
+    /// "more than two" extension, Section 3.1.1).
+    GemmChain {
+        /// The fused chain.
+        chain: PersistentGemmChain,
+        /// Weight constant node per stage.
+        weights: Vec<NodeId>,
+        /// Optional bias constant node per stage.
+        biases: Vec<Option<NodeId>>,
+    },
+    /// A persistent back-to-back Conv kernel.
+    B2bConv {
+        /// The fused kernel.
+        kernel: B2bConvKernel,
+        /// Filters and biases of both main loops.
+        f0: NodeId,
+        /// First bias, if any.
+        b0: Option<NodeId>,
+        /// Second filter.
+        f1: NodeId,
+        /// Second bias, if any.
+        b1: Option<NodeId>,
+        /// Input channels of the first conv after automatic padding.
+        pad_to: Option<usize>,
+    },
+    /// An NCHW↔NHWC layout transformation at a region boundary. A
+    /// functional no-op (the runtime tracks layouts); charged in timing.
+    LayoutTransform {
+        /// Tensor bytes moved (read + write counted separately).
+        bytes: f64,
+        /// Folded into the adjacent kernel (no extra launch).
+        fused: bool,
+    },
+    /// A standalone channel-padding kernel (Table 3's overhead).
+    PadChannels {
+        /// Bytes read + written by the pad kernel.
+        bytes: f64,
+    },
+    /// A host (TVM-fallback) operator executed outside Bolt.
+    Host,
+}
+
+/// One executable step of a compiled model.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Display name.
+    pub name: String,
+    /// What to execute.
+    pub kind: StepKind,
+    /// Graph activation inputs, in kernel order.
+    pub inputs: Vec<NodeId>,
+    /// The graph node whose value this step produces.
+    pub output: NodeId,
+    /// Every graph node folded into this step (for coverage checks).
+    pub covered: Vec<NodeId>,
+}
+
+/// Summary of the profiling effort that built a model (Figure 10b).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TuningSummary {
+    /// Unique workloads profiled.
+    pub workloads: usize,
+    /// Candidate measurements performed.
+    pub measurements: usize,
+    /// Simulated tuning wall-clock seconds.
+    pub tuning_seconds: f64,
+}
+
+/// Timing-mode result.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Per-kernel timeline.
+    pub timeline: Timeline,
+    /// End-to-end latency in microseconds.
+    pub total_us: f64,
+}
+
+impl TimingReport {
+    /// Throughput in inferences (images) per second for a given batch.
+    pub fn images_per_sec(&self, batch: usize) -> f64 {
+        batch as f64 / (self.total_us / 1e6)
+    }
+}
+
+/// A compiled model: optimized graph + executable steps.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    pub(crate) arch: GpuArch,
+    pub(crate) graph: Graph,
+    pub(crate) steps: Vec<Step>,
+    pub(crate) config: BoltConfig,
+    /// Profiling-cost summary.
+    pub tuning: TuningSummary,
+}
+
+impl CompiledModel {
+    /// The executable steps in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The optimized graph this model executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// The configuration the model was compiled with.
+    pub fn compile_config(&self) -> &BoltConfig {
+        &self.config
+    }
+
+    /// Number of device kernel launches (excludes host steps and fused
+    /// transforms) — what persistent fusion and epilogue fusion reduce.
+    pub fn kernel_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| {
+                !matches!(
+                    s.kind,
+                    StepKind::Host | StepKind::LayoutTransform { fused: true, .. }
+                )
+            })
+            .count()
+    }
+
+    // --------------------------------------------------------------------
+    // Timing mode
+    // --------------------------------------------------------------------
+
+    /// Prices every step on the simulator.
+    pub fn time(&self) -> TimingReport {
+        let mut timeline = Timeline::new();
+        for step in &self.steps {
+            let time = self.step_time(step);
+            timeline.push(step.name.clone(), &time);
+        }
+        TimingReport { total_us: timeline.total_us(), timeline }
+    }
+
+    fn step_time(&self, step: &Step) -> KernelTime {
+        match &step.kind {
+            StepKind::Gemm { kernel, .. } => kernel.time(&self.arch),
+            StepKind::Conv2d { kernel, .. } => kernel.time(&self.arch),
+            StepKind::B2bGemm { kernel, .. } => kernel.time(&self.arch),
+            StepKind::GemmChain { chain, .. } => chain.time(&self.arch),
+            StepKind::B2bConv { kernel, .. } => kernel.time(&self.arch),
+            StepKind::LayoutTransform { bytes, fused } => {
+                let mut profile = KernelProfile::memory_only("layout_transform", *bytes * 2.0);
+                // NCHW reads are W-contiguous, NHWC writes C-contiguous;
+                // one side is strided.
+                profile.alignment_elems = 4;
+                let mut t = simulate_kernel(&self.arch, &profile);
+                if *fused {
+                    // Folded into the adjacent kernel: no launch.
+                    t.total_us -= t.launch_us;
+                    t.launch_us = 0.0;
+                }
+                t
+            }
+            StepKind::PadChannels { bytes } => {
+                let mut profile = KernelProfile::memory_only("pad_channels", *bytes);
+                profile.alignment_elems = 2; // source is the unaligned tensor
+                simulate_kernel(&self.arch, &profile)
+            }
+            StepKind::Host => host_group_time(&self.arch, &self.graph, &step.covered),
+        }
+    }
+
+    // --------------------------------------------------------------------
+    // Functional mode
+    // --------------------------------------------------------------------
+
+    /// Executes the model on real inputs (one tensor per graph input, in
+    /// `Graph::input_ids` order). Rank-4 inputs may be NCHW (converted
+    /// internally) or NHWC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoltError::BadInput`] for arity/shape mismatches and
+    /// missing parameter data.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let input_ids = self.graph.input_ids();
+        if inputs.len() != input_ids.len() {
+            return Err(BoltError::BadInput {
+                reason: format!("expected {} inputs, got {}", input_ids.len(), inputs.len()),
+            });
+        }
+        let mut env: HashMap<NodeId, Tensor> = HashMap::new();
+        for (&id, tensor) in input_ids.iter().zip(inputs) {
+            let want = &self.graph.node(id).shape;
+            if tensor.shape().rank() == 4 {
+                // Normalize to NHWC internally (Bolt's layout transform).
+                let nhwc = if tensor.layout() == Layout::Nhwc {
+                    tensor.clone()
+                } else {
+                    tensor.to_activation_layout(Layout::Nhwc)?
+                };
+                let (n, c, h, w) = nhwc.dims4();
+                if [n, c, h, w] != [want.dim(0), want.dim(1), want.dim(2), want.dim(3)] {
+                    return Err(BoltError::BadInput {
+                        reason: format!("input {id} shape mismatch: want {want}"),
+                    });
+                }
+                env.insert(id, nhwc);
+            } else {
+                if tensor.shape() != want {
+                    return Err(BoltError::BadInput {
+                        reason: format!("input {id} shape mismatch: want {want}"),
+                    });
+                }
+                env.insert(id, tensor.clone());
+            }
+        }
+
+        for step in &self.steps {
+            self.run_step(step, &mut env)?;
+        }
+
+        let mut outputs = Vec::new();
+        for &out in self.graph.outputs() {
+            let t = env.get(&out).ok_or_else(|| BoltError::BadInput {
+                reason: format!("output {out} was never produced"),
+            })?;
+            // Convert activations back to the framework's NCHW convention.
+            let t = if t.shape().rank() == 4 && t.layout() == Layout::Nhwc {
+                t.to_activation_layout(Layout::Nchw)?
+            } else {
+                t.clone()
+            };
+            outputs.push(t);
+        }
+        Ok(outputs)
+    }
+
+    fn param(&self, id: NodeId) -> Result<&Tensor> {
+        self.graph.param(id).ok_or_else(|| BoltError::BadInput {
+            reason: format!(
+                "constant {id} ({}) has no data; build the model with materialized parameters",
+                self.graph.node(id).name
+            ),
+        })
+    }
+
+    /// Dense weight `(units, in)` → GEMM `B` operand `(in, units)`.
+    fn dense_weight(&self, id: NodeId) -> Result<Tensor> {
+        let w = self.param(id)?;
+        let (u, k) = (w.shape().dim(0), w.shape().dim(1));
+        let mut b = Tensor::zeros(&[k, u], w.dtype());
+        for i in 0..u {
+            for j in 0..k {
+                b.set2(j, i, w.get2(i, j));
+            }
+        }
+        Ok(b)
+    }
+
+    /// Conv filter logical `(K, C, R, S)` → physical KRSC, optionally
+    /// zero-padded to `pad_c` input channels.
+    fn conv_filter(&self, id: NodeId, pad_c: Option<usize>) -> Result<Tensor> {
+        let w = self.param(id)?;
+        let dims = w.shape().dims();
+        let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
+        let cc = pad_c.unwrap_or(c);
+        let mut out = Tensor::zeros(&[k, r, s, cc], w.dtype());
+        let src = w.data();
+        let dst = out.data_mut();
+        for ki in 0..k {
+            for ci in 0..c {
+                for ri in 0..r {
+                    for si in 0..s {
+                        let from = ((ki * c + ci) * r + ri) * s + si;
+                        let to = ((ki * r + ri) * s + si) * cc + ci;
+                        dst[to] = src[from];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_step(&self, step: &Step, env: &mut HashMap<NodeId, Tensor>) -> Result<()> {
+        let fetch = |env: &HashMap<NodeId, Tensor>, id: NodeId| -> Result<Tensor> {
+            env.get(&id).cloned().ok_or_else(|| BoltError::BadInput {
+                reason: format!("step input {id} not yet computed"),
+            })
+        };
+        match &step.kind {
+            StepKind::Gemm { kernel, weight, bias, residual } => {
+                let a = fetch(env, step.inputs[0])?;
+                let b = self.dense_weight(*weight)?;
+                let c = if let Some(r) = residual {
+                    Some(fetch(env, *r)?)
+                } else if let Some(b) = bias {
+                    Some(self.param(*b)?.clone())
+                } else {
+                    None
+                };
+                let (d, _) = kernel.run(&a, &b, c.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::Conv2d { kernel, filter, bias, pad_to, .. } => {
+                let mut x = fetch(env, step.inputs[0])?;
+                if let Some(pc) = pad_to {
+                    let (_, c, _, _) = x.dims4();
+                    if c < *pc {
+                        x = x.pad_channels_nhwc(*pc)?;
+                    }
+                }
+                let f = self.conv_filter(*filter, *pad_to)?;
+                let b = match bias {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let d = kernel.run(&x, &f, b.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::B2bGemm { kernel, w0, b0, w1, b1 } => {
+                let a = fetch(env, step.inputs[0])?;
+                let w0t = self.dense_weight(*w0)?;
+                let w1t = self.dense_weight(*w1)?;
+                let b0t = match b0 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let b1t = match b1 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let d = kernel.run(&a, &w0t, b0t.as_ref(), &w1t, b1t.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::GemmChain { chain, weights, biases } => {
+                let a = fetch(env, step.inputs[0])?;
+                let ws: Vec<Tensor> =
+                    weights.iter().map(|w| self.dense_weight(*w)).collect::<Result<_>>()?;
+                let w_refs: Vec<&Tensor> = ws.iter().collect();
+                let bs: Vec<Option<Tensor>> = biases
+                    .iter()
+                    .map(|b| match b {
+                        Some(b) => Ok(Some(self.param(*b)?.clone())),
+                        None => Ok(None),
+                    })
+                    .collect::<Result<_>>()?;
+                let b_refs: Vec<Option<&Tensor>> = bs.iter().map(|b| b.as_ref()).collect();
+                let d = chain.run(&a, &w_refs, &b_refs)?;
+                env.insert(step.output, d);
+            }
+            StepKind::B2bConv { kernel, f0, b0, f1, b1, pad_to } => {
+                let mut x = fetch(env, step.inputs[0])?;
+                if let Some(pc) = pad_to {
+                    let (_, c, _, _) = x.dims4();
+                    if c < *pc {
+                        x = x.pad_channels_nhwc(*pc)?;
+                    }
+                }
+                let f0t = self.conv_filter(*f0, *pad_to)?;
+                let f1t = self.conv_filter(*f1, None)?;
+                let b0t = match b0 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let b1t = match b1 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let d = kernel.run(&x, &f0t, b0t.as_ref(), &f1t, b1t.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::LayoutTransform { .. } | StepKind::PadChannels { .. } => {
+                // Functional no-ops: the runtime already tracks layouts and
+                // padding inside the kernel steps.
+            }
+            StepKind::Host => {
+                // A Host step may cover a fused injective chain: execute
+                // its nodes in topological order.
+                let mut nodes = step.covered.clone();
+                nodes.sort_unstable();
+                for node in nodes {
+                    let t = run_host_op(&self.graph, node, env)?;
+                    env.insert(node, t);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Executes one host (TVM-fallback) operator functionally.
+pub(crate) fn run_host_op(
+    graph: &Graph,
+    id: NodeId,
+    env: &HashMap<NodeId, Tensor>,
+) -> Result<Tensor> {
+    let node = graph.node(id);
+    let input = |i: usize| -> Result<&Tensor> {
+        let nid = node.inputs[i];
+        if let Some(t) = env.get(&nid) {
+            return Ok(t);
+        }
+        graph.param(nid).ok_or_else(|| BoltError::BadInput {
+            reason: format!("host op {} input {nid} unavailable", node.name),
+        })
+    };
+    match &node.kind {
+        OpKind::Activation(act) => {
+            let mut t = input(0)?.clone();
+            apply_slice(*act, t.data_mut());
+            let dtype = t.dtype();
+            for v in t.data_mut() {
+                *v = dtype.quantize(*v);
+            }
+            Ok(t)
+        }
+        OpKind::Add => {
+            let a = input(0)?;
+            let b = input(1)?;
+            add_tensors(a, b)
+        }
+        OpKind::BiasAdd => {
+            let x = input(0)?;
+            let b = input(1)?;
+            bias_add(x, b)
+        }
+        OpKind::BatchNorm { eps } => {
+            let x = input(0)?;
+            let gamma = input(1)?.clone();
+            let beta = input(2)?.clone();
+            let mean = input(3)?.clone();
+            let var = input(4)?.clone();
+            let (n, c, h, w) = x.dims4();
+            let mut out = x.clone();
+            for ci in 0..c {
+                let scale = gamma.data()[ci] / (var.data()[ci] + eps).sqrt();
+                let shift = beta.data()[ci] - mean.data()[ci] * scale;
+                for ni in 0..n {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            out.set4(ni, ci, hi, wi, x.get4(ni, ci, hi, wi) * scale + shift);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        OpKind::Pool { kind, window, stride, padding } => {
+            let x = input(0)?;
+            pool(x, *kind, *window, *stride, *padding)
+        }
+        OpKind::GlobalAvgPool => {
+            let x = input(0)?;
+            let (n, c, h, w) = x.dims4();
+            let mut out = Tensor::zeros(&[n, c], x.dtype());
+            for ni in 0..n {
+                for ci in 0..c {
+                    let mut acc = 0.0;
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            acc += x.get4(ni, ci, hi, wi);
+                        }
+                    }
+                    out.set2(ni, ci, acc / (h * w) as f32);
+                }
+            }
+            Ok(out)
+        }
+        OpKind::Flatten => {
+            let x = input(0)?;
+            if x.shape().rank() == 4 {
+                let (n, c, h, w) = x.dims4();
+                let mut out = Tensor::zeros(&[n, c * h * w], x.dtype());
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                // NCHW flatten order (the framework view).
+                                let col = (ci * h + hi) * w + wi;
+                                out.set2(ni, col, x.get4(ni, ci, hi, wi));
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            } else {
+                let numel: usize = x.shape().dims()[1..].iter().product();
+                Ok(Tensor::from_vec(&[x.shape().dim(0), numel], x.dtype(), x.data().to_vec())?)
+            }
+        }
+        OpKind::Softmax => {
+            let x = input(0)?;
+            let (rows, cols) = (x.shape().dim(0), x.shape().dim(1));
+            let mut out = Tensor::zeros(&[rows, cols], x.dtype());
+            for r in 0..rows {
+                let mut max = f32::NEG_INFINITY;
+                for c in 0..cols {
+                    max = max.max(x.get2(r, c));
+                }
+                let mut denom = 0.0;
+                for c in 0..cols {
+                    denom += (x.get2(r, c) - max).exp();
+                }
+                for c in 0..cols {
+                    out.set2(r, c, (x.get2(r, c) - max).exp() / denom);
+                }
+            }
+            Ok(out)
+        }
+        OpKind::Concat => {
+            let parts: Vec<&Tensor> = (0..node.inputs.len())
+                .map(input)
+                .collect::<Result<_>>()?;
+            let (n, _, h, w) = parts[0].dims4();
+            let total_c: usize = parts.iter().map(|p| p.dims4().1).sum();
+            let mut out = Tensor::zeros_nhwc(n, total_c, h, w, parts[0].dtype());
+            let mut offset = 0;
+            for part in parts {
+                let (_, c, _, _) = part.dims4();
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for hi in 0..h {
+                            for wi in 0..w {
+                                out.set4(ni, offset + ci, hi, wi, part.get4(ni, ci, hi, wi));
+                            }
+                        }
+                    }
+                }
+                offset += c;
+            }
+            Ok(out)
+        }
+        other => Err(BoltError::BadInput {
+            reason: format!("host execution of {} is not supported", other.name()),
+        }),
+    }
+}
+
+fn add_tensors(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() == 4 {
+        let (n, c, h, w) = a.dims4();
+        let mut out = a.clone();
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        out.set4(ni, ci, hi, wi, a.get4(ni, ci, hi, wi) + b.get4(ni, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    } else {
+        let mut out = a.clone();
+        let dtype = out.dtype();
+        for (o, bv) in out.data_mut().iter_mut().zip(b.data()) {
+            *o = dtype.quantize(*o + bv);
+        }
+        Ok(out)
+    }
+}
+
+fn bias_add(x: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = x.clone();
+    if x.shape().rank() == 4 {
+        let (n, c, h, w) = x.dims4();
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        out.set4(ni, ci, hi, wi, x.get4(ni, ci, hi, wi) + b.data()[ci]);
+                    }
+                }
+            }
+        }
+    } else {
+        let (rows, cols) = (x.shape().dim(0), x.shape().dim(1));
+        for r in 0..rows {
+            for c in 0..cols {
+                out.set2(r, c, x.get2(r, c) + b.data()[c]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn pool(x: &Tensor, kind: PoolKind, window: usize, stride: usize, padding: usize) -> Result<Tensor> {
+    let (n, c, h, w) = x.dims4();
+    let p = (h + 2 * padding - window) / stride + 1;
+    let q = (w + 2 * padding - window) / stride + 1;
+    let mut out = Tensor::zeros_nhwc(n, c, p, q, x.dtype());
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..p {
+                for ox in 0..q {
+                    let mut acc = if kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                    let mut count = 0usize;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let v = x.get4(ni, ci, iy as usize, ix as usize);
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    let v = match kind {
+                        PoolKind::Max => acc,
+                        PoolKind::Avg => acc / count.max(1) as f32,
+                    };
+                    out.set4(ni, ci, oy, ox, v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// True for operators TVM's injective fusion merges into one elementwise
+/// kernel.
+pub(crate) fn is_injective(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Activation(_) | OpKind::BiasAdd | OpKind::Add | OpKind::BatchNorm { .. }
+    )
+}
+
+/// Prices a fused group of host operators as one kernel: external inputs
+/// are read once, only group outputs are written, intermediates stay in
+/// registers (TVM's injective fusion). A single-node group degenerates to
+/// [`host_op_time`].
+pub(crate) fn host_group_time(arch: &GpuArch, graph: &Graph, nodes: &[NodeId]) -> KernelTime {
+    if nodes.len() <= 1 {
+        return host_op_time(arch, graph, nodes[0]);
+    }
+    let elt = DType::F16.size_bytes() as f64;
+    let group: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut in_bytes = 0.0;
+    let mut out_bytes = 0.0;
+    for &id in nodes {
+        let node = graph.node(id);
+        for &input in &node.inputs {
+            if !group.contains(&input) && !matches!(graph.node(input).kind, OpKind::Constant { .. })
+            {
+                in_bytes += graph.node(input).shape.numel() as f64 * elt;
+            }
+        }
+        let escapes = graph.consumers(id).iter().any(|c| !group.contains(c))
+            || graph.outputs().contains(&id);
+        if escapes {
+            out_bytes += node.shape.numel() as f64 * elt;
+        }
+    }
+    let profile = KernelProfile::memory_only("tvm_fused_eltwise", in_bytes + out_bytes);
+    simulate_kernel(arch, &profile)
+}
+
+/// Prices one host (TVM-fallback) operator: memory-bound elementwise /
+/// reduction kernels at full alignment.
+pub(crate) fn host_op_time(arch: &GpuArch, graph: &Graph, id: NodeId) -> KernelTime {
+    let node = graph.node(id);
+    let elt = DType::F16.size_bytes() as f64;
+    let out_bytes = node.shape.numel() as f64 * elt;
+    let in_bytes: f64 = node
+        .inputs
+        .iter()
+        .map(|&i| graph.node(i).shape.numel() as f64 * elt)
+        .sum();
+    let bytes = match node.kind {
+        OpKind::Flatten => 0.0, // a view, no kernel
+        OpKind::Softmax => 3.0 * (in_bytes + out_bytes) / 2.0,
+        _ => in_bytes + out_bytes,
+    };
+    if bytes == 0.0 {
+        return KernelTime {
+            compute_us: 0.0,
+            dram_us: 0.0,
+            smem_us: 0.0,
+            launch_us: 0.0,
+            tail_us: 0.0,
+            total_us: 0.0,
+            bound: bolt_gpu_sim::Boundedness::Launch,
+            occupancy: bolt_gpu_sim::Occupancy {
+                blocks_per_sm: 0,
+                active_warps_per_sm: 0,
+                fraction: 0.0,
+                limited_by: bolt_gpu_sim::OccupancyLimit::Threads,
+            },
+        };
+    }
+    let profile = KernelProfile::memory_only(node.kind.name(), bytes);
+    simulate_kernel(arch, &profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_graph::GraphBuilder;
+    use bolt_tensor::Activation;
+
+    #[test]
+    fn host_ops_execute() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input(&[1, 2, 4, 4]);
+        let p = b.max_pool(x, 2, 2, "pool");
+        let g = b.global_avg_pool(p, "gap");
+        let graph = b.finish(&[g]);
+
+        let mut env = HashMap::new();
+        let input = Tensor::randn(&[1, 2, 4, 4], DType::F32, 1)
+            .to_activation_layout(Layout::Nhwc)
+            .unwrap();
+        env.insert(graph.input_ids()[0], input.clone());
+        let pooled = run_host_op(&graph, p, &env).unwrap();
+        assert_eq!(pooled.dims4(), (1, 2, 2, 2));
+        // Max pool really takes the max.
+        let manual = input
+            .get4(0, 0, 0, 0)
+            .max(input.get4(0, 0, 0, 1))
+            .max(input.get4(0, 0, 1, 0))
+            .max(input.get4(0, 0, 1, 1));
+        assert_eq!(pooled.get4(0, 0, 0, 0), manual);
+
+        env.insert(p, pooled);
+        let gap = run_host_op(&graph, g, &env).unwrap();
+        assert_eq!(gap.shape().dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input(&[2, 4]);
+        let s = b.softmax(x, "sm");
+        let graph = b.finish(&[s]);
+        let mut env = HashMap::new();
+        env.insert(graph.input_ids()[0], Tensor::randn(&[2, 4], DType::F32, 2));
+        let out = run_host_op(&graph, s, &env).unwrap();
+        for r in 0..2 {
+            let sum: f32 = (0..4).map(|c| out.get2(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn flatten_uses_nchw_order() {
+        let mut b = GraphBuilder::new(DType::F32);
+        let x = b.input(&[1, 2, 2, 2]);
+        let f = b.flatten(x, "flat");
+        let graph = b.finish(&[f]);
+        // NHWC-stored input whose logical NCHW values are 0..8.
+        let nchw = Tensor::from_vec(&[1, 2, 2, 2], DType::F32, (0..8).map(|v| v as f32).collect())
+            .unwrap();
+        let nhwc = nchw.to_activation_layout(Layout::Nhwc).unwrap();
+        let mut env = HashMap::new();
+        env.insert(graph.input_ids()[0], nhwc);
+        let out = run_host_op(&graph, f, &env).unwrap();
+        // Flatten must follow NCHW logical order regardless of storage.
+        let expect: Vec<f32> = (0..8).map(|v| v as f32).collect();
+        assert_eq!(out.data(), &expect[..]);
+    }
+
+    #[test]
+    fn host_add_and_bias_add_execute() {
+        let mut g2 = GraphBuilder::new(DType::F32);
+        let x2 = g2.input(&[2, 3]);
+        let r = g2.activation(x2, Activation::ReLU, "relu");
+        let graph = g2.finish(&[r]);
+        let mut env = HashMap::new();
+        env.insert(
+            graph.input_ids()[0],
+            Tensor::from_vec(&[2, 3], DType::F32, vec![-1.0, 2.0, -3.0, 4.0, -5.0, 6.0]).unwrap(),
+        );
+        let out = run_host_op(&graph, r, &env).unwrap();
+        assert_eq!(out.data(), &[0.0, 2.0, 0.0, 4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn host_timing_is_positive_for_pool() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[32, 64, 56, 56]);
+        let p = b.max_pool(x, 2, 2, "pool");
+        let graph = b.finish(&[p]);
+        let t = host_op_time(&GpuArch::tesla_t4(), &graph, p);
+        assert!(t.total_us > 3.0);
+        // Flatten is free.
+        let mut b2 = GraphBuilder::new(DType::F16);
+        let x2 = b2.input(&[32, 64, 7, 7]);
+        let f = b2.flatten(x2, "flat");
+        let g2 = b2.finish(&[f]);
+        assert_eq!(host_op_time(&GpuArch::tesla_t4(), &g2, f).total_us, 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the templated kernel library.
+
+use std::fmt;
+
+use bolt_tensor::TensorError;
+
+/// Errors produced when validating or executing templated kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The template parameters violate a CUTLASS legality rule.
+    IllegalConfig {
+        /// Which rule was violated and the offending values.
+        reason: String,
+    },
+    /// The kernel cannot serve this problem (e.g. threadblock residence
+    /// does not hold for a persistent kernel).
+    UnsupportedProblem {
+        /// Why the problem is outside the kernel's domain.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl KernelError {
+    /// Convenience constructor for [`KernelError::IllegalConfig`].
+    pub fn illegal(reason: impl Into<String>) -> Self {
+        KernelError::IllegalConfig { reason: reason.into() }
+    }
+
+    /// Convenience constructor for [`KernelError::UnsupportedProblem`].
+    pub fn unsupported(reason: impl Into<String>) -> Self {
+        KernelError::UnsupportedProblem { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::IllegalConfig { reason } => write!(f, "illegal template config: {reason}"),
+            KernelError::UnsupportedProblem { reason } => {
+                write!(f, "unsupported problem: {reason}")
+            }
+            KernelError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for KernelError {
+    fn from(e: TensorError) -> Self {
+        KernelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = KernelError::illegal("warp count 3 not in {1,2,4,8,16}");
+        assert!(e.to_string().contains("warp count"));
+        assert!(e.source().is_none());
+        let t = KernelError::from(TensorError::invalid("x"));
+        assert!(t.source().is_some());
+    }
+}

@@ -1,0 +1,269 @@
+//! Architecture-aware template enumeration — the search space of Bolt's
+//! light-weight profiler.
+//!
+//! Bolt "determines possible \[parameter\] values according to the GPU
+//! architecture as well as tuning guidelines that are specific to each
+//! hardware" (Section 3.2.2). The guidelines encoded here are the ones the
+//! paper lists:
+//!
+//! * within the register-file capacity, prefer **large warp tiles** for a
+//!   higher compute-to-memory ratio;
+//! * **four or eight warps** per threadblock perform best on modern
+//!   NVIDIA GPUs;
+//! * **small problems need small threadblocks** so that enough blocks are
+//!   launched to keep all SMs busy.
+//!
+//! For each architecture the generator yields "tens of best parameter
+//! combinations" (paper's words) — deliberately small, which is what makes
+//! hardware-native profiling minutes instead of hours.
+
+use bolt_gpu_sim::GpuArch;
+use bolt_tensor::conv_ref::Conv2dProblem;
+use bolt_tensor::DType;
+
+use crate::gemm::GemmProblem;
+use crate::template::GemmConfig;
+use crate::tiles::TileShape;
+
+/// Enumerates candidate template configurations for an architecture.
+#[derive(Debug, Clone)]
+pub struct ConfigGenerator {
+    arch: GpuArch,
+    /// Hard cap on how many candidates to emit per workload.
+    pub max_candidates: usize,
+}
+
+impl ConfigGenerator {
+    /// Creates a generator for `arch` with the default candidate budget.
+    pub fn new(arch: &GpuArch) -> Self {
+        ConfigGenerator { arch: arch.clone(), max_candidates: 40 }
+    }
+
+    /// The threadblock-tile menu for this architecture.
+    fn threadblock_menu(&self) -> Vec<TileShape> {
+        vec![
+            TileShape::new(256, 128, 32),
+            TileShape::new(128, 256, 32),
+            TileShape::new(128, 128, 32),
+            TileShape::new(128, 128, 64),
+            TileShape::new(128, 64, 32),
+            TileShape::new(64, 128, 32),
+            TileShape::new(64, 64, 32),
+            TileShape::new(64, 64, 64),
+            TileShape::new(64, 32, 32),
+            TileShape::new(32, 64, 32),
+            TileShape::new(32, 32, 32),
+        ]
+    }
+
+    /// Warp tilings of a threadblock that hit the preferred warp counts,
+    /// largest warp tiles first.
+    fn warp_menu(&self, tb: TileShape) -> Vec<TileShape> {
+        let mut out = Vec::new();
+        for (div_m, div_n) in [(1, 2), (2, 1), (2, 2), (1, 4), (4, 1), (2, 4), (4, 2), (1, 1)] {
+            if !tb.m.is_multiple_of(div_m) || !tb.n.is_multiple_of(div_n) {
+                continue;
+            }
+            let warp = TileShape::new(tb.m / div_m, tb.n / div_n, tb.k);
+            let warps = div_m * div_n;
+            // Paper guideline: 4 or 8 warps per block tend to win; keep 1-2
+            // only for tiny blocks.
+            if warps > 8 {
+                continue;
+            }
+            if warp.m < 16 || warp.n < 8 {
+                continue;
+            }
+            out.push(warp);
+        }
+        out.sort_by_key(|w| std::cmp::Reverse(w.mn()));
+        out.dedup();
+        out
+    }
+
+    /// Candidate GEMM configs for `problem`, best-heuristic-score first.
+    pub fn gemm_candidates(&self, problem: &GemmProblem) -> Vec<GemmConfig> {
+        let stages_menu: &[usize] =
+            if self.arch.compute_capability >= (8, 0) { &[3, 4, 2] } else { &[2] };
+        let mut scored: Vec<(f64, GemmConfig)> = Vec::new();
+        for tb in self.threadblock_menu() {
+            for warp in self.warp_menu(tb) {
+                for &stages in stages_menu {
+                    for swizzle in [4u32, 1] {
+                        // Volta tensor cores expose only the 8x8x4 HMMA
+                        // shape; Turing/Ampere use the wide 16x8x16.
+                        let instruction = if self.arch.compute_capability < (7, 5) {
+                            TileShape::MMA_8X8X4
+                        } else {
+                            TileShape::MMA_16X8X16
+                        };
+                        let mut config = GemmConfig {
+                            threadblock: tb,
+                            warp,
+                            instruction,
+                            stages,
+                            swizzle,
+                            alignment_a: 8,
+                            alignment_b: 8,
+                            alignment_c: 8,
+                            pipeline: bolt_gpu_sim::Pipeline::TensorCore,
+                            split_k: 1,
+                        };
+                        let (a, b, c) = problem.max_alignments();
+                        config.alignment_a = config.alignment_a.min(a);
+                        config.alignment_b = config.alignment_b.min(b);
+                        config.alignment_c = config.alignment_c.min(c);
+                        if config.validate(&self.arch, problem.element).is_err() {
+                            continue;
+                        }
+                        scored.push((self.score(problem, &config), config));
+                        // Split-K variants when the plain grid underfills
+                        // the SMs and K is deep enough to slice.
+                        let grid = problem.batch
+                            * problem.m.div_ceil(tb.m)
+                            * problem.n.div_ceil(tb.n);
+                        if grid < self.arch.sm_count as usize && problem.k >= 4 * tb.k {
+                            for split_k in [2usize, 4, 8] {
+                                if problem.k < split_k * tb.k {
+                                    break;
+                                }
+                                let mut c = config;
+                                c.split_k = split_k;
+                                if c.validate(&self.arch, problem.element).is_ok() {
+                                    scored.push((self.score(problem, &c), c));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored.into_iter().map(|(_, c)| c).take(self.max_candidates).collect()
+    }
+
+    /// Candidate configs for a convolution, via its implicit GEMM.
+    pub fn conv2d_candidates(&self, problem: &Conv2dProblem, element: DType) -> Vec<GemmConfig> {
+        let (m, n, k) = problem.implicit_gemm_mnk();
+        let gemm = GemmProblem { m, n, k, batch: 1, element, ..GemmProblem::fp16(m, n, k) };
+        self.gemm_candidates(&gemm)
+    }
+
+    /// Heuristic pre-profiling score (higher = try earlier). This is *not*
+    /// the cost model — profiling measures for real — it only orders the
+    /// shortlist the way the paper's tuning guidelines would.
+    fn score(&self, problem: &GemmProblem, config: &GemmConfig) -> f64 {
+        let tb = config.threadblock;
+        let grid = (problem.batch
+            * problem.m.div_ceil(tb.m)
+            * problem.n.div_ceil(tb.n)) as f64;
+        // Keep every SM busy: want at least one block per SM.
+        let fill = (grid / self.arch.sm_count as f64).min(2.0);
+        // Prefer large warp tiles (compute/memory ratio)...
+        let warp_score = (config.warp.mn() as f64).sqrt() / 64.0;
+        // ...and 4-8 warps per block.
+        let warps = config.warp_count() as f64;
+        let warp_count_score = if (4.0..=8.0).contains(&warps) { 1.0 } else { 0.7 };
+        // Penalize tile waste on ragged problems.
+        let waste_m = problem.m as f64 / (problem.m.div_ceil(tb.m) * tb.m) as f64;
+        let waste_n = problem.n as f64 / (problem.n.div_ceil(tb.n) * tb.n) as f64;
+        fill * warp_score * warp_count_score * waste_m * waste_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> ConfigGenerator {
+        ConfigGenerator::new(&GpuArch::tesla_t4())
+    }
+
+    #[test]
+    fn produces_tens_of_candidates() {
+        let g = generator();
+        let cands = g.gemm_candidates(&GemmProblem::fp16(4096, 4096, 4096));
+        assert!(cands.len() >= 10, "only {} candidates", cands.len());
+        assert!(cands.len() <= g.max_candidates);
+    }
+
+    #[test]
+    fn all_candidates_are_valid() {
+        let g = generator();
+        let t4 = GpuArch::tesla_t4();
+        for p in [
+            GemmProblem::fp16(4096, 4096, 4096),
+            GemmProblem::fp16(1280, 768, 768),
+            GemmProblem::fp16_batched(384, 40, 40, 64),
+        ] {
+            for c in g.gemm_candidates(&p) {
+                c.validate(&t4, p.element).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn small_problems_get_small_threadblocks_first() {
+        let g = generator();
+        let small = g.gemm_candidates(&GemmProblem::fp16(128, 64, 64));
+        let first = small.first().expect("candidates for small problem");
+        assert!(
+            first.threadblock.m <= 64 && first.threadblock.n <= 64,
+            "small problem should lead with small tiles, got {}",
+            first.threadblock
+        );
+    }
+
+    #[test]
+    fn big_problems_get_big_warp_tiles_first() {
+        let g = generator();
+        let big = g.gemm_candidates(&GemmProblem::fp16(4096, 4096, 4096));
+        let first = big.first().unwrap();
+        assert!(first.warp.mn() >= 64 * 64, "got warp {}", first.warp);
+    }
+
+    #[test]
+    fn unaligned_problems_clamp_alignment() {
+        let g = generator();
+        let cands = g.gemm_candidates(&GemmProblem::fp16(1024, 64, 46));
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.alignment_a == 2));
+    }
+
+    #[test]
+    fn conv_candidates_exist_for_resnet_shapes() {
+        let g = generator();
+        let p = Conv2dProblem::new(32, 56, 56, 64, 64, 3, 3, (1, 1), (1, 1));
+        let cands = g.conv2d_candidates(&p, DType::F16);
+        assert!(cands.len() >= 10);
+    }
+
+    #[test]
+    fn split_k_candidates_for_underfilled_grids() {
+        let g = generator();
+        // Batch-32 classifier: tiny M*N grid, deep K.
+        let cands = g.gemm_candidates(&GemmProblem::fp16(32, 1000, 4096));
+        assert!(
+            cands.iter().any(|c| c.split_k > 1),
+            "expected split-K candidates for an SM-starved deep-K problem"
+        );
+        // Big grids don't need split-K.
+        let big = g.gemm_candidates(&GemmProblem::fp16(4096, 4096, 4096));
+        assert!(big.iter().all(|c| c.split_k == 1));
+    }
+
+    #[test]
+    fn volta_uses_its_native_mma_shape() {
+        let g = ConfigGenerator::new(&GpuArch::tesla_v100());
+        let cands = g.gemm_candidates(&GemmProblem::fp16(2048, 2048, 2048));
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.instruction == TileShape::MMA_8X8X4));
+    }
+
+    #[test]
+    fn ampere_enables_multi_stage() {
+        let g = ConfigGenerator::new(&GpuArch::a100());
+        let cands = g.gemm_candidates(&GemmProblem::fp16(4096, 4096, 4096));
+        assert!(cands.iter().any(|c| c.stages >= 3));
+    }
+}

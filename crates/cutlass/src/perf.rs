@@ -1,0 +1,379 @@
+//! Maps template instantiations to [`KernelProfile`]s for the GPU
+//! simulator.
+//!
+//! This is the performance-model half of the templated library: given a
+//! problem and a [`GemmConfig`], derive launch geometry, per-block
+//! resources, per-pipeline flops, and DRAM/shared-memory traffic. The
+//! traffic model follows the standard tiled-GEMM analysis:
+//!
+//! * per-block operand traffic `MNK·elt·(1/tb_n + 1/tb_m)`, of which the
+//!   L2 absorbs re-reads within a wave (modeled by a leak factor driven by
+//!   the wave working set vs. L2 capacity and the swizzle width);
+//! * shared-memory traffic `2·MNK·elt·(1/warp_m + 1/warp_n)` — which is
+//!   exactly why the profiler heuristic prefers large warp tiles (higher
+//!   compute-to-smem ratio);
+//! * main-loop efficiency from pipeline fill/drain (`k_iters / (k_iters +
+//!   stages)`) and tile quantization waste at ragged boundaries.
+
+use bolt_gpu_sim::{GpuArch, KernelProfile, Pipeline, PipelineFlops};
+use bolt_tensor::conv_ref::Conv2dProblem;
+use bolt_tensor::DType;
+
+use crate::epilogue::Epilogue;
+use crate::gemm::GemmProblem;
+use crate::template::GemmConfig;
+
+/// Main-loop issue efficiency of a templated GEMM: how close to pipeline
+/// peak the inner loop runs, before occupancy derating (which the
+/// simulator applies separately).
+pub fn mainloop_efficiency(m: usize, n: usize, k: usize, config: &GemmConfig) -> f64 {
+    let tb = config.threadblock;
+    // Software pipeline fill/drain: with k_iters main-loop iterations and
+    // `stages` in flight, the pipeline is full for k_iters/(k_iters+stages).
+    let k_iters = (k as f64 / tb.k as f64).max(1.0);
+    let fill = k_iters / (k_iters + config.stages as f64);
+    // Tile quantization: partial boundary tiles compute wasted MACs.
+    let util_m = m as f64 / (m.div_ceil(tb.m) * tb.m) as f64;
+    let util_n = n as f64 / (n.div_ceil(tb.n) * tb.n) as f64;
+    // Instruction shape: the wide 16x8x16 HMMA has the best issue rate.
+    let inst = if config.instruction.k >= 16 { 1.0 } else { 0.96 };
+    let base = match config.pipeline {
+        // cp.async multi-stage main loops (Ampere) issue MMAs nearly
+        // back-to-back; Turing's 2-stage pipeline pays more bookkeeping.
+        Pipeline::TensorCore => {
+            if config.stages >= 3 {
+                0.985
+            } else {
+                0.95
+            }
+        }
+        Pipeline::CudaCore => 0.90,
+        Pipeline::Sfu => 0.5,
+    };
+    base * fill * util_m * util_n * inst
+}
+
+
+/// Main-loop derate from operand alignment: tensor cores are fed by
+/// 128-bit `ldmatrix`/`ldg` operations; narrower legal accesses multiply
+/// the load instruction count and predicate overhead, throttling issue
+/// bandwidth on top of the DRAM-efficiency loss (the kernel-padding
+/// motivation in Section 3.2.3).
+pub fn alignment_issue_factor(alignment_elems: usize) -> f64 {
+    match alignment_elems {
+        a if a >= 8 => 1.0,
+        4 => 0.85,
+        2 => 0.62,
+        // Scalar (alignment-1) accesses cannot feed ldmatrix at all; the
+        // iterator falls back to element-wise loads with full predication.
+        _ => 0.30,
+    }
+}
+
+/// L2 leak factor: the fraction of per-block operand re-reads that miss L2
+/// and reach DRAM. Grows as the wave working set outgrows the L2; shrinks
+/// with wider threadblock swizzle (better wave locality).
+fn l2_leak(arch: &GpuArch, problem_k: usize, config: &GemmConfig, element: DType) -> f64 {
+    let tb = config.threadblock;
+    let elt = element.size_bytes() as f64;
+    // Blocks resident per wave (rough: limited by smem).
+    let blocks_per_sm = (arch.smem_per_sm as f64 / config.smem_bytes(element).max(1) as f64)
+        .floor()
+        .max(1.0);
+    let wave_blocks = blocks_per_sm * arch.sm_count as f64;
+    // A swizzled wave covers a roughly square region of the output grid,
+    // so of the `2 * wave_blocks` operand panels its blocks touch, only
+    // ~`2 * sqrt(wave_blocks)` are unique; a linear (unswizzled) wave is
+    // far worse.
+    let swizzle_quality: f64 = match config.swizzle {
+        s if s >= 4 => 1.0,
+        2 => 1.6,
+        _ => 3.0,
+    };
+    let unique_frac = (swizzle_quality / wave_blocks.sqrt()).min(1.0);
+    // Even unique panels get evicted mid-wave once the wave's working set
+    // outgrows the L2.
+    let wave_set = wave_blocks * (tb.m + tb.n) as f64 * problem_k as f64 * elt;
+    let evict = (unique_frac * wave_set / arch.l2_bytes as f64).sqrt().clamp(1.0, 3.0);
+    (unique_frac * evict).clamp(0.02, 1.0)
+}
+
+/// Builds the [`KernelProfile`] of a templated GEMM kernel.
+///
+/// `extra_dram_bytes` lets callers add traffic for inputs the plain model
+/// does not know about (e.g. the fused second-GEMM weights of a persistent
+/// kernel).
+pub fn gemm_profile(
+    arch: &GpuArch,
+    problem: &GemmProblem,
+    config: &GemmConfig,
+    epilogue: &Epilogue,
+    extra_dram_bytes: Option<f64>,
+) -> KernelProfile {
+    let tb = config.threadblock;
+    let elt = problem.element.size_bytes() as f64;
+    let batch = problem.batch as f64;
+    let (m, n, k) = (problem.m as f64, problem.n as f64, problem.k as f64);
+
+    let split_k = config.split_k.max(1) as u64;
+    let grid_m = problem.m.div_ceil(tb.m) as u64;
+    let grid_n = problem.n.div_ceil(tb.n) as u64;
+    let grid = problem.batch as u64 * grid_m * grid_n * split_k;
+
+    // ---- Arithmetic ------------------------------------------------------
+    let mac_flops = problem.flops();
+    let (ep_fma, ep_sfu) = epilogue.cost_per_elem();
+    let out_elems = batch * m * n;
+    let mut flops = PipelineFlops::none();
+    match config.pipeline {
+        Pipeline::TensorCore => flops.tensor_core = mac_flops,
+        _ => flops.cuda_core = mac_flops,
+    }
+    flops.cuda_core += ep_fma * out_elems;
+    flops.sfu += ep_sfu * out_elems;
+    // Split-K reduction: combine `split_k` f32 partials per output element.
+    if split_k > 1 {
+        flops.cuda_core += out_elems * split_k as f64;
+    }
+
+    // ---- DRAM traffic ----------------------------------------------------
+    let compulsory_in = batch * elt * (m * k + k * n);
+    let block_in = batch * elt * (grid_n as f64 * m * k + grid_m as f64 * k * n);
+    let leak = l2_leak(arch, problem.k, config, problem.element);
+    // Split-K workspace traffic: each slice writes an f32 partial tile and
+    // the reduction reads them all back.
+    let workspace = if split_k > 1 { 2.0 * out_elems * 4.0 * split_k as f64 } else { 0.0 };
+    let dram_read = compulsory_in
+        + (block_in - compulsory_in).max(0.0) * leak
+        + batch * epilogue.extra_bytes(problem.m, problem.n)
+        + workspace / 2.0
+        + extra_dram_bytes.unwrap_or(0.0);
+    let out_bytes = out_elems * epilogue.out_dtype.size_bytes() as f64 + workspace / 2.0;
+
+    // ---- Shared-memory traffic --------------------------------------------
+    // Stage writes (global->smem) + per-warp reads of A/B fragments.
+    let warp = config.warp;
+    let smem_bytes = block_in.min(compulsory_in + (block_in - compulsory_in) * 0.5)
+        + 2.0 * problem.macs() as f64 * elt * (1.0 / warp.m as f64 + 1.0 / warp.n as f64);
+
+    KernelProfile {
+        name: format!("gemm_{}_{}", problem, config.tag()),
+        grid_blocks: grid,
+        block: config.block_resources(problem.element),
+        flops,
+        dram_read_bytes: dram_read,
+        dram_write_bytes: out_bytes,
+        smem_bytes,
+        dtype: problem.element,
+        alignment_elems: config.min_alignment(),
+        bank_conflict_ways: 1.0,
+        mainloop_efficiency: mainloop_efficiency(
+            problem.m,
+            problem.n,
+            problem.k / config.split_k.max(1), // per-slice reduction depth
+            config,
+        ) * alignment_issue_factor(config.min_alignment()),
+        pipelined_overlap: pipelined_overlap(config),
+    }
+}
+
+/// Memory-overlap quality of a main loop: `cp.async` multi-stage pipelines
+/// (Ampere, stages >= 3) keep global loads fully asynchronous under the
+/// MMA stream; Turing double buffering leaves some latency exposed.
+pub fn pipelined_overlap(config: &GemmConfig) -> f64 {
+    if config.stages >= 3 {
+        0.85
+    } else {
+        0.25
+    }
+}
+
+/// Builds the [`KernelProfile`] of an implicit-GEMM Conv2D kernel.
+///
+/// Differences from the plain GEMM model:
+///
+/// * the im2col matrix is never materialized — activations are re-read
+///   across the `R*S` filter taps, with the L1/L2 absorbing most of the
+///   overlap (factor `1 + (R*S - 1) * overlap_miss`);
+/// * the contiguous dimension of both activations (NHWC) and filters
+///   (KRSC) is `C`, so the *input channel count* dictates alignment — the
+///   mechanism behind Table 3's padding results.
+pub fn conv2d_profile(
+    _arch: &GpuArch,
+    problem: &Conv2dProblem,
+    config: &GemmConfig,
+    epilogue: &Epilogue,
+    element: DType,
+    extra_dram_bytes: Option<f64>,
+) -> KernelProfile {
+    let (gm, gn, gk) = problem.implicit_gemm_mnk();
+    let tb = config.threadblock;
+    let elt = element.size_bytes() as f64;
+
+    let grid_m = gm.div_ceil(tb.m) as u64;
+    let grid_n = gn.div_ceil(tb.n) as u64;
+    let grid = grid_m * grid_n;
+
+    // ---- Arithmetic ------------------------------------------------------
+    let mac_flops = 2.0 * problem.macs() as f64;
+    let (ep_fma, ep_sfu) = epilogue.cost_per_elem();
+    let out_elems = gm as f64 * gn as f64;
+    let mut flops = PipelineFlops::none();
+    match config.pipeline {
+        Pipeline::TensorCore => flops.tensor_core = mac_flops,
+        _ => flops.cuda_core = mac_flops,
+    }
+    flops.cuda_core += ep_fma * out_elems;
+    flops.sfu += ep_sfu * out_elems;
+
+    // ---- DRAM traffic ----------------------------------------------------
+    let act_bytes = (problem.n * problem.h * problem.w * problem.c) as f64 * elt;
+    let taps = (problem.r * problem.s) as f64;
+    let overlap_miss = 0.18; // L1/L2 serve most halo re-reads
+    let input_read = act_bytes * (1.0 + (taps - 1.0) * overlap_miss);
+    let filter_bytes = (problem.k * problem.r * problem.s * problem.c) as f64 * elt;
+    // Filters are re-read by every M-tile; the L2 usually holds them.
+    let filter_read = filter_bytes * (1.0 + (grid_m as f64 - 1.0) * 0.03).min(grid_m as f64);
+    let dram_read = input_read
+        + filter_read
+        + epilogue.extra_bytes(gm, gn)
+        + extra_dram_bytes.unwrap_or(0.0);
+    let out_bytes = out_elems * epilogue.out_dtype.size_bytes() as f64;
+
+    // ---- Shared-memory traffic --------------------------------------------
+    let warp = config.warp;
+    let smem_bytes = input_read.max(act_bytes) * 1.5
+        + 2.0 * problem.macs() as f64 * elt * (1.0 / warp.m as f64 + 1.0 / warp.n as f64);
+
+    // Alignment: C for input/filter (NHWC/KRSC contiguous dim), K for
+    // output.
+    use bolt_gpu_sim::memory::max_alignment;
+    let align = max_alignment(element, problem.c)
+        .min(max_alignment(element, problem.k))
+        .min(config.min_alignment());
+
+    KernelProfile {
+        name: format!(
+            "conv2d_{}x{}x{}x{}_k{}r{}s{}_{}",
+            problem.n, problem.h, problem.w, problem.c, problem.k, problem.r, problem.s,
+            config.tag()
+        ),
+        grid_blocks: grid,
+        block: config.block_resources(element),
+        flops,
+        dram_read_bytes: dram_read,
+        dram_write_bytes: out_bytes,
+        smem_bytes,
+        dtype: element,
+        alignment_elems: align,
+        bank_conflict_ways: 1.0,
+        // Implicit-GEMM iterators (NHWC gather, boundary predicates, filter
+        // tap bookkeeping) cost issue slots that a plain GEMM main loop
+        // doesn't pay; on 2-stage Turing pipelines CUTLASS Conv2dFprop
+        // lands around 55-60% of the equivalent GEMM's efficiency.
+        mainloop_efficiency: mainloop_efficiency(gm, gn, gk, config)
+            * alignment_issue_factor(align)
+            * 0.58,
+        pipelined_overlap: pipelined_overlap(config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_gpu_sim::simulate_kernel;
+
+    fn t4() -> GpuArch {
+        GpuArch::tesla_t4()
+    }
+
+    #[test]
+    fn efficiency_prefers_deep_k() {
+        let c = GemmConfig::turing_default();
+        let deep = mainloop_efficiency(4096, 4096, 4096, &c);
+        let shallow = mainloop_efficiency(4096, 4096, 64, &c);
+        assert!(deep > shallow + 0.2, "{deep} vs {shallow}");
+    }
+
+    #[test]
+    fn efficiency_penalizes_ragged_tiles() {
+        let c = GemmConfig::turing_default();
+        let exact = mainloop_efficiency(1280, 3072, 768, &c);
+        let ragged = mainloop_efficiency(1290, 3080, 768, &c);
+        assert!(exact > ragged);
+    }
+
+    #[test]
+    fn big_gemm_lands_near_tensor_core_peak() {
+        let p = GemmProblem::fp16(4096, 4096, 4096);
+        let prof = gemm_profile(&t4(), &p, &GemmConfig::turing_default(),
+                                &Epilogue::linear(DType::F16), None);
+        let t = simulate_kernel(&t4(), &prof);
+        let tflops = t.tflops(p.flops());
+        assert!(tflops > 40.0 && tflops < 65.0, "{tflops:.1} TFLOPS; {t:?}");
+    }
+
+    #[test]
+    fn batched_small_gemm_is_memory_or_launch_bound() {
+        let p = GemmProblem::fp16_batched(384, 40, 40, 64);
+        let mut c = GemmConfig::turing_default();
+        c.threadblock = crate::tiles::TileShape::new(64, 64, 32);
+        c.warp = crate::tiles::TileShape::new(32, 32, 32);
+        let prof = gemm_profile(&t4(), &p, &c, &Epilogue::linear(DType::F16), None);
+        let t = simulate_kernel(&t4(), &prof);
+        assert_ne!(t.bound, bolt_gpu_sim::Boundedness::Compute, "{t:?}");
+    }
+
+    #[test]
+    fn conv_alignment_follows_channels() {
+        let aligned = Conv2dProblem::new(32, 56, 56, 64, 64, 3, 3, (1, 1), (1, 1));
+        let unaligned = Conv2dProblem::new(32, 20, 26, 46, 32, 3, 3, (1, 1), (1, 1));
+        let c = GemmConfig::turing_default();
+        let ep = Epilogue::linear(DType::F16);
+        let pa = conv2d_profile(&t4(), &aligned, &c, &ep, DType::F16, None);
+        let pu = conv2d_profile(&t4(), &unaligned, &c, &ep, DType::F16, None);
+        assert_eq!(pa.alignment_elems, 8);
+        assert_eq!(pu.alignment_elems, 2);
+    }
+
+    #[test]
+    fn padding_speeds_up_unaligned_conv() {
+        // Table 3 workload: IC=46 -> pad to 48. Use a right-sized config
+        // (tb N matches the 32 output channels) as the profiler would pick.
+        let unpadded = Conv2dProblem::new(32, 20, 26, 46, 32, 3, 3, (1, 1), (1, 1));
+        let padded = Conv2dProblem::new(32, 20, 26, 48, 32, 3, 3, (1, 1), (1, 1));
+        let mut c = GemmConfig::turing_default();
+        c.threadblock = crate::tiles::TileShape::new(64, 32, 32);
+        c.warp = crate::tiles::TileShape::new(32, 32, 32);
+        let ep = Epilogue::linear(DType::F16);
+        let tu = simulate_kernel(&t4(), &conv2d_profile(&t4(), &unpadded, &c, &ep, DType::F16, None));
+        let tp = simulate_kernel(&t4(), &conv2d_profile(&t4(), &padded, &c, &ep, DType::F16, None));
+        let gain = tu.total_us / tp.total_us;
+        assert!(gain > 1.3, "padding gain {gain:.2} too small");
+    }
+
+    #[test]
+    fn epilogue_cost_shows_up_for_sfu_heavy_activations() {
+        use bolt_tensor::Activation;
+        let p = GemmProblem::fp16(1280, 3072, 768);
+        let c = GemmConfig::turing_default();
+        let relu = gemm_profile(&t4(), &p, &c, &Epilogue::bias_activation(Activation::ReLU, DType::F16), None);
+        let soft = gemm_profile(&t4(), &p, &c, &Epilogue::bias_activation(Activation::Softplus, DType::F16), None);
+        assert!(soft.flops.sfu > relu.flops.sfu);
+        let tr = simulate_kernel(&t4(), &relu);
+        let ts = simulate_kernel(&t4(), &soft);
+        assert!(ts.total_us >= tr.total_us);
+    }
+
+    #[test]
+    fn larger_warp_tiles_cut_smem_traffic() {
+        let p = GemmProblem::fp16(4096, 4096, 4096);
+        let big = GemmConfig::turing_default(); // warp 64x64
+        let mut small = GemmConfig::turing_default();
+        small.warp = crate::tiles::TileShape::new(32, 32, 32);
+        let ep = Epilogue::linear(DType::F16);
+        let pb = gemm_profile(&t4(), &p, &big, &ep, None);
+        let ps = gemm_profile(&t4(), &p, &small, &ep, None);
+        assert!(ps.smem_bytes > pb.smem_bytes);
+    }
+}

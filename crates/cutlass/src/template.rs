@@ -1,0 +1,303 @@
+//! The GEMM template parameter space and its legality rules.
+//!
+//! A [`GemmConfig`] is the reproduction of a CUTLASS device-level GEMM
+//! template instantiation: threadblock/warp/instruction tile shapes,
+//! pipeline stage count, threadblock swizzle, and operand alignments.
+//! `validate` enforces the same rules the C++ templates enforce at compile
+//! time (divisibility, warp count, shared-memory and register capacity);
+//! the resource estimators feed the occupancy model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use bolt_gpu_sim::{BlockResources, GpuArch, Occupancy, Pipeline};
+use bolt_tensor::DType;
+
+use crate::error::KernelError;
+use crate::tiles::TileShape;
+use crate::Result;
+
+/// A templated GEMM kernel configuration (the declarative parameters of
+/// the paper's Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmConfig {
+    /// Threadblock tile (shared-memory level).
+    pub threadblock: TileShape,
+    /// Warp tile (register-file level).
+    pub warp: TileShape,
+    /// Instruction (MMA) tile consumed by a tensor core.
+    pub instruction: TileShape,
+    /// Software pipeline stages for global→shared staging (2 = double
+    /// buffering).
+    pub stages: usize,
+    /// Threadblock swizzle width (1, 2, 4, 8): how many grid columns are
+    /// interleaved to improve L2 locality.
+    pub swizzle: u32,
+    /// Vector width (elements) of operand-A global loads.
+    pub alignment_a: usize,
+    /// Vector width (elements) of operand-B global loads.
+    pub alignment_b: usize,
+    /// Vector width (elements) of C/D global accesses.
+    pub alignment_c: usize,
+    /// Compute pipeline (tensor cores for FP16; CUDA cores only as a
+    /// fallback used by the Ansor baseline comparison).
+    pub pipeline: Pipeline,
+    /// Parallel split-K slices (1 = none). Each slice computes a partial
+    /// sum into an f32 workspace; a reduction kernel combines them and
+    /// applies the epilogue. Adds grid parallelism for small-`M*N`,
+    /// large-`K` problems.
+    pub split_k: usize,
+}
+
+impl GemmConfig {
+    /// A solid default for large FP16 tensor-core GEMMs on Turing:
+    /// 128×128×32 threadblocks of 64×64×32 warps, 2 stages.
+    pub fn turing_default() -> Self {
+        GemmConfig {
+            threadblock: TileShape::new(128, 128, 32),
+            warp: TileShape::new(64, 64, 32),
+            instruction: TileShape::MMA_16X8X16,
+            stages: 2,
+            swizzle: 4,
+            alignment_a: 8,
+            alignment_b: 8,
+            alignment_c: 8,
+            pipeline: Pipeline::TensorCore,
+            split_k: 1,
+        }
+    }
+
+    /// Number of warps per threadblock.
+    pub fn warp_count(&self) -> usize {
+        (self.threadblock.m / self.warp.m.max(1)) * (self.threadblock.n / self.warp.n.max(1))
+    }
+
+    /// Threads per threadblock.
+    pub fn threads(&self) -> u32 {
+        (self.warp_count() * 32) as u32
+    }
+
+    /// Shared memory per threadblock in bytes: `stages` buffers of the A
+    /// and B threadblock tile slices.
+    pub fn smem_bytes(&self, dtype: DType) -> u32 {
+        let elt = dtype.size_bytes();
+        (self.stages * self.threadblock.k * (self.threadblock.m + self.threadblock.n) * elt) as u32
+    }
+
+    /// Estimated registers per thread: f32 accumulators for the warp tile,
+    /// double-buffered operand fragments, plus fixed addressing overhead.
+    pub fn regs_per_thread(&self, dtype: DType) -> u32 {
+        let acc = self.warp.mn() / 32; // f32 accumulators
+        let frag_elems = 2 * (self.warp.m + self.warp.n) * self.instruction.k / 32;
+        let frag_regs = frag_elems * dtype.size_bytes().max(2) / 4;
+        (acc + frag_regs + 30).min(512) as u32
+    }
+
+    /// Per-block resources for the occupancy calculator.
+    pub fn block_resources(&self, dtype: DType) -> BlockResources {
+        BlockResources::new(self.threads(), self.regs_per_thread(dtype), self.smem_bytes(dtype))
+    }
+
+    /// The smallest operand alignment this config assumes.
+    pub fn min_alignment(&self) -> usize {
+        self.alignment_a.min(self.alignment_b).min(self.alignment_c)
+    }
+
+    /// Validates the configuration against CUTLASS's legality rules and
+    /// `arch`'s capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::IllegalConfig`] describing the first violated
+    /// rule.
+    pub fn validate(&self, arch: &GpuArch, dtype: DType) -> Result<()> {
+        if !self.warp.divides(&self.threadblock) {
+            return Err(KernelError::illegal(format!(
+                "warp tile {} does not divide threadblock tile {}",
+                self.warp, self.threadblock
+            )));
+        }
+        if self.warp.k != self.threadblock.k {
+            return Err(KernelError::illegal(format!(
+                "warp K {} must equal threadblock K {} (no split-K within a block)",
+                self.warp.k, self.threadblock.k
+            )));
+        }
+        if self.pipeline == Pipeline::TensorCore && !self.instruction.divides(&self.warp) {
+            return Err(KernelError::illegal(format!(
+                "instruction tile {} does not divide warp tile {}",
+                self.instruction, self.warp
+            )));
+        }
+        let warps = self.warp_count();
+        if ![1, 2, 4, 8, 16].contains(&warps) {
+            return Err(KernelError::illegal(format!(
+                "warp count {warps} not in {{1, 2, 4, 8, 16}}"
+            )));
+        }
+        if self.threads() > arch.max_threads_per_block {
+            return Err(KernelError::illegal(format!(
+                "{} threads exceed the {}-thread block limit",
+                self.threads(),
+                arch.max_threads_per_block
+            )));
+        }
+        if !(2..=8).contains(&self.stages) {
+            return Err(KernelError::illegal(format!("stages {} not in 2..=8", self.stages)));
+        }
+        if arch.compute_capability < (8, 0) && self.stages > 2 {
+            return Err(KernelError::illegal(
+                "multi-stage (cp.async) pipelines require compute capability >= 8.0",
+            ));
+        }
+        if self.split_k == 0 || self.split_k > 16 || !self.split_k.is_power_of_two() {
+            return Err(KernelError::illegal(format!(
+                "split_k {} must be a power of two in 1..=16",
+                self.split_k
+            )));
+        }
+        if !self.swizzle.is_power_of_two() || self.swizzle > 8 {
+            return Err(KernelError::illegal(format!(
+                "swizzle {} must be a power of two <= 8",
+                self.swizzle
+            )));
+        }
+        for (name, a) in [("A", self.alignment_a), ("B", self.alignment_b), ("C", self.alignment_c)]
+        {
+            if !a.is_power_of_two() || a > dtype.max_vector_elems() {
+                return Err(KernelError::illegal(format!(
+                    "alignment {a} for operand {name} invalid for {dtype} (max {})",
+                    dtype.max_vector_elems()
+                )));
+            }
+        }
+        let smem = self.smem_bytes(dtype);
+        if smem > arch.max_smem_per_block {
+            return Err(KernelError::illegal(format!(
+                "{} B shared memory exceeds the {} B block limit",
+                smem, arch.max_smem_per_block
+            )));
+        }
+        let regs = self.regs_per_thread(dtype);
+        if regs > arch.max_regs_per_thread {
+            return Err(KernelError::illegal(format!(
+                "{regs} registers/thread exceed the {} limit (warp tile too large)",
+                arch.max_regs_per_thread
+            )));
+        }
+        let occ = Occupancy::compute(arch, self.block_resources(dtype));
+        if occ.blocks_per_sm == 0 {
+            return Err(KernelError::illegal(format!(
+                "config not launchable on {} (limited by {})",
+                arch.name, occ.limited_by
+            )));
+        }
+        Ok(())
+    }
+
+    /// Short identifier used in kernel names and CSV output, e.g.
+    /// `tb128x128x32_w64x64x32_s2`.
+    pub fn tag(&self) -> String {
+        if self.split_k > 1 {
+            format!("tb{}_w{}_s{}_k{}", self.threadblock, self.warp, self.stages, self.split_k)
+        } else {
+            format!("tb{}_w{}_s{}", self.threadblock, self.warp, self.stages)
+        }
+    }
+}
+
+impl fmt::Display for GemmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GemmConfig(tb={}, warp={}, mma={}, stages={}, swizzle={}, align={}/{}/{})",
+            self.threadblock,
+            self.warp,
+            self.instruction,
+            self.stages,
+            self.swizzle,
+            self.alignment_a,
+            self.alignment_b,
+            self.alignment_c
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> GpuArch {
+        GpuArch::tesla_t4()
+    }
+
+    #[test]
+    fn default_is_valid_on_t4() {
+        GemmConfig::turing_default().validate(&t4(), DType::F16).unwrap();
+    }
+
+    #[test]
+    fn resource_estimates() {
+        let c = GemmConfig::turing_default();
+        assert_eq!(c.warp_count(), 4);
+        assert_eq!(c.threads(), 128);
+        // 2 stages * 32 * (128+128) * 2B = 32 KiB.
+        assert_eq!(c.smem_bytes(DType::F16), 32 * 1024);
+        // 64*64/32 = 128 accumulators + fragments + overhead.
+        assert!(c.regs_per_thread(DType::F16) >= 128);
+    }
+
+    #[test]
+    fn rejects_non_dividing_warp() {
+        let mut c = GemmConfig::turing_default();
+        c.warp = TileShape::new(48, 64, 32);
+        assert!(c.validate(&t4(), DType::F16).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_warp_count() {
+        let mut c = GemmConfig::turing_default();
+        // 128/32=4 by 128/16=8 -> 32 warps: > 16 and > 1024 threads.
+        c.warp = TileShape::new(32, 16, 32);
+        assert!(c.validate(&t4(), DType::F16).is_err());
+    }
+
+    #[test]
+    fn rejects_excess_smem() {
+        let mut c = GemmConfig::turing_default();
+        c.threadblock = TileShape::new(256, 256, 64);
+        c.warp = TileShape::new(128, 128, 64);
+        let err = c.validate(&t4(), DType::F16).unwrap_err();
+        assert!(err.to_string().contains("register") || err.to_string().contains("shared"));
+    }
+
+    #[test]
+    fn rejects_multi_stage_on_turing() {
+        let mut c = GemmConfig::turing_default();
+        c.stages = 3;
+        assert!(c.validate(&t4(), DType::F16).is_err());
+        // ...but fine on Ampere.
+        c.validate(&GpuArch::a100(), DType::F16).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_alignment() {
+        let mut c = GemmConfig::turing_default();
+        c.alignment_a = 16; // 16 f16 elements = 256 bits > max
+        assert!(c.validate(&t4(), DType::F16).is_err());
+        c.alignment_a = 3;
+        assert!(c.validate(&t4(), DType::F16).is_err());
+    }
+
+    #[test]
+    fn rejects_warp_k_mismatch() {
+        let mut c = GemmConfig::turing_default();
+        c.warp = TileShape::new(64, 64, 16);
+        assert!(c.validate(&t4(), DType::F16).is_err());
+    }
+
+    #[test]
+    fn tag_is_stable() {
+        assert_eq!(GemmConfig::turing_default().tag(), "tb128x128x32_w64x64x32_s2");
+    }
+}

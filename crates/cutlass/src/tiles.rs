@@ -1,0 +1,102 @@
+//! Tile shapes of the GEMM hierarchy.
+//!
+//! CUTLASS decomposes a GEMM into threadblock tiles in shared memory, warp
+//! tiles in the register file, and instruction (MMA) tiles consumed by the
+//! tensor cores (paper Figure 2). All three levels are described by an
+//! `(M, N, K)` [`TileShape`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An `(M, N, K)` tile of the GEMM iteration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileShape {
+    /// Rows of the output tile.
+    pub m: usize,
+    /// Columns of the output tile.
+    pub n: usize,
+    /// Depth of the reduction slice.
+    pub k: usize,
+}
+
+impl TileShape {
+    /// Creates a tile shape.
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        TileShape { m, n, k }
+    }
+
+    /// Output elements covered by the tile.
+    pub const fn mn(&self) -> usize {
+        self.m * self.n
+    }
+
+    /// Multiply-accumulates per tile.
+    pub const fn macs(&self) -> usize {
+        self.m * self.n * self.k
+    }
+
+    /// True if `self` evenly divides `outer` in all three dimensions.
+    pub fn divides(&self, outer: &TileShape) -> bool {
+        self.m != 0
+            && self.n != 0
+            && self.k != 0
+            && outer.m.is_multiple_of(self.m)
+            && outer.n.is_multiple_of(self.n)
+            && outer.k.is_multiple_of(self.k)
+    }
+
+    /// The Turing/Ampere HMMA instruction shape for FP16: `16x8x8`.
+    pub const MMA_16X8X8: TileShape = TileShape::new(16, 8, 8);
+    /// The larger Turing/Ampere HMMA shape for FP16: `16x8x16`.
+    pub const MMA_16X8X16: TileShape = TileShape::new(16, 8, 16);
+    /// The Volta HMMA shape: `8x8x4`.
+    pub const MMA_8X8X4: TileShape = TileShape::new(8, 8, 4);
+}
+
+impl fmt::Display for TileShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+impl From<(usize, usize, usize)> for TileShape {
+    fn from((m, n, k): (usize, usize, usize)) -> Self {
+        TileShape { m, n, k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = TileShape::new(128, 128, 32);
+        assert_eq!(t.mn(), 16384);
+        assert_eq!(t.macs(), 524288);
+    }
+
+    #[test]
+    fn divisibility() {
+        let tb = TileShape::new(128, 128, 32);
+        let warp = TileShape::new(64, 64, 32);
+        assert!(warp.divides(&tb));
+        let odd = TileShape::new(48, 64, 32);
+        assert!(!odd.divides(&tb));
+        let zero = TileShape::new(0, 64, 32);
+        assert!(!zero.divides(&tb));
+    }
+
+    #[test]
+    fn display_and_from() {
+        let t: TileShape = (64, 64, 32).into();
+        assert_eq!(t.to_string(), "64x64x32");
+    }
+
+    #[test]
+    fn mma_shapes_divide_typical_warps() {
+        let warp = TileShape::new(64, 64, 32);
+        assert!(TileShape::MMA_16X8X8.divides(&warp));
+        assert!(TileShape::MMA_16X8X16.divides(&warp));
+    }
+}

@@ -1,0 +1,185 @@
+//! A fixed-function vendor library stand-in (cuBLAS / cuDNN).
+//!
+//! The Figure 1 baseline of the paper is "hardware-native performance as
+//! delivered by vendor-tuned libraries". We model a vendor library as the
+//! templated library driven by an **offline exhaustive search**: for each
+//! workload it serves, it uses the best configuration in the whole template
+//! space — which is what years of hand-tuning amount to — but it exposes
+//! only a *fixed* operator set (GEMM with alpha/beta; Conv2D with optional
+//! bias+ReLU), no custom epilogues and no cross-operator fusion. That
+//! rigidity is exactly the gap Bolt fills.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use bolt_gpu_sim::GpuArch;
+use bolt_tensor::conv_ref::Conv2dProblem;
+use bolt_tensor::{Activation, DType};
+
+use crate::epilogue::Epilogue;
+use crate::gemm::GemmProblem;
+use crate::generator::ConfigGenerator;
+use crate::perf;
+
+/// The fixed-function operator set the vendor library exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VendorOp {
+    /// `D = alpha * A @ B + beta * C` (cuBLAS `gemmEx`).
+    Gemm,
+    /// Forward convolution, optionally with fused bias + ReLU (cuDNN).
+    Conv2dBiasRelu,
+}
+
+/// A cuBLAS/cuDNN-like library: hardware-native speed, fixed interface.
+#[derive(Debug)]
+pub struct VendorLibrary {
+    arch: GpuArch,
+    generator: ConfigGenerator,
+    gemm_cache: Mutex<HashMap<GemmProblem, f64>>,
+    conv_cache: Mutex<HashMap<(Conv2dProblem, bool), f64>>,
+}
+
+impl VendorLibrary {
+    /// Creates the library for `arch`. The per-workload exhaustive search
+    /// results are computed lazily and cached (the real library ships them
+    /// baked into heuristics).
+    pub fn new(arch: &GpuArch) -> Self {
+        let mut generator = ConfigGenerator::new(arch);
+        // The vendor's offline search is exhaustive, not a shortlist.
+        generator.max_candidates = usize::MAX;
+        VendorLibrary {
+            arch: arch.clone(),
+            generator,
+            gemm_cache: Mutex::new(HashMap::new()),
+            conv_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// True if the library can serve `activation` fused (vendor libraries
+    /// support only the identity/ReLU epilogues of their fixed interface).
+    pub fn supports_fused_activation(&self, activation: Activation) -> bool {
+        matches!(activation, Activation::Identity | Activation::ReLU)
+    }
+
+    /// Hardware-native GEMM time: the best template configuration in the
+    /// entire space, simulated. This is the "cuBLAS" line of Figure 1.
+    pub fn gemm_time_us(&self, problem: &GemmProblem) -> f64 {
+        if let Some(&t) = self.gemm_cache.lock().get(problem) {
+            return t;
+        }
+        let ep = Epilogue::linear(problem.element);
+        let candidates = self.generator.gemm_candidates(problem);
+        let best = parallel_min_time(&self.arch, &candidates, |arch, config| {
+            perf::gemm_profile(arch, problem, config, &ep, None)
+        });
+        self.gemm_cache.lock().insert(*problem, best);
+        best
+    }
+
+    /// Delivered GEMM throughput in TFLOPS (Figure 1's y-axis).
+    pub fn gemm_tflops(&self, problem: &GemmProblem) -> f64 {
+        problem.flops() / (self.gemm_time_us(problem) * 1e6)
+    }
+
+    /// Hardware-native Conv2D time with the cuDNN-style fixed interface.
+    pub fn conv2d_time_us(&self, problem: &Conv2dProblem, bias_relu: bool) -> f64 {
+        let key = (*problem, bias_relu);
+        if let Some(&t) = self.conv_cache.lock().get(&key) {
+            return t;
+        }
+        let ep = if bias_relu {
+            Epilogue::bias_activation(Activation::ReLU, DType::F16)
+        } else {
+            Epilogue::linear(DType::F16)
+        };
+        let candidates = self.generator.conv2d_candidates(problem, DType::F16);
+        let best = parallel_min_time(&self.arch, &candidates, |arch, config| {
+            perf::conv2d_profile(arch, problem, config, &ep, DType::F16, None)
+        });
+        self.conv_cache.lock().insert(key, best);
+        best
+    }
+}
+
+/// Prices every candidate in parallel (crossbeam scoped threads) and
+/// returns the best time. The vendor's offline search sweeps the entire
+/// template space, so this is the one profiling path where fan-out pays.
+fn parallel_min_time<F>(arch: &GpuArch, candidates: &[crate::GemmConfig], build: F) -> f64
+where
+    F: Fn(&GpuArch, &crate::GemmConfig) -> bolt_gpu_sim::KernelProfile + Sync,
+{
+    if candidates.len() < 32 {
+        return candidates
+            .iter()
+            .map(|c| bolt_gpu_sim::simulate_kernel(arch, &build(arch, c)).total_us)
+            .fold(f64::INFINITY, f64::min);
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+    let chunk = candidates.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| {
+                let build = &build;
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|c| bolt_gpu_sim::simulate_kernel(arch, &build(arch, c)).total_us)
+                        .fold(f64::INFINITY, f64::min)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("candidate pricing never panics"))
+            .fold(f64::INFINITY, f64::min)
+    })
+    .expect("scoped threads join")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> VendorLibrary {
+        VendorLibrary::new(&GpuArch::tesla_t4())
+    }
+
+    #[test]
+    fn big_gemm_is_near_peak() {
+        let l = lib();
+        let tflops = l.gemm_tflops(&GemmProblem::fp16(4096, 4096, 4096));
+        // cuBLAS reaches ~50-60 TFLOPS on T4 for large FP16 GEMMs.
+        assert!(tflops > 45.0 && tflops <= 65.0, "{tflops:.1} TFLOPS");
+    }
+
+    #[test]
+    fn caching_is_consistent() {
+        let l = lib();
+        let p = GemmProblem::fp16(1280, 3072, 768);
+        let a = l.gemm_time_us(&p);
+        let b = l.gemm_time_us(&p);
+        assert_eq!(a, b);
+        assert!(a.is_finite() && a > 0.0);
+    }
+
+    #[test]
+    fn fixed_interface() {
+        let l = lib();
+        assert!(l.supports_fused_activation(Activation::ReLU));
+        assert!(!l.supports_fused_activation(Activation::Hardswish));
+        assert!(!l.supports_fused_activation(Activation::Softplus));
+    }
+
+    #[test]
+    fn conv_time_reasonable() {
+        let l = lib();
+        let p = Conv2dProblem::new(32, 56, 56, 64, 64, 3, 3, (1, 1), (1, 1));
+        let plain = l.conv2d_time_us(&p, false);
+        let fused = l.conv2d_time_us(&p, true);
+        assert!(plain.is_finite() && plain > 0.0);
+        // Fused bias+relu adds epilogue math but saves nothing here (same
+        // kernel); it must not be dramatically slower.
+        assert!(fused < plain * 1.2);
+    }
+}

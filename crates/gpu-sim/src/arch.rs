@@ -1,0 +1,276 @@
+//! GPU architecture descriptions and model calibration parameters.
+
+use serde::{Deserialize, Serialize};
+
+use bolt_tensor::DType;
+
+use crate::pipeline::Pipeline;
+
+/// Static description of a GPU, plus the calibration constants of the
+/// analytic model ([`ModelParams`]).
+///
+/// Presets are provided for the paper's testbed ([`GpuArch::tesla_t4`]) and
+/// for Volta/Ampere parts mentioned in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuArch {
+    /// Marketing name, e.g. `"Tesla T4"`.
+    pub name: String,
+    /// CUDA compute capability `(major, minor)`.
+    pub compute_capability: (u32, u32),
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Sustained boost clock in GHz.
+    pub clock_ghz: f64,
+    /// FP32 CUDA cores per SM.
+    pub cuda_cores_per_sm: u32,
+    /// Tensor cores per SM.
+    pub tensor_cores_per_sm: u32,
+    /// Special-function units per SM (for exp/tanh/log).
+    pub sfu_per_sm: u32,
+    /// Peak dense FP16 tensor-core throughput, whole chip, in TFLOPS.
+    pub fp16_tensor_tflops: f64,
+    /// Peak FP32 CUDA-core throughput, whole chip, in TFLOPS.
+    pub fp32_cuda_tflops: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// Aggregate shared-memory bandwidth in GB/s (32 banks × 4 B × clock ×
+    /// SMs).
+    pub smem_bw_gbps: f64,
+    /// Usable shared memory per SM in bytes.
+    pub smem_per_sm: u32,
+    /// Maximum shared memory per threadblock in bytes.
+    pub max_smem_per_block: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum registers per thread.
+    pub max_regs_per_thread: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Analytic-model calibration constants.
+    pub params: ModelParams,
+}
+
+/// Calibration constants of the analytic performance model. These are the
+/// only "magic numbers" in the simulator; everything else derives from the
+/// datasheet fields of [`GpuArch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Fixed kernel launch overhead in microseconds (driver + hardware).
+    pub launch_overhead_us: f64,
+    /// Fraction of datasheet DRAM bandwidth achievable by a perfectly
+    /// coalesced 128-bit streaming kernel (measured ~88% on T4).
+    pub dram_peak_fraction: f64,
+    /// Minimum active warps per SM needed to fully hide latency; below
+    /// this, achievable throughput degrades linearly.
+    pub latency_hiding_warps: u32,
+    /// Fraction of non-dominant time that still shows up in the total
+    /// (imperfect compute/memory overlap), 0..1.
+    pub overlap_leak: f64,
+    /// Per-wave tail penalty in microseconds (block scheduling gaps).
+    pub wave_tail_us: f64,
+    /// SFU operations per clock per SM (transcendental throughput).
+    pub sfu_ops_per_clock_per_sm: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            launch_overhead_us: 3.0,
+            dram_peak_fraction: 0.88,
+            latency_hiding_warps: 8,
+            overlap_leak: 0.12,
+            wave_tail_us: 0.4,
+            sfu_ops_per_clock_per_sm: 16.0,
+        }
+    }
+}
+
+impl GpuArch {
+    /// NVIDIA Tesla T4 (Turing TU104, compute capability 7.5) — the
+    /// testbed of the paper's evaluation.
+    pub fn tesla_t4() -> Self {
+        GpuArch {
+            name: "Tesla T4".into(),
+            compute_capability: (7, 5),
+            sm_count: 40,
+            clock_ghz: 1.59,
+            cuda_cores_per_sm: 64,
+            tensor_cores_per_sm: 8,
+            sfu_per_sm: 16,
+            fp16_tensor_tflops: 65.0,
+            fp32_cuda_tflops: 8.1,
+            dram_bw_gbps: 320.0,
+            l2_bytes: 4 * 1024 * 1024,
+            // 32 banks * 4 B * 1.59 GHz * 40 SMs ≈ 8.1 TB/s.
+            smem_bw_gbps: 8140.0,
+            smem_per_sm: 64 * 1024,
+            max_smem_per_block: 64 * 1024,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            max_threads_per_sm: 1024,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 16,
+            warp_size: 32,
+            params: ModelParams::default(),
+        }
+    }
+
+    /// NVIDIA Tesla V100 (Volta GV100, compute capability 7.0).
+    pub fn tesla_v100() -> Self {
+        GpuArch {
+            name: "Tesla V100".into(),
+            compute_capability: (7, 0),
+            sm_count: 80,
+            clock_ghz: 1.53,
+            cuda_cores_per_sm: 64,
+            tensor_cores_per_sm: 8,
+            sfu_per_sm: 16,
+            fp16_tensor_tflops: 125.0,
+            fp32_cuda_tflops: 15.7,
+            dram_bw_gbps: 900.0,
+            l2_bytes: 6 * 1024 * 1024,
+            smem_bw_gbps: 15700.0,
+            smem_per_sm: 96 * 1024,
+            max_smem_per_block: 96 * 1024,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            warp_size: 32,
+            params: ModelParams::default(),
+        }
+    }
+
+    /// NVIDIA A100 (Ampere GA100, compute capability 8.0). The paper cites
+    /// ">95% of the hardware theoretic limit" (300 of 312 TFLOPS FP16) for
+    /// Bolt-generated GEMMs on this part.
+    pub fn a100() -> Self {
+        GpuArch {
+            name: "A100".into(),
+            compute_capability: (8, 0),
+            sm_count: 108,
+            clock_ghz: 1.41,
+            cuda_cores_per_sm: 64,
+            tensor_cores_per_sm: 4,
+            sfu_per_sm: 16,
+            fp16_tensor_tflops: 312.0,
+            fp32_cuda_tflops: 19.5,
+            dram_bw_gbps: 1555.0,
+            l2_bytes: 40 * 1024 * 1024,
+            smem_bw_gbps: 19500.0,
+            smem_per_sm: 164 * 1024,
+            max_smem_per_block: 163 * 1024,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            warp_size: 32,
+            params: ModelParams::default(),
+        }
+    }
+
+    /// Peak throughput in TFLOPS (or TOPS for integers) of `pipeline` when
+    /// computing on `dtype`.
+    ///
+    /// Tensor-core throughput scales inversely with operand width (FP16 ×1,
+    /// INT8 ×2, INT4 ×4, B1 ×8; TF32 ×½ of FP16). CUDA-core FP16 runs at 2×
+    /// FP32 on these parts via `HFMA2`.
+    pub fn peak_tflops(&self, pipeline: Pipeline, dtype: DType) -> f64 {
+        match pipeline {
+            Pipeline::TensorCore => {
+                if !dtype.tensor_core_eligible() {
+                    return 0.0;
+                }
+                match dtype {
+                    DType::F16 | DType::Bf16 => self.fp16_tensor_tflops,
+                    DType::Tf32 => self.fp16_tensor_tflops / 2.0,
+                    DType::I8 => self.fp16_tensor_tflops * 2.0,
+                    DType::I4 => self.fp16_tensor_tflops * 4.0,
+                    DType::B1 => self.fp16_tensor_tflops * 8.0,
+                    _ => 0.0,
+                }
+            }
+            Pipeline::CudaCore => match dtype {
+                DType::F16 | DType::Bf16 => self.fp32_cuda_tflops * 2.0,
+                DType::F32 | DType::Tf32 => self.fp32_cuda_tflops,
+                DType::F64 => self.fp32_cuda_tflops / 32.0, // GeForce-class ratio
+                DType::I8 | DType::I4 | DType::I32 | DType::B1 => self.fp32_cuda_tflops,
+            },
+            Pipeline::Sfu => {
+                // SFU "flops" are transcendental ops.
+                self.params.sfu_ops_per_clock_per_sm * self.sm_count as f64 * self.clock_ghz
+                    / 1000.0
+            }
+        }
+    }
+
+    /// Datasheet DRAM bandwidth derated by the achievable fraction, in
+    /// bytes per microsecond.
+    pub fn dram_bytes_per_us(&self) -> f64 {
+        self.dram_bw_gbps * self.params.dram_peak_fraction * 1e9 / 1e6
+    }
+
+    /// Aggregate shared-memory bandwidth in bytes per microsecond.
+    pub fn smem_bytes_per_us(&self) -> f64 {
+        self.smem_bw_gbps * 1e9 / 1e6
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t4_datasheet() {
+        let t4 = GpuArch::tesla_t4();
+        assert_eq!(t4.sm_count, 40);
+        assert_eq!(t4.max_warps_per_sm(), 32);
+        // CUDA-core FP32 peak should be consistent with cores*clock*2.
+        let derived = t4.sm_count as f64 * t4.cuda_cores_per_sm as f64 * t4.clock_ghz * 2.0 / 1000.0;
+        assert!((derived - t4.fp32_cuda_tflops).abs() / t4.fp32_cuda_tflops < 0.02);
+    }
+
+    #[test]
+    fn pipeline_peaks() {
+        let t4 = GpuArch::tesla_t4();
+        assert_eq!(t4.peak_tflops(Pipeline::TensorCore, DType::F16), 65.0);
+        assert_eq!(t4.peak_tflops(Pipeline::TensorCore, DType::I8), 130.0);
+        assert_eq!(t4.peak_tflops(Pipeline::TensorCore, DType::F32), 0.0);
+        assert_eq!(t4.peak_tflops(Pipeline::CudaCore, DType::F16), 16.2);
+        assert_eq!(t4.peak_tflops(Pipeline::CudaCore, DType::F32), 8.1);
+    }
+
+    #[test]
+    fn tensor_core_gap_is_large() {
+        // The premise of the whole paper: tensor cores are ~8x the FP16
+        // CUDA-core path and ~4x on every listed architecture.
+        for arch in [GpuArch::tesla_t4(), GpuArch::tesla_v100(), GpuArch::a100()] {
+            let tc = arch.peak_tflops(Pipeline::TensorCore, DType::F16);
+            let cc = arch.peak_tflops(Pipeline::CudaCore, DType::F16);
+            assert!(tc / cc > 3.5, "{}: {tc} vs {cc}", arch.name);
+        }
+    }
+
+    #[test]
+    fn bandwidth_units() {
+        let t4 = GpuArch::tesla_t4();
+        // 320 GB/s * 0.88 = 281.6 GB/s = 281600 bytes/us.
+        assert!((t4.dram_bytes_per_us() - 281_600.0).abs() < 1.0);
+        assert!(t4.smem_bytes_per_us() > t4.dram_bytes_per_us() * 10.0);
+    }
+}

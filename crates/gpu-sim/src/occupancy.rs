@@ -1,0 +1,196 @@
+//! Threadblock occupancy calculation.
+//!
+//! Mirrors the CUDA occupancy calculator: given a block's resource usage,
+//! compute how many blocks fit on one SM and which resource limits it.
+//! Occupancy feeds the latency-hiding derate in the kernel cost model and
+//! is what makes register-file pressure (RF-resident persistent kernels,
+//! Ansor's register-greedy schedules) visible in simulated performance.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::arch::GpuArch;
+
+/// Per-threadblock resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockResources {
+    /// Threads per block (a multiple of the warp size for full warps).
+    pub threads: u32,
+    /// 32-bit registers per thread.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block, in bytes.
+    pub smem_bytes: u32,
+}
+
+impl BlockResources {
+    /// Convenience constructor.
+    pub fn new(threads: u32, regs_per_thread: u32, smem_bytes: u32) -> Self {
+        BlockResources { threads, regs_per_thread, smem_bytes }
+    }
+}
+
+/// Which resource capped the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimit {
+    /// Thread count per SM.
+    Threads,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// Hardware block-slot limit.
+    BlockSlots,
+    /// The block is not launchable at all on this architecture.
+    NotLaunchable,
+}
+
+impl fmt::Display for OccupancyLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OccupancyLimit::Threads => "threads",
+            OccupancyLimit::Registers => "registers",
+            OccupancyLimit::SharedMemory => "shared memory",
+            OccupancyLimit::BlockSlots => "block slots",
+            OccupancyLimit::NotLaunchable => "not launchable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM (0 if not launchable).
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub active_warps_per_sm: u32,
+    /// `active_warps / max_warps`, in 0..=1.
+    pub fraction: f64,
+    /// The binding resource.
+    pub limited_by: OccupancyLimit,
+}
+
+impl Occupancy {
+    /// Computes occupancy of `block` on `arch`.
+    ///
+    /// ```
+    /// use bolt_gpu_sim::{GpuArch, BlockResources, Occupancy};
+    /// let t4 = GpuArch::tesla_t4();
+    /// let occ = Occupancy::compute(&t4, BlockResources::new(256, 64, 32 * 1024));
+    /// assert_eq!(occ.blocks_per_sm, 2); // smem-limited: 64 KiB / 32 KiB
+    /// ```
+    pub fn compute(arch: &GpuArch, block: BlockResources) -> Occupancy {
+        if block.threads == 0
+            || block.threads > arch.max_threads_per_block
+            || block.regs_per_thread > arch.max_regs_per_thread
+            || block.smem_bytes > arch.max_smem_per_block
+        {
+            return Occupancy {
+                blocks_per_sm: 0,
+                active_warps_per_sm: 0,
+                fraction: 0.0,
+                limited_by: OccupancyLimit::NotLaunchable,
+            };
+        }
+
+        let warps_per_block = block.threads.div_ceil(arch.warp_size);
+        // Registers allocate at warp granularity with 256-register rounding,
+        // like the real allocator; we keep the simpler per-block product.
+        let regs_per_block = block.threads * block.regs_per_thread.max(16);
+
+        let by_threads = arch.max_threads_per_sm / block.threads;
+        let by_regs = arch.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+        let by_smem = arch.smem_per_sm.checked_div(block.smem_bytes).unwrap_or(u32::MAX);
+        let by_slots = arch.max_blocks_per_sm;
+
+        let blocks = by_threads.min(by_regs).min(by_smem).min(by_slots);
+        let limited_by = if blocks == 0 {
+            // One of the per-block limits exceeds the SM: distinguish which.
+            if by_regs == 0 {
+                OccupancyLimit::Registers
+            } else if by_smem == 0 {
+                OccupancyLimit::SharedMemory
+            } else {
+                OccupancyLimit::Threads
+            }
+        } else if blocks == by_threads && by_threads <= by_regs && by_threads <= by_smem && by_threads <= by_slots {
+            OccupancyLimit::Threads
+        } else if blocks == by_regs && by_regs <= by_smem && by_regs <= by_slots {
+            OccupancyLimit::Registers
+        } else if blocks == by_smem && by_smem <= by_slots {
+            OccupancyLimit::SharedMemory
+        } else {
+            OccupancyLimit::BlockSlots
+        };
+
+        let active_warps = blocks * warps_per_block;
+        Occupancy {
+            blocks_per_sm: blocks,
+            active_warps_per_sm: active_warps,
+            fraction: active_warps as f64 / arch.max_warps_per_sm() as f64,
+            limited_by,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> GpuArch {
+        GpuArch::tesla_t4()
+    }
+
+    #[test]
+    fn thread_limited() {
+        // 256 threads, tiny regs/smem: T4 allows 1024 threads/SM -> 4 blocks.
+        let occ = Occupancy::compute(&t4(), BlockResources::new(256, 32, 1024));
+        assert_eq!(occ.blocks_per_sm, 4);
+        assert_eq!(occ.active_warps_per_sm, 32);
+        assert_eq!(occ.fraction, 1.0);
+        assert_eq!(occ.limited_by, OccupancyLimit::Threads);
+    }
+
+    #[test]
+    fn register_limited() {
+        // 256 threads * 128 regs = 32768 regs/block; 65536/32768 = 2 blocks.
+        let occ = Occupancy::compute(&t4(), BlockResources::new(256, 128, 1024));
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limited_by, OccupancyLimit::Registers);
+        assert_eq!(occ.fraction, 0.5);
+    }
+
+    #[test]
+    fn smem_limited() {
+        let occ = Occupancy::compute(&t4(), BlockResources::new(128, 32, 48 * 1024));
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn block_slot_limited() {
+        // Tiny blocks: 32 threads each; 1024/32 = 32 > 16 slot limit.
+        let occ = Occupancy::compute(&t4(), BlockResources::new(32, 16, 0));
+        assert_eq!(occ.blocks_per_sm, 16);
+        assert_eq!(occ.limited_by, OccupancyLimit::BlockSlots);
+    }
+
+    #[test]
+    fn not_launchable() {
+        let too_many_threads = Occupancy::compute(&t4(), BlockResources::new(2048, 32, 0));
+        assert_eq!(too_many_threads.limited_by, OccupancyLimit::NotLaunchable);
+        assert_eq!(too_many_threads.blocks_per_sm, 0);
+        let too_much_smem = Occupancy::compute(&t4(), BlockResources::new(128, 32, 128 * 1024));
+        assert_eq!(too_much_smem.limited_by, OccupancyLimit::NotLaunchable);
+        let too_many_regs = Occupancy::compute(&t4(), BlockResources::new(128, 300, 0));
+        assert_eq!(too_many_regs.limited_by, OccupancyLimit::NotLaunchable);
+    }
+
+    #[test]
+    fn register_floor_is_applied() {
+        // regs_per_thread below 16 is allocated as 16.
+        let a = Occupancy::compute(&t4(), BlockResources::new(1024, 1, 0));
+        let b = Occupancy::compute(&t4(), BlockResources::new(1024, 16, 0));
+        assert_eq!(a.blocks_per_sm, b.blocks_per_sm);
+    }
+}

@@ -1,0 +1,42 @@
+//! Compute pipelines of a streaming multiprocessor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The execution pipeline a kernel's arithmetic runs on.
+///
+/// The central premise of the Bolt paper is that auto-tuners with opaque
+/// device models generate code for [`Pipeline::CudaCore`] while templated
+/// vendor libraries target [`Pipeline::TensorCore`], an ~8× FP16 throughput
+/// difference on the Tesla T4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pipeline {
+    /// Tensor cores (HMMA/IMMA matrix-multiply-accumulate units).
+    TensorCore,
+    /// Ordinary FP32/FP16 FMA lanes.
+    CudaCore,
+    /// Special function units (exp, tanh, log, rsqrt) — used by epilogue
+    /// activations such as GELU and Softplus.
+    Sfu,
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pipeline::TensorCore => f.write_str("tensor-core"),
+            Pipeline::CudaCore => f.write_str("cuda-core"),
+            Pipeline::Sfu => f.write_str("sfu"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Pipeline::TensorCore.to_string(), "tensor-core");
+        assert_eq!(Pipeline::Sfu.to_string(), "sfu");
+    }
+}

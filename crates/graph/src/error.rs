@@ -1,0 +1,70 @@
+//! Error type for graph construction and passes.
+
+use std::fmt;
+
+use bolt_tensor::TensorError;
+
+/// Errors produced by graph construction, inference, and passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node referenced an id that does not exist in the graph.
+    UnknownNode {
+        /// The missing id (raw index).
+        id: usize,
+    },
+    /// Shape inference failed for a node.
+    Infer {
+        /// Node name.
+        node: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A pass was asked to run on a graph missing something it needs.
+    Pass {
+        /// Pass name.
+        pass: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            GraphError::Infer { node, reason } => {
+                write!(f, "shape inference failed at {node}: {reason}")
+            }
+            GraphError::Pass { pass, reason } => write!(f, "pass {pass} failed: {reason}"),
+            GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = GraphError::Infer { node: "conv1".into(), reason: "rank".into() };
+        assert!(e.to_string().contains("conv1"));
+    }
+}

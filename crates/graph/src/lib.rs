@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # bolt-graph
+//!
+//! A Relay-like computational graph IR for the Bolt (MLSys 2022)
+//! reproduction.
+//!
+//! Bolt follows TVM's BYOC (Bring Your Own Codegen) flow: the model is
+//! parsed into a relay graph, graph-level optimizations run, a partitioner
+//! carves out the subgraph Bolt can serve, and the rest falls back to the
+//! host compiler. This crate provides that substrate:
+//!
+//! * [`op`] / [`graph`] — the operator set and the DAG with shape/dtype
+//!   inference;
+//! * [`builder`] — an ergonomic way to assemble models (used by
+//!   `bolt-models` for VGG/ResNet/RepVGG/BERT);
+//! * [`passes`] — a pass manager with dead-code elimination, BatchNorm
+//!   folding, and RepVGG-style re-parameterization (branch fusion);
+//! * [`partition()`] — BYOC graph partitioning into supported regions and
+//!   fallback nodes;
+//! * [`workload`] — task extraction: the GEMM/Conv2D workloads an
+//!   auto-tuner or profiler must tune for a given graph.
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod op;
+pub mod partition;
+pub mod passes;
+pub mod workload;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Graph, Node, NodeId};
+pub use op::{OpKind, PoolKind};
+pub use partition::{partition, PartitionedGraph, Region};
+pub use workload::{extract_workloads, Workload};
+
+/// Result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

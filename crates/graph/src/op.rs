@@ -1,0 +1,152 @@
+//! The operator set of the graph IR.
+//!
+//! Shapes are logical NCHW at the graph level (the Relay convention);
+//! physical layout (NHWC for the templated conv kernels) is decided by the
+//! compiler's layout-transformation pass, not by the IR.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use bolt_tensor::{Activation, DType, Shape};
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// A graph operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A graph input (activation fed at runtime).
+    Input {
+        /// Logical shape (NCHW for images).
+        shape: Shape,
+        /// Element type.
+        dtype: DType,
+    },
+    /// A learned parameter or constant tensor.
+    Constant {
+        /// Logical shape: `(out, in)` for dense weights, `(K, C, R, S)` for
+        /// conv filters (logical; stored KRSC physically).
+        shape: Shape,
+        /// Element type.
+        dtype: DType,
+    },
+    /// Fully connected layer: `y = x @ W^T` where the second input is the
+    /// `(units, in_features)` weight.
+    Dense,
+    /// 2-D convolution. Second input is the `(K, C, R, S)` filter.
+    Conv2d {
+        /// Stride (vertical, horizontal).
+        stride: (usize, usize),
+        /// Zero padding (vertical, horizontal).
+        padding: (usize, usize),
+        /// Dilation (vertical, horizontal).
+        dilation: (usize, usize),
+    },
+    /// Adds a per-channel bias vector (second input).
+    BiasAdd,
+    /// Elementwise activation.
+    Activation(Activation),
+    /// Elementwise addition of two tensors (residual connections).
+    Add,
+    /// Batch normalization (inference form). Inputs: x, gamma, beta,
+    /// moving mean, moving variance.
+    BatchNorm {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Square window size.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric padding.
+        padding: usize,
+    },
+    /// Global average pooling over H and W, producing `(N, C)`.
+    GlobalAvgPool,
+    /// Flattens all dims after the batch dim.
+    Flatten,
+    /// Softmax over the last dimension.
+    Softmax,
+    /// Concatenation of tensors along the channel axis (dim 1).
+    Concat,
+}
+
+impl OpKind {
+    /// Short operator name for debugging and kernel labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Input { .. } => "input",
+            OpKind::Constant { .. } => "constant",
+            OpKind::Dense => "dense",
+            OpKind::Conv2d { .. } => "conv2d",
+            OpKind::BiasAdd => "bias_add",
+            OpKind::Activation(_) => "activation",
+            OpKind::Add => "add",
+            OpKind::BatchNorm { .. } => "batch_norm",
+            OpKind::Pool { .. } => "pool",
+            OpKind::GlobalAvgPool => "global_avg_pool",
+            OpKind::Flatten => "flatten",
+            OpKind::Softmax => "softmax",
+            OpKind::Concat => "concat",
+        }
+    }
+
+    /// True for the anchor operators Bolt offloads (compute-intensive ops
+    /// served by templated kernels).
+    pub fn is_anchor(&self) -> bool {
+        matches!(self, OpKind::Dense | OpKind::Conv2d { .. })
+    }
+
+    /// True for operators that never execute (pure data).
+    pub fn is_data(&self) -> bool {
+        matches!(self, OpKind::Input { .. } | OpKind::Constant { .. })
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Activation(a) => write!(f, "activation({a})"),
+            OpKind::Conv2d { stride, padding, .. } => {
+                write!(f, "conv2d(stride={stride:?}, pad={padding:?})")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors() {
+        assert!(OpKind::Dense.is_anchor());
+        assert!(OpKind::Conv2d { stride: (1, 1), padding: (0, 0), dilation: (1, 1) }.is_anchor());
+        assert!(!OpKind::BiasAdd.is_anchor());
+        assert!(!OpKind::Softmax.is_anchor());
+    }
+
+    #[test]
+    fn data_ops() {
+        let input = OpKind::Input { shape: Shape::new(&[1, 3, 4, 4]), dtype: DType::F16 };
+        assert!(input.is_data());
+        assert!(!OpKind::Add.is_data());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(OpKind::Activation(Activation::ReLU).to_string(), "activation(relu)");
+        assert_eq!(OpKind::Dense.to_string(), "dense");
+    }
+}

@@ -1,0 +1,191 @@
+//! BYOC graph partitioning (paper Section 3.2.1).
+//!
+//! Bolt follows TVM's Bring-Your-Own-Codegen flow: a predicate marks the
+//! operators the external codegen supports, and the partitioner groups
+//! maximal connected runs of supported nodes into regions that are
+//! offloaded as units; everything else falls back to the host compiler
+//! (TVM proper). Regions are kept convex (no path from a region node out
+//! to a fallback node and back in), which the greedy construction below
+//! guarantees by only growing a region along direct producer→consumer
+//! edges in topological order.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+
+/// A maximal offloadable subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region index.
+    pub id: usize,
+    /// Member nodes in topological order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Region {
+    /// True if the region contains an anchor (compute) operator — regions
+    /// without one are not worth offloading and are returned to the host.
+    pub fn has_anchor(&self, graph: &Graph) -> bool {
+        self.nodes.iter().any(|&n| graph.node(n).kind.is_anchor())
+    }
+}
+
+/// The result of partitioning: offload regions plus fallback nodes.
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    /// Offloaded regions, each a topologically-ordered node list.
+    pub regions: Vec<Region>,
+    /// Nodes executed by the host compiler (non-data ops only).
+    pub fallback: Vec<NodeId>,
+    /// For each node, the region that owns it (if any).
+    pub region_of: HashMap<NodeId, usize>,
+}
+
+impl PartitionedGraph {
+    /// Fraction of anchor operators that were offloaded.
+    pub fn anchor_coverage(&self, graph: &Graph) -> f64 {
+        let total = graph.nodes().iter().filter(|n| n.kind.is_anchor()).count();
+        if total == 0 {
+            return 1.0;
+        }
+        let offloaded = self
+            .regions
+            .iter()
+            .flat_map(|r| &r.nodes)
+            .filter(|&&n| graph.node(n).kind.is_anchor())
+            .count();
+        offloaded as f64 / total as f64
+    }
+}
+
+/// Partitions `graph` into regions supported by `supported` and fallback
+/// nodes. Data nodes (inputs/constants) belong to no region.
+pub fn partition(graph: &Graph, supported: impl Fn(&Graph, NodeId) -> bool) -> PartitionedGraph {
+    let mut region_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut regions: Vec<Region> = Vec::new();
+    let mut fallback = Vec::new();
+
+    for node in graph.nodes() {
+        if node.kind.is_data() {
+            continue;
+        }
+        if !supported(graph, node.id) {
+            fallback.push(node.id);
+            continue;
+        }
+        // Join the region of a supported direct producer if exactly one
+        // region feeds this node (keeps regions convex); otherwise start a
+        // fresh region.
+        let mut producer_regions: Vec<usize> = node
+            .inputs
+            .iter()
+            .filter_map(|i| region_of.get(i).copied())
+            .collect();
+        producer_regions.sort_unstable();
+        producer_regions.dedup();
+        let rid = match producer_regions.as_slice() {
+            [one] => *one,
+            _ => {
+                regions.push(Region { id: regions.len(), nodes: Vec::new() });
+                regions.len() - 1
+            }
+        };
+        regions[rid].nodes.push(node.id);
+        region_of.insert(node.id, rid);
+    }
+
+    // Regions without an anchor go back to the host.
+    let mut kept = Vec::new();
+    for mut region in regions {
+        if region.has_anchor(graph) {
+            region.id = kept.len();
+            for &n in &region.nodes {
+                region_of.insert(n, region.id);
+            }
+            kept.push(region);
+        } else {
+            for n in &region.nodes {
+                region_of.remove(n);
+                fallback.push(*n);
+            }
+        }
+    }
+    fallback.sort_unstable();
+
+    PartitionedGraph { regions: kept, fallback, region_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::OpKind;
+    use bolt_tensor::{Activation, DType};
+
+    /// Bolt-style predicate: anchors + their epilogue ops.
+    fn bolt_supported(graph: &Graph, id: NodeId) -> bool {
+        matches!(
+            graph.node(id).kind,
+            OpKind::Dense | OpKind::Conv2d { .. } | OpKind::BiasAdd | OpKind::Activation(_) | OpKind::Add
+        )
+    }
+
+    #[test]
+    fn simple_cnn_partitions_into_regions_around_pooling() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[1, 3, 16, 16]);
+        let c1 = b.conv2d_bias(x, 8, 3, (1, 1), (1, 1), "c1");
+        let r1 = b.activation(c1, Activation::ReLU, "r1");
+        let p1 = b.max_pool(r1, 2, 2, "pool"); // unsupported -> fallback
+        let c2 = b.conv2d_bias(p1, 8, 3, (1, 1), (1, 1), "c2");
+        let r2 = b.activation(c2, Activation::ReLU, "r2");
+        let g = b.finish(&[r2]);
+
+        let part = partition(&g, bolt_supported);
+        assert_eq!(part.regions.len(), 2, "pool splits the graph: {part:?}");
+        assert_eq!(part.fallback.len(), 1);
+        assert_eq!(part.anchor_coverage(&g), 1.0);
+    }
+
+    #[test]
+    fn all_supported_is_one_region() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[8, 16]);
+        let d1 = b.dense_bias(x, 32, "fc1");
+        let r = b.activation(d1, Activation::ReLU, "r");
+        let d2 = b.dense_bias(r, 8, "fc2");
+        let g = b.finish(&[d2]);
+        let part = partition(&g, bolt_supported);
+        assert_eq!(part.regions.len(), 1);
+        assert!(part.fallback.is_empty());
+        // All non-data nodes belong to the region.
+        let non_data = g.nodes().iter().filter(|n| !n.kind.is_data()).count();
+        assert_eq!(part.regions[0].nodes.len(), non_data);
+    }
+
+    #[test]
+    fn epilogue_only_regions_fall_back() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[1, 4, 8, 8]);
+        let p = b.max_pool(x, 2, 2, "pool");
+        let r = b.activation(p, Activation::ReLU, "lonely_relu");
+        let g = b.finish(&[r]);
+        let part = partition(&g, bolt_supported);
+        assert!(part.regions.is_empty());
+        assert_eq!(part.fallback.len(), 2);
+    }
+
+    #[test]
+    fn region_of_indexes_match() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[8, 16]);
+        let d = b.dense_bias(x, 8, "fc");
+        let g = b.finish(&[d]);
+        let part = partition(&g, bolt_supported);
+        for region in &part.regions {
+            for n in &region.nodes {
+                assert_eq!(part.region_of[n], region.id);
+            }
+        }
+    }
+}

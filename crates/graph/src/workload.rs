@@ -1,0 +1,199 @@
+//! Task extraction: the tunable workloads of a graph.
+//!
+//! Both the Ansor baseline and Bolt's profiler tune *per workload* — a
+//! (operator kind, concrete shape) pair — and reuse results across
+//! repeated layers. This module walks a graph and returns its unique
+//! GEMM/Conv2D workloads, which is also how Figure 10b's tuning-time
+//! comparison counts tasks.
+
+use std::collections::BTreeMap;
+
+use bolt_tensor::conv_ref::Conv2dProblem;
+use bolt_tensor::DType;
+
+use crate::graph::{Graph, NodeId};
+use crate::op::OpKind;
+
+/// A tunable workload extracted from a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Workload {
+    /// A dense layer lowered to GEMM: `(m, n, k)`.
+    Gemm {
+        /// Rows (batch).
+        m: usize,
+        /// Output features.
+        n: usize,
+        /// Input features.
+        k: usize,
+    },
+    /// A strided-batched GEMM (e.g. per-head attention matmuls): `batch`
+    /// independent `(m, n, k)` products in one kernel.
+    BatchedGemm {
+        /// Independent GEMM count.
+        batch: usize,
+        /// Rows per batch entry.
+        m: usize,
+        /// Columns per batch entry.
+        n: usize,
+        /// Reduction depth per batch entry.
+        k: usize,
+    },
+    /// A 2-D convolution.
+    Conv2d {
+        /// Batch.
+        n: usize,
+        /// Input height/width.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Input channels.
+        c: usize,
+        /// Output channels.
+        k: usize,
+        /// Filter size (r, s).
+        kernel: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+        /// Padding.
+        padding: (usize, usize),
+    },
+}
+
+impl Workload {
+    /// Converts a conv workload into the kernel library's problem type.
+    pub fn to_conv_problem(&self) -> Option<Conv2dProblem> {
+        match *self {
+            Workload::Conv2d { n, h, w, c, k, kernel, stride, padding } => Some(Conv2dProblem {
+                n,
+                h,
+                w,
+                c,
+                k,
+                r: kernel.0,
+                s: kernel.1,
+                stride,
+                padding,
+                dilation: (1, 1),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Total multiply-accumulates of the workload.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Workload::Gemm { m, n, k } => (m * n * k) as u64,
+            Workload::BatchedGemm { batch, m, n, k } => (batch * m * n * k) as u64,
+            Workload::Conv2d { .. } => self.to_conv_problem().expect("conv").macs(),
+        }
+    }
+}
+
+/// Extracts the workload of a single node, if it is an anchor op.
+pub fn node_workload(graph: &Graph, id: NodeId) -> Option<Workload> {
+    let node = graph.node(id);
+    match &node.kind {
+        OpKind::Dense => {
+            let x = &graph.node(node.inputs[0]).shape;
+            let w = &graph.node(node.inputs[1]).shape;
+            Some(Workload::Gemm { m: x.dim(0), n: w.dim(0), k: w.dim(1) })
+        }
+        OpKind::Conv2d { stride, padding, .. } => {
+            let x = &graph.node(node.inputs[0]).shape;
+            let w = &graph.node(node.inputs[1]).shape;
+            Some(Workload::Conv2d {
+                n: x.dim(0),
+                h: x.dim(2),
+                w: x.dim(3),
+                c: x.dim(1),
+                k: w.dim(0),
+                kernel: (w.dim(2), w.dim(3)),
+                stride: *stride,
+                padding: *padding,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Extracts the unique workloads of `graph` with their occurrence counts,
+/// in a deterministic order.
+pub fn extract_workloads(graph: &Graph) -> Vec<(Workload, usize)> {
+    let mut counts: BTreeMap<Workload, usize> = BTreeMap::new();
+    for node in graph.nodes() {
+        if let Some(w) = node_workload(graph, node.id) {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// The element dtype the graph computes in (from its first input).
+pub fn graph_dtype(graph: &Graph) -> DType {
+    graph
+        .nodes()
+        .iter()
+        .find_map(|n| match n.kind {
+            OpKind::Input { dtype, .. } => Some(dtype),
+            _ => None,
+        })
+        .unwrap_or(DType::F16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use bolt_tensor::Activation;
+
+    #[test]
+    fn dense_workload_extraction() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[32, 512]);
+        let d = b.dense_bias(x, 1000, "fc");
+        let g = b.finish(&[d]);
+        let ws = extract_workloads(&g);
+        assert_eq!(ws, vec![(Workload::Gemm { m: 32, n: 1000, k: 512 }, 1)]);
+    }
+
+    #[test]
+    fn repeated_layers_are_deduplicated() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[1, 16, 8, 8]);
+        let mut cur = x;
+        for i in 0..4 {
+            cur = b.conv2d_bias(cur, 16, 3, (1, 1), (1, 1), &format!("c{i}"));
+            cur = b.activation(cur, Activation::ReLU, &format!("r{i}"));
+        }
+        let g = b.finish(&[cur]);
+        let ws = extract_workloads(&g);
+        assert_eq!(ws.len(), 1, "{ws:?}");
+        assert_eq!(ws[0].1, 4);
+    }
+
+    #[test]
+    fn conv_workload_roundtrips_to_problem() {
+        let w = Workload::Conv2d {
+            n: 32,
+            h: 56,
+            w: 56,
+            c: 64,
+            k: 64,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        };
+        let p = w.to_conv_problem().unwrap();
+        assert_eq!(p.out_h(), 56);
+        assert_eq!(w.macs(), p.macs());
+        assert_eq!(Workload::Gemm { m: 2, n: 3, k: 4 }.to_conv_problem(), None);
+    }
+
+    #[test]
+    fn graph_dtype_from_input() {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[1, 4]);
+        let g = b.finish(&[x]);
+        assert_eq!(graph_dtype(&g), DType::F16);
+    }
+}

@@ -1,0 +1,220 @@
+//! Calibrated top-1 accuracy proxy for the RepVGG case study.
+//!
+//! **This is a documented substitution** (DESIGN.md #5): the paper trains
+//! each variant on ImageNet (120-300 epochs on the Swin codebase); this
+//! environment cannot. The proxy is a deterministic analytic model
+//!
+//! ```text
+//! top1 = BASE
+//!      + CAPACITY * ln(effective_params)
+//!      + activation_bonus(activation)
+//!      + recipe_bonus(epochs, augmentation, effective_params)
+//! ```
+//!
+//! with `effective_params = params + 0.35 * extra_1x1_params` (added 1×1
+//! convolutions "do not increase accuracy to the same extent as larger
+//! kernels", Section 3.3). The five constants were calibrated once
+//! against the paper's Tables 4-6; every reproduced cell lands within
+//! ±0.3% of the published value and all *trends* (Hardswish > ReLU, +1×1
+//! ⇒ +0.7-0.9%, combined ⇒ largest gains on larger models) hold by
+//! construction. Speed columns come from the real compiler + simulator —
+//! only accuracy is proxied.
+
+use bolt_tensor::Activation;
+
+use crate::repvgg::RepVggSpec;
+
+/// Training recipe of a case-study row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainRecipe {
+    /// Training epochs (120 / 200 / 300 in the paper).
+    pub epochs: usize,
+    /// Advanced augmentation + label smoothing + mixup (Table 6).
+    pub advanced_augmentation: bool,
+}
+
+impl TrainRecipe {
+    /// Table 4's recipe: 120 epochs, simple augmentation.
+    pub const TABLE4: TrainRecipe = TrainRecipe { epochs: 120, advanced_augmentation: false };
+    /// Table 5's recipe: 200 epochs, simple augmentation.
+    pub const TABLE5: TrainRecipe = TrainRecipe { epochs: 200, advanced_augmentation: false };
+    /// Table 6's recipe: 300 epochs, advanced augmentation.
+    pub const TABLE6: TrainRecipe = TrainRecipe { epochs: 300, advanced_augmentation: true };
+}
+
+/// The calibrated accuracy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyModel {
+    base: f64,
+    capacity: f64,
+    one_by_one_effectiveness: f64,
+    adv_aug_scale: f64,
+}
+
+impl Default for AccuracyModel {
+    fn default() -> Self {
+        AccuracyModel {
+            base: 63.42,
+            capacity: 4.2,
+            one_by_one_effectiveness: 0.35,
+            adv_aug_scale: 0.9,
+        }
+    }
+}
+
+impl AccuracyModel {
+    /// Activation-function bonus (calibrated on Table 4).
+    pub fn activation_bonus(activation: Activation) -> f64 {
+        match activation {
+            Activation::ReLU => 0.0,
+            Activation::Gelu => 0.07,
+            Activation::Hardswish => 0.67,
+            Activation::Softplus => 0.26,
+            Activation::Silu => 0.45,
+            Activation::Sigmoid => -1.5,
+            Activation::Identity => -6.0,
+        }
+    }
+
+    /// Effective parameter count in millions for a spec.
+    pub fn effective_params_m(&self, spec: &RepVggSpec) -> f64 {
+        let base = spec.variant.paper_params_m(false);
+        if spec.augment_1x1 {
+            let extra = spec.paper_params_m() - base;
+            base + self.one_by_one_effectiveness * extra
+        } else {
+            base
+        }
+    }
+
+    fn recipe_bonus(&self, recipe: TrainRecipe, eff_params_m: f64) -> f64 {
+        let epochs = match recipe.epochs {
+            e if e <= 120 => 0.0,
+            e if e <= 200 => 0.74,
+            _ => {
+                if recipe.advanced_augmentation {
+                    0.80
+                } else {
+                    1.10
+                }
+            }
+        };
+        let adv = if recipe.advanced_augmentation {
+            self.adv_aug_scale * (eff_params_m / 11.0).ln().max(0.0)
+        } else {
+            0.0
+        };
+        epochs + adv
+    }
+
+    /// Estimated ImageNet top-1 accuracy (percent) for a spec + recipe.
+    pub fn top1(&self, spec: &RepVggSpec, recipe: TrainRecipe) -> f64 {
+        let eff = self.effective_params_m(spec);
+        self.base
+            + self.capacity * eff.ln()
+            + Self::activation_bonus(spec.activation)
+            + self.recipe_bonus(recipe, eff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repvgg::RepVggVariant;
+
+    fn model() -> AccuracyModel {
+        AccuracyModel::default()
+    }
+
+    fn spec(v: RepVggVariant) -> RepVggSpec {
+        RepVggSpec::original(v)
+    }
+
+    #[test]
+    fn table4_activation_sweep_within_tolerance() {
+        // Paper: ReLU 72.31, GELU 72.38, Hardswish 72.98, Softplus 72.57.
+        let paper = [
+            (Activation::ReLU, 72.31),
+            (Activation::Gelu, 72.38),
+            (Activation::Hardswish, 72.98),
+            (Activation::Softplus, 72.57),
+        ];
+        for (act, expect) in paper {
+            let s = RepVggSpec { activation: act, ..spec(RepVggVariant::A0) };
+            let got = model().top1(&s, TrainRecipe::TABLE4);
+            assert!((got - expect).abs() < 0.3, "{act}: {got:.2} vs paper {expect}");
+        }
+    }
+
+    #[test]
+    fn table5_deepening_within_tolerance() {
+        // Paper: A0 73.05, A1 74.75, B0 75.28; Aug 73.87 / 75.52 / 76.02.
+        let rows = [
+            (spec(RepVggVariant::A0), 73.05),
+            (spec(RepVggVariant::A1), 74.75),
+            (spec(RepVggVariant::B0), 75.28),
+            (RepVggSpec::augmented(RepVggVariant::A0, Activation::ReLU), 73.87),
+            (RepVggSpec::augmented(RepVggVariant::A1, Activation::ReLU), 75.52),
+            (RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU), 76.02),
+        ];
+        for (s, expect) in rows {
+            let got = model().top1(&s, TrainRecipe::TABLE5);
+            assert!((got - expect).abs() < 0.35, "{}: {got:.2} vs paper {expect}", s.name());
+        }
+    }
+
+    #[test]
+    fn table6_combined_within_tolerance() {
+        // Paper: Aug-A0 74.54, Aug-A1 76.72, Aug-B0 77.22 (Hardswish).
+        let rows = [
+            (RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish), 74.54),
+            (RepVggSpec::augmented(RepVggVariant::A1, Activation::Hardswish), 76.72),
+            (RepVggSpec::augmented(RepVggVariant::B0, Activation::Hardswish), 77.22),
+        ];
+        for (s, expect) in rows {
+            let got = model().top1(&s, TrainRecipe::TABLE6);
+            assert!((got - expect).abs() < 0.35, "{}: {got:.2} vs paper {expect}", s.name());
+        }
+        // A0 in Table 6 was trained with the simple recipe for 300 epochs.
+        let a0 = model().top1(
+            &spec(RepVggVariant::A0),
+            TrainRecipe { epochs: 300, advanced_augmentation: false },
+        );
+        assert!((a0 - 73.41).abs() < 0.2, "{a0:.2} vs 73.41");
+    }
+
+    #[test]
+    fn trends_hold_by_construction() {
+        let m = model();
+        // Hardswish is the best Table 4 activation.
+        for act in Activation::REPVGG_SWEEP {
+            assert!(
+                AccuracyModel::activation_bonus(Activation::Hardswish)
+                    >= AccuracyModel::activation_bonus(act)
+            );
+        }
+        // Deepening with 1x1 always gains, but less than raw capacity.
+        for v in [RepVggVariant::A0, RepVggVariant::A1, RepVggVariant::B0] {
+            let orig = m.top1(&spec(v), TrainRecipe::TABLE5);
+            let aug = m.top1(
+                &RepVggSpec::augmented(v, Activation::ReLU),
+                TrainRecipe::TABLE5,
+            );
+            let gain = aug - orig;
+            assert!(gain > 0.4 && gain < 1.2, "{v:?} gain {gain:.2}");
+        }
+        // More epochs never hurt.
+        let e120 = m.top1(&spec(RepVggVariant::A0), TrainRecipe::TABLE4);
+        let e200 = m.top1(&spec(RepVggVariant::A0), TrainRecipe::TABLE5);
+        assert!(e200 > e120);
+    }
+
+    #[test]
+    fn determinism() {
+        let s = RepVggSpec::augmented(RepVggVariant::A1, Activation::Hardswish);
+        assert_eq!(
+            model().top1(&s, TrainRecipe::TABLE6),
+            model().top1(&s, TrainRecipe::TABLE6)
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The GEMM workload set of Figures 1 and 8a.
+//!
+//! The paper benchmarks "two large square GEMMs and three GEMMs in BERT
+//! ... when the batch size is 32 and the sequence length is 40" without
+//! listing shapes. We use (see DESIGN.md, substitution 6):
+//!
+//! * squares 4096³ and 2048³ (compute-bound);
+//! * the two feed-forward GEMMs of BERT-base at `M = 32 × 40 = 1280`
+//!   (compute-bound);
+//! * the batched attention-score GEMM `384 × [40, 40, 64]` (memory- and
+//!   launch-bound — the workload where Ansor is competitive and the
+//!   paper's speedup drops to 1.9×).
+
+use bolt_cutlass::GemmProblem;
+use bolt_graph::{Graph, GraphBuilder, Workload};
+use bolt_tensor::{Activation, DType};
+
+/// BERT-base hyperparameters behind the workload set.
+pub const HIDDEN: usize = 768;
+/// Feed-forward inner dimension.
+pub const FFN: usize = 3072;
+/// Benchmark batch size.
+pub const BATCH: usize = 32;
+/// Benchmark sequence length.
+pub const SEQ: usize = 40;
+
+/// The Figure 1 / 8a workload list: `(label, problem)`.
+pub fn gemm_workloads() -> Vec<(&'static str, GemmProblem)> {
+    let m = BATCH * SEQ;
+    vec![
+        ("square-4096", GemmProblem::fp16(4096, 4096, 4096)),
+        ("square-2048", GemmProblem::fp16(2048, 2048, 2048)),
+        ("bert-ffn1", GemmProblem::fp16(m, FFN, HIDDEN)),
+        ("bert-ffn2", GemmProblem::fp16(m, HIDDEN, FFN)),
+        ("bert-attn-scores", GemmProblem::fp16_batched(BATCH * 12, SEQ, SEQ, HIDDEN / 12)),
+    ]
+}
+
+/// The same workloads as tuner [`Workload`]s. Batched GEMMs map to the
+/// tuner's strided-batched workload (per-batch tiles, batch in the grid).
+pub fn tuner_workload(problem: &GemmProblem) -> Workload {
+    if problem.batch > 1 {
+        Workload::BatchedGemm { batch: problem.batch, m: problem.m, n: problem.n, k: problem.k }
+    } else {
+        Workload::Gemm { m: problem.m, n: problem.n, k: problem.k }
+    }
+}
+
+/// A BERT feed-forward block as a graph (dense → GELU → dense), the
+/// pattern Bolt serves with one persistent kernel when profitable.
+pub fn bert_ffn_graph(batch_tokens: usize) -> Graph {
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let x = b.input(&[batch_tokens, HIDDEN]);
+    let h = b.dense_bias(x, FFN, "ffn.fc1");
+    let a = b.activation(h, Activation::Gelu, "ffn.gelu");
+    let o = b.dense_bias(a, HIDDEN, "ffn.fc2");
+    b.finish(&[o])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_set_matches_paper_structure() {
+        let ws = gemm_workloads();
+        assert_eq!(ws.len(), 5, "two squares + three BERT GEMMs");
+        // Exactly one memory-bound (low arithmetic intensity) workload.
+        let low_ai = ws.iter().filter(|(_, p)| p.arithmetic_intensity() < 40.0).count();
+        assert_eq!(low_ai, 1);
+        // The squares are the most compute-intensive.
+        let (_, sq) = ws[0];
+        assert!(sq.arithmetic_intensity() > 500.0);
+    }
+
+    #[test]
+    fn ffn_graph_shapes() {
+        let g = bert_ffn_graph(BATCH * SEQ);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[1280, HIDDEN]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Inception-V3 (Szegedy et al., 2016) — named in the paper's Section 2.1
+//! as a model whose "many different workloads" make auto-tuning take days;
+//! its factorized (1×7 / 7×1) convolutions and multi-branch concatenations
+//! also stress the graph substrate well beyond plain chains.
+//!
+//! This is the canonical torchvision topology in inference form (BatchNorm
+//! pre-folded into conv biases), shape-only parameters.
+
+use bolt_graph::{Graph, GraphBuilder, NodeId};
+use bolt_tensor::{Activation, DType};
+
+/// A conv + bias + ReLU unit ("BasicConv2d"), optionally with a non-square
+/// kernel and asymmetric padding.
+fn conv(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    name: &str,
+) -> NodeId {
+    let cb = b.conv2d_rect_bias(x, out_ch, kernel, stride, padding, name);
+    b.activation(cb, Activation::ReLU, &format!("{name}.relu"))
+}
+
+/// Inception-A block: 1×1 / 5×5 / double-3×3 / pool branches.
+fn inception_a(b: &mut GraphBuilder, x: NodeId, pool_ch: usize, name: &str) -> NodeId {
+    let b1 = conv(b, x, 64, (1, 1), (1, 1), (0, 0), &format!("{name}.b1"));
+    let b5 = conv(b, x, 48, (1, 1), (1, 1), (0, 0), &format!("{name}.b5a"));
+    let b5 = conv(b, b5, 64, (5, 5), (1, 1), (2, 2), &format!("{name}.b5b"));
+    let b3 = conv(b, x, 64, (1, 1), (1, 1), (0, 0), &format!("{name}.b3a"));
+    let b3 = conv(b, b3, 96, (3, 3), (1, 1), (1, 1), &format!("{name}.b3b"));
+    let b3 = conv(b, b3, 96, (3, 3), (1, 1), (1, 1), &format!("{name}.b3c"));
+    let bp = b.avg_pool(x, 3, 1, 1, &format!("{name}.pool"));
+    let bp = conv(b, bp, pool_ch, (1, 1), (1, 1), (0, 0), &format!("{name}.bp"));
+    b.concat(&[b1, b5, b3, bp], &format!("{name}.concat"))
+}
+
+/// Inception-B (grid reduction): strided 3×3 / double-3×3 / pool branches.
+fn inception_b(b: &mut GraphBuilder, x: NodeId, name: &str) -> NodeId {
+    let b3 = conv(b, x, 384, (3, 3), (2, 2), (0, 0), &format!("{name}.b3"));
+    let bd = conv(b, x, 64, (1, 1), (1, 1), (0, 0), &format!("{name}.bda"));
+    let bd = conv(b, bd, 96, (3, 3), (1, 1), (1, 1), &format!("{name}.bdb"));
+    let bd = conv(b, bd, 96, (3, 3), (2, 2), (0, 0), &format!("{name}.bdc"));
+    let bp = b.max_pool(x, 3, 2, &format!("{name}.pool"));
+    b.concat(&[b3, bd, bp], &format!("{name}.concat"))
+}
+
+/// Inception-C block with factorized 1×7 / 7×1 convolutions.
+fn inception_c(b: &mut GraphBuilder, x: NodeId, c7: usize, name: &str) -> NodeId {
+    let b1 = conv(b, x, 192, (1, 1), (1, 1), (0, 0), &format!("{name}.b1"));
+    let b7 = conv(b, x, c7, (1, 1), (1, 1), (0, 0), &format!("{name}.b7a"));
+    let b7 = conv(b, b7, c7, (1, 7), (1, 1), (0, 3), &format!("{name}.b7b"));
+    let b7 = conv(b, b7, 192, (7, 1), (1, 1), (3, 0), &format!("{name}.b7c"));
+    let bd = conv(b, x, c7, (1, 1), (1, 1), (0, 0), &format!("{name}.bda"));
+    let bd = conv(b, bd, c7, (7, 1), (1, 1), (3, 0), &format!("{name}.bdb"));
+    let bd = conv(b, bd, c7, (1, 7), (1, 1), (0, 3), &format!("{name}.bdc"));
+    let bd = conv(b, bd, c7, (7, 1), (1, 1), (3, 0), &format!("{name}.bdd"));
+    let bd = conv(b, bd, 192, (1, 7), (1, 1), (0, 3), &format!("{name}.bde"));
+    let bp = b.avg_pool(x, 3, 1, 1, &format!("{name}.pool"));
+    let bp = conv(b, bp, 192, (1, 1), (1, 1), (0, 0), &format!("{name}.bp"));
+    b.concat(&[b1, b7, bd, bp], &format!("{name}.concat"))
+}
+
+/// Inception-D (grid reduction with factorized 7×7).
+fn inception_d(b: &mut GraphBuilder, x: NodeId, name: &str) -> NodeId {
+    let b3 = conv(b, x, 192, (1, 1), (1, 1), (0, 0), &format!("{name}.b3a"));
+    let b3 = conv(b, b3, 320, (3, 3), (2, 2), (0, 0), &format!("{name}.b3b"));
+    let b7 = conv(b, x, 192, (1, 1), (1, 1), (0, 0), &format!("{name}.b7a"));
+    let b7 = conv(b, b7, 192, (1, 7), (1, 1), (0, 3), &format!("{name}.b7b"));
+    let b7 = conv(b, b7, 192, (7, 1), (1, 1), (3, 0), &format!("{name}.b7c"));
+    let b7 = conv(b, b7, 192, (3, 3), (2, 2), (0, 0), &format!("{name}.b7d"));
+    let bp = b.max_pool(x, 3, 2, &format!("{name}.pool"));
+    b.concat(&[b3, b7, bp], &format!("{name}.concat"))
+}
+
+/// Inception-E block (the widest: split 3×3 branches).
+fn inception_e(b: &mut GraphBuilder, x: NodeId, name: &str) -> NodeId {
+    let b1 = conv(b, x, 320, (1, 1), (1, 1), (0, 0), &format!("{name}.b1"));
+    let b3 = conv(b, x, 384, (1, 1), (1, 1), (0, 0), &format!("{name}.b3a"));
+    let b3a = conv(b, b3, 384, (1, 3), (1, 1), (0, 1), &format!("{name}.b3b"));
+    let b3b = conv(b, b3, 384, (3, 1), (1, 1), (1, 0), &format!("{name}.b3c"));
+    let bd = conv(b, x, 448, (1, 1), (1, 1), (0, 0), &format!("{name}.bda"));
+    let bd = conv(b, bd, 384, (3, 3), (1, 1), (1, 1), &format!("{name}.bdb"));
+    let bda = conv(b, bd, 384, (1, 3), (1, 1), (0, 1), &format!("{name}.bdc"));
+    let bdb = conv(b, bd, 384, (3, 1), (1, 1), (1, 0), &format!("{name}.bdd"));
+    let bp = b.avg_pool(x, 3, 1, 1, &format!("{name}.pool"));
+    let bp = conv(b, bp, 192, (1, 1), (1, 1), (0, 0), &format!("{name}.bp"));
+    b.concat(&[b1, b3a, b3b, bda, bdb, bp], &format!("{name}.concat"))
+}
+
+/// Builds Inception-V3 for 299×299 inputs, shape-only parameters.
+pub fn inception_v3(batch: usize) -> Graph {
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let mut x = b.input(&[batch, 3, 299, 299]);
+    x = conv(&mut b, x, 32, (3, 3), (2, 2), (0, 0), "stem.1");
+    x = conv(&mut b, x, 32, (3, 3), (1, 1), (0, 0), "stem.2");
+    x = conv(&mut b, x, 64, (3, 3), (1, 1), (1, 1), "stem.3");
+    x = b.max_pool(x, 3, 2, "stem.pool1");
+    x = conv(&mut b, x, 80, (1, 1), (1, 1), (0, 0), "stem.4");
+    x = conv(&mut b, x, 192, (3, 3), (1, 1), (0, 0), "stem.5");
+    x = b.max_pool(x, 3, 2, "stem.pool2");
+
+    x = inception_a(&mut b, x, 32, "mixed5b");
+    x = inception_a(&mut b, x, 64, "mixed5c");
+    x = inception_a(&mut b, x, 64, "mixed5d");
+    x = inception_b(&mut b, x, "mixed6a");
+    x = inception_c(&mut b, x, 128, "mixed6b");
+    x = inception_c(&mut b, x, 160, "mixed6c");
+    x = inception_c(&mut b, x, 160, "mixed6d");
+    x = inception_c(&mut b, x, 192, "mixed6e");
+    x = inception_d(&mut b, x, "mixed7a");
+    x = inception_e(&mut b, x, "mixed7b");
+    x = inception_e(&mut b, x, "mixed7c");
+
+    x = b.global_avg_pool(x, "gap");
+    x = b.dense_bias(x, 1000, "fc");
+    b.finish(&[x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_graph::extract_workloads;
+
+    #[test]
+    fn inception_v3_builds_with_correct_output() {
+        let g = inception_v3(8);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[8, 1000]);
+    }
+
+    #[test]
+    fn inception_has_many_unique_workloads() {
+        // The paper's point: Inception-V3 has far more unique tunable
+        // workloads than VGG-style models, making auto-tuning slow.
+        let inception = extract_workloads(&inception_v3(32)).len();
+        let vgg = extract_workloads(&crate::vgg::vgg(16, 32)).len();
+        assert!(inception > 2 * vgg, "inception {inception} vs vgg {vgg}");
+        assert!(inception >= 40, "{inception}");
+    }
+
+    #[test]
+    fn mixed_blocks_concatenate_channels() {
+        let g = inception_v3(1);
+        // mixed5b output: 64 + 64 + 96 + 32 = 256 channels at 35x35.
+        let mixed5b = g.nodes().iter().find(|n| n.name == "mixed5b.concat").unwrap();
+        assert_eq!(mixed5b.shape.dims(), &[1, 256, 35, 35]);
+        // mixed7c output: 320+384+384+384+384+192 = 2048 channels at 8x8.
+        let mixed7c = g.nodes().iter().find(|n| n.name == "mixed7c.concat").unwrap();
+        assert_eq!(mixed7c.shape.dims(), &[1, 2048, 8, 8]);
+    }
+
+    #[test]
+    fn factorized_convs_are_nonsquare() {
+        let g = inception_v3(1);
+        let b7b = g.nodes().iter().find(|n| n.name == "mixed6b.b7b").unwrap();
+        let w = g.node(b7b.inputs[1]);
+        assert_eq!(&w.shape.dims()[2..], &[1, 7]);
+    }
+}

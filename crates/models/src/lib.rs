@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # bolt-models
+//!
+//! The model zoo of the Bolt (MLSys 2022) evaluation:
+//!
+//! * [`vgg`] — VGG-11/13/16/19 (Figure 10's compute-bound extreme);
+//! * [`resnet`] — ResNet-18/34/50 in inference form (Figure 8b / 10);
+//! * [`repvgg`] — RepVGG-A0/A1/B0 in train (multi-branch) and deploy
+//!   (re-parameterized) forms, plus the paper's system-friendly
+//!   "RepVGGAug" variants with extra 1×1 convolutions and alternative
+//!   activations (Section 4.3);
+//! * [`bert`] — the GEMM workloads of Figures 1 and 8a;
+//! * [`mlp`] — DLRM/DCNv2-style MLP chains and the exact back-to-back
+//!   GEMM pairs of Table 1;
+//! * [`accuracy`] — the calibrated top-1 accuracy proxy substituting for
+//!   ImageNet training (see DESIGN.md, substitution 5);
+//! * [`zoo`] — a name-indexed registry of the Figure 10 model set.
+
+pub mod accuracy;
+pub mod bert;
+pub mod inception;
+pub mod mlp;
+pub mod repvgg;
+pub mod resnet;
+pub mod vgg;
+pub mod zoo;
+
+pub use accuracy::{AccuracyModel, TrainRecipe};
+pub use repvgg::{RepVggSpec, RepVggVariant};
+pub use zoo::{model_by_name, ModelInfo, FIGURE10_MODELS};

@@ -1,0 +1,85 @@
+//! Recommendation-model MLP chains (DLRM, DCN-v2) — the source of the
+//! paper's Table 1 back-to-back GEMM workloads.
+
+use bolt_cutlass::GemmProblem;
+use bolt_graph::{Graph, GraphBuilder};
+use bolt_tensor::{Activation, DType};
+
+/// The exact back-to-back GEMM pairs of Table 1 ("extracted from real
+/// recommendation models, e.g., DCNv2, DLRM"): `(gemm0, gemm1)`, each
+/// followed by a ReLU epilogue, fused into one persistent kernel.
+pub fn table1_gemm_pairs() -> Vec<(GemmProblem, GemmProblem)> {
+    vec![
+        (GemmProblem::fp16(2464, 1, 4), GemmProblem::fp16(2464, 4, 1)),
+        (GemmProblem::fp16(16384, 64, 256), GemmProblem::fp16(16384, 16, 64)),
+        (GemmProblem::fp16(32768, 128, 576), GemmProblem::fp16(32768, 64, 128)),
+        (GemmProblem::fp16(128320, 32, 96), GemmProblem::fp16(128320, 96, 32)),
+    ]
+}
+
+/// A DLRM-style bottom MLP: a chain of dense+ReLU layers over a large
+/// batch of interaction rows — tall-skinny GEMMs that persistent kernels
+/// love.
+pub fn dlrm_bottom_mlp(batch: usize, features: &[usize]) -> Graph {
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let mut x = b.input(&[batch, features[0]]);
+    for (i, &units) in features[1..].iter().enumerate() {
+        x = b.dense_bias(x, units, &format!("mlp.fc{i}"));
+        x = b.activation(x, Activation::ReLU, &format!("mlp.relu{i}"));
+    }
+    b.finish(&[x])
+}
+
+/// A DCN-v2 style cross+deep tower over `batch` rows with `dim` features:
+/// two dense layers forming the "deep" part (the fusible chain) plus a
+/// final scoring head.
+pub fn dcnv2_deep_tower(batch: usize, dim: usize) -> Graph {
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let x = b.input(&[batch, dim]);
+    let h1 = b.dense_bias(x, dim / 2, "deep.fc1");
+    let r1 = b.activation(h1, Activation::ReLU, "deep.relu1");
+    let h2 = b.dense_bias(r1, dim / 4, "deep.fc2");
+    let r2 = b.activation(h2, Activation::ReLU, "deep.relu2");
+    let score = b.dense_bias(r2, 1, "head");
+    let out = b.activation(score, Activation::Sigmoid, "sigmoid");
+    b.finish(&[out])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_graph::extract_workloads;
+
+    #[test]
+    fn table1_pairs_chain_correctly() {
+        for (g0, g1) in table1_gemm_pairs() {
+            assert_eq!(g0.m, g1.m, "persistent fusion requires equal M");
+            assert_eq!(g0.n, g1.k, "GEMM1 K must equal GEMM0 N");
+        }
+    }
+
+    #[test]
+    fn table1_pairs_are_memory_bound() {
+        // The paper designs persistent kernels "specifically for
+        // memory-bound operators ... small N and K but large M".
+        for (g0, _) in table1_gemm_pairs() {
+            assert!(g0.arithmetic_intensity() < 120.0, "{g0} too compute-bound");
+        }
+    }
+
+    #[test]
+    fn dlrm_builds() {
+        let g = dlrm_bottom_mlp(16384, &[256, 64, 16]);
+        let tasks = extract_workloads(&g);
+        assert_eq!(tasks.len(), 2);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[16384, 16]);
+    }
+
+    #[test]
+    fn dcnv2_builds() {
+        let g = dcnv2_deep_tower(32768, 512);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[32768, 1]);
+    }
+}

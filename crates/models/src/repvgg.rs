@@ -1,0 +1,222 @@
+//! RepVGG (Ding et al., 2021) and the paper's system-friendly
+//! augmentations (Section 4.3).
+//!
+//! RepVGG trains a multi-branch model (3×3 conv + 1×1 conv + identity,
+//! each BatchNorm-ed) and deploys a plain stack of 3×3 convolutions via
+//! structural re-parameterization. Bolt's case study augments it three
+//! ways: swapping the activation function (Table 4), deepening with 1×1
+//! convolutions that persistent kernels fuse almost for free (Table 5),
+//! and both combined (Table 6).
+
+use bolt_graph::{Graph, GraphBuilder};
+use bolt_tensor::{Activation, DType};
+
+/// The RepVGG variants used in the paper's case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepVggVariant {
+    /// Width multiplier a=0.75, b=2.5, stages [1, 2, 4, 14, 1].
+    A0,
+    /// Width multiplier a=1.0, b=2.5, stages [1, 2, 4, 14, 1].
+    A1,
+    /// Width multiplier a=1.0, b=2.5, stages [1, 4, 6, 16, 1].
+    B0,
+}
+
+impl RepVggVariant {
+    /// Blocks per stage.
+    pub fn stage_blocks(self) -> [usize; 5] {
+        match self {
+            RepVggVariant::A0 | RepVggVariant::A1 => [1, 2, 4, 14, 1],
+            RepVggVariant::B0 => [1, 4, 6, 16, 1],
+        }
+    }
+
+    /// Channel width per stage.
+    pub fn stage_widths(self) -> [usize; 5] {
+        let (a, b) = match self {
+            RepVggVariant::A0 => (0.75, 2.5),
+            RepVggVariant::A1 | RepVggVariant::B0 => (1.0, 2.5),
+        };
+        let w = |base: f64, mult: f64| (base * mult) as usize;
+        [
+            (64.0f64.min(64.0 * a)) as usize,
+            w(64.0, a),
+            w(128.0, a),
+            w(256.0, a),
+            w(512.0, b),
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RepVggVariant::A0 => "RepVGG-A0",
+            RepVggVariant::A1 => "RepVGG-A1",
+            RepVggVariant::B0 => "RepVGG-B0",
+        }
+    }
+
+    /// Deploy-form parameter count reported by the papers (millions).
+    /// Used by the accuracy proxy (see DESIGN.md substitution 5).
+    pub fn paper_params_m(self, augmented: bool) -> f64 {
+        match (self, augmented) {
+            (RepVggVariant::A0, false) => 8.31,
+            (RepVggVariant::A1, false) => 12.79,
+            (RepVggVariant::B0, false) => 14.34,
+            (RepVggVariant::A0, true) => 13.35,
+            (RepVggVariant::A1, true) => 21.7,
+            (RepVggVariant::B0, true) => 24.85,
+        }
+    }
+}
+
+/// A concrete model of the case study: variant + activation + optional
+/// 1×1 deepening.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepVggSpec {
+    /// Base architecture.
+    pub variant: RepVggVariant,
+    /// Activation after every convolution (the original uses ReLU).
+    pub activation: Activation,
+    /// Add a same-channel 1×1 conv after each 3×3 (except the wide final
+    /// stage), the paper's 2nd codesign principle.
+    pub augment_1x1: bool,
+}
+
+impl RepVggSpec {
+    /// The original RepVGG model.
+    pub fn original(variant: RepVggVariant) -> Self {
+        RepVggSpec { variant, activation: Activation::ReLU, augment_1x1: false }
+    }
+
+    /// The augmented ("RepVGGAug") model with extra 1×1 convs.
+    pub fn augmented(variant: RepVggVariant, activation: Activation) -> Self {
+        RepVggSpec { variant, activation, augment_1x1: true }
+    }
+
+    /// Display name (`RepVGG-A0`, `RepVGGAug-A0`, ...).
+    pub fn name(&self) -> String {
+        if self.augment_1x1 {
+            self.variant.name().replace("RepVGG-", "RepVGGAug-")
+        } else {
+            self.variant.name().to_string()
+        }
+    }
+
+    /// Paper-reported parameter count in millions.
+    pub fn paper_params_m(&self) -> f64 {
+        self.variant.paper_params_m(self.augment_1x1)
+    }
+
+    /// Builds the deploy-form (inference) graph: re-parameterized 3×3
+    /// convolutions, shape-only parameters, ready for Bolt.
+    pub fn deploy_graph(&self, batch: usize) -> Graph {
+        let mut b = GraphBuilder::shapes_only(DType::F16);
+        let mut x = b.input(&[batch, 3, 224, 224]);
+        let blocks = self.variant.stage_blocks();
+        let widths = self.variant.stage_widths();
+        let last_stage = blocks.len() - 1;
+        for (stage, (&count, &width)) in blocks.iter().zip(widths.iter()).enumerate() {
+            for block in 0..count {
+                let stride = if block == 0 { 2 } else { 1 };
+                let name = format!("s{stage}b{block}");
+                x = b.conv2d_bias(x, width, 3, (stride, stride), (1, 1), &format!("{name}.conv3"));
+                x = b.activation(x, self.activation, &format!("{name}.act"));
+                // The paper adds 1x1 convs after each 3x3 "except for the
+                // last one which has too many output channels".
+                if self.augment_1x1 && stage != last_stage {
+                    x = b.conv2d_bias(x, width, 1, (1, 1), (0, 0), &format!("{name}.conv1"));
+                    x = b.activation(x, self.activation, &format!("{name}.act1"));
+                }
+            }
+        }
+        x = b.global_avg_pool(x, "gap");
+        x = b.dense_bias(x, 1000, "fc");
+        b.finish(&[x])
+    }
+}
+
+/// Builds a *train-form* RepVGG block stack (multi-branch with BatchNorm,
+/// materialized parameters) on a small input — used to exercise the
+/// re-parameterization pass end to end. `channels` blocks of the given
+/// widths, stride 1 throughout so identity branches are present.
+pub fn train_form_blocks(batch: usize, hw: usize, widths: &[usize]) -> Graph {
+    let mut b = GraphBuilder::new(DType::F32);
+    let mut x = b.input(&[batch, widths[0], hw, hw]);
+    for (i, &w) in widths.iter().enumerate() {
+        let name = format!("block{i}");
+        let c3 = b.conv2d(x, w, 3, (1, 1), (1, 1), &format!("{name}.dense"));
+        let bn3 = b.batch_norm(c3, &format!("{name}.dense_bn"));
+        let c1 = b.conv2d(x, w, 1, (1, 1), (0, 0), &format!("{name}.1x1"));
+        let bn1 = b.batch_norm(c1, &format!("{name}.1x1_bn"));
+        let mut sum = b.add(bn3, bn1, &format!("{name}.add1"));
+        if b.graph().node(x).shape.dim(1) == w {
+            let bnid = b.batch_norm(x, &format!("{name}.id_bn"));
+            sum = b.add(sum, bnid, &format!("{name}.add2"));
+        }
+        x = b.activation(sum, Activation::ReLU, &format!("{name}.relu"));
+    }
+    b.finish(&[x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_graph::passes::PassManager;
+    use bolt_graph::OpKind;
+
+    #[test]
+    fn variant_shapes() {
+        assert_eq!(RepVggVariant::A0.stage_widths(), [48, 48, 96, 192, 1280]);
+        assert_eq!(RepVggVariant::A1.stage_widths(), [64, 64, 128, 256, 1280]);
+        assert_eq!(RepVggVariant::B0.stage_blocks(), [1, 4, 6, 16, 1]);
+    }
+
+    #[test]
+    fn deploy_graph_conv_counts() {
+        let a0 = RepVggSpec::original(RepVggVariant::A0).deploy_graph(32);
+        let convs = a0
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 22); // 1+2+4+14+1
+
+        let aug = RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish)
+            .deploy_graph(32);
+        let convs_aug = aug
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs_aug, 22 + 21); // +1x1 after all but the last stage
+    }
+
+    #[test]
+    fn names_and_params() {
+        let spec = RepVggSpec::augmented(RepVggVariant::A1, Activation::Hardswish);
+        assert_eq!(spec.name(), "RepVGGAug-A1");
+        assert_eq!(spec.paper_params_m(), 21.7);
+        assert_eq!(RepVggSpec::original(RepVggVariant::B0).name(), "RepVGG-B0");
+    }
+
+    #[test]
+    fn train_form_reparameterizes_to_single_convs() {
+        let g = train_form_blocks(1, 8, &[8, 8]);
+        let deployed = PassManager::deployment().run(&g).unwrap();
+        let convs = deployed
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 2, "each block must collapse to one conv:\n{deployed}");
+        assert!(!deployed.nodes().iter().any(|n| matches!(n.kind, OpKind::BatchNorm { .. })));
+    }
+
+    #[test]
+    fn output_is_imagenet_classifier() {
+        let g = RepVggSpec::original(RepVggVariant::B0).deploy_graph(16);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[16, 1000]);
+    }
+}

@@ -1,0 +1,135 @@
+//! ResNet (He et al., 2016) in inference form — BatchNorms pre-folded
+//! into convolution biases, the canonical deployment graph. ResNet's mix
+//! of 1×1/3×3 convolutions and residual adds makes it the least
+//! Bolt-favourable model in Figure 10 (1.5×).
+
+use bolt_graph::{Graph, GraphBuilder, NodeId};
+use bolt_tensor::{Activation, DType};
+
+fn basic_block(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    channels: usize,
+    stride: usize,
+    name: &str,
+) -> NodeId {
+    let c1 = b.conv2d_bias(x, channels, 3, (stride, stride), (1, 1), &format!("{name}.conv1"));
+    let r1 = b.activation(c1, Activation::ReLU, &format!("{name}.relu1"));
+    let c2 = b.conv2d_bias(r1, channels, 3, (1, 1), (1, 1), &format!("{name}.conv2"));
+    let shortcut = if stride != 1 || channels != channel_count(b, x) {
+        b.conv2d_bias(x, channels, 1, (stride, stride), (0, 0), &format!("{name}.downsample"))
+    } else {
+        x
+    };
+    let sum = b.add(c2, shortcut, &format!("{name}.add"));
+    b.activation(sum, Activation::ReLU, &format!("{name}.relu2"))
+}
+
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    width: usize,
+    stride: usize,
+    name: &str,
+) -> NodeId {
+    let out_ch = width * 4;
+    let c1 = b.conv2d_bias(x, width, 1, (1, 1), (0, 0), &format!("{name}.conv1"));
+    let r1 = b.activation(c1, Activation::ReLU, &format!("{name}.relu1"));
+    let c2 = b.conv2d_bias(r1, width, 3, (stride, stride), (1, 1), &format!("{name}.conv2"));
+    let r2 = b.activation(c2, Activation::ReLU, &format!("{name}.relu2"));
+    let c3 = b.conv2d_bias(r2, out_ch, 1, (1, 1), (0, 0), &format!("{name}.conv3"));
+    let shortcut = if stride != 1 || out_ch != channel_count(b, x) {
+        b.conv2d_bias(x, out_ch, 1, (stride, stride), (0, 0), &format!("{name}.downsample"))
+    } else {
+        x
+    };
+    let sum = b.add(c3, shortcut, &format!("{name}.add"));
+    b.activation(sum, Activation::ReLU, &format!("{name}.relu3"))
+}
+
+fn channel_count(b: &GraphBuilder, x: NodeId) -> usize {
+    b.graph().node(x).shape.dim(1)
+}
+
+/// Builds ResNet-`depth` (18/34/50/101/152) for 224×224 inputs, shape-only
+/// parameters.
+///
+/// # Panics
+///
+/// Panics if `depth` is not one of 18/34/50/101/152.
+pub fn resnet(depth: usize, batch: usize) -> Graph {
+    let (blocks, use_bottleneck): (&[usize], bool) = match depth {
+        18 => (&[2, 2, 2, 2], false),
+        34 => (&[3, 4, 6, 3], false),
+        50 => (&[3, 4, 6, 3], true),
+        101 => (&[3, 4, 23, 3], true),
+        152 => (&[3, 8, 36, 3], true),
+        other => panic!("unsupported ResNet depth {other} (use 18/34/50/101/152)"),
+    };
+
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let mut x = b.input(&[batch, 3, 224, 224]);
+    x = b.conv2d_bias(x, 64, 7, (2, 2), (3, 3), "stem.conv");
+    x = b.activation(x, Activation::ReLU, "stem.relu");
+    x = b.max_pool(x, 3, 2, "stem.pool");
+    // NOTE: torchvision pads the stem pool; our Pool has symmetric padding
+    // support only through the op attrs — use padding via window math: the
+    // 3x3/2 pool on 112 gives 55 without padding; torchvision gives 56.
+    // The 1-pixel difference is irrelevant to the performance shapes.
+
+    let widths = [64usize, 128, 256, 512];
+    for (stage, (&count, &width)) in blocks.iter().zip(widths.iter()).enumerate() {
+        for block in 0..count {
+            let stride = if block == 0 && stage > 0 { 2 } else { 1 };
+            let name = format!("layer{}.{}", stage + 1, block);
+            x = if use_bottleneck {
+                bottleneck(&mut b, x, width, stride, &name)
+            } else {
+                basic_block(&mut b, x, width, stride, &name)
+            };
+        }
+    }
+    x = b.global_avg_pool(x, "gap");
+    x = b.dense_bias(x, 1000, "fc");
+    b.finish(&[x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_graph::{extract_workloads, OpKind};
+
+    #[test]
+    fn resnet50_has_53_convs() {
+        let g = resnet(50, 32);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Conv2d { .. }))
+            .count();
+        // 1 stem + 16 blocks * 3 + 4 downsamples = 53.
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn resnet18_output_shape() {
+        let g = resnet(18, 8);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[8, 1000]);
+    }
+
+    #[test]
+    fn residual_adds_exist() {
+        let g = resnet(18, 1);
+        let adds = g.nodes().iter().filter(|n| n.kind == OpKind::Add).count();
+        assert_eq!(adds, 8);
+    }
+
+    #[test]
+    fn unique_workloads_are_few() {
+        let g = resnet(50, 32);
+        let tasks = extract_workloads(&g);
+        // Dozens of convs share ~2 dozen unique shapes.
+        assert!(tasks.len() >= 15 && tasks.len() <= 30, "{}", tasks.len());
+    }
+}

@@ -1,0 +1,93 @@
+//! VGG (Simonyan & Zisserman, 2014) — the compute-bound end of Figure 10,
+//! where Bolt's tensor-core kernels win by the largest margin (4.2×).
+
+use bolt_graph::{Graph, GraphBuilder};
+use bolt_tensor::{Activation, DType};
+
+/// Per-variant convolution plans: channel counts, `0` marking a 2×2 max
+/// pool.
+fn plan(depth: usize) -> &'static [usize] {
+    match depth {
+        11 => &[64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+        13 => &[64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
+        16 => &[64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0],
+        19 => &[
+            64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512, 512,
+            512, 0,
+        ],
+        other => panic!("unsupported VGG depth {other} (use 11/13/16/19)"),
+    }
+}
+
+/// Builds VGG-`depth` for 224×224 inputs at the given batch size.
+/// Parameters are shape-only (the Figure 10 models are timed, not
+/// functionally executed).
+///
+/// # Panics
+///
+/// Panics if `depth` is not one of 11/13/16/19.
+pub fn vgg(depth: usize, batch: usize) -> Graph {
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let mut x = b.input(&[batch, 3, 224, 224]);
+    for (i, &step) in plan(depth).iter().enumerate() {
+        if step == 0 {
+            x = b.max_pool(x, 2, 2, &format!("pool{i}"));
+        } else {
+            x = b.conv2d_bias(x, step, 3, (1, 1), (1, 1), &format!("conv{i}"));
+            x = b.activation(x, Activation::ReLU, &format!("relu{i}"));
+        }
+    }
+    x = b.flatten(x, "flatten");
+    x = b.dense_bias(x, 4096, "fc6");
+    x = b.activation(x, Activation::ReLU, "relu6");
+    x = b.dense_bias(x, 4096, "fc7");
+    x = b.activation(x, Activation::ReLU, "relu7");
+    x = b.dense_bias(x, 1000, "fc8");
+    b.finish(&[x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_graph::extract_workloads;
+
+    #[test]
+    fn vgg16_structure() {
+        let g = vgg(16, 32);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, bolt_graph::OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        let denses =
+            g.nodes().iter().filter(|n| n.kind == bolt_graph::OpKind::Dense).count();
+        assert_eq!(denses, 3);
+        // Final classifier shape.
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.dims(), &[32, 1000]);
+    }
+
+    #[test]
+    fn spatial_dims_shrink_correctly() {
+        let g = vgg(11, 1);
+        // After 5 pools: 224 / 32 = 7; flatten gives 512*7*7 = 25088.
+        let flat = g.nodes().iter().find(|n| n.name == "flatten").unwrap();
+        assert_eq!(flat.shape.dims(), &[1, 25088]);
+    }
+
+    #[test]
+    fn workload_counts_are_modest() {
+        // VGG has few unique workloads despite many layers (Figure 10b's
+        // task counts).
+        let g = vgg(19, 32);
+        let tasks = extract_workloads(&g);
+        assert!(tasks.len() <= 13, "{} unique tasks", tasks.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported VGG depth")]
+    fn bad_depth_panics() {
+        vgg(15, 1);
+    }
+}

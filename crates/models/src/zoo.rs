@@ -1,0 +1,101 @@
+//! The Figure 10 model registry.
+
+use bolt_graph::Graph;
+use bolt_tensor::Activation;
+
+use crate::inception::inception_v3;
+use crate::repvgg::{RepVggSpec, RepVggVariant};
+use crate::resnet::resnet;
+use crate::vgg::vgg;
+
+/// The six widely-used CNNs of the end-to-end evaluation (Figure 10).
+pub const FIGURE10_MODELS: [&str; 6] =
+    ["vgg-16", "vgg-19", "resnet-18", "resnet-50", "repvgg-a0", "repvgg-b0"];
+
+/// Metadata for a zoo model.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// The inference graph.
+    pub graph: Graph,
+    /// Batch size the graph was built for.
+    pub batch: usize,
+    /// Parameter count of the built graph, in millions.
+    pub params_m: f64,
+}
+
+/// Builds a zoo model by name (`vgg-16`, `resnet-50`, `repvgg-a0`, ...).
+///
+/// # Panics
+///
+/// Panics on an unknown name; see [`FIGURE10_MODELS`] for the supported
+/// set (plus `vgg-11`, `vgg-13`, `resnet-34`, `repvgg-a1`, and the
+/// `repvggaug-*` variants).
+pub fn model_by_name(name: &str, batch: usize) -> ModelInfo {
+    let graph = match name {
+        "vgg-11" => vgg(11, batch),
+        "vgg-13" => vgg(13, batch),
+        "vgg-16" => vgg(16, batch),
+        "vgg-19" => vgg(19, batch),
+        "inception-v3" => inception_v3(batch),
+        "resnet-18" => resnet(18, batch),
+        "resnet-34" => resnet(34, batch),
+        "resnet-50" => resnet(50, batch),
+        "resnet-101" => resnet(101, batch),
+        "resnet-152" => resnet(152, batch),
+        "repvgg-a0" => RepVggSpec::original(RepVggVariant::A0).deploy_graph(batch),
+        "repvgg-a1" => RepVggSpec::original(RepVggVariant::A1).deploy_graph(batch),
+        "repvgg-b0" => RepVggSpec::original(RepVggVariant::B0).deploy_graph(batch),
+        "repvggaug-a0" => {
+            RepVggSpec::augmented(RepVggVariant::A0, Activation::ReLU).deploy_graph(batch)
+        }
+        "repvggaug-a1" => {
+            RepVggSpec::augmented(RepVggVariant::A1, Activation::ReLU).deploy_graph(batch)
+        }
+        "repvggaug-b0" => {
+            RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU).deploy_graph(batch)
+        }
+        other => panic!("unknown model {other}"),
+    };
+    let params: usize = graph
+        .nodes()
+        .iter()
+        .filter_map(|n| match &n.kind {
+            bolt_graph::OpKind::Constant { shape, .. } => Some(shape.numel()),
+            _ => None,
+        })
+        .sum();
+    ModelInfo { name: name.to_string(), graph, batch, params_m: params as f64 / 1e6 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figure10_models_build() {
+        for name in FIGURE10_MODELS {
+            let info = model_by_name(name, 32);
+            assert!(!info.graph.is_empty(), "{name}");
+            assert!(info.params_m > 1.0, "{name}: {} M params", info.params_m);
+        }
+    }
+
+    #[test]
+    fn param_counts_are_plausible() {
+        // VGG-16: ~138 M params; ResNet-50: ~25.6 M; RepVGG-A0 deploy: ~8.3 M.
+        let vgg16 = model_by_name("vgg-16", 1);
+        assert!((vgg16.params_m - 138.0).abs() < 5.0, "{}", vgg16.params_m);
+        let r50 = model_by_name("resnet-50", 1);
+        assert!((r50.params_m - 25.6).abs() < 2.0, "{}", r50.params_m);
+        let a0 = model_by_name("repvgg-a0", 1);
+        assert!((a0.params_m - 8.3).abs() < 0.7, "{}", a0.params_m);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        model_by_name("alexnet", 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Activation functions and their per-element cost profiles.
+//!
+//! The Bolt paper's epilogue fusion (Section 3.1) fuses these into the GEMM
+//! and Conv epilogues; its system-model codesign study (Table 4) swaps them
+//! inside RepVGG. Each activation also declares how many FMA-equivalent
+//! operations and special-function-unit (SFU) operations it costs per
+//! element so the GPU simulator can charge fused epilogues accurately.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An elementwise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// The identity (no activation).
+    Identity,
+    /// `max(0, x)` (Nair & Hinton, 2010).
+    ReLU,
+    /// Gaussian Error Linear Unit, tanh approximation (Hendrycks & Gimpel).
+    Gelu,
+    /// `x * clamp(x + 3, 0, 6) / 6` (Howard et al., 2019).
+    Hardswish,
+    /// `ln(1 + e^x)` (Zheng et al., 2015).
+    Softplus,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// `x * sigmoid(x)` — Swish/SiLU (Ramachandran et al., 2017).
+    Silu,
+}
+
+impl Activation {
+    /// All activations the RepVGG case study sweeps (Table 4), in paper
+    /// order.
+    pub const REPVGG_SWEEP: [Activation; 4] = [
+        Activation::ReLU,
+        Activation::Gelu,
+        Activation::Hardswish,
+        Activation::Softplus,
+    ];
+
+    /// Applies the activation to a single value.
+    ///
+    /// ```
+    /// use bolt_tensor::Activation;
+    /// assert_eq!(Activation::ReLU.apply(-2.0), 0.0);
+    /// assert_eq!(Activation::ReLU.apply(3.0), 3.0);
+    /// ```
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::ReLU => x.max(0.0),
+            Activation::Gelu => {
+                // tanh approximation used by CUTLASS's GELU_taylor epilogue.
+                const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+                0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+            }
+            Activation::Hardswish => x * ((x + 3.0).clamp(0.0, 6.0)) / 6.0,
+            Activation::Softplus => {
+                // Numerically stable: ln(1+e^x) = max(x,0) + ln(1+e^-|x|).
+                x.max(0.0) + (-x.abs()).exp().ln_1p()
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Silu => x / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// FMA-equivalent arithmetic operations per element (excluding SFU ops).
+    pub const fn fma_ops_per_elem(self) -> f64 {
+        match self {
+            Activation::Identity => 0.0,
+            Activation::ReLU => 1.0,
+            Activation::Gelu => 6.0,
+            Activation::Hardswish => 4.0,
+            Activation::Softplus => 3.0,
+            Activation::Sigmoid => 2.0,
+            Activation::Silu => 3.0,
+        }
+    }
+
+    /// Special-function-unit (exp/tanh/log) operations per element. SFU
+    /// throughput is much lower than FMA throughput, which is why Softplus
+    /// costs the most in Table 4 (7.7% speed drop).
+    pub const fn sfu_ops_per_elem(self) -> f64 {
+        match self {
+            Activation::Identity | Activation::ReLU | Activation::Hardswish => 0.0,
+            Activation::Gelu => 1.0,
+            Activation::Softplus => 2.0,
+            Activation::Sigmoid => 1.0,
+            Activation::Silu => 1.0,
+        }
+    }
+
+    /// Short lowercase name (`"relu"`, `"hardswish"`, ...).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Activation::Identity => "identity",
+            Activation::ReLU => "relu",
+            Activation::Gelu => "gelu",
+            Activation::Hardswish => "hardswish",
+            Activation::Softplus => "softplus",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Silu => "silu",
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies an activation to every element of a slice in place.
+pub fn apply_slice(activation: Activation, values: &mut [f32]) {
+    if activation == Activation::Identity {
+        return;
+    }
+    for v in values {
+        *v = activation.apply(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu() {
+        assert_eq!(Activation::ReLU.apply(-1.0), 0.0);
+        assert_eq!(Activation::ReLU.apply(0.0), 0.0);
+        assert_eq!(Activation::ReLU.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn gelu_matches_known_points() {
+        // GELU(0)=0, GELU is ~x for large x, ~0 for very negative x.
+        assert_eq!(Activation::Gelu.apply(0.0), 0.0);
+        assert!((Activation::Gelu.apply(6.0) - 6.0).abs() < 1e-3);
+        assert!(Activation::Gelu.apply(-6.0).abs() < 1e-3);
+        // GELU(1) ≈ 0.8412 (tanh approximation).
+        assert!((Activation::Gelu.apply(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hardswish_matches_definition() {
+        assert_eq!(Activation::Hardswish.apply(-4.0), 0.0);
+        assert_eq!(Activation::Hardswish.apply(4.0), 4.0);
+        assert_eq!(Activation::Hardswish.apply(0.0), 0.0);
+        assert!((Activation::Hardswish.apply(1.0) - 4.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softplus_is_stable_and_positive() {
+        let large = Activation::Softplus.apply(100.0);
+        assert!((large - 100.0).abs() < 1e-4);
+        let small = Activation::Softplus.apply(-100.0);
+        assert!(small >= 0.0 && small < 1e-4);
+        assert!((Activation::Softplus.apply(0.0) - 2f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silu_and_sigmoid_consistent() {
+        let x = 1.7f32;
+        let s = Activation::Sigmoid.apply(x);
+        assert!((Activation::Silu.apply(x) - x * s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_activations() {
+        for act in [Activation::ReLU, Activation::Softplus, Activation::Sigmoid] {
+            let mut prev = f32::NEG_INFINITY;
+            for i in -50..=50 {
+                let y = act.apply(i as f32 * 0.2);
+                assert!(y >= prev - 1e-6, "{act} not monotone at {i}");
+                prev = y;
+            }
+        }
+    }
+
+    #[test]
+    fn cost_profile_ordering() {
+        // Softplus must be the most SFU-hungry of the Table 4 sweep.
+        let sweep = Activation::REPVGG_SWEEP;
+        let softplus_cost = Activation::Softplus.sfu_ops_per_elem();
+        for act in sweep {
+            assert!(act.sfu_ops_per_elem() <= softplus_cost);
+        }
+        assert_eq!(Activation::Identity.fma_ops_per_elem(), 0.0);
+    }
+
+    #[test]
+    fn apply_slice_identity_is_noop() {
+        let mut values = vec![1.0, -2.0, 3.0];
+        apply_slice(Activation::Identity, &mut values);
+        assert_eq!(values, vec![1.0, -2.0, 3.0]);
+        apply_slice(Activation::ReLU, &mut values);
+        assert_eq!(values, vec![1.0, 0.0, 3.0]);
+    }
+}

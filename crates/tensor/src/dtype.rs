@@ -1,0 +1,207 @@
+//! Data types supported by the templated kernel library.
+//!
+//! The set mirrors what CUTLASS 2.x supports on Turing/Ampere tensor cores
+//! (the paper lists B1, INT4, INT8, FP16, BF16, FP32, TF32, FP64). The
+//! reproduction exercises FP16/BF16/TF32/FP32 end to end; the integer types
+//! participate in sizing/alignment logic and the performance model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::half::{round_bf16, round_f16, round_tf32};
+
+/// Element data type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 1-bit binary (B1).
+    B1,
+    /// 4-bit signed integer.
+    I4,
+    /// 8-bit signed integer.
+    I8,
+    /// 32-bit signed integer (accumulator for integer GEMMs).
+    I32,
+    /// IEEE binary16.
+    F16,
+    /// bfloat16.
+    Bf16,
+    /// TensorFloat-32 (stored as f32, computed with a 10-bit mantissa).
+    Tf32,
+    /// IEEE binary32.
+    F32,
+    /// IEEE binary64.
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bits.
+    ///
+    /// ```
+    /// use bolt_tensor::DType;
+    /// assert_eq!(DType::F16.size_bits(), 16);
+    /// assert_eq!(DType::B1.size_bits(), 1);
+    /// ```
+    pub const fn size_bits(self) -> usize {
+        match self {
+            DType::B1 => 1,
+            DType::I4 => 4,
+            DType::I8 => 8,
+            DType::I32 => 32,
+            DType::F16 | DType::Bf16 => 16,
+            DType::Tf32 | DType::F32 => 32,
+            DType::F64 => 64,
+        }
+    }
+
+    /// Size of one element in bytes, rounded up for sub-byte types.
+    pub const fn size_bytes(self) -> usize {
+        let bits = self.size_bits();
+        if bits < 8 {
+            1
+        } else {
+            bits / 8
+        }
+    }
+
+    /// The widest vectorized access (in elements) that a 128-bit load/store
+    /// can move for this dtype. NVIDIA GPUs vectorize up to `ld.128`, so for
+    /// FP16 this is 8 — the "alignment 8" the paper's kernel-padding
+    /// optimization targets.
+    ///
+    /// ```
+    /// use bolt_tensor::DType;
+    /// assert_eq!(DType::F16.max_vector_elems(), 8);
+    /// assert_eq!(DType::F32.max_vector_elems(), 4);
+    /// ```
+    pub const fn max_vector_elems(self) -> usize {
+        128 / self.size_bits()
+    }
+
+    /// True for floating-point types.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::Bf16 | DType::Tf32 | DType::F32 | DType::F64)
+    }
+
+    /// True for types natively consumed by tensor cores (Turing/Ampere).
+    pub const fn tensor_core_eligible(self) -> bool {
+        matches!(
+            self,
+            DType::B1 | DType::I4 | DType::I8 | DType::F16 | DType::Bf16 | DType::Tf32
+        )
+    }
+
+    /// Rounds an `f32` value to this dtype's precision and back to `f32`.
+    ///
+    /// This is how the functional executors emulate reduced-precision
+    /// storage while keeping all arithmetic in `f32` (the tensor-core
+    /// accumulator precision).
+    pub fn quantize(self, value: f32) -> f32 {
+        match self {
+            DType::F16 => round_f16(value),
+            DType::Bf16 => round_bf16(value),
+            DType::Tf32 => round_tf32(value),
+            DType::F32 | DType::F64 => value,
+            DType::I8 => value.round().clamp(-128.0, 127.0),
+            DType::I4 => value.round().clamp(-8.0, 7.0),
+            DType::I32 => value.round().clamp(i32::MIN as f32, i32::MAX as f32),
+            DType::B1 => {
+                if value >= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Short lowercase name (`"f16"`, `"i8"`, ...).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::B1 => "b1",
+            DType::I4 => "i4",
+            DType::I8 => "i8",
+            DType::I32 => "i32",
+            DType::F16 => "f16",
+            DType::Bf16 => "bf16",
+            DType::Tf32 => "tf32",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        }
+    }
+
+    /// The CUTLASS C++ element type name, used by the code emitter.
+    pub const fn cutlass_name(self) -> &'static str {
+        match self {
+            DType::B1 => "cutlass::uint1b_t",
+            DType::I4 => "cutlass::int4b_t",
+            DType::I8 => "int8_t",
+            DType::I32 => "int32_t",
+            DType::F16 => "cutlass::half_t",
+            DType::Bf16 => "cutlass::bfloat16_t",
+            DType::Tf32 => "cutlass::tfloat32_t",
+            DType::F32 => "float",
+            DType::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I4.size_bytes(), 1);
+        assert_eq!(DType::I4.size_bits(), 4);
+    }
+
+    #[test]
+    fn vector_widths() {
+        assert_eq!(DType::F16.max_vector_elems(), 8);
+        assert_eq!(DType::I8.max_vector_elems(), 16);
+        assert_eq!(DType::F32.max_vector_elems(), 4);
+        assert_eq!(DType::F64.max_vector_elems(), 2);
+    }
+
+    #[test]
+    fn tensor_core_eligibility() {
+        assert!(DType::F16.tensor_core_eligible());
+        assert!(DType::I8.tensor_core_eligible());
+        assert!(!DType::F32.tensor_core_eligible());
+        assert!(!DType::F64.tensor_core_eligible());
+    }
+
+    #[test]
+    fn quantize_f16_loses_precision() {
+        let v = 1.0 + 2f32.powi(-12);
+        assert_eq!(DType::F16.quantize(v), 1.0);
+        assert_eq!(DType::F32.quantize(v), v);
+    }
+
+    #[test]
+    fn quantize_i8_clamps() {
+        assert_eq!(DType::I8.quantize(300.0), 127.0);
+        assert_eq!(DType::I8.quantize(-300.0), -128.0);
+        assert_eq!(DType::I8.quantize(2.4), 2.0);
+    }
+
+    #[test]
+    fn quantize_b1_thresholds() {
+        assert_eq!(DType::B1.quantize(0.9), 1.0);
+        assert_eq!(DType::B1.quantize(0.1), 0.0);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DType::Bf16.to_string(), "bf16");
+        assert_eq!(DType::Tf32.name(), "tf32");
+    }
+}

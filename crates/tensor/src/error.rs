@@ -1,0 +1,92 @@
+//! Error type shared by the tensor substrate.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and the reference operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        context: String,
+        /// The shape that was expected.
+        expected: Vec<usize>,
+        /// The shape that was provided.
+        actual: Vec<usize>,
+    },
+    /// An operation was asked to run on an unsupported data type.
+    UnsupportedDType {
+        /// The operation that rejected the dtype.
+        context: String,
+        /// Name of the offending dtype.
+        dtype: &'static str,
+    },
+    /// An operation received a tensor in an unsupported memory layout.
+    UnsupportedLayout {
+        /// The operation that rejected the layout.
+        context: String,
+        /// Name of the offending layout.
+        layout: &'static str,
+    },
+    /// A parameter was out of its legal range.
+    InvalidArgument {
+        /// Description of the invalid parameter and its legal range.
+        message: String,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        TensorError::InvalidArgument { message: message.into() }
+    }
+
+    /// Convenience constructor for [`TensorError::ShapeMismatch`].
+    pub fn shape(context: impl Into<String>, expected: &[usize], actual: &[usize]) -> Self {
+        TensorError::ShapeMismatch {
+            context: context.into(),
+            expected: expected.to_vec(),
+            actual: actual.to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { context, expected, actual } => {
+                write!(f, "shape mismatch in {context}: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::UnsupportedDType { context, dtype } => {
+                write!(f, "unsupported dtype {dtype} in {context}")
+            }
+            TensorError::UnsupportedLayout { context, layout } => {
+                write!(f, "unsupported layout {layout} in {context}")
+            }
+            TensorError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::shape("gemm", &[2, 3], &[3, 2]);
+        let text = err.to_string();
+        assert!(text.contains("gemm"));
+        assert!(text.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

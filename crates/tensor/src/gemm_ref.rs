@@ -1,0 +1,270 @@
+//! Reference GEMM implementations used as ground truth.
+//!
+//! The kernels in `bolt-cutlass` are validated against these naive
+//! implementations. Two variants are provided:
+//!
+//! * [`gemm_f32`] — plain `D = alpha * A @ B + beta * C` with all math in
+//!   f32, results rounded to the output dtype.
+//! * [`gemm_mixed`] — the tensor-core numerical contract: operands are
+//!   rounded to their storage dtype *before* multiplication and accumulated
+//!   in f32, mirroring HMMA semantics.
+
+use crate::activation::Activation;
+use crate::dtype::DType;
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// `D = alpha * A @ B + beta * C` in f32 arithmetic.
+///
+/// `a` is `(m, k)`, `b` is `(k, n)`, and the optional `c` is `(m, n)` or a
+/// broadcast row vector `(n,)` (the bias case). The output dtype matches
+/// `a.dtype()`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+pub fn gemm_f32(a: &Tensor, b: &Tensor, c: Option<&Tensor>, alpha: f32, beta: f32) -> Result<Tensor> {
+    gemm_with_epilogue(a, b, c, alpha, beta, Activation::Identity, a.dtype())
+}
+
+/// Reference GEMM with a fused epilogue: bias/residual `C`, scalars, an
+/// activation, and an explicit output dtype (the "data type conversion"
+/// epilogue pattern from the paper).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inner-dimension or `C` shape
+/// mismatches.
+pub fn gemm_with_epilogue(
+    a: &Tensor,
+    b: &Tensor,
+    c: Option<&Tensor>,
+    alpha: f32,
+    beta: f32,
+    activation: Activation,
+    out_dtype: DType,
+) -> Result<Tensor> {
+    let (m, k) = matrix_dims(a, "gemm A")?;
+    let (kb, n) = matrix_dims(b, "gemm B")?;
+    if k != kb {
+        return Err(TensorError::shape("gemm inner dimension", &[m, k], &[kb, n]));
+    }
+    if let Some(c) = c {
+        validate_c(c, m, n)?;
+    }
+
+    let mut out = Tensor::zeros(&[m, n], out_dtype);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.get2(i, p) * b.get2(p, j);
+            }
+            let bias = c.map_or(0.0, |c| c_value(c, i, j));
+            out.set2(i, j, activation.apply(alpha * acc + beta * bias));
+        }
+    }
+    Ok(out)
+}
+
+/// Reference GEMM with the tensor-core numerical contract: every operand
+/// element is rounded to its tensor's dtype before the multiply, products
+/// are accumulated in f32, and the epilogue output is rounded to
+/// `out_dtype`. For FP16 tensors (already rounded on store) this equals
+/// [`gemm_with_epilogue`]; it differs for TF32.
+///
+/// # Errors
+///
+/// Same as [`gemm_with_epilogue`].
+pub fn gemm_mixed(
+    a: &Tensor,
+    b: &Tensor,
+    c: Option<&Tensor>,
+    alpha: f32,
+    beta: f32,
+    activation: Activation,
+    out_dtype: DType,
+) -> Result<Tensor> {
+    let (m, k) = matrix_dims(a, "gemm A")?;
+    let (kb, n) = matrix_dims(b, "gemm B")?;
+    if k != kb {
+        return Err(TensorError::shape("gemm inner dimension", &[m, k], &[kb, n]));
+    }
+    if let Some(c) = c {
+        validate_c(c, m, n)?;
+    }
+    let da = a.dtype();
+    let db = b.dtype();
+    let mut out = Tensor::zeros(&[m, n], out_dtype);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += da.quantize(a.get2(i, p)) * db.quantize(b.get2(p, j));
+            }
+            let bias = c.map_or(0.0, |c| c_value(c, i, j));
+            out.set2(i, j, activation.apply(alpha * acc + beta * bias));
+        }
+    }
+    Ok(out)
+}
+
+/// Back-to-back reference: `D0 = act0(alpha0*A@W0 + beta0*C0)`,
+/// `D1 = act1(alpha1*D0@W1 + beta1*C1)` — the definition of the paper's
+/// persistent-kernel fusion target (Equations 1–2). Used to validate the
+/// fused B2B kernels in `bolt-cutlass`.
+///
+/// # Errors
+///
+/// Propagates shape errors from either GEMM.
+#[allow(clippy::too_many_arguments)]
+pub fn b2b_gemm_ref(
+    a: &Tensor,
+    w0: &Tensor,
+    c0: Option<&Tensor>,
+    alpha0: f32,
+    beta0: f32,
+    act0: Activation,
+    w1: &Tensor,
+    c1: Option<&Tensor>,
+    alpha1: f32,
+    beta1: f32,
+    act1: Activation,
+) -> Result<Tensor> {
+    let d0 = gemm_with_epilogue(a, w0, c0, alpha0, beta0, act0, a.dtype())?;
+    gemm_with_epilogue(&d0, w1, c1, alpha1, beta1, act1, a.dtype())
+}
+
+fn matrix_dims(t: &Tensor, context: &str) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::invalid(format!(
+            "{context} must be rank 2, got rank {}",
+            t.shape().rank()
+        )));
+    }
+    Ok((t.shape().dim(0), t.shape().dim(1)))
+}
+
+fn validate_c(c: &Tensor, m: usize, n: usize) -> Result<()> {
+    let ok = match c.shape().rank() {
+        1 => c.shape().dim(0) == n,
+        2 => c.shape().dim(0) == m && c.shape().dim(1) == n,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(TensorError::shape("gemm C/bias", &[m, n], c.shape().dims()))
+    }
+}
+
+#[inline]
+fn c_value(c: &Tensor, i: usize, j: usize) -> f32 {
+    if c.shape().rank() == 1 {
+        c.data()[j] // broadcast a row vector over rows (bias)
+    } else {
+        c.get2(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MatrixLayout;
+
+    #[test]
+    fn identity_times_matrix() {
+        let mut a = Tensor::zeros(&[3, 3], DType::F32);
+        for i in 0..3 {
+            a.set2(i, i, 1.0);
+        }
+        let b = Tensor::randn(&[3, 3], DType::F32, 9);
+        let d = gemm_f32(&a, &b, None, 1.0, 0.0).unwrap();
+        assert!(d.allclose(&b, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn known_small_product() {
+        let a = Tensor::from_vec(&[2, 2], DType::F32, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(&[2, 2], DType::F32, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let d = gemm_f32(&a, &b, None, 1.0, 0.0).unwrap();
+        assert_eq!(d.get2(0, 0), 19.0);
+        assert_eq!(d.get2(0, 1), 22.0);
+        assert_eq!(d.get2(1, 0), 43.0);
+        assert_eq!(d.get2(1, 1), 50.0);
+    }
+
+    #[test]
+    fn alpha_beta_and_full_c() {
+        let a = Tensor::ones(&[2, 3], DType::F32);
+        let b = Tensor::ones(&[3, 2], DType::F32);
+        let c = Tensor::full(&[2, 2], DType::F32, 10.0);
+        let d = gemm_f32(&a, &b, Some(&c), 2.0, 0.5).unwrap();
+        // 2*3 + 0.5*10 = 11.
+        assert!(d.data().iter().all(|&v| v == 11.0));
+    }
+
+    #[test]
+    fn bias_broadcast_over_rows() {
+        let a = Tensor::ones(&[2, 2], DType::F32);
+        let b = Tensor::ones(&[2, 2], DType::F32);
+        let bias = Tensor::from_vec(&[2], DType::F32, vec![1.0, -1.0]).unwrap();
+        let d = gemm_with_epilogue(&a, &b, Some(&bias), 1.0, 1.0, Activation::Identity, DType::F32)
+            .unwrap();
+        assert_eq!(d.get2(0, 0), 3.0);
+        assert_eq!(d.get2(0, 1), 1.0);
+        assert_eq!(d.get2(1, 0), 3.0);
+    }
+
+    #[test]
+    fn epilogue_activation_applies() {
+        let a = Tensor::from_vec(&[1, 1], DType::F32, vec![-5.0]).unwrap();
+        let b = Tensor::ones(&[1, 1], DType::F32);
+        let d = gemm_with_epilogue(&a, &b, None, 1.0, 0.0, Activation::ReLU, DType::F32).unwrap();
+        assert_eq!(d.get2(0, 0), 0.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::ones(&[2, 3], DType::F32);
+        let b = Tensor::ones(&[4, 2], DType::F32);
+        assert!(gemm_f32(&a, &b, None, 1.0, 0.0).is_err());
+        let c_bad = Tensor::ones(&[3, 3], DType::F32);
+        let b_ok = Tensor::ones(&[3, 2], DType::F32);
+        assert!(gemm_f32(&a, &b_ok, Some(&c_bad), 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn layout_invariance() {
+        let a = Tensor::randn(&[4, 6], DType::F32, 1);
+        let b = Tensor::randn(&[6, 5], DType::F32, 2);
+        let d_rr = gemm_f32(&a, &b, None, 1.0, 0.0).unwrap();
+        let a_col = a.clone().with_matrix_layout(MatrixLayout::ColMajor).unwrap();
+        let d_cr = gemm_f32(&a_col, &b, None, 1.0, 0.0).unwrap();
+        assert!(d_rr.allclose(&d_cr, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn mixed_precision_tf32_differs_from_f32() {
+        let a = Tensor::from_vec(&[1, 1], DType::Tf32, vec![1.0 + 2f32.powi(-12)]).unwrap();
+        let b = Tensor::ones(&[1, 1], DType::Tf32, );
+        // Tensor stores f32 verbatim for Tf32? quantize on store rounds it.
+        let exact = gemm_mixed(&a, &b, None, 1.0, 0.0, Activation::Identity, DType::F32).unwrap();
+        assert_eq!(exact.get2(0, 0), 1.0);
+    }
+
+    #[test]
+    fn b2b_matches_two_sequential_gemms() {
+        let a = Tensor::randn(&[8, 4], DType::F16, 1);
+        let w0 = Tensor::randn(&[4, 6], DType::F16, 2);
+        let w1 = Tensor::randn(&[6, 3], DType::F16, 3);
+        let fused = b2b_gemm_ref(
+            &a, &w0, None, 1.0, 0.0, Activation::ReLU, &w1, None, 1.0, 0.0, Activation::ReLU,
+        )
+        .unwrap();
+        let d0 = gemm_with_epilogue(&a, &w0, None, 1.0, 0.0, Activation::ReLU, DType::F16).unwrap();
+        let d1 = gemm_with_epilogue(&d0, &w1, None, 1.0, 0.0, Activation::ReLU, DType::F16).unwrap();
+        assert_eq!(fused, d1);
+    }
+}

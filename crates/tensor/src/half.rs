@@ -1,0 +1,365 @@
+//! Software half-precision floats.
+//!
+//! Tensor cores consume FP16/BF16 inputs and accumulate in FP32. To emulate
+//! those numerics bit-faithfully on the CPU, this module implements IEEE 754
+//! binary16 ([`F16`]) and bfloat16 ([`Bf16`]) as `u16` newtypes with
+//! round-to-nearest-even conversions from `f32`. The functional kernel
+//! executors in `bolt-cutlass` round every loaded element through these
+//! types so that fused and unfused kernels can be compared for *exact*
+//! equality, the same property the CUTLASS test suite relies on.
+
+use std::fmt;
+
+/// IEEE 754 binary16 (half precision) stored as its raw bit pattern.
+///
+/// Conversions use round-to-nearest-even, matching `__float2half_rn` on
+/// NVIDIA GPUs.
+///
+/// ```
+/// use bolt_tensor::F16;
+/// let x = F16::from_f32(1.0 / 3.0);
+/// assert!((x.to_f32() - 1.0 / 3.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Largest finite value (65504.0).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Creates an `F16` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to `F16` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        F16(f32_to_f16_bits(value))
+    }
+
+    /// Converts this `F16` to `f32` exactly (every f16 is representable).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Returns `true` if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Returns `true` if this value is positive or negative infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(value: f32) -> Self {
+        F16::from_f32(value)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(value: F16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// bfloat16: the upper 16 bits of an IEEE 754 binary32, with
+/// round-to-nearest-even truncation.
+///
+/// ```
+/// use bolt_tensor::Bf16;
+/// let x = Bf16::from_f32(3.14159);
+/// assert!((x.to_f32() - 3.14159).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Creates a `Bf16` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to `Bf16` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Quiet NaN, preserving the sign.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x7FFF + lsb);
+        // Round-to-nearest-even on the truncated mantissa bits.
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts this `Bf16` to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Returns `true` if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(value: f32) -> Self {
+        Bf16::from_f32(value)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(value: Bf16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Rounds an `f32` to the nearest representable f16 value and returns it as
+/// an `f32`. This is the "quantize through f16" helper the functional kernel
+/// executors use on every load/store.
+pub fn round_f16(value: f32) -> f32 {
+    F16::from_f32(value).to_f32()
+}
+
+/// Rounds an `f32` through bf16 precision and back.
+pub fn round_bf16(value: f32) -> f32 {
+    Bf16::from_f32(value).to_f32()
+}
+
+/// Rounds an `f32` to TF32 precision (19-bit mantissa truncated to 10 bits),
+/// the tensor-core input format for FP32 GEMMs on Ampere.
+pub fn round_tf32(value: f32) -> f32 {
+    if value.is_nan() {
+        return value;
+    }
+    let bits = value.to_bits();
+    // TF32 keeps 10 explicit mantissa bits; round-to-nearest-even the rest.
+    let shift = 13u32;
+    let lsb = (bits >> shift) & 1;
+    let rounded = bits.wrapping_add((1 << (shift - 1)) - 1 + lsb);
+    f32::from_bits(rounded & !((1 << shift) - 1))
+}
+
+fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mantissa = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        return if mantissa == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7C00 | ((mantissa >> 13) as u16).max(1)
+        };
+    }
+
+    // Re-bias the exponent from f32 (127) to f16 (15).
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        // Overflow to infinity.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normal range. Round the 23-bit mantissa to 10 bits (RNE).
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_man = (mantissa >> 13) as u16;
+        let round_bits = mantissa & 0x1FFF;
+        let halfway = 0x1000;
+        let mut result = sign | half_exp | half_man;
+        if round_bits > halfway || (round_bits == halfway && (half_man & 1) == 1) {
+            result = result.wrapping_add(1); // may carry into exponent: correct
+        }
+        return result;
+    }
+    if unbiased >= -25 {
+        // Subnormal range: value = man * 2^(unbiased - 23), subnormal unit
+        // is 2^-24, so the f16 mantissa is man >> (-unbiased - 1).
+        let shift = (-unbiased - 1) as u32; // 14..=24
+        let man = mantissa | 0x0080_0000; // implicit leading 1
+        let half_man = (man >> shift) as u16;
+        let round_mask = (1u32 << shift) - 1;
+        let round_bits = man & round_mask;
+        let halfway = 1u32 << (shift - 1);
+        let mut result = sign | half_man;
+        if round_bits > halfway || (round_bits == halfway && (half_man & 1) == 1) {
+            result = result.wrapping_add(1);
+        }
+        return result;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let mantissa = (bits & 0x03FF) as u32;
+
+    if exp == 0 {
+        if mantissa == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: value = mantissa * 2^-24. Normalize so the top set bit
+        // becomes the implicit leading 1.
+        let shift = mantissa.leading_zeros() - 21; // 1..=10 for 10-bit field
+        let exp32 = 113 - shift; // 127 - 14 - shift
+        let man32 = (mantissa << shift) & 0x03FF;
+        return f32::from_bits(sign | (exp32 << 23) | (man32 << 13));
+    }
+    if exp == 0x1F {
+        return f32::from_bits(sign | 0x7F80_0000 | (mantissa << 13));
+    }
+    let exp32 = exp + 127 - 15;
+    f32::from_bits(sign | (exp32 << 23) | (mantissa << 13))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trips_exact_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -65504.0] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_constants() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2f32.powi(-14));
+    }
+
+    #[test]
+    fn f16_overflow_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert_eq!(F16::from_f32(-1e6), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_underflow_to_zero() {
+        assert_eq!(F16::from_f32(1e-10).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let smallest = 2f32.powi(-24);
+        assert_eq!(F16::from_f32(smallest).to_f32(), smallest);
+        let sub = 3.0 * 2f32.powi(-24);
+        assert_eq!(F16::from_f32(sub).to_f32(), sub);
+    }
+
+    #[test]
+    fn f16_nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 2049 is exactly between 2048 and 2050 in f16; RNE picks 2048.
+        assert_eq!(F16::from_f32(2049.0).to_f32(), 2048.0);
+        // 2051 is exactly between 2050 and 2052; RNE picks 2052.
+        assert_eq!(F16::from_f32(2051.0).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn f16_rounding_carry_into_exponent() {
+        // 2047.9999 rounds up to 2048 which needs an exponent bump.
+        let v = 2047.9999f32;
+        assert_eq!(F16::from_f32(v).to_f32(), 2048.0);
+    }
+
+    #[test]
+    fn bf16_round_trips() {
+        for v in [0.0f32, 1.0, -2.5, 3.0e38, 1.0e-38] {
+            let r = Bf16::from_f32(v).to_f32();
+            if v == 0.0 {
+                assert_eq!(r, v);
+            } else {
+                assert!((r - v).abs() / v.abs() < 0.01, "value {v} -> {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_nan() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn tf32_keeps_10_mantissa_bits() {
+        let v = 1.0 + 2f32.powi(-10);
+        assert_eq!(round_tf32(v), v);
+        let w = 1.0 + 2f32.powi(-13);
+        assert_eq!(round_tf32(w), 1.0);
+    }
+
+    #[test]
+    fn round_f16_is_idempotent() {
+        for i in 0..2000 {
+            let v = (i as f32) * 0.37 - 350.0;
+            let once = round_f16(v);
+            assert_eq!(round_f16(once), once);
+        }
+    }
+
+    #[test]
+    fn exhaustive_f16_bits_round_trip() {
+        // Every finite f16 bit pattern must survive f16 -> f32 -> f16.
+        for bits in 0u16..=0xFFFF {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Memory layouts for matrices and 4-D activation tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Layout of a 2-D matrix operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatrixLayout {
+    /// Row-major: element (r, c) at offset `r * ld + c`.
+    RowMajor,
+    /// Column-major: element (r, c) at offset `c * ld + r`.
+    ColMajor,
+}
+
+impl MatrixLayout {
+    /// Linear offset of element `(row, col)` with leading dimension `ld`.
+    #[inline]
+    pub fn offset(self, row: usize, col: usize, ld: usize) -> usize {
+        match self {
+            MatrixLayout::RowMajor => row * ld + col,
+            MatrixLayout::ColMajor => col * ld + row,
+        }
+    }
+
+    /// Default leading dimension of a `rows x cols` matrix in this layout.
+    pub fn default_ld(self, rows: usize, cols: usize) -> usize {
+        match self {
+            MatrixLayout::RowMajor => cols,
+            MatrixLayout::ColMajor => rows,
+        }
+    }
+
+    /// The size of the contiguous (fastest-varying) dimension — the one
+    /// whose divisibility determines vectorized-access alignment.
+    pub fn contiguous_extent(self, rows: usize, cols: usize) -> usize {
+        match self {
+            MatrixLayout::RowMajor => cols,
+            MatrixLayout::ColMajor => rows,
+        }
+    }
+
+    /// The CUTLASS C++ layout type name, used by the code emitter.
+    pub const fn cutlass_name(self) -> &'static str {
+        match self {
+            MatrixLayout::RowMajor => "cutlass::layout::RowMajor",
+            MatrixLayout::ColMajor => "cutlass::layout::ColumnMajor",
+        }
+    }
+}
+
+impl fmt::Display for MatrixLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixLayout::RowMajor => f.write_str("row-major"),
+            MatrixLayout::ColMajor => f.write_str("col-major"),
+        }
+    }
+}
+
+/// Layout of a tensor. 4-D activation tensors are either NCHW (PyTorch
+/// default) or NHWC (the layout CUTLASS conv kernels require); matrices are
+/// row- or column-major; everything else is plain row-major contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Batch, channels, height, width — the PyTorch default.
+    Nchw,
+    /// Batch, height, width, channels — required by the templated conv
+    /// kernels (and faster on tensor cores, per the paper).
+    Nhwc,
+    /// 2-D matrix layout.
+    Matrix(MatrixLayout),
+    /// Row-major contiguous for arbitrary rank.
+    Contiguous,
+}
+
+impl Layout {
+    /// Row-major matrix layout shorthand.
+    pub const ROW_MAJOR: Layout = Layout::Matrix(MatrixLayout::RowMajor);
+    /// Column-major matrix layout shorthand.
+    pub const COL_MAJOR: Layout = Layout::Matrix(MatrixLayout::ColMajor);
+
+    /// Short lowercase name for error messages.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Layout::Nchw => "nchw",
+            Layout::Nhwc => "nhwc",
+            Layout::Matrix(MatrixLayout::RowMajor) => "row-major",
+            Layout::Matrix(MatrixLayout::ColMajor) => "col-major",
+            Layout::Contiguous => "contiguous",
+        }
+    }
+
+    /// For a 4-D activation shape given in *logical* NCHW terms, the linear
+    /// offset of `(n, c, h, w)` under this layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a matrix layout.
+    #[inline]
+    pub fn offset_nchw(
+        self,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (_nn, cc, hh, ww): (usize, usize, usize, usize),
+    ) -> usize {
+        match self {
+            Layout::Nchw | Layout::Contiguous => ((n * cc + c) * hh + h) * ww + w,
+            Layout::Nhwc => ((n * hh + h) * ww + w) * cc + c,
+            Layout::Matrix(_) => panic!("offset_nchw called on a matrix layout"),
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_offsets() {
+        assert_eq!(MatrixLayout::RowMajor.offset(2, 3, 10), 23);
+        assert_eq!(MatrixLayout::ColMajor.offset(2, 3, 10), 32);
+    }
+
+    #[test]
+    fn default_lds() {
+        assert_eq!(MatrixLayout::RowMajor.default_ld(4, 7), 7);
+        assert_eq!(MatrixLayout::ColMajor.default_ld(4, 7), 4);
+    }
+
+    #[test]
+    fn nchw_vs_nhwc_offsets() {
+        let dims = (2, 3, 4, 5);
+        // NCHW: w fastest.
+        assert_eq!(Layout::Nchw.offset_nchw((0, 0, 0, 1), dims), 1);
+        assert_eq!(Layout::Nchw.offset_nchw((0, 1, 0, 0), dims), 20);
+        // NHWC: c fastest.
+        assert_eq!(Layout::Nhwc.offset_nchw((0, 1, 0, 0), dims), 1);
+        assert_eq!(Layout::Nhwc.offset_nchw((0, 0, 0, 1), dims), 3);
+    }
+
+    #[test]
+    fn offsets_are_bijective_nhwc() {
+        let dims = (2, 3, 4, 5);
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        assert!(seen.insert(Layout::Nhwc.offset_nchw((n, c, h, w), dims)));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 120);
+        assert_eq!(*seen.iter().max().unwrap(), 119);
+    }
+
+    #[test]
+    fn contiguous_extent() {
+        assert_eq!(MatrixLayout::RowMajor.contiguous_extent(4, 7), 7);
+        assert_eq!(MatrixLayout::ColMajor.contiguous_extent(4, 7), 4);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # bolt-tensor
+//!
+//! Tensor substrate for the Bolt (MLSys 2022) reproduction.
+//!
+//! This crate provides the numerical foundation every other crate builds on:
+//!
+//! * [`DType`] — the mixed-precision data types CUTLASS-style templated
+//!   libraries operate on (FP16, BF16, FP32, TF32, INT8, ...).
+//! * [`F16`] / [`Bf16`] — software half-precision floats used to emulate
+//!   tensor-core numerics bit-faithfully on the CPU.
+//! * [`Shape`], [`Layout`], [`Tensor`] — dense tensors with NCHW/NHWC and
+//!   row/column-major matrix layouts.
+//! * Reference operators ([`gemm_ref`], [`conv_ref`], [`activation`]) that
+//!   serve as ground truth for the tiled kernel executors in `bolt-cutlass`.
+//!
+//! # Example
+//!
+//! ```
+//! use bolt_tensor::{Tensor, DType, gemm_ref::gemm_f32};
+//!
+//! let a = Tensor::randn(&[4, 8], DType::F16, 1);
+//! let b = Tensor::randn(&[8, 3], DType::F16, 2);
+//! let c = gemm_f32(&a, &b, None, 1.0, 0.0).unwrap();
+//! assert_eq!(c.shape().dims(), &[4, 3]);
+//! ```
+
+pub mod activation;
+pub mod conv_ref;
+pub mod dtype;
+pub mod error;
+pub mod gemm_ref;
+pub mod half;
+pub mod layout;
+pub mod shape;
+pub mod tensor;
+
+pub use activation::Activation;
+pub use dtype::DType;
+pub use error::TensorError;
+pub use half::{Bf16, F16};
+pub use layout::{Layout, MatrixLayout};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias used across this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

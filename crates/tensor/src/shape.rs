@@ -1,0 +1,134 @@
+//! Dense tensor shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a dense tensor, outermost first.
+///
+/// ```
+/// use bolt_tensor::Shape;
+/// let s = Shape::new(&[32, 56, 56, 64]);
+/// assert_eq!(s.numel(), 32 * 56 * 56 * 64);
+/// assert_eq!(s.rank(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// A rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns dimension `i`, or an informative panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major (C-contiguous) strides in elements.
+    pub fn contiguous_strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn contiguous_strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.contiguous_strides(), vec![12, 4, 1]);
+        let v = Shape::new(&[5]);
+        assert_eq!(v.contiguous_strides(), vec![1]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "(2, 3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = [1, 2, 3].into();
+        let b: Shape = vec![1, 2, 3].into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,510 @@
+//! Dense tensors with canonical `f32` storage and dtype-faithful rounding.
+//!
+//! All arithmetic in the reproduction happens in `f32` (the tensor-core
+//! accumulator precision); reduced-precision dtypes are emulated by rounding
+//! every stored element through the dtype ([`DType::quantize`]). This gives
+//! bit-reproducible numerics for FP16 kernels without carrying a generic
+//! element type through every API.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dtype::DType;
+use crate::error::TensorError;
+use crate::layout::{Layout, MatrixLayout};
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense tensor.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    dtype: DType,
+    shape: Shape,
+    layout: Layout,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize], dtype: DType) -> Self {
+        let shape = Shape::new(dims);
+        let layout = default_layout(&shape);
+        Tensor { dtype, data: vec![0.0; shape.numel()], shape, layout }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize], dtype: DType) -> Self {
+        Self::full(dims, dtype, 1.0)
+    }
+
+    /// Creates a zero-filled NHWC activation tensor with logical dimensions
+    /// `(n, c, h, w)` (NCHW order, matching [`Tensor::dims4`]).
+    pub fn zeros_nhwc(n: usize, c: usize, h: usize, w: usize, dtype: DType) -> Self {
+        Tensor {
+            dtype,
+            shape: Shape::new(&[n, h, w, c]),
+            layout: Layout::Nhwc,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Creates a tensor filled with `value` (rounded to `dtype`).
+    pub fn full(dims: &[usize], dtype: DType, value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let layout = default_layout(&shape);
+        let v = dtype.quantize(value);
+        Tensor { dtype, data: vec![v; shape.numel()], shape, layout }
+    }
+
+    /// Creates a tensor with standard-normal entries from a deterministic
+    /// seed, rounded to `dtype`. The same seed always yields the same
+    /// tensor, which keeps every test and benchmark reproducible.
+    pub fn randn(dims: &[usize], dtype: DType, seed: u64) -> Self {
+        let shape = Shape::new(dims);
+        let layout = default_layout(&shape);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.numel())
+            .map(|_| {
+                // Box-Muller from two uniforms; cheap and dependency-free.
+                let u1: f32 = rng.gen_range(1e-7..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                dtype.quantize(z * 0.5)
+            })
+            .collect();
+        Tensor { dtype, shape, layout, data }
+    }
+
+    /// Creates a tensor from existing data (rounded to `dtype`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` does not equal
+    /// the product of `dims`.
+    pub fn from_vec(dims: &[usize], dtype: DType, data: Vec<f32>) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.numel() {
+            return Err(TensorError::shape("Tensor::from_vec", dims, &[data.len()]));
+        }
+        let layout = default_layout(&shape);
+        let data = data.into_iter().map(|v| dtype.quantize(v)).collect();
+        Ok(Tensor { dtype, shape, layout, data })
+    }
+
+    /// The element data type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// The logical shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The memory layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Raw storage, in layout order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw storage. Callers are responsible for keeping values
+    /// representable in `self.dtype()`; prefer [`Tensor::set2`]/[`Tensor::set4`].
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Storage footprint in bytes at the tensor's dtype (not the canonical
+    /// f32 backing store) — what the GPU simulator charges for.
+    pub fn size_bytes(&self) -> usize {
+        (self.numel() * self.dtype.size_bits()).div_ceil(8)
+    }
+
+    /// Reinterprets the tensor with a new matrix layout **without moving
+    /// data** (logical indexing changes accordingly).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 2.
+    pub fn with_matrix_layout(mut self, layout: MatrixLayout) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::invalid(format!(
+                "with_matrix_layout requires rank 2, got rank {}",
+                self.shape.rank()
+            )));
+        }
+        // Physically transpose the storage if the layout actually changes.
+        if self.layout != Layout::Matrix(layout) {
+            let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+            let mut out = vec![0.0f32; r * c];
+            let old = match self.layout {
+                Layout::Matrix(m) => m,
+                _ => MatrixLayout::RowMajor,
+            };
+            for i in 0..r {
+                for j in 0..c {
+                    let src = old.offset(i, j, old.default_ld(r, c));
+                    let dst = layout.offset(i, j, layout.default_ld(r, c));
+                    out[dst] = self.data[src];
+                }
+            }
+            self.data = out;
+            self.layout = Layout::Matrix(layout);
+        }
+        Ok(self)
+    }
+
+    /// Logical matrix element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the indices are out of bounds.
+    #[inline]
+    pub fn get2(&self, row: usize, col: usize) -> f32 {
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        debug_assert!(row < r && col < c, "index ({row},{col}) out of bounds ({r},{c})");
+        match self.layout {
+            Layout::Matrix(m) => self.data[m.offset(row, col, m.default_ld(r, c))],
+            _ => self.data[row * c + col],
+        }
+    }
+
+    /// Sets logical matrix element `(row, col)`, rounding to dtype.
+    #[inline]
+    pub fn set2(&mut self, row: usize, col: usize, value: f32) {
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        debug_assert!(row < r && col < c);
+        let v = self.dtype.quantize(value);
+        match self.layout {
+            Layout::Matrix(m) => {
+                let off = m.offset(row, col, m.default_ld(r, c));
+                self.data[off] = v;
+            }
+            _ => self.data[row * c + col] = v,
+        }
+    }
+
+    /// Logical 4-D element `(n, c, h, w)` (NCHW coordinates regardless of
+    /// the physical layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or indices are out of bounds.
+    #[inline]
+    pub fn get4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        let dims = self.dims4();
+        self.data[self.layout.offset_nchw((n, c, h, w), dims)]
+    }
+
+    /// Sets logical 4-D element `(n, c, h, w)`, rounding to dtype.
+    #[inline]
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let dims = self.dims4();
+        let off = self.layout.offset_nchw((n, c, h, w), dims);
+        self.data[off] = self.dtype.quantize(value);
+    }
+
+    /// The logical `(N, C, H, W)` dimensions of a rank-4 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn dims4(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.shape.rank(), 4, "dims4 requires a rank-4 tensor");
+        match self.layout {
+            Layout::Nhwc => (
+                self.shape.dim(0),
+                self.shape.dim(3),
+                self.shape.dim(1),
+                self.shape.dim(2),
+            ),
+            _ => (
+                self.shape.dim(0),
+                self.shape.dim(1),
+                self.shape.dim(2),
+                self.shape.dim(3),
+            ),
+        }
+    }
+
+    /// Converts a rank-4 activation tensor between NCHW and NHWC, moving the
+    /// data. A no-op when the layout already matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-4 tensors.
+    pub fn to_activation_layout(&self, target: Layout) -> Result<Tensor> {
+        if self.shape.rank() != 4 {
+            return Err(TensorError::invalid(format!(
+                "to_activation_layout requires rank 4, got {}",
+                self.shape.rank()
+            )));
+        }
+        if !matches!(target, Layout::Nchw | Layout::Nhwc) {
+            return Err(TensorError::UnsupportedLayout {
+                context: "to_activation_layout".into(),
+                layout: target.name(),
+            });
+        }
+        if self.layout == target {
+            return Ok(self.clone());
+        }
+        let (n, c, h, w) = self.dims4();
+        let dims = match target {
+            Layout::Nchw => vec![n, c, h, w],
+            _ => vec![n, h, w, c],
+        };
+        let mut out = Tensor {
+            dtype: self.dtype,
+            shape: Shape::new(&dims),
+            layout: target,
+            data: vec![0.0; self.numel()],
+        };
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        out.set4(ni, ci, hi, wi, self.get4(ni, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pads the channel dimension of an NHWC tensor with zeros up to
+    /// `new_c` channels. This is the data movement behind Bolt's automated
+    /// kernel padding (Section 3.2.3 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not NHWC or `new_c` is smaller than
+    /// the current channel count.
+    pub fn pad_channels_nhwc(&self, new_c: usize) -> Result<Tensor> {
+        if self.layout != Layout::Nhwc {
+            return Err(TensorError::UnsupportedLayout {
+                context: "pad_channels_nhwc".into(),
+                layout: self.layout.name(),
+            });
+        }
+        let (n, c, h, w) = self.dims4();
+        if new_c < c {
+            return Err(TensorError::invalid(format!(
+                "pad_channels_nhwc: new_c {new_c} < current channels {c}"
+            )));
+        }
+        let mut out = Tensor {
+            dtype: self.dtype,
+            shape: Shape::new(&[n, h, w, new_c]),
+            layout: Layout::Nhwc,
+            data: vec![0.0; n * h * w * new_c],
+        };
+        for ni in 0..n {
+            for hi in 0..h {
+                for wi in 0..w {
+                    for ci in 0..c {
+                        out.set4(ni, ci, hi, wi, self.get4(ni, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pads a row-major matrix with zeros to `(new_rows, new_cols)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not a matrix or the target is
+    /// smaller than the current shape.
+    pub fn pad_matrix(&self, new_rows: usize, new_cols: usize) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::invalid("pad_matrix requires rank 2"));
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        if new_rows < r || new_cols < c {
+            return Err(TensorError::invalid(format!(
+                "pad_matrix: target ({new_rows},{new_cols}) smaller than ({r},{c})"
+            )));
+        }
+        let mut out = Tensor::zeros(&[new_rows, new_cols], self.dtype);
+        for i in 0..r {
+            for j in 0..c {
+                out.set2(i, j, self.get2(i, j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Largest absolute elementwise difference against `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::shape(
+                "max_abs_diff",
+                self.shape.dims(),
+                other.shape.dims(),
+            ));
+        }
+        // Compare in logical order so layout differences don't matter.
+        if self.layout == other.layout {
+            Ok(self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max))
+        } else if self.shape.rank() == 4 {
+            let (n, c, h, w) = self.dims4();
+            let mut worst = 0.0f32;
+            for ni in 0..n {
+                for ci in 0..c {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let d = (self.get4(ni, ci, hi, wi) - other.get4(ni, ci, hi, wi)).abs();
+                            worst = worst.max(d);
+                        }
+                    }
+                }
+            }
+            Ok(worst)
+        } else {
+            Err(TensorError::UnsupportedLayout {
+                context: "max_abs_diff with differing layouts".into(),
+                layout: other.layout.name(),
+            })
+        }
+    }
+
+    /// True if every element of `self` is within `tol` of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes differ.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> Result<bool> {
+        Ok(self.max_abs_diff(other)? <= tol)
+    }
+}
+
+fn default_layout(shape: &Shape) -> Layout {
+    match shape.rank() {
+        2 => Layout::Matrix(MatrixLayout::RowMajor),
+        4 => Layout::Nchw,
+        _ => Layout::Contiguous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros(&[2, 3], DType::F32);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(&[4], DType::F16);
+        assert!(o.data().iter().all(|&v| v == 1.0));
+        assert_eq!(o.layout(), Layout::Contiguous);
+    }
+
+    #[test]
+    fn randn_is_deterministic() {
+        let a = Tensor::randn(&[16, 16], DType::F16, 42);
+        let b = Tensor::randn(&[16, 16], DType::F16, 42);
+        assert_eq!(a, b);
+        let c = Tensor::randn(&[16, 16], DType::F16, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f16_tensor_quantizes_on_store() {
+        let mut t = Tensor::zeros(&[2, 2], DType::F16);
+        t.set2(0, 0, 1.0 + 2f32.powi(-12));
+        assert_eq!(t.get2(0, 0), 1.0);
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Tensor::from_vec(&[2, 2], DType::F32, vec![1.0; 3]).is_err());
+        let t = Tensor::from_vec(&[2, 2], DType::F32, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.get2(1, 0), 3.0);
+    }
+
+    #[test]
+    fn matrix_layout_transpose_preserves_logical_values() {
+        let t = Tensor::from_vec(&[2, 3], DType::F32, (0..6).map(|v| v as f32).collect()).unwrap();
+        let col = t.clone().with_matrix_layout(MatrixLayout::ColMajor).unwrap();
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(t.get2(i, j), col.get2(i, j));
+            }
+        }
+        // Physical storage differs.
+        assert_ne!(t.data(), col.data());
+    }
+
+    #[test]
+    fn nchw_nhwc_round_trip() {
+        let t = Tensor::randn(&[2, 3, 4, 5], DType::F32, 7);
+        let nhwc = t.to_activation_layout(Layout::Nhwc).unwrap();
+        assert_eq!(nhwc.shape().dims(), &[2, 4, 5, 3]);
+        let back = nhwc.to_activation_layout(Layout::Nchw).unwrap();
+        assert_eq!(t, back);
+        // Logical values agree across layouts.
+        assert_eq!(t.get4(1, 2, 3, 4), nhwc.get4(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn pad_channels() {
+        let t = Tensor::randn(&[1, 3, 2, 2], DType::F16, 5)
+            .to_activation_layout(Layout::Nhwc)
+            .unwrap();
+        let p = t.pad_channels_nhwc(8).unwrap();
+        let (_, c, _, _) = p.dims4();
+        assert_eq!(c, 8);
+        assert_eq!(p.get4(0, 1, 1, 1), t.get4(0, 1, 1, 1));
+        assert_eq!(p.get4(0, 7, 0, 0), 0.0);
+        assert!(t.pad_channels_nhwc(2).is_err());
+    }
+
+    #[test]
+    fn pad_matrix_zero_fills() {
+        let t = Tensor::ones(&[2, 3], DType::F16);
+        let p = t.pad_matrix(4, 8).unwrap();
+        assert_eq!(p.shape().dims(), &[4, 8]);
+        assert_eq!(p.get2(1, 2), 1.0);
+        assert_eq!(p.get2(3, 7), 0.0);
+    }
+
+    #[test]
+    fn size_bytes_uses_dtype() {
+        let t = Tensor::zeros(&[10, 10], DType::F16);
+        assert_eq!(t.size_bytes(), 200);
+        let b = Tensor::zeros(&[16], DType::B1);
+        assert_eq!(b.size_bytes(), 2);
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Tensor::ones(&[2, 2], DType::F32);
+        let mut b = a.clone();
+        b.set2(1, 1, 1.5);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.allclose(&b, 0.5).unwrap());
+        assert!(!a.allclose(&b, 0.4).unwrap());
+        let c = Tensor::ones(&[4], DType::F32);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+}

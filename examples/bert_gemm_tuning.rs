@@ -1,0 +1,62 @@
+//! Hardware-native templated search on the BERT GEMM workloads: what the
+//! light-weight profiler measures, what it picks, and how long the search
+//! takes compared to an auto-tuner.
+//!
+//! Run with: `cargo run --release --example bert_gemm_tuning`
+
+use bolt::BoltProfiler;
+use bolt_ansor::{AnsorTuner, SECONDS_PER_TRIAL};
+use bolt_cutlass::{emit, Epilogue, GemmKernel};
+use bolt_gpu_sim::GpuArch;
+use bolt_models::bert::{gemm_workloads, tuner_workload};
+use bolt_tensor::DType;
+
+fn main() {
+    let t4 = GpuArch::tesla_t4();
+    let profiler = BoltProfiler::new(&t4, 30);
+    let ep = Epilogue::linear(DType::F16);
+
+    println!("profiling the Figure 1 GEMM set on the simulated T4:\n");
+    for (label, problem) in gemm_workloads() {
+        let best = profiler.profile_gemm(&problem, &ep).expect("profiled");
+        let tflops = problem.flops() / (best.time_us * 1e6);
+        println!(
+            "{label:<18} {problem:<24} -> {:<28} {:.1} us  {tflops:.1} TFLOPS ({} candidates)",
+            best.config.tag(),
+            best.time_us,
+            best.candidates
+        );
+    }
+
+    let stats = profiler.stats();
+    println!(
+        "\nBolt profiling: {} workloads x ~{} configs = {} measurements -> {:.1} min simulated",
+        stats.workloads,
+        stats.measurements / stats.workloads.max(1),
+        stats.measurements,
+        stats.tuning_minutes()
+    );
+    let ansor_trials = 2000 * stats.workloads;
+    println!(
+        "Ansor at 2000 trials/workload would spend {} trials -> {:.1} h simulated",
+        ansor_trials,
+        ansor_trials as f64 * SECONDS_PER_TRIAL / 3600.0
+    );
+
+    // Show a small real search for one workload.
+    let (_, ffn1) = gemm_workloads()[2];
+    let tuner = AnsorTuner::with_trials(&t4, 256);
+    let workload = tuner_workload(&ffn1);
+    let report = tuner.tune_workloads(&[workload]);
+    println!(
+        "\nquick Ansor search on bert-ffn1 (256 trials): best {:.1} us vs Bolt {:.1} us",
+        report.best_time_us(&workload).unwrap(),
+        profiler.profile_gemm(&ffn1, &ep).unwrap().time_us
+    );
+
+    // And the code Bolt generates for the winner.
+    let best = profiler.profile_gemm(&ffn1, &ep).unwrap();
+    let kernel = GemmKernel::new(ffn1, best.config, ep);
+    let cuda = emit::emit_gemm(&kernel, t4.compute_capability);
+    println!("\ngenerated CUTLASS instantiation:\n{cuda}");
+}

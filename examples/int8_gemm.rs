@@ -1,0 +1,58 @@
+//! Mixed precision beyond FP16: the INT8 tensor-core (IMMA) path.
+//!
+//! The paper notes CUTLASS templates "optimize for a wide range of
+//! mixed-precision computations including B1, INT4, INT8, FP16, BF16,
+//! FP32, TF32 ..." — this example quantizes a GEMM to INT8, verifies the
+//! integer math exactly, and shows the ~2× throughput over FP16 that
+//! Turing IMMA tensor cores deliver.
+//!
+//! Run with: `cargo run --release --example int8_gemm`
+
+use bolt::BoltProfiler;
+use bolt_cutlass::{Epilogue, GemmProblem};
+use bolt_gpu_sim::GpuArch;
+use bolt_tensor::{DType, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t4 = GpuArch::tesla_t4();
+    let profiler = BoltProfiler::new(&t4, 30);
+
+    // 1. Throughput: INT8 vs FP16 tensor cores on a big GEMM.
+    let mut i8_problem = GemmProblem::fp16(4096, 4096, 4096);
+    i8_problem.element = DType::I8;
+    let f16_problem = GemmProblem::fp16(4096, 4096, 4096);
+
+    let i8_best = profiler.profile_gemm(&i8_problem, &Epilogue::linear(DType::I8)).unwrap();
+    let f16_best = profiler.profile_gemm(&f16_problem, &Epilogue::linear(DType::F16)).unwrap();
+    let i8_tops = i8_problem.flops() / (i8_best.time_us * 1e6);
+    let f16_tflops = f16_problem.flops() / (f16_best.time_us * 1e6);
+    println!("4096^3 GEMM on the simulated T4:");
+    println!("  FP16 (HMMA): {f16_tflops:.0} TFLOPS  ({:.0} us)", f16_best.time_us);
+    println!("  INT8 (IMMA): {i8_tops:.0} TOPS    ({:.0} us)", i8_best.time_us);
+    println!("  speedup: {:.2}x (hardware ratio: 2x)", f16_best.time_us / i8_best.time_us);
+
+    // 2. Numerics: int8 operands, i32 accumulation, fused dequant scale.
+    let m = 8;
+    let a = Tensor::from_vec(&[m, 16], DType::I8, (0..m * 16).map(|i| (i % 11) as f32 - 5.0).collect())?;
+    let b = Tensor::from_vec(&[16, 4], DType::I8, (0..64).map(|i| (i % 7) as f32 - 3.0).collect())?;
+    let mut quant_problem = GemmProblem::fp16(m, 4, 16);
+    quant_problem.element = DType::I8;
+    let mut epilogue = Epilogue::linear(DType::F32);
+    epilogue.alpha = 0.05; // dequantization scale (sa * sb)
+    let kernel = bolt_cutlass::GemmKernel::new(
+        quant_problem,
+        bolt_cutlass::GemmConfig::turing_default(),
+        epilogue,
+    );
+    let (d, _) = kernel.run(&a, &b, None)?;
+
+    // Integer reference for one element.
+    let mut acc = 0i64;
+    for k in 0..16 {
+        acc += a.get2(0, k) as i64 * b.get2(k, 0) as i64;
+    }
+    println!("\nquantized GEMM check: d[0,0] = {} (exact integer {} x scale 0.05)", d.get2(0, 0), acc);
+    assert_eq!(d.get2(0, 0), 0.05 * acc as f32);
+    println!("integer accumulation is exact — the IMMA contract holds");
+    Ok(())
+}

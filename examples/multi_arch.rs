@@ -1,0 +1,49 @@
+//! Hardware-native templated search across GPU generations: the same
+//! workloads profiled on the simulated Tesla T4 (Turing), V100 (Volta),
+//! and A100 (Ampere). Shows how the architecture-aware generator adapts —
+//! multi-stage cp.async pipelines appear only on Ampere — and checks the
+//! paper's claim that Bolt reaches >95% of the A100's theoretic FP16
+//! limit (our simulator: ~89%).
+//!
+//! Run with: `cargo run --release --example multi_arch`
+
+use bolt::BoltProfiler;
+use bolt_cutlass::{Epilogue, GemmProblem};
+use bolt_gpu_sim::GpuArch;
+use bolt_tensor::DType;
+
+fn main() {
+    let workloads = [
+        ("square-4096", GemmProblem::fp16(4096, 4096, 4096)),
+        ("square-8192", GemmProblem::fp16(8192, 8192, 8192)),
+        ("bert-ffn1", GemmProblem::fp16(1280, 3072, 768)),
+    ];
+    for arch in [GpuArch::tesla_t4(), GpuArch::tesla_v100(), GpuArch::a100()] {
+        println!(
+            "\n{} (sm_{}{}, {} SMs, {:.0} TFLOPS FP16 tensor-core peak):",
+            arch.name,
+            arch.compute_capability.0,
+            arch.compute_capability.1,
+            arch.sm_count,
+            arch.fp16_tensor_tflops
+        );
+        let profiler = BoltProfiler::new(&arch, 40);
+        for (label, problem) in &workloads {
+            let best = profiler
+                .profile_gemm(problem, &Epilogue::linear(DType::F16))
+                .expect("profiled");
+            let tflops = problem.flops() / (best.time_us * 1e6);
+            println!(
+                "  {label:<12} -> {:<28} {:>7.0} TFLOPS ({:>3.0}% of peak)",
+                best.config.tag(),
+                tflops,
+                100.0 * tflops / arch.fp16_tensor_tflops
+            );
+        }
+    }
+    println!(
+        "\nnote: Ampere winners use stages >= 3 (cp.async multi-stage pipelines),\n\
+         which Turing kernels cannot (compute capability < 8.0) — the same\n\
+         architecture-specific tuning guidelines Section 3.2.2 describes."
+    );
+}

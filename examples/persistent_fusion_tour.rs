@@ -1,0 +1,80 @@
+//! A tour of persistent kernels (paper Section 3.1.1): legality rules,
+//! RF- vs shared-memory residence, numerical equivalence with sequential
+//! execution, and when fusion pays.
+//!
+//! Run with: `cargo run --release --example persistent_fusion_tour`
+
+use bolt_cutlass::{B2bGemmKernel, BiasMode, Epilogue, GemmProblem, Residence};
+use bolt_gpu_sim::GpuArch;
+use bolt_tensor::gemm_ref::b2b_gemm_ref;
+use bolt_tensor::{Activation, DType, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t4 = GpuArch::tesla_t4();
+    let relu = Epilogue {
+        beta: 0.0,
+        bias: BiasMode::None,
+        ..Epilogue::bias_activation(Activation::ReLU, DType::F16)
+    };
+
+    // --- 1. Numerical equivalence ---------------------------------------
+    let g0 = GemmProblem::fp16(64, 16, 24);
+    let g1 = GemmProblem::fp16(64, 8, 16);
+    let kernel = B2bGemmKernel::with_residence(g0, g1, relu, relu, Residence::RegisterFile);
+    kernel.validate(&t4)?;
+    let a = Tensor::randn(&[64, 24], DType::F16, 1);
+    let w0 = Tensor::randn(&[24, 16], DType::F16, 2);
+    let w1 = Tensor::randn(&[16, 8], DType::F16, 3);
+    let fused = kernel.run(&a, &w0, None, &w1, None)?;
+    let sequential = b2b_gemm_ref(
+        &a, &w0, None, 1.0, 0.0, Activation::ReLU, &w1, None, 1.0, 0.0, Activation::ReLU,
+    )?;
+    println!(
+        "1. fused == sequential: max |diff| = {} (bit-identical FP16 rounding)",
+        fused.max_abs_diff(&sequential)?
+    );
+
+    // --- 2. Threadblock residence legality --------------------------------
+    let mut broken = kernel.clone();
+    broken.config0.threadblock.n = 8; // violate ThreadBlock0_N == GEMM0_N
+    println!("2. residence violation -> {}", broken.validate(&t4).unwrap_err());
+
+    // --- 3. RF pressure forces the smem design ----------------------------
+    let big0 = GemmProblem::fp16(16384, 256, 64);
+    let big1 = GemmProblem::fp16(16384, 128, 256);
+    let auto = B2bGemmKernel::auto(&t4, big0, big1, relu, relu)?;
+    println!("3. GEMM_N=256 chain auto-selects: {}", auto.residence);
+    let small = B2bGemmKernel::auto(
+        &t4,
+        GemmProblem::fp16(16384, 64, 256),
+        GemmProblem::fp16(16384, 16, 64),
+        relu,
+        relu,
+    )?;
+    println!("   GEMM_N=64 chain auto-selects:  {}", small.residence);
+
+    // --- 4. When fusion pays ----------------------------------------------
+    println!("4. profit across shapes (fused vs two epilogue-fused kernels):");
+    for (label, g0, g1) in [
+        ("tall-skinny (memory-bound)", GemmProblem::fp16(65536, 32, 96), GemmProblem::fp16(65536, 96, 32)),
+        ("mid", GemmProblem::fp16(16384, 64, 256), GemmProblem::fp16(16384, 16, 64)),
+        ("square-ish (compute-bound)", GemmProblem::fp16(2048, 64, 2048), GemmProblem::fp16(2048, 64, 64)),
+    ] {
+        let k = B2bGemmKernel::auto(&t4, g0, g1, relu, relu)?;
+        let fused_us = k.time(&t4).total_us;
+        let unfused_us = k.unfused_time_us(&t4);
+        println!(
+            "   {label:<28} {:.2}x ({:.0} -> {:.0} us) [{}]",
+            unfused_us / fused_us,
+            unfused_us,
+            fused_us,
+            k.residence
+        );
+    }
+    println!(
+        "\npaper: memory-bound chains gain 1.2-1.5x; compute-bound fusion can\n\
+         lose because threadblock residence constrains the tiling — which is\n\
+         why Bolt's compiler checks profit before fusing."
+    );
+    Ok(())
+}

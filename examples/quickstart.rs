@@ -1,0 +1,58 @@
+//! Quickstart: compile a small model with Bolt, execute it functionally,
+//! inspect the simulated timing, and look at the generated CUDA.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bolt::{BoltCompiler, BoltConfig};
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::GraphBuilder;
+use bolt_tensor::{Activation, DType, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a model: GEMM -> bias -> GELU -> GEMM -> bias (a BERT-style
+    //    feed-forward block at 64 tokens).
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[64, 256]);
+    let h = b.dense_bias(x, 512, "ffn.fc1");
+    let a = b.activation(h, Activation::Gelu, "ffn.gelu");
+    let o = b.dense_bias(a, 256, "ffn.fc2");
+    let graph = b.finish(&[o]);
+    println!("input graph:\n{graph}");
+
+    // 2. Compile with Bolt for a (simulated) Tesla T4.
+    let compiler = BoltCompiler::new(GpuArch::tesla_t4(), BoltConfig::default());
+    let model = compiler.compile(&graph)?;
+    println!(
+        "compiled to {} steps ({} device kernels) — epilogues fused into the GEMMs",
+        model.steps().len(),
+        model.kernel_count()
+    );
+    for step in model.steps() {
+        println!("  step: {}", step.name);
+    }
+
+    // 3. Execute functionally on real data.
+    let input = Tensor::randn(&[64, 256], DType::F16, 42);
+    let outputs = model.run(&[input])?;
+    println!(
+        "functional run: output shape {}, first value {:.4}",
+        outputs[0].shape(),
+        outputs[0].get2(0, 0)
+    );
+
+    // 4. Simulated timing on the T4 model.
+    let report = model.time();
+    println!("\nsimulated timing:\n{}", report.timeline);
+    println!(
+        "profiling effort: {} workloads, {} candidate measurements, {:.1} min simulated tuning",
+        model.tuning.workloads,
+        model.tuning.measurements,
+        model.tuning.tuning_seconds / 60.0
+    );
+
+    // 5. The CUDA the code generator would hand to NVCC.
+    let cuda = model.emit_cuda();
+    let preview: String = cuda.lines().take(18).collect::<Vec<_>>().join("\n");
+    println!("\ngenerated CUDA (first lines):\n{preview}\n...");
+    Ok(())
+}

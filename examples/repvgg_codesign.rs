@@ -1,0 +1,68 @@
+//! The system-model codesign case study (paper Section 4.3): augment
+//! RepVGG-A0 with a better activation and 1×1 deepening, and watch what
+//! Bolt's epilogue fusion + persistent kernels make of it.
+//!
+//! Run with: `cargo run --release --example repvgg_codesign`
+
+use bolt::{BoltCompiler, BoltConfig, StepKind};
+use bolt_gpu_sim::GpuArch;
+use bolt_models::repvgg::{train_form_blocks, RepVggVariant};
+use bolt_models::{AccuracyModel, RepVggSpec, TrainRecipe};
+use bolt_graph::passes::PassManager;
+use bolt_tensor::Activation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t4 = GpuArch::tesla_t4();
+    let batch = 32;
+    let accuracy = AccuracyModel::default();
+
+    // Train-form -> deploy-form re-parameterization on a toy stack.
+    let train = train_form_blocks(1, 16, &[16, 16]);
+    let deployed = PassManager::deployment().run(&train)?;
+    println!(
+        "re-parameterization: {} nodes (train, multi-branch) -> {} nodes (deploy)",
+        train.len(),
+        deployed.len()
+    );
+
+    // The three codesign steps on RepVGG-A0.
+    let specs = [
+        ("original (ReLU)", RepVggSpec::original(RepVggVariant::A0)),
+        (
+            "+ Hardswish",
+            RepVggSpec {
+                activation: Activation::Hardswish,
+                ..RepVggSpec::original(RepVggVariant::A0)
+            },
+        ),
+        (
+            "+ Hardswish + 1x1 deepening",
+            RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish),
+        ),
+    ];
+
+    println!("\nRepVGG-A0 codesign ladder (batch {batch}, simulated T4):");
+    for (label, spec) in specs {
+        let graph = spec.deploy_graph(batch);
+        let model = BoltCompiler::new(t4.clone(), BoltConfig::default()).compile(&graph)?;
+        let report = model.time();
+        let fused = model
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::B2bConv { .. }))
+            .count();
+        let top1 = accuracy.top1(&spec, TrainRecipe::TABLE6);
+        println!(
+            "  {label:<30} {:>6.0} img/s   top-1 {:.2}% (proxy)   {} persistent kernels",
+            report.images_per_sec(batch),
+            top1,
+            fused
+        );
+    }
+    println!(
+        "\npaper: Hardswish buys +0.67% top-1 nearly free; 1x1 deepening adds\n\
+         ~+0.8% more at ~15% speed cost because persistent kernels fuse the\n\
+         3x3+1x1 pairs into single launches."
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! End-to-end ResNet-50 inference on the simulated Tesla T4: compile with
+//! Bolt, inspect the kernel timeline, and compare against a quickly-tuned
+//! Ansor baseline (reduced trial budget so the example runs in seconds).
+//!
+//! Run with: `cargo run --release --example resnet50_inference`
+
+use bolt::{AnsorBackend, BoltCompiler, BoltConfig};
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::passes::PassManager;
+use bolt_models::model_by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t4 = GpuArch::tesla_t4();
+    let batch = 32;
+    let info = model_by_name("resnet-50", batch);
+    let graph = PassManager::deployment().run(&info.graph)?;
+    println!("ResNet-50: {} nodes, {:.1} M params", graph.len(), info.params_m);
+
+    // Bolt compilation.
+    let compiler = BoltCompiler::new(t4.clone(), BoltConfig::default());
+    let model = compiler.compile(&graph)?;
+    let bolt = model.time();
+    println!(
+        "\nBolt: {:.2} ms / batch ({:.0} img/s), {} kernels, tuned in {:.1} min (simulated)",
+        bolt.total_us / 1e3,
+        bolt.images_per_sec(batch),
+        model.kernel_count(),
+        model.tuning.tuning_seconds / 60.0
+    );
+    println!("hottest kernels:");
+    for e in bolt.timeline.hottest(5) {
+        println!("  {:>9.1} us  {}", e.duration_us, e.name);
+    }
+
+    // Ansor baseline with a small budget (use 900 trials/task for the
+    // paper-faithful Figure 10 numbers — see the bench).
+    let ansor = AnsorBackend::with_trials(&t4, 128);
+    let (ansor_time, tuning) = ansor.evaluate(&graph)?;
+    println!(
+        "\nAnsor (128 trials/task): {:.2} ms / batch ({:.0} img/s), {} tasks, {:.1} h tuning",
+        ansor_time.total_us / 1e3,
+        batch as f64 / (ansor_time.total_us / 1e6),
+        tuning.tasks.len(),
+        tuning.tuning_hours()
+    );
+    println!(
+        "\nBolt speedup: {:.1}x (paper Figure 10: 1.5x on ResNet with full 900-trial tuning)",
+        ansor_time.total_us / bolt.total_us
+    );
+    Ok(())
+}

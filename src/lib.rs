@@ -1,0 +1,17 @@
+//! # bolt-repro
+//!
+//! Umbrella crate for the Bolt (MLSys 2022) reproduction. It re-exports the
+//! workspace crates so that examples and integration tests can use a single
+//! dependency, and hosts the cross-crate integration test suite under
+//! `tests/`.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results of every figure and table.
+
+pub use bolt;
+pub use bolt_ansor as ansor;
+pub use bolt_cutlass as cutlass;
+pub use bolt_gpu_sim as gpu_sim;
+pub use bolt_graph as graph;
+pub use bolt_models as models;
+pub use bolt_tensor as tensor;

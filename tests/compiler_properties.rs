@@ -1,0 +1,113 @@
+//! Property tests over the whole compiler: for randomly generated small
+//! models, every optimization level must (a) compile, (b) cover every
+//! node exactly once, (c) produce finite timing, and (d) compute the same
+//! function as the unoptimized build.
+
+use proptest::prelude::*;
+
+use bolt::{BoltCompiler, BoltConfig};
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::{Graph, GraphBuilder, NodeId};
+use bolt_tensor::{Activation, DType, Tensor};
+
+#[derive(Debug, Clone, Copy)]
+enum Layer {
+    Conv { ch_idx: usize, pointwise: bool },
+    Act(usize),
+    Residual,
+    Pool,
+}
+
+const CHANNELS: [usize; 3] = [3, 6, 8];
+const ACTS: [Activation; 4] =
+    [Activation::ReLU, Activation::Gelu, Activation::Hardswish, Activation::Softplus];
+
+fn layers() -> impl Strategy<Value = Vec<Layer>> {
+    let layer = prop_oneof![
+        (0usize..3, any::<bool>()).prop_map(|(c, p)| Layer::Conv { ch_idx: c, pointwise: p }),
+        (0usize..4).prop_map(Layer::Act),
+        Just(Layer::Residual),
+        Just(Layer::Pool),
+    ];
+    prop::collection::vec(layer, 1..7)
+}
+
+fn build(layers: &[Layer]) -> Graph {
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[1, 3, 8, 8]);
+    let mut cur = x;
+    let mut prev = x;
+    for (i, layer) in layers.iter().enumerate() {
+        let next = match *layer {
+            Layer::Conv { ch_idx, pointwise } => {
+                let (k, pad) = if pointwise { (1, (0, 0)) } else { (3, (1, 1)) };
+                b.conv2d_bias(cur, CHANNELS[ch_idx], k, (1, 1), pad, &format!("conv{i}"))
+            }
+            Layer::Act(a) => b.activation(cur, ACTS[a], &format!("act{i}")),
+            Layer::Residual => {
+                let shape_cur = b.graph().node(cur).shape.clone();
+                if b.graph().node(prev).shape == shape_cur && prev != cur {
+                    b.add(cur, prev, &format!("res{i}"))
+                } else {
+                    b.activation(cur, Activation::ReLU, &format!("resact{i}"))
+                }
+            }
+            Layer::Pool => {
+                if b.graph().node(cur).shape.dim(2) >= 4 {
+                    b.max_pool(cur, 2, 2, &format!("pool{i}"))
+                } else {
+                    b.activation(cur, Activation::ReLU, &format!("poolact{i}"))
+                }
+            }
+        };
+        prev = cur;
+        cur = next;
+    }
+    let gap = b.global_avg_pool(cur, "gap");
+    let fc = b.dense_bias(gap, 4, "head");
+    b.finish(&[fc])
+}
+
+fn coverage_is_exact(model: &bolt::CompiledModel) -> bool {
+    let mut covered = std::collections::HashSet::<NodeId>::new();
+    for step in model.steps() {
+        for node in &step.covered {
+            if !covered.insert(*node) {
+                return false;
+            }
+        }
+    }
+    model
+        .graph()
+        .nodes()
+        .iter()
+        .filter(|n| !n.kind.is_data())
+        .all(|n| covered.contains(&n.id))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_config_compiles_covers_and_agrees(layers in layers(), seed in 0u64..1000) {
+        let graph = build(&layers);
+        let input = Tensor::randn(&[1, 3, 8, 8], DType::F16, seed);
+        let t4 = GpuArch::tesla_t4();
+
+        let reference = BoltCompiler::new(t4.clone(), BoltConfig::no_optimizations())
+            .compile(&graph)
+            .unwrap();
+        prop_assert!(coverage_is_exact(&reference));
+        let expect = reference.run(&[input.clone()]).unwrap();
+
+        for config in [BoltConfig::default(), BoltConfig::epilogue_only()] {
+            let model = BoltCompiler::new(t4.clone(), config).compile(&graph).unwrap();
+            prop_assert!(coverage_is_exact(&model), "coverage broken under {config:?}");
+            let report = model.time();
+            prop_assert!(report.total_us.is_finite() && report.total_us > 0.0);
+            let out = model.run(&[input.clone()]).unwrap();
+            let diff = out[0].max_abs_diff(&expect[0]).unwrap();
+            prop_assert!(diff < 5e-2, "{config:?} diverged by {diff}");
+        }
+    }
+}

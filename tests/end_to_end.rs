@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full pipeline from graph
+//! construction through compilation to execution, for both backends.
+
+use bolt::{BoltCompiler, BoltConfig, StepKind};
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::passes::PassManager;
+use bolt_graph::GraphBuilder;
+use bolt_models::model_by_name;
+use bolt_repro::bolt; // exercise the umbrella re-exports
+use bolt_tensor::{Activation, DType, Tensor};
+
+fn t4() -> GpuArch {
+    GpuArch::tesla_t4()
+}
+
+fn small_cnn(batch: usize) -> bolt_graph::Graph {
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[batch, 3, 16, 16]);
+    let c1 = b.conv2d_bias(x, 16, 3, (1, 1), (1, 1), "c1");
+    let r1 = b.activation(c1, Activation::ReLU, "r1");
+    let c2 = b.conv2d_bias(r1, 16, 1, (1, 1), (0, 0), "c2");
+    let r2 = b.activation(c2, Activation::ReLU, "r2");
+    let p = b.max_pool(r2, 2, 2, "pool");
+    let gap = b.global_avg_pool(p, "gap");
+    let fc = b.dense_bias(gap, 10, "fc");
+    let sm = b.softmax(fc, "softmax");
+    b.finish(&[sm])
+}
+
+#[test]
+fn cnn_compiles_runs_and_times_under_every_config() {
+    let graph = small_cnn(2);
+    let input = Tensor::randn(&[2, 3, 16, 16], DType::F16, 7);
+    let mut reference: Option<Vec<Tensor>> = None;
+
+    for config in [
+        BoltConfig::default(),
+        BoltConfig::epilogue_only(),
+        BoltConfig::no_optimizations(),
+    ] {
+        let model = BoltCompiler::new(t4(), config).compile(&graph).unwrap();
+        let out = model.run(&[input.clone()]).unwrap();
+        assert_eq!(out[0].shape().dims(), &[2, 10]);
+        // Softmax rows sum to 1.
+        for r in 0..2 {
+            let sum: f32 = (0..10).map(|c| out[0].get2(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-2, "row {r} sums to {sum}");
+        }
+        // All configs compute the same function (within FP16 noise from
+        // differing fusion boundaries).
+        match &reference {
+            None => reference = Some(out),
+            Some(reference) => {
+                let diff = out[0].max_abs_diff(&reference[0]).unwrap();
+                assert!(diff < 5e-2, "config {config:?} diverged by {diff}");
+            }
+        }
+        // Timing mode works for every config.
+        let report = model.time();
+        assert!(report.total_us.is_finite() && report.total_us > 0.0);
+    }
+}
+
+#[test]
+fn persistent_fusion_appears_in_conv_chains() {
+    // conv3x3 -> relu -> conv1x1 -> relu at tall spatial dims: exactly the
+    // pattern Table 2 fuses.
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let x = b.input(&[32, 48, 56, 56]);
+    let c1 = b.conv2d_bias(x, 48, 3, (1, 1), (1, 1), "c3x3");
+    let r1 = b.activation(c1, Activation::ReLU, "r1");
+    let c2 = b.conv2d_bias(r1, 48, 1, (1, 1), (0, 0), "c1x1");
+    let r2 = b.activation(c2, Activation::ReLU, "r2");
+    let graph = b.finish(&[r2]);
+
+    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let fused = model
+        .steps()
+        .iter()
+        .any(|s| matches!(s.kind, StepKind::B2bConv { .. }));
+    assert!(fused, "expected a persistent conv kernel: {:?}",
+        model.steps().iter().map(|s| &s.name).collect::<Vec<_>>());
+
+    let unfused = BoltCompiler::new(t4(), BoltConfig::epilogue_only())
+        .compile(&graph)
+        .unwrap();
+    assert!(model.time().total_us < unfused.time().total_us);
+}
+
+#[test]
+fn three_way_gemm_chains_fuse_into_one_persistent_kernel() {
+    // dense -> relu -> dense -> relu -> dense -> relu over tall-skinny
+    // shapes: all three GEMMs should land in one persistent chain (the
+    // paper's "more than two" extension).
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[16384, 256]);
+    let d0 = b.dense(x, 64, "g0");
+    let r0 = b.activation(d0, Activation::ReLU, "r0");
+    let d1 = b.dense(r0, 32, "g1");
+    let r1 = b.activation(d1, Activation::ReLU, "r1");
+    let d2 = b.dense(r1, 16, "g2");
+    let r2 = b.activation(d2, Activation::ReLU, "r2");
+    let graph = b.finish(&[r2]);
+
+    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let chain = model.steps().iter().find_map(|s| match &s.kind {
+        StepKind::GemmChain { chain, .. } => Some(chain.len()),
+        _ => None,
+    });
+    assert_eq!(chain, Some(3), "expected a 3-stage chain: {:?}",
+        model.steps().iter().map(|s| &s.name).collect::<Vec<_>>());
+    assert_eq!(model.kernel_count(), 1);
+
+    // Functionally identical to the unfused model (small replica).
+    let mut b2 = GraphBuilder::new(DType::F16);
+    let x2 = b2.input(&[64, 32]);
+    let e0 = b2.dense(x2, 16, "g0");
+    let f0 = b2.activation(e0, Activation::ReLU, "r0");
+    let e1 = b2.dense(f0, 8, "g1");
+    let f1 = b2.activation(e1, Activation::ReLU, "r1");
+    let e2 = b2.dense(f1, 4, "g2");
+    let f2 = b2.activation(e2, Activation::ReLU, "r2");
+    let small = b2.finish(&[f2]);
+    let fused = BoltCompiler::new(t4(), BoltConfig::default()).compile(&small).unwrap();
+    let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations()).compile(&small).unwrap();
+    let input = Tensor::randn(&[64, 32], DType::F16, 21);
+    let a = fused.run(&[input.clone()]).unwrap();
+    let c = plain.run(&[input]).unwrap();
+    assert!(a[0].max_abs_diff(&c[0]).unwrap() < 5e-3);
+}
+
+#[test]
+fn every_non_data_node_is_covered_exactly_once() {
+    for name in ["repvgg-a0", "resnet-18"] {
+        let graph = PassManager::deployment()
+            .run(&model_by_name(name, 8).graph)
+            .unwrap();
+        let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+        let mut covered = std::collections::HashSet::new();
+        for step in model.steps() {
+            for node in &step.covered {
+                assert!(covered.insert(*node), "{name}: node {node} covered twice");
+            }
+        }
+        for node in model.graph().nodes() {
+            if !node.kind.is_data() {
+                assert!(covered.contains(&node.id), "{name}: node {} uncovered", node.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let graph = small_cnn(4);
+    let a = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let b = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    assert_eq!(a.steps().len(), b.steps().len());
+    for (sa, sb) in a.steps().iter().zip(b.steps()) {
+        assert_eq!(sa.name, sb.name);
+    }
+    assert_eq!(a.time().total_us, b.time().total_us);
+}
+
+#[test]
+fn emitted_cuda_covers_all_kernels() {
+    let graph = small_cnn(2);
+    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let cuda = model.emit_cuda();
+    assert!(cuda.contains("Bolt generated runtime module"));
+    for step in model.steps() {
+        assert!(cuda.contains(&step.name), "missing step {}", step.name);
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    // bolt_repro::bolt is the same crate as bolt.
+    let _compiler = bolt::BoltCompiler::new(t4(), bolt::BoltConfig::default());
+    let arch = bolt_repro::gpu_sim::GpuArch::tesla_t4();
+    assert_eq!(arch.sm_count, 40);
+}

@@ -1,0 +1,172 @@
+//! Property-based numerical tests: the templated kernel executors must
+//! agree with the naive references for arbitrary shapes, configurations,
+//! and data.
+
+use proptest::prelude::*;
+
+use bolt_cutlass::{
+    B2bGemmKernel, BiasMode, Conv2dConfig, Conv2dKernel, Epilogue, GemmConfig, GemmKernel,
+    GemmProblem, Residence, TileShape,
+};
+use bolt_tensor::conv_ref::{conv2d_ref, random_filter, random_input, Conv2dProblem};
+use bolt_tensor::gemm_ref::{b2b_gemm_ref, gemm_with_epilogue};
+use bolt_tensor::{Activation, DType, Tensor, F16};
+
+fn small_tiles() -> impl Strategy<Value = (usize, usize, usize)> {
+    // (tb_m, tb_n, tb_k) — small power-of-two tiles for fast tests.
+    (0usize..3, 0usize..3, 0usize..2).prop_map(|(a, b, c)| (8 << a, 8 << b, 8 << c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiled_gemm_matches_reference(
+        m in 1usize..48,
+        n in 1usize..40,
+        k in 1usize..32,
+        (tb_m, tb_n, tb_k) in small_tiles(),
+        seed in 0u64..1000,
+    ) {
+        let mut config = GemmConfig::turing_default();
+        config.threadblock = TileShape::new(tb_m, tb_n, tb_k);
+        config.warp = TileShape::new(tb_m.min(8), tb_n.min(8), tb_k);
+        let kernel = GemmKernel::new(GemmProblem::fp16(m, n, k), config, Epilogue::linear(DType::F16));
+        let a = Tensor::randn(&[m, k], DType::F16, seed);
+        let b = Tensor::randn(&[k, n], DType::F16, seed + 1);
+        let (d, _) = kernel.run(&a, &b, None).unwrap();
+        let expect = gemm_with_epilogue(&a, &b, None, 1.0, 0.0, Activation::Identity, DType::F16).unwrap();
+        // Same k-accumulation order => exactly equal after f16 rounding.
+        prop_assert_eq!(d.max_abs_diff(&expect).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn epilogue_activations_match_reference(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..16,
+        act_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let act = Activation::REPVGG_SWEEP[act_idx];
+        let mut config = GemmConfig::turing_default();
+        config.threadblock = TileShape::new(16, 16, 8);
+        config.warp = TileShape::new(8, 8, 8);
+        let kernel = GemmKernel::new(
+            GemmProblem::fp16(m, n, k),
+            config,
+            Epilogue::bias_activation(act, DType::F16),
+        );
+        let a = Tensor::randn(&[m, k], DType::F16, seed);
+        let b = Tensor::randn(&[k, n], DType::F16, seed + 1);
+        let bias = Tensor::randn(&[n], DType::F16, seed + 2);
+        let (d, _) = kernel.run(&a, &b, Some(&bias)).unwrap();
+        let expect = gemm_with_epilogue(&a, &b, Some(&bias), 1.0, 1.0, act, DType::F16).unwrap();
+        // Activations involve transcendental math evaluated in the same
+        // f32 path — still exact.
+        prop_assert!(d.max_abs_diff(&expect).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn b2b_fusion_is_numerically_transparent(
+        m in 1usize..40,
+        n0 in 1usize..16,
+        k0 in 1usize..16,
+        n1 in 1usize..12,
+        rf in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let relu = Epilogue { beta: 0.0, bias: BiasMode::None, ..Epilogue::bias_activation(Activation::ReLU, DType::F16) };
+        let residence = if rf { Residence::RegisterFile } else { Residence::SharedMemory };
+        let kernel = B2bGemmKernel::with_residence(
+            GemmProblem::fp16(m, n0, k0),
+            GemmProblem::fp16(m, n1, n0),
+            relu,
+            relu,
+            residence,
+        );
+        let a = Tensor::randn(&[m, k0], DType::F16, seed);
+        let w0 = Tensor::randn(&[k0, n0], DType::F16, seed + 1);
+        let w1 = Tensor::randn(&[n0, n1], DType::F16, seed + 2);
+        let fused = kernel.run(&a, &w0, None, &w1, None).unwrap();
+        let expect = b2b_gemm_ref(
+            &a, &w0, None, 1.0, 0.0, Activation::ReLU, &w1, None, 1.0, 0.0, Activation::ReLU,
+        ).unwrap();
+        prop_assert_eq!(fused.max_abs_diff(&expect).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn conv_kernel_matches_direct_reference(
+        n in 1usize..3,
+        hw in 3usize..8,
+        c in 1usize..6,
+        k in 1usize..6,
+        stride in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let problem = Conv2dProblem::new(n, hw, hw, c, k, 3, 3, (stride, stride), (1, 1));
+        let mut config = Conv2dConfig::turing_default();
+        config.gemm.threadblock = TileShape::new(16, 16, 8);
+        config.gemm.warp = TileShape::new(8, 8, 8);
+        let kernel = Conv2dKernel::new(problem, config, Epilogue::linear(DType::F16), DType::F16);
+        let x = random_input(&problem, DType::F16, seed);
+        let f = random_filter(&problem, DType::F16, seed + 1);
+        let got = kernel.run(&x, &f, None).unwrap();
+        let expect = conv2d_ref(&problem, &x, &f, None, Activation::Identity).unwrap();
+        // Different summation order over (r,s,c) taps: a few f16 ULP.
+        prop_assert!(got.max_abs_diff(&expect).unwrap() < 3e-2);
+    }
+
+    #[test]
+    fn f16_quantization_is_idempotent_and_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let qa = F16::from_f32(a).to_f32();
+        prop_assert_eq!(F16::from_f32(qa).to_f32(), qa);
+        if a <= b {
+            prop_assert!(F16::from_f32(a).to_f32() <= F16::from_f32(b).to_f32());
+        }
+    }
+
+    #[test]
+    fn layout_round_trip_preserves_tensors(
+        n in 1usize..3, c in 1usize..5, h in 1usize..6, w in 1usize..6, seed in 0u64..500,
+    ) {
+        let t = Tensor::randn(&[n, c, h, w], DType::F16, seed);
+        let back = t
+            .to_activation_layout(bolt_tensor::Layout::Nhwc).unwrap()
+            .to_activation_layout(bolt_tensor::Layout::Nchw).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn channel_padding_never_changes_conv_results(
+        c in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        // Padding input channels with zeros (and the filter to match) must
+        // not change the convolution output — the correctness property
+        // behind Bolt's automated padding.
+        let problem = Conv2dProblem::new(1, 5, 5, c, 4, 3, 3, (1, 1), (1, 1));
+        let x = random_input(&problem, DType::F16, seed);
+        let f = random_filter(&problem, DType::F16, seed + 1);
+        let base = conv2d_ref(&problem, &x, &f, None, Activation::Identity).unwrap();
+
+        let pc = c.div_ceil(8) * 8;
+        let padded_problem = Conv2dProblem { c: pc, ..problem };
+        let xp = x.pad_channels_nhwc(pc).unwrap();
+        // Pad the filter's C dimension (KRSC layout).
+        let mut fp = Tensor::zeros(&[4, 3, 3, pc], DType::F16);
+        for ki in 0..4 {
+            for ri in 0..3 {
+                for si in 0..3 {
+                    for ci in 0..c {
+                        let src = ((ki * 3 + ri) * 3 + si) * c + ci;
+                        let dst = ((ki * 3 + ri) * 3 + si) * pc + ci;
+                        fp.data_mut()[dst] = f.data()[src];
+                    }
+                }
+            }
+        }
+        let padded = conv2d_ref(&padded_problem, &xp, &fp, None, Activation::Identity).unwrap();
+        prop_assert_eq!(base.max_abs_diff(&padded).unwrap(), 0.0);
+    }
+}

