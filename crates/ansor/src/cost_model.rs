@@ -44,7 +44,11 @@ impl BoostedStumps {
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], rounds: usize, learning_rate: f64) -> Self {
         assert_eq!(xs.len(), ys.len(), "features and targets must align");
         if xs.is_empty() {
-            return BoostedStumps { base: 0.0, learning_rate, stumps: Vec::new() };
+            return BoostedStumps {
+                base: 0.0,
+                learning_rate,
+                stumps: Vec::new(),
+            };
         }
         let base = ys.iter().sum::<f64>() / ys.len() as f64;
         let mut residuals: Vec<f64> = ys.iter().map(|y| y - base).collect();
@@ -60,14 +64,16 @@ impl BoostedStumps {
             }
             stumps.push(stump);
         }
-        BoostedStumps { base, learning_rate, stumps }
+        BoostedStumps {
+            base,
+            learning_rate,
+            stumps,
+        }
     }
 
     /// Predicts the target for one feature vector.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.stumps.iter().map(|s| s.predict(x)).sum::<f64>()
     }
 
     /// Number of fitted stumps.
@@ -117,7 +123,12 @@ fn best_stump(xs: &[Vec<f64>], residuals: &[f64], num_features: usize) -> Option
             let right = sum_r / cnt_r as f64;
             // SSE reduction = sum of squared means weighted by counts.
             let gain = left * left * cnt_l as f64 + right * right * cnt_r as f64;
-            let stump = Stump { feature: f, threshold: *t, left, right };
+            let stump = Stump {
+                feature: f,
+                threshold: *t,
+                left,
+                right,
+            };
             if best.as_ref().is_none_or(|(g, _)| gain > *g) {
                 best = Some((gain, stump));
             }

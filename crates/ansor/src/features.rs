@@ -65,7 +65,11 @@ mod tests {
 
     #[test]
     fn features_are_finite_and_distinct() {
-        let w = Workload::Gemm { m: 1024, n: 1024, k: 512 };
+        let w = Workload::Gemm {
+            m: 1024,
+            n: 1024,
+            k: 512,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let a = GpuSchedule::random_valid(&mut rng);
         let b = GpuSchedule::random_valid(&mut rng);

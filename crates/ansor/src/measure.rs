@@ -87,8 +87,7 @@ pub fn schedule_profile(
     // Per-block operand traffic with an unswizzled wave (poor L2 reuse vs
     // the templated kernels' swizzled grids).
     let compulsory = batch as f64 * elt * (m * k + k * n) as f64;
-    let block_traffic =
-        batch as f64 * elt * ((grid_n * m * k) as f64 + (grid_m * k * n) as f64);
+    let block_traffic = batch as f64 * elt * ((grid_n * m * k) as f64 + (grid_m * k * n) as f64);
     let wave_blocks = (arch.sm_count as f64 * 2.0).max(1.0);
     let leak = (3.0 / wave_blocks.sqrt()).min(1.0);
     let mut dram_read = compulsory + (block_traffic - compulsory).max(0.0) * leak;
@@ -102,7 +101,9 @@ pub fn schedule_profile(
     let dram_write = batch as f64 * (m * n) as f64 * elt;
 
     let smem_bytes = if schedule.use_smem {
-        2.0 * macs * elt * (1.0 / schedule.block_m as f64 + 1.0 / schedule.block_n as f64)
+        2.0 * macs
+            * elt
+            * (1.0 / schedule.block_m as f64 + 1.0 / schedule.block_n as f64)
             * (schedule.block_m * schedule.block_n) as f64
             / (schedule.threads() as f64 * tile)
     } else {
@@ -125,7 +126,11 @@ pub fn schedule_profile(
             schedule.regs_per_thread() as u32,
             schedule.smem_bytes() as u32,
         ),
-        flops: PipelineFlops { tensor_core: 0.0, cuda_core: flops, sfu: 0.0 },
+        flops: PipelineFlops {
+            tensor_core: 0.0,
+            cuda_core: flops,
+            sfu: 0.0,
+        },
         dram_read_bytes: dram_read,
         dram_write_bytes: dram_write,
         smem_bytes,
@@ -168,7 +173,11 @@ mod tests {
 
     #[test]
     fn best_case_fp16_gemm_lands_under_20pct_of_tensor_cores() {
-        let w = Workload::Gemm { m: 4096, n: 4096, k: 4096 };
+        let w = Workload::Gemm {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        };
         let t = measure_schedule(&t4(), &w, &good_schedule());
         let tflops = 2.0 * 4096f64.powi(3) / (t.total_us * 1e6);
         assert!(
@@ -179,7 +188,11 @@ mod tests {
 
     #[test]
     fn schedule_quality_orders_sensibly() {
-        let w = Workload::Gemm { m: 2048, n: 2048, k: 2048 };
+        let w = Workload::Gemm {
+            m: 2048,
+            n: 2048,
+            k: 2048,
+        };
         let good = measure_schedule(&t4(), &w, &good_schedule());
         let mut bad_sched = good_schedule();
         bad_sched.vectorize = 1;
@@ -187,7 +200,12 @@ mod tests {
         bad_sched.thread_m = 1;
         bad_sched.thread_n = 2;
         let bad = measure_schedule(&t4(), &w, &bad_sched);
-        assert!(bad.total_us > good.total_us * 2.0, "{} vs {}", bad.total_us, good.total_us);
+        assert!(
+            bad.total_us > good.total_us * 2.0,
+            "{} vs {}",
+            bad.total_us,
+            good.total_us
+        );
     }
 
     #[test]
@@ -196,7 +214,11 @@ mod tests {
         // zero) — a failed trial, priced as infinite, exactly like a real
         // on-device measurement error. Most must succeed, none may be NaN.
         let mut rng = StdRng::seed_from_u64(11);
-        let w = Workload::Gemm { m: 1280, n: 768, k: 768 };
+        let w = Workload::Gemm {
+            m: 1280,
+            n: 768,
+            k: 768,
+        };
         let mut finite = 0;
         for _ in 0..50 {
             let s = GpuSchedule::random_valid(&mut rng);

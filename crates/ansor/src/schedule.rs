@@ -128,14 +128,46 @@ impl GpuSchedule {
     pub fn crossover<R: Rng>(&self, other: &Self, rng: &mut R) -> Self {
         for _ in 0..16 {
             let child = GpuSchedule {
-                block_m: if rng.gen_bool(0.5) { self.block_m } else { other.block_m },
-                block_n: if rng.gen_bool(0.5) { self.block_n } else { other.block_n },
-                tile_k: if rng.gen_bool(0.5) { self.tile_k } else { other.tile_k },
-                thread_m: if rng.gen_bool(0.5) { self.thread_m } else { other.thread_m },
-                thread_n: if rng.gen_bool(0.5) { self.thread_n } else { other.thread_n },
-                use_smem: if rng.gen_bool(0.5) { self.use_smem } else { other.use_smem },
-                vectorize: if rng.gen_bool(0.5) { self.vectorize } else { other.vectorize },
-                unroll: if rng.gen_bool(0.5) { self.unroll } else { other.unroll },
+                block_m: if rng.gen_bool(0.5) {
+                    self.block_m
+                } else {
+                    other.block_m
+                },
+                block_n: if rng.gen_bool(0.5) {
+                    self.block_n
+                } else {
+                    other.block_n
+                },
+                tile_k: if rng.gen_bool(0.5) {
+                    self.tile_k
+                } else {
+                    other.tile_k
+                },
+                thread_m: if rng.gen_bool(0.5) {
+                    self.thread_m
+                } else {
+                    other.thread_m
+                },
+                thread_n: if rng.gen_bool(0.5) {
+                    self.thread_n
+                } else {
+                    other.thread_n
+                },
+                use_smem: if rng.gen_bool(0.5) {
+                    self.use_smem
+                } else {
+                    other.use_smem
+                },
+                vectorize: if rng.gen_bool(0.5) {
+                    self.vectorize
+                } else {
+                    other.vectorize
+                },
+                unroll: if rng.gen_bool(0.5) {
+                    self.unroll
+                } else {
+                    other.unroll
+                },
             };
             if child.is_valid() {
                 return child;

@@ -33,7 +33,12 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { trials: 512, measure_batch: 64, population: 256, seed: 0xA450 }
+        SearchOptions {
+            trials: 512,
+            measure_batch: 64,
+            population: 256,
+            seed: 0xA450,
+        }
     }
 }
 
@@ -57,7 +62,11 @@ pub struct EvolutionarySearch {
 impl EvolutionarySearch {
     /// Creates a search for `workload` on `arch`.
     pub fn new(arch: &GpuArch, workload: Workload, options: SearchOptions) -> Self {
-        EvolutionarySearch { arch: arch.clone(), workload, options }
+        EvolutionarySearch {
+            arch: arch.clone(),
+            workload,
+            options,
+        }
     }
 
     /// Runs the search, returning all measurements (best first) and the
@@ -101,7 +110,10 @@ impl EvolutionarySearch {
                     continue;
                 }
                 let t = measure_schedule(&self.arch, &self.workload, s);
-                measured.push(Measured { schedule: *s, time_us: t.total_us });
+                measured.push(Measured {
+                    schedule: *s,
+                    time_us: t.total_us,
+                });
                 this_round += 1;
             }
             if this_round == 0 {
@@ -160,8 +172,17 @@ mod tests {
 
     #[test]
     fn search_improves_over_random_sampling() {
-        let workload = Workload::Gemm { m: 2048, n: 2048, k: 2048 };
-        let opts = SearchOptions { trials: 192, measure_batch: 32, population: 128, seed: 3 };
+        let workload = Workload::Gemm {
+            m: 2048,
+            n: 2048,
+            k: 2048,
+        };
+        let opts = SearchOptions {
+            trials: 192,
+            measure_batch: 32,
+            population: 128,
+            seed: 3,
+        };
         let (measured, spent) = EvolutionarySearch::new(&t4(), workload, opts).run();
         assert_eq!(spent, 192);
         let best = measured[0].time_us;
@@ -181,8 +202,17 @@ mod tests {
 
     #[test]
     fn search_is_deterministic() {
-        let workload = Workload::Gemm { m: 1280, n: 768, k: 768 };
-        let opts = SearchOptions { trials: 64, measure_batch: 16, population: 64, seed: 9 };
+        let workload = Workload::Gemm {
+            m: 1280,
+            n: 768,
+            k: 768,
+        };
+        let opts = SearchOptions {
+            trials: 64,
+            measure_batch: 16,
+            population: 64,
+            seed: 9,
+        };
         let (a, _) = EvolutionarySearch::new(&t4(), workload, opts).run();
         let (b, _) = EvolutionarySearch::new(&t4(), workload, opts).run();
         assert_eq!(a[0].schedule, b[0].schedule);
@@ -191,8 +221,17 @@ mod tests {
 
     #[test]
     fn respects_trial_budget() {
-        let workload = Workload::Gemm { m: 512, n: 512, k: 512 };
-        let opts = SearchOptions { trials: 40, measure_batch: 64, population: 64, seed: 1 };
+        let workload = Workload::Gemm {
+            m: 512,
+            n: 512,
+            k: 512,
+        };
+        let opts = SearchOptions {
+            trials: 40,
+            measure_batch: 64,
+            population: 64,
+            seed: 1,
+        };
         let (measured, spent) = EvolutionarySearch::new(&t4(), workload, opts).run();
         assert_eq!(spent, 40);
         assert_eq!(measured.len(), 40);

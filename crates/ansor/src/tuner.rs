@@ -60,12 +60,19 @@ pub struct AnsorTuner {
 impl AnsorTuner {
     /// Creates a tuner with the paper's recommended budget.
     pub fn new(arch: &GpuArch) -> Self {
-        AnsorTuner { arch: arch.clone(), trials_per_task: 900, options: SearchOptions::default() }
+        AnsorTuner {
+            arch: arch.clone(),
+            trials_per_task: 900,
+            options: SearchOptions::default(),
+        }
     }
 
     /// Creates a tuner with a smaller budget (for tests and quick runs).
     pub fn with_trials(arch: &GpuArch, trials_per_task: usize) -> Self {
-        AnsorTuner { trials_per_task, ..Self::new(arch) }
+        AnsorTuner {
+            trials_per_task,
+            ..Self::new(arch)
+        }
     }
 
     /// Tunes every workload in the list.
@@ -100,8 +107,10 @@ impl AnsorTuner {
 
     /// Extracts tasks from `graph` and tunes them all.
     pub fn tune_graph(&self, graph: &Graph) -> TuningReport {
-        let workloads: Vec<Workload> =
-            extract_workloads(graph).into_iter().map(|(w, _)| w).collect();
+        let workloads: Vec<Workload> = extract_workloads(graph)
+            .into_iter()
+            .map(|(w, _)| w)
+            .collect();
         self.tune_workloads(&workloads)
     }
 }
@@ -137,7 +146,11 @@ mod tests {
 
     #[test]
     fn more_trials_do_not_regress() {
-        let w = Workload::Gemm { m: 1280, n: 3072, k: 768 };
+        let w = Workload::Gemm {
+            m: 1280,
+            n: 3072,
+            k: 768,
+        };
         let small = AnsorTuner::with_trials(&t4(), 32).tune_workloads(&[w]);
         let large = AnsorTuner::with_trials(&t4(), 160).tune_workloads(&[w]);
         assert!(

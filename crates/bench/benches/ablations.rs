@@ -18,12 +18,33 @@ fn ablation_end_to_end(t4: &GpuArch) {
     let mut table = Table::new(&["config", "repvggaug-a0 (img/s)", "resnet-50 (img/s)"]);
     let configs: Vec<(&str, BoltConfig)> = vec![
         ("all optimizations", BoltConfig::default()),
-        ("no persistent kernels", BoltConfig { persistent_kernels: false, ..BoltConfig::default() }),
-        ("no epilogue fusion", BoltConfig { epilogue_fusion: false, ..BoltConfig::default() }),
-        ("no kernel padding", BoltConfig { kernel_padding: false, ..BoltConfig::default() }),
+        (
+            "no persistent kernels",
+            BoltConfig {
+                persistent_kernels: false,
+                ..BoltConfig::default()
+            },
+        ),
+        (
+            "no epilogue fusion",
+            BoltConfig {
+                epilogue_fusion: false,
+                ..BoltConfig::default()
+            },
+        ),
+        (
+            "no kernel padding",
+            BoltConfig {
+                kernel_padding: false,
+                ..BoltConfig::default()
+            },
+        ),
         (
             "no layout folding",
-            BoltConfig { layout_transform_folding: false, ..BoltConfig::default() },
+            BoltConfig {
+                layout_transform_folding: false,
+                ..BoltConfig::default()
+            },
         ),
         ("none", BoltConfig::no_optimizations()),
     ];
@@ -39,7 +60,9 @@ fn ablation_end_to_end(t4: &GpuArch) {
     for (label, config) in configs {
         let mut cells = vec![label.to_string()];
         for graph in &models {
-            let model = BoltCompiler::new(t4.clone(), config).compile(graph).expect("compiles");
+            let model = BoltCompiler::new(t4.clone(), config.clone())
+                .compile(graph)
+                .expect("compiles");
             cells.push(format!("{:.0}", model.time().images_per_sec(batch)));
         }
         table.row(&cells);
@@ -50,8 +73,13 @@ fn ablation_end_to_end(t4: &GpuArch) {
 
 fn ablation_profiler_quality(t4: &GpuArch) {
     let vendor = VendorLibrary::new(t4); // exhaustive offline search
-    let mut table =
-        Table::new(&["workload", "profiler best", "exhaustive best", "gap", "candidates"]);
+    let mut table = Table::new(&[
+        "workload",
+        "profiler best",
+        "exhaustive best",
+        "gap",
+        "candidates",
+    ]);
     for problem in [
         GemmProblem::fp16(4096, 4096, 4096),
         GemmProblem::fp16(1280, 3072, 768),
@@ -82,7 +110,12 @@ fn ablation_residence(t4: &GpuArch) {
         bias: BiasMode::None,
         ..Epilogue::bias_activation(Activation::ReLU, DType::F16)
     };
-    let mut table = Table::new(&["GEMM_N (both layers)", "RF-resident", "smem-resident", "winner"]);
+    let mut table = Table::new(&[
+        "GEMM_N (both layers)",
+        "RF-resident",
+        "smem-resident",
+        "winner",
+    ]);
     for n in [16usize, 32, 64, 128, 256] {
         let g0 = GemmProblem::fp16(32768, n, 128);
         let g1 = GemmProblem::fp16(32768, n, n);
@@ -118,8 +151,8 @@ fn ablation_residence(t4: &GpuArch) {
 fn ablation_swizzle(t4: &GpuArch) {
     // Threadblock swizzle is one of the declarative template parameters
     // the paper lists; it controls wave locality in L2.
-    use bolt_cutlass::GemmConfig;
     use bolt_cutlass::perf::gemm_profile;
+    use bolt_cutlass::GemmConfig;
     use bolt_gpu_sim::simulate_kernel;
     let mut table = Table::new(&["GEMM", "swizzle 1", "swizzle 4", "gain"]);
     for mnk in [2048usize, 4096, 8192] {

@@ -27,8 +27,13 @@ fn main() {
     let batch = 32;
 
     let mut table = Table::new(&[
-        "seq len", "GEMM (M,N,K)", "Bolt kernel", "Ansor kernel", "speedup",
-        "Bolt tune cost", "Ansor tune cost (256 trials)",
+        "seq len",
+        "GEMM (M,N,K)",
+        "Bolt kernel",
+        "Ansor kernel",
+        "speedup",
+        "Bolt tune cost",
+        "Ansor tune cost (256 trials)",
     ]);
     let mut bolt_total = 0.0;
     let mut ansor_total = 0.0;
@@ -41,7 +46,11 @@ fn main() {
             .expect("profiled");
         let bolt_cost = (profiler.stats().measurements - before) as f64 * SECONDS_PER_PROFILE;
 
-        let workload = Workload::Gemm { m, n: FFN, k: HIDDEN };
+        let workload = Workload::Gemm {
+            m,
+            n: FFN,
+            k: HIDDEN,
+        };
         let report = tuner.tune_workloads(&[workload]);
         let ansor_us = report.best_time_us(&workload).expect("tuned");
         let ansor_cost = report.tuning_seconds;

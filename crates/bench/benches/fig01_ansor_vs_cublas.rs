@@ -20,7 +20,11 @@ fn main() {
     let tuner = AnsorTuner::with_trials(&t4, 2000);
 
     let mut table = Table::new(&[
-        "workload", "shape", "cuBLAS (TFLOPS)", "Ansor (TFLOPS)", "Ansor/cuBLAS",
+        "workload",
+        "shape",
+        "cuBLAS (TFLOPS)",
+        "Ansor (TFLOPS)",
+        "Ansor/cuBLAS",
     ]);
     let mut ratios = Vec::new();
     for (label, problem) in gemm_workloads() {
@@ -49,7 +53,11 @@ fn main() {
     // under 20%; the memory-bound one is allowed to be competitive.
     for (label, ratio, ai) in ratios {
         let verdict = if ai > 100.0 {
-            if ratio < 0.20 { "OK (<20% as in paper)" } else { "MISMATCH (paper: <20%)" }
+            if ratio < 0.20 {
+                "OK (<20% as in paper)"
+            } else {
+                "MISMATCH (paper: <20%)"
+            }
         } else {
             "memory-bound (competitive by design)"
         };

@@ -18,7 +18,12 @@ fn main() {
     let tuner = AnsorTuner::with_trials(&t4, 2000);
 
     let mut table = Table::new(&[
-        "workload", "shape", "Ansor", "Bolt", "Bolt TFLOPS", "speedup",
+        "workload",
+        "shape",
+        "Ansor",
+        "Bolt",
+        "Bolt TFLOPS",
+        "speedup",
     ]);
     for (label, problem) in gemm_workloads() {
         let bolt = profiler

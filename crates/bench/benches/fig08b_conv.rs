@@ -16,10 +16,22 @@ use bolt_tensor::DType;
 /// The 3×3 convolutions of ResNet-50's four stages at batch 32.
 fn resnet50_convs() -> Vec<(&'static str, Conv2dProblem)> {
     vec![
-        ("stage1 56x56x64", Conv2dProblem::new(32, 56, 56, 64, 64, 3, 3, (1, 1), (1, 1))),
-        ("stage2 28x28x128", Conv2dProblem::new(32, 28, 28, 128, 128, 3, 3, (1, 1), (1, 1))),
-        ("stage3 14x14x256", Conv2dProblem::new(32, 14, 14, 256, 256, 3, 3, (1, 1), (1, 1))),
-        ("stage4 7x7x512", Conv2dProblem::new(32, 7, 7, 512, 512, 3, 3, (1, 1), (1, 1))),
+        (
+            "stage1 56x56x64",
+            Conv2dProblem::new(32, 56, 56, 64, 64, 3, 3, (1, 1), (1, 1)),
+        ),
+        (
+            "stage2 28x28x128",
+            Conv2dProblem::new(32, 28, 28, 128, 128, 3, 3, (1, 1), (1, 1)),
+        ),
+        (
+            "stage3 14x14x256",
+            Conv2dProblem::new(32, 14, 14, 256, 256, 3, 3, (1, 1), (1, 1)),
+        ),
+        (
+            "stage4 7x7x512",
+            Conv2dProblem::new(32, 7, 7, 512, 512, 3, 3, (1, 1), (1, 1)),
+        ),
     ]
 }
 

@@ -34,8 +34,13 @@ fn main() {
     let conv_out_elems = conv.implicit_gemm_mnk().0 * conv.k;
 
     let mut table = Table::new(&[
-        "activation", "GEMM unfused", "GEMM fused", "GEMM speedup", "Conv unfused",
-        "Conv fused", "Conv speedup",
+        "activation",
+        "GEMM unfused",
+        "GEMM fused",
+        "GEMM speedup",
+        "Conv unfused",
+        "Conv fused",
+        "Conv speedup",
     ]);
     let mut gemm_speedups = Vec::new();
     let mut conv_speedups = Vec::new();
@@ -43,7 +48,10 @@ fn main() {
     for act in Activation::REPVGG_SWEEP {
         // GEMM.
         let fused_ep = Epilogue::bias_activation(act, DType::F16);
-        let fused = profiler.profile_gemm(&gemm, &fused_ep).expect("profiled").time_us;
+        let fused = profiler
+            .profile_gemm(&gemm, &fused_ep)
+            .expect("profiled")
+            .time_us;
         let plain = profiler
             .profile_gemm(&gemm, &Epilogue::linear(DType::F16))
             .expect("profiled")

@@ -19,7 +19,12 @@ fn main() {
     let ansor = AnsorBackend::with_trials(&t4, 900);
 
     let mut table = Table::new(&[
-        "model", "tasks", "Ansor (img/s)", "Bolt (img/s)", "speedup", "Ansor tuning",
+        "model",
+        "tasks",
+        "Ansor (img/s)",
+        "Bolt (img/s)",
+        "speedup",
+        "Ansor tuning",
         "Bolt tuning",
     ]);
     let mut speedups = Vec::new();

@@ -26,16 +26,21 @@ fn bench_profiler(c: &mut Criterion) {
         b.iter(|| {
             // Fresh profiler each iteration so the cache doesn't short-circuit.
             let profiler = BoltProfiler::new(&t4, 30);
-            std::hint::black_box(
-                profiler.profile_gemm(&GemmProblem::fp16(1280, 3072, 768), &Epilogue::linear(DType::F16)),
-            )
+            std::hint::black_box(profiler.profile_gemm(
+                &GemmProblem::fp16(1280, 3072, 768),
+                &Epilogue::linear(DType::F16),
+            ))
         })
     });
 }
 
 fn bench_ansor_measure(c: &mut Criterion) {
     let t4 = GpuArch::tesla_t4();
-    let workload = Workload::Gemm { m: 2048, n: 2048, k: 2048 };
+    let workload = Workload::Gemm {
+        m: 2048,
+        n: 2048,
+        k: 2048,
+    };
     let schedule = GpuSchedule {
         block_m: 64,
         block_n: 64,
@@ -52,7 +57,9 @@ fn bench_ansor_measure(c: &mut Criterion) {
 }
 
 fn bench_cost_model(c: &mut Criterion) {
-    let xs: Vec<Vec<f64>> = (0..512).map(|i| vec![(i % 17) as f64, (i % 5) as f64, i as f64]).collect();
+    let xs: Vec<Vec<f64>> = (0..512)
+        .map(|i| vec![(i % 17) as f64, (i % 5) as f64, i as f64])
+        .collect();
     let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + x[1]).collect();
     c.bench_function("boosted_stumps_fit_512x64", |b| {
         b.iter(|| std::hint::black_box(BoostedStumps::fit(&xs, &ys, 64, 0.3)))
@@ -61,7 +68,11 @@ fn bench_cost_model(c: &mut Criterion) {
 
 fn bench_functional_gemm(c: &mut Criterion) {
     let problem = GemmProblem::fp16(64, 64, 64);
-    let kernel = GemmKernel::new(problem, GemmConfig::turing_default(), Epilogue::linear(DType::F16));
+    let kernel = GemmKernel::new(
+        problem,
+        GemmConfig::turing_default(),
+        Epilogue::linear(DType::F16),
+    );
     let a = Tensor::randn(&[64, 64], DType::F16, 1);
     let b_op = Tensor::randn(&[64, 64], DType::F16, 2);
     c.bench_function("functional_tiled_gemm_64", |b| {

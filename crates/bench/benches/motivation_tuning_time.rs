@@ -16,8 +16,13 @@ fn main() {
     let t4 = GpuArch::tesla_t4();
     let batch = 32;
     let mut table = Table::new(&[
-        "model", "unique tasks", "Bolt tuning", "Ansor (900 trials/task)", "speedup",
-        "Bolt (img/s)", "Ansor (img/s)",
+        "model",
+        "unique tasks",
+        "Bolt tuning",
+        "Ansor (900 trials/task)",
+        "speedup",
+        "Bolt (img/s)",
+        "Ansor (img/s)",
     ]);
 
     for name in ["resnet-50", "resnet-101", "resnet-152", "inception-v3"] {

@@ -1,0 +1,144 @@
+//! Compile-time benchmark for the batched profiling engine: how long the
+//! profiler takes to resolve a real model's workload set sequentially
+//! (exhaustive, pruning off) vs batched parallel with candidate pruning —
+//! the engine that turns Figure 10b's minutes into seconds of real wall
+//! clock on a multi-core host.
+//!
+//! Workload sets: ResNet-50 (batch 32, the paper's CNN testbed) and the
+//! BERT GEMM list of Figures 1/8a. Results print as a table and are
+//! emitted as JSON to `target/experiments/profiling_engine.json`.
+//!
+//! Run with: `cargo bench --bench profiling_engine`
+
+use std::time::Instant;
+
+use bolt::{BoltCompiler, BoltConfig, BoltProfiler, ProfileTask, ProfilerStats};
+use bolt_bench::{experiments_dir, fmt_us, Table};
+use bolt_cutlass::Epilogue;
+use bolt_gpu_sim::GpuArch;
+use bolt_models::{bert, model_by_name};
+use bolt_tensor::DType;
+
+struct EngineRun {
+    wall_us: f64,
+    stats: ProfilerStats,
+    winners: Vec<Option<bolt::ProfiledKernel>>,
+}
+
+fn run_engine(arch: &GpuArch, tasks: &[ProfileTask], pruning: bool, parallel: bool) -> EngineRun {
+    let mut profiler = BoltProfiler::new(arch, 30);
+    profiler.set_pruning(pruning);
+    let start = Instant::now();
+    if parallel {
+        profiler.profile_batch(tasks);
+    } else {
+        for task in tasks {
+            profiler.profile_task(task);
+        }
+    }
+    let wall_us = start.elapsed().as_secs_f64() * 1e6;
+    let winners = tasks
+        .iter()
+        .map(|task| profiler.profile_task(task))
+        .collect();
+    EngineRun {
+        wall_us,
+        stats: profiler.stats(),
+        winners,
+    }
+}
+
+fn resnet50_tasks(arch: &GpuArch) -> Vec<ProfileTask> {
+    let graph = model_by_name("resnet-50", 32).graph;
+    BoltCompiler::new(arch.clone(), BoltConfig::default())
+        .profile_tasks(&graph)
+        .expect("resnet-50 lowers")
+}
+
+fn bert_tasks() -> Vec<ProfileTask> {
+    bert::gemm_workloads()
+        .into_iter()
+        .map(|(_, problem)| ProfileTask::Gemm {
+            problem,
+            epilogue: Epilogue::linear(DType::F16),
+        })
+        .collect()
+}
+
+fn main() {
+    let arch = GpuArch::tesla_t4();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut table = Table::new(&[
+        "workload set",
+        "tasks",
+        "unique",
+        "sequential",
+        "parallel+pruned",
+        "speedup",
+        "measured",
+        "pruned",
+        "skipped",
+    ]);
+    let mut json_sets = Vec::new();
+
+    for (name, tasks) in [
+        ("resnet-50", resnet50_tasks(&arch)),
+        ("bert-gemms", bert_tasks()),
+    ] {
+        let sequential = run_engine(&arch, &tasks, false, false);
+        let engine = run_engine(&arch, &tasks, true, true);
+        assert_eq!(
+            engine.winners, sequential.winners,
+            "{name}: engine must select bit-identical winners"
+        );
+
+        let speedup = sequential.wall_us / engine.wall_us;
+        let enumerated = engine.stats.measurements + engine.stats.pruned;
+        let skipped = engine.stats.pruned as f64 / enumerated.max(1) as f64;
+        table.row(&[
+            name.to_string(),
+            tasks.len().to_string(),
+            engine.stats.workloads.to_string(),
+            fmt_us(sequential.wall_us),
+            fmt_us(engine.wall_us),
+            format!("{speedup:.2}x"),
+            engine.stats.measurements.to_string(),
+            engine.stats.pruned.to_string(),
+            format!("{:.0}%", skipped * 100.0),
+        ]);
+        json_sets.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"tasks\": {}, \"unique_workloads\": {},\n",
+                "     \"sequential\": {{\"wall_us\": {:.1}, \"measurements\": {}}},\n",
+                "     \"parallel_pruned\": {{\"wall_us\": {:.1}, \"measurements\": {}, \"pruned\": {}}},\n",
+                "     \"speedup\": {:.3}, \"measurements_skipped_fraction\": {:.3}, \"winners_match\": true}}"
+            ),
+            name,
+            tasks.len(),
+            engine.stats.workloads,
+            sequential.wall_us,
+            sequential.stats.measurements,
+            engine.wall_us,
+            engine.stats.measurements,
+            engine.stats.pruned,
+            speedup,
+            skipped,
+        ));
+    }
+
+    table.print(&format!(
+        "Profiling engine: sequential exhaustive vs batched parallel + pruning ({threads} threads)"
+    ));
+    table.write_csv("profiling_engine");
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"workload_sets\": [\n{}\n  ]\n}}\n",
+        json_sets.join(",\n")
+    );
+    let dir = experiments_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("profiling_engine.json");
+    if std::fs::write(&path, &json).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -23,8 +23,13 @@ fn main() {
     let paper = [1.24, 1.34, 1.28, 1.46];
 
     let mut table = Table::new(&[
-        "1st GEMM (M,N,K)", "2nd GEMM (M,N,K)", "residence", "w/o fuse", "w/ fuse",
-        "speedup", "paper",
+        "1st GEMM (M,N,K)",
+        "2nd GEMM (M,N,K)",
+        "residence",
+        "w/o fuse",
+        "w/ fuse",
+        "speedup",
+        "paper",
     ]);
     for ((g0, g1), paper_x) in table1_gemm_pairs().into_iter().zip(paper) {
         let kernel = B2bGemmKernel::auto(&t4, g0, g1, relu, relu).expect("fusible pair");

@@ -13,8 +13,10 @@ use bolt_gpu_sim::GpuArch;
 use bolt_tensor::conv_ref::Conv2dProblem;
 use bolt_tensor::{Activation, DType};
 
-fn rows() -> Vec<(usize, usize, usize, (usize, usize), f64)> {
-    // (hw, ic, oc, stride, paper speedup)
+/// (hw, ic, oc, stride, paper speedup)
+type Row = (usize, usize, usize, (usize, usize), f64);
+
+fn rows() -> Vec<Row> {
     vec![
         (224, 3, 48, (2, 2), 1.10),
         (112, 48, 48, (2, 2), 1.41),
@@ -31,8 +33,13 @@ fn main() {
     let batch = 32;
 
     let mut table = Table::new(&[
-        "3x3 conv (H,W / IC,OC / stride)", "1x1 conv (H,W / IC,OC)", "residence",
-        "w/o fuse", "w/ fuse", "speedup", "paper",
+        "3x3 conv (H,W / IC,OC / stride)",
+        "1x1 conv (H,W / IC,OC)",
+        "residence",
+        "w/o fuse",
+        "w/ fuse",
+        "speedup",
+        "paper",
     ]);
     for (hw, ic, oc, stride, paper_x) in rows() {
         let conv0 = Conv2dProblem::new(batch, hw, hw, ic, oc, 3, 3, stride, (1, 1));

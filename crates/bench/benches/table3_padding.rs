@@ -45,8 +45,16 @@ fn main() {
     let ep = Epilogue::linear(DType::F16);
 
     let mut table = Table::new(&[
-        "N", "H,W", "IC,OC", "kernel", "unpadded", "padded", "speedup", "paper",
-        "pad cost", "paper cost",
+        "N",
+        "H,W",
+        "IC,OC",
+        "kernel",
+        "unpadded",
+        "padded",
+        "speedup",
+        "paper",
+        "pad cost",
+        "paper cost",
     ]);
     for (problem, paper_x, paper_cost) in rows() {
         let unpadded = profiler
@@ -55,7 +63,10 @@ fn main() {
             .time_us;
 
         let padded_c = problem.c.div_ceil(8) * 8;
-        let padded_problem = Conv2dProblem { c: padded_c, ..problem };
+        let padded_problem = Conv2dProblem {
+            c: padded_c,
+            ..problem
+        };
         let padded = profiler
             .profile_conv2d(&padded_problem, &ep, DType::F16)
             .expect("profiled")

@@ -8,8 +8,8 @@
 use bolt::{BoltCompiler, BoltConfig};
 use bolt_bench::Table;
 use bolt_gpu_sim::GpuArch;
-use bolt_models::{AccuracyModel, RepVggSpec, TrainRecipe};
 use bolt_models::repvgg::RepVggVariant;
+use bolt_models::{AccuracyModel, RepVggSpec, TrainRecipe};
 use bolt_tensor::Activation;
 
 fn main() {
@@ -24,12 +24,19 @@ fn main() {
     ];
 
     let mut table = Table::new(&[
-        "activation", "top-1 (%)", "paper top-1", "speed (img/s)", "paper speed",
+        "activation",
+        "top-1 (%)",
+        "paper top-1",
+        "speed (img/s)",
+        "paper speed",
         "speed vs relu",
     ]);
     let mut relu_ips = 0.0;
     for (act, paper_acc, paper_speed) in paper {
-        let spec = RepVggSpec { activation: act, ..RepVggSpec::original(RepVggVariant::A0) };
+        let spec = RepVggSpec {
+            activation: act,
+            ..RepVggSpec::original(RepVggVariant::A0)
+        };
         let graph = spec.deploy_graph(batch);
         let compiler = BoltCompiler::new(t4.clone(), BoltConfig::default());
         let model = compiler.compile(&graph).expect("compiles");

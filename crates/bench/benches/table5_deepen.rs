@@ -21,13 +21,30 @@ fn main() {
         (RepVggSpec::original(RepVggVariant::A0), 73.05, 7861.0),
         (RepVggSpec::original(RepVggVariant::A1), 74.75, 6253.0),
         (RepVggSpec::original(RepVggVariant::B0), 75.28, 4888.0),
-        (RepVggSpec::augmented(RepVggVariant::A0, Activation::ReLU), 73.87, 6716.0),
-        (RepVggSpec::augmented(RepVggVariant::A1, Activation::ReLU), 75.52, 5241.0),
-        (RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU), 76.02, 4145.0),
+        (
+            RepVggSpec::augmented(RepVggVariant::A0, Activation::ReLU),
+            73.87,
+            6716.0,
+        ),
+        (
+            RepVggSpec::augmented(RepVggVariant::A1, Activation::ReLU),
+            75.52,
+            5241.0,
+        ),
+        (
+            RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU),
+            76.02,
+            4145.0,
+        ),
     ];
 
     let mut table = Table::new(&[
-        "model", "top-1 (%)", "paper top-1", "speed (img/s)", "paper speed", "params (M)",
+        "model",
+        "top-1 (%)",
+        "paper top-1",
+        "speed (img/s)",
+        "paper speed",
+        "params (M)",
         "b2b fused kernels",
     ]);
     for (spec, paper_acc, paper_speed) in rows {

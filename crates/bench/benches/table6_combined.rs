@@ -19,11 +19,29 @@ fn main() {
     let accuracy = AccuracyModel::default();
     let batch = 32;
     // (spec, recipe, paper top-1, paper img/s)
-    let simple300 = TrainRecipe { epochs: 300, advanced_augmentation: false };
+    let simple300 = TrainRecipe {
+        epochs: 300,
+        advanced_augmentation: false,
+    };
     let rows: Vec<(RepVggSpec, TrainRecipe, f64, f64)> = vec![
-        (RepVggSpec::original(RepVggVariant::A0), simple300, 73.41, 7861.0),
-        (RepVggSpec::original(RepVggVariant::A1), TrainRecipe::TABLE6, 74.89, 6253.0),
-        (RepVggSpec::original(RepVggVariant::B0), TrainRecipe::TABLE6, 75.89, 4888.0),
+        (
+            RepVggSpec::original(RepVggVariant::A0),
+            simple300,
+            73.41,
+            7861.0,
+        ),
+        (
+            RepVggSpec::original(RepVggVariant::A1),
+            TrainRecipe::TABLE6,
+            74.89,
+            6253.0,
+        ),
+        (
+            RepVggSpec::original(RepVggVariant::B0),
+            TrainRecipe::TABLE6,
+            75.89,
+            4888.0,
+        ),
         (
             RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish),
             TrainRecipe::TABLE6,
@@ -45,7 +63,11 @@ fn main() {
     ];
 
     let mut table = Table::new(&[
-        "model", "top-1 (%)", "paper top-1", "speed (img/s)", "paper speed",
+        "model",
+        "top-1 (%)",
+        "paper top-1",
+        "speed (img/s)",
+        "paper speed",
     ]);
     let mut measured = Vec::new();
     for (spec, recipe, paper_acc, paper_speed) in rows {
@@ -68,7 +90,10 @@ fn main() {
 
     // The headline comparison.
     let a1 = measured.iter().find(|(n, _, _)| n == "RepVGG-A1").unwrap();
-    let aug_a1 = measured.iter().find(|(n, _, _)| n == "RepVGGAug-A1").unwrap();
+    let aug_a1 = measured
+        .iter()
+        .find(|(n, _, _)| n == "RepVGGAug-A1")
+        .unwrap();
     println!(
         "\nAug-A1 vs A1: top-1 {:+.2}% (paper +1.83%), speed {:.0} vs {:.0} img/s",
         aug_a1.1 - a1.1,

@@ -27,14 +27,20 @@ pub struct AnsorBackend {
 impl AnsorBackend {
     /// Creates the baseline with the paper's recommended 900 trials/task.
     pub fn new(arch: &GpuArch) -> Self {
-        AnsorBackend { arch: arch.clone(), tuner: AnsorTuner::new(arch) }
+        AnsorBackend {
+            arch: arch.clone(),
+            tuner: AnsorTuner::new(arch),
+        }
     }
 
     /// Creates the baseline with a reduced trial budget (tests / quick
     /// runs). Results are slightly worse, tuning proportionally faster —
     /// exactly like cutting `num_measure_trials` in real Ansor.
     pub fn with_trials(arch: &GpuArch, trials_per_task: usize) -> Self {
-        AnsorBackend { arch: arch.clone(), tuner: AnsorTuner::with_trials(arch, trials_per_task) }
+        AnsorBackend {
+            arch: arch.clone(),
+            tuner: AnsorTuner::with_trials(arch, trials_per_task),
+        }
     }
 
     /// Tunes all tasks of `graph` (graph passes are assumed already run —
@@ -99,7 +105,10 @@ impl AnsorBackend {
                 }
             }
         }
-        Ok(TimingReport { total_us: timeline.total_us(), timeline })
+        Ok(TimingReport {
+            total_us: timeline.total_us(),
+            timeline,
+        })
     }
 
     /// Convenience: tune + time in one call.
@@ -143,7 +152,9 @@ mod tests {
         let backend = AnsorBackend::with_trials(&t4(), 96);
         let (ansor_time, tuning) = backend.evaluate(&graph).unwrap();
 
-        let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+        let model = BoltCompiler::new(t4(), BoltConfig::default())
+            .compile(&graph)
+            .unwrap();
         let bolt_time = model.time();
 
         let speedup = ansor_time.total_us / bolt_time.total_us;

@@ -1,0 +1,486 @@
+//! Versioned on-disk autotune cache.
+//!
+//! Profiled winners survive the process: a compilation session saves its
+//! tuning cache to disk and the next session (same architecture, same
+//! cache schema) starts with every previously-profiled workload already
+//! resolved — zero measurements, zero template generation. This is the
+//! persistence half of Bolt's "sample programs are reusable across models
+//! and workloads" claim (Section 3.2.2).
+//!
+//! # Format
+//!
+//! A plain-text, line-oriented format (no external serialization crates):
+//!
+//! ```text
+//! bolt-tune-cache v1 arch=<fnv1a-64 of the architecture description>
+//! gemm <problem> | <epilogue> | <winning config> <time-bits> <candidates>
+//! conv <problem> <dtype> | <epilogue> | <winning config> <time-bits> <candidates>
+//! ```
+//!
+//! Floats are encoded as IEEE-754 bit patterns in hex so the round trip
+//! is exact. The header carries two invalidation axes:
+//!
+//! * **Schema version** ([`SCHEMA_VERSION`]) — bumped whenever the entry
+//!   layout changes; old files are skipped, not misparsed.
+//! * **Architecture fingerprint** ([`arch_fingerprint`]) — a hash of
+//!   every datasheet number of the target [`GpuArch`]. A cache tuned for
+//!   one GPU (or for a re-calibrated model of the same GPU) is invalid
+//!   for another: the winning configs would be stale.
+//!
+//! A version or architecture mismatch is *not* an error — the cache is
+//! an optimization, so [`load`] warns on stderr and reports zero entries,
+//! and the session re-measures and overwrites the file on save. A file
+//! that is unreadable or structurally corrupt returns an I/O error,
+//! which [`crate::BoltCompiler`] likewise degrades to a warning.
+
+use std::io;
+use std::path::Path;
+
+use bolt_cutlass::{BiasMode, GemmConfig, GemmProblem, TileShape};
+use bolt_gpu_sim::{GpuArch, Pipeline};
+use bolt_tensor::conv_ref::Conv2dProblem;
+use bolt_tensor::{Activation, DType, MatrixLayout};
+
+use crate::profiler::{BoltProfiler, Epilogue2, Key, ProfiledKernel};
+
+/// Cache schema version; bump on any change to the entry layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a fingerprint of an architecture's full datasheet description.
+///
+/// Hashes the `Debug` rendering of [`GpuArch`], which covers every field
+/// including the calibrated [`bolt_gpu_sim::ModelParams`] — so editing
+/// either the hardware numbers or the model calibration invalidates
+/// caches tuned under the old numbers.
+pub fn arch_fingerprint(arch: &GpuArch) -> u64 {
+    fnv1a(format!("{arch:?}").as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn header(arch: &GpuArch) -> String {
+    format!(
+        "bolt-tune-cache v{} arch={:016x}",
+        SCHEMA_VERSION,
+        arch_fingerprint(arch)
+    )
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes the profiler's resolved entries to `path`, creating parent
+/// directories as needed. Output is sorted, so identical caches produce
+/// byte-identical files.
+pub(crate) fn save(profiler: &BoltProfiler, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut lines: Vec<String> = profiler
+        .entries()
+        .iter()
+        .map(|(key, kernel)| encode_entry(key, kernel))
+        .collect();
+    lines.sort_unstable();
+    let mut out = header(profiler.arch());
+    out.push('\n');
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Loads entries from `path` into the profiler's cache, returning the
+/// number of entries merged. Version or architecture mismatches warn and
+/// return `Ok(0)`; unreadable or corrupt files return an error.
+pub(crate) fn load(profiler: &BoltProfiler, path: &Path) -> io::Result<usize> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let head = lines.next().ok_or_else(|| invalid("empty tune cache"))?;
+    let mut tokens = head.split_whitespace();
+    if tokens.next() != Some("bolt-tune-cache") {
+        return Err(invalid(format!(
+            "{}: not a bolt tune cache",
+            path.display()
+        )));
+    }
+    let version = tokens
+        .next()
+        .ok_or_else(|| invalid("missing cache version"))?;
+    let arch_hex = tokens
+        .next()
+        .and_then(|t| t.strip_prefix("arch="))
+        .ok_or_else(|| invalid("missing arch fingerprint"))?;
+    let arch =
+        u64::from_str_radix(arch_hex, 16).map_err(|_| invalid("malformed arch fingerprint"))?;
+    if version != format!("v{SCHEMA_VERSION}") {
+        eprintln!(
+            "warning: ignoring tune cache {}: schema {} (expected v{})",
+            path.display(),
+            version,
+            SCHEMA_VERSION
+        );
+        return Ok(0);
+    }
+    if arch != arch_fingerprint(profiler.arch()) {
+        eprintln!(
+            "warning: ignoring tune cache {}: tuned for a different architecture",
+            path.display()
+        );
+        return Ok(0);
+    }
+    let mut count = 0;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (key, kernel) = decode_entry(line)
+            .ok_or_else(|| invalid(format!("corrupt tune cache entry: {line:?}")))?;
+        profiler.insert_entry(key, kernel);
+        count += 1;
+    }
+    Ok(count)
+}
+
+// ---------------------------------------------------------------------------
+// Entry codec
+// ---------------------------------------------------------------------------
+
+fn encode_entry(key: &Key, kernel: &ProfiledKernel) -> String {
+    let mut s = String::new();
+    match key {
+        Key::Gemm(p, ep) => {
+            s.push_str(&format!(
+                "gemm {} {} {} {} {} {} {}",
+                p.m,
+                p.n,
+                p.k,
+                p.batch,
+                dtype_str(p.element),
+                layout_str(p.layout_a),
+                layout_str(p.layout_b),
+            ));
+            push_epilogue(&mut s, ep);
+        }
+        Key::Conv(p, ep, element) => {
+            s.push_str(&format!(
+                "conv {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                p.n,
+                p.h,
+                p.w,
+                p.c,
+                p.k,
+                p.r,
+                p.s,
+                p.stride.0,
+                p.stride.1,
+                p.padding.0,
+                p.padding.1,
+                p.dilation.0,
+                p.dilation.1,
+                dtype_str(*element),
+            ));
+            push_epilogue(&mut s, ep);
+        }
+    }
+    let c = &kernel.config;
+    s.push_str(&format!(
+        " | {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {:016x} {}",
+        c.threadblock.m,
+        c.threadblock.n,
+        c.threadblock.k,
+        c.warp.m,
+        c.warp.n,
+        c.warp.k,
+        c.instruction.m,
+        c.instruction.n,
+        c.instruction.k,
+        c.stages,
+        c.swizzle,
+        c.alignment_a,
+        c.alignment_b,
+        c.alignment_c,
+        pipeline_str(c.pipeline),
+        c.split_k,
+        kernel.time_us.to_bits(),
+        kernel.candidates,
+    ));
+    s
+}
+
+fn push_epilogue(s: &mut String, ep: &Epilogue2) {
+    s.push_str(&format!(
+        " | {} {} {:08x} {:08x} {}",
+        activation_str(ep.activation),
+        bias_str(ep.bias),
+        ep.alpha,
+        ep.beta,
+        ep.reduction,
+    ));
+}
+
+fn decode_entry(line: &str) -> Option<(Key, ProfiledKernel)> {
+    let mut t = line.split_whitespace().filter(|tok| *tok != "|");
+    let key = match t.next()? {
+        "gemm" => {
+            let problem = GemmProblem {
+                m: next_usize(&mut t)?,
+                n: next_usize(&mut t)?,
+                k: next_usize(&mut t)?,
+                batch: next_usize(&mut t)?,
+                element: parse_dtype(t.next()?)?,
+                layout_a: parse_layout(t.next()?)?,
+                layout_b: parse_layout(t.next()?)?,
+            };
+            Key::Gemm(problem, parse_epilogue(&mut t)?)
+        }
+        "conv" => {
+            let problem = Conv2dProblem {
+                n: next_usize(&mut t)?,
+                h: next_usize(&mut t)?,
+                w: next_usize(&mut t)?,
+                c: next_usize(&mut t)?,
+                k: next_usize(&mut t)?,
+                r: next_usize(&mut t)?,
+                s: next_usize(&mut t)?,
+                stride: (next_usize(&mut t)?, next_usize(&mut t)?),
+                padding: (next_usize(&mut t)?, next_usize(&mut t)?),
+                dilation: (next_usize(&mut t)?, next_usize(&mut t)?),
+            };
+            let element = parse_dtype(t.next()?)?;
+            Key::Conv(problem, parse_epilogue(&mut t)?, element)
+        }
+        _ => return None,
+    };
+    let config = GemmConfig {
+        threadblock: TileShape::new(
+            next_usize(&mut t)?,
+            next_usize(&mut t)?,
+            next_usize(&mut t)?,
+        ),
+        warp: TileShape::new(
+            next_usize(&mut t)?,
+            next_usize(&mut t)?,
+            next_usize(&mut t)?,
+        ),
+        instruction: TileShape::new(
+            next_usize(&mut t)?,
+            next_usize(&mut t)?,
+            next_usize(&mut t)?,
+        ),
+        stages: next_usize(&mut t)?,
+        swizzle: t.next()?.parse().ok()?,
+        alignment_a: next_usize(&mut t)?,
+        alignment_b: next_usize(&mut t)?,
+        alignment_c: next_usize(&mut t)?,
+        pipeline: parse_pipeline(t.next()?)?,
+        split_k: next_usize(&mut t)?,
+    };
+    let time_us = f64::from_bits(u64::from_str_radix(t.next()?, 16).ok()?);
+    let candidates = next_usize(&mut t)?;
+    if t.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some((
+        key,
+        ProfiledKernel {
+            config,
+            time_us,
+            candidates,
+        },
+    ))
+}
+
+fn parse_epilogue<'a>(t: &mut impl Iterator<Item = &'a str>) -> Option<Epilogue2> {
+    Some(Epilogue2 {
+        activation: parse_activation(t.next()?)?,
+        bias: parse_bias(t.next()?)?,
+        alpha: u32::from_str_radix(t.next()?, 16).ok()?,
+        beta: u32::from_str_radix(t.next()?, 16).ok()?,
+        reduction: t.next()?.parse().ok()?,
+    })
+}
+
+fn next_usize<'a>(t: &mut impl Iterator<Item = &'a str>) -> Option<usize> {
+    t.next()?.parse().ok()
+}
+
+// Local name<->enum tables: the vendored serde is derive-only (offline
+// build), so enum spelling is pinned here and guarded by the schema
+// version above.
+
+fn dtype_str(d: DType) -> &'static str {
+    match d {
+        DType::B1 => "b1",
+        DType::I4 => "i4",
+        DType::I8 => "i8",
+        DType::I32 => "i32",
+        DType::F16 => "f16",
+        DType::Bf16 => "bf16",
+        DType::Tf32 => "tf32",
+        DType::F32 => "f32",
+        DType::F64 => "f64",
+    }
+}
+
+fn parse_dtype(s: &str) -> Option<DType> {
+    Some(match s {
+        "b1" => DType::B1,
+        "i4" => DType::I4,
+        "i8" => DType::I8,
+        "i32" => DType::I32,
+        "f16" => DType::F16,
+        "bf16" => DType::Bf16,
+        "tf32" => DType::Tf32,
+        "f32" => DType::F32,
+        "f64" => DType::F64,
+        _ => return None,
+    })
+}
+
+fn layout_str(l: MatrixLayout) -> &'static str {
+    match l {
+        MatrixLayout::RowMajor => "row",
+        MatrixLayout::ColMajor => "col",
+    }
+}
+
+fn parse_layout(s: &str) -> Option<MatrixLayout> {
+    Some(match s {
+        "row" => MatrixLayout::RowMajor,
+        "col" => MatrixLayout::ColMajor,
+        _ => return None,
+    })
+}
+
+fn activation_str(a: Activation) -> &'static str {
+    match a {
+        Activation::Identity => "identity",
+        Activation::ReLU => "relu",
+        Activation::Gelu => "gelu",
+        Activation::Hardswish => "hardswish",
+        Activation::Softplus => "softplus",
+        Activation::Sigmoid => "sigmoid",
+        Activation::Silu => "silu",
+    }
+}
+
+fn parse_activation(s: &str) -> Option<Activation> {
+    Some(match s {
+        "identity" => Activation::Identity,
+        "relu" => Activation::ReLU,
+        "gelu" => Activation::Gelu,
+        "hardswish" => Activation::Hardswish,
+        "softplus" => Activation::Softplus,
+        "sigmoid" => Activation::Sigmoid,
+        "silu" => Activation::Silu,
+        _ => return None,
+    })
+}
+
+fn bias_str(b: BiasMode) -> &'static str {
+    match b {
+        BiasMode::None => "none",
+        BiasMode::PerColumn => "per-column",
+        BiasMode::Full => "full",
+    }
+}
+
+fn parse_bias(s: &str) -> Option<BiasMode> {
+    Some(match s {
+        "none" => BiasMode::None,
+        "per-column" => BiasMode::PerColumn,
+        "full" => BiasMode::Full,
+        _ => return None,
+    })
+}
+
+fn pipeline_str(p: Pipeline) -> &'static str {
+    match p {
+        Pipeline::TensorCore => "tensor-core",
+        Pipeline::CudaCore => "cuda-core",
+        Pipeline::Sfu => "sfu",
+    }
+}
+
+fn parse_pipeline(s: &str) -> Option<Pipeline> {
+    Some(match s {
+        "tensor-core" => Pipeline::TensorCore,
+        "cuda-core" => Pipeline::CudaCore,
+        "sfu" => Pipeline::Sfu,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_cutlass::Epilogue;
+    use bolt_tensor::Activation;
+
+    fn sample_kernel() -> ProfiledKernel {
+        ProfiledKernel {
+            config: GemmConfig::turing_default(),
+            time_us: 123.456_789,
+            candidates: 24,
+        }
+    }
+
+    #[test]
+    fn gemm_entry_round_trips_exactly() {
+        let ep = Epilogue::bias_activation(Activation::Gelu, DType::F16);
+        let key = Key::Gemm(GemmProblem::fp16(1280, 3072, 768), (&ep).into());
+        let kernel = sample_kernel();
+        let line = encode_entry(&key, &kernel);
+        let (k2, p2) = decode_entry(&line).expect("decodes");
+        assert_eq!(k2, key);
+        assert_eq!(p2, kernel);
+    }
+
+    #[test]
+    fn conv_entry_round_trips_exactly_with_dtype() {
+        let ep = Epilogue::linear(DType::F32);
+        let problem = Conv2dProblem::new(32, 56, 56, 64, 64, 3, 3, (2, 2), (1, 1));
+        for element in [DType::F16, DType::Bf16] {
+            let key = Key::Conv(problem, (&ep).into(), element);
+            let line = encode_entry(&key, &sample_kernel());
+            let (k2, _) = decode_entry(&line).expect("decodes");
+            assert_eq!(k2, key, "conv dtype must survive the round trip");
+        }
+    }
+
+    #[test]
+    fn corrupt_entries_are_rejected() {
+        assert!(decode_entry("gemm 1 2 not-a-number").is_none());
+        assert!(decode_entry("unknown-kind 1 2 3").is_none());
+        let ep = Epilogue::linear(DType::F16);
+        let key = Key::Gemm(GemmProblem::fp16(64, 64, 64), (&ep).into());
+        let good = encode_entry(&key, &sample_kernel());
+        assert!(decode_entry(&format!("{good} trailing")).is_none());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_architectures() {
+        let t4 = arch_fingerprint(&GpuArch::tesla_t4());
+        let v100 = arch_fingerprint(&GpuArch::tesla_v100());
+        let a100 = arch_fingerprint(&GpuArch::a100());
+        assert_ne!(t4, v100);
+        assert_ne!(t4, a100);
+        assert_eq!(
+            t4,
+            arch_fingerprint(&GpuArch::tesla_t4()),
+            "fingerprint is stable"
+        );
+    }
+}

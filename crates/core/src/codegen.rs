@@ -54,20 +54,30 @@ pub fn emit_model(model: &CompiledModel) -> String {
                 out.push_str(&bolt_cutlass::emit::emit_b2b_gemm(&head, cc));
             }
             StepKind::B2bConv { kernel, .. } => {
-                out.push_str(&bolt_cutlass::emit::emit_b2b_gemm(&kernel.as_b2b_gemm(), cc));
+                out.push_str(&bolt_cutlass::emit::emit_b2b_gemm(
+                    &kernel.as_b2b_gemm(),
+                    cc,
+                ));
             }
             StepKind::LayoutTransform { bytes, fused } => {
                 out.push_str(&format!(
                     "// layout transform ({} bytes, {})\n",
                     *bytes as u64,
-                    if *fused { "folded into adjacent kernel" } else { "standalone kernel" }
+                    if *fused {
+                        "folded into adjacent kernel"
+                    } else {
+                        "standalone kernel"
+                    }
                 ));
                 if !fused {
                     out.push_str(&bolt_cutlass::emit::emit_layout_transform(1, 1, 1, 1, 1));
                 }
             }
             StepKind::PadChannels { bytes } => {
-                out.push_str(&format!("// channel padding kernel ({} bytes)\n", *bytes as u64));
+                out.push_str(&format!(
+                    "// channel padding kernel ({} bytes)\n",
+                    *bytes as u64
+                ));
             }
             StepKind::Host => {
                 out.push_str("// host fallback (compiled by TVM)\n");

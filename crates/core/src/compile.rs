@@ -21,9 +21,38 @@ pub struct BoltCompiler {
 
 impl BoltCompiler {
     /// Creates a compiler for `arch` with `config`.
+    ///
+    /// If `config.cache_path` (or, failing that, the `BOLT_TUNE_CACHE`
+    /// environment variable) names an existing autotune cache file, it is
+    /// loaded here so compilation starts warm. A missing file is normal
+    /// (first run); an invalid one — corrupt, wrong schema version, or
+    /// tuned for a different architecture — degrades to a warning and a
+    /// cold start, never a failure.
     pub fn new(arch: GpuArch, config: BoltConfig) -> Self {
-        let profiler = BoltProfiler::new(&arch, config.profiler_candidates);
-        BoltCompiler { arch, config, profiler }
+        let mut profiler = BoltProfiler::new(&arch, config.profiler_candidates);
+        profiler.set_pruning(config.candidate_pruning);
+        let compiler = BoltCompiler {
+            arch,
+            config,
+            profiler,
+        };
+        if let Some(path) = compiler.tune_cache_path() {
+            if path.exists() {
+                if let Err(e) = compiler.profiler.load_cache(&path) {
+                    eprintln!("warning: ignoring tune cache {}: {e}", path.display());
+                }
+            }
+        }
+        compiler
+    }
+
+    /// The on-disk autotune cache location: `config.cache_path`, else the
+    /// `BOLT_TUNE_CACHE` environment variable, else none.
+    pub fn tune_cache_path(&self) -> Option<std::path::PathBuf> {
+        self.config
+            .cache_path
+            .clone()
+            .or_else(|| std::env::var_os("BOLT_TUNE_CACHE").map(std::path::PathBuf::from))
     }
 
     /// The target architecture.
@@ -45,6 +74,11 @@ impl BoltCompiler {
 
     /// Compiles a graph into an executable model.
     ///
+    /// After a successful compile the profiler cache is persisted to
+    /// [`BoltCompiler::tune_cache_path`] (when one is configured); a
+    /// write failure is reported as a warning, not an error, since the
+    /// cache is purely an optimization.
+    ///
     /// # Errors
     ///
     /// Returns an error when graph passes fail or a workload has no legal
@@ -60,21 +94,49 @@ impl BoltCompiler {
         let steps = lower(&optimized, &self.arch, &self.config, &self.profiler)?;
         let after = self.profiler.stats();
 
+        // Deltas, so the one-time template-generation cost is charged to
+        // the first compilation that actually measures — not re-billed to
+        // every model built by this process (or loaded from a warm cache).
         let tuning = TuningSummary {
             workloads: after.workloads - before.workloads,
             measurements: after.measurements - before.measurements,
-            tuning_seconds: crate::profiler::TEMPLATE_GENERATION_SECONDS
-                + (after.measurements - before.measurements) as f64
-                    * crate::profiler::SECONDS_PER_PROFILE,
+            pruned: after.pruned - before.pruned,
+            tuning_seconds: after.tuning_seconds() - before.tuning_seconds(),
         };
+
+        if let Some(path) = self.tune_cache_path() {
+            if let Err(e) = self.profiler.save_cache(&path) {
+                eprintln!("warning: failed to save tune cache {}: {e}", path.display());
+            }
+        }
 
         Ok(CompiledModel {
             arch: self.arch.clone(),
             graph: optimized,
             steps,
-            config: self.config,
+            config: self.config.clone(),
             tuning,
         })
+    }
+
+    /// Phase-1 view of a graph's profiling work: the deduplicated
+    /// workload set [`BoltCompiler::compile`] would measure, after the
+    /// same deployment passes. Useful for warming caches ahead of time
+    /// and for benchmarking the profiling engine in isolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when graph passes fail.
+    pub fn profile_tasks(&self, graph: &Graph) -> Result<Vec<crate::profiler::ProfileTask>> {
+        let optimized = if self.config.deployment_passes {
+            PassManager::deployment().run(graph)?
+        } else {
+            graph.clone()
+        };
+        Ok(crate::lower::collect_profile_tasks(
+            &optimized,
+            &self.config,
+        ))
     }
 }
 
@@ -119,12 +181,14 @@ mod tests {
         let o = b.dense_bias(r, 8, "fc2");
         let g = b.finish(&[o]);
 
-        let fused = BoltCompiler::new(t4(), BoltConfig::default()).compile(&g).unwrap();
+        let fused = BoltCompiler::new(t4(), BoltConfig::default())
+            .compile(&g)
+            .unwrap();
         let unfused = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
             .compile(&g)
             .unwrap();
         let input = Tensor::randn(&[16, 24], DType::F16, 5);
-        let a = fused.run(&[input.clone()]).unwrap();
+        let a = fused.run(std::slice::from_ref(&input)).unwrap();
         let bout = unfused.run(&[input]).unwrap();
         assert_eq!(a.len(), 1);
         let diff = a[0].max_abs_diff(&bout[0]).unwrap();
@@ -147,10 +211,15 @@ mod tests {
         let compiler = BoltCompiler::new(t4(), BoltConfig::default());
         let model = compiler.compile(&g).unwrap();
         // First conv has C=3 -> padded to 8.
-        let padded = model.steps().iter().any(|s| matches!(
-            s.kind,
-            StepKind::Conv2d { pad_to: Some(8), .. }
-        ));
+        let padded = model.steps().iter().any(|s| {
+            matches!(
+                s.kind,
+                StepKind::Conv2d {
+                    pad_to: Some(8),
+                    ..
+                }
+            )
+        });
         assert!(padded, "first layer must be padded to alignment 8");
 
         let input = Tensor::randn(&[2, 3, 16, 16], DType::F16, 1);
@@ -169,12 +238,11 @@ mod tests {
         let bn = b.batch_norm(c, "bn");
         let r = b.activation(bn, Activation::ReLU, "relu");
         let g = b.finish(&[r]);
-        let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&g).unwrap();
+        let model = BoltCompiler::new(t4(), BoltConfig::default())
+            .compile(&g)
+            .unwrap();
         // BN folded: no host batch_norm steps remain.
-        assert!(model
-            .steps()
-            .iter()
-            .all(|s| !s.name.contains("batch_norm")));
+        assert!(model.steps().iter().all(|s| !s.name.contains("batch_norm")));
     }
 
     #[test]
@@ -188,16 +256,26 @@ mod tests {
         let r1 = b.activation(d1, Activation::ReLU, "r1");
         let g = b.finish(&[r1]);
 
-        let fused_model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&g).unwrap();
+        let fused_model = BoltCompiler::new(t4(), BoltConfig::default())
+            .compile(&g)
+            .unwrap();
         let has_b2b = fused_model
             .steps()
             .iter()
             .any(|s| matches!(s.kind, StepKind::B2bGemm { .. }));
-        assert!(has_b2b, "profitable b2b chain must fuse: {:?}",
-            fused_model.steps().iter().map(|s| &s.name).collect::<Vec<_>>());
+        assert!(
+            has_b2b,
+            "profitable b2b chain must fuse: {:?}",
+            fused_model
+                .steps()
+                .iter()
+                .map(|s| &s.name)
+                .collect::<Vec<_>>()
+        );
 
-        let unfused_model =
-            BoltCompiler::new(t4(), BoltConfig::epilogue_only()).compile(&g).unwrap();
+        let unfused_model = BoltCompiler::new(t4(), BoltConfig::epilogue_only())
+            .compile(&g)
+            .unwrap();
         let fused_t = fused_model.time().total_us;
         let unfused_t = unfused_model.time().total_us;
         assert!(fused_t < unfused_t, "{fused_t} !< {unfused_t}");

@@ -1,10 +1,12 @@
 //! Compiler configuration: every Bolt optimization is independently
 //! switchable for the ablation benches DESIGN.md calls out.
 
+use std::path::PathBuf;
+
 use serde::{Deserialize, Serialize};
 
 /// Bolt compiler options.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BoltConfig {
     /// Fuse BiasAdd / activation / residual epilogues into the anchor
     /// kernels (paper Section 3.1 prerequisite).
@@ -25,6 +27,18 @@ pub struct BoltConfig {
     /// Run graph deployment passes (BN fold + RepVGG re-parameterization)
     /// before compilation.
     pub deployment_passes: bool,
+    /// Skip candidates whose analytic roofline lower bound already
+    /// exceeds the best measured time. Admissible — never changes the
+    /// selected winner, only the measurement count.
+    pub candidate_pruning: bool,
+    /// Collect every workload up front and fan measurements across worker
+    /// threads before lowering, instead of measuring inline node by node.
+    pub parallel_profiling: bool,
+    /// On-disk autotune cache location. Loaded (if present and valid) at
+    /// compiler construction and saved after every compile. When `None`,
+    /// the `BOLT_TUNE_CACHE` environment variable is consulted instead;
+    /// if that is unset too, the cache stays in-memory only.
+    pub cache_path: Option<PathBuf>,
 }
 
 impl Default for BoltConfig {
@@ -36,6 +50,9 @@ impl Default for BoltConfig {
             layout_transform_folding: true,
             profiler_candidates: 30,
             deployment_passes: true,
+            candidate_pruning: true,
+            parallel_profiling: true,
+            cache_path: None,
         }
     }
 }
@@ -44,7 +61,10 @@ impl BoltConfig {
     /// Baseline for Figure 9 / Tables 1-2: epilogue fusion only, no
     /// persistent kernels.
     pub fn epilogue_only() -> Self {
-        BoltConfig { persistent_kernels: false, ..Self::default() }
+        BoltConfig {
+            persistent_kernels: false,
+            ..Self::default()
+        }
     }
 
     /// All Bolt optimizations off (kernels still templated + profiled).
@@ -54,8 +74,7 @@ impl BoltConfig {
             persistent_kernels: false,
             kernel_padding: false,
             layout_transform_folding: false,
-            profiler_candidates: 30,
-            deployment_passes: true,
+            ..Self::default()
         }
     }
 }
@@ -68,6 +87,8 @@ mod tests {
     fn defaults_enable_everything() {
         let c = BoltConfig::default();
         assert!(c.epilogue_fusion && c.persistent_kernels && c.kernel_padding);
+        assert!(c.candidate_pruning && c.parallel_profiling);
+        assert!(c.cache_path.is_none());
         assert!(c.profiler_candidates >= 10 && c.profiler_candidates <= 100);
     }
 
@@ -77,5 +98,9 @@ mod tests {
         assert!(BoltConfig::epilogue_only().epilogue_fusion);
         let off = BoltConfig::no_optimizations();
         assert!(!off.epilogue_fusion && !off.kernel_padding);
+        assert!(
+            off.candidate_pruning,
+            "engine optimizations are not paper ablations"
+        );
     }
 }

@@ -80,7 +80,9 @@ mod tests {
         assert!(e.to_string().contains("tensor error"));
         let k: BoltError = KernelError::illegal("y").into();
         assert!(k.to_string().contains("kernel error"));
-        let n = BoltError::NoKernel { workload: "gemm".into() };
+        let n = BoltError::NoKernel {
+            workload: "gemm".into(),
+        };
         assert!(n.to_string().contains("gemm"));
     }
 }

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod baseline;
+pub mod cache;
 pub mod codegen;
 pub mod compile;
 pub mod config;
@@ -62,7 +63,7 @@ pub use baseline::AnsorBackend;
 pub use compile::BoltCompiler;
 pub use config::BoltConfig;
 pub use error::BoltError;
-pub use profiler::{BoltProfiler, ProfiledKernel, ProfilerStats};
+pub use profiler::{BoltProfiler, ProfileTask, ProfiledKernel, ProfilerStats};
 pub use runtime::{CompiledModel, Step, StepKind, TimingReport};
 
 /// Result alias for compiler operations.

@@ -20,7 +20,10 @@
 
 use std::collections::HashSet;
 
-use bolt_cutlass::{B2bConvKernel, B2bGemmKernel, BiasMode, Conv2dKernel, Epilogue, GemmKernel, GemmProblem, PersistentGemmChain};
+use bolt_cutlass::{
+    B2bConvKernel, B2bGemmKernel, BiasMode, Conv2dKernel, Epilogue, GemmKernel, GemmProblem,
+    PersistentGemmChain,
+};
 use bolt_gpu_sim::GpuArch;
 use bolt_graph::{Graph, Node, NodeId, OpKind};
 use bolt_tensor::conv_ref::Conv2dProblem;
@@ -28,7 +31,7 @@ use bolt_tensor::{Activation, DType};
 
 use crate::config::BoltConfig;
 use crate::error::BoltError;
-use crate::profiler::BoltProfiler;
+use crate::profiler::{BoltProfiler, ProfileTask};
 use crate::runtime::{Step, StepKind};
 use crate::Result;
 
@@ -102,7 +105,11 @@ pub(crate) fn absorb_epilogue_ext(
                     && absorbed.residual.is_none()
                     && absorbed.activation == Activation::Identity =>
             {
-                let other = if node.inputs[0] == cur { node.inputs[1] } else { node.inputs[0] };
+                let other = if node.inputs[0] == cur {
+                    node.inputs[1]
+                } else {
+                    node.inputs[0]
+                };
                 // The residual operand must already be available when this
                 // kernel runs: it has to precede the anchor in topo order.
                 if other.index() >= anchor.id.index() {
@@ -144,13 +151,146 @@ fn build_epilogue(absorbed: &AbsorbedEpilogue, out_dtype: DType) -> Epilogue {
     }
 }
 
+/// A Dense anchor's derived profiling workload.
+struct DenseWorkload {
+    problem: GemmProblem,
+    absorbed: AbsorbedEpilogue,
+    epilogue: Epilogue,
+}
+
+fn dense_workload(graph: &Graph, node: &Node, config: &BoltConfig) -> DenseWorkload {
+    let x = graph.node(node.inputs[0]);
+    let w = graph.node(node.inputs[1]);
+    let problem = GemmProblem {
+        m: x.shape.dim(0),
+        n: w.shape.dim(0),
+        k: w.shape.dim(1),
+        batch: 1,
+        element: node.dtype,
+        ..GemmProblem::fp16(1, 1, 1)
+    };
+    let absorbed = absorb_epilogue(graph, node, true, config.epilogue_fusion);
+    let epilogue = build_epilogue(&absorbed, node.dtype);
+    DenseWorkload {
+        problem,
+        absorbed,
+        epilogue,
+    }
+}
+
+/// A Conv2d anchor's derived profiling workload (post-padding).
+struct ConvWorkload {
+    problem: Conv2dProblem,
+    pad_to: Option<usize>,
+    pad_fused: bool,
+    absorbed: AbsorbedEpilogue,
+    epilogue: Epilogue,
+}
+
+fn conv_workload(graph: &Graph, node: &Node, config: &BoltConfig) -> ConvWorkload {
+    let OpKind::Conv2d {
+        stride,
+        padding,
+        dilation,
+    } = node.kind
+    else {
+        unreachable!("conv_workload called on non-conv");
+    };
+    let x = graph.node(node.inputs[0]);
+    let w = graph.node(node.inputs[1]);
+    let mut problem = Conv2dProblem {
+        n: x.shape.dim(0),
+        h: x.shape.dim(2),
+        w: x.shape.dim(3),
+        c: x.shape.dim(1),
+        k: w.shape.dim(0),
+        r: w.shape.dim(2),
+        s: w.shape.dim(3),
+        stride,
+        padding,
+        dilation,
+    };
+
+    // ---- Automatic kernel padding -----------------------------------------
+    let needs_pad = config.kernel_padding && !problem.c.is_multiple_of(8);
+    let pad_to = if needs_pad {
+        Some(problem.c.div_ceil(8) * 8)
+    } else {
+        None
+    };
+    if let Some(pc) = pad_to {
+        problem.c = pc;
+    }
+    // The pad folds into the boundary layout transform when this conv reads
+    // a graph input directly (the model's first layer).
+    let pad_fused = matches!(graph.node(node.inputs[0]).kind, OpKind::Input { .. })
+        && config.layout_transform_folding;
+
+    let absorbed = absorb_epilogue(graph, node, false, config.epilogue_fusion);
+    let epilogue = build_epilogue(&absorbed, node.dtype);
+    ConvWorkload {
+        problem,
+        pad_to,
+        pad_fused,
+        absorbed,
+        epilogue,
+    }
+}
+
+/// Phase 1 of lowering: walk the graph and derive the profiling task of
+/// every GEMM/Conv2D anchor, exactly as phase 2 will request them.
+///
+/// Anchors are never absorbed into other anchors' epilogues (only
+/// BiasAdd/Add/Activation nodes are), so every anchor can be visited
+/// unconditionally and the resulting task set matches the per-node
+/// lookups of [`lower`] one-to-one. Duplicate workloads (e.g. the
+/// repeated blocks of a ResNet) are left in — [`BoltProfiler::profile_batch`]
+/// deduplicates by cache key.
+pub(crate) fn collect_profile_tasks(graph: &Graph, config: &BoltConfig) -> Vec<ProfileTask> {
+    let mut tasks = Vec::new();
+    for node in graph.nodes() {
+        if node.kind.is_data() {
+            continue;
+        }
+        match &node.kind {
+            OpKind::Dense => {
+                let wl = dense_workload(graph, node, config);
+                tasks.push(ProfileTask::Gemm {
+                    problem: wl.problem,
+                    epilogue: wl.epilogue,
+                });
+            }
+            OpKind::Conv2d { .. } => {
+                let wl = conv_workload(graph, node, config);
+                tasks.push(ProfileTask::Conv2d {
+                    problem: wl.problem,
+                    epilogue: wl.epilogue,
+                    element: node.dtype,
+                });
+            }
+            _ => {}
+        }
+    }
+    tasks
+}
+
 /// Lowers an optimized graph to steps.
+///
+/// Lowering is two-phase: first every unique GEMM/Conv2D workload in the
+/// graph is profiled as one batch ([`collect_profile_tasks`] +
+/// [`BoltProfiler::profile_batch`]), fanning measurements across worker
+/// threads; then the per-node lowering below runs against the now-warm
+/// cache, so graph rewriting never serializes behind measurement.
 pub(crate) fn lower(
     graph: &Graph,
     arch: &GpuArch,
     config: &BoltConfig,
     profiler: &BoltProfiler,
 ) -> Result<Vec<Step>> {
+    if config.parallel_profiling {
+        profiler.profile_batch(&collect_profile_tasks(graph, config));
+    }
+
     let mut steps: Vec<Step> = Vec::new();
     let mut covered: HashSet<NodeId> = HashSet::new();
 
@@ -243,21 +383,17 @@ fn lower_dense(
     config: &BoltConfig,
     profiler: &BoltProfiler,
 ) -> Result<Step> {
-    let x = graph.node(node.inputs[0]);
-    let w = graph.node(node.inputs[1]);
-    let problem = GemmProblem {
-        m: x.shape.dim(0),
-        n: w.shape.dim(0),
-        k: w.shape.dim(1),
-        batch: 1,
-        element: node.dtype,
-        ..GemmProblem::fp16(1, 1, 1)
-    };
-    let absorbed = absorb_epilogue(graph, node, true, config.epilogue_fusion);
-    let epilogue = build_epilogue(&absorbed, node.dtype);
-    let profiled = profiler
-        .profile_gemm(&problem, &epilogue)
-        .ok_or_else(|| BoltError::NoKernel { workload: problem.to_string() })?;
+    let DenseWorkload {
+        problem,
+        absorbed,
+        epilogue,
+    } = dense_workload(graph, node, config);
+    let profiled =
+        profiler
+            .profile_gemm(&problem, &epilogue)
+            .ok_or_else(|| BoltError::NoKernel {
+                workload: problem.to_string(),
+            })?;
     let kernel = GemmKernel::new(problem, profiled.config, epilogue);
 
     let mut inputs = vec![node.inputs[0]];
@@ -284,40 +420,19 @@ fn lower_conv(
     config: &BoltConfig,
     profiler: &BoltProfiler,
 ) -> Result<(Option<Step>, Step)> {
-    let OpKind::Conv2d { stride, padding, dilation } = node.kind else {
-        unreachable!("lower_conv called on non-conv");
-    };
+    let ConvWorkload {
+        problem,
+        pad_to,
+        pad_fused,
+        absorbed,
+        epilogue,
+    } = conv_workload(graph, node, config);
     let x = graph.node(node.inputs[0]);
-    let w = graph.node(node.inputs[1]);
-    let mut problem = Conv2dProblem {
-        n: x.shape.dim(0),
-        h: x.shape.dim(2),
-        w: x.shape.dim(3),
-        c: x.shape.dim(1),
-        k: w.shape.dim(0),
-        r: w.shape.dim(2),
-        s: w.shape.dim(3),
-        stride,
-        padding,
-        dilation,
-    };
-
-    // ---- Automatic kernel padding -----------------------------------------
-    let needs_pad = config.kernel_padding && !problem.c.is_multiple_of(8);
-    let pad_to = if needs_pad { Some(problem.c.div_ceil(8) * 8) } else { None };
-    if let Some(pc) = pad_to {
-        problem.c = pc;
-    }
-    // The pad folds into the boundary layout transform when this conv reads
-    // a graph input directly (the model's first layer).
-    let pad_fused = matches!(graph.node(node.inputs[0]).kind, OpKind::Input { .. })
-        && config.layout_transform_folding;
-
-    let absorbed = absorb_epilogue(graph, node, false, config.epilogue_fusion);
-    let epilogue = build_epilogue(&absorbed, node.dtype);
     let profiled = profiler
         .best_conv_config(&problem, &epilogue, node.dtype)
-        .ok_or_else(|| BoltError::NoKernel { workload: format!("{problem:?}") })?;
+        .ok_or_else(|| BoltError::NoKernel {
+            workload: format!("{problem:?}"),
+        })?;
     let kernel = Conv2dKernel::new(problem, profiled, epilogue, node.dtype);
 
     let pad_step = match (pad_to, pad_fused) {
@@ -326,7 +441,12 @@ fn lower_conv(
             let in_elems = (problem.n * problem.h * problem.w) as f64;
             let bytes = in_elems * (x.shape.dim(1) as f64 + pc as f64) * elt;
             Some(Step {
-                name: format!("bolt_pad_channels_{}_{}to{}", node.id.index(), x.shape.dim(1), pc),
+                name: format!(
+                    "bolt_pad_channels_{}_{}to{}",
+                    node.id.index(),
+                    x.shape.dim(1),
+                    pc
+                ),
                 kind: StepKind::PadChannels { bytes },
                 inputs: vec![node.inputs[0]],
                 output: node.inputs[0],
@@ -365,7 +485,11 @@ fn fuse_persistent(graph: &Graph, arch: &GpuArch, steps: Vec<Step>) -> Result<Ve
         let mut covered = first.covered.clone();
         covered.extend(second.covered.iter().copied());
         steps[i] = Step {
-            name: format!("bolt_persistent_{}_{}", first.output.index(), second.output.index()),
+            name: format!(
+                "bolt_persistent_{}_{}",
+                first.output.index(),
+                second.output.index()
+            ),
             kind: fused,
             inputs: first.inputs.clone(),
             output: second.output,
@@ -383,13 +507,23 @@ fn grow_chains(graph: &Graph, arch: &GpuArch, mut steps: Vec<Step>) -> Result<Ve
         for i in 0..steps.len() {
             // Candidate head: an already-fused pair or an existing chain.
             let (mut problems, mut epilogues, mut weights, mut biases) = match &steps[i].kind {
-                StepKind::B2bGemm { kernel, w0, b0, w1, b1 } => (
+                StepKind::B2bGemm {
+                    kernel,
+                    w0,
+                    b0,
+                    w1,
+                    b1,
+                } => (
                     vec![kernel.gemm0, kernel.gemm1],
                     vec![kernel.epilogue0, kernel.epilogue1],
                     vec![*w0, *w1],
                     vec![*b0, *b1],
                 ),
-                StepKind::GemmChain { chain, weights, biases } => (
+                StepKind::GemmChain {
+                    chain,
+                    weights,
+                    biases,
+                } => (
                     chain.stages.iter().map(|s| s.problem).collect(),
                     chain.stages.iter().map(|s| s.epilogue).collect(),
                     weights.clone(),
@@ -408,7 +542,13 @@ fn grow_chains(graph: &Graph, arch: &GpuArch, mut steps: Vec<Step>) -> Result<Ve
             }) else {
                 continue;
             };
-            let StepKind::Gemm { kernel: next, weight, bias, .. } = &steps[j].kind else {
+            let StepKind::Gemm {
+                kernel: next,
+                weight,
+                bias,
+                ..
+            } = &steps[j].kind
+            else {
                 continue;
             };
             problems.push(next.problem);
@@ -435,8 +575,16 @@ fn grow_chains(graph: &Graph, arch: &GpuArch, mut steps: Vec<Step>) -> Result<Ve
             let mut covered = head.covered.clone();
             covered.extend(tail.covered.iter().copied());
             steps[i] = Step {
-                name: format!("bolt_persistent_chain_x{}_{}", chain.len(), tail.output.index()),
-                kind: StepKind::GemmChain { chain, weights, biases },
+                name: format!(
+                    "bolt_persistent_chain_x{}_{}",
+                    chain.len(),
+                    tail.output.index()
+                ),
+                kind: StepKind::GemmChain {
+                    chain,
+                    weights,
+                    biases,
+                },
                 inputs: head.inputs.clone(),
                 output: tail.output,
                 covered,
@@ -462,16 +610,22 @@ fn find_fusion(graph: &Graph, arch: &GpuArch, steps: &[Step]) -> Option<(usize, 
             }
             match (&steps[i].kind, &steps[j].kind) {
                 (
-                    StepKind::Gemm { kernel: k0, weight: w0, bias: b0, residual: None },
-                    StepKind::Gemm { kernel: k1, weight: w1, bias: b1, residual: None },
+                    StepKind::Gemm {
+                        kernel: k0,
+                        weight: w0,
+                        bias: b0,
+                        residual: None,
+                    },
+                    StepKind::Gemm {
+                        kernel: k1,
+                        weight: w1,
+                        bias: b1,
+                        residual: None,
+                    },
                 ) => {
-                    let Ok(fused) = B2bGemmKernel::auto(
-                        arch,
-                        k0.problem,
-                        k1.problem,
-                        k0.epilogue,
-                        k1.epilogue,
-                    ) else {
+                    let Ok(fused) =
+                        B2bGemmKernel::auto(arch, k0.problem, k1.problem, k0.epilogue, k1.epilogue)
+                    else {
                         break;
                     };
                     let fused_us = fused.time(arch).total_us;
@@ -480,7 +634,13 @@ fn find_fusion(graph: &Graph, arch: &GpuArch, steps: &[Step]) -> Option<(usize, 
                         return Some((
                             i,
                             j,
-                            StepKind::B2bGemm { kernel: fused, w0: *w0, b0: *b0, w1: *w1, b1: *b1 },
+                            StepKind::B2bGemm {
+                                kernel: fused,
+                                w0: *w0,
+                                b0: *b0,
+                                w1: *w1,
+                                b1: *b1,
+                            },
                         ));
                     }
                     break;
@@ -489,8 +649,20 @@ fn find_fusion(graph: &Graph, arch: &GpuArch, steps: &[Step]) -> Option<(usize, 
                     // The first conv may carry automatic padding (it only
                     // affects its own input channels); the second never
                     // needs it because its C equals the first conv's K.
-                    StepKind::Conv2d { kernel: k0, filter: f0, bias: b0, pad_to: pad0, .. },
-                    StepKind::Conv2d { kernel: k1, filter: f1, bias: b1, pad_to: None, .. },
+                    StepKind::Conv2d {
+                        kernel: k0,
+                        filter: f0,
+                        bias: b0,
+                        pad_to: pad0,
+                        ..
+                    },
+                    StepKind::Conv2d {
+                        kernel: k1,
+                        filter: f1,
+                        bias: b1,
+                        pad_to: None,
+                        ..
+                    },
                 ) => {
                     if !k1.problem.is_pointwise_unit() {
                         break;
@@ -532,9 +704,9 @@ fn find_fusion(graph: &Graph, arch: &GpuArch, steps: &[Step]) -> Option<(usize, 
 
 /// Adds layout-transformation steps at region boundaries.
 fn add_layout_steps(graph: &Graph, config: &BoltConfig, steps: &mut Vec<Step>) {
-    let has_conv = steps.iter().any(|s| {
-        matches!(s.kind, StepKind::Conv2d { .. } | StepKind::B2bConv { .. })
-    });
+    let has_conv = steps
+        .iter()
+        .any(|s| matches!(s.kind, StepKind::Conv2d { .. } | StepKind::B2bConv { .. }));
     if !has_conv {
         return;
     }

@@ -128,7 +128,11 @@ pub struct TuningSummary {
     pub workloads: usize,
     /// Candidate measurements performed.
     pub measurements: usize,
-    /// Simulated tuning wall-clock seconds.
+    /// Candidates skipped by analytic lower-bound pruning.
+    pub pruned: usize,
+    /// Simulated tuning wall-clock seconds attributable to *this*
+    /// compilation (template generation is charged to the first compile
+    /// that measures; cache-warm compiles cost zero).
     pub tuning_seconds: f64,
 }
 
@@ -205,7 +209,10 @@ impl CompiledModel {
             let time = self.step_time(step);
             timeline.push(step.name.clone(), &time);
         }
-        TimingReport { total_us: timeline.total_us(), timeline }
+        TimingReport {
+            total_us: timeline.total_us(),
+            timeline,
+        }
     }
 
     fn step_time(&self, step: &Step) -> KernelTime {
@@ -356,7 +363,12 @@ impl CompiledModel {
             })
         };
         match &step.kind {
-            StepKind::Gemm { kernel, weight, bias, residual } => {
+            StepKind::Gemm {
+                kernel,
+                weight,
+                bias,
+                residual,
+            } => {
                 let a = fetch(env, step.inputs[0])?;
                 let b = self.dense_weight(*weight)?;
                 let c = if let Some(r) = residual {
@@ -369,7 +381,13 @@ impl CompiledModel {
                 let (d, _) = kernel.run(&a, &b, c.as_ref())?;
                 env.insert(step.output, d);
             }
-            StepKind::Conv2d { kernel, filter, bias, pad_to, .. } => {
+            StepKind::Conv2d {
+                kernel,
+                filter,
+                bias,
+                pad_to,
+                ..
+            } => {
                 let mut x = fetch(env, step.inputs[0])?;
                 if let Some(pc) = pad_to {
                     let (_, c, _, _) = x.dims4();
@@ -385,7 +403,13 @@ impl CompiledModel {
                 let d = kernel.run(&x, &f, b.as_ref())?;
                 env.insert(step.output, d);
             }
-            StepKind::B2bGemm { kernel, w0, b0, w1, b1 } => {
+            StepKind::B2bGemm {
+                kernel,
+                w0,
+                b0,
+                w1,
+                b1,
+            } => {
                 let a = fetch(env, step.inputs[0])?;
                 let w0t = self.dense_weight(*w0)?;
                 let w1t = self.dense_weight(*w1)?;
@@ -400,10 +424,16 @@ impl CompiledModel {
                 let d = kernel.run(&a, &w0t, b0t.as_ref(), &w1t, b1t.as_ref())?;
                 env.insert(step.output, d);
             }
-            StepKind::GemmChain { chain, weights, biases } => {
+            StepKind::GemmChain {
+                chain,
+                weights,
+                biases,
+            } => {
                 let a = fetch(env, step.inputs[0])?;
-                let ws: Vec<Tensor> =
-                    weights.iter().map(|w| self.dense_weight(*w)).collect::<Result<_>>()?;
+                let ws: Vec<Tensor> = weights
+                    .iter()
+                    .map(|w| self.dense_weight(*w))
+                    .collect::<Result<_>>()?;
                 let w_refs: Vec<&Tensor> = ws.iter().collect();
                 let bs: Vec<Option<Tensor>> = biases
                     .iter()
@@ -416,7 +446,14 @@ impl CompiledModel {
                 let d = chain.run(&a, &w_refs, &b_refs)?;
                 env.insert(step.output, d);
             }
-            StepKind::B2bConv { kernel, f0, b0, f1, b1, pad_to } => {
+            StepKind::B2bConv {
+                kernel,
+                f0,
+                b0,
+                f1,
+                b1,
+                pad_to,
+            } => {
                 let mut x = fetch(env, step.inputs[0])?;
                 if let Some(pc) = pad_to {
                     let (_, c, _, _) = x.dims4();
@@ -513,7 +550,12 @@ pub(crate) fn run_host_op(
             }
             Ok(out)
         }
-        OpKind::Pool { kind, window, stride, padding } => {
+        OpKind::Pool {
+            kind,
+            window,
+            stride,
+            padding,
+        } => {
             let x = input(0)?;
             pool(x, *kind, *window, *stride, *padding)
         }
@@ -553,7 +595,11 @@ pub(crate) fn run_host_op(
                 Ok(out)
             } else {
                 let numel: usize = x.shape().dims()[1..].iter().product();
-                Ok(Tensor::from_vec(&[x.shape().dim(0), numel], x.dtype(), x.data().to_vec())?)
+                Ok(Tensor::from_vec(
+                    &[x.shape().dim(0), numel],
+                    x.dtype(),
+                    x.data().to_vec(),
+                )?)
             }
         }
         OpKind::Softmax => {
@@ -576,9 +622,7 @@ pub(crate) fn run_host_op(
             Ok(out)
         }
         OpKind::Concat => {
-            let parts: Vec<&Tensor> = (0..node.inputs.len())
-                .map(input)
-                .collect::<Result<_>>()?;
+            let parts: Vec<&Tensor> = (0..node.inputs.len()).map(input).collect::<Result<_>>()?;
             let (n, _, h, w) = parts[0].dims4();
             let total_c: usize = parts.iter().map(|p| p.dims4().1).sum();
             let mut out = Tensor::zeros_nhwc(n, total_c, h, w, parts[0].dtype());
@@ -612,7 +656,13 @@ fn add_tensors(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             for ci in 0..c {
                 for hi in 0..h {
                     for wi in 0..w {
-                        out.set4(ni, ci, hi, wi, a.get4(ni, ci, hi, wi) + b.get4(ni, ci, hi, wi));
+                        out.set4(
+                            ni,
+                            ci,
+                            hi,
+                            wi,
+                            a.get4(ni, ci, hi, wi) + b.get4(ni, ci, hi, wi),
+                        );
                     }
                 }
             }
@@ -652,7 +702,13 @@ fn bias_add(x: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
-fn pool(x: &Tensor, kind: PoolKind, window: usize, stride: usize, padding: usize) -> Result<Tensor> {
+fn pool(
+    x: &Tensor,
+    kind: PoolKind,
+    window: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
     let (n, c, h, w) = x.dims4();
     let p = (h + 2 * padding - window) / stride + 1;
     let q = (w + 2 * padding - window) / stride + 1;
@@ -661,7 +717,11 @@ fn pool(x: &Tensor, kind: PoolKind, window: usize, stride: usize, padding: usize
         for ci in 0..c {
             for oy in 0..p {
                 for ox in 0..q {
-                    let mut acc = if kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                    let mut acc = if kind == PoolKind::Max {
+                        f32::NEG_INFINITY
+                    } else {
+                        0.0
+                    };
                     let mut count = 0usize;
                     for ky in 0..window {
                         for kx in 0..window {
@@ -719,8 +779,8 @@ pub(crate) fn host_group_time(arch: &GpuArch, graph: &Graph, nodes: &[NodeId]) -
                 in_bytes += graph.node(input).shape.numel() as f64 * elt;
             }
         }
-        let escapes = graph.consumers(id).iter().any(|c| !group.contains(c))
-            || graph.outputs().contains(&id);
+        let escapes =
+            graph.consumers(id).iter().any(|c| !group.contains(c)) || graph.outputs().contains(&id);
         if escapes {
             out_bytes += node.shape.numel() as f64 * elt;
         }
@@ -822,8 +882,12 @@ mod tests {
         let f = b.flatten(x, "flat");
         let graph = b.finish(&[f]);
         // NHWC-stored input whose logical NCHW values are 0..8.
-        let nchw = Tensor::from_vec(&[1, 2, 2, 2], DType::F32, (0..8).map(|v| v as f32).collect())
-            .unwrap();
+        let nchw = Tensor::from_vec(
+            &[1, 2, 2, 2],
+            DType::F32,
+            (0..8).map(|v| v as f32).collect(),
+        )
+        .unwrap();
         let nhwc = nchw.to_activation_layout(Layout::Nhwc).unwrap();
         let mut env = HashMap::new();
         env.insert(graph.input_ids()[0], nhwc);

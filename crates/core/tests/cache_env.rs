@@ -1,0 +1,68 @@
+//! The `BOLT_TUNE_CACHE` environment variable.
+//!
+//! This lives in its own test binary on purpose: `cargo test` runs tests
+//! of one binary on parallel threads, and process environment is global —
+//! a single-test binary is the only way to mutate an env var without
+//! racing unrelated tests.
+
+use bolt::{BoltCompiler, BoltConfig};
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::{Graph, GraphBuilder};
+use bolt_tensor::{Activation, DType};
+
+fn mlp() -> Graph {
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[64, 128]);
+    let h = b.dense_bias(x, 256, "fc1");
+    let r = b.activation(h, Activation::ReLU, "relu");
+    let o = b.dense_bias(r, 64, "fc2");
+    b.finish(&[o])
+}
+
+#[test]
+fn env_var_cache_gives_second_compiler_zero_measurements() {
+    let dir = std::env::temp_dir().join("bolt_cache_env_test");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{}.tune", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("BOLT_TUNE_CACHE", &path);
+
+    let graph = mlp();
+
+    // Cold session: no config cache path — the env var alone routes the
+    // cache — measurements happen and the file appears.
+    let first = BoltCompiler::new(GpuArch::tesla_t4(), BoltConfig::default());
+    assert_eq!(first.tune_cache_path().as_deref(), Some(path.as_path()));
+    let cold = first.compile(&graph).unwrap();
+    assert!(cold.tuning.measurements > 0);
+    assert!(path.exists(), "compile must write the env-var cache");
+
+    // Second session (fresh compiler, nothing shared but the file):
+    // zero measurements, zero tuning time, identical kernels.
+    let second = BoltCompiler::new(GpuArch::tesla_t4(), BoltConfig::default());
+    let warm = second.compile(&graph).unwrap();
+    assert_eq!(
+        warm.tuning.measurements, 0,
+        "env-var cache must fully warm the profiler"
+    );
+    assert_eq!(warm.tuning.tuning_seconds, 0.0);
+    for (a, b) in cold.steps().iter().zip(warm.steps().iter()) {
+        assert_eq!(a.name, b.name);
+    }
+
+    // An explicit config path still wins over the env var.
+    let override_path = dir.join(format!("{}_override.tune", std::process::id()));
+    let config = BoltConfig {
+        cache_path: Some(override_path.clone()),
+        ..BoltConfig::default()
+    };
+    let third = BoltCompiler::new(GpuArch::tesla_t4(), config);
+    assert_eq!(
+        third.tune_cache_path().as_deref(),
+        Some(override_path.as_path())
+    );
+
+    std::env::remove_var("BOLT_TUNE_CACHE");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&override_path);
+}

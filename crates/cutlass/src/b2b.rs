@@ -22,7 +22,9 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use bolt_gpu_sim::{simulate_kernel, BlockResources, GpuArch, KernelProfile, KernelTime, PipelineFlops};
+use bolt_gpu_sim::{
+    simulate_kernel, BlockResources, GpuArch, KernelProfile, KernelTime, PipelineFlops,
+};
 use bolt_tensor::conv_ref::Conv2dProblem;
 use bolt_tensor::{DType, Tensor};
 
@@ -313,9 +315,9 @@ impl B2bGemmKernel {
 
         // DRAM: GEMM0 reads minus nothing, GEMM1 reads minus its D0 input,
         // plus only D1 is written.
-        let dram_read = p0.dram_read_bytes + (p1.dram_read_bytes - d0_bytes).max(
-            batch * (self.gemm1.k * self.gemm1.n) as f64 * elt,
-        );
+        let dram_read = p0.dram_read_bytes
+            + (p1.dram_read_bytes - d0_bytes)
+                .max(batch * (self.gemm1.k * self.gemm1.n) as f64 * elt);
         let dram_write = p1.dram_write_bytes;
 
         let staging = match self.residence {
@@ -342,7 +344,10 @@ impl B2bGemmKernel {
             dram_write_bytes: dram_write,
             smem_bytes: p0.smem_bytes + p1.smem_bytes + staging,
             dtype: self.gemm0.element,
-            alignment_elems: self.config0.min_alignment().min(self.config1.min_alignment()),
+            alignment_elems: self
+                .config0
+                .min_alignment()
+                .min(self.config1.min_alignment()),
             bank_conflict_ways: 1.0, // the paper's conflict-free staging layout
             mainloop_efficiency,
             pipelined_overlap: perf::pipelined_overlap(&self.config0),
@@ -404,9 +409,11 @@ impl B2bConvKernel {
                 Residence::RegisterFile => {
                     crate::tiles::TileShape::new((tb_m / 4).max(16), out_ch, c.gemm.threadblock.k)
                 }
-                Residence::SharedMemory => {
-                    crate::tiles::TileShape::new(32, (out_ch / 2).clamp(8, 64), c.gemm.threadblock.k)
-                }
+                Residence::SharedMemory => crate::tiles::TileShape::new(
+                    32,
+                    (out_ch / 2).clamp(8, 64),
+                    c.gemm.threadblock.k,
+                ),
             };
             c
         };
@@ -431,11 +438,25 @@ impl B2bConvKernel {
         epilogue1: Epilogue,
         element: DType,
     ) -> Result<Self> {
-        let rf = Self::with_residence(conv0, conv1, epilogue0, epilogue1, Residence::RegisterFile, element);
+        let rf = Self::with_residence(
+            conv0,
+            conv1,
+            epilogue0,
+            epilogue1,
+            Residence::RegisterFile,
+            element,
+        );
         if rf.validate(arch).is_ok() {
             return Ok(rf);
         }
-        let sm = Self::with_residence(conv0, conv1, epilogue0, epilogue1, Residence::SharedMemory, element);
+        let sm = Self::with_residence(
+            conv0,
+            conv1,
+            epilogue0,
+            epilogue1,
+            Residence::SharedMemory,
+            element,
+        );
         sm.validate(arch)?;
         Ok(sm)
     }
@@ -474,7 +495,8 @@ impl B2bConvKernel {
             ));
         }
         if self.residence == Residence::RegisterFile
-            && (self.config0.gemm.warp.n != self.conv0.k || self.config1.gemm.warp.n != self.conv1.k)
+            && (self.config0.gemm.warp.n != self.conv0.k
+                || self.config1.gemm.warp.n != self.conv1.k)
         {
             return Err(KernelError::unsupported(
                 "RF residence requires Warp_N = Conv output channels",
@@ -490,8 +512,22 @@ impl B2bConvKernel {
         let (m1, n1, k1) = self.conv1.implicit_gemm_mnk();
         debug_assert_eq!(m0, m1);
         debug_assert_eq!(n0, k1);
-        let g0 = GemmProblem { m: m0, n: n0, k: k0, batch: 1, element: self.element, ..GemmProblem::fp16(m0, n0, k0) };
-        let g1 = GemmProblem { m: m1, n: n1, k: k1, batch: 1, element: self.element, ..GemmProblem::fp16(m1, n1, k1) };
+        let g0 = GemmProblem {
+            m: m0,
+            n: n0,
+            k: k0,
+            batch: 1,
+            element: self.element,
+            ..GemmProblem::fp16(m0, n0, k0)
+        };
+        let g1 = GemmProblem {
+            m: m1,
+            n: n1,
+            k: k1,
+            batch: 1,
+            element: self.element,
+            ..GemmProblem::fp16(m1, n1, k1)
+        };
         B2bGemmKernel {
             gemm0: g0,
             gemm1: g1,
@@ -528,8 +564,22 @@ impl B2bConvKernel {
     /// intermediate DRAM traffic).
     pub fn profile(&self, arch: &GpuArch) -> KernelProfile {
         let elt = self.element.size_bytes() as f64;
-        let p0 = perf::conv2d_profile(arch, &self.conv0, &self.config0.gemm, &self.epilogue0, self.element, None);
-        let p1 = perf::conv2d_profile(arch, &self.conv1, &self.config1.gemm, &self.epilogue1, self.element, None);
+        let p0 = perf::conv2d_profile(
+            arch,
+            &self.conv0,
+            &self.config0.gemm,
+            &self.epilogue0,
+            self.element,
+            None,
+        );
+        let p1 = perf::conv2d_profile(
+            arch,
+            &self.conv1,
+            &self.config1.gemm,
+            &self.epilogue1,
+            self.element,
+            None,
+        );
         let (m0, n0, _) = self.conv0.implicit_gemm_mnk();
         let d0_bytes = (m0 * n0) as f64 * elt;
         let filter1_bytes = (self.conv1.k * self.conv1.c) as f64 * elt;
@@ -541,7 +591,10 @@ impl B2bConvKernel {
         };
         let b2b = self.as_b2b_gemm();
         KernelProfile {
-            name: format!("b2b_conv_{}x{}_{}ch_{}", self.conv0.h, self.conv0.w, self.conv0.k, self.residence),
+            name: format!(
+                "b2b_conv_{}x{}_{}ch_{}",
+                self.conv0.h, self.conv0.w, self.conv0.k, self.residence
+            ),
             grid_blocks: grid,
             block: b2b.block_resources(),
             flops: PipelineFlops {
@@ -549,7 +602,8 @@ impl B2bConvKernel {
                 cuda_core: p0.flops.cuda_core + p1.flops.cuda_core,
                 sfu: p0.flops.sfu + p1.flops.sfu,
             },
-            dram_read_bytes: p0.dram_read_bytes + filter1_bytes
+            dram_read_bytes: p0.dram_read_bytes
+                + filter1_bytes
                 + (p1.dram_read_bytes - d0_bytes - filter1_bytes).max(0.0) * 0.2,
             dram_write_bytes: p1.dram_write_bytes,
             smem_bytes: p0.smem_bytes + p1.smem_bytes + staging,
@@ -564,7 +618,8 @@ impl B2bConvKernel {
             mainloop_efficiency: {
                 let w0 = p0.flops.tensor_core + p0.flops.cuda_core;
                 let w1 = p1.flops.tensor_core + p1.flops.cuda_core;
-                (p0.mainloop_efficiency * w0 + p1.mainloop_efficiency.max(p0.mainloop_efficiency * 0.8) * w1)
+                (p0.mainloop_efficiency * w0
+                    + p1.mainloop_efficiency.max(p0.mainloop_efficiency * 0.8) * w1)
                     / (w0 + w1).max(1.0)
             },
         }
@@ -578,8 +633,18 @@ impl B2bConvKernel {
     /// Simulated time of the unfused baseline (two epilogue-fused conv
     /// launches).
     pub fn unfused_time_us(&self, arch: &GpuArch) -> f64 {
-        let k0 = Conv2dKernel::new(self.conv0, Conv2dConfig::turing_default(), self.epilogue0, self.element);
-        let k1 = Conv2dKernel::new(self.conv1, Conv2dConfig::turing_default(), self.epilogue1, self.element);
+        let k0 = Conv2dKernel::new(
+            self.conv0,
+            Conv2dConfig::turing_default(),
+            self.epilogue0,
+            self.element,
+        );
+        let k1 = Conv2dKernel::new(
+            self.conv1,
+            Conv2dConfig::turing_default(),
+            self.epilogue1,
+            self.element,
+        );
         k0.time(arch).total_us + k1.time(arch).total_us
     }
 }
@@ -595,7 +660,11 @@ mod tests {
     }
 
     fn relu16() -> Epilogue {
-        Epilogue { beta: 0.0, bias: crate::epilogue::BiasMode::None, ..Epilogue::bias_activation(Activation::ReLU, DType::F16) }
+        Epilogue {
+            beta: 0.0,
+            bias: crate::epilogue::BiasMode::None,
+            ..Epilogue::bias_activation(Activation::ReLU, DType::F16)
+        }
     }
 
     #[test]
@@ -609,7 +678,17 @@ mod tests {
         let w1 = Tensor::randn(&[16, 8], DType::F16, 3);
         let fused = k.run(&a, &w0, None, &w1, None).unwrap();
         let expect = b2b_gemm_ref(
-            &a, &w0, None, 1.0, 0.0, Activation::ReLU, &w1, None, 1.0, 0.0, Activation::ReLU,
+            &a,
+            &w0,
+            None,
+            1.0,
+            0.0,
+            Activation::ReLU,
+            &w1,
+            None,
+            1.0,
+            0.0,
+            Activation::ReLU,
         )
         .unwrap();
         assert_eq!(fused.max_abs_diff(&expect).unwrap(), 0.0);
@@ -626,7 +705,17 @@ mod tests {
         let w1 = Tensor::randn(&[32, 16], DType::F16, 6);
         let fused = k.run(&a, &w0, None, &w1, None).unwrap();
         let expect = b2b_gemm_ref(
-            &a, &w0, None, 1.0, 0.0, Activation::ReLU, &w1, None, 1.0, 0.0, Activation::ReLU,
+            &a,
+            &w0,
+            None,
+            1.0,
+            0.0,
+            Activation::ReLU,
+            &w1,
+            None,
+            1.0,
+            0.0,
+            Activation::ReLU,
         )
         .unwrap();
         assert_eq!(fused.max_abs_diff(&expect).unwrap(), 0.0);
@@ -691,7 +780,14 @@ mod tests {
     fn conv_fusion_requires_pointwise_second() {
         let c0 = Conv2dProblem::new(32, 56, 56, 48, 48, 3, 3, (1, 1), (1, 1));
         let bad = Conv2dProblem::new(32, 56, 56, 48, 48, 3, 3, (1, 1), (1, 1));
-        let k = B2bConvKernel::with_residence(c0, bad, relu16(), relu16(), Residence::RegisterFile, DType::F16);
+        let k = B2bConvKernel::with_residence(
+            c0,
+            bad,
+            relu16(),
+            relu16(),
+            Residence::RegisterFile,
+            DType::F16,
+        );
         assert!(k.validate(&t4()).is_err());
     }
 
@@ -699,7 +795,14 @@ mod tests {
     fn conv_fusion_functional_matches_sequential() {
         let c0 = Conv2dProblem::new(1, 8, 8, 4, 8, 3, 3, (1, 1), (1, 1));
         let c1 = Conv2dProblem::new(1, 8, 8, 8, 8, 1, 1, (1, 1), (0, 0));
-        let k = B2bConvKernel::with_residence(c0, c1, relu16(), relu16(), Residence::RegisterFile, DType::F16);
+        let k = B2bConvKernel::with_residence(
+            c0,
+            c1,
+            relu16(),
+            relu16(),
+            Residence::RegisterFile,
+            DType::F16,
+        );
         let x = bolt_tensor::conv_ref::random_input(&c0, DType::F16, 1);
         let f0 = bolt_tensor::conv_ref::random_filter(&c0, DType::F16, 2);
         let f1 = bolt_tensor::conv_ref::random_filter(&c1, DType::F16, 3);

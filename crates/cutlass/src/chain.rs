@@ -11,7 +11,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use bolt_gpu_sim::{simulate_kernel, BlockResources, GpuArch, KernelProfile, KernelTime, PipelineFlops};
+use bolt_gpu_sim::{
+    simulate_kernel, BlockResources, GpuArch, KernelProfile, KernelTime, PipelineFlops,
+};
 use bolt_tensor::Tensor;
 
 use crate::b2b::Residence;
@@ -71,24 +73,22 @@ impl PersistentGemmChain {
                     Residence::RegisterFile => {
                         TileShape::new((tb_m / 4).max(16), problem.n, config.threadblock.k)
                     }
-                    Residence::SharedMemory => TileShape::new(
-                        32,
-                        (problem.n / 2).clamp(8, 64),
-                        config.threadblock.k,
-                    ),
+                    Residence::SharedMemory => {
+                        TileShape::new(32, (problem.n / 2).clamp(8, 64), config.threadblock.k)
+                    }
                 };
-                ChainStage { problem, config, epilogue }
+                ChainStage {
+                    problem,
+                    config,
+                    epilogue,
+                }
             })
             .collect();
         Ok(PersistentGemmChain { stages, residence })
     }
 
     /// Picks RF residence when legal, else shared memory.
-    pub fn auto(
-        arch: &GpuArch,
-        problems: &[GemmProblem],
-        epilogues: &[Epilogue],
-    ) -> Result<Self> {
+    pub fn auto(arch: &GpuArch, problems: &[GemmProblem], epilogues: &[Epilogue]) -> Result<Self> {
         let rf = Self::with_residence(problems, epilogues, Residence::RegisterFile)?;
         if rf.validate(arch).is_ok() {
             return Ok(rf);
@@ -115,8 +115,17 @@ impl PersistentGemmChain {
     /// staging buffer.
     pub fn block_resources(&self) -> BlockResources {
         let elt = self.stages[0].problem.element;
-        let threads = self.stages.iter().map(|s| s.config.threads()).max().unwrap_or(32);
-        let accs: Vec<usize> = self.stages.iter().map(|s| s.config.warp.mn() / 32).collect();
+        let threads = self
+            .stages
+            .iter()
+            .map(|s| s.config.threads())
+            .max()
+            .unwrap_or(32);
+        let accs: Vec<usize> = self
+            .stages
+            .iter()
+            .map(|s| s.config.warp.mn() / 32)
+            .collect();
         let frags = {
             let c = &self.stages[0].config;
             2 * (c.warp.m + c.warp.n) * c.instruction.k / 32 * elt.size_bytes().max(2) / 4
@@ -169,7 +178,9 @@ impl PersistentGemmChain {
                 )));
             }
             if b.config.threadblock.m != a.config.threadblock.m {
-                return Err(KernelError::unsupported("all stages must share ThreadBlock_M"));
+                return Err(KernelError::unsupported(
+                    "all stages must share ThreadBlock_M",
+                ));
             }
         }
         for stage in &self.stages {
@@ -178,8 +189,7 @@ impl PersistentGemmChain {
                     "threadblock residence: ThreadBlock_N must equal GEMM_N at every stage",
                 ));
             }
-            if self.residence == Residence::RegisterFile && stage.config.warp.n != stage.problem.n
-            {
+            if self.residence == Residence::RegisterFile && stage.config.warp.n != stage.problem.n {
                 return Err(KernelError::unsupported(
                     "RF residence requires Warp_N = GEMM_N at every stage",
                 ));
@@ -208,9 +218,16 @@ impl PersistentGemmChain {
     /// # Errors
     ///
     /// Returns shape errors for mismatched operands.
-    pub fn run(&self, a: &Tensor, weights: &[&Tensor], biases: &[Option<&Tensor>]) -> Result<Tensor> {
+    pub fn run(
+        &self,
+        a: &Tensor,
+        weights: &[&Tensor],
+        biases: &[Option<&Tensor>],
+    ) -> Result<Tensor> {
         if weights.len() != self.stages.len() || biases.len() != self.stages.len() {
-            return Err(KernelError::unsupported("one weight/bias per stage required"));
+            return Err(KernelError::unsupported(
+                "one weight/bias per stage required",
+            ));
         }
         let mut cur = a.clone();
         for ((stage, w), b) in self.stages.iter().zip(weights).zip(biases) {
@@ -266,8 +283,8 @@ impl PersistentGemmChain {
         };
         let a_bytes = (first.problem.m * first.problem.k) as f64 * elt;
         let last = self.stages.last().expect("non-empty");
-        let out_bytes = (last.problem.m * last.problem.n) as f64
-            * last.epilogue.out_dtype.size_bytes() as f64;
+        let out_bytes =
+            (last.problem.m * last.problem.n) as f64 * last.epilogue.out_dtype.size_bytes() as f64;
 
         KernelProfile {
             name: format!("persistent_chain_x{}_{}", self.len(), self.residence),
@@ -387,8 +404,8 @@ mod tests {
 
         let mut cur = a;
         for wi in &w {
-            cur = gemm_with_epilogue(&cur, wi, None, 1.0, 0.0, Activation::ReLU, DType::F16)
-                .unwrap();
+            cur =
+                gemm_with_epilogue(&cur, wi, None, 1.0, 0.0, Activation::ReLU, DType::F16).unwrap();
         }
         assert_eq!(fused.max_abs_diff(&cur).unwrap(), 0.0);
     }
@@ -407,18 +424,19 @@ mod tests {
             PersistentGemmChain::with_residence(&bad_m, &eps, Residence::RegisterFile).unwrap();
         assert!(chain_m.validate(&t4()).is_err());
         // Too short.
-        assert!(PersistentGemmChain::with_residence(
-            &bad[..1],
-            &eps[..1],
-            Residence::RegisterFile
-        )
-        .is_err());
+        assert!(
+            PersistentGemmChain::with_residence(&bad[..1], &eps[..1], Residence::RegisterFile)
+                .is_err()
+        );
     }
 
     #[test]
     fn rf_pressure_grows_with_chain_width() {
         let eps = vec![relu(); 2];
-        let wide = vec![GemmProblem::fp16(8192, 256, 64), GemmProblem::fp16(8192, 192, 256)];
+        let wide = vec![
+            GemmProblem::fp16(8192, 256, 64),
+            GemmProblem::fp16(8192, 192, 256),
+        ];
         let chain = PersistentGemmChain::auto(&t4(), &wide, &eps).unwrap();
         assert_eq!(chain.residence, Residence::SharedMemory);
     }

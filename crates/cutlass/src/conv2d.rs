@@ -68,13 +68,25 @@ impl Conv2dKernel {
         config.gemm.alignment_a = config.gemm.alignment_a.min(in_align);
         config.gemm.alignment_b = config.gemm.alignment_b.min(in_align);
         config.gemm.alignment_c = config.gemm.alignment_c.min(out_align);
-        Conv2dKernel { problem, config, epilogue, element }
+        Conv2dKernel {
+            problem,
+            config,
+            epilogue,
+            element,
+        }
     }
 
     /// The implicit-GEMM problem this convolution lowers to.
     pub fn implicit_gemm(&self) -> GemmProblem {
         let (m, n, k) = self.problem.implicit_gemm_mnk();
-        GemmProblem { m, n, k, batch: 1, element: self.element, ..GemmProblem::fp16(m, n, k) }
+        GemmProblem {
+            m,
+            n,
+            k,
+            batch: 1,
+            element: self.element,
+            ..GemmProblem::fp16(m, n, k)
+        }
     }
 
     /// Validates the template against `arch`.
@@ -115,7 +127,13 @@ impl Conv2dKernel {
 
         // Fold the (N*P*Q, K) result back into NHWC.
         let (p, q) = (self.problem.out_h(), self.problem.out_w());
-        let mut out = Tensor::zeros_nhwc(self.problem.n, self.problem.k, p, q, self.epilogue.out_dtype);
+        let mut out = Tensor::zeros_nhwc(
+            self.problem.n,
+            self.problem.k,
+            p,
+            q,
+            self.epilogue.out_dtype,
+        );
         for n in 0..self.problem.n {
             for oy in 0..p {
                 for ox in 0..q {
@@ -131,7 +149,14 @@ impl Conv2dKernel {
 
     /// The kernel's performance profile for the GPU simulator.
     pub fn profile(&self, arch: &GpuArch) -> KernelProfile {
-        perf::conv2d_profile(arch, &self.problem, &self.config.gemm, &self.epilogue, self.element, None)
+        perf::conv2d_profile(
+            arch,
+            &self.problem,
+            &self.config.gemm,
+            &self.epilogue,
+            self.element,
+            None,
+        )
     }
 
     /// Simulated execution time on `arch`.
@@ -166,8 +191,7 @@ mod tests {
     #[test]
     fn matches_direct_reference() {
         let p = Conv2dProblem::new(2, 6, 5, 3, 4, 3, 3, (1, 1), (1, 1));
-        let kernel =
-            Conv2dKernel::new(p, small_config(), Epilogue::linear(DType::F16), DType::F16);
+        let kernel = Conv2dKernel::new(p, small_config(), Epilogue::linear(DType::F16), DType::F16);
         let x = random_input(&p, DType::F16, 1);
         let f = random_filter(&p, DType::F16, 2);
         let got = kernel.run(&x, &f, None).unwrap();
@@ -199,8 +223,7 @@ mod tests {
     fn pointwise_conv_matches_reference() {
         let p = Conv2dProblem::new(2, 4, 4, 8, 8, 1, 1, (1, 1), (0, 0));
         assert!(p.is_pointwise_unit());
-        let kernel =
-            Conv2dKernel::new(p, small_config(), Epilogue::linear(DType::F16), DType::F16);
+        let kernel = Conv2dKernel::new(p, small_config(), Epilogue::linear(DType::F16), DType::F16);
         let x = random_input(&p, DType::F16, 7);
         let f = random_filter(&p, DType::F16, 8);
         let got = kernel.run(&x, &f, None).unwrap();
@@ -224,8 +247,7 @@ mod tests {
     #[test]
     fn rejects_bad_bias() {
         let p = Conv2dProblem::new(1, 4, 4, 2, 3, 1, 1, (1, 1), (0, 0));
-        let kernel =
-            Conv2dKernel::new(p, small_config(), Epilogue::linear(DType::F16), DType::F16);
+        let kernel = Conv2dKernel::new(p, small_config(), Epilogue::linear(DType::F16), DType::F16);
         let x = random_input(&p, DType::F16, 1);
         let f = random_filter(&p, DType::F16, 2);
         let bad = Tensor::zeros(&[4], DType::F16);

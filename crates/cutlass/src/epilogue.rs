@@ -103,9 +103,7 @@ impl Epilogue {
             (BiasMode::PerColumn, Some(c)) if c.shape().rank() == 1 && c.shape().dim(0) == n => {
                 Ok(())
             }
-            (BiasMode::Full, Some(c))
-                if c.shape().rank() == 2 && c.shape().dims() == [m, n] =>
-            {
+            (BiasMode::Full, Some(c)) if c.shape().rank() == 2 && c.shape().dims() == [m, n] => {
                 Ok(())
             }
             (mode, Some(c)) => Err(TensorError::shape(

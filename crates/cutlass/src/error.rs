@@ -25,12 +25,16 @@ pub enum KernelError {
 impl KernelError {
     /// Convenience constructor for [`KernelError::IllegalConfig`].
     pub fn illegal(reason: impl Into<String>) -> Self {
-        KernelError::IllegalConfig { reason: reason.into() }
+        KernelError::IllegalConfig {
+            reason: reason.into(),
+        }
     }
 
     /// Convenience constructor for [`KernelError::UnsupportedProblem`].
     pub fn unsupported(reason: impl Into<String>) -> Self {
-        KernelError::UnsupportedProblem { reason: reason.into() }
+        KernelError::UnsupportedProblem {
+            reason: reason.into(),
+        }
     }
 }
 

@@ -55,7 +55,10 @@ impl GemmProblem {
 
     /// A strided-batched row-major FP16 GEMM.
     pub fn fp16_batched(batch: usize, m: usize, n: usize, k: usize) -> Self {
-        GemmProblem { batch, ..Self::fp16(m, n, k) }
+        GemmProblem {
+            batch,
+            ..Self::fp16(m, n, k)
+        }
     }
 
     /// Total multiply-accumulates across the batch.
@@ -95,7 +98,11 @@ impl GemmProblem {
 impl fmt::Display for GemmProblem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.batch > 1 {
-            write!(f, "{}x[{}, {}, {}] {}", self.batch, self.m, self.n, self.k, self.element)
+            write!(
+                f,
+                "{}x[{}, {}, {}] {}",
+                self.batch, self.m, self.n, self.k, self.element
+            )
         } else {
             write!(f, "[{}, {}, {}] {}", self.m, self.n, self.k, self.element)
         }
@@ -123,7 +130,11 @@ impl GemmKernel {
         config.alignment_a = config.alignment_a.min(a);
         config.alignment_b = config.alignment_b.min(b);
         config.alignment_c = config.alignment_c.min(c);
-        GemmKernel { problem, config, epilogue }
+        GemmKernel {
+            problem,
+            config,
+            epilogue,
+        }
     }
 
     /// Validates the template against `arch`.
@@ -203,9 +214,9 @@ impl GemmKernel {
                     for bk in 0..k_tiles {
                         let k0 = slice_start + bk * tb.k;
                         let kk = tb.k.min(slice_end - k0);
-                    // Stage the A and B slices through "shared memory",
-                    // rounding through the element dtype (the global->smem
-                    // copy preserves dtype; rounding is idempotent).
+                        // Stage the A and B slices through "shared memory",
+                        // rounding through the element dtype (the global->smem
+                        // copy preserves dtype; rounding is idempotent).
                         for r in 0..rows {
                             for kc in 0..kk {
                                 let a_val = elt.quantize(a.get2(row0 + r, k0 + kc));
@@ -220,14 +231,20 @@ impl GemmKernel {
 
                 for r in 0..rows {
                     for ccol in 0..cols {
-                        let v = self.epilogue.apply(acc[r * cols + ccol], row0 + r, col0 + ccol, c);
+                        let v = self
+                            .epilogue
+                            .apply(acc[r * cols + ccol], row0 + r, col0 + ccol, c);
                         d.set2(row0 + r, col0 + ccol, v);
                     }
                 }
             }
         }
 
-        let reduction = if self.epilogue.column_reduction { Some(reduce_columns(&d)) } else { None };
+        let reduction = if self.epilogue.column_reduction {
+            Some(reduce_columns(&d))
+        } else {
+            None
+        };
         Ok((d, reduction))
     }
 
@@ -320,8 +337,11 @@ mod tests {
         let mut config = GemmConfig::turing_default();
         config.threadblock = crate::tiles::TileShape::new(8, 8, 8);
         config.warp = crate::tiles::TileShape::new(8, 8, 8);
-        let kernel =
-            GemmKernel::new(problem, config, Epilogue::linear(DType::F16).with_column_reduction());
+        let kernel = GemmKernel::new(
+            problem,
+            config,
+            Epilogue::linear(DType::F16).with_column_reduction(),
+        );
         let a = Tensor::ones(&[8, 4], DType::F16);
         let b = Tensor::ones(&[4, 4], DType::F16);
         let (_, red) = kernel.run(&a, &b, None).unwrap();
@@ -378,8 +398,18 @@ mod tests {
         ep.alpha = 0.25; // dequantization scale
         let kernel = GemmKernel::new(problem, config, ep);
 
-        let a = Tensor::from_vec(&[64, 64], DType::I8, (0..4096).map(|i| ((i % 7) as f32) - 3.0).collect()).unwrap();
-        let b = Tensor::from_vec(&[64, 64], DType::I8, (0..4096).map(|i| ((i % 5) as f32) - 2.0).collect()).unwrap();
+        let a = Tensor::from_vec(
+            &[64, 64],
+            DType::I8,
+            (0..4096).map(|i| ((i % 7) as f32) - 3.0).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            &[64, 64],
+            DType::I8,
+            (0..4096).map(|i| ((i % 5) as f32) - 2.0).collect(),
+        )
+        .unwrap();
         let (d, _) = kernel.run(&a, &b, None).unwrap();
         // Integer reference.
         let mut expect = 0.0f32;
@@ -391,14 +421,21 @@ mod tests {
         // INT8 tensor cores run ~2x FP16 rate for compute-bound GEMMs.
         let mut big_i8 = GemmProblem::fp16(4096, 4096, 4096);
         big_i8.element = DType::I8;
-        let i8_kernel = GemmKernel::new(big_i8, GemmConfig::turing_default(), Epilogue::linear(DType::I8));
+        let i8_kernel = GemmKernel::new(
+            big_i8,
+            GemmConfig::turing_default(),
+            Epilogue::linear(DType::I8),
+        );
         let f16_kernel = GemmKernel::new(
             GemmProblem::fp16(4096, 4096, 4096),
             GemmConfig::turing_default(),
             Epilogue::linear(DType::F16),
         );
         let ratio = f16_kernel.time(&t4).total_us / i8_kernel.time(&t4).total_us;
-        assert!(ratio > 1.4 && ratio < 2.4, "INT8 should be ~2x FP16, got {ratio:.2}x");
+        assert!(
+            ratio > 1.4 && ratio < 2.4,
+            "INT8 should be ~2x FP16, got {ratio:.2}x"
+        );
     }
 
     #[test]
@@ -407,7 +444,11 @@ mod tests {
         config.threadblock = crate::tiles::TileShape::new(16, 16, 8);
         config.warp = crate::tiles::TileShape::new(8, 8, 8);
         config.split_k = 4;
-        let kernel = GemmKernel::new(GemmProblem::fp16(24, 20, 64), config, Epilogue::linear(DType::F16));
+        let kernel = GemmKernel::new(
+            GemmProblem::fp16(24, 20, 64),
+            config,
+            Epilogue::linear(DType::F16),
+        );
         let a = Tensor::randn(&[24, 64], DType::F16, 11);
         let b = Tensor::randn(&[64, 20], DType::F16, 12);
         let (d, _) = kernel.run(&a, &b, None).unwrap();
@@ -424,7 +465,11 @@ mod tests {
         // split-K starves the 40 SMs.
         let t4 = GpuArch::tesla_t4();
         let problem = GemmProblem::fp16(32, 1000, 2048);
-        let plain = GemmKernel::new(problem, GemmConfig::turing_default(), Epilogue::linear(DType::F16));
+        let plain = GemmKernel::new(
+            problem,
+            GemmConfig::turing_default(),
+            Epilogue::linear(DType::F16),
+        );
         let mut cfg = GemmConfig::turing_default();
         cfg.threadblock = crate::tiles::TileShape::new(32, 128, 32);
         cfg.warp = crate::tiles::TileShape::new(32, 32, 32);

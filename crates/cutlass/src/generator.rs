@@ -36,7 +36,10 @@ pub struct ConfigGenerator {
 impl ConfigGenerator {
     /// Creates a generator for `arch` with the default candidate budget.
     pub fn new(arch: &GpuArch) -> Self {
-        ConfigGenerator { arch: arch.clone(), max_candidates: 40 }
+        ConfigGenerator {
+            arch: arch.clone(),
+            max_candidates: 40,
+        }
     }
 
     /// The threadblock-tile menu for this architecture.
@@ -60,7 +63,16 @@ impl ConfigGenerator {
     /// largest warp tiles first.
     fn warp_menu(&self, tb: TileShape) -> Vec<TileShape> {
         let mut out = Vec::new();
-        for (div_m, div_n) in [(1, 2), (2, 1), (2, 2), (1, 4), (4, 1), (2, 4), (4, 2), (1, 1)] {
+        for (div_m, div_n) in [
+            (1, 2),
+            (2, 1),
+            (2, 2),
+            (1, 4),
+            (4, 1),
+            (2, 4),
+            (4, 2),
+            (1, 1),
+        ] {
             if !tb.m.is_multiple_of(div_m) || !tb.n.is_multiple_of(div_n) {
                 continue;
             }
@@ -83,8 +95,11 @@ impl ConfigGenerator {
 
     /// Candidate GEMM configs for `problem`, best-heuristic-score first.
     pub fn gemm_candidates(&self, problem: &GemmProblem) -> Vec<GemmConfig> {
-        let stages_menu: &[usize] =
-            if self.arch.compute_capability >= (8, 0) { &[3, 4, 2] } else { &[2] };
+        let stages_menu: &[usize] = if self.arch.compute_capability >= (8, 0) {
+            &[3, 4, 2]
+        } else {
+            &[2]
+        };
         let mut scored: Vec<(f64, GemmConfig)> = Vec::new();
         for tb in self.threadblock_menu() {
             for warp in self.warp_menu(tb) {
@@ -119,9 +134,8 @@ impl ConfigGenerator {
                         scored.push((self.score(problem, &config), config));
                         // Split-K variants when the plain grid underfills
                         // the SMs and K is deep enough to slice.
-                        let grid = problem.batch
-                            * problem.m.div_ceil(tb.m)
-                            * problem.n.div_ceil(tb.n);
+                        let grid =
+                            problem.batch * problem.m.div_ceil(tb.m) * problem.n.div_ceil(tb.n);
                         if grid < self.arch.sm_count as usize && problem.k >= 4 * tb.k {
                             for split_k in [2usize, 4, 8] {
                                 if problem.k < split_k * tb.k {
@@ -139,13 +153,24 @@ impl ConfigGenerator {
             }
         }
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-        scored.into_iter().map(|(_, c)| c).take(self.max_candidates).collect()
+        scored
+            .into_iter()
+            .map(|(_, c)| c)
+            .take(self.max_candidates)
+            .collect()
     }
 
     /// Candidate configs for a convolution, via its implicit GEMM.
     pub fn conv2d_candidates(&self, problem: &Conv2dProblem, element: DType) -> Vec<GemmConfig> {
         let (m, n, k) = problem.implicit_gemm_mnk();
-        let gemm = GemmProblem { m, n, k, batch: 1, element, ..GemmProblem::fp16(m, n, k) };
+        let gemm = GemmProblem {
+            m,
+            n,
+            k,
+            batch: 1,
+            element,
+            ..GemmProblem::fp16(m, n, k)
+        };
         self.gemm_candidates(&gemm)
     }
 
@@ -154,16 +179,18 @@ impl ConfigGenerator {
     /// shortlist the way the paper's tuning guidelines would.
     fn score(&self, problem: &GemmProblem, config: &GemmConfig) -> f64 {
         let tb = config.threadblock;
-        let grid = (problem.batch
-            * problem.m.div_ceil(tb.m)
-            * problem.n.div_ceil(tb.n)) as f64;
+        let grid = (problem.batch * problem.m.div_ceil(tb.m) * problem.n.div_ceil(tb.n)) as f64;
         // Keep every SM busy: want at least one block per SM.
         let fill = (grid / self.arch.sm_count as f64).min(2.0);
         // Prefer large warp tiles (compute/memory ratio)...
         let warp_score = (config.warp.mn() as f64).sqrt() / 64.0;
         // ...and 4-8 warps per block.
         let warps = config.warp_count() as f64;
-        let warp_count_score = if (4.0..=8.0).contains(&warps) { 1.0 } else { 0.7 };
+        let warp_count_score = if (4.0..=8.0).contains(&warps) {
+            1.0
+        } else {
+            0.7
+        };
         // Penalize tile waste on ragged problems.
         let waste_m = problem.m as f64 / (problem.m.div_ceil(tb.m) * tb.m) as f64;
         let waste_n = problem.n as f64 / (problem.n.div_ceil(tb.n) * tb.n) as f64;

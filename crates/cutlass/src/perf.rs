@@ -36,7 +36,11 @@ pub fn mainloop_efficiency(m: usize, n: usize, k: usize, config: &GemmConfig) ->
     let util_m = m as f64 / (m.div_ceil(tb.m) * tb.m) as f64;
     let util_n = n as f64 / (n.div_ceil(tb.n) * tb.n) as f64;
     // Instruction shape: the wide 16x8x16 HMMA has the best issue rate.
-    let inst = if config.instruction.k >= 16 { 1.0 } else { 0.96 };
+    let inst = if config.instruction.k >= 16 {
+        1.0
+    } else {
+        0.96
+    };
     let base = match config.pipeline {
         // cp.async multi-stage main loops (Ampere) issue MMAs nearly
         // back-to-back; Turing's 2-stage pipeline pays more bookkeeping.
@@ -52,7 +56,6 @@ pub fn mainloop_efficiency(m: usize, n: usize, k: usize, config: &GemmConfig) ->
     };
     base * fill * util_m * util_n * inst
 }
-
 
 /// Main-loop derate from operand alignment: tensor cores are fed by
 /// 128-bit `ldmatrix`/`ldg` operations; narrower legal accesses multiply
@@ -94,7 +97,9 @@ fn l2_leak(arch: &GpuArch, problem_k: usize, config: &GemmConfig, element: DType
     // Even unique panels get evicted mid-wave once the wave's working set
     // outgrows the L2.
     let wave_set = wave_blocks * (tb.m + tb.n) as f64 * problem_k as f64 * elt;
-    let evict = (unique_frac * wave_set / arch.l2_bytes as f64).sqrt().clamp(1.0, 3.0);
+    let evict = (unique_frac * wave_set / arch.l2_bytes as f64)
+        .sqrt()
+        .clamp(1.0, 3.0);
     (unique_frac * evict).clamp(0.02, 1.0)
 }
 
@@ -142,7 +147,11 @@ pub fn gemm_profile(
     let leak = l2_leak(arch, problem.k, config, problem.element);
     // Split-K workspace traffic: each slice writes an f32 partial tile and
     // the reduction reads them all back.
-    let workspace = if split_k > 1 { 2.0 * out_elems * 4.0 * split_k as f64 } else { 0.0 };
+    let workspace = if split_k > 1 {
+        2.0 * out_elems * 4.0 * split_k as f64
+    } else {
+        0.0
+    };
     let dram_read = compulsory_in
         + (block_in - compulsory_in).max(0.0) * leak
         + batch * epilogue.extra_bytes(problem.m, problem.n)
@@ -234,10 +243,8 @@ pub fn conv2d_profile(
     let filter_bytes = (problem.k * problem.r * problem.s * problem.c) as f64 * elt;
     // Filters are re-read by every M-tile; the L2 usually holds them.
     let filter_read = filter_bytes * (1.0 + (grid_m as f64 - 1.0) * 0.03).min(grid_m as f64);
-    let dram_read = input_read
-        + filter_read
-        + epilogue.extra_bytes(gm, gn)
-        + extra_dram_bytes.unwrap_or(0.0);
+    let dram_read =
+        input_read + filter_read + epilogue.extra_bytes(gm, gn) + extra_dram_bytes.unwrap_or(0.0);
     let out_bytes = out_elems * epilogue.out_dtype.size_bytes() as f64;
 
     // ---- Shared-memory traffic --------------------------------------------
@@ -255,7 +262,13 @@ pub fn conv2d_profile(
     KernelProfile {
         name: format!(
             "conv2d_{}x{}x{}x{}_k{}r{}s{}_{}",
-            problem.n, problem.h, problem.w, problem.c, problem.k, problem.r, problem.s,
+            problem.n,
+            problem.h,
+            problem.w,
+            problem.c,
+            problem.k,
+            problem.r,
+            problem.s,
             config.tag()
         ),
         grid_blocks: grid,
@@ -276,6 +289,40 @@ pub fn conv2d_profile(
             * 0.58,
         pipelined_overlap: pipelined_overlap(config),
     }
+}
+
+/// Analytic lower bound (in µs) on the simulated time of a templated GEMM
+/// candidate.
+///
+/// The bound is admissible: it never exceeds what [`simulate_kernel`]
+/// (`bolt_gpu_sim`) would report for the same candidate, so the profiler
+/// can safely skip candidates whose bound already exceeds the running
+/// best without ever discarding the true winner. Evaluating the bound
+/// costs one profile construction plus a handful of divisions — far
+/// cheaper than a (simulated) measurement.
+///
+/// [`simulate_kernel`]: bolt_gpu_sim::simulate_kernel
+pub fn gemm_lower_bound_us(
+    arch: &GpuArch,
+    problem: &GemmProblem,
+    config: &GemmConfig,
+    epilogue: &Epilogue,
+) -> f64 {
+    let profile = gemm_profile(arch, problem, config, epilogue, None);
+    bolt_gpu_sim::roofline_lower_bound_us(arch, &profile)
+}
+
+/// Analytic lower bound (in µs) for an implicit-GEMM Conv2D candidate.
+/// See [`gemm_lower_bound_us`] for the admissibility contract.
+pub fn conv2d_lower_bound_us(
+    arch: &GpuArch,
+    problem: &Conv2dProblem,
+    config: &GemmConfig,
+    epilogue: &Epilogue,
+    element: DType,
+) -> f64 {
+    let profile = conv2d_profile(arch, problem, config, epilogue, element, None);
+    bolt_gpu_sim::roofline_lower_bound_us(arch, &profile)
 }
 
 #[cfg(test)]
@@ -306,8 +353,13 @@ mod tests {
     #[test]
     fn big_gemm_lands_near_tensor_core_peak() {
         let p = GemmProblem::fp16(4096, 4096, 4096);
-        let prof = gemm_profile(&t4(), &p, &GemmConfig::turing_default(),
-                                &Epilogue::linear(DType::F16), None);
+        let prof = gemm_profile(
+            &t4(),
+            &p,
+            &GemmConfig::turing_default(),
+            &Epilogue::linear(DType::F16),
+            None,
+        );
         let t = simulate_kernel(&t4(), &prof);
         let tflops = t.tflops(p.flops());
         assert!(tflops > 40.0 && tflops < 65.0, "{tflops:.1} TFLOPS; {t:?}");
@@ -346,8 +398,14 @@ mod tests {
         c.threadblock = crate::tiles::TileShape::new(64, 32, 32);
         c.warp = crate::tiles::TileShape::new(32, 32, 32);
         let ep = Epilogue::linear(DType::F16);
-        let tu = simulate_kernel(&t4(), &conv2d_profile(&t4(), &unpadded, &c, &ep, DType::F16, None));
-        let tp = simulate_kernel(&t4(), &conv2d_profile(&t4(), &padded, &c, &ep, DType::F16, None));
+        let tu = simulate_kernel(
+            &t4(),
+            &conv2d_profile(&t4(), &unpadded, &c, &ep, DType::F16, None),
+        );
+        let tp = simulate_kernel(
+            &t4(),
+            &conv2d_profile(&t4(), &padded, &c, &ep, DType::F16, None),
+        );
         let gain = tu.total_us / tp.total_us;
         assert!(gain > 1.3, "padding gain {gain:.2} too small");
     }
@@ -357,8 +415,20 @@ mod tests {
         use bolt_tensor::Activation;
         let p = GemmProblem::fp16(1280, 3072, 768);
         let c = GemmConfig::turing_default();
-        let relu = gemm_profile(&t4(), &p, &c, &Epilogue::bias_activation(Activation::ReLU, DType::F16), None);
-        let soft = gemm_profile(&t4(), &p, &c, &Epilogue::bias_activation(Activation::Softplus, DType::F16), None);
+        let relu = gemm_profile(
+            &t4(),
+            &p,
+            &c,
+            &Epilogue::bias_activation(Activation::ReLU, DType::F16),
+            None,
+        );
+        let soft = gemm_profile(
+            &t4(),
+            &p,
+            &c,
+            &Epilogue::bias_activation(Activation::Softplus, DType::F16),
+            None,
+        );
         assert!(soft.flops.sfu > relu.flops.sfu);
         let tr = simulate_kernel(&t4(), &relu);
         let ts = simulate_kernel(&t4(), &soft);

@@ -95,7 +95,11 @@ impl GemmConfig {
 
     /// Per-block resources for the occupancy calculator.
     pub fn block_resources(&self, dtype: DType) -> BlockResources {
-        BlockResources::new(self.threads(), self.regs_per_thread(dtype), self.smem_bytes(dtype))
+        BlockResources::new(
+            self.threads(),
+            self.regs_per_thread(dtype),
+            self.smem_bytes(dtype),
+        )
     }
 
     /// The smallest operand alignment this config assumes.
@@ -143,7 +147,10 @@ impl GemmConfig {
             )));
         }
         if !(2..=8).contains(&self.stages) {
-            return Err(KernelError::illegal(format!("stages {} not in 2..=8", self.stages)));
+            return Err(KernelError::illegal(format!(
+                "stages {} not in 2..=8",
+                self.stages
+            )));
         }
         if arch.compute_capability < (8, 0) && self.stages > 2 {
             return Err(KernelError::illegal(
@@ -162,8 +169,11 @@ impl GemmConfig {
                 self.swizzle
             )));
         }
-        for (name, a) in [("A", self.alignment_a), ("B", self.alignment_b), ("C", self.alignment_c)]
-        {
+        for (name, a) in [
+            ("A", self.alignment_a),
+            ("B", self.alignment_b),
+            ("C", self.alignment_c),
+        ] {
             if !a.is_power_of_two() || a > dtype.max_vector_elems() {
                 return Err(KernelError::illegal(format!(
                     "alignment {a} for operand {name} invalid for {dtype} (max {})",
@@ -199,7 +209,10 @@ impl GemmConfig {
     /// `tb128x128x32_w64x64x32_s2`.
     pub fn tag(&self) -> String {
         if self.split_k > 1 {
-            format!("tb{}_w{}_s{}_k{}", self.threadblock, self.warp, self.stages, self.split_k)
+            format!(
+                "tb{}_w{}_s{}_k{}",
+                self.threadblock, self.warp, self.stages, self.split_k
+            )
         } else {
             format!("tb{}_w{}_s{}", self.threadblock, self.warp, self.stages)
         }
@@ -233,7 +246,9 @@ mod tests {
 
     #[test]
     fn default_is_valid_on_t4() {
-        GemmConfig::turing_default().validate(&t4(), DType::F16).unwrap();
+        GemmConfig::turing_default()
+            .validate(&t4(), DType::F16)
+            .unwrap();
     }
 
     #[test]
@@ -298,6 +313,9 @@ mod tests {
 
     #[test]
     fn tag_is_stable() {
-        assert_eq!(GemmConfig::turing_default().tag(), "tb128x128x32_w64x64x32_s2");
+        assert_eq!(
+            GemmConfig::turing_default().tag(),
+            "tb128x128x32_w64x64x32_s2"
+        );
     }
 }

@@ -241,7 +241,8 @@ mod tests {
         assert_eq!(t4.sm_count, 40);
         assert_eq!(t4.max_warps_per_sm(), 32);
         // CUDA-core FP32 peak should be consistent with cores*clock*2.
-        let derived = t4.sm_count as f64 * t4.cuda_cores_per_sm as f64 * t4.clock_ghz * 2.0 / 1000.0;
+        let derived =
+            t4.sm_count as f64 * t4.cuda_cores_per_sm as f64 * t4.clock_ghz * 2.0 / 1000.0;
         assert!((derived - t4.fp32_cuda_tflops).abs() / t4.fp32_cuda_tflops < 0.02);
     }
 

@@ -198,9 +198,21 @@ pub fn simulate_kernel(arch: &GpuArch, profile: &KernelProfile) -> KernelTime {
     let cc_peak = arch.peak_tflops(Pipeline::CudaCore, profile.dtype) * 1e6;
     let sfu_peak = arch.peak_tflops(Pipeline::Sfu, profile.dtype) * 1e6;
 
-    let tc_us = if profile.flops.tensor_core > 0.0 { profile.flops.tensor_core / (tc_peak * eff) } else { 0.0 };
-    let cc_us = if profile.flops.cuda_core > 0.0 { profile.flops.cuda_core / (cc_peak * eff) } else { 0.0 };
-    let sfu_us = if profile.flops.sfu > 0.0 { profile.flops.sfu / (sfu_peak * eff) } else { 0.0 };
+    let tc_us = if profile.flops.tensor_core > 0.0 {
+        profile.flops.tensor_core / (tc_peak * eff)
+    } else {
+        0.0
+    };
+    let cc_us = if profile.flops.cuda_core > 0.0 {
+        profile.flops.cuda_core / (cc_peak * eff)
+    } else {
+        0.0
+    };
+    let sfu_us = if profile.flops.sfu > 0.0 {
+        profile.flops.sfu / (sfu_peak * eff)
+    } else {
+        0.0
+    };
     // Tensor cores and CUDA cores dual-issue from different units, but SFU
     // work (transcendental epilogues) runs as a tail after each tile's main
     // loop and its low throughput cannot hide behind it.
@@ -214,7 +226,11 @@ pub fn simulate_kernel(arch: &GpuArch, profile: &KernelProfile) -> KernelTime {
 
     let smem_bw = arch.smem_bytes_per_us() * sm_utilization
         / bank_conflict_slowdown(profile.bank_conflict_ways);
-    let smem_us = if profile.smem_bytes > 0.0 { profile.smem_bytes / smem_bw } else { 0.0 };
+    let smem_us = if profile.smem_bytes > 0.0 {
+        profile.smem_bytes / smem_bw
+    } else {
+        0.0
+    };
 
     // --- Combine -----------------------------------------------------------
     let dominant = compute_us.max(dram_us).max(smem_us);
@@ -247,6 +263,53 @@ pub fn simulate_kernel(arch: &GpuArch, profile: &KernelProfile) -> KernelTime {
     }
 }
 
+/// A certified analytic lower bound on [`simulate_kernel`]'s `total_us`
+/// for `profile` on `arch`: launch overhead plus the roofline
+/// `max(compute_us, dram_us, smem_us)` with every stream priced at its
+/// *undeterated* datasheet peak.
+///
+/// Because `simulate_kernel` only ever applies derating factors `<= 1`
+/// to those peaks (main-loop efficiency, latency hiding, SM utilization,
+/// alignment, bank conflicts, the 88% DRAM peak fraction) and only ever
+/// *adds* non-negative terms (overlap leak, wave tail), this bound never
+/// exceeds the simulated time. Profilers use it to skip candidates whose
+/// bound already exceeds the running best without changing the winner.
+pub fn roofline_lower_bound_us(arch: &GpuArch, profile: &KernelProfile) -> f64 {
+    let tc_peak = arch.peak_tflops(Pipeline::TensorCore, profile.dtype) * 1e6; // flops/us
+    let cc_peak = arch.peak_tflops(Pipeline::CudaCore, profile.dtype) * 1e6;
+    let sfu_peak = arch.peak_tflops(Pipeline::Sfu, profile.dtype) * 1e6;
+
+    let tc_us = if profile.flops.tensor_core > 0.0 {
+        profile.flops.tensor_core / tc_peak
+    } else {
+        0.0
+    };
+    let cc_us = if profile.flops.cuda_core > 0.0 {
+        profile.flops.cuda_core / cc_peak
+    } else {
+        0.0
+    };
+    let sfu_us = if profile.flops.sfu > 0.0 {
+        profile.flops.sfu / sfu_peak
+    } else {
+        0.0
+    };
+    let compute_us = tc_us.max(cc_us) + sfu_us;
+
+    // Raw datasheet DRAM bandwidth, NOT dram_bytes_per_us(): the achievable
+    // fraction (0.88) is itself a derate the simulator applies.
+    let dram_bw = arch.dram_bw_gbps * 1e3; // bytes/us
+    let dram_us = (profile.dram_read_bytes + profile.dram_write_bytes) / dram_bw;
+
+    let smem_us = if profile.smem_bytes > 0.0 {
+        profile.smem_bytes / arch.smem_bytes_per_us()
+    } else {
+        0.0
+    };
+
+    arch.params.launch_overhead_us + compute_us.max(dram_us).max(smem_us)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,7 +330,11 @@ mod tests {
             name: format!("gemm{mnk}"),
             grid_blocks: ((mnk / 128) * (mnk / 128)) as u64,
             block: BlockResources::new(256, 160, 48 * 1024),
-            flops: PipelineFlops { tensor_core: flops, cuda_core: 0.0, sfu: 0.0 },
+            flops: PipelineFlops {
+                tensor_core: flops,
+                cuda_core: 0.0,
+                sfu: 0.0,
+            },
             dram_read_bytes: traffic,
             dram_write_bytes: (mnk * mnk) as f64 * elt,
             smem_bytes: flops / 2.0 / 8.0, // operand bytes through smem
@@ -329,7 +396,10 @@ mod tests {
         let ta = simulate_kernel(&t4(), &aligned);
         let tm = simulate_kernel(&t4(), &misaligned);
         let ratio = tm.total_us / ta.total_us;
-        assert!(ratio > 1.5 && ratio < 2.2, "padding band from Table 3, got {ratio:.2}");
+        assert!(
+            ratio > 1.5 && ratio < 2.2,
+            "padding band from Table 3, got {ratio:.2}"
+        );
     }
 
     #[test]
@@ -348,7 +418,12 @@ mod tests {
         starved.block = BlockResources::new(128, 255, 60 * 1024);
         let fast = simulate_kernel(&t4(), &p);
         let slow = simulate_kernel(&t4(), &starved);
-        assert!(slow.total_us > fast.total_us * 1.3, "{} vs {}", slow.total_us, fast.total_us);
+        assert!(
+            slow.total_us > fast.total_us * 1.3,
+            "{} vs {}",
+            slow.total_us,
+            fast.total_us
+        );
     }
 
     #[test]
@@ -381,6 +456,31 @@ mod tests {
         p.grid_blocks = 100_000;
         let t = simulate_kernel(&t4(), &p);
         assert!(t.tail_us > 0.0);
+    }
+
+    #[test]
+    fn roofline_bound_never_exceeds_simulated_time() {
+        for mnk in [512, 1024, 2048, 4096] {
+            let p = big_gemm_profile(mnk);
+            let bound = roofline_lower_bound_us(&t4(), &p);
+            let t = simulate_kernel(&t4(), &p);
+            assert!(
+                bound <= t.total_us,
+                "bound {bound} exceeds simulated {} for mnk={mnk}",
+                t.total_us
+            );
+            assert!(bound > 0.0);
+        }
+        let mem = KernelProfile::memory_only("copy", 64.0 * 1024.0 * 1024.0);
+        let bound = roofline_lower_bound_us(&t4(), &mem);
+        assert!(bound <= simulate_kernel(&t4(), &mem).total_us);
+    }
+
+    #[test]
+    fn roofline_bound_is_cheap_and_tracks_work() {
+        let small = roofline_lower_bound_us(&t4(), &big_gemm_profile(512));
+        let large = roofline_lower_bound_us(&t4(), &big_gemm_profile(4096));
+        assert!(large > small * 10.0, "{large} vs {small}");
     }
 
     #[test]

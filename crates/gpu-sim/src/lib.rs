@@ -44,7 +44,9 @@ pub mod pipeline;
 pub mod timeline;
 
 pub use arch::{GpuArch, ModelParams};
-pub use kernel::{simulate_kernel, Boundedness, KernelProfile, KernelTime, PipelineFlops};
+pub use kernel::{
+    roofline_lower_bound_us, simulate_kernel, Boundedness, KernelProfile, KernelTime, PipelineFlops,
+};
 pub use memory::{alignment_efficiency, bank_conflict_slowdown, effective_dram_bandwidth};
 pub use occupancy::{BlockResources, Occupancy, OccupancyLimit};
 pub use pipeline::Pipeline;

@@ -25,7 +25,11 @@ pub struct BlockResources {
 impl BlockResources {
     /// Convenience constructor.
     pub fn new(threads: u32, regs_per_thread: u32, smem_bytes: u32) -> Self {
-        BlockResources { threads, regs_per_thread, smem_bytes }
+        BlockResources {
+            threads,
+            regs_per_thread,
+            smem_bytes,
+        }
     }
 }
 
@@ -99,8 +103,14 @@ impl Occupancy {
         let regs_per_block = block.threads * block.regs_per_thread.max(16);
 
         let by_threads = arch.max_threads_per_sm / block.threads;
-        let by_regs = arch.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
-        let by_smem = arch.smem_per_sm.checked_div(block.smem_bytes).unwrap_or(u32::MAX);
+        let by_regs = arch
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
+        let by_smem = arch
+            .smem_per_sm
+            .checked_div(block.smem_bytes)
+            .unwrap_or(u32::MAX);
         let by_slots = arch.max_blocks_per_sm;
 
         let blocks = by_threads.min(by_regs).min(by_smem).min(by_slots);
@@ -113,7 +123,11 @@ impl Occupancy {
             } else {
                 OccupancyLimit::Threads
             }
-        } else if blocks == by_threads && by_threads <= by_regs && by_threads <= by_smem && by_threads <= by_slots {
+        } else if blocks == by_threads
+            && by_threads <= by_regs
+            && by_threads <= by_smem
+            && by_threads <= by_slots
+        {
             OccupancyLimit::Threads
         } else if blocks == by_regs && by_regs <= by_smem && by_regs <= by_slots {
             OccupancyLimit::Registers

@@ -101,7 +101,12 @@ impl Timeline {
 
 impl fmt::Display for Timeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "timeline: {} kernels, {:.1} us total", self.len(), self.total_us())?;
+        writeln!(
+            f,
+            "timeline: {} kernels, {:.1} us total",
+            self.len(),
+            self.total_us()
+        )?;
         for e in &self.events {
             writeln!(
                 f,

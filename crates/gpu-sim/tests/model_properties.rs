@@ -5,35 +5,43 @@
 
 use proptest::prelude::*;
 
-use bolt_gpu_sim::{simulate_kernel, BlockResources, GpuArch, KernelProfile, Occupancy};
+use bolt_gpu_sim::{
+    roofline_lower_bound_us, simulate_kernel, BlockResources, GpuArch, KernelProfile, Occupancy,
+};
 use bolt_tensor::DType;
 
 fn arbitrary_profile() -> impl Strategy<Value = KernelProfile> {
     (
-        1u64..100_000,           // grid blocks
-        1u32..9,                 // warps per block
-        16u32..200,              // regs per thread
-        0u32..48,                // smem KiB
-        0.0f64..1e12,            // tensor-core flops
-        0.0f64..1e11,            // cuda flops
-        0.0f64..1e9,             // dram bytes
+        1u64..100_000, // grid blocks
+        1u32..9,       // warps per block
+        16u32..200,    // regs per thread
+        0u32..48,      // smem KiB
+        0.0f64..1e12,  // tensor-core flops
+        0.0f64..1e11,  // cuda flops
+        0.0f64..1e9,   // dram bytes
         prop::sample::select(vec![1usize, 2, 4, 8]),
-        0.05f64..1.0,            // mainloop efficiency
+        0.05f64..1.0, // mainloop efficiency
     )
-        .prop_map(|(grid, warps, regs, smem_kib, tc, cc, bytes, align, eff)| KernelProfile {
-            name: "prop".into(),
-            grid_blocks: grid,
-            block: BlockResources::new(warps * 32, regs, smem_kib * 1024),
-            flops: bolt_gpu_sim::PipelineFlops { tensor_core: tc, cuda_core: cc, sfu: 0.0 },
-            dram_read_bytes: bytes,
-            dram_write_bytes: bytes / 2.0,
-            smem_bytes: bytes / 4.0,
-            dtype: DType::F16,
-            alignment_elems: align,
-            bank_conflict_ways: 1.0,
-            mainloop_efficiency: eff,
-            pipelined_overlap: 0.25,
-        })
+        .prop_map(
+            |(grid, warps, regs, smem_kib, tc, cc, bytes, align, eff)| KernelProfile {
+                name: "prop".into(),
+                grid_blocks: grid,
+                block: BlockResources::new(warps * 32, regs, smem_kib * 1024),
+                flops: bolt_gpu_sim::PipelineFlops {
+                    tensor_core: tc,
+                    cuda_core: cc,
+                    sfu: 0.0,
+                },
+                dram_read_bytes: bytes,
+                dram_write_bytes: bytes / 2.0,
+                smem_bytes: bytes / 4.0,
+                dtype: DType::F16,
+                alignment_elems: align,
+                bank_conflict_ways: 1.0,
+                mainloop_efficiency: eff,
+                pipelined_overlap: 0.25,
+            },
+        )
 }
 
 proptest! {
@@ -107,6 +115,20 @@ proptest! {
         let more_smem = Occupancy::compute(&t4, BlockResources::new(threads, regs, (smem + 8) * 1024));
         prop_assert!(more_regs.blocks_per_sm <= base.blocks_per_sm);
         prop_assert!(more_smem.blocks_per_sm <= base.blocks_per_sm);
+    }
+
+    #[test]
+    fn roofline_bound_is_admissible(profile in arbitrary_profile()) {
+        // The pruning bound must NEVER exceed the simulated time on any
+        // profile, or candidate pruning could discard the true winner.
+        for arch in [GpuArch::tesla_t4(), GpuArch::tesla_v100(), GpuArch::a100()] {
+            let bound = roofline_lower_bound_us(&arch, &profile);
+            let t = simulate_kernel(&arch, &profile);
+            prop_assert!(
+                bound <= t.total_us,
+                "{}: bound {} exceeds simulated {}", arch.name, bound, t.total_us
+            );
+        }
     }
 
     #[test]

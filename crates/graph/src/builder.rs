@@ -33,13 +33,21 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder producing tensors of `dtype`.
     pub fn new(dtype: DType) -> Self {
-        GraphBuilder { graph: Graph::new(), dtype, seed: 0x0b017, materialize_params: true }
+        GraphBuilder {
+            graph: Graph::new(),
+            dtype,
+            seed: 0x0b017,
+            materialize_params: true,
+        }
     }
 
     /// Creates a builder that only declares parameter shapes (faster for
     /// timing-only compilation of big models).
     pub fn shapes_only(dtype: DType) -> Self {
-        GraphBuilder { materialize_params: false, ..Self::new(dtype) }
+        GraphBuilder {
+            materialize_params: false,
+            ..Self::new(dtype)
+        }
     }
 
     /// Access to the graph under construction.
@@ -66,19 +74,39 @@ impl GraphBuilder {
         name: &str,
     ) -> NodeId {
         let in_ch = self.graph.node(x).shape.dim(1);
-        let w = self.constant(&[out_ch, in_ch, kernel.0, kernel.1], &format!("{name}.weight"));
+        let w = self.constant(
+            &[out_ch, in_ch, kernel.0, kernel.1],
+            &format!("{name}.weight"),
+        );
         let c = self
             .graph
-            .add(OpKind::Conv2d { stride, padding, dilation: (1, 1) }, &[x, w], name)
+            .add(
+                OpKind::Conv2d {
+                    stride,
+                    padding,
+                    dilation: (1, 1),
+                },
+                &[x, w],
+                name,
+            )
             .expect("validated conv");
         let b = self.constant(&[out_ch], &format!("{name}.bias"));
-        self.graph.add(OpKind::BiasAdd, &[c, b], format!("{name}.bias_add")).expect("bias")
+        self.graph
+            .add(OpKind::BiasAdd, &[c, b], format!("{name}.bias_add"))
+            .expect("bias")
     }
 
     /// Adds a graph input of the given logical shape.
     pub fn input(&mut self, dims: &[usize]) -> NodeId {
         self.graph
-            .add(OpKind::Input { shape: Shape::new(dims), dtype: self.dtype }, &[], "input")
+            .add(
+                OpKind::Input {
+                    shape: Shape::new(dims),
+                    dtype: self.dtype,
+                },
+                &[],
+                "input",
+            )
             .expect("input nodes cannot fail")
     }
 
@@ -87,7 +115,14 @@ impl GraphBuilder {
     pub fn constant(&mut self, dims: &[usize], name: &str) -> NodeId {
         let id = self
             .graph
-            .add(OpKind::Constant { shape: Shape::new(dims), dtype: self.dtype }, &[], name)
+            .add(
+                OpKind::Constant {
+                    shape: Shape::new(dims),
+                    dtype: self.dtype,
+                },
+                &[],
+                name,
+            )
             .expect("constant nodes cannot fail");
         if self.materialize_params {
             self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -95,7 +130,9 @@ impl GraphBuilder {
             let t = Tensor::randn(dims, self.dtype, self.seed);
             let data = t.data().iter().map(|v| v * scale).collect();
             let t = Tensor::from_vec(dims, self.dtype, data).expect("same length");
-            self.graph.set_param(id, t).expect("constant accepts params");
+            self.graph
+                .set_param(id, t)
+                .expect("constant accepts params");
         }
         id
     }
@@ -123,7 +160,15 @@ impl GraphBuilder {
         let in_ch = self.graph.node(x).shape.dim(1);
         let w = self.constant(&[out_ch, in_ch, kernel, kernel], &format!("{name}.weight"));
         self.graph
-            .add(OpKind::Conv2d { stride, padding, dilation: (1, 1) }, &[x, w], name)
+            .add(
+                OpKind::Conv2d {
+                    stride,
+                    padding,
+                    dilation: (1, 1),
+                },
+                &[x, w],
+                name,
+            )
             .expect("validated conv")
     }
 
@@ -139,7 +184,9 @@ impl GraphBuilder {
     ) -> NodeId {
         let c = self.conv2d(x, out_ch, kernel, stride, padding, name);
         let b = self.constant(&[out_ch], &format!("{name}.bias"));
-        self.graph.add(OpKind::BiasAdd, &[c, b], format!("{name}.bias_add")).expect("bias")
+        self.graph
+            .add(OpKind::BiasAdd, &[c, b], format!("{name}.bias_add"))
+            .expect("bias")
     }
 
     /// Inference-form batch normalization with fresh parameters.
@@ -157,35 +204,56 @@ impl GraphBuilder {
             self.graph.set_param(var, t).expect("constant");
         }
         self.graph
-            .add(OpKind::BatchNorm { eps: 1e-5 }, &[x, gamma, beta, mean, var], name)
+            .add(
+                OpKind::BatchNorm { eps: 1e-5 },
+                &[x, gamma, beta, mean, var],
+                name,
+            )
             .expect("bn")
     }
 
     /// Elementwise activation.
     pub fn activation(&mut self, x: NodeId, act: Activation, name: &str) -> NodeId {
-        self.graph.add(OpKind::Activation(act), &[x], name).expect("activation")
+        self.graph
+            .add(OpKind::Activation(act), &[x], name)
+            .expect("activation")
     }
 
     /// Elementwise addition.
     pub fn add(&mut self, a: NodeId, b: NodeId, name: &str) -> NodeId {
-        self.graph.add(OpKind::Add, &[a, b], name).expect("add shapes match")
+        self.graph
+            .add(OpKind::Add, &[a, b], name)
+            .expect("add shapes match")
     }
 
     /// Max pooling.
     pub fn max_pool(&mut self, x: NodeId, window: usize, stride: usize, name: &str) -> NodeId {
         self.graph
-            .add(OpKind::Pool { kind: PoolKind::Max, window, stride, padding: 0 }, &[x], name)
+            .add(
+                OpKind::Pool {
+                    kind: PoolKind::Max,
+                    window,
+                    stride,
+                    padding: 0,
+                },
+                &[x],
+                name,
+            )
             .expect("pool")
     }
 
     /// Global average pooling.
     pub fn global_avg_pool(&mut self, x: NodeId, name: &str) -> NodeId {
-        self.graph.add(OpKind::GlobalAvgPool, &[x], name).expect("gap")
+        self.graph
+            .add(OpKind::GlobalAvgPool, &[x], name)
+            .expect("gap")
     }
 
     /// Flatten to `(N, features)`.
     pub fn flatten(&mut self, x: NodeId, name: &str) -> NodeId {
-        self.graph.add(OpKind::Flatten, &[x], name).expect("flatten")
+        self.graph
+            .add(OpKind::Flatten, &[x], name)
+            .expect("flatten")
     }
 
     /// Dense layer with a fresh `(units, in)` weight and bias.
@@ -194,7 +262,9 @@ impl GraphBuilder {
         let w = self.constant(&[units, in_f], &format!("{name}.weight"));
         let d = self.graph.add(OpKind::Dense, &[x, w], name).expect("dense");
         let b = self.constant(&[units], &format!("{name}.bias"));
-        self.graph.add(OpKind::BiasAdd, &[d, b], format!("{name}.bias_add")).expect("bias")
+        self.graph
+            .add(OpKind::BiasAdd, &[d, b], format!("{name}.bias_add"))
+            .expect("bias")
     }
 
     /// Dense layer without bias.
@@ -206,19 +276,39 @@ impl GraphBuilder {
 
     /// Channel-axis concatenation.
     pub fn concat(&mut self, inputs: &[NodeId], name: &str) -> NodeId {
-        self.graph.add(OpKind::Concat, inputs, name).expect("concat shapes agree")
+        self.graph
+            .add(OpKind::Concat, inputs, name)
+            .expect("concat shapes agree")
     }
 
     /// Average pooling with padding.
-    pub fn avg_pool(&mut self, x: NodeId, window: usize, stride: usize, padding: usize, name: &str) -> NodeId {
+    pub fn avg_pool(
+        &mut self,
+        x: NodeId,
+        window: usize,
+        stride: usize,
+        padding: usize,
+        name: &str,
+    ) -> NodeId {
         self.graph
-            .add(OpKind::Pool { kind: PoolKind::Avg, window, stride, padding }, &[x], name)
+            .add(
+                OpKind::Pool {
+                    kind: PoolKind::Avg,
+                    window,
+                    stride,
+                    padding,
+                },
+                &[x],
+                name,
+            )
             .expect("pool")
     }
 
     /// Softmax over the last dimension.
     pub fn softmax(&mut self, x: NodeId, name: &str) -> NodeId {
-        self.graph.add(OpKind::Softmax, &[x], name).expect("softmax")
+        self.graph
+            .add(OpKind::Softmax, &[x], name)
+            .expect("softmax")
     }
 
     /// Finalizes the graph with the given outputs.
@@ -243,7 +333,11 @@ mod tests {
         assert_eq!(g.node(o).shape.dims(), &[8, 4]);
         assert_eq!(g.outputs(), &[o]);
         // Dense weights and biases materialized.
-        let weights = g.nodes().iter().filter(|n| n.name.ends_with(".weight")).count();
+        let weights = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.ends_with(".weight"))
+            .count();
         assert_eq!(weights, 2);
     }
 

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = GraphError::Infer { node: "conv1".into(), reason: "rank".into() };
+        let e = GraphError::Infer {
+            node: "conv1".into(),
+            reason: "rank".into(),
+        };
         assert!(e.to_string().contains("conv1"));
     }
 }

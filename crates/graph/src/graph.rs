@@ -68,7 +68,12 @@ impl Graph {
     ///
     /// Returns [`GraphError::UnknownNode`] for dangling inputs and
     /// [`GraphError::Infer`] when shapes are inconsistent.
-    pub fn add(&mut self, kind: OpKind, inputs: &[NodeId], name: impl Into<String>) -> Result<NodeId> {
+    pub fn add(
+        &mut self,
+        kind: OpKind,
+        inputs: &[NodeId],
+        name: impl Into<String>,
+    ) -> Result<NodeId> {
         for &input in inputs {
             if input.0 >= self.nodes.len() {
                 return Err(GraphError::UnknownNode { id: input.0 });
@@ -77,7 +82,14 @@ impl Graph {
         let name = name.into();
         let (shape, dtype) = self.infer(&kind, inputs, &name)?;
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, kind, inputs: inputs.to_vec(), name, shape, dtype });
+        self.nodes.push(Node {
+            id,
+            kind,
+            inputs: inputs.to_vec(),
+            name,
+            shape,
+            dtype,
+        });
         Ok(id)
     }
 
@@ -220,8 +232,7 @@ impl Graph {
             if !live[node.id.0] {
                 continue;
             }
-            let new_inputs: Vec<NodeId> =
-                node.inputs.iter().map(|i| mapping[i]).collect();
+            let new_inputs: Vec<NodeId> = node.inputs.iter().map(|i| mapping[i]).collect();
             let new_id = out
                 .add(node.kind.clone(), &new_inputs, node.name.clone())
                 .expect("rebuilding a valid graph cannot fail");
@@ -235,7 +246,10 @@ impl Graph {
     }
 
     fn infer(&self, kind: &OpKind, inputs: &[NodeId], name: &str) -> Result<(Shape, DType)> {
-        let err = |reason: String| GraphError::Infer { node: name.to_string(), reason };
+        let err = |reason: String| GraphError::Infer {
+            node: name.to_string(),
+            reason,
+        };
         let shape_of = |id: NodeId| self.nodes[id.0].shape.clone();
         let dtype_of = |id: NodeId| self.nodes[id.0].dtype;
         let need = |n: usize| -> Result<()> {
@@ -260,7 +274,11 @@ impl Graph {
                 }
                 Ok((Shape::new(&[x.dim(0), w.dim(0)]), dtype_of(inputs[0])))
             }
-            OpKind::Conv2d { stride, padding, dilation } => {
+            OpKind::Conv2d {
+                stride,
+                padding,
+                dilation,
+            } => {
                 need(2)?;
                 let x = shape_of(inputs[0]);
                 let w = shape_of(inputs[1]);
@@ -276,11 +294,13 @@ impl Graph {
                 }
                 let (h, w_in) = (x.dim(2), x.dim(3));
                 let (r, s) = (w.dim(2), w.dim(3));
-                let p = (h + 2 * padding.0).checked_sub(dilation.0 * (r - 1) + 1)
+                let p = (h + 2 * padding.0)
+                    .checked_sub(dilation.0 * (r - 1) + 1)
                     .ok_or_else(|| err("filter larger than padded input".into()))?
                     / stride.0
                     + 1;
-                let q = (w_in + 2 * padding.1).checked_sub(dilation.1 * (s - 1) + 1)
+                let q = (w_in + 2 * padding.1)
+                    .checked_sub(dilation.1 * (s - 1) + 1)
                     .ok_or_else(|| err("filter larger than padded input".into()))?
                     / stride.1
                     + 1;
@@ -290,7 +310,11 @@ impl Graph {
                 need(2)?;
                 let x = shape_of(inputs[0]);
                 let b = shape_of(inputs[1]);
-                let channels = if x.rank() == 4 { x.dim(1) } else { x.dim(x.rank() - 1) };
+                let channels = if x.rank() == 4 {
+                    x.dim(1)
+                } else {
+                    x.dim(x.rank() - 1)
+                };
                 if b.rank() != 1 || b.dim(0) != channels {
                     return Err(err(format!("bias {b} vs channels {channels}")));
                 }
@@ -324,7 +348,12 @@ impl Graph {
                 }
                 Ok((x, dtype_of(inputs[0])))
             }
-            OpKind::Pool { window, stride, padding, .. } => {
+            OpKind::Pool {
+                window,
+                stride,
+                padding,
+                ..
+            } => {
                 need(1)?;
                 let x = shape_of(inputs[0]);
                 if x.rank() != 4 {
@@ -393,7 +422,11 @@ impl fmt::Display for Graph {
                 n.name
             )?;
         }
-        writeln!(f, "  outputs: {:?}", self.outputs.iter().map(|o| o.0).collect::<Vec<_>>())
+        writeln!(
+            f,
+            "  outputs: {:?}",
+            self.outputs.iter().map(|o| o.0).collect::<Vec<_>>()
+        )
     }
 }
 
@@ -403,11 +436,27 @@ mod tests {
     use bolt_tensor::Activation;
 
     fn input4(g: &mut Graph, dims: &[usize]) -> NodeId {
-        g.add(OpKind::Input { shape: Shape::new(dims), dtype: DType::F16 }, &[], "x").unwrap()
+        g.add(
+            OpKind::Input {
+                shape: Shape::new(dims),
+                dtype: DType::F16,
+            },
+            &[],
+            "x",
+        )
+        .unwrap()
     }
 
     fn constant(g: &mut Graph, dims: &[usize]) -> NodeId {
-        g.add(OpKind::Constant { shape: Shape::new(dims), dtype: DType::F16 }, &[], "w").unwrap()
+        g.add(
+            OpKind::Constant {
+                shape: Shape::new(dims),
+                dtype: DType::F16,
+            },
+            &[],
+            "w",
+        )
+        .unwrap()
     }
 
     #[test]
@@ -417,7 +466,11 @@ mod tests {
         let w = constant(&mut g, &[64, 3, 7, 7]);
         let c = g
             .add(
-                OpKind::Conv2d { stride: (2, 2), padding: (3, 3), dilation: (1, 1) },
+                OpKind::Conv2d {
+                    stride: (2, 2),
+                    padding: (3, 3),
+                    dilation: (1, 1),
+                },
                 &[x, w],
                 "conv1",
             )
@@ -429,7 +482,14 @@ mod tests {
     fn dense_shape_inference() {
         let mut g = Graph::new();
         let x = g
-            .add(OpKind::Input { shape: Shape::new(&[32, 512]), dtype: DType::F16 }, &[], "x")
+            .add(
+                OpKind::Input {
+                    shape: Shape::new(&[32, 512]),
+                    dtype: DType::F16,
+                },
+                &[],
+                "x",
+            )
             .unwrap();
         let w = constant(&mut g, &[1000, 512]);
         let d = g.add(OpKind::Dense, &[x, w], "fc").unwrap();
@@ -442,7 +502,11 @@ mod tests {
         let x = input4(&mut g, &[1, 3, 8, 8]);
         let w = constant(&mut g, &[8, 4, 3, 3]);
         let r = g.add(
-            OpKind::Conv2d { stride: (1, 1), padding: (1, 1), dilation: (1, 1) },
+            OpKind::Conv2d {
+                stride: (1, 1),
+                padding: (1, 1),
+                dilation: (1, 1),
+            },
             &[x, w],
             "bad",
         );
@@ -455,7 +519,12 @@ mod tests {
         let x = input4(&mut g, &[2, 8, 8, 8]);
         let p = g
             .add(
-                OpKind::Pool { kind: crate::op::PoolKind::Max, window: 2, stride: 2, padding: 0 },
+                OpKind::Pool {
+                    kind: crate::op::PoolKind::Max,
+                    window: 2,
+                    stride: 2,
+                    padding: 0,
+                },
                 &[x],
                 "pool",
             )
@@ -471,8 +540,12 @@ mod tests {
     fn consumers_and_single_consumer() {
         let mut g = Graph::new();
         let x = input4(&mut g, &[1, 2, 4, 4]);
-        let a = g.add(OpKind::Activation(Activation::ReLU), &[x], "r1").unwrap();
-        let b = g.add(OpKind::Activation(Activation::Gelu), &[x], "r2").unwrap();
+        let a = g
+            .add(OpKind::Activation(Activation::ReLU), &[x], "r1")
+            .unwrap();
+        let b = g
+            .add(OpKind::Activation(Activation::Gelu), &[x], "r2")
+            .unwrap();
         g.set_outputs(&[a, b]);
         assert_eq!(g.consumers(x).len(), 2);
         assert_eq!(g.single_consumer(x), None);
@@ -483,8 +556,12 @@ mod tests {
     fn replace_uses_and_dce() {
         let mut g = Graph::new();
         let x = input4(&mut g, &[1, 2, 4, 4]);
-        let dead = g.add(OpKind::Activation(Activation::Gelu), &[x], "dead").unwrap();
-        let live = g.add(OpKind::Activation(Activation::ReLU), &[dead], "live").unwrap();
+        let dead = g
+            .add(OpKind::Activation(Activation::Gelu), &[x], "dead")
+            .unwrap();
+        let live = g
+            .add(OpKind::Activation(Activation::ReLU), &[dead], "live")
+            .unwrap();
         g.set_outputs(&[live]);
         // Bypass `dead`.
         g.replace_uses(dead, x);
@@ -505,7 +582,9 @@ mod tests {
         let bad = Tensor::ones(&[3, 3], DType::F16);
         assert!(g.set_param(w, bad).is_err());
         let x = input4(&mut g, &[1, 1, 2, 2]);
-        assert!(g.set_param(x, Tensor::ones(&[1, 1, 2, 2], DType::F16)).is_err());
+        assert!(g
+            .set_param(x, Tensor::ones(&[1, 1, 2, 2], DType::F16))
+            .is_err());
     }
 
     #[test]

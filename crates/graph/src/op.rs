@@ -117,7 +117,9 @@ impl fmt::Display for OpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OpKind::Activation(a) => write!(f, "activation({a})"),
-            OpKind::Conv2d { stride, padding, .. } => {
+            OpKind::Conv2d {
+                stride, padding, ..
+            } => {
                 write!(f, "conv2d(stride={stride:?}, pad={padding:?})")
             }
             other => f.write_str(other.name()),
@@ -132,21 +134,32 @@ mod tests {
     #[test]
     fn anchors() {
         assert!(OpKind::Dense.is_anchor());
-        assert!(OpKind::Conv2d { stride: (1, 1), padding: (0, 0), dilation: (1, 1) }.is_anchor());
+        assert!(OpKind::Conv2d {
+            stride: (1, 1),
+            padding: (0, 0),
+            dilation: (1, 1)
+        }
+        .is_anchor());
         assert!(!OpKind::BiasAdd.is_anchor());
         assert!(!OpKind::Softmax.is_anchor());
     }
 
     #[test]
     fn data_ops() {
-        let input = OpKind::Input { shape: Shape::new(&[1, 3, 4, 4]), dtype: DType::F16 };
+        let input = OpKind::Input {
+            shape: Shape::new(&[1, 3, 4, 4]),
+            dtype: DType::F16,
+        };
         assert!(input.is_data());
         assert!(!OpKind::Add.is_data());
     }
 
     #[test]
     fn display() {
-        assert_eq!(OpKind::Activation(Activation::ReLU).to_string(), "activation(relu)");
+        assert_eq!(
+            OpKind::Activation(Activation::ReLU).to_string(),
+            "activation(relu)"
+        );
         assert_eq!(OpKind::Dense.to_string(), "dense");
     }
 }

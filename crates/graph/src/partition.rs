@@ -86,7 +86,10 @@ pub fn partition(graph: &Graph, supported: impl Fn(&Graph, NodeId) -> bool) -> P
         let rid = match producer_regions.as_slice() {
             [one] => *one,
             _ => {
-                regions.push(Region { id: regions.len(), nodes: Vec::new() });
+                regions.push(Region {
+                    id: regions.len(),
+                    nodes: Vec::new(),
+                });
                 regions.len() - 1
             }
         };
@@ -112,7 +115,11 @@ pub fn partition(graph: &Graph, supported: impl Fn(&Graph, NodeId) -> bool) -> P
     }
     fallback.sort_unstable();
 
-    PartitionedGraph { regions: kept, fallback, region_of }
+    PartitionedGraph {
+        regions: kept,
+        fallback,
+        region_of,
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +133,11 @@ mod tests {
     fn bolt_supported(graph: &Graph, id: NodeId) -> bool {
         matches!(
             graph.node(id).kind,
-            OpKind::Dense | OpKind::Conv2d { .. } | OpKind::BiasAdd | OpKind::Activation(_) | OpKind::Add
+            OpKind::Dense
+                | OpKind::Conv2d { .. }
+                | OpKind::BiasAdd
+                | OpKind::Activation(_)
+                | OpKind::Add
         )
     }
 

@@ -44,7 +44,9 @@ pub struct PassManager {
 impl std::fmt::Debug for PassManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
-        f.debug_struct("PassManager").field("passes", &names).finish()
+        f.debug_struct("PassManager")
+            .field("passes", &names)
+            .finish()
     }
 }
 
@@ -92,13 +94,18 @@ struct Rebuilder {
 
 impl Rebuilder {
     fn new() -> Self {
-        Rebuilder { new: Graph::new(), map: HashMap::new() }
+        Rebuilder {
+            new: Graph::new(),
+            map: HashMap::new(),
+        }
     }
 
     /// Copies `node` verbatim (with mapped inputs and params).
     fn emit_copy(&mut self, node: &Node, old: &Graph) -> Result<NodeId> {
         let inputs: Vec<NodeId> = node.inputs.iter().map(|i| self.map[i]).collect();
-        let id = self.new.add(node.kind.clone(), &inputs, node.name.clone())?;
+        let id = self
+            .new
+            .add(node.kind.clone(), &inputs, node.name.clone())?;
         if let Some(p) = old.param(node.id) {
             self.new.set_param(id, p.clone())?;
         }
@@ -114,9 +121,14 @@ impl Rebuilder {
         data: Option<Tensor>,
         name: String,
     ) -> Result<NodeId> {
-        let id = self
-            .new
-            .add(OpKind::Constant { shape: Shape::new(dims), dtype }, &[], name)?;
+        let id = self.new.add(
+            OpKind::Constant {
+                shape: Shape::new(dims),
+                dtype,
+            },
+            &[],
+            name,
+        )?;
         if let Some(t) = data {
             self.new.set_param(id, t)?;
         }
@@ -191,15 +203,15 @@ fn bn_scale_shift(graph: &Graph, bn_inputs: &[NodeId], eps: f32) -> Option<(Vec<
     Some((scale, shift))
 }
 
-fn try_fold_bn(
-    graph: &Graph,
-    bn: &Node,
-    eps: f32,
-    rb: &mut Rebuilder,
-) -> Result<Option<NodeId>> {
+fn try_fold_bn(graph: &Graph, bn: &Node, eps: f32, rb: &mut Rebuilder) -> Result<Option<NodeId>> {
     let conv_id = bn.inputs[0];
     let conv = graph.node(conv_id);
-    let OpKind::Conv2d { stride, padding, dilation } = conv.kind else {
+    let OpKind::Conv2d {
+        stride,
+        padding,
+        dilation,
+    } = conv.kind
+    else {
         return Ok(None);
     };
     // The conv must feed only this BN, or the rewrite would change other
@@ -234,14 +246,32 @@ fn try_fold_bn(
     let bias = Tensor::from_vec(&[k], bn.dtype, shift).map_err(GraphError::from)?;
 
     let x_new = rb.map[&conv.inputs[0]];
-    let w_new = rb.emit_constant(&dims, w_node.dtype, new_w, format!("{}.folded_weight", conv.name))?;
+    let w_new = rb.emit_constant(
+        &dims,
+        w_node.dtype,
+        new_w,
+        format!("{}.folded_weight", conv.name),
+    )?;
     let conv_new = rb.new.add(
-        OpKind::Conv2d { stride, padding, dilation },
+        OpKind::Conv2d {
+            stride,
+            padding,
+            dilation,
+        },
         &[x_new, w_new],
         format!("{}.folded", conv.name),
     )?;
-    let b_new = rb.emit_constant(&[k], bn.dtype, Some(bias), format!("{}.folded_bias", conv.name))?;
-    let out = rb.new.add(OpKind::BiasAdd, &[conv_new, b_new], format!("{}.bn_bias", conv.name))?;
+    let b_new = rb.emit_constant(
+        &[k],
+        bn.dtype,
+        Some(bias),
+        format!("{}.folded_bias", conv.name),
+    )?;
+    let out = rb.new.add(
+        OpKind::BiasAdd,
+        &[conv_new, b_new],
+        format!("{}.bn_bias", conv.name),
+    )?;
     Ok(Some(out))
 }
 
@@ -255,7 +285,11 @@ pub struct RepVggReparam;
 #[derive(Debug)]
 enum Branch {
     /// `BiasAdd(Conv2d(x, W), b)` or bare `Conv2d(x, W)`, kernel 1 or 3.
-    Conv { weight: NodeId, bias: Option<NodeId>, kernel: usize },
+    Conv {
+        weight: NodeId,
+        bias: Option<NodeId>,
+        kernel: usize,
+    },
     /// The source tensor itself (pure identity).
     Identity,
     /// `BatchNorm(x)` identity branch (unfolded BN directly on x).
@@ -303,22 +337,36 @@ fn classify_branch(graph: &Graph, id: NodeId, source: NodeId) -> Option<Branch> 
         }
         OpKind::BiasAdd => {
             let conv = graph.node(node.inputs[0]);
-            if let OpKind::Conv2d { stride, padding, dilation } = conv.kind {
+            if let OpKind::Conv2d {
+                stride,
+                padding,
+                dilation,
+            } = conv.kind
+            {
                 if conv.inputs[0] != source || stride != (1, 1) || dilation != (1, 1) {
                     return None;
                 }
                 let w = graph.node(conv.inputs[1]);
                 let kernel = w.shape.dim(2);
-                let pad_ok = (kernel == 3 && padding == (1, 1)) || (kernel == 1 && padding == (0, 0));
+                let pad_ok =
+                    (kernel == 3 && padding == (1, 1)) || (kernel == 1 && padding == (0, 0));
                 if !pad_ok || w.shape.dim(2) != w.shape.dim(3) {
                     return None;
                 }
-                Some(Branch::Conv { weight: conv.inputs[1], bias: Some(node.inputs[1]), kernel })
+                Some(Branch::Conv {
+                    weight: conv.inputs[1],
+                    bias: Some(node.inputs[1]),
+                    kernel,
+                })
             } else {
                 None
             }
         }
-        OpKind::Conv2d { stride, padding, dilation } => {
+        OpKind::Conv2d {
+            stride,
+            padding,
+            dilation,
+        } => {
             if node.inputs[0] != source || *stride != (1, 1) || *dilation != (1, 1) {
                 return None;
             }
@@ -328,7 +376,11 @@ fn classify_branch(graph: &Graph, id: NodeId, source: NodeId) -> Option<Branch> 
             if !pad_ok {
                 return None;
             }
-            Some(Branch::Conv { weight: node.inputs[1], bias: None, kernel })
+            Some(Branch::Conv {
+                weight: node.inputs[1],
+                bias: None,
+                kernel,
+            })
         }
         _ => None,
     }
@@ -348,14 +400,24 @@ fn common_source(graph: &Graph, branches: &[NodeId]) -> Option<NodeId> {
     }
     // The source is the candidate every branch agrees on (identity branches
     // vote for themselves).
-    candidates.iter().find(|&&c| candidates.iter().all(|&x| x == c)
-            || branches.iter().zip(&candidates).all(|(&b, &s)| s == c || b == c)).copied()
+    candidates
+        .iter()
+        .find(|&&c| {
+            candidates.iter().all(|&x| x == c)
+                || branches
+                    .iter()
+                    .zip(&candidates)
+                    .all(|(&b, &s)| s == c || b == c)
+        })
+        .copied()
 }
 
 fn try_reparam(graph: &Graph, add: &Node, rb: &mut Rebuilder) -> Result<Option<NodeId>> {
     // Only the top Add of a branch tree is rewritten.
-    if graph.consumers(add.id).iter().any(|&c| graph.node(c).kind == OpKind::Add
-        && graph.consumers(add.id).len() == 1)
+    if graph
+        .consumers(add.id)
+        .iter()
+        .any(|&c| graph.node(c).kind == OpKind::Add && graph.consumers(add.id).len() == 1)
     {
         return Ok(None);
     }
@@ -367,8 +429,10 @@ fn try_reparam(graph: &Graph, add: &Node, rb: &mut Rebuilder) -> Result<Option<N
     let Some(source) = common_source(graph, &branch_ids) else {
         return Ok(None);
     };
-    let branches: Option<Vec<Branch>> =
-        branch_ids.iter().map(|&b| classify_branch(graph, b, source)).collect();
+    let branches: Option<Vec<Branch>> = branch_ids
+        .iter()
+        .map(|&b| classify_branch(graph, b, source))
+        .collect();
     let Some(branches) = branches else {
         return Ok(None);
     };
@@ -408,12 +472,25 @@ fn try_reparam(graph: &Graph, add: &Node, rb: &mut Rebuilder) -> Result<Option<N
         format!("{}.reparam_weight", add.name),
     )?;
     let conv = rb.new.add(
-        OpKind::Conv2d { stride: (1, 1), padding: (1, 1), dilation: (1, 1) },
+        OpKind::Conv2d {
+            stride: (1, 1),
+            padding: (1, 1),
+            dilation: (1, 1),
+        },
         &[x_new, w_new],
         format!("{}.reparam", add.name),
     )?;
-    let b_new = rb.emit_constant(&[k_out], dtype, b_data, format!("{}.reparam_bias", add.name))?;
-    let out = rb.new.add(OpKind::BiasAdd, &[conv, b_new], format!("{}.reparam_bias_add", add.name))?;
+    let b_new = rb.emit_constant(
+        &[k_out],
+        dtype,
+        b_data,
+        format!("{}.reparam_bias", add.name),
+    )?;
+    let out = rb.new.add(
+        OpKind::BiasAdd,
+        &[conv, b_new],
+        format!("{}.reparam_bias_add", add.name),
+    )?;
     Ok(Some(out))
 }
 
@@ -429,7 +506,11 @@ fn merge_branch_params(
 
     for branch in branches {
         match branch {
-            Branch::Conv { weight, bias, kernel } => {
+            Branch::Conv {
+                weight,
+                bias,
+                kernel,
+            } => {
                 let wt = graph.param(*weight)?;
                 match kernel {
                     3 => {
@@ -487,7 +568,10 @@ mod tests {
         let g = b.finish(&[r]);
         let folded = BatchNormFold.run(&g).unwrap();
         assert!(
-            !folded.nodes().iter().any(|n| matches!(n.kind, OpKind::BatchNorm { .. })),
+            !folded
+                .nodes()
+                .iter()
+                .any(|n| matches!(n.kind, OpKind::BatchNorm { .. })),
             "BN must be folded away:\n{folded}"
         );
         // The folded graph has a BiasAdd instead.
@@ -508,7 +592,10 @@ mod tests {
         let sum = b.add(bn, extra, "sum");
         let g = b.finish(&[sum]);
         let folded = BatchNormFold.run(&g).unwrap();
-        assert!(folded.nodes().iter().any(|n| matches!(n.kind, OpKind::BatchNorm { .. })));
+        assert!(folded
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::BatchNorm { .. })));
     }
 
     #[test]
@@ -532,7 +619,10 @@ mod tests {
             .iter()
             .filter(|n| matches!(n.kind, OpKind::Conv2d { .. }))
             .count();
-        assert_eq!(convs, 1, "three branches must merge into one conv:\n{deployed}");
+        assert_eq!(
+            convs, 1,
+            "three branches must merge into one conv:\n{deployed}"
+        );
         assert!(!deployed.nodes().iter().any(|n| n.kind == OpKind::Add));
         let out = deployed.outputs()[0];
         assert_eq!(deployed.node(out).shape.dims(), &[1, 8, 8, 8]);
@@ -558,11 +648,12 @@ mod tests {
             .expect("merged weight");
         let mw = rewritten.param(merged.id).unwrap();
         // Center tap of (k=1, c=1) got +1.
-        let idx = (1 * 4 + 1) * 9 + 4;
+        let (k, c) = (1, 1);
+        let idx = (k * 4 + c) * 9 + 4;
         let expect = orig_w.data()[idx] + 1.0;
         assert!((mw.data()[idx] - expect).abs() < 1e-4);
         // Off-center (k=1,c=0) unchanged.
-        let idx2 = (1 * 4) * 9 + 4;
+        let idx2 = (k * 4) * 9 + 4;
         assert!((mw.data()[idx2] - orig_w.data()[idx2]).abs() < 1e-6);
     }
 

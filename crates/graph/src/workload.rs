@@ -63,7 +63,16 @@ impl Workload {
     /// Converts a conv workload into the kernel library's problem type.
     pub fn to_conv_problem(&self) -> Option<Conv2dProblem> {
         match *self {
-            Workload::Conv2d { n, h, w, c, k, kernel, stride, padding } => Some(Conv2dProblem {
+            Workload::Conv2d {
+                n,
+                h,
+                w,
+                c,
+                k,
+                kernel,
+                stride,
+                padding,
+            } => Some(Conv2dProblem {
                 n,
                 h,
                 w,
@@ -96,9 +105,15 @@ pub fn node_workload(graph: &Graph, id: NodeId) -> Option<Workload> {
         OpKind::Dense => {
             let x = &graph.node(node.inputs[0]).shape;
             let w = &graph.node(node.inputs[1]).shape;
-            Some(Workload::Gemm { m: x.dim(0), n: w.dim(0), k: w.dim(1) })
+            Some(Workload::Gemm {
+                m: x.dim(0),
+                n: w.dim(0),
+                k: w.dim(1),
+            })
         }
-        OpKind::Conv2d { stride, padding, .. } => {
+        OpKind::Conv2d {
+            stride, padding, ..
+        } => {
             let x = &graph.node(node.inputs[0]).shape;
             let w = &graph.node(node.inputs[1]).shape;
             Some(Workload::Conv2d {
@@ -153,7 +168,17 @@ mod tests {
         let d = b.dense_bias(x, 1000, "fc");
         let g = b.finish(&[d]);
         let ws = extract_workloads(&g);
-        assert_eq!(ws, vec![(Workload::Gemm { m: 32, n: 1000, k: 512 }, 1)]);
+        assert_eq!(
+            ws,
+            vec![(
+                Workload::Gemm {
+                    m: 32,
+                    n: 1000,
+                    k: 512
+                },
+                1
+            )]
+        );
     }
 
     #[test]

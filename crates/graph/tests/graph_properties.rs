@@ -22,7 +22,10 @@ enum BuildStep {
 
 fn build_steps() -> impl Strategy<Value = Vec<BuildStep>> {
     let step = prop_oneof![
-        (0usize..4, any::<bool>()).prop_map(|(o, s)| BuildStep::Conv { out_ch_idx: o, stride1: s }),
+        (0usize..4, any::<bool>()).prop_map(|(o, s)| BuildStep::Conv {
+            out_ch_idx: o,
+            stride1: s
+        }),
         (0usize..4).prop_map(BuildStep::Act),
         (0usize..8).prop_map(BuildStep::AddWithEarlier),
         Just(BuildStep::Pool),
@@ -32,8 +35,12 @@ fn build_steps() -> impl Strategy<Value = Vec<BuildStep>> {
 }
 
 const CHANNELS: [usize; 4] = [4, 8, 12, 16];
-const ACTS: [Activation; 4] =
-    [Activation::ReLU, Activation::Gelu, Activation::Hardswish, Activation::Softplus];
+const ACTS: [Activation; 4] = [
+    Activation::ReLU,
+    Activation::Gelu,
+    Activation::Hardswish,
+    Activation::Softplus,
+];
 
 /// Materializes the instruction stream into a graph, tracking rank-4
 /// values so every reference is valid by construction.
@@ -44,12 +51,22 @@ fn build(steps: &[BuildStep]) -> Graph {
     let mut cur = x;
     for (i, step) in steps.iter().enumerate() {
         cur = match *step {
-            BuildStep::Conv { out_ch_idx, stride1 } => {
+            BuildStep::Conv {
+                out_ch_idx,
+                stride1,
+            } => {
                 let stride = if stride1 { (1, 1) } else { (2, 2) };
                 // Guard: don't stride below 4x4 spatial.
                 let shape = b.graph().node(cur).shape.clone();
                 let stride = if shape.dim(2) < 8 { (1, 1) } else { stride };
-                b.conv2d_bias(cur, CHANNELS[out_ch_idx], 3, stride, (1, 1), &format!("conv{i}"))
+                b.conv2d_bias(
+                    cur,
+                    CHANNELS[out_ch_idx],
+                    3,
+                    stride,
+                    (1, 1),
+                    &format!("conv{i}"),
+                )
             }
             BuildStep::Act(a) => b.activation(cur, ACTS[a], &format!("act{i}")),
             BuildStep::AddWithEarlier(pick) => {

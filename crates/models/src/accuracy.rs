@@ -35,11 +35,20 @@ pub struct TrainRecipe {
 
 impl TrainRecipe {
     /// Table 4's recipe: 120 epochs, simple augmentation.
-    pub const TABLE4: TrainRecipe = TrainRecipe { epochs: 120, advanced_augmentation: false };
+    pub const TABLE4: TrainRecipe = TrainRecipe {
+        epochs: 120,
+        advanced_augmentation: false,
+    };
     /// Table 5's recipe: 200 epochs, simple augmentation.
-    pub const TABLE5: TrainRecipe = TrainRecipe { epochs: 200, advanced_augmentation: false };
+    pub const TABLE5: TrainRecipe = TrainRecipe {
+        epochs: 200,
+        advanced_augmentation: false,
+    };
     /// Table 6's recipe: 300 epochs, advanced augmentation.
-    pub const TABLE6: TrainRecipe = TrainRecipe { epochs: 300, advanced_augmentation: true };
+    pub const TABLE6: TrainRecipe = TrainRecipe {
+        epochs: 300,
+        advanced_augmentation: true,
+    };
 }
 
 /// The calibrated accuracy model.
@@ -140,9 +149,15 @@ mod tests {
             (Activation::Softplus, 72.57),
         ];
         for (act, expect) in paper {
-            let s = RepVggSpec { activation: act, ..spec(RepVggVariant::A0) };
+            let s = RepVggSpec {
+                activation: act,
+                ..spec(RepVggVariant::A0)
+            };
             let got = model().top1(&s, TrainRecipe::TABLE4);
-            assert!((got - expect).abs() < 0.3, "{act}: {got:.2} vs paper {expect}");
+            assert!(
+                (got - expect).abs() < 0.3,
+                "{act}: {got:.2} vs paper {expect}"
+            );
         }
     }
 
@@ -153,13 +168,26 @@ mod tests {
             (spec(RepVggVariant::A0), 73.05),
             (spec(RepVggVariant::A1), 74.75),
             (spec(RepVggVariant::B0), 75.28),
-            (RepVggSpec::augmented(RepVggVariant::A0, Activation::ReLU), 73.87),
-            (RepVggSpec::augmented(RepVggVariant::A1, Activation::ReLU), 75.52),
-            (RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU), 76.02),
+            (
+                RepVggSpec::augmented(RepVggVariant::A0, Activation::ReLU),
+                73.87,
+            ),
+            (
+                RepVggSpec::augmented(RepVggVariant::A1, Activation::ReLU),
+                75.52,
+            ),
+            (
+                RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU),
+                76.02,
+            ),
         ];
         for (s, expect) in rows {
             let got = model().top1(&s, TrainRecipe::TABLE5);
-            assert!((got - expect).abs() < 0.35, "{}: {got:.2} vs paper {expect}", s.name());
+            assert!(
+                (got - expect).abs() < 0.35,
+                "{}: {got:.2} vs paper {expect}",
+                s.name()
+            );
         }
     }
 
@@ -167,18 +195,34 @@ mod tests {
     fn table6_combined_within_tolerance() {
         // Paper: Aug-A0 74.54, Aug-A1 76.72, Aug-B0 77.22 (Hardswish).
         let rows = [
-            (RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish), 74.54),
-            (RepVggSpec::augmented(RepVggVariant::A1, Activation::Hardswish), 76.72),
-            (RepVggSpec::augmented(RepVggVariant::B0, Activation::Hardswish), 77.22),
+            (
+                RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish),
+                74.54,
+            ),
+            (
+                RepVggSpec::augmented(RepVggVariant::A1, Activation::Hardswish),
+                76.72,
+            ),
+            (
+                RepVggSpec::augmented(RepVggVariant::B0, Activation::Hardswish),
+                77.22,
+            ),
         ];
         for (s, expect) in rows {
             let got = model().top1(&s, TrainRecipe::TABLE6);
-            assert!((got - expect).abs() < 0.35, "{}: {got:.2} vs paper {expect}", s.name());
+            assert!(
+                (got - expect).abs() < 0.35,
+                "{}: {got:.2} vs paper {expect}",
+                s.name()
+            );
         }
         // A0 in Table 6 was trained with the simple recipe for 300 epochs.
         let a0 = model().top1(
             &spec(RepVggVariant::A0),
-            TrainRecipe { epochs: 300, advanced_augmentation: false },
+            TrainRecipe {
+                epochs: 300,
+                advanced_augmentation: false,
+            },
         );
         assert!((a0 - 73.41).abs() < 0.2, "{a0:.2} vs 73.41");
     }

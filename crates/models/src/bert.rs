@@ -32,7 +32,10 @@ pub fn gemm_workloads() -> Vec<(&'static str, GemmProblem)> {
         ("square-2048", GemmProblem::fp16(2048, 2048, 2048)),
         ("bert-ffn1", GemmProblem::fp16(m, FFN, HIDDEN)),
         ("bert-ffn2", GemmProblem::fp16(m, HIDDEN, FFN)),
-        ("bert-attn-scores", GemmProblem::fp16_batched(BATCH * 12, SEQ, SEQ, HIDDEN / 12)),
+        (
+            "bert-attn-scores",
+            GemmProblem::fp16_batched(BATCH * 12, SEQ, SEQ, HIDDEN / 12),
+        ),
     ]
 }
 
@@ -40,9 +43,18 @@ pub fn gemm_workloads() -> Vec<(&'static str, GemmProblem)> {
 /// tuner's strided-batched workload (per-batch tiles, batch in the grid).
 pub fn tuner_workload(problem: &GemmProblem) -> Workload {
     if problem.batch > 1 {
-        Workload::BatchedGemm { batch: problem.batch, m: problem.m, n: problem.n, k: problem.k }
+        Workload::BatchedGemm {
+            batch: problem.batch,
+            m: problem.m,
+            n: problem.n,
+            k: problem.k,
+        }
     } else {
-        Workload::Gemm { m: problem.m, n: problem.n, k: problem.k }
+        Workload::Gemm {
+            m: problem.m,
+            n: problem.n,
+            k: problem.k,
+        }
     }
 }
 
@@ -66,7 +78,10 @@ mod tests {
         let ws = gemm_workloads();
         assert_eq!(ws.len(), 5, "two squares + three BERT GEMMs");
         // Exactly one memory-bound (low arithmetic intensity) workload.
-        let low_ai = ws.iter().filter(|(_, p)| p.arithmetic_intensity() < 40.0).count();
+        let low_ai = ws
+            .iter()
+            .filter(|(_, p)| p.arithmetic_intensity() < 40.0)
+            .count();
         assert_eq!(low_ai, 1);
         // The squares are the most compute-intensive.
         let (_, sq) = ws[0];

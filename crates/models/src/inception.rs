@@ -33,7 +33,15 @@ fn inception_a(b: &mut GraphBuilder, x: NodeId, pool_ch: usize, name: &str) -> N
     let b3 = conv(b, b3, 96, (3, 3), (1, 1), (1, 1), &format!("{name}.b3b"));
     let b3 = conv(b, b3, 96, (3, 3), (1, 1), (1, 1), &format!("{name}.b3c"));
     let bp = b.avg_pool(x, 3, 1, 1, &format!("{name}.pool"));
-    let bp = conv(b, bp, pool_ch, (1, 1), (1, 1), (0, 0), &format!("{name}.bp"));
+    let bp = conv(
+        b,
+        bp,
+        pool_ch,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+        &format!("{name}.bp"),
+    );
     b.concat(&[b1, b5, b3, bp], &format!("{name}.concat"))
 }
 
@@ -145,10 +153,18 @@ mod tests {
     fn mixed_blocks_concatenate_channels() {
         let g = inception_v3(1);
         // mixed5b output: 64 + 64 + 96 + 32 = 256 channels at 35x35.
-        let mixed5b = g.nodes().iter().find(|n| n.name == "mixed5b.concat").unwrap();
+        let mixed5b = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "mixed5b.concat")
+            .unwrap();
         assert_eq!(mixed5b.shape.dims(), &[1, 256, 35, 35]);
         // mixed7c output: 320+384+384+384+384+192 = 2048 channels at 8x8.
-        let mixed7c = g.nodes().iter().find(|n| n.name == "mixed7c.concat").unwrap();
+        let mixed7c = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "mixed7c.concat")
+            .unwrap();
         assert_eq!(mixed7c.shape.dims(), &[1, 2048, 8, 8]);
     }
 

@@ -11,9 +11,18 @@ use bolt_tensor::{Activation, DType};
 pub fn table1_gemm_pairs() -> Vec<(GemmProblem, GemmProblem)> {
     vec![
         (GemmProblem::fp16(2464, 1, 4), GemmProblem::fp16(2464, 4, 1)),
-        (GemmProblem::fp16(16384, 64, 256), GemmProblem::fp16(16384, 16, 64)),
-        (GemmProblem::fp16(32768, 128, 576), GemmProblem::fp16(32768, 64, 128)),
-        (GemmProblem::fp16(128320, 32, 96), GemmProblem::fp16(128320, 96, 32)),
+        (
+            GemmProblem::fp16(16384, 64, 256),
+            GemmProblem::fp16(16384, 16, 64),
+        ),
+        (
+            GemmProblem::fp16(32768, 128, 576),
+            GemmProblem::fp16(32768, 64, 128),
+        ),
+        (
+            GemmProblem::fp16(128320, 32, 96),
+            GemmProblem::fp16(128320, 96, 32),
+        ),
     ]
 }
 

@@ -86,12 +86,20 @@ pub struct RepVggSpec {
 impl RepVggSpec {
     /// The original RepVGG model.
     pub fn original(variant: RepVggVariant) -> Self {
-        RepVggSpec { variant, activation: Activation::ReLU, augment_1x1: false }
+        RepVggSpec {
+            variant,
+            activation: Activation::ReLU,
+            augment_1x1: false,
+        }
     }
 
     /// The augmented ("RepVGGAug") model with extra 1×1 convs.
     pub fn augmented(variant: RepVggVariant, activation: Activation) -> Self {
-        RepVggSpec { variant, activation, augment_1x1: true }
+        RepVggSpec {
+            variant,
+            activation,
+            augment_1x1: true,
+        }
     }
 
     /// Display name (`RepVGG-A0`, `RepVGGAug-A0`, ...).
@@ -120,7 +128,14 @@ impl RepVggSpec {
             for block in 0..count {
                 let stride = if block == 0 { 2 } else { 1 };
                 let name = format!("s{stage}b{block}");
-                x = b.conv2d_bias(x, width, 3, (stride, stride), (1, 1), &format!("{name}.conv3"));
+                x = b.conv2d_bias(
+                    x,
+                    width,
+                    3,
+                    (stride, stride),
+                    (1, 1),
+                    &format!("{name}.conv3"),
+                );
                 x = b.activation(x, self.activation, &format!("{name}.act"));
                 // The paper adds 1x1 convs after each 3x3 "except for the
                 // last one which has too many output channels".
@@ -182,8 +197,7 @@ mod tests {
             .count();
         assert_eq!(convs, 22); // 1+2+4+14+1
 
-        let aug = RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish)
-            .deploy_graph(32);
+        let aug = RepVggSpec::augmented(RepVggVariant::A0, Activation::Hardswish).deploy_graph(32);
         let convs_aug = aug
             .nodes()
             .iter()
@@ -209,8 +223,14 @@ mod tests {
             .iter()
             .filter(|n| matches!(n.kind, OpKind::Conv2d { .. }))
             .count();
-        assert_eq!(convs, 2, "each block must collapse to one conv:\n{deployed}");
-        assert!(!deployed.nodes().iter().any(|n| matches!(n.kind, OpKind::BatchNorm { .. })));
+        assert_eq!(
+            convs, 2,
+            "each block must collapse to one conv:\n{deployed}"
+        );
+        assert!(!deployed
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::BatchNorm { .. })));
     }
 
     #[test]

@@ -13,11 +13,25 @@ fn basic_block(
     stride: usize,
     name: &str,
 ) -> NodeId {
-    let c1 = b.conv2d_bias(x, channels, 3, (stride, stride), (1, 1), &format!("{name}.conv1"));
+    let c1 = b.conv2d_bias(
+        x,
+        channels,
+        3,
+        (stride, stride),
+        (1, 1),
+        &format!("{name}.conv1"),
+    );
     let r1 = b.activation(c1, Activation::ReLU, &format!("{name}.relu1"));
     let c2 = b.conv2d_bias(r1, channels, 3, (1, 1), (1, 1), &format!("{name}.conv2"));
     let shortcut = if stride != 1 || channels != channel_count(b, x) {
-        b.conv2d_bias(x, channels, 1, (stride, stride), (0, 0), &format!("{name}.downsample"))
+        b.conv2d_bias(
+            x,
+            channels,
+            1,
+            (stride, stride),
+            (0, 0),
+            &format!("{name}.downsample"),
+        )
     } else {
         x
     };
@@ -25,21 +39,29 @@ fn basic_block(
     b.activation(sum, Activation::ReLU, &format!("{name}.relu2"))
 }
 
-fn bottleneck(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    width: usize,
-    stride: usize,
-    name: &str,
-) -> NodeId {
+fn bottleneck(b: &mut GraphBuilder, x: NodeId, width: usize, stride: usize, name: &str) -> NodeId {
     let out_ch = width * 4;
     let c1 = b.conv2d_bias(x, width, 1, (1, 1), (0, 0), &format!("{name}.conv1"));
     let r1 = b.activation(c1, Activation::ReLU, &format!("{name}.relu1"));
-    let c2 = b.conv2d_bias(r1, width, 3, (stride, stride), (1, 1), &format!("{name}.conv2"));
+    let c2 = b.conv2d_bias(
+        r1,
+        width,
+        3,
+        (stride, stride),
+        (1, 1),
+        &format!("{name}.conv2"),
+    );
     let r2 = b.activation(c2, Activation::ReLU, &format!("{name}.relu2"));
     let c3 = b.conv2d_bias(r2, out_ch, 1, (1, 1), (0, 0), &format!("{name}.conv3"));
     let shortcut = if stride != 1 || out_ch != channel_count(b, x) {
-        b.conv2d_bias(x, out_ch, 1, (stride, stride), (0, 0), &format!("{name}.downsample"))
+        b.conv2d_bias(
+            x,
+            out_ch,
+            1,
+            (stride, stride),
+            (0, 0),
+            &format!("{name}.downsample"),
+        )
     } else {
         x
     };

@@ -9,8 +9,12 @@ use bolt_tensor::{Activation, DType};
 fn plan(depth: usize) -> &'static [usize] {
     match depth {
         11 => &[64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
-        13 => &[64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0],
-        16 => &[64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0],
+        13 => &[
+            64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0,
+        ],
+        16 => &[
+            64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
+        ],
         19 => &[
             64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512, 512,
             512, 0,
@@ -60,8 +64,11 @@ mod tests {
             .filter(|n| matches!(n.kind, bolt_graph::OpKind::Conv2d { .. }))
             .count();
         assert_eq!(convs, 13);
-        let denses =
-            g.nodes().iter().filter(|n| n.kind == bolt_graph::OpKind::Dense).count();
+        let denses = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == bolt_graph::OpKind::Dense)
+            .count();
         assert_eq!(denses, 3);
         // Final classifier shape.
         let out = g.outputs()[0];

@@ -9,8 +9,14 @@ use crate::resnet::resnet;
 use crate::vgg::vgg;
 
 /// The six widely-used CNNs of the end-to-end evaluation (Figure 10).
-pub const FIGURE10_MODELS: [&str; 6] =
-    ["vgg-16", "vgg-19", "resnet-18", "resnet-50", "repvgg-a0", "repvgg-b0"];
+pub const FIGURE10_MODELS: [&str; 6] = [
+    "vgg-16",
+    "vgg-19",
+    "resnet-18",
+    "resnet-50",
+    "repvgg-a0",
+    "repvgg-b0",
+];
 
 /// Metadata for a zoo model.
 #[derive(Debug, Clone)]
@@ -66,7 +72,12 @@ pub fn model_by_name(name: &str, batch: usize) -> ModelInfo {
             _ => None,
         })
         .sum();
-    ModelInfo { name: name.to_string(), graph, batch, params_m: params as f64 / 1e6 }
+    ModelInfo {
+        name: name.to_string(),
+        graph,
+        batch,
+        params_m: params as f64 / 1e6,
+    }
 }
 
 #[cfg(test)]

@@ -155,7 +155,7 @@ mod tests {
         let large = Activation::Softplus.apply(100.0);
         assert!((large - 100.0).abs() < 1e-4);
         let small = Activation::Softplus.apply(-100.0);
-        assert!(small >= 0.0 && small < 1e-4);
+        assert!((0.0..1e-4).contains(&small));
         assert!((Activation::Softplus.apply(0.0) - 2f32.ln()).abs() < 1e-6);
     }
 

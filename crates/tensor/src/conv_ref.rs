@@ -52,21 +52,30 @@ impl Conv2dProblem {
         stride: (usize, usize),
         padding: (usize, usize),
     ) -> Self {
-        Conv2dProblem { n, h, w, c, k, r, s, stride, padding, dilation: (1, 1) }
+        Conv2dProblem {
+            n,
+            h,
+            w,
+            c,
+            k,
+            r,
+            s,
+            stride,
+            padding,
+            dilation: (1, 1),
+        }
     }
 
     /// Output height.
     pub fn out_h(&self) -> usize {
-        (self.h + 2 * self.padding.0)
-            .saturating_sub(self.dilation.0 * (self.r - 1) + 1)
+        (self.h + 2 * self.padding.0).saturating_sub(self.dilation.0 * (self.r - 1) + 1)
             / self.stride.0
             + 1
     }
 
     /// Output width.
     pub fn out_w(&self) -> usize {
-        (self.w + 2 * self.padding.1)
-            .saturating_sub(self.dilation.1 * (self.s - 1) + 1)
+        (self.w + 2 * self.padding.1).saturating_sub(self.dilation.1 * (self.s - 1) + 1)
             / self.stride.1
             + 1
     }
@@ -74,7 +83,11 @@ impl Conv2dProblem {
     /// The implicit-GEMM problem size `(M, N, K)` of this convolution:
     /// `M = N*P*Q`, `N = K`, `K = R*S*C`.
     pub fn implicit_gemm_mnk(&self) -> (usize, usize, usize) {
-        (self.n * self.out_h() * self.out_w(), self.k, self.r * self.s * self.c)
+        (
+            self.n * self.out_h() * self.out_w(),
+            self.k,
+            self.r * self.s * self.c,
+        )
     }
 
     /// Multiply-accumulate count of the whole convolution.
@@ -241,7 +254,11 @@ fn validate_conv_args(
     validate_filter(problem, filter)?;
     if let Some(b) = bias {
         if b.shape().rank() != 1 || b.shape().dim(0) != problem.k {
-            return Err(TensorError::shape("conv2d bias", &[problem.k], b.shape().dims()));
+            return Err(TensorError::shape(
+                "conv2d bias",
+                &[problem.k],
+                b.shape().dims(),
+            ));
         }
     }
     Ok(())
@@ -256,7 +273,11 @@ fn validate_input(problem: &Conv2dProblem, input: &Tensor) -> Result<()> {
     }
     let expect = [problem.n, problem.h, problem.w, problem.c];
     if input.shape().dims() != expect {
-        return Err(TensorError::shape("conv2d input", &expect, input.shape().dims()));
+        return Err(TensorError::shape(
+            "conv2d input",
+            &expect,
+            input.shape().dims(),
+        ));
     }
     Ok(())
 }
@@ -264,7 +285,11 @@ fn validate_input(problem: &Conv2dProblem, input: &Tensor) -> Result<()> {
 fn validate_filter(problem: &Conv2dProblem, filter: &Tensor) -> Result<()> {
     let expect = [problem.k, problem.r, problem.s, problem.c];
     if filter.shape().dims() != expect {
-        return Err(TensorError::shape("conv2d filter (KRSC)", &expect, filter.shape().dims()));
+        return Err(TensorError::shape(
+            "conv2d filter (KRSC)",
+            &expect,
+            filter.shape().dims(),
+        ));
     }
     Ok(())
 }

@@ -79,7 +79,10 @@ impl DType {
 
     /// True for floating-point types.
     pub const fn is_float(self) -> bool {
-        matches!(self, DType::F16 | DType::Bf16 | DType::Tf32 | DType::F32 | DType::F64)
+        matches!(
+            self,
+            DType::F16 | DType::Bf16 | DType::Tf32 | DType::F32 | DType::F64
+        )
     }
 
     /// True for types natively consumed by tensor cores (Turing/Ampere).

@@ -38,7 +38,9 @@ pub enum TensorError {
 impl TensorError {
     /// Convenience constructor for [`TensorError::InvalidArgument`].
     pub fn invalid(message: impl Into<String>) -> Self {
-        TensorError::InvalidArgument { message: message.into() }
+        TensorError::InvalidArgument {
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`TensorError::ShapeMismatch`].
@@ -54,8 +56,15 @@ impl TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeMismatch { context, expected, actual } => {
-                write!(f, "shape mismatch in {context}: expected {expected:?}, got {actual:?}")
+            TensorError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected:?}, got {actual:?}"
+                )
             }
             TensorError::UnsupportedDType { context, dtype } => {
                 write!(f, "unsupported dtype {dtype} in {context}")

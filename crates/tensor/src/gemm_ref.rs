@@ -24,7 +24,13 @@ use crate::Result;
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
-pub fn gemm_f32(a: &Tensor, b: &Tensor, c: Option<&Tensor>, alpha: f32, beta: f32) -> Result<Tensor> {
+pub fn gemm_f32(
+    a: &Tensor,
+    b: &Tensor,
+    c: Option<&Tensor>,
+    alpha: f32,
+    beta: f32,
+) -> Result<Tensor> {
     gemm_with_epilogue(a, b, c, alpha, beta, Activation::Identity, a.dtype())
 }
 
@@ -48,7 +54,11 @@ pub fn gemm_with_epilogue(
     let (m, k) = matrix_dims(a, "gemm A")?;
     let (kb, n) = matrix_dims(b, "gemm B")?;
     if k != kb {
-        return Err(TensorError::shape("gemm inner dimension", &[m, k], &[kb, n]));
+        return Err(TensorError::shape(
+            "gemm inner dimension",
+            &[m, k],
+            &[kb, n],
+        ));
     }
     if let Some(c) = c {
         validate_c(c, m, n)?;
@@ -89,7 +99,11 @@ pub fn gemm_mixed(
     let (m, k) = matrix_dims(a, "gemm A")?;
     let (kb, n) = matrix_dims(b, "gemm B")?;
     if k != kb {
-        return Err(TensorError::shape("gemm inner dimension", &[m, k], &[kb, n]));
+        return Err(TensorError::shape(
+            "gemm inner dimension",
+            &[m, k],
+            &[kb, n],
+        ));
     }
     if let Some(c) = c {
         validate_c(c, m, n)?;
@@ -210,8 +224,16 @@ mod tests {
         let a = Tensor::ones(&[2, 2], DType::F32);
         let b = Tensor::ones(&[2, 2], DType::F32);
         let bias = Tensor::from_vec(&[2], DType::F32, vec![1.0, -1.0]).unwrap();
-        let d = gemm_with_epilogue(&a, &b, Some(&bias), 1.0, 1.0, Activation::Identity, DType::F32)
-            .unwrap();
+        let d = gemm_with_epilogue(
+            &a,
+            &b,
+            Some(&bias),
+            1.0,
+            1.0,
+            Activation::Identity,
+            DType::F32,
+        )
+        .unwrap();
         assert_eq!(d.get2(0, 0), 3.0);
         assert_eq!(d.get2(0, 1), 1.0);
         assert_eq!(d.get2(1, 0), 3.0);
@@ -240,7 +262,10 @@ mod tests {
         let a = Tensor::randn(&[4, 6], DType::F32, 1);
         let b = Tensor::randn(&[6, 5], DType::F32, 2);
         let d_rr = gemm_f32(&a, &b, None, 1.0, 0.0).unwrap();
-        let a_col = a.clone().with_matrix_layout(MatrixLayout::ColMajor).unwrap();
+        let a_col = a
+            .clone()
+            .with_matrix_layout(MatrixLayout::ColMajor)
+            .unwrap();
         let d_cr = gemm_f32(&a_col, &b, None, 1.0, 0.0).unwrap();
         assert!(d_rr.allclose(&d_cr, 1e-5).unwrap());
     }
@@ -248,7 +273,7 @@ mod tests {
     #[test]
     fn mixed_precision_tf32_differs_from_f32() {
         let a = Tensor::from_vec(&[1, 1], DType::Tf32, vec![1.0 + 2f32.powi(-12)]).unwrap();
-        let b = Tensor::ones(&[1, 1], DType::Tf32, );
+        let b = Tensor::ones(&[1, 1], DType::Tf32);
         // Tensor stores f32 verbatim for Tf32? quantize on store rounds it.
         let exact = gemm_mixed(&a, &b, None, 1.0, 0.0, Activation::Identity, DType::F32).unwrap();
         assert_eq!(exact.get2(0, 0), 1.0);
@@ -260,11 +285,22 @@ mod tests {
         let w0 = Tensor::randn(&[4, 6], DType::F16, 2);
         let w1 = Tensor::randn(&[6, 3], DType::F16, 3);
         let fused = b2b_gemm_ref(
-            &a, &w0, None, 1.0, 0.0, Activation::ReLU, &w1, None, 1.0, 0.0, Activation::ReLU,
+            &a,
+            &w0,
+            None,
+            1.0,
+            0.0,
+            Activation::ReLU,
+            &w1,
+            None,
+            1.0,
+            0.0,
+            Activation::ReLU,
         )
         .unwrap();
         let d0 = gemm_with_epilogue(&a, &w0, None, 1.0, 0.0, Activation::ReLU, DType::F16).unwrap();
-        let d1 = gemm_with_epilogue(&d0, &w1, None, 1.0, 0.0, Activation::ReLU, DType::F16).unwrap();
+        let d1 =
+            gemm_with_epilogue(&d0, &w1, None, 1.0, 0.0, Activation::ReLU, DType::F16).unwrap();
         assert_eq!(fused, d1);
     }
 }

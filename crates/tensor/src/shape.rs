@@ -19,7 +19,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimensions.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// A rank-0 (scalar) shape.
@@ -75,7 +77,9 @@ impl From<Vec<usize>> for Shape {
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 }
 

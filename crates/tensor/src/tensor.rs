@@ -29,7 +29,12 @@ impl Tensor {
     pub fn zeros(dims: &[usize], dtype: DType) -> Self {
         let shape = Shape::new(dims);
         let layout = default_layout(&shape);
-        Tensor { dtype, data: vec![0.0; shape.numel()], shape, layout }
+        Tensor {
+            dtype,
+            data: vec![0.0; shape.numel()],
+            shape,
+            layout,
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -53,7 +58,12 @@ impl Tensor {
         let shape = Shape::new(dims);
         let layout = default_layout(&shape);
         let v = dtype.quantize(value);
-        Tensor { dtype, data: vec![v; shape.numel()], shape, layout }
+        Tensor {
+            dtype,
+            data: vec![v; shape.numel()],
+            shape,
+            layout,
+        }
     }
 
     /// Creates a tensor with standard-normal entries from a deterministic
@@ -72,7 +82,12 @@ impl Tensor {
                 dtype.quantize(z * 0.5)
             })
             .collect();
-        Tensor { dtype, shape, layout, data }
+        Tensor {
+            dtype,
+            shape,
+            layout,
+            data,
+        }
     }
 
     /// Creates a tensor from existing data (rounded to `dtype`).
@@ -88,7 +103,12 @@ impl Tensor {
         }
         let layout = default_layout(&shape);
         let data = data.into_iter().map(|v| dtype.quantize(v)).collect();
-        Ok(Tensor { dtype, shape, layout, data })
+        Ok(Tensor {
+            dtype,
+            shape,
+            layout,
+            data,
+        })
     }
 
     /// The element data type.
@@ -170,7 +190,10 @@ impl Tensor {
     #[inline]
     pub fn get2(&self, row: usize, col: usize) -> f32 {
         let (r, c) = (self.shape.dim(0), self.shape.dim(1));
-        debug_assert!(row < r && col < c, "index ({row},{col}) out of bounds ({r},{c})");
+        debug_assert!(
+            row < r && col < c,
+            "index ({row},{col}) out of bounds ({r},{c})"
+        );
         match self.layout {
             Layout::Matrix(m) => self.data[m.offset(row, col, m.default_ld(r, c))],
             _ => self.data[row * c + col],
@@ -445,7 +468,10 @@ mod tests {
     #[test]
     fn matrix_layout_transpose_preserves_logical_values() {
         let t = Tensor::from_vec(&[2, 3], DType::F32, (0..6).map(|v| v as f32).collect()).unwrap();
-        let col = t.clone().with_matrix_layout(MatrixLayout::ColMajor).unwrap();
+        let col = t
+            .clone()
+            .with_matrix_layout(MatrixLayout::ColMajor)
+            .unwrap();
         for i in 0..2 {
             for j in 0..3 {
                 assert_eq!(t.get2(i, j), col.get2(i, j));

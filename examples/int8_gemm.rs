@@ -22,19 +22,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     i8_problem.element = DType::I8;
     let f16_problem = GemmProblem::fp16(4096, 4096, 4096);
 
-    let i8_best = profiler.profile_gemm(&i8_problem, &Epilogue::linear(DType::I8)).unwrap();
-    let f16_best = profiler.profile_gemm(&f16_problem, &Epilogue::linear(DType::F16)).unwrap();
+    let i8_best = profiler
+        .profile_gemm(&i8_problem, &Epilogue::linear(DType::I8))
+        .unwrap();
+    let f16_best = profiler
+        .profile_gemm(&f16_problem, &Epilogue::linear(DType::F16))
+        .unwrap();
     let i8_tops = i8_problem.flops() / (i8_best.time_us * 1e6);
     let f16_tflops = f16_problem.flops() / (f16_best.time_us * 1e6);
     println!("4096^3 GEMM on the simulated T4:");
-    println!("  FP16 (HMMA): {f16_tflops:.0} TFLOPS  ({:.0} us)", f16_best.time_us);
-    println!("  INT8 (IMMA): {i8_tops:.0} TOPS    ({:.0} us)", i8_best.time_us);
-    println!("  speedup: {:.2}x (hardware ratio: 2x)", f16_best.time_us / i8_best.time_us);
+    println!(
+        "  FP16 (HMMA): {f16_tflops:.0} TFLOPS  ({:.0} us)",
+        f16_best.time_us
+    );
+    println!(
+        "  INT8 (IMMA): {i8_tops:.0} TOPS    ({:.0} us)",
+        i8_best.time_us
+    );
+    println!(
+        "  speedup: {:.2}x (hardware ratio: 2x)",
+        f16_best.time_us / i8_best.time_us
+    );
 
     // 2. Numerics: int8 operands, i32 accumulation, fused dequant scale.
     let m = 8;
-    let a = Tensor::from_vec(&[m, 16], DType::I8, (0..m * 16).map(|i| (i % 11) as f32 - 5.0).collect())?;
-    let b = Tensor::from_vec(&[16, 4], DType::I8, (0..64).map(|i| (i % 7) as f32 - 3.0).collect())?;
+    let a = Tensor::from_vec(
+        &[m, 16],
+        DType::I8,
+        (0..m * 16).map(|i| (i % 11) as f32 - 5.0).collect(),
+    )?;
+    let b = Tensor::from_vec(
+        &[16, 4],
+        DType::I8,
+        (0..64).map(|i| (i % 7) as f32 - 3.0).collect(),
+    )?;
     let mut quant_problem = GemmProblem::fp16(m, 4, 16);
     quant_problem.element = DType::I8;
     let mut epilogue = Epilogue::linear(DType::F32);
@@ -51,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in 0..16 {
         acc += a.get2(0, k) as i64 * b.get2(k, 0) as i64;
     }
-    println!("\nquantized GEMM check: d[0,0] = {} (exact integer {} x scale 0.05)", d.get2(0, 0), acc);
+    println!(
+        "\nquantized GEMM check: d[0,0] = {} (exact integer {} x scale 0.05)",
+        d.get2(0, 0),
+        acc
+    );
     assert_eq!(d.get2(0, 0), 0.05 * acc as f32);
     println!("integer accumulation is exact — the IMMA contract holds");
     Ok(())

@@ -27,7 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w1 = Tensor::randn(&[16, 8], DType::F16, 3);
     let fused = kernel.run(&a, &w0, None, &w1, None)?;
     let sequential = b2b_gemm_ref(
-        &a, &w0, None, 1.0, 0.0, Activation::ReLU, &w1, None, 1.0, 0.0, Activation::ReLU,
+        &a,
+        &w0,
+        None,
+        1.0,
+        0.0,
+        Activation::ReLU,
+        &w1,
+        None,
+        1.0,
+        0.0,
+        Activation::ReLU,
     )?;
     println!(
         "1. fused == sequential: max |diff| = {} (bit-identical FP16 rounding)",
@@ -37,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. Threadblock residence legality --------------------------------
     let mut broken = kernel.clone();
     broken.config0.threadblock.n = 8; // violate ThreadBlock0_N == GEMM0_N
-    println!("2. residence violation -> {}", broken.validate(&t4).unwrap_err());
+    println!(
+        "2. residence violation -> {}",
+        broken.validate(&t4).unwrap_err()
+    );
 
     // --- 3. RF pressure forces the smem design ----------------------------
     let big0 = GemmProblem::fp16(16384, 256, 64);
@@ -56,9 +69,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 4. When fusion pays ----------------------------------------------
     println!("4. profit across shapes (fused vs two epilogue-fused kernels):");
     for (label, g0, g1) in [
-        ("tall-skinny (memory-bound)", GemmProblem::fp16(65536, 32, 96), GemmProblem::fp16(65536, 96, 32)),
-        ("mid", GemmProblem::fp16(16384, 64, 256), GemmProblem::fp16(16384, 16, 64)),
-        ("square-ish (compute-bound)", GemmProblem::fp16(2048, 64, 2048), GemmProblem::fp16(2048, 64, 64)),
+        (
+            "tall-skinny (memory-bound)",
+            GemmProblem::fp16(65536, 32, 96),
+            GemmProblem::fp16(65536, 96, 32),
+        ),
+        (
+            "mid",
+            GemmProblem::fp16(16384, 64, 256),
+            GemmProblem::fp16(16384, 16, 64),
+        ),
+        (
+            "square-ish (compute-bound)",
+            GemmProblem::fp16(2048, 64, 2048),
+            GemmProblem::fp16(2048, 64, 64),
+        ),
     ] {
         let k = B2bGemmKernel::auto(&t4, g0, g1, relu, relu)?;
         let fused_us = k.time(&t4).total_us;

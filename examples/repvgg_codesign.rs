@@ -6,9 +6,9 @@
 
 use bolt::{BoltCompiler, BoltConfig, StepKind};
 use bolt_gpu_sim::GpuArch;
+use bolt_graph::passes::PassManager;
 use bolt_models::repvgg::{train_form_blocks, RepVggVariant};
 use bolt_models::{AccuracyModel, RepVggSpec, TrainRecipe};
-use bolt_graph::passes::PassManager;
 use bolt_tensor::Activation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

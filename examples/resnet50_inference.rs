@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch = 32;
     let info = model_by_name("resnet-50", batch);
     let graph = PassManager::deployment().run(&info.graph)?;
-    println!("ResNet-50: {} nodes, {:.1} M params", graph.len(), info.params_m);
+    println!(
+        "ResNet-50: {} nodes, {:.1} M params",
+        graph.len(),
+        info.params_m
+    );
 
     // Bolt compilation.
     let compiler = BoltCompiler::new(t4.clone(), BoltConfig::default());

@@ -55,7 +55,9 @@ impl Args {
     }
 
     fn usize_flag(&self, name: &str, default: usize) -> usize {
-        self.flag(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.flag(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn arch(&self) -> GpuArch {
@@ -79,7 +81,11 @@ fn cmd_models() -> ExitCode {
     println!("model zoo (plus vgg-11/13, resnet-34, repvgg-a1, repvggaug-*):");
     for name in FIGURE10_MODELS {
         let info = model_by_name(name, 1);
-        println!("  {name:<12} {:>7.1} M params, {} graph nodes", info.params_m, info.graph.len());
+        println!(
+            "  {name:<12} {:>7.1} M params, {} graph nodes",
+            info.params_m,
+            info.graph.len()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -98,16 +104,13 @@ fn cmd_compile(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiler = BoltCompiler::new(arch, BoltConfig::default());
-    if let Some(path) = args.flag("cache") {
-        let path = std::path::Path::new(path);
-        if path.exists() {
-            match compiler.profiler().load_cache(path) {
-                Ok(n) => println!("loaded {n} cached workloads from {}", path.display()),
-                Err(e) => eprintln!("cache load failed: {e}"),
-            }
-        }
-    }
+    // `--cache` (or the BOLT_TUNE_CACHE env var) makes the compiler load
+    // a warm autotune cache at construction and save it after compiling.
+    let config = BoltConfig {
+        cache_path: args.flag("cache").map(std::path::PathBuf::from),
+        ..BoltConfig::default()
+    };
+    let compiler = BoltCompiler::new(arch, config);
     let model = match compiler.compile(&graph) {
         Ok(m) => m,
         Err(e) => {
@@ -123,11 +126,12 @@ fn cmd_compile(args: &Args) -> ExitCode {
         report.images_per_sec(batch)
     );
     println!(
-        "{} steps, {} device kernels; profiled {} workloads ({} measurements, {:.1} min simulated tuning)",
+        "{} steps, {} device kernels; profiled {} workloads ({} measurements, {} pruned, {:.1} min simulated tuning)",
         model.steps().len(),
         model.kernel_count(),
         model.tuning.workloads,
         model.tuning.measurements,
+        model.tuning.pruned,
         model.tuning.tuning_seconds / 60.0
     );
     println!("\nhottest kernels:");
@@ -137,15 +141,18 @@ fn cmd_compile(args: &Args) -> ExitCode {
     if let Some(path) = args.flag("timeline") {
         let mut csv = String::from("start_us,duration_us,bound,name\n");
         for e in report.timeline.events() {
-            csv.push_str(&format!("{:.3},{:.3},{},{}\n", e.start_us, e.duration_us, e.bound, e.name));
+            csv.push_str(&format!(
+                "{:.3},{:.3},{},{}\n",
+                e.start_us, e.duration_us, e.bound, e.name
+            ));
         }
         if std::fs::write(path, csv).is_ok() {
             println!("\nwrote timeline to {path}");
         }
     }
     if let Some(path) = args.flag("cache") {
-        if compiler.profiler().save_cache(std::path::Path::new(path)).is_ok() {
-            println!("saved tuning cache to {path}");
+        if std::path::Path::new(&path).is_file() {
+            println!("tuning cache saved to {path}");
         }
     }
     if args.has("emit") {

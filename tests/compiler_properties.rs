@@ -19,12 +19,19 @@ enum Layer {
 }
 
 const CHANNELS: [usize; 3] = [3, 6, 8];
-const ACTS: [Activation; 4] =
-    [Activation::ReLU, Activation::Gelu, Activation::Hardswish, Activation::Softplus];
+const ACTS: [Activation; 4] = [
+    Activation::ReLU,
+    Activation::Gelu,
+    Activation::Hardswish,
+    Activation::Softplus,
+];
 
 fn layers() -> impl Strategy<Value = Vec<Layer>> {
     let layer = prop_oneof![
-        (0usize..3, any::<bool>()).prop_map(|(c, p)| Layer::Conv { ch_idx: c, pointwise: p }),
+        (0usize..3, any::<bool>()).prop_map(|(c, p)| Layer::Conv {
+            ch_idx: c,
+            pointwise: p
+        }),
         (0usize..4).prop_map(Layer::Act),
         Just(Layer::Residual),
         Just(Layer::Pool),
@@ -98,14 +105,14 @@ proptest! {
             .compile(&graph)
             .unwrap();
         prop_assert!(coverage_is_exact(&reference));
-        let expect = reference.run(&[input.clone()]).unwrap();
+        let expect = reference.run(std::slice::from_ref(&input)).unwrap();
 
         for config in [BoltConfig::default(), BoltConfig::epilogue_only()] {
-            let model = BoltCompiler::new(t4.clone(), config).compile(&graph).unwrap();
+            let model = BoltCompiler::new(t4.clone(), config.clone()).compile(&graph).unwrap();
             prop_assert!(coverage_is_exact(&model), "coverage broken under {config:?}");
             let report = model.time();
             prop_assert!(report.total_us.is_finite() && report.total_us > 0.0);
-            let out = model.run(&[input.clone()]).unwrap();
+            let out = model.run(std::slice::from_ref(&input)).unwrap();
             let diff = out[0].max_abs_diff(&expect[0]).unwrap();
             prop_assert!(diff < 5e-2, "{config:?} diverged by {diff}");
         }

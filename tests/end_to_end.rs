@@ -38,8 +38,10 @@ fn cnn_compiles_runs_and_times_under_every_config() {
         BoltConfig::epilogue_only(),
         BoltConfig::no_optimizations(),
     ] {
-        let model = BoltCompiler::new(t4(), config).compile(&graph).unwrap();
-        let out = model.run(&[input.clone()]).unwrap();
+        let model = BoltCompiler::new(t4(), config.clone())
+            .compile(&graph)
+            .unwrap();
+        let out = model.run(std::slice::from_ref(&input)).unwrap();
         assert_eq!(out[0].shape().dims(), &[2, 10]);
         // Softmax rows sum to 1.
         for r in 0..2 {
@@ -73,13 +75,18 @@ fn persistent_fusion_appears_in_conv_chains() {
     let r2 = b.activation(c2, Activation::ReLU, "r2");
     let graph = b.finish(&[r2]);
 
-    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let model = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
     let fused = model
         .steps()
         .iter()
         .any(|s| matches!(s.kind, StepKind::B2bConv { .. }));
-    assert!(fused, "expected a persistent conv kernel: {:?}",
-        model.steps().iter().map(|s| &s.name).collect::<Vec<_>>());
+    assert!(
+        fused,
+        "expected a persistent conv kernel: {:?}",
+        model.steps().iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
 
     let unfused = BoltCompiler::new(t4(), BoltConfig::epilogue_only())
         .compile(&graph)
@@ -102,13 +109,19 @@ fn three_way_gemm_chains_fuse_into_one_persistent_kernel() {
     let r2 = b.activation(d2, Activation::ReLU, "r2");
     let graph = b.finish(&[r2]);
 
-    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let model = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
     let chain = model.steps().iter().find_map(|s| match &s.kind {
         StepKind::GemmChain { chain, .. } => Some(chain.len()),
         _ => None,
     });
-    assert_eq!(chain, Some(3), "expected a 3-stage chain: {:?}",
-        model.steps().iter().map(|s| &s.name).collect::<Vec<_>>());
+    assert_eq!(
+        chain,
+        Some(3),
+        "expected a 3-stage chain: {:?}",
+        model.steps().iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
     assert_eq!(model.kernel_count(), 1);
 
     // Functionally identical to the unfused model (small replica).
@@ -121,10 +134,14 @@ fn three_way_gemm_chains_fuse_into_one_persistent_kernel() {
     let e2 = b2.dense(f1, 4, "g2");
     let f2 = b2.activation(e2, Activation::ReLU, "r2");
     let small = b2.finish(&[f2]);
-    let fused = BoltCompiler::new(t4(), BoltConfig::default()).compile(&small).unwrap();
-    let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations()).compile(&small).unwrap();
+    let fused = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&small)
+        .unwrap();
+    let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
+        .compile(&small)
+        .unwrap();
     let input = Tensor::randn(&[64, 32], DType::F16, 21);
-    let a = fused.run(&[input.clone()]).unwrap();
+    let a = fused.run(std::slice::from_ref(&input)).unwrap();
     let c = plain.run(&[input]).unwrap();
     assert!(a[0].max_abs_diff(&c[0]).unwrap() < 5e-3);
 }
@@ -135,7 +152,9 @@ fn every_non_data_node_is_covered_exactly_once() {
         let graph = PassManager::deployment()
             .run(&model_by_name(name, 8).graph)
             .unwrap();
-        let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+        let model = BoltCompiler::new(t4(), BoltConfig::default())
+            .compile(&graph)
+            .unwrap();
         let mut covered = std::collections::HashSet::new();
         for step in model.steps() {
             for node in &step.covered {
@@ -144,7 +163,11 @@ fn every_non_data_node_is_covered_exactly_once() {
         }
         for node in model.graph().nodes() {
             if !node.kind.is_data() {
-                assert!(covered.contains(&node.id), "{name}: node {} uncovered", node.name);
+                assert!(
+                    covered.contains(&node.id),
+                    "{name}: node {} uncovered",
+                    node.name
+                );
             }
         }
     }
@@ -153,8 +176,12 @@ fn every_non_data_node_is_covered_exactly_once() {
 #[test]
 fn compilation_is_deterministic() {
     let graph = small_cnn(4);
-    let a = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
-    let b = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let a = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
+    let b = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
     assert_eq!(a.steps().len(), b.steps().len());
     for (sa, sb) in a.steps().iter().zip(b.steps()) {
         assert_eq!(sa.name, sb.name);
@@ -165,7 +192,9 @@ fn compilation_is_deterministic() {
 #[test]
 fn emitted_cuda_covers_all_kernels() {
     let graph = small_cnn(2);
-    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let model = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
     let cuda = model.emit_cuda();
     assert!(cuda.contains("Bolt generated runtime module"));
     for step in model.steps() {

@@ -21,9 +21,16 @@ fn figure1_ansor_is_a_fraction_of_cublas_on_compute_bound_fp16() {
     let vendor = VendorLibrary::new(&t4());
     let cublas_us = vendor.gemm_time_us(&problem);
 
-    let workload = Workload::Gemm { m: 2048, n: 2048, k: 2048 };
+    let workload = Workload::Gemm {
+        m: 2048,
+        n: 2048,
+        k: 2048,
+    };
     let tuner = AnsorTuner::with_trials(&t4(), 256);
-    let ansor_us = tuner.tune_workloads(&[workload]).best_time_us(&workload).unwrap();
+    let ansor_us = tuner
+        .tune_workloads(&[workload])
+        .best_time_us(&workload)
+        .unwrap();
 
     let slowdown = ansor_us / cublas_us;
     assert!(
@@ -40,7 +47,11 @@ fn figure8a_bolt_beats_ansor_on_gemms() {
         .profile_gemm(&problem, &Epilogue::linear(DType::F16))
         .unwrap()
         .time_us;
-    let workload = Workload::Gemm { m: 1280, n: 3072, k: 768 };
+    let workload = Workload::Gemm {
+        m: 1280,
+        n: 3072,
+        k: 768,
+    };
     let ansor_us = AnsorTuner::with_trials(&t4(), 256)
         .tune_workloads(&[workload])
         .best_time_us(&workload)
@@ -57,7 +68,10 @@ fn figure9_epilogue_fusion_band() {
     let problem = GemmProblem::fp16(1280, 3072, 768);
     let profiler = BoltProfiler::new(&t4(), 30);
     let fused = profiler
-        .profile_gemm(&problem, &Epilogue::bias_activation(Activation::Gelu, DType::F16))
+        .profile_gemm(
+            &problem,
+            &Epilogue::bias_activation(Activation::Gelu, DType::F16),
+        )
         .unwrap()
         .time_us;
     let plain = profiler
@@ -66,8 +80,11 @@ fn figure9_epilogue_fusion_band() {
         .time_us;
     // TVM-style separate bias+activation elementwise kernel.
     let elems = (problem.m * problem.n) as f64;
-    let eltwise =
-        simulate_kernel(&t4(), &KernelProfile::memory_only("eltwise", 2.0 * elems * 2.0)).total_us;
+    let eltwise = simulate_kernel(
+        &t4(),
+        &KernelProfile::memory_only("eltwise", 2.0 * elems * 2.0),
+    )
+    .total_us;
     let speedup = (plain + eltwise) / fused;
     assert!(
         (1.2..1.9).contains(&speedup),
@@ -100,8 +117,14 @@ fn table3_padding_band() {
     let ep = Epilogue::linear(DType::F16);
     let unpadded = Conv2dProblem::new(32, 20, 26, 46, 32, 3, 3, (1, 1), (1, 1));
     let padded = Conv2dProblem::new(32, 20, 26, 48, 32, 3, 3, (1, 1), (1, 1));
-    let tu = profiler.profile_conv2d(&unpadded, &ep, DType::F16).unwrap().time_us;
-    let tp = profiler.profile_conv2d(&padded, &ep, DType::F16).unwrap().time_us;
+    let tu = profiler
+        .profile_conv2d(&unpadded, &ep, DType::F16)
+        .unwrap()
+        .time_us;
+    let tp = profiler
+        .profile_conv2d(&padded, &ep, DType::F16)
+        .unwrap()
+        .time_us;
     let speedup = tu / tp;
     assert!(
         (1.4..2.2).contains(&speedup),
@@ -123,12 +146,17 @@ fn figure10_shape_bolt_wins_and_tunes_faster() {
     let fc = b.dense_bias(gap, 100, "fc");
     let graph = b.finish(&[fc]);
 
-    let model = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let model = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
     let backend = AnsorBackend::with_trials(&t4(), 128);
     let (ansor_time, tuning) = backend.evaluate(&graph).unwrap();
 
     let speedup = ansor_time.total_us / model.time().total_us;
-    assert!(speedup > 1.5, "Bolt must clearly win end-to-end; got {speedup:.2}x");
+    assert!(
+        speedup > 1.5,
+        "Bolt must clearly win end-to-end; got {speedup:.2}x"
+    );
     // Bolt tunes in minutes; Ansor's budget costs more wall-clock even at
     // this reduced trial count.
     assert!(model.tuning.tuning_seconds < 20.0 * 60.0);
@@ -149,9 +177,18 @@ fn ampere_a100_approaches_theoretic_peak() {
         .unwrap();
     let tflops = problem.flops() / (best.time_us * 1e6);
     let frac = tflops / a100.fp16_tensor_tflops;
-    assert!(frac > 0.85, "A100 big GEMM at {:.0} TFLOPS = {:.0}% of peak", tflops, frac * 100.0);
+    assert!(
+        frac > 0.85,
+        "A100 big GEMM at {:.0} TFLOPS = {:.0}% of peak",
+        tflops,
+        frac * 100.0
+    );
     // Multi-stage (cp.async) configs must be what wins on Ampere.
-    assert!(best.config.stages >= 3, "expected a multi-stage pipeline, got {}", best.config);
+    assert!(
+        best.config.stages >= 3,
+        "expected a multi-stage pipeline, got {}",
+        best.config
+    );
 }
 
 #[test]

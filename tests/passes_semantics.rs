@@ -30,10 +30,13 @@ fn repvgg_reparameterization_preserves_semantics() {
     let deploy_model = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
         .compile(&deployed)
         .unwrap();
-    let a = train_model.run(&[input.clone()]).unwrap();
+    let a = train_model.run(std::slice::from_ref(&input)).unwrap();
     let b = deploy_model.run(&[input]).unwrap();
     let diff = a[0].max_abs_diff(&b[0]).unwrap();
-    assert!(diff < 1e-3, "re-parameterization changed the function by {diff}");
+    assert!(
+        diff < 1e-3,
+        "re-parameterization changed the function by {diff}"
+    );
 }
 
 #[test]
@@ -61,28 +64,44 @@ fn padded_persistent_conv_chain_matches_unoptimized() {
     let r2 = b.activation(c2, Activation::ReLU, "r2");
     let graph = b.finish(&[r2]);
 
-    let optimized = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let optimized = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
     let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
         .compile(&graph)
         .unwrap();
 
     // The optimized model really did pad + fuse.
-    let has_padded_b2b = optimized.steps().iter().any(|s| matches!(
-        s.kind,
-        StepKind::B2bConv { pad_to: Some(8), .. }
-    ));
-    let has_padded_conv = optimized.steps().iter().any(|s| matches!(
-        s.kind,
-        StepKind::Conv2d { pad_to: Some(8), .. }
-    ));
+    let has_padded_b2b = optimized.steps().iter().any(|s| {
+        matches!(
+            s.kind,
+            StepKind::B2bConv {
+                pad_to: Some(8),
+                ..
+            }
+        )
+    });
+    let has_padded_conv = optimized.steps().iter().any(|s| {
+        matches!(
+            s.kind,
+            StepKind::Conv2d {
+                pad_to: Some(8),
+                ..
+            }
+        )
+    });
     assert!(
         has_padded_b2b || has_padded_conv,
         "expected padding in: {:?}",
-        optimized.steps().iter().map(|s| &s.name).collect::<Vec<_>>()
+        optimized
+            .steps()
+            .iter()
+            .map(|s| &s.name)
+            .collect::<Vec<_>>()
     );
 
     let input = Tensor::randn(&[1, 3, 12, 12], DType::F16, 9);
-    let a = optimized.run(&[input.clone()]).unwrap();
+    let a = optimized.run(std::slice::from_ref(&input)).unwrap();
     let c = plain.run(&[input]).unwrap();
     let diff = a[0].max_abs_diff(&c[0]).unwrap();
     assert!(diff < 3e-2, "padding+fusion changed numerics by {diff}");
@@ -97,17 +116,22 @@ fn epilogue_fusion_is_numerically_transparent_for_all_activations() {
         let r = b.activation(h, act, "act");
         let graph = b.finish(&[r]);
 
-        let fused = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+        let fused = BoltCompiler::new(t4(), BoltConfig::default())
+            .compile(&graph)
+            .unwrap();
         let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
             .compile(&graph)
             .unwrap();
         assert!(fused.kernel_count() < plain.kernel_count() + plain.steps().len());
 
         let input = Tensor::randn(&[8, 16], DType::F16, 3);
-        let a = fused.run(&[input.clone()]).unwrap();
+        let a = fused.run(std::slice::from_ref(&input)).unwrap();
         let c = plain.run(&[input]).unwrap();
         let diff = a[0].max_abs_diff(&c[0]).unwrap();
-        assert!(diff < 5e-3, "{act}: epilogue fusion changed numerics by {diff}");
+        assert!(
+            diff < 5e-3,
+            "{act}: epilogue fusion changed numerics by {diff}"
+        );
     }
 }
 
@@ -122,19 +146,29 @@ fn residual_fusion_matches_host_add() {
     let r = b.activation(sum, Activation::ReLU, "relu");
     let graph = b.finish(&[r]);
 
-    let fused = BoltCompiler::new(t4(), BoltConfig::default()).compile(&graph).unwrap();
+    let fused = BoltCompiler::new(t4(), BoltConfig::default())
+        .compile(&graph)
+        .unwrap();
     // The add is absorbed: only one kernel step (+ host steps absent).
-    let gemm_with_residual = fused.steps().iter().any(|s| matches!(
-        s.kind,
-        StepKind::Gemm { residual: Some(_), .. }
-    ));
-    assert!(gemm_with_residual, "residual Add should fuse into the GEMM epilogue");
+    let gemm_with_residual = fused.steps().iter().any(|s| {
+        matches!(
+            s.kind,
+            StepKind::Gemm {
+                residual: Some(_),
+                ..
+            }
+        )
+    });
+    assert!(
+        gemm_with_residual,
+        "residual Add should fuse into the GEMM epilogue"
+    );
 
     let plain = BoltCompiler::new(t4(), BoltConfig::no_optimizations())
         .compile(&graph)
         .unwrap();
     let input = Tensor::randn(&[8, 8], DType::F16, 4);
-    let a = fused.run(&[input.clone()]).unwrap();
+    let a = fused.run(std::slice::from_ref(&input)).unwrap();
     let c = plain.run(&[input]).unwrap();
     assert!(a[0].max_abs_diff(&c[0]).unwrap() < 5e-3);
 }

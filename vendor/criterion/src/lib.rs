@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API slice the workspace's benches use —
+//! `Criterion::default().sample_size(..).measurement_time(..)
+//! .warm_up_time(..)`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!` — as a plain wall-clock harness.
+//! No statistics beyond mean/min/max, no HTML reports, no comparisons to
+//! previous runs; results print to stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver: times closures and prints per-bench summaries.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per bench.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total target time spent measuring each bench.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` under the harness and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // per-iteration cost so the sample loop can budget iterations.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(0);
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let mut b = Bencher::default();
+            f(&mut b);
+            warm_iters += b.iterations;
+            per_iter = b.elapsed.max(Duration::from_nanos(1)) / (b.iterations.max(1) as u32);
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_per_sample = self.measurement_time / (self.sample_size as u32);
+        let iters_per_sample =
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                target_iterations: iters_per_sample,
+                ..Bencher::default()
+            };
+            f(&mut b);
+            if b.iterations > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iterations as f64);
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+        let min = samples.first().copied().unwrap_or(0.0);
+        let max = samples.last().copied().unwrap_or(0.0);
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Passed to the bench closure; times the iteration loop.
+#[derive(Debug)]
+pub struct Bencher {
+    target_iterations: u64,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher {
+            target_iterations: 1,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+impl Bencher {
+    /// Times `target_iterations` calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.target_iterations {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.target_iterations;
+    }
+}
+
+/// Declares a group of benches, mirroring criterion's two invocation
+/// forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        quick().bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn formats_cover_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

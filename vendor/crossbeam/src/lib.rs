@@ -1,0 +1,81 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `crossbeam::thread::scope` API used by this workspace is
+//! provided, implemented on top of `std::thread::scope` (available since
+//! Rust 1.63). The spawn closure's scope argument is a placeholder — the
+//! workspace never spawns nested scoped threads — so it is typed `&()`.
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope in which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure argument is a placeholder
+        /// (crossbeam passes a nested scope; this stand-in does not
+        /// support nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Creates a scope, runs `f` inside it, and joins all spawned threads
+    /// before returning.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam this never returns `Err`: panics in unjoined
+    /// threads propagate out of `std::thread::scope` directly. All
+    /// workspace call sites `.expect()` the result, so behaviour matches.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+}

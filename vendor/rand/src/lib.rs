@@ -1,0 +1,207 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `rand` it uses: `StdRng::seed_from_u64`, `Rng::gen`,
+//! `Rng::gen_range` over half-open ranges, and `Rng::gen_bool`. The
+//! generator is SplitMix64 — statistically solid for tuning/search
+//! randomness, deterministic for a given seed, and dependency-free. It is
+//! NOT the same stream as upstream `StdRng` (ChaCha12) and is not
+//! cryptographically secure.
+
+use std::ops::Range;
+
+/// Core randomness source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, matching the subset of `rand::SeedableRng`
+/// the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is a deterministic function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from a `low..high` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[low, high)` from `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = unit_f64(rng.next_u64()) as $t;
+                let v = low + unit * (high - low);
+                // Guard against rounding up to the excluded endpoint.
+                if v >= high { low } else { v }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard {
+    /// Converts 64 uniform random bits into a value.
+    fn from_bits64(bits: u64) -> Self;
+}
+
+/// Converts random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Standard for f64 {
+    fn from_bits64(bits: u64) -> Self {
+        unit_f64(bits)
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits64(bits: u64) -> Self {
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_bits64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits64(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn from_bits64(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution (uniform bits,
+    /// `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits64(self.next_u64())
+    }
+
+    /// Samples uniformly from the half-open range `low..high`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: SplitMix64. Deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(1e-7..1.0f32);
+            assert!((1e-7..1.0).contains(&f));
+            let x = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            lo |= u < 0.25;
+            hi |= u > 0.75;
+        }
+        assert!(lo && hi, "samples should spread across [0,1)");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "~25% expected, got {hits}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides `Serialize`/`Deserialize` as marker traits together with
+//! no-op derive macros so existing `#[derive(serde::Serialize,
+//! serde::Deserialize)]` annotations compile unchanged. Actual
+//! persistence in this workspace goes through a hand-rolled codec
+//! (`crates/core/src/cache.rs`), which depends on none of this.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
