@@ -1,0 +1,164 @@
+//! Serving-layer benchmark: offered load vs achieved throughput for the
+//! dynamic-batching server over two compiled MLP engines.
+//!
+//! An open-loop pacer submits requests at a fixed arrival rate; the
+//! server batches, executes functionally, and prices batches on the GPU
+//! simulator. For each load level we report achieved throughput, mean
+//! batch size, and the latency distribution — the classic serving curve:
+//! batching efficiency rises with load until admission control (bounded
+//! queues + deadlines) starts shedding.
+//!
+//! Results print as a table and are emitted as JSON to
+//! `target/experiments/serving_throughput.json`.
+//!
+//! Run with: `cargo bench --bench serving_throughput`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bolt::BoltConfig;
+use bolt_bench::{experiments_dir, fmt_us, Table};
+use bolt_gpu_sim::GpuArch;
+use bolt_serve::{BoltServer, EngineRegistry, MetricsSnapshot, ServeConfig, ServeError};
+use bolt_tensor::{DType, Tensor};
+
+const MODELS: [&str; 2] = ["mlp-small", "mlp-large"];
+
+fn sample(model: &str, seed: u64) -> Vec<Tensor> {
+    let width = if model == "mlp-small" { 128 } else { 256 };
+    vec![Tensor::randn(&[1, width], DType::F16, seed)]
+}
+
+struct LevelRun {
+    offered_rps: f64,
+    requests: usize,
+    rejected_admission: u64,
+    stats: MetricsSnapshot,
+}
+
+/// Open-loop arrival process: request `i` is due at `start + i/rate`;
+/// the pacer sleeps until each due time, so late service does not slow
+/// the arrival process down (the server must absorb or shed the load).
+fn run_level(registry: &Arc<EngineRegistry>, offered_rps: f64) -> LevelRun {
+    let server = BoltServer::start(
+        Arc::clone(registry),
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(1),
+            queue_capacity: 512,
+            default_deadline: Some(Duration::from_millis(250)),
+            ..Default::default()
+        },
+    );
+
+    // ~0.5 s of offered traffic per level, bounded for very slow/fast rates.
+    let requests = ((offered_rps * 0.5) as usize).clamp(100, 4000);
+    let start = Instant::now();
+    let mut rejected_admission = 0u64;
+    let mut handles = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let due = start + Duration::from_secs_f64(i as f64 / offered_rps);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let model = MODELS[i % MODELS.len()];
+        match server.submit(model, sample(model, i as u64), None) {
+            Ok(handle) => handles.push(handle),
+            Err(ServeError::QueueFull { .. }) => rejected_admission += 1,
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    for handle in &handles {
+        handle.wait();
+    }
+    LevelRun {
+        offered_rps,
+        requests,
+        rejected_admission,
+        stats: server.shutdown(),
+    }
+}
+
+fn main() {
+    let registry = Arc::new(EngineRegistry::new(
+        GpuArch::tesla_t4(),
+        BoltConfig::default(),
+    ));
+    for model in MODELS {
+        registry
+            .register_zoo(model, &[1, 2, 4, 8])
+            .expect("zoo model registers");
+    }
+
+    let mut table = Table::new(&[
+        "offered rps",
+        "requests",
+        "achieved rps",
+        "mean batch",
+        "p50",
+        "p99",
+        "completed",
+        "shed",
+        "queue full",
+    ]);
+    let mut json_levels = Vec::new();
+
+    for offered in [250.0, 1_000.0, 4_000.0, 16_000.0] {
+        let run = run_level(&registry, offered);
+        let s = &run.stats;
+        table.row(&[
+            format!("{:.0}", run.offered_rps),
+            run.requests.to_string(),
+            format!("{:.0}", s.throughput_rps),
+            format!("{:.2}", s.mean_batch),
+            fmt_us(s.latency_p50_us),
+            fmt_us(s.latency_p99_us),
+            s.completed.to_string(),
+            s.deadline_shed.to_string(),
+            run.rejected_admission.to_string(),
+        ]);
+        json_levels.push(format!(
+            concat!(
+                "    {{\"offered_rps\": {:.1}, \"requests\": {}, \"achieved_rps\": {:.1},\n",
+                "     \"mean_batch\": {:.3}, \"batches\": {}, \"completed\": {}, ",
+                "\"deadline_shed\": {}, \"rejected_queue_full\": {},\n",
+                "     \"latency_us\": {{\"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}, ",
+                "\"p99\": {:.1}, \"max\": {:.1}}},\n",
+                "     \"sim_images_per_sec\": {:.1}}}"
+            ),
+            run.offered_rps,
+            run.requests,
+            s.throughput_rps,
+            s.mean_batch,
+            s.batches,
+            s.completed,
+            s.deadline_shed,
+            run.rejected_admission,
+            s.latency_mean_us,
+            s.latency_p50_us,
+            s.latency_p95_us,
+            s.latency_p99_us,
+            s.latency_max_us,
+            s.sim_images_per_sec,
+        ));
+    }
+
+    table.print(
+        "Serving throughput: dynamic batching under open-loop load \
+         (4 workers, max_batch 8, 1 ms batch timeout, 250 ms deadline)",
+    );
+    table.write_csv("serving_throughput");
+
+    let json = format!(
+        "{{\n  \"models\": [\"mlp-small\", \"mlp-large\"],\n  \"workers\": 4,\n  \
+         \"max_batch\": 8,\n  \"levels\": [\n{}\n  ]\n}}\n",
+        json_levels.join(",\n")
+    );
+    let dir = experiments_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("serving_throughput.json");
+    if std::fs::write(&path, &json).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

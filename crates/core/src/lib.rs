@@ -64,7 +64,7 @@ pub use compile::BoltCompiler;
 pub use config::BoltConfig;
 pub use error::BoltError;
 pub use profiler::{BoltProfiler, ProfileTask, ProfiledKernel, ProfilerStats};
-pub use runtime::{CompiledModel, Step, StepKind, TimingReport};
+pub use runtime::{slice_batch, stack_batch, CompiledModel, Step, StepKind, TimingReport};
 
 /// Result alias for compiler operations.
 pub type Result<T> = std::result::Result<T, BoltError>;

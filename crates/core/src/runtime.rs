@@ -254,8 +254,10 @@ impl CompiledModel {
     ///
     /// # Errors
     ///
-    /// Returns [`BoltError::BadInput`] for arity/shape mismatches and
-    /// missing parameter data.
+    /// Returns [`BoltError::BadInput`] for arity/rank/shape mismatches
+    /// (including a mismatched batch dimension) and missing parameter
+    /// data. Malformed inputs never panic: every message spells out the
+    /// expected vs. received shape.
     pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
         let input_ids = self.graph.input_ids();
         if inputs.len() != input_ids.len() {
@@ -264,8 +266,30 @@ impl CompiledModel {
             });
         }
         let mut env: HashMap<NodeId, Tensor> = HashMap::new();
-        for (&id, tensor) in input_ids.iter().zip(inputs) {
+        for (pos, (&id, tensor)) in input_ids.iter().zip(inputs).enumerate() {
             let want = &self.graph.node(id).shape;
+            let got = logical_dims(tensor);
+            if tensor.shape().rank() != want.rank() {
+                return Err(BoltError::BadInput {
+                    reason: format!(
+                        "input {pos} ({id}) rank mismatch: expected rank {} shape {want}, \
+                         got rank {} shape {got:?}",
+                        want.rank(),
+                        tensor.shape().rank(),
+                    ),
+                });
+            }
+            if got != want.dims() {
+                let what =
+                    if !got.is_empty() && got[0] != want.dim(0) && got[1..] == want.dims()[1..] {
+                        "batch dimension mismatch"
+                    } else {
+                        "shape mismatch"
+                    };
+                return Err(BoltError::BadInput {
+                    reason: format!("input {pos} ({id}) {what}: expected {want}, got {got:?}"),
+                });
+            }
             if tensor.shape().rank() == 4 {
                 // Normalize to NHWC internally (Bolt's layout transform).
                 let nhwc = if tensor.layout() == Layout::Nhwc {
@@ -273,19 +297,8 @@ impl CompiledModel {
                 } else {
                     tensor.to_activation_layout(Layout::Nhwc)?
                 };
-                let (n, c, h, w) = nhwc.dims4();
-                if [n, c, h, w] != [want.dim(0), want.dim(1), want.dim(2), want.dim(3)] {
-                    return Err(BoltError::BadInput {
-                        reason: format!("input {id} shape mismatch: want {want}"),
-                    });
-                }
                 env.insert(id, nhwc);
             } else {
-                if tensor.shape() != want {
-                    return Err(BoltError::BadInput {
-                        reason: format!("input {id} shape mismatch: want {want}"),
-                    });
-                }
                 env.insert(id, tensor.clone());
             }
         }
@@ -308,6 +321,96 @@ impl CompiledModel {
             outputs.push(t);
         }
         Ok(outputs)
+    }
+
+    /// The batch capacity this model was compiled for: dimension 0 shared
+    /// by every graph input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoltError::BadInput`] when the graph has no inputs, an
+    /// input is scalar, or the inputs disagree on the batch dimension.
+    pub fn batch_size(&self) -> Result<usize> {
+        let input_ids = self.graph.input_ids();
+        let mut batch = None;
+        for &id in &input_ids {
+            let shape = &self.graph.node(id).shape;
+            if shape.rank() == 0 {
+                return Err(BoltError::BadInput {
+                    reason: format!("input {id} is scalar; it has no batch dimension"),
+                });
+            }
+            let b = shape.dim(0);
+            match batch {
+                None => batch = Some(b),
+                Some(prev) if prev != b => {
+                    return Err(BoltError::BadInput {
+                        reason: format!(
+                            "inputs disagree on the batch dimension: {prev} vs {b} (input {id})"
+                        ),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        batch.ok_or_else(|| BoltError::BadInput {
+            reason: "model has no inputs".into(),
+        })
+    }
+
+    /// Batch-slicing execution for the serving layer: stacks per-request
+    /// single-sample inputs along the batch dimension, pads the tail of a
+    /// partial batch by replicating the last sample, runs the whole batch
+    /// once, and slices the outputs back per sample (padding rows are
+    /// dropped).
+    ///
+    /// `samples[s]` holds sample `s`'s inputs in `Graph::input_ids` order,
+    /// each with batch dimension 1. At most [`CompiledModel::batch_size`]
+    /// samples are admitted per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoltError::BadInput`] for an empty or oversized sample
+    /// list, per-sample arity/shape mismatches, or any error from
+    /// [`CompiledModel::run`].
+    pub fn run_batched(&self, samples: &[Vec<Tensor>]) -> Result<Vec<Vec<Tensor>>> {
+        let capacity = self.batch_size()?;
+        if samples.is_empty() {
+            return Err(BoltError::BadInput {
+                reason: "run_batched needs at least one sample".into(),
+            });
+        }
+        if samples.len() > capacity {
+            return Err(BoltError::BadInput {
+                reason: format!(
+                    "{} samples exceed the compiled batch capacity {capacity}",
+                    samples.len()
+                ),
+            });
+        }
+        let arity = self.graph.input_ids().len();
+        for (s, sample) in samples.iter().enumerate() {
+            if sample.len() != arity {
+                return Err(BoltError::BadInput {
+                    reason: format!("sample {s}: expected {arity} inputs, got {}", sample.len()),
+                });
+            }
+        }
+
+        let mut batched = Vec::with_capacity(arity);
+        for i in 0..arity {
+            let columns: Vec<&Tensor> = samples.iter().map(|s| &s[i]).collect();
+            batched.push(stack_batch(&columns, capacity)?);
+        }
+        let outputs = self.run(&batched)?;
+
+        let mut per_sample = vec![Vec::with_capacity(outputs.len()); samples.len()];
+        for output in &outputs {
+            for (s, slot) in per_sample.iter_mut().enumerate() {
+                slot.push(slice_batch(output, s)?);
+            }
+        }
+        Ok(per_sample)
     }
 
     fn param(&self, id: NodeId) -> Result<&Tensor> {
@@ -490,6 +593,139 @@ impl CompiledModel {
             }
         }
         Ok(())
+    }
+}
+
+/// The tensor's dimensions in the graph's logical convention: rank-4
+/// activations report NCHW regardless of storage layout, everything else
+/// reports shape order as stored.
+fn logical_dims(tensor: &Tensor) -> Vec<usize> {
+    if tensor.shape().rank() == 4 {
+        let (n, c, h, w) = tensor.dims4();
+        vec![n, c, h, w]
+    } else {
+        tensor.shape().dims().to_vec()
+    }
+}
+
+/// True when `layout` keeps the batch (dimension 0) outermost in storage,
+/// so batch stacking/slicing is a contiguous copy.
+fn batch_outermost(layout: Layout) -> bool {
+    !matches!(layout, Layout::Matrix(bolt_tensor::MatrixLayout::ColMajor))
+}
+
+/// Stacks single-sample tensors along the batch dimension into one tensor
+/// of batch `pad_to`, replicating the last sample into any padding rows.
+/// Every supported layout (NCHW, NHWC, row-major matrix, contiguous)
+/// stores the batch outermost, so stacking is a contiguous copy.
+///
+/// # Errors
+///
+/// Returns [`BoltError::BadInput`] when `samples` is empty or larger than
+/// `pad_to`, when a sample's batch dimension is not 1, when samples
+/// disagree on shape/layout/dtype, or for column-major matrices (batch
+/// rows are not contiguous there).
+pub fn stack_batch(samples: &[&Tensor], pad_to: usize) -> Result<Tensor> {
+    let proto = samples.first().ok_or_else(|| BoltError::BadInput {
+        reason: "stack_batch needs at least one sample".into(),
+    })?;
+    if samples.len() > pad_to {
+        return Err(BoltError::BadInput {
+            reason: format!(
+                "{} samples do not fit in a batch of {pad_to}",
+                samples.len()
+            ),
+        });
+    }
+    if !batch_outermost(proto.layout()) {
+        return Err(BoltError::BadInput {
+            reason: "stack_batch requires a batch-outermost layout (got a column-major matrix)"
+                .into(),
+        });
+    }
+    if proto.shape().rank() == 0 || proto.shape().dim(0) != 1 {
+        return Err(BoltError::BadInput {
+            reason: format!(
+                "stack_batch samples must have batch dimension 1, got shape {}",
+                proto.shape()
+            ),
+        });
+    }
+    for (s, t) in samples.iter().enumerate().skip(1) {
+        if t.shape() != proto.shape() || t.layout() != proto.layout() || t.dtype() != proto.dtype()
+        {
+            return Err(BoltError::BadInput {
+                reason: format!(
+                    "sample {s} disagrees with sample 0: {} {:?} {:?} vs {} {:?} {:?}",
+                    t.shape(),
+                    t.layout(),
+                    t.dtype(),
+                    proto.shape(),
+                    proto.layout(),
+                    proto.dtype()
+                ),
+            });
+        }
+    }
+
+    let per = proto.numel();
+    let mut data = Vec::with_capacity(per * pad_to);
+    for t in samples {
+        data.extend_from_slice(t.data());
+    }
+    let last = samples.last().unwrap_or(proto);
+    for _ in samples.len()..pad_to {
+        data.extend_from_slice(last.data());
+    }
+
+    if proto.layout() == Layout::Nhwc {
+        let (_, c, h, w) = proto.dims4();
+        let mut t = Tensor::zeros_nhwc(pad_to, c, h, w, proto.dtype());
+        t.data_mut().copy_from_slice(&data);
+        Ok(t)
+    } else {
+        let mut dims = proto.shape().dims().to_vec();
+        dims[0] = pad_to;
+        Ok(Tensor::from_vec(&dims, proto.dtype(), data)?)
+    }
+}
+
+/// Extracts sample `index` (batch dimension 1) from a batched tensor —
+/// the inverse of [`stack_batch`].
+///
+/// # Errors
+///
+/// Returns [`BoltError::BadInput`] for an out-of-range index or a layout
+/// whose batch rows are not contiguous (column-major matrices).
+pub fn slice_batch(batched: &Tensor, index: usize) -> Result<Tensor> {
+    if !batch_outermost(batched.layout()) {
+        return Err(BoltError::BadInput {
+            reason: "slice_batch requires a batch-outermost layout (got a column-major matrix)"
+                .into(),
+        });
+    }
+    if batched.shape().rank() == 0 {
+        return Err(BoltError::BadInput {
+            reason: "slice_batch requires a batched (non-scalar) tensor".into(),
+        });
+    }
+    let batch = batched.shape().dim(0);
+    if index >= batch {
+        return Err(BoltError::BadInput {
+            reason: format!("sample index {index} out of range for batch {batch}"),
+        });
+    }
+    let per = batched.numel() / batch;
+    let data = batched.data()[index * per..(index + 1) * per].to_vec();
+    if batched.layout() == Layout::Nhwc {
+        let (_, c, h, w) = batched.dims4();
+        let mut t = Tensor::zeros_nhwc(1, c, h, w, batched.dtype());
+        t.data_mut().copy_from_slice(&data);
+        Ok(t)
+    } else {
+        let mut dims = batched.shape().dims().to_vec();
+        dims[0] = 1;
+        Ok(Tensor::from_vec(&dims, batched.dtype(), data)?)
     }
 }
 
@@ -910,6 +1146,129 @@ mod tests {
         );
         let out = run_host_op(&graph, r, &env).unwrap();
         assert_eq!(out.data(), &[0.0, 2.0, 0.0, 4.0, 0.0, 6.0]);
+    }
+
+    /// Compile-time proof that compiled artifacts can be shared across
+    /// threads behind an `Arc` (the serving layer depends on it): no
+    /// interior mutability hides in `Step` or the kernels.
+    #[test]
+    fn compiled_model_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledModel>();
+        assert_send_sync::<Step>();
+        assert_send_sync::<StepKind>();
+        assert_send_sync::<TimingReport>();
+    }
+
+    fn compiled_mlp(batch: usize) -> CompiledModel {
+        use bolt_tensor::Activation;
+        let mut b = GraphBuilder::new(DType::F16);
+        let x = b.input(&[batch, 16]);
+        let h = b.dense_bias(x, 8, "fc");
+        let y = b.activation(h, Activation::ReLU, "relu");
+        let graph = b.finish(&[y]);
+        crate::BoltCompiler::new(GpuArch::tesla_t4(), crate::BoltConfig::default())
+            .compile(&graph)
+            .expect("mlp compiles")
+    }
+
+    #[test]
+    fn run_rejects_wrong_input_count_with_typed_error() {
+        let model = compiled_mlp(4);
+        let err = model.run(&[]).unwrap_err();
+        match &err {
+            BoltError::BadInput { reason } => {
+                assert!(reason.contains("expected 1 inputs, got 0"), "{reason}");
+            }
+            other => panic!("expected BadInput, got {other}"),
+        }
+    }
+
+    #[test]
+    fn run_rejects_mismatched_batch_with_expected_vs_got() {
+        let model = compiled_mlp(4);
+        let bad = Tensor::randn(&[2, 16], DType::F16, 3);
+        let err = model.run(&[bad]).unwrap_err();
+        match &err {
+            BoltError::BadInput { reason } => {
+                assert!(reason.contains("batch dimension mismatch"), "{reason}");
+                assert!(reason.contains("4") && reason.contains("2"), "{reason}");
+            }
+            other => panic!("expected BadInput, got {other}"),
+        }
+    }
+
+    #[test]
+    fn run_rejects_wrong_rank_without_panicking() {
+        let model = compiled_mlp(4);
+        // Rank-4 tensor against a rank-2 input used to panic in
+        // `Shape::dim` before validation compared ranks first.
+        let bad = Tensor::randn(&[4, 2, 2, 4], DType::F16, 5);
+        let err = model.run(&[bad]).unwrap_err();
+        match &err {
+            BoltError::BadInput { reason } => {
+                assert!(reason.contains("rank mismatch"), "{reason}");
+            }
+            other => panic!("expected BadInput, got {other}"),
+        }
+    }
+
+    #[test]
+    fn run_batched_matches_per_sample_run_and_pads_partial_batches() {
+        let model = compiled_mlp(4);
+        let samples: Vec<Vec<Tensor>> = (0..3)
+            .map(|s| vec![Tensor::randn(&[1, 16], DType::F16, 100 + s)])
+            .collect();
+        let batched = model.run_batched(&samples).expect("batched run");
+        assert_eq!(batched.len(), 3, "padding rows must be dropped");
+
+        let single = compiled_mlp(1);
+        for (s, sample) in samples.iter().enumerate() {
+            let direct = single.run(sample).expect("single run");
+            assert_eq!(batched[s].len(), direct.len());
+            for (a, b) in batched[s].iter().zip(&direct) {
+                assert_eq!(a.shape(), b.shape());
+                assert!(a.allclose(b, 1e-3).unwrap(), "sample {s} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batched_rejects_oversized_and_empty_batches() {
+        let model = compiled_mlp(2);
+        assert!(matches!(
+            model.run_batched(&[]),
+            Err(BoltError::BadInput { .. })
+        ));
+        let samples: Vec<Vec<Tensor>> = (0..3)
+            .map(|s| vec![Tensor::randn(&[1, 16], DType::F16, s)])
+            .collect();
+        assert!(matches!(
+            model.run_batched(&samples),
+            Err(BoltError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn stack_and_slice_batch_round_trip_nhwc() {
+        let samples: Vec<Tensor> = (0..2)
+            .map(|s| {
+                Tensor::randn(&[1, 3, 4, 4], DType::F32, 7 + s)
+                    .to_activation_layout(Layout::Nhwc)
+                    .unwrap()
+            })
+            .collect();
+        let refs: Vec<&Tensor> = samples.iter().collect();
+        let stacked = stack_batch(&refs, 4).expect("stack");
+        assert_eq!(stacked.dims4(), (4, 3, 4, 4));
+        assert_eq!(stacked.layout(), Layout::Nhwc);
+        for (s, sample) in samples.iter().enumerate() {
+            let back = slice_batch(&stacked, s).expect("slice");
+            assert_eq!(back.data(), sample.data());
+        }
+        // Padding rows replicate the last sample.
+        let pad = slice_batch(&stacked, 3).expect("pad slice");
+        assert_eq!(pad.data(), samples[1].data());
     }
 
     #[test]

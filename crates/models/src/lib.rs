@@ -27,4 +27,4 @@ pub mod zoo;
 
 pub use accuracy::{AccuracyModel, TrainRecipe};
 pub use repvgg::{RepVggSpec, RepVggVariant};
-pub use zoo::{model_by_name, ModelInfo, FIGURE10_MODELS};
+pub use zoo::{model_by_name, try_model_by_name, ModelInfo, FIGURE10_MODELS, SERVING_MODELS};

@@ -54,6 +54,30 @@ pub fn dcnv2_deep_tower(batch: usize, dim: usize) -> Graph {
     b.finish(&[out])
 }
 
+/// A DLRM-style scoring MLP with **materialized** parameters, sized for
+/// the serving layer: unlike the shapes-only graphs above it can execute
+/// functionally (`CompiledModel::run`), so `bolt-serve` workers really
+/// compute request batches instead of only pricing them.
+///
+/// `features` lists layer widths input-first (e.g. `[128, 256, 64, 10]`);
+/// every hidden layer is dense+bias+ReLU, the head is dense+bias.
+pub fn serving_mlp(batch: usize, features: &[usize]) -> Graph {
+    assert!(
+        features.len() >= 2,
+        "serving_mlp needs input and output widths"
+    );
+    let mut b = GraphBuilder::new(DType::F16);
+    let mut x = b.input(&[batch, features[0]]);
+    let last = features.len() - 2;
+    for (i, &units) in features[1..].iter().enumerate() {
+        x = b.dense_bias(x, units, &format!("serve.fc{i}"));
+        if i < last {
+            x = b.activation(x, Activation::ReLU, &format!("serve.relu{i}"));
+        }
+    }
+    b.finish(&[x])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +107,21 @@ mod tests {
         assert_eq!(tasks.len(), 2);
         let out = g.outputs()[0];
         assert_eq!(g.node(out).shape.dims(), &[16384, 16]);
+    }
+
+    #[test]
+    fn serving_mlp_materializes_params() {
+        let g = serving_mlp(8, &[128, 256, 64, 10]);
+        let constants: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, bolt_graph::OpKind::Constant { .. }))
+            .collect();
+        assert!(!constants.is_empty());
+        for c in &constants {
+            assert!(g.param(c.id).is_some(), "{} has no data", c.name);
+        }
+        assert_eq!(g.node(g.outputs()[0]).shape.dims(), &[8, 10]);
     }
 
     #[test]

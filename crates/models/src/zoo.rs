@@ -4,6 +4,7 @@ use bolt_graph::Graph;
 use bolt_tensor::Activation;
 
 use crate::inception::inception_v3;
+use crate::mlp::serving_mlp;
 use crate::repvgg::{RepVggSpec, RepVggVariant};
 use crate::resnet::resnet;
 use crate::vgg::vgg;
@@ -17,6 +18,10 @@ pub const FIGURE10_MODELS: [&str; 6] = [
     "repvgg-a0",
     "repvgg-b0",
 ];
+
+/// Zoo entries with **materialized** parameters — the models the serving
+/// layer executes functionally, not just prices.
+pub const SERVING_MODELS: [&str; 2] = ["mlp-small", "mlp-large"];
 
 /// Metadata for a zoo model.
 #[derive(Debug, Clone)]
@@ -36,9 +41,17 @@ pub struct ModelInfo {
 /// # Panics
 ///
 /// Panics on an unknown name; see [`FIGURE10_MODELS`] for the supported
-/// set (plus `vgg-11`, `vgg-13`, `resnet-34`, `repvgg-a1`, and the
-/// `repvggaug-*` variants).
+/// set (plus `vgg-11`, `vgg-13`, `resnet-34`, `repvgg-a1`, the
+/// `repvggaug-*` variants, and the [`SERVING_MODELS`]). Registries and
+/// other callers that must not panic should use [`try_model_by_name`].
 pub fn model_by_name(name: &str, batch: usize) -> ModelInfo {
+    try_model_by_name(name, batch).unwrap_or_else(|| panic!("unknown model {name}"))
+}
+
+/// Non-panicking zoo lookup: returns `None` for an unknown name. This is
+/// the entry point the serving-layer engine registry uses, where an
+/// unknown model is a client error, not a crash.
+pub fn try_model_by_name(name: &str, batch: usize) -> Option<ModelInfo> {
     let graph = match name {
         "vgg-11" => vgg(11, batch),
         "vgg-13" => vgg(13, batch),
@@ -62,7 +75,9 @@ pub fn model_by_name(name: &str, batch: usize) -> ModelInfo {
         "repvggaug-b0" => {
             RepVggSpec::augmented(RepVggVariant::B0, Activation::ReLU).deploy_graph(batch)
         }
-        other => panic!("unknown model {other}"),
+        "mlp-small" => serving_mlp(batch, &[128, 256, 64, 10]),
+        "mlp-large" => serving_mlp(batch, &[256, 512, 512, 128, 10]),
+        _ => return None,
     };
     let params: usize = graph
         .nodes()
@@ -72,12 +87,12 @@ pub fn model_by_name(name: &str, batch: usize) -> ModelInfo {
             _ => None,
         })
         .sum();
-    ModelInfo {
+    Some(ModelInfo {
         name: name.to_string(),
         graph,
         batch,
         params_m: params as f64 / 1e6,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -108,5 +123,32 @@ mod tests {
     #[should_panic(expected = "unknown model")]
     fn unknown_model_panics() {
         model_by_name("alexnet", 1);
+    }
+
+    #[test]
+    fn try_lookup_is_total() {
+        assert!(try_model_by_name("alexnet", 1).is_none());
+        assert!(try_model_by_name("resnet-18", 4).is_some());
+    }
+
+    #[test]
+    fn serving_models_build_with_materialized_params() {
+        for name in SERVING_MODELS {
+            let info = try_model_by_name(name, 8).expect(name);
+            let constants: Vec<_> = info
+                .graph
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.kind, bolt_graph::OpKind::Constant { .. }))
+                .collect();
+            assert!(!constants.is_empty(), "{name}");
+            for c in constants {
+                assert!(
+                    info.graph.param(c.id).is_some(),
+                    "{name}: {} not materialized",
+                    c.name
+                );
+            }
+        }
     }
 }

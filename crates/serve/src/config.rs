@@ -1,0 +1,99 @@
+//! Server configuration: batching policy, admission control, worker pool.
+
+use std::time::Duration;
+
+/// Tunables for a [`crate::BoltServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of worker threads, each modelling one GPU stream: batches
+    /// dispatched to the same worker serialize on its simulated timeline.
+    pub workers: usize,
+    /// Largest batch the scheduler forms. A queue is drained as soon as
+    /// this many requests are waiting.
+    pub max_batch: usize,
+    /// How long a partial batch may wait for company before it is
+    /// dispatched anyway — the classic dynamic-batching knob trading
+    /// per-request latency for batch efficiency.
+    pub batch_timeout: Duration,
+    /// Bounded per-(model, shape) queue depth. A submit against a full
+    /// queue fails fast with [`crate::ServeError::QueueFull`]
+    /// (backpressure) instead of growing latency without bound.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own. Requests
+    /// still queued past their deadline are shed at batch-formation time
+    /// ([`crate::Outcome::DeadlineExceeded`]) rather than executed late.
+    pub default_deadline: Option<Duration>,
+    /// Execute batches functionally (`CompiledModel::run_batched`) when
+    /// the model's parameters are materialized. Timing-only models (the
+    /// shapes-only zoo CNNs) are always priced on the simulator only.
+    pub functional: bool,
+    /// Batch-bucket sizes to compile engines for. `None` selects powers
+    /// of two up to [`ServeConfig::max_batch`] (always including
+    /// `max_batch` itself); a formed batch runs on the smallest bucket
+    /// that fits, padded by replicating the last sample.
+    pub batch_buckets: Option<Vec<usize>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(2),
+            queue_capacity: 256,
+            default_deadline: None,
+            functional: true,
+            batch_buckets: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The bucket sizes engines are compiled for: the explicit
+    /// [`ServeConfig::batch_buckets`] (sorted, deduplicated), or powers
+    /// of two `1, 2, 4, …` up to and including [`ServeConfig::max_batch`].
+    pub fn buckets(&self) -> Vec<usize> {
+        let mut buckets = match &self.batch_buckets {
+            Some(b) => b.clone(),
+            None => {
+                let mut b = Vec::new();
+                let mut size = 1usize;
+                while size < self.max_batch {
+                    b.push(size);
+                    size *= 2;
+                }
+                b.push(self.max_batch);
+                b
+            }
+        };
+        buckets.retain(|&b| b > 0);
+        buckets.sort_unstable();
+        buckets.dedup();
+        buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_buckets_are_powers_of_two_up_to_max_batch() {
+        let c = ServeConfig::default();
+        assert_eq!(c.buckets(), vec![1, 2, 4, 8]);
+        let odd = ServeConfig {
+            max_batch: 6,
+            ..Default::default()
+        };
+        assert_eq!(odd.buckets(), vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn explicit_buckets_are_normalized() {
+        let c = ServeConfig {
+            batch_buckets: Some(vec![4, 1, 4, 0]),
+            ..Default::default()
+        };
+        assert_eq!(c.buckets(), vec![1, 4]);
+    }
+}

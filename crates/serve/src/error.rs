@@ -1,0 +1,87 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+use bolt::BoltError;
+
+/// Errors surfaced to serving clients at registration or admission time.
+///
+/// A request that is *accepted* (its [`crate::BoltServer::submit`] call
+/// returned a handle) never produces a `ServeError` afterwards: every
+/// accepted request resolves to exactly one terminal
+/// [`crate::Outcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The named model was never registered.
+    UnknownModel {
+        /// The requested model name.
+        name: String,
+    },
+    /// The request's inputs do not match the model's sample signature.
+    InvalidInput {
+        /// Target model.
+        model: String,
+        /// Expected vs. got description.
+        reason: String,
+    },
+    /// The model's bounded request queue is full (backpressure): retry
+    /// later or slow down.
+    QueueFull {
+        /// Target model.
+        model: String,
+        /// The configured per-queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is draining and no longer accepts new work.
+    ShuttingDown,
+    /// Compiling an engine for a registered model failed.
+    Compile(BoltError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel { name } => write!(f, "unknown model {name:?}"),
+            ServeError::InvalidInput { model, reason } => {
+                write!(f, "invalid input for model {model:?}: {reason}")
+            }
+            ServeError::QueueFull { model, capacity } => {
+                write!(f, "queue for model {model:?} is full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Compile(e) => write!(f, "engine compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BoltError> for ServeError {
+    fn from(e: BoltError) -> Self {
+        ServeError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_model() {
+        let e = ServeError::QueueFull {
+            model: "mlp-small".into(),
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("mlp-small"));
+        assert!(e.to_string().contains('4'));
+        let c: ServeError = BoltError::BadInput { reason: "x".into() }.into();
+        assert!(c.to_string().contains("compilation failed"));
+    }
+}

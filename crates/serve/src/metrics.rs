@@ -1,0 +1,246 @@
+//! Serving metrics: counters, latency percentiles, batch-size histogram.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Shared mutable metrics store (internal; readers take
+/// [`MetricsSnapshot`]s).
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    submitted: u64,
+    accepted: u64,
+    completed: u64,
+    rejected_unknown_model: u64,
+    rejected_invalid_input: u64,
+    rejected_queue_full: u64,
+    rejected_shutting_down: u64,
+    rejected_execution: u64,
+    deadline_shed: u64,
+    batches: u64,
+    latencies_us: Vec<f64>,
+    batch_sizes: BTreeMap<usize, u64>,
+    images_per_sec: Vec<f64>,
+}
+
+impl Metrics {
+    pub(crate) fn submitted(&self) {
+        self.inner.lock().submitted += 1;
+    }
+
+    pub(crate) fn accepted(&self) {
+        self.inner.lock().accepted += 1;
+    }
+
+    pub(crate) fn rejected_unknown_model(&self) {
+        self.inner.lock().rejected_unknown_model += 1;
+    }
+
+    pub(crate) fn rejected_invalid_input(&self) {
+        self.inner.lock().rejected_invalid_input += 1;
+    }
+
+    pub(crate) fn rejected_queue_full(&self) {
+        self.inner.lock().rejected_queue_full += 1;
+    }
+
+    pub(crate) fn rejected_shutting_down(&self) {
+        self.inner.lock().rejected_shutting_down += 1;
+    }
+
+    pub(crate) fn rejected_execution(&self) {
+        self.inner.lock().rejected_execution += 1;
+    }
+
+    pub(crate) fn deadline_shed(&self) {
+        self.inner.lock().deadline_shed += 1;
+    }
+
+    /// Records one dispatched batch: `size` real requests, achieved
+    /// simulated throughput from `TimingReport::images_per_sec`.
+    pub(crate) fn batch(&self, size: usize, images_per_sec: f64) {
+        let mut inner = self.inner.lock();
+        inner.batches += 1;
+        *inner.batch_sizes.entry(size).or_insert(0) += 1;
+        inner.images_per_sec.push(images_per_sec);
+    }
+
+    pub(crate) fn completed(&self, latency_us: f64) {
+        let mut inner = self.inner.lock();
+        inner.completed += 1;
+        inner.latencies_us.push(latency_us);
+    }
+
+    pub(crate) fn snapshot(&self, wall_elapsed_us: f64) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut sorted = inner.latencies_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let total_batched: u64 = inner
+            .batch_sizes
+            .iter()
+            .map(|(size, count)| *size as u64 * count)
+            .sum();
+        let mean_batch = if inner.batches > 0 {
+            total_batched as f64 / inner.batches as f64
+        } else {
+            0.0
+        };
+        let mean_images_per_sec = if inner.images_per_sec.is_empty() {
+            0.0
+        } else {
+            inner.images_per_sec.iter().sum::<f64>() / inner.images_per_sec.len() as f64
+        };
+        MetricsSnapshot {
+            submitted: inner.submitted,
+            accepted: inner.accepted,
+            completed: inner.completed,
+            rejected: inner.rejected_unknown_model
+                + inner.rejected_invalid_input
+                + inner.rejected_queue_full
+                + inner.rejected_shutting_down
+                + inner.rejected_execution,
+            rejected_unknown_model: inner.rejected_unknown_model,
+            rejected_invalid_input: inner.rejected_invalid_input,
+            rejected_queue_full: inner.rejected_queue_full,
+            rejected_shutting_down: inner.rejected_shutting_down,
+            rejected_execution: inner.rejected_execution,
+            deadline_shed: inner.deadline_shed,
+            batches: inner.batches,
+            mean_batch,
+            batch_hist: inner
+                .batch_sizes
+                .iter()
+                .map(|(&size, &count)| (size, count))
+                .collect(),
+            latency_mean_us: if sorted.is_empty() {
+                0.0
+            } else {
+                sorted.iter().sum::<f64>() / sorted.len() as f64
+            },
+            latency_p50_us: percentile(&sorted, 0.50),
+            latency_p95_us: percentile(&sorted, 0.95),
+            latency_p99_us: percentile(&sorted, 0.99),
+            latency_max_us: sorted.last().copied().unwrap_or(0.0),
+            sim_images_per_sec: mean_images_per_sec,
+            wall_elapsed_us,
+            throughput_rps: if wall_elapsed_us > 0.0 {
+                inner.completed as f64 / (wall_elapsed_us / 1e6)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Percentile over a **sorted** slice (nearest-rank); 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A consistent point-in-time view of the server's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Submit attempts, including rejected ones.
+    pub submitted: u64,
+    /// Requests admitted to a queue (each resolves to exactly one
+    /// terminal [`crate::Outcome`]).
+    pub accepted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Total rejections, at admission (unknown model, invalid input,
+    /// queue full, shutting down) plus post-admission execution failures.
+    pub rejected: u64,
+    /// Admission rejections: unknown model name.
+    pub rejected_unknown_model: u64,
+    /// Admission rejections: input shape/arity mismatch.
+    pub rejected_invalid_input: u64,
+    /// Admission rejections: bounded queue was full (backpressure).
+    pub rejected_queue_full: u64,
+    /// Admission rejections: server was draining.
+    pub rejected_shutting_down: u64,
+    /// Accepted requests whose batch failed to execute.
+    pub rejected_execution: u64,
+    /// Accepted requests shed at batch formation because their deadline
+    /// had already passed.
+    pub deadline_shed: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Mean real requests per dispatched batch.
+    pub mean_batch: f64,
+    /// `(batch_size, count)` pairs, ascending by size.
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Mean end-to-end latency, µs.
+    pub latency_mean_us: f64,
+    /// Median end-to-end latency, µs.
+    pub latency_p50_us: f64,
+    /// 95th-percentile latency, µs.
+    pub latency_p95_us: f64,
+    /// 99th-percentile latency, µs.
+    pub latency_p99_us: f64,
+    /// Worst observed latency, µs.
+    pub latency_max_us: f64,
+    /// Mean per-batch simulated throughput
+    /// (`TimingReport::images_per_sec` over real batch size).
+    pub sim_images_per_sec: f64,
+    /// Wall-clock time the snapshot covers, µs.
+    pub wall_elapsed_us: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+impl MetricsSnapshot {
+    /// Requests with a terminal outcome: completed + shed + execution
+    /// failures. Equals [`MetricsSnapshot::accepted`] once the server has
+    /// drained.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.deadline_shed + self.rejected_execution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches_and_latencies() {
+        let m = Metrics::default();
+        for _ in 0..3 {
+            m.submitted();
+            m.accepted();
+        }
+        m.batch(2, 1000.0);
+        m.batch(1, 500.0);
+        m.completed(10.0);
+        m.completed(20.0);
+        m.completed(30.0);
+        let s = m.snapshot(1e6);
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch - 1.5).abs() < 1e-9);
+        assert_eq!(s.batch_hist, vec![(1, 1), (2, 1)]);
+        assert_eq!(s.latency_p50_us, 20.0);
+        assert_eq!(s.latency_max_us, 30.0);
+        assert!((s.throughput_rps - 3.0).abs() < 1e-9);
+        assert_eq!(s.resolved(), 3);
+    }
+}

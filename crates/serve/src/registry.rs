@@ -1,0 +1,288 @@
+//! The engine registry: compiles each registered model once per batch
+//! bucket and shares the immutable engines across server threads.
+//!
+//! All buckets of all models are compiled through one [`BoltCompiler`],
+//! so the profiler's workload cache (and the PR-1 on-disk autotune cache,
+//! when `BoltConfig::cache_path` is set) is shared: a GEMM tuned for the
+//! batch-8 bucket is not re-tuned for batch-8 of another model, and a
+//! warm cache makes registration measure nothing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bolt::{BoltCompiler, BoltConfig, CompiledModel};
+use bolt_gpu_sim::GpuArch;
+use bolt_graph::{Graph, OpKind};
+use bolt_models::try_model_by_name;
+use bolt_tensor::Tensor;
+use parking_lot::RwLock;
+
+use crate::error::ServeError;
+use crate::Result;
+
+/// The compiled engines backing one served model: one immutable
+/// [`CompiledModel`] per batch bucket.
+#[derive(Debug)]
+pub struct ModelEngines {
+    name: String,
+    /// Logical (NCHW for rank 4) dims of one sample's inputs, batch 1.
+    sample_dims: Vec<Vec<usize>>,
+    /// `(bucket_size, engine)`, ascending by bucket size.
+    buckets: Vec<(usize, Arc<CompiledModel>)>,
+    /// True when every graph constant carries data, so batches can be
+    /// executed functionally, not only priced.
+    functional: bool,
+}
+
+impl ModelEngines {
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True when the model executes functionally (materialized params).
+    pub fn functional(&self) -> bool {
+        self.functional
+    }
+
+    /// The compiled bucket sizes, ascending.
+    pub fn bucket_sizes(&self) -> Vec<usize> {
+        self.buckets.iter().map(|(b, _)| *b).collect()
+    }
+
+    /// The largest compiled bucket — the model's effective max batch.
+    pub fn max_batch(&self) -> usize {
+        self.buckets.last().map(|(b, _)| *b).unwrap_or(0)
+    }
+
+    /// Logical per-sample input shapes (batch dimension 1).
+    pub fn sample_dims(&self) -> &[Vec<usize>] {
+        &self.sample_dims
+    }
+
+    /// The engine a batch of `batch` samples runs on: the smallest bucket
+    /// that fits (the batch is padded up to it), or the largest bucket
+    /// when `batch` exceeds every bucket (callers cap batches at
+    /// [`ModelEngines::max_batch`], so that branch is defensive).
+    pub fn engine_for(&self, batch: usize) -> (usize, Arc<CompiledModel>) {
+        for (size, engine) in &self.buckets {
+            if *size >= batch {
+                return (*size, Arc::clone(engine));
+            }
+        }
+        let (size, engine) = self
+            .buckets
+            .last()
+            .expect("ModelEngines always has at least one bucket");
+        (*size, Arc::clone(engine))
+    }
+
+    /// Checks one request's inputs against the sample signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidInput`] naming expected vs. got.
+    pub fn validate_sample(&self, inputs: &[Tensor]) -> Result<()> {
+        if inputs.len() != self.sample_dims.len() {
+            return Err(ServeError::InvalidInput {
+                model: self.name.clone(),
+                reason: format!(
+                    "expected {} inputs, got {}",
+                    self.sample_dims.len(),
+                    inputs.len()
+                ),
+            });
+        }
+        for (i, (tensor, want)) in inputs.iter().zip(&self.sample_dims).enumerate() {
+            let got = logical_dims(tensor);
+            if &got != want {
+                return Err(ServeError::InvalidInput {
+                    model: self.name.clone(),
+                    reason: format!("input {i}: expected shape {want:?}, got {got:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The tensor's dims in the graph's logical convention (NCHW for rank-4
+/// activations regardless of storage layout).
+fn logical_dims(tensor: &Tensor) -> Vec<usize> {
+    if tensor.shape().rank() == 4 {
+        let (n, c, h, w) = tensor.dims4();
+        vec![n, c, h, w]
+    } else {
+        tensor.shape().dims().to_vec()
+    }
+}
+
+/// Compiles and stores engines for every served model.
+#[derive(Debug)]
+pub struct EngineRegistry {
+    compiler: BoltCompiler,
+    models: RwLock<HashMap<String, Arc<ModelEngines>>>,
+}
+
+impl EngineRegistry {
+    /// Creates a registry compiling for `arch` with `config` (set
+    /// `config.cache_path` to make registration warm across processes).
+    pub fn new(arch: GpuArch, config: BoltConfig) -> Self {
+        EngineRegistry {
+            compiler: BoltCompiler::new(arch, config),
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The shared compiler (e.g. to inspect profiler statistics).
+    pub fn compiler(&self) -> &BoltCompiler {
+        &self.compiler
+    }
+
+    /// Registers a `bolt-models` zoo model by name, compiling one engine
+    /// per bucket size. Re-registering a name replaces its engines.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for a name the zoo does not know,
+    /// [`ServeError::InvalidInput`] for an empty bucket list, or
+    /// [`ServeError::Compile`] when a bucket fails to compile.
+    pub fn register_zoo(&self, name: &str, buckets: &[usize]) -> Result<Arc<ModelEngines>> {
+        if try_model_by_name(name, 1).is_none() {
+            return Err(ServeError::UnknownModel { name: name.into() });
+        }
+        self.register_with(name, buckets, |batch| {
+            try_model_by_name(name, batch)
+                .expect("existence checked above; zoo lookup is batch-independent")
+                .graph
+        })
+    }
+
+    /// Registers a model from a graph-builder callback (`batch` →
+    /// inference graph at that batch size), compiling one engine per
+    /// bucket. This is the hook for models outside the zoo.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInput`] for an empty bucket list, or
+    /// [`ServeError::Compile`] when a bucket fails to compile.
+    pub fn register_with(
+        &self,
+        name: &str,
+        buckets: &[usize],
+        build: impl Fn(usize) -> Graph,
+    ) -> Result<Arc<ModelEngines>> {
+        let mut sizes: Vec<usize> = buckets.iter().copied().filter(|&b| b > 0).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        if sizes.is_empty() {
+            return Err(ServeError::InvalidInput {
+                model: name.into(),
+                reason: "at least one positive batch bucket is required".into(),
+            });
+        }
+
+        let probe = build(1);
+        let sample_dims: Vec<Vec<usize>> = probe
+            .input_ids()
+            .iter()
+            .map(|&id| probe.node(id).shape.dims().to_vec())
+            .collect();
+        let functional = probe
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Constant { .. }))
+            .all(|n| probe.param(n.id).is_some());
+
+        let mut compiled = Vec::with_capacity(sizes.len());
+        for &bucket in &sizes {
+            let engine = self.compiler.compile(&build(bucket))?;
+            compiled.push((bucket, Arc::new(engine)));
+        }
+
+        let engines = Arc::new(ModelEngines {
+            name: name.to_string(),
+            sample_dims,
+            buckets: compiled,
+            functional,
+        });
+        self.models
+            .write()
+            .insert(name.to_string(), Arc::clone(&engines));
+        Ok(engines)
+    }
+
+    /// Looks a registered model up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEngines>> {
+        self.models.read().get(name).cloned()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_tensor::DType;
+
+    fn registry() -> EngineRegistry {
+        EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default())
+    }
+
+    #[test]
+    fn zoo_registration_compiles_every_bucket() {
+        let reg = registry();
+        let engines = reg.register_zoo("mlp-small", &[1, 2, 4]).expect("register");
+        assert_eq!(engines.bucket_sizes(), vec![1, 2, 4]);
+        assert_eq!(engines.max_batch(), 4);
+        assert!(engines.functional(), "serving MLPs materialize params");
+        assert_eq!(engines.sample_dims(), &[vec![1, 128]]);
+        assert_eq!(reg.names(), vec!["mlp-small".to_string()]);
+    }
+
+    #[test]
+    fn unknown_zoo_model_is_a_typed_error() {
+        let err = registry().register_zoo("alexnet", &[1]).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel { .. }));
+        assert!(registry().get("alexnet").is_none());
+    }
+
+    #[test]
+    fn empty_buckets_are_rejected() {
+        let err = registry().register_zoo("mlp-small", &[0]).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn engine_for_picks_smallest_fitting_bucket() {
+        let reg = registry();
+        let engines = reg.register_zoo("mlp-small", &[1, 4, 8]).expect("register");
+        assert_eq!(engines.engine_for(1).0, 1);
+        assert_eq!(engines.engine_for(3).0, 4);
+        assert_eq!(engines.engine_for(8).0, 8);
+        // Oversized batches clamp to the largest bucket (defensive).
+        assert_eq!(engines.engine_for(64).0, 8);
+    }
+
+    #[test]
+    fn validate_sample_names_expected_vs_got() {
+        let reg = registry();
+        let engines = reg.register_zoo("mlp-small", &[1]).expect("register");
+        let ok = Tensor::randn(&[1, 128], DType::F16, 1);
+        assert!(engines.validate_sample(std::slice::from_ref(&ok)).is_ok());
+        let bad = Tensor::randn(&[1, 64], DType::F16, 1);
+        let err = engines.validate_sample(&[bad]).unwrap_err();
+        match err {
+            ServeError::InvalidInput { reason, .. } => {
+                assert!(reason.contains("128") && reason.contains("64"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(engines.validate_sample(&[]).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! The dynamic-batching scheduler: per-(model, shape) queues and the
+//! batch-formation policy.
+//!
+//! Policy (DESIGN.md §7): a queue drains into a full batch the moment
+//! `max_batch` requests wait; a partial batch is dispatched when its
+//! oldest request has waited `batch_timeout`, or immediately when the
+//! server is draining. Requests whose deadline has already passed are
+//! shed at formation time — executing them would waste a stream on work
+//! nobody is waiting for.
+//!
+//! The scheduler is a plain data structure driven under the server's
+//! lock, which keeps the policy deterministic and directly unit-testable.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::registry::ModelEngines;
+use crate::request::QueuedRequest;
+
+/// A formed batch handed to the worker pool.
+#[derive(Debug)]
+pub(crate) struct BatchJob {
+    pub model: Arc<ModelEngines>,
+    /// 1 ≤ `requests.len()` ≤ min(`max_batch`, model max bucket).
+    pub requests: Vec<QueuedRequest>,
+}
+
+/// What one scheduling pass decided.
+#[derive(Debug, Default)]
+pub(crate) struct FormResult {
+    /// Batches to dispatch, in formation order.
+    pub jobs: Vec<BatchJob>,
+    /// Requests shed because their deadline passed while queued.
+    pub shed: Vec<QueuedRequest>,
+    /// Absolute time (µs) of the next timeout/deadline edge, if any
+    /// request is still waiting.
+    pub next_wake_us: Option<f64>,
+}
+
+/// Per-(model, shape-bucket) FIFO queues plus the admission flag.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    queues: HashMap<String, VecDeque<QueuedRequest>>,
+    /// False once draining begins: no new admissions, partial batches
+    /// flush immediately.
+    pub accepting: bool,
+}
+
+impl Scheduler {
+    pub(crate) fn new() -> Self {
+        Scheduler {
+            queues: HashMap::new(),
+            accepting: true,
+        }
+    }
+
+    /// Queue key: model name plus the sample-shape signature fixed at
+    /// registration (one shape bucket per model today, but the key keeps
+    /// distinct shapes in distinct queues if that ever changes).
+    pub(crate) fn key_for(model: &ModelEngines) -> String {
+        format!("{}@{:?}", model.name(), model.sample_dims())
+    }
+
+    /// Depth of the queue `key`, for admission control.
+    pub(crate) fn depth(&self, key: &str) -> usize {
+        self.queues.get(key).map_or(0, VecDeque::len)
+    }
+
+    /// Total queued requests across all queues.
+    pub(crate) fn pending(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    pub(crate) fn enqueue(&mut self, key: String, request: QueuedRequest) {
+        self.queues.entry(key).or_default().push_back(request);
+    }
+
+    /// One scheduling pass at `now_us`. `flush` dispatches partial
+    /// batches immediately (draining) instead of waiting out the timeout.
+    pub(crate) fn form(
+        &mut self,
+        now_us: f64,
+        max_batch: usize,
+        timeout_us: f64,
+        flush: bool,
+    ) -> FormResult {
+        let mut result = FormResult::default();
+        for queue in self.queues.values_mut() {
+            // Shed already-late work first so it neither occupies batch
+            // slots nor delays punctual requests.
+            let mut kept = VecDeque::with_capacity(queue.len());
+            for request in queue.drain(..) {
+                match request.deadline_us {
+                    Some(deadline) if now_us > deadline => result.shed.push(request),
+                    _ => kept.push_back(request),
+                }
+            }
+            *queue = kept;
+
+            let Some(front) = queue.front() else { continue };
+            let cap = max_batch.min(front.model.max_batch()).max(1);
+            let due_us = front.submitted_us + timeout_us;
+            let drain_all = flush || now_us >= due_us;
+
+            while queue.len() >= cap || (drain_all && !queue.is_empty()) {
+                let take = queue.len().min(cap);
+                let requests: Vec<QueuedRequest> = queue.drain(..take).collect();
+                result.jobs.push(BatchJob {
+                    model: Arc::clone(&requests[0].model),
+                    requests,
+                });
+            }
+
+            if let Some(front) = queue.front() {
+                let mut wake = front.submitted_us + timeout_us;
+                for request in queue.iter() {
+                    if let Some(deadline) = request.deadline_us {
+                        wake = wake.min(deadline);
+                    }
+                }
+                result.next_wake_us = Some(match result.next_wake_us {
+                    Some(prev) => prev.min(wake),
+                    None => wake,
+                });
+            }
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ResponseSlot;
+    use crate::{EngineRegistry, ServeConfig};
+    use bolt::BoltConfig;
+    use bolt_gpu_sim::GpuArch;
+    use bolt_tensor::{DType, Tensor};
+
+    fn engines() -> Arc<ModelEngines> {
+        let registry = EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default());
+        registry
+            .register_zoo("mlp-small", &ServeConfig::default().buckets())
+            .expect("register")
+    }
+
+    fn request(
+        model: &Arc<ModelEngines>,
+        submitted_us: f64,
+        deadline_us: Option<f64>,
+    ) -> QueuedRequest {
+        QueuedRequest {
+            model: Arc::clone(model),
+            inputs: vec![Tensor::randn(&[1, 128], DType::F16, 1)],
+            submitted_us,
+            deadline_us,
+            slot: Arc::new(ResponseSlot::default()),
+        }
+    }
+
+    #[test]
+    fn full_batches_form_immediately_and_respect_max_batch() {
+        let model = engines();
+        let mut sched = Scheduler::new();
+        let key = Scheduler::key_for(&model);
+        for _ in 0..19 {
+            sched.enqueue(key.clone(), request(&model, 0.0, None));
+        }
+        // Before the timeout, only complete batches of 8 may form.
+        let result = sched.form(10.0, 8, 1_000.0, false);
+        assert_eq!(result.jobs.len(), 2);
+        assert!(result.jobs.iter().all(|j| j.requests.len() == 8));
+        assert_eq!(sched.pending(), 3, "partial batch keeps waiting");
+        assert!(result.next_wake_us.is_some());
+
+        // Past the timeout the remainder flushes as one partial batch.
+        let result = sched.form(2_000.0, 8, 1_000.0, false);
+        assert_eq!(result.jobs.len(), 1);
+        assert_eq!(result.jobs[0].requests.len(), 3);
+        assert_eq!(sched.pending(), 0);
+        assert!(result.next_wake_us.is_none());
+    }
+
+    #[test]
+    fn partial_batch_waits_for_timeout_then_flushes() {
+        let model = engines();
+        let mut sched = Scheduler::new();
+        let key = Scheduler::key_for(&model);
+        for _ in 0..3 {
+            sched.enqueue(key.clone(), request(&model, 100.0, None));
+        }
+        let early = sched.form(500.0, 8, 1_000.0, false);
+        assert!(early.jobs.is_empty(), "timeout not reached");
+        assert_eq!(early.next_wake_us, Some(1_100.0));
+        let due = sched.form(1_100.0, 8, 1_000.0, false);
+        assert_eq!(due.jobs.len(), 1);
+        assert_eq!(due.jobs[0].requests.len(), 3);
+    }
+
+    #[test]
+    fn flush_drains_partials_immediately() {
+        let model = engines();
+        let mut sched = Scheduler::new();
+        sched.enqueue(Scheduler::key_for(&model), request(&model, 0.0, None));
+        let result = sched.form(1.0, 8, 1_000_000.0, true);
+        assert_eq!(result.jobs.len(), 1);
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_not_batched() {
+        let model = engines();
+        let mut sched = Scheduler::new();
+        let key = Scheduler::key_for(&model);
+        sched.enqueue(key.clone(), request(&model, 0.0, Some(50.0)));
+        sched.enqueue(key.clone(), request(&model, 0.0, None));
+        let result = sched.form(100.0, 8, 10.0, false);
+        assert_eq!(result.shed.len(), 1);
+        assert_eq!(result.jobs.len(), 1, "survivor still batches");
+        assert_eq!(result.jobs[0].requests.len(), 1);
+    }
+
+    #[test]
+    fn batch_cap_respects_model_max_bucket() {
+        let registry = EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default());
+        let model = registry
+            .register_zoo("mlp-small", &[1, 2])
+            .expect("register");
+        let mut sched = Scheduler::new();
+        let key = Scheduler::key_for(&model);
+        for _ in 0..5 {
+            sched.enqueue(key.clone(), request(&model, 0.0, None));
+        }
+        // Global max_batch 8, but the model only has buckets up to 2.
+        let result = sched.form(10.0, 8, 0.0, false);
+        assert!(result.jobs.iter().all(|j| j.requests.len() <= 2));
+        assert_eq!(
+            result.jobs.iter().map(|j| j.requests.len()).sum::<usize>(),
+            5
+        );
+    }
+}

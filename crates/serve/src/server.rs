@@ -1,0 +1,339 @@
+//! The serving front-end: admission control, the batcher thread, and the
+//! worker pool of simulated GPU streams.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bolt_tensor::Tensor;
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::EngineRegistry;
+use crate::request::{
+    InferResponse, LatencyBreakdown, Outcome, QueuedRequest, RequestHandle, ResponseSlot,
+};
+use crate::scheduler::{BatchJob, Scheduler};
+use crate::Result;
+
+/// Shared state between the front-end, the batcher, and the workers.
+struct Inner {
+    registry: Arc<EngineRegistry>,
+    config: ServeConfig,
+    /// Origin of the server's unified µs timeline.
+    epoch: Instant,
+    metrics: Metrics,
+    sched: Mutex<Scheduler>,
+    /// Wakes the batcher on submissions and shutdown.
+    sched_cv: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Inner {
+    fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+/// A multi-model dynamic-batching inference server over compiled Bolt
+/// engines.
+///
+/// Lifecycle: build an [`EngineRegistry`], register models, call
+/// [`BoltServer::start`], submit from any number of threads, then
+/// [`BoltServer::shutdown`] to drain gracefully. Dropping the server also
+/// drains it.
+pub struct BoltServer {
+    inner: Arc<Inner>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BoltServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoltServer")
+            .field("models", &self.inner.registry.names())
+            .field("config", &self.inner.config)
+            .finish()
+    }
+}
+
+impl BoltServer {
+    /// Starts the batcher and `config.workers` stream workers over the
+    /// models already registered in `registry` (models may also be
+    /// registered while the server runs).
+    pub fn start(registry: Arc<EngineRegistry>, config: ServeConfig) -> Self {
+        let config = ServeConfig {
+            workers: config.workers.max(1),
+            max_batch: config.max_batch.max(1),
+            ..config
+        };
+        let inner = Arc::new(Inner {
+            registry,
+            config,
+            epoch: Instant::now(),
+            metrics: Metrics::default(),
+            sched: Mutex::new(Scheduler::new()),
+            sched_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        });
+
+        // Bounded hand-off: at most ~one formed batch per worker may wait
+        // in the channel. Any further backlog stays in the scheduler
+        // queues, where deadline shedding and queue-capacity backpressure
+        // still apply (an unbounded channel would hide overload from
+        // admission control).
+        let (tx, rx) = mpsc::sync_channel::<BatchJob>(inner.config.workers);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..inner.config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&inner, &rx))
+            })
+            .collect();
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || batcher_loop(&inner, &tx))
+        };
+
+        BoltServer {
+            inner,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// The registry backing this server.
+    pub fn registry(&self) -> &Arc<EngineRegistry> {
+        &self.inner.registry
+    }
+
+    /// Submits one single-sample request. `deadline` (defaulting to
+    /// [`ServeConfig::default_deadline`]) bounds how long the request may
+    /// wait: if it is still queued past the deadline it is shed with
+    /// [`Outcome::DeadlineExceeded`] instead of executed late.
+    ///
+    /// # Errors
+    ///
+    /// Admission control rejects fast — [`ServeError::UnknownModel`],
+    /// [`ServeError::InvalidInput`], [`ServeError::QueueFull`]
+    /// (backpressure), [`ServeError::ShuttingDown`] — and every rejection
+    /// is counted in the metrics. An `Ok` handle is a guarantee: the
+    /// request will resolve to exactly one terminal [`Outcome`].
+    pub fn submit(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> Result<RequestHandle> {
+        let inner = &*self.inner;
+        inner.metrics.submitted();
+        let Some(engines) = inner.registry.get(model) else {
+            inner.metrics.rejected_unknown_model();
+            return Err(ServeError::UnknownModel { name: model.into() });
+        };
+        if let Err(e) = engines.validate_sample(&inputs) {
+            inner.metrics.rejected_invalid_input();
+            return Err(e);
+        }
+
+        let key = Scheduler::key_for(&engines);
+        let mut sched = inner.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if !sched.accepting {
+            inner.metrics.rejected_shutting_down();
+            return Err(ServeError::ShuttingDown);
+        }
+        if sched.depth(&key) >= inner.config.queue_capacity {
+            inner.metrics.rejected_queue_full();
+            return Err(ServeError::QueueFull {
+                model: model.into(),
+                capacity: inner.config.queue_capacity,
+            });
+        }
+
+        let now_us = inner.now_us();
+        let deadline_us = deadline
+            .or(inner.config.default_deadline)
+            .map(|d| now_us + d.as_secs_f64() * 1e6);
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ResponseSlot::default());
+        sched.enqueue(
+            key,
+            QueuedRequest {
+                model: engines,
+                inputs,
+                submitted_us: now_us,
+                deadline_us,
+                slot: Arc::clone(&slot),
+            },
+        );
+        inner.metrics.accepted();
+        inner.sched_cv.notify_all();
+        Ok(RequestHandle { id, slot })
+    }
+
+    /// Blocking convenience: submit and wait for the terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same admission errors as [`BoltServer::submit`].
+    pub fn infer(&self, model: &str, inputs: Vec<Tensor>) -> Result<Outcome> {
+        Ok(self.submit(model, inputs, None)?.wait())
+    }
+
+    /// A point-in-time metrics snapshot (callable while serving).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(self.inner.now_us())
+    }
+
+    /// Graceful drain: stop accepting, flush every queue (partial batches
+    /// dispatch immediately), wait for all in-flight batches, stop the
+    /// threads, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.drain();
+        self.metrics()
+    }
+
+    fn drain(&mut self) {
+        if self.batcher.is_none() {
+            return;
+        }
+        {
+            let mut sched = self.inner.sched.lock().unwrap_or_else(|e| e.into_inner());
+            sched.accepting = false;
+            self.inner.sched_cv.notify_all();
+        }
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        // The batcher dropped its sender on exit; workers drain the
+        // channel and stop.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BoltServer {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Idle re-check interval: bounds how stale the batcher's view can get
+/// even if a wakeup is missed.
+const IDLE_TICK: Duration = Duration::from_millis(20);
+
+fn batcher_loop(inner: &Inner, tx: &mpsc::SyncSender<BatchJob>) {
+    let timeout_us = inner.config.batch_timeout.as_secs_f64() * 1e6;
+    let mut sched = inner.sched.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let now_us = inner.now_us();
+        let flush = !sched.accepting;
+        let result = sched.form(now_us, inner.config.max_batch, timeout_us, flush);
+        let idle = result.jobs.is_empty() && result.shed.is_empty();
+        if flush && idle && sched.pending() == 0 {
+            return; // drained; dropping `tx` stops the workers
+        }
+        if !idle {
+            // Resolve/dispatch outside the lock so submitters keep moving.
+            drop(sched);
+            for request in result.shed {
+                inner.metrics.deadline_shed();
+                request.slot.resolve(Outcome::DeadlineExceeded {
+                    waited_us: now_us - request.submitted_us,
+                });
+            }
+            for job in result.jobs {
+                let _ = tx.send(job);
+            }
+            sched = inner.sched.lock().unwrap_or_else(|e| e.into_inner());
+            continue; // re-form: new work may have queued meanwhile
+        }
+        let wait = result
+            .next_wake_us
+            .map(|wake| Duration::from_secs_f64(((wake - now_us).max(1.0)) / 1e6))
+            .unwrap_or(IDLE_TICK)
+            .min(IDLE_TICK);
+        let (guard, _) = inner
+            .sched_cv
+            .wait_timeout(sched, wait)
+            .unwrap_or_else(|e| e.into_inner());
+        sched = guard;
+    }
+}
+
+fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<BatchJob>>) {
+    // This worker's simulated stream: absolute µs (server timeline) until
+    // which the stream is busy. Batches dispatched to the same stream
+    // queue behind each other, exactly like kernels on a CUDA stream.
+    let mut busy_until_us = 0.0f64;
+    loop {
+        let job = {
+            let receiver = rx.lock().unwrap_or_else(|e| e.into_inner());
+            receiver.recv()
+        };
+        match job {
+            Ok(job) => execute_batch(inner, job, &mut busy_until_us),
+            Err(_) => return, // channel closed: server drained
+        }
+    }
+}
+
+fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
+    let batch = job.requests.len();
+    let (bucket, engine) = job.model.engine_for(batch);
+
+    // Price the bucket's kernel timeline on the simulator; the real batch
+    // of `batch` requests rides the bucket-sized launch.
+    let report = engine.time();
+    let kernel_us = report.total_us;
+    inner.metrics.batch(batch, report.images_per_sec(batch));
+
+    // Really compute the batch when the model allows it.
+    let mut failure: Option<String> = None;
+    let mut outputs: Option<Vec<Vec<Tensor>>> = None;
+    if inner.config.functional && job.model.functional() {
+        let samples: Vec<Vec<Tensor>> = job.requests.iter().map(|r| r.inputs.clone()).collect();
+        match engine.run_batched(&samples) {
+            Ok(per_sample) => outputs = Some(per_sample),
+            Err(e) => failure = Some(e.to_string()),
+        }
+    }
+
+    // Advance this stream's simulated timeline and settle per-request
+    // latency: queue wait (real) + stream backlog + batch kernel time
+    // (simulated).
+    let now_us = inner.now_us();
+    let start_us = now_us.max(*busy_until_us);
+    let done_us = start_us + kernel_us;
+    *busy_until_us = done_us;
+
+    for (index, request) in job.requests.into_iter().enumerate() {
+        match &failure {
+            Some(reason) => {
+                inner.metrics.rejected_execution();
+                request.slot.resolve(Outcome::Rejected {
+                    reason: reason.clone(),
+                });
+            }
+            None => {
+                let latency = LatencyBreakdown {
+                    queue_us: start_us - request.submitted_us,
+                    kernel_us,
+                    total_us: done_us - request.submitted_us,
+                };
+                inner.metrics.completed(latency.total_us);
+                request.slot.resolve(Outcome::Completed(InferResponse {
+                    model: job.model.name().to_string(),
+                    outputs: outputs.as_mut().map(|o| std::mem::take(&mut o[index])),
+                    batch_size: batch,
+                    bucket,
+                    latency,
+                }));
+            }
+        }
+    }
+}

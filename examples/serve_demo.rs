@@ -1,0 +1,124 @@
+//! Multi-model dynamic-batching inference serving on compiled Bolt
+//! engines: register two MLPs from the zoo, flood the server from
+//! concurrent client threads, and watch batching, deadline shedding, and
+//! the metrics snapshot.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+//! CI smoke mode (small load, fast): `... --example serve_demo -- --smoke`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bolt::BoltConfig;
+use bolt_gpu_sim::GpuArch;
+use bolt_serve::{BoltServer, EngineRegistry, Outcome, ServeConfig};
+use bolt_tensor::{DType, Tensor};
+
+const MODELS: [&str; 2] = ["mlp-small", "mlp-large"];
+
+fn sample(model: &str, seed: u64) -> Vec<Tensor> {
+    let width = if model == "mlp-small" { 128 } else { 256 };
+    vec![Tensor::randn(&[1, width], DType::F16, seed)]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, per_client) = if smoke { (4, 25) } else { (8, 250) };
+
+    // 1. Compile each model once through the shared compiler, one engine
+    //    per power-of-two batch bucket. Every server/request shares these
+    //    immutable engines.
+    println!("compiling serving engines (buckets 1/2/4/8, shared tuning cache)...");
+    let registry = Arc::new(EngineRegistry::new(
+        GpuArch::tesla_t4(),
+        BoltConfig::default(),
+    ));
+    for model in MODELS {
+        let engines = registry
+            .register_zoo(model, &[1, 2, 4, 8])
+            .expect("zoo model registers");
+        println!(
+            "  {model:<10} input {:?}, buckets {:?}",
+            engines.sample_dims(),
+            engines.bucket_sizes()
+        );
+    }
+
+    // 2. Serve: 4 simulated GPU streams, batches close at 8 requests or
+    //    after 2 ms, everyone gets a 500 ms deadline.
+    let server = Arc::new(BoltServer::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(2),
+            queue_capacity: 1024,
+            default_deadline: Some(Duration::from_millis(500)),
+            ..Default::default()
+        },
+    ));
+
+    // 3. Flood it from concurrent clients.
+    println!(
+        "\nsubmitting {} requests from {clients} client threads...",
+        clients * per_client
+    );
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let model = MODELS[(t + i) % MODELS.len()];
+                    let seed = (t * per_client + i) as u64;
+                    match server.submit(model, sample(model, seed), None) {
+                        Ok(handle) => {
+                            if let Outcome::Completed(response) = handle.wait() {
+                                if t == 0 && i == 0 {
+                                    let out = &response.outputs.expect("functional")[0];
+                                    println!(
+                                        "  first response: {} logits {:?}, batch {} on bucket {}, {:.1} us end-to-end",
+                                        response.model,
+                                        out.shape().dims(),
+                                        response.batch_size,
+                                        response.bucket,
+                                        response.latency.total_us
+                                    );
+                                }
+                            }
+                        }
+                        Err(e) => println!("  rejected: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // 4. Graceful drain, then the snapshot.
+    let stats = Arc::try_unwrap(server).expect("clients joined").shutdown();
+    println!("\n=== metrics snapshot ===");
+    println!(
+        "submitted {}, accepted {}, completed {}",
+        stats.submitted, stats.accepted, stats.completed
+    );
+    println!(
+        "rejected {} (queue-full {}), deadline-shed {}",
+        stats.rejected, stats.rejected_queue_full, stats.deadline_shed
+    );
+    println!(
+        "batches {}, mean batch {:.2}, histogram {:?}",
+        stats.batches, stats.mean_batch, stats.batch_hist
+    );
+    println!(
+        "latency p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        stats.latency_p50_us / 1e3,
+        stats.latency_p95_us / 1e3,
+        stats.latency_p99_us / 1e3
+    );
+    println!(
+        "throughput {:.0} req/s wall, simulated {:.0} images/s",
+        stats.throughput_rps, stats.sim_images_per_sec
+    );
+
+    assert_eq!(stats.resolved(), stats.accepted, "every request terminal");
+    println!("\nall accepted requests reached a terminal outcome.");
+}
