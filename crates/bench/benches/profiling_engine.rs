@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use bolt::{BoltCompiler, BoltConfig, BoltProfiler, ProfileTask, ProfilerStats};
-use bolt_bench::{experiments_dir, fmt_us, Table};
+use bolt_bench::{experiments_dir, fmt_us, write_bench_json, Table};
 use bolt_cutlass::Epilogue;
 use bolt_gpu_sim::GpuArch;
 use bolt_models::{bert, model_by_name};
@@ -141,4 +141,6 @@ fn main() {
     if std::fs::write(&path, &json).is_ok() {
         println!("wrote {}", path.display());
     }
+    // Headline compile-time result at the workspace root for CI.
+    write_bench_json("BENCH_compile.json", &json);
 }

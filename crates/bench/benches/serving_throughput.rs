@@ -8,8 +8,15 @@
 //! batching efficiency rises with load until admission control (bounded
 //! queues + deadlines) starts shedding.
 //!
-//! Results print as a table and are emitted as JSON to
-//! `target/experiments/serving_throughput.json`.
+//! A second section isolates the execution-plan refactor: per-request
+//! host latency of the prepacked slot executor (`ExecutionPlan::run`)
+//! vs. the retained pre-refactor interpreter
+//! (`ExecutionPlan::run_reference`), which repacks every constant and
+//! clones every fetched intermediate on each request.
+//!
+//! Results print as tables and are emitted as JSON to
+//! `target/experiments/serving_throughput.json` and `BENCH_serve.json`
+//! at the workspace root.
 //!
 //! Run with: `cargo bench --bench serving_throughput`
 
@@ -17,16 +24,25 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bolt::BoltConfig;
-use bolt_bench::{experiments_dir, fmt_us, Table};
+use bolt_bench::{experiments_dir, fmt_us, write_bench_json, Table};
 use bolt_gpu_sim::GpuArch;
 use bolt_serve::{BoltServer, EngineRegistry, MetricsSnapshot, ServeConfig, ServeError};
 use bolt_tensor::{DType, Tensor};
 
 const MODELS: [&str; 2] = ["mlp-small", "mlp-large"];
 
+/// Models in the executor-comparison section (the load curve stays on
+/// the MLP pair for comparability with earlier runs).
+const EXECUTOR_MODELS: [&str; 3] = ["mlp-small", "mlp-large", "cnn-small"];
+
 fn sample(model: &str, seed: u64) -> Vec<Tensor> {
-    let width = if model == "mlp-small" { 128 } else { 256 };
-    vec![Tensor::randn(&[1, width], DType::F16, seed)]
+    let dims: Vec<usize> = match model {
+        "mlp-small" => vec![1, 128],
+        "mlp-large" => vec![1, 256],
+        "cnn-small" => vec![1, 3, 8, 8],
+        other => panic!("unexpected model {other}"),
+    };
+    vec![Tensor::randn(&dims, DType::F16, seed)]
 }
 
 struct LevelRun {
@@ -80,6 +96,51 @@ fn run_level(registry: &Arc<EngineRegistry>, offered_rps: f64) -> LevelRun {
     }
 }
 
+struct ExecutorRow {
+    model: &'static str,
+    steps: usize,
+    slot_us: f64,
+    reference_us: f64,
+    workspace: u64,
+    total_values: u64,
+}
+
+/// Mean per-request host latency of the slot executor vs. the reference
+/// interpreter on each serving model's batch-1 engine.
+fn executor_comparison(registry: &Arc<EngineRegistry>) -> Vec<ExecutorRow> {
+    let mut rows = Vec::new();
+    for model in EXECUTOR_MODELS {
+        let engines = registry.get(model).expect("registered above");
+        let (_, plan) = engines.engine_for(1);
+        let input = sample(model, 42);
+        // Warm both paths (first reference call may pack lazily).
+        plan.run(&input).expect("run");
+        plan.run_reference(&input).expect("run_reference");
+
+        let iters = 300;
+        let start = Instant::now();
+        for _ in 0..iters {
+            plan.run(&input).expect("run");
+        }
+        let slot_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            plan.run_reference(&input).expect("run_reference");
+        }
+        let reference_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+        rows.push(ExecutorRow {
+            model,
+            steps: plan.steps().len(),
+            slot_us,
+            reference_us,
+            workspace: plan.workspace_bytes(),
+            total_values: plan.total_value_bytes(),
+        });
+    }
+    rows
+}
+
 fn main() {
     let registry = Arc::new(EngineRegistry::new(
         GpuArch::tesla_t4(),
@@ -90,6 +151,9 @@ fn main() {
             .register_zoo(model, &[1, 2, 4, 8])
             .expect("zoo model registers");
     }
+    registry
+        .register_zoo("cnn-small", &[1])
+        .expect("cnn registers");
 
     let mut table = Table::new(&[
         "offered rps",
@@ -150,10 +214,55 @@ fn main() {
     );
     table.write_csv("serving_throughput");
 
+    // Per-request host cost: prepacked slot executor vs. the reference
+    // interpreter that repacks constants and clones fetches per request.
+    let executor = executor_comparison(&registry);
+    let mut exec_table = Table::new(&[
+        "model",
+        "steps",
+        "plan.run",
+        "run_reference",
+        "speedup",
+        "workspace",
+        "sum of values",
+    ]);
+    let mut json_exec = Vec::new();
+    for row in &executor {
+        exec_table.row(&[
+            row.model.to_string(),
+            row.steps.to_string(),
+            fmt_us(row.slot_us),
+            fmt_us(row.reference_us),
+            format!("{:.2}x", row.reference_us / row.slot_us),
+            format!("{} B", row.workspace),
+            format!("{} B", row.total_values),
+        ]);
+        json_exec.push(format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"steps\": {}, \"run_us\": {:.2}, ",
+                "\"run_reference_us\": {:.2},\n     \"speedup\": {:.3}, ",
+                "\"workspace_bytes\": {}, \"total_value_bytes\": {}}}"
+            ),
+            row.model,
+            row.steps,
+            row.slot_us,
+            row.reference_us,
+            row.reference_us / row.slot_us,
+            row.workspace,
+            row.total_values,
+        ));
+    }
+    exec_table.print(
+        "Execution plan: prepacked slot executor vs. per-request repacking \
+         interpreter (batch-1 engines, mean of 300 requests)",
+    );
+    exec_table.write_csv("serving_executor");
+
     let json = format!(
         "{{\n  \"models\": [\"mlp-small\", \"mlp-large\"],\n  \"workers\": 4,\n  \
-         \"max_batch\": 8,\n  \"levels\": [\n{}\n  ]\n}}\n",
-        json_levels.join(",\n")
+         \"max_batch\": 8,\n  \"levels\": [\n{}\n  ],\n  \"executor\": [\n{}\n  ]\n}}\n",
+        json_levels.join(",\n"),
+        json_exec.join(",\n")
     );
     let dir = experiments_dir();
     let _ = std::fs::create_dir_all(&dir);
@@ -161,4 +270,6 @@ fn main() {
     if std::fs::write(&path, &json).is_ok() {
         println!("wrote {}", path.display());
     }
+    // Headline serving result at the workspace root for CI.
+    write_bench_json("BENCH_serve.json", &json);
 }

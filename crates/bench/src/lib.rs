@@ -84,11 +84,24 @@ impl Table {
 
 /// The output directory for experiment CSVs.
 pub fn experiments_dir() -> PathBuf {
-    // target/ relative to the workspace root, robust to cwd differences.
+    workspace_root().join("target").join("experiments")
+}
+
+/// The workspace root, robust to cwd differences.
+pub fn workspace_root() -> PathBuf {
     let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     dir.pop(); // crates/
     dir.pop(); // workspace root
-    dir.join("target").join("experiments")
+    dir
+}
+
+/// Writes a headline benchmark result as `<name>` at the workspace root
+/// (e.g. `BENCH_serve.json`), where CI and EXPERIMENTS.md pick it up.
+pub fn write_bench_json(name: &str, json: &str) {
+    let path = workspace_root().join(name);
+    if fs::write(&path, json).is_ok() {
+        println!("wrote {}", path.display());
+    }
 }
 
 /// Formats a microsecond time compactly.

@@ -1,11 +1,14 @@
 //! The end-to-end Bolt compilation pipeline (paper Figure 3).
 
+use std::sync::Arc;
+
 use bolt_gpu_sim::GpuArch;
 use bolt_graph::passes::PassManager;
 use bolt_graph::Graph;
 
 use crate::config::BoltConfig;
 use crate::lower::lower;
+use crate::plan::ExecutionPlan;
 use crate::profiler::BoltProfiler;
 use crate::runtime::{CompiledModel, TuningSummary};
 use crate::Result;
@@ -110,11 +113,11 @@ impl BoltCompiler {
             }
         }
 
+        // Build the execution plan: prepack constants into kernel-native
+        // layouts and run the liveness pass that assigns buffer slots.
+        let plan = ExecutionPlan::build(self.arch.clone(), optimized, steps, self.config.clone());
         Ok(CompiledModel {
-            arch: self.arch.clone(),
-            graph: optimized,
-            steps,
-            config: self.config.clone(),
+            plan: Arc::new(plan),
             tuning,
         })
     }

@@ -22,10 +22,11 @@
 //!    kernels and automatic padding to alignment 8 ([`codegen`],
 //!    [`runtime`]).
 //!
-//! The compiled artifact ([`CompiledModel`]) executes in two modes:
-//! *functional* (really computes, for correctness tests) and *timing*
-//! (prices every kernel on the `bolt-gpu-sim` T4 model, for the paper's
-//! performance experiments).
+//! The compiled artifact ([`CompiledModel`], a handle to an
+//! [`ExecutionPlan`] with prepacked constants and liveness-planned
+//! buffer slots) executes in two modes: *functional* (really computes,
+//! for correctness tests) and *timing* (prices every kernel on the
+//! `bolt-gpu-sim` T4 model, for the paper's performance experiments).
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub mod compile;
 pub mod config;
 pub mod error;
 pub mod lower;
+pub mod plan;
 pub mod profiler;
 pub mod runtime;
 
@@ -63,6 +65,7 @@ pub use baseline::AnsorBackend;
 pub use compile::BoltCompiler;
 pub use config::BoltConfig;
 pub use error::BoltError;
+pub use plan::{ExecutionPlan, PackedConsts, StepObserver, StepTiming, StepTimings};
 pub use profiler::{BoltProfiler, ProfileTask, ProfiledKernel, ProfilerStats};
 pub use runtime::{slice_batch, stack_batch, CompiledModel, Step, StepKind, TimingReport};
 

@@ -1,0 +1,1052 @@
+//! The execution plan: the compiled artifact the runtime executes.
+//!
+//! Bolt's graph-level wins (epilogue fusion, persistent kernels, padding,
+//! layout planning — §3.1–3.2) only show up end-to-end when the runtime
+//! does not give them back in per-request overhead. The
+//! [`ExecutionPlan`] makes the artifact/interpreter split explicit, the
+//! same way TVM compiles to a statically planned module:
+//!
+//! * **Constant prepacking** — every weight is repacked into its
+//!   kernel-native layout once at plan-build time (dense `(units, in)` →
+//!   GEMM `B` operand `(in, units)`; conv filters KCRS → KRSC with
+//!   channel padding folded in) and stored in the plan behind an `Arc`.
+//!   Execution never touches the logical parameter again.
+//! * **Liveness-planned buffer slots** — a backward liveness pass over
+//!   the step list assigns every non-constant value to a reusable buffer
+//!   slot; a value's slot is freed at its last use and handed to later
+//!   intermediates. Peak memory is [`ExecutionPlan::workspace_bytes`],
+//!   bounded by the widest set of simultaneously-live values instead of
+//!   the whole graph.
+//! * **One step-level executor** — the functional and timing paths drive
+//!   the same step walk; a [`StepObserver`] hook sees every step with its
+//!   simulated [`KernelTime`], so benches and the serving layer can
+//!   attribute latency per kernel without a second interpreter.
+//!
+//! [`ExecutionPlan::run_reference`] keeps the pre-refactor interpreter
+//! (hash-map environment, clone-per-fetch, repack-per-call) alive as a
+//! semantic oracle and benchmark baseline.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile, KernelTime, Timeline};
+use bolt_graph::{Graph, NodeId, OpKind};
+use bolt_tensor::{Layout, Tensor};
+
+use crate::config::BoltConfig;
+use crate::error::BoltError;
+use crate::runtime::{
+    host_group_time, run_host_op, slice_batch, stack_batch, Step, StepKind, TimingReport,
+    ValueLookup,
+};
+use crate::Result;
+
+// ---------------------------------------------------------------------------
+// Prepacked constants
+// ---------------------------------------------------------------------------
+
+/// A step's constants, repacked once into kernel-native layouts.
+///
+/// `weights`/`biases` are in kernel-operand order (one entry per GEMM /
+/// conv stage for persistent kernels). Steps without constants carry
+/// empty vectors.
+#[derive(Debug, Clone, Default)]
+pub struct PackedConsts {
+    /// Prepacked weight operands (dense `(in, units)`, filters KRSC).
+    pub weights: Vec<Arc<Tensor>>,
+    /// Per-stage bias vectors, if present.
+    pub biases: Vec<Option<Arc<Tensor>>>,
+    /// False when the graph carries shapes-only parameters (nothing to
+    /// pack); functional execution then fails lazily like the old
+    /// interpreter, while timing remains fully usable.
+    pub materialized: bool,
+}
+
+/// Dense weight `(units, in)` → GEMM `B` operand `(in, units)`.
+pub(crate) fn pack_dense_weight(w: &Tensor) -> Tensor {
+    let (u, k) = (w.shape().dim(0), w.shape().dim(1));
+    let mut b = Tensor::zeros(&[k, u], w.dtype());
+    for i in 0..u {
+        for j in 0..k {
+            b.set2(j, i, w.get2(i, j));
+        }
+    }
+    b
+}
+
+/// Conv filter logical `(K, C, R, S)` → physical KRSC, optionally
+/// zero-padded to `pad_c` input channels.
+pub(crate) fn pack_conv_filter(w: &Tensor, pad_c: Option<usize>) -> Tensor {
+    let dims = w.shape().dims();
+    let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
+    let cc = pad_c.unwrap_or(c);
+    let mut out = Tensor::zeros(&[k, r, s, cc], w.dtype());
+    let src = w.data();
+    let dst = out.data_mut();
+    for ki in 0..k {
+        for ci in 0..c {
+            for ri in 0..r {
+                for si in 0..s {
+                    let from = ((ki * c + ci) * r + ri) * s + si;
+                    let to = ((ki * r + ri) * s + si) * cc + ci;
+                    dst[to] = src[from];
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-slot plan (liveness)
+// ---------------------------------------------------------------------------
+
+/// The memory plan: which buffer slot each value lives in and when each
+/// slot is released back for reuse.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SlotPlan {
+    /// Value (graph input or step output) → slot index.
+    pub(crate) slot_of: HashMap<NodeId, usize>,
+    /// Slots whose resident value dies at step `i` (released after the
+    /// step's result is computed, before it is stored — so the result may
+    /// reuse a dying input's slot).
+    pub(crate) release_after: Vec<Vec<usize>>,
+    /// Per-slot capacity: the largest value (logical dtype bytes) ever
+    /// resident in the slot.
+    pub(crate) slot_bytes: Vec<u64>,
+    /// Sum of all planned values' bytes — what the old grow-only
+    /// environment kept live simultaneously.
+    pub(crate) total_value_bytes: u64,
+}
+
+impl SlotPlan {
+    /// Runs liveness over `steps` and assigns slots first-fit from a
+    /// free list (LIFO, so reuse favors the most recently freed — and
+    /// therefore similarly sized — buffer).
+    fn build(graph: &Graph, steps: &[Step]) -> SlotPlan {
+        let is_const = |id: NodeId| matches!(graph.node(id).kind, OpKind::Constant { .. });
+        let outputs: HashSet<NodeId> = graph.outputs().iter().copied().collect();
+
+        // Last step (index) that reads each non-constant value. Constants
+        // are excluded: they live in the plan (prepacked) or the graph.
+        let mut last_use: HashMap<NodeId, usize> = HashMap::new();
+        for (i, step) in steps.iter().enumerate() {
+            for &input in &step.inputs {
+                if !is_const(input) {
+                    last_use.insert(input, i);
+                }
+            }
+        }
+
+        let mut plan = SlotPlan {
+            release_after: vec![Vec::new(); steps.len()],
+            ..SlotPlan::default()
+        };
+        let mut free: Vec<usize> = Vec::new();
+
+        for id in graph.input_ids() {
+            plan.assign(graph, id, &mut free);
+        }
+        for (i, step) in steps.iter().enumerate() {
+            // Free dying inputs before placing the output: the executor
+            // computes a step's result while its inputs are still
+            // resident, releases, then stores — so the output may land in
+            // a slot an input just vacated.
+            let mut seen = HashSet::new();
+            for &input in &step.inputs {
+                if is_const(input)
+                    || input == step.output
+                    || outputs.contains(&input)
+                    || last_use.get(&input) != Some(&i)
+                    || !seen.insert(input)
+                {
+                    continue;
+                }
+                if let Some(&slot) = plan.slot_of.get(&input) {
+                    free.push(slot);
+                    plan.release_after[i].push(slot);
+                }
+            }
+            // Pad/layout steps forward their input (`output == input`,
+            // already assigned); everything else gets a slot here.
+            if !plan.slot_of.contains_key(&step.output) {
+                plan.assign(graph, step.output, &mut free);
+            }
+        }
+        plan
+    }
+
+    fn assign(&mut self, graph: &Graph, id: NodeId, free: &mut Vec<usize>) {
+        let node = graph.node(id);
+        let bytes = (node.shape.numel() * node.dtype.size_bytes()) as u64;
+        self.total_value_bytes += bytes;
+        let slot = free.pop().unwrap_or_else(|| {
+            self.slot_bytes.push(0);
+            self.slot_bytes.len() - 1
+        });
+        self.slot_bytes[slot] = self.slot_bytes[slot].max(bytes);
+        self.slot_of.insert(id, slot);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Step observation
+// ---------------------------------------------------------------------------
+
+/// Per-step observation hook shared by the functional and timing paths.
+///
+/// The executor calls [`StepObserver::observe`] once per step, in
+/// execution order, with the step's simulated [`KernelTime`] — the hook
+/// benches and the serving layer use to attribute latency per kernel.
+pub trait StepObserver {
+    /// Called after step `index` executes (functional mode) or is priced
+    /// (timing mode).
+    fn observe(&mut self, index: usize, step: &Step, time: &KernelTime);
+}
+
+/// One observed step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTiming {
+    /// Step index in plan order.
+    pub index: usize,
+    /// The step's display name.
+    pub name: String,
+    /// Simulated time including launch overhead, µs.
+    pub total_us: f64,
+    /// Launch overhead portion, µs.
+    pub launch_us: f64,
+}
+
+/// A [`StepObserver`] that records every step's name and simulated time.
+#[derive(Debug, Clone, Default)]
+pub struct StepTimings {
+    /// Observed steps, in execution order.
+    pub steps: Vec<StepTiming>,
+}
+
+impl StepObserver for StepTimings {
+    fn observe(&mut self, index: usize, step: &Step, time: &KernelTime) {
+        self.steps.push(StepTiming {
+            index,
+            name: step.name.clone(),
+            total_us: time.total_us,
+            launch_us: time.launch_us,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The plan
+// ---------------------------------------------------------------------------
+
+/// The compiled artifact: ordered steps, prepacked constants, and a
+/// liveness-planned slot table, executable in functional or timing mode.
+#[derive(Debug)]
+pub struct ExecutionPlan {
+    pub(crate) arch: GpuArch,
+    pub(crate) graph: Graph,
+    pub(crate) steps: Vec<Step>,
+    pub(crate) config: BoltConfig,
+    /// Per-step prepacked constants (index-aligned with `steps`).
+    packed: Vec<PackedConsts>,
+    /// The memory plan.
+    slots: SlotPlan,
+}
+
+/// Looks up values for host ops during slot execution: fused-chain
+/// locals first, then the slot table (params resolve inside
+/// `run_host_op` via the graph).
+struct HostScope<'a> {
+    plan: &'a ExecutionPlan,
+    state: &'a [Option<Tensor>],
+    locals: &'a HashMap<NodeId, Tensor>,
+}
+
+impl ValueLookup for HostScope<'_> {
+    fn lookup(&self, id: NodeId) -> Option<&Tensor> {
+        self.locals.get(&id).or_else(|| {
+            self.plan
+                .slots
+                .slot_of
+                .get(&id)
+                .and_then(|&slot| self.state[slot].as_ref())
+        })
+    }
+}
+
+impl ExecutionPlan {
+    /// Builds a plan from lowered steps: prepacks every constant the
+    /// graph materializes and runs the liveness pass. Shapes-only graphs
+    /// build fine (timing needs no parameter data); their steps are
+    /// marked unmaterialized and functional runs fail lazily.
+    pub fn build(arch: GpuArch, graph: Graph, steps: Vec<Step>, config: BoltConfig) -> Self {
+        let slots = SlotPlan::build(&graph, &steps);
+        let plan = ExecutionPlan {
+            arch,
+            graph,
+            steps,
+            config,
+            packed: Vec::new(),
+            slots,
+        };
+        let packed = plan
+            .steps
+            .iter()
+            .map(|step| plan.pack_step(step).unwrap_or_default())
+            .collect();
+        ExecutionPlan { packed, ..plan }
+    }
+
+    /// The executable steps in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The optimized graph this plan executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// The configuration the plan was compiled with.
+    pub fn config(&self) -> &BoltConfig {
+        &self.config
+    }
+
+    /// Number of device kernel launches (excludes host steps and fused
+    /// transforms) — what persistent fusion and epilogue fusion reduce.
+    pub fn kernel_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| {
+                !matches!(
+                    s.kind,
+                    StepKind::Host | StepKind::LayoutTransform { fused: true, .. }
+                )
+            })
+            .count()
+    }
+
+    /// Peak intermediate memory of the planned execution: the sum of the
+    /// slot capacities. Strictly less than
+    /// [`ExecutionPlan::total_value_bytes`] whenever liveness found any
+    /// reuse.
+    pub fn workspace_bytes(&self) -> u64 {
+        self.slots.slot_bytes.iter().sum()
+    }
+
+    /// What the pre-refactor grow-only environment held at the end of a
+    /// run: every input and intermediate, simultaneously.
+    pub fn total_value_bytes(&self) -> u64 {
+        self.slots.total_value_bytes
+    }
+
+    /// Number of reusable buffer slots the liveness pass allocated.
+    pub fn buffer_slots(&self) -> usize {
+        self.slots.slot_bytes.len()
+    }
+
+    /// Bytes of prepacked constants resident in the plan.
+    pub fn packed_const_bytes(&self) -> u64 {
+        self.packed
+            .iter()
+            .flat_map(|p| {
+                p.weights
+                    .iter()
+                    .map(|w| (w.numel() * w.dtype().size_bytes()) as u64)
+                    .chain(
+                        p.biases
+                            .iter()
+                            .flatten()
+                            .map(|b| (b.numel() * b.dtype().size_bytes()) as u64),
+                    )
+            })
+            .sum()
+    }
+
+    /// The prepacked constants of step `index` (for plan inspection and
+    /// golden tests).
+    pub fn packed_consts(&self, index: usize) -> &PackedConsts {
+        &self.packed[index]
+    }
+
+    // -----------------------------------------------------------------
+    // Timing mode
+    // -----------------------------------------------------------------
+
+    /// Prices every step on the simulator.
+    pub fn time(&self) -> TimingReport {
+        let mut timeline = Timeline::new();
+        for step in &self.steps {
+            let time = self.step_time(step);
+            timeline.push(step.name.clone(), &time);
+        }
+        TimingReport {
+            total_us: timeline.total_us(),
+            timeline,
+        }
+    }
+
+    /// [`ExecutionPlan::time`], reporting each step to `observer` as it
+    /// is priced.
+    pub fn time_observed(&self, observer: &mut dyn StepObserver) -> TimingReport {
+        let mut timeline = Timeline::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let time = self.step_time(step);
+            observer.observe(i, step, &time);
+            timeline.push(step.name.clone(), &time);
+        }
+        TimingReport {
+            total_us: timeline.total_us(),
+            timeline,
+        }
+    }
+
+    pub(crate) fn step_time(&self, step: &Step) -> KernelTime {
+        match &step.kind {
+            StepKind::Gemm { kernel, .. } => kernel.time(&self.arch),
+            StepKind::Conv2d { kernel, .. } => kernel.time(&self.arch),
+            StepKind::B2bGemm { kernel, .. } => kernel.time(&self.arch),
+            StepKind::GemmChain { chain, .. } => chain.time(&self.arch),
+            StepKind::B2bConv { kernel, .. } => kernel.time(&self.arch),
+            StepKind::LayoutTransform { bytes, fused } => {
+                let mut profile = KernelProfile::memory_only("layout_transform", *bytes * 2.0);
+                // NCHW reads are W-contiguous, NHWC writes C-contiguous;
+                // one side is strided.
+                profile.alignment_elems = 4;
+                let mut t = simulate_kernel(&self.arch, &profile);
+                if *fused {
+                    // Folded into the adjacent kernel: no launch.
+                    t.total_us -= t.launch_us;
+                    t.launch_us = 0.0;
+                }
+                t
+            }
+            StepKind::PadChannels { bytes } => {
+                let mut profile = KernelProfile::memory_only("pad_channels", *bytes);
+                profile.alignment_elems = 2; // source is the unaligned tensor
+                simulate_kernel(&self.arch, &profile)
+            }
+            StepKind::Host => host_group_time(&self.arch, &self.graph, &step.covered),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Functional mode (slot executor)
+    // -----------------------------------------------------------------
+
+    /// Executes the plan on real inputs (one tensor per graph input, in
+    /// `Graph::input_ids` order). Rank-4 inputs may be NCHW (converted
+    /// internally) or NHWC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoltError::BadInput`] for arity/rank/shape mismatches
+    /// (including a mismatched batch dimension) and missing parameter
+    /// data. Malformed inputs never panic: every message spells out the
+    /// expected vs. received shape.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.run_impl(inputs, None)
+    }
+
+    /// [`ExecutionPlan::run`], reporting each executed step with its
+    /// simulated time to `observer`.
+    pub fn run_observed(
+        &self,
+        inputs: &[Tensor],
+        observer: &mut dyn StepObserver,
+    ) -> Result<Vec<Tensor>> {
+        self.run_impl(inputs, Some(observer))
+    }
+
+    fn run_impl(
+        &self,
+        inputs: &[Tensor],
+        mut observer: Option<&mut dyn StepObserver>,
+    ) -> Result<Vec<Tensor>> {
+        let input_ids = self.graph.input_ids();
+        self.validate_inputs(inputs, &input_ids)?;
+
+        let mut state: Vec<Option<Tensor>> = vec![None; self.slots.slot_bytes.len()];
+        for (&id, tensor) in input_ids.iter().zip(inputs) {
+            let value = if tensor.shape().rank() == 4 {
+                // Normalize to NHWC internally (Bolt's layout transform).
+                if tensor.layout() == Layout::Nhwc {
+                    tensor.clone()
+                } else {
+                    tensor.to_activation_layout(Layout::Nhwc)?
+                }
+            } else {
+                tensor.clone()
+            };
+            state[self.slots.slot_of[&id]] = Some(value);
+        }
+
+        for (i, step) in self.steps.iter().enumerate() {
+            let produced = self.execute_step(i, step, &state)?;
+            if let Some(obs) = observer.as_deref_mut() {
+                let time = self.step_time(step);
+                obs.observe(i, step, &time);
+            }
+            // Release dying inputs, then store: the output may reuse a
+            // slot released on this very step.
+            for &slot in &self.slots.release_after[i] {
+                state[slot] = None;
+            }
+            if let Some(tensor) = produced {
+                state[self.slots.slot_of[&step.output]] = Some(tensor);
+            }
+        }
+
+        let outs = self.graph.outputs();
+        let mut outputs = Vec::with_capacity(outs.len());
+        for (k, &out) in outs.iter().enumerate() {
+            let slot = self.slots.slot_of.get(&out).copied();
+            // Move the value out of its slot unless a later output reads
+            // the same node again.
+            let taken = match slot {
+                Some(s) if outs[k + 1..].contains(&out) => state[s].clone(),
+                Some(s) => state[s].take(),
+                None => None,
+            };
+            let t = taken.ok_or_else(|| BoltError::BadInput {
+                reason: format!("output {out} was never produced"),
+            })?;
+            // Convert activations back to the framework's NCHW convention.
+            let t = if t.shape().rank() == 4 && t.layout() == Layout::Nhwc {
+                t.to_activation_layout(Layout::Nchw)?
+            } else {
+                t
+            };
+            outputs.push(t);
+        }
+        Ok(outputs)
+    }
+
+    fn validate_inputs(&self, inputs: &[Tensor], input_ids: &[NodeId]) -> Result<()> {
+        if inputs.len() != input_ids.len() {
+            return Err(BoltError::BadInput {
+                reason: format!("expected {} inputs, got {}", input_ids.len(), inputs.len()),
+            });
+        }
+        for (pos, (&id, tensor)) in input_ids.iter().zip(inputs).enumerate() {
+            let want = &self.graph.node(id).shape;
+            let got = crate::runtime::logical_dims(tensor);
+            if tensor.shape().rank() != want.rank() {
+                return Err(BoltError::BadInput {
+                    reason: format!(
+                        "input {pos} ({id}) rank mismatch: expected rank {} shape {want}, \
+                         got rank {} shape {got:?}",
+                        want.rank(),
+                        tensor.shape().rank(),
+                    ),
+                });
+            }
+            if got != want.dims() {
+                let what =
+                    if !got.is_empty() && got[0] != want.dim(0) && got[1..] == want.dims()[1..] {
+                        "batch dimension mismatch"
+                    } else {
+                        "shape mismatch"
+                    };
+                return Err(BoltError::BadInput {
+                    reason: format!("input {pos} ({id}) {what}: expected {want}, got {got:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn value<'a>(&self, state: &'a [Option<Tensor>], id: NodeId) -> Result<&'a Tensor> {
+        self.slots
+            .slot_of
+            .get(&id)
+            .and_then(|&slot| state[slot].as_ref())
+            .ok_or_else(|| BoltError::BadInput {
+                reason: format!("step input {id} not yet computed"),
+            })
+    }
+
+    /// Executes one step against the slot table, borrowing inputs in
+    /// place (no clones on the hot path) and returning the produced
+    /// tensor, if the step produces one.
+    fn execute_step(
+        &self,
+        index: usize,
+        step: &Step,
+        state: &[Option<Tensor>],
+    ) -> Result<Option<Tensor>> {
+        // Prepacked constants, or a lazy repack for shapes-only graphs
+        // (which fails with the same missing-parameter error the old
+        // interpreter raised).
+        let lazy;
+        let packed = if self.packed[index].materialized {
+            &self.packed[index]
+        } else {
+            lazy = self.pack_step(step)?;
+            &lazy
+        };
+        match &step.kind {
+            StepKind::Gemm {
+                kernel, residual, ..
+            } => {
+                let a = self.value(state, step.inputs[0])?;
+                let c: Option<&Tensor> = match residual {
+                    Some(r) => Some(self.value(state, *r)?),
+                    None => packed.biases[0].as_deref(),
+                };
+                let (d, _) = kernel.run(a, &packed.weights[0], c)?;
+                Ok(Some(d))
+            }
+            StepKind::Conv2d { kernel, pad_to, .. } => {
+                let x = self.value(state, step.inputs[0])?;
+                let padded;
+                let x = match pad_to {
+                    Some(pc) if x.dims4().1 < *pc => {
+                        padded = x.pad_channels_nhwc(*pc)?;
+                        &padded
+                    }
+                    _ => x,
+                };
+                let d = kernel.run(x, &packed.weights[0], packed.biases[0].as_deref())?;
+                Ok(Some(d))
+            }
+            StepKind::B2bGemm { kernel, .. } => {
+                let a = self.value(state, step.inputs[0])?;
+                let d = kernel.run(
+                    a,
+                    &packed.weights[0],
+                    packed.biases[0].as_deref(),
+                    &packed.weights[1],
+                    packed.biases[1].as_deref(),
+                )?;
+                Ok(Some(d))
+            }
+            StepKind::GemmChain { chain, .. } => {
+                let a = self.value(state, step.inputs[0])?;
+                let w_refs: Vec<&Tensor> = packed.weights.iter().map(|w| w.as_ref()).collect();
+                let b_refs: Vec<Option<&Tensor>> =
+                    packed.biases.iter().map(|b| b.as_deref()).collect();
+                let d = chain.run(a, &w_refs, &b_refs)?;
+                Ok(Some(d))
+            }
+            StepKind::B2bConv { kernel, pad_to, .. } => {
+                let x = self.value(state, step.inputs[0])?;
+                let padded;
+                let x = match pad_to {
+                    Some(pc) if x.dims4().1 < *pc => {
+                        padded = x.pad_channels_nhwc(*pc)?;
+                        &padded
+                    }
+                    _ => x,
+                };
+                let d = kernel.run(
+                    x,
+                    &packed.weights[0],
+                    packed.biases[0].as_deref(),
+                    &packed.weights[1],
+                    packed.biases[1].as_deref(),
+                )?;
+                Ok(Some(d))
+            }
+            StepKind::LayoutTransform { .. } | StepKind::PadChannels { .. } => {
+                // Functional no-ops: the executor already tracks layouts
+                // and padding inside the kernel steps.
+                Ok(None)
+            }
+            StepKind::Host => {
+                // A Host step may cover a fused injective chain: execute
+                // its nodes in topological order against chain-local
+                // values, returning only the step output.
+                let mut nodes = step.covered.clone();
+                nodes.sort_unstable();
+                let mut locals: HashMap<NodeId, Tensor> = HashMap::new();
+                for node in nodes {
+                    let t = {
+                        let scope = HostScope {
+                            plan: self,
+                            state,
+                            locals: &locals,
+                        };
+                        run_host_op(&self.graph, node, &scope)?
+                    };
+                    locals.insert(node, t);
+                }
+                locals
+                    .remove(&step.output)
+                    .map(Some)
+                    .ok_or_else(|| BoltError::BadInput {
+                        reason: format!(
+                            "host step {} did not produce its output {}",
+                            step.name, step.output
+                        ),
+                    })
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Batch capacity and serving entry points
+    // -----------------------------------------------------------------
+
+    /// The batch capacity this plan was compiled for: dimension 0 shared
+    /// by every graph input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoltError::BadInput`] when the graph has no inputs, an
+    /// input is scalar, or the inputs disagree on the batch dimension.
+    pub fn batch_size(&self) -> Result<usize> {
+        let input_ids = self.graph.input_ids();
+        let mut batch = None;
+        for &id in &input_ids {
+            let shape = &self.graph.node(id).shape;
+            if shape.rank() == 0 {
+                return Err(BoltError::BadInput {
+                    reason: format!("input {id} is scalar; it has no batch dimension"),
+                });
+            }
+            let b = shape.dim(0);
+            match batch {
+                None => batch = Some(b),
+                Some(prev) if prev != b => {
+                    return Err(BoltError::BadInput {
+                        reason: format!(
+                            "inputs disagree on the batch dimension: {prev} vs {b} (input {id})"
+                        ),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        batch.ok_or_else(|| BoltError::BadInput {
+            reason: "model has no inputs".into(),
+        })
+    }
+
+    /// Batch-slicing execution for the serving layer: stacks per-request
+    /// single-sample inputs along the batch dimension, pads the tail of a
+    /// partial batch by replicating the last sample, runs the whole batch
+    /// once, and slices the outputs back per sample (padding rows are
+    /// dropped).
+    ///
+    /// `samples[s]` holds sample `s`'s inputs in `Graph::input_ids`
+    /// order, each with batch dimension 1. At most
+    /// [`ExecutionPlan::batch_size`] samples are admitted per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoltError::BadInput`] for an empty or oversized sample
+    /// list, per-sample arity/shape mismatches, or any error from
+    /// [`ExecutionPlan::run`].
+    pub fn run_batched(&self, samples: &[Vec<Tensor>]) -> Result<Vec<Vec<Tensor>>> {
+        let capacity = self.batch_size()?;
+        if samples.is_empty() {
+            return Err(BoltError::BadInput {
+                reason: "run_batched needs at least one sample".into(),
+            });
+        }
+        if samples.len() > capacity {
+            return Err(BoltError::BadInput {
+                reason: format!(
+                    "{} samples exceed the compiled batch capacity {capacity}",
+                    samples.len()
+                ),
+            });
+        }
+        let arity = self.graph.input_ids().len();
+        for (s, sample) in samples.iter().enumerate() {
+            if sample.len() != arity {
+                return Err(BoltError::BadInput {
+                    reason: format!("sample {s}: expected {arity} inputs, got {}", sample.len()),
+                });
+            }
+        }
+
+        let mut batched = Vec::with_capacity(arity);
+        for i in 0..arity {
+            let columns: Vec<&Tensor> = samples.iter().map(|s| &s[i]).collect();
+            batched.push(stack_batch(&columns, capacity)?);
+        }
+        let outputs = self.run(&batched)?;
+
+        let mut per_sample = vec![Vec::with_capacity(outputs.len()); samples.len()];
+        for output in &outputs {
+            for (s, slot) in per_sample.iter_mut().enumerate() {
+                slot.push(slice_batch(output, s)?);
+            }
+        }
+        Ok(per_sample)
+    }
+
+    // -----------------------------------------------------------------
+    // Constant packing
+    // -----------------------------------------------------------------
+
+    fn param(&self, id: NodeId) -> Result<&Tensor> {
+        self.graph.param(id).ok_or_else(|| BoltError::BadInput {
+            reason: format!(
+                "constant {id} ({}) has no data; build the model with materialized parameters",
+                self.graph.node(id).name
+            ),
+        })
+    }
+
+    fn packed_bias(&self, id: Option<NodeId>) -> Result<Option<Arc<Tensor>>> {
+        match id {
+            Some(id) => Ok(Some(Arc::new(self.param(id)?.clone()))),
+            None => Ok(None),
+        }
+    }
+
+    /// Packs one step's constants into kernel-native layouts. Fails when
+    /// the graph carries shapes-only parameters.
+    fn pack_step(&self, step: &Step) -> Result<PackedConsts> {
+        let mut packed = PackedConsts {
+            materialized: true,
+            ..PackedConsts::default()
+        };
+        match &step.kind {
+            StepKind::Gemm { weight, bias, .. } => {
+                packed
+                    .weights
+                    .push(Arc::new(pack_dense_weight(self.param(*weight)?)));
+                packed.biases.push(self.packed_bias(*bias)?);
+            }
+            StepKind::Conv2d {
+                filter,
+                bias,
+                pad_to,
+                ..
+            } => {
+                packed
+                    .weights
+                    .push(Arc::new(pack_conv_filter(self.param(*filter)?, *pad_to)));
+                packed.biases.push(self.packed_bias(*bias)?);
+            }
+            StepKind::B2bGemm { w0, b0, w1, b1, .. } => {
+                packed
+                    .weights
+                    .push(Arc::new(pack_dense_weight(self.param(*w0)?)));
+                packed
+                    .weights
+                    .push(Arc::new(pack_dense_weight(self.param(*w1)?)));
+                packed.biases.push(self.packed_bias(*b0)?);
+                packed.biases.push(self.packed_bias(*b1)?);
+            }
+            StepKind::GemmChain {
+                weights, biases, ..
+            } => {
+                for w in weights {
+                    packed
+                        .weights
+                        .push(Arc::new(pack_dense_weight(self.param(*w)?)));
+                }
+                for b in biases {
+                    packed.biases.push(self.packed_bias(*b)?);
+                }
+            }
+            StepKind::B2bConv {
+                f0,
+                b0,
+                f1,
+                b1,
+                pad_to,
+                ..
+            } => {
+                packed
+                    .weights
+                    .push(Arc::new(pack_conv_filter(self.param(*f0)?, *pad_to)));
+                packed
+                    .weights
+                    .push(Arc::new(pack_conv_filter(self.param(*f1)?, None)));
+                packed.biases.push(self.packed_bias(*b0)?);
+                packed.biases.push(self.packed_bias(*b1)?);
+            }
+            StepKind::LayoutTransform { .. } | StepKind::PadChannels { .. } | StepKind::Host => {}
+        }
+        Ok(packed)
+    }
+
+    // -----------------------------------------------------------------
+    // Reference interpreter (pre-refactor semantics)
+    // -----------------------------------------------------------------
+
+    /// The pre-refactor interpreter: a grow-only `HashMap` environment,
+    /// every input cloned out per step, every weight repacked per call.
+    /// Kept as the semantic oracle (the slot executor must match it
+    /// bit-for-bit) and as the baseline the benchmarks compare the
+    /// compiled path against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ExecutionPlan::run`].
+    pub fn run_reference(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let input_ids = self.graph.input_ids();
+        self.validate_inputs(inputs, &input_ids)?;
+        let mut env: HashMap<NodeId, Tensor> = HashMap::new();
+        for (&id, tensor) in input_ids.iter().zip(inputs) {
+            if tensor.shape().rank() == 4 {
+                let nhwc = if tensor.layout() == Layout::Nhwc {
+                    tensor.clone()
+                } else {
+                    tensor.to_activation_layout(Layout::Nhwc)?
+                };
+                env.insert(id, nhwc);
+            } else {
+                env.insert(id, tensor.clone());
+            }
+        }
+
+        for step in &self.steps {
+            self.run_step_reference(step, &mut env)?;
+        }
+
+        let mut outputs = Vec::new();
+        for &out in self.graph.outputs() {
+            let t = env.get(&out).ok_or_else(|| BoltError::BadInput {
+                reason: format!("output {out} was never produced"),
+            })?;
+            let t = if t.shape().rank() == 4 && t.layout() == Layout::Nhwc {
+                t.to_activation_layout(Layout::Nchw)?
+            } else {
+                t.clone()
+            };
+            outputs.push(t);
+        }
+        Ok(outputs)
+    }
+
+    fn run_step_reference(&self, step: &Step, env: &mut HashMap<NodeId, Tensor>) -> Result<()> {
+        let fetch = |env: &HashMap<NodeId, Tensor>, id: NodeId| -> Result<Tensor> {
+            env.get(&id).cloned().ok_or_else(|| BoltError::BadInput {
+                reason: format!("step input {id} not yet computed"),
+            })
+        };
+        match &step.kind {
+            StepKind::Gemm {
+                kernel,
+                weight,
+                bias,
+                residual,
+            } => {
+                let a = fetch(env, step.inputs[0])?;
+                let b = pack_dense_weight(self.param(*weight)?);
+                let c = if let Some(r) = residual {
+                    Some(fetch(env, *r)?)
+                } else if let Some(b) = bias {
+                    Some(self.param(*b)?.clone())
+                } else {
+                    None
+                };
+                let (d, _) = kernel.run(&a, &b, c.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::Conv2d {
+                kernel,
+                filter,
+                bias,
+                pad_to,
+                ..
+            } => {
+                let mut x = fetch(env, step.inputs[0])?;
+                if let Some(pc) = pad_to {
+                    if x.dims4().1 < *pc {
+                        x = x.pad_channels_nhwc(*pc)?;
+                    }
+                }
+                let f = pack_conv_filter(self.param(*filter)?, *pad_to);
+                let b = match bias {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let d = kernel.run(&x, &f, b.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::B2bGemm {
+                kernel,
+                w0,
+                b0,
+                w1,
+                b1,
+            } => {
+                let a = fetch(env, step.inputs[0])?;
+                let w0t = pack_dense_weight(self.param(*w0)?);
+                let w1t = pack_dense_weight(self.param(*w1)?);
+                let b0t = match b0 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let b1t = match b1 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let d = kernel.run(&a, &w0t, b0t.as_ref(), &w1t, b1t.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::GemmChain {
+                chain,
+                weights,
+                biases,
+            } => {
+                let a = fetch(env, step.inputs[0])?;
+                let ws: Vec<Tensor> = weights
+                    .iter()
+                    .map(|w| Ok(pack_dense_weight(self.param(*w)?)))
+                    .collect::<Result<_>>()?;
+                let w_refs: Vec<&Tensor> = ws.iter().collect();
+                let bs: Vec<Option<Tensor>> = biases
+                    .iter()
+                    .map(|b| match b {
+                        Some(b) => Ok(Some(self.param(*b)?.clone())),
+                        None => Ok(None),
+                    })
+                    .collect::<Result<_>>()?;
+                let b_refs: Vec<Option<&Tensor>> = bs.iter().map(|b| b.as_ref()).collect();
+                let d = chain.run(&a, &w_refs, &b_refs)?;
+                env.insert(step.output, d);
+            }
+            StepKind::B2bConv {
+                kernel,
+                f0,
+                b0,
+                f1,
+                b1,
+                pad_to,
+            } => {
+                let mut x = fetch(env, step.inputs[0])?;
+                if let Some(pc) = pad_to {
+                    if x.dims4().1 < *pc {
+                        x = x.pad_channels_nhwc(*pc)?;
+                    }
+                }
+                let f0t = pack_conv_filter(self.param(*f0)?, *pad_to);
+                let f1t = pack_conv_filter(self.param(*f1)?, None);
+                let b0t = match b0 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let b1t = match b1 {
+                    Some(b) => Some(self.param(*b)?.clone()),
+                    None => None,
+                };
+                let d = kernel.run(&x, &f0t, b0t.as_ref(), &f1t, b1t.as_ref())?;
+                env.insert(step.output, d);
+            }
+            StepKind::LayoutTransform { .. } | StepKind::PadChannels { .. } => {}
+            StepKind::Host => {
+                let mut nodes = step.covered.clone();
+                nodes.sort_unstable();
+                for node in nodes {
+                    let t = run_host_op(&self.graph, node, env)?;
+                    env.insert(node, t);
+                }
+            }
+        }
+        Ok(())
+    }
+}

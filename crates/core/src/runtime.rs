@@ -1,7 +1,10 @@
 //! The compiled-model runtime.
 //!
-//! A [`CompiledModel`] is an ordered list of [`Step`]s produced by the
-//! lowering pipeline. It executes in two modes:
+//! A [`CompiledModel`] is a handle to an [`ExecutionPlan`](crate::plan::ExecutionPlan)
+//! — the ordered [`Step`] list produced by the lowering pipeline plus its
+//! prepacked constants and buffer-slot plan — together with the
+//! [`TuningSummary`] of the compilation that built it. It executes in two
+//! modes:
 //!
 //! * **functional** ([`CompiledModel::run`]) — really computes every step
 //!   with the templated kernel executors and host reference ops, so fused
@@ -9,8 +12,13 @@
 //! * **timing** ([`CompiledModel::time`]) — prices every step on the GPU
 //!   simulator and returns a per-kernel [`Timeline`], the measurement
 //!   behind Figures 8-10.
+//!
+//! This module also hosts the step vocabulary ([`Step`], [`StepKind`]),
+//! the host (TVM-fallback) operator implementations and their pricing,
+//! and the batch stacking/slicing helpers the serving layer uses.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bolt_cutlass::{B2bConvKernel, B2bGemmKernel, Conv2dKernel, GemmKernel, PersistentGemmChain};
 use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile, KernelTime, Timeline};
@@ -19,6 +27,7 @@ use bolt_tensor::{activation::apply_slice, DType, Layout, Tensor};
 
 use crate::config::BoltConfig;
 use crate::error::BoltError;
+use crate::plan::{ExecutionPlan, StepObserver};
 use crate::Result;
 
 /// What one step executes.
@@ -152,101 +161,66 @@ impl TimingReport {
     }
 }
 
-/// A compiled model: optimized graph + executable steps.
+/// A compiled model: a shared handle to the [`ExecutionPlan`] plus the
+/// profiling-cost summary of the compilation that built it.
+///
+/// Cloning is cheap (the plan is behind an `Arc`); the serving layer
+/// shares the same plan across batch buckets and worker threads.
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
-    pub(crate) arch: GpuArch,
-    pub(crate) graph: Graph,
-    pub(crate) steps: Vec<Step>,
-    pub(crate) config: BoltConfig,
+    pub(crate) plan: Arc<ExecutionPlan>,
     /// Profiling-cost summary.
     pub tuning: TuningSummary,
 }
 
 impl CompiledModel {
+    /// The execution plan this model is a handle to.
+    pub fn plan(&self) -> &Arc<ExecutionPlan> {
+        &self.plan
+    }
+
     /// The executable steps in order.
     pub fn steps(&self) -> &[Step] {
-        &self.steps
+        self.plan.steps()
     }
 
     /// The optimized graph this model executes.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.plan.graph()
     }
 
     /// The target architecture.
     pub fn arch(&self) -> &GpuArch {
-        &self.arch
+        self.plan.arch()
     }
 
     /// The configuration the model was compiled with.
     pub fn compile_config(&self) -> &BoltConfig {
-        &self.config
+        self.plan.config()
     }
 
     /// Number of device kernel launches (excludes host steps and fused
     /// transforms) — what persistent fusion and epilogue fusion reduce.
     pub fn kernel_count(&self) -> usize {
-        self.steps
-            .iter()
-            .filter(|s| {
-                !matches!(
-                    s.kind,
-                    StepKind::Host | StepKind::LayoutTransform { fused: true, .. }
-                )
-            })
-            .count()
+        self.plan.kernel_count()
     }
 
-    // --------------------------------------------------------------------
-    // Timing mode
-    // --------------------------------------------------------------------
+    /// Peak intermediate memory of the planned execution
+    /// ([`ExecutionPlan::workspace_bytes`]).
+    pub fn workspace_bytes(&self) -> u64 {
+        self.plan.workspace_bytes()
+    }
 
     /// Prices every step on the simulator.
     pub fn time(&self) -> TimingReport {
-        let mut timeline = Timeline::new();
-        for step in &self.steps {
-            let time = self.step_time(step);
-            timeline.push(step.name.clone(), &time);
-        }
-        TimingReport {
-            total_us: timeline.total_us(),
-            timeline,
-        }
+        self.plan.time()
     }
 
-    fn step_time(&self, step: &Step) -> KernelTime {
-        match &step.kind {
-            StepKind::Gemm { kernel, .. } => kernel.time(&self.arch),
-            StepKind::Conv2d { kernel, .. } => kernel.time(&self.arch),
-            StepKind::B2bGemm { kernel, .. } => kernel.time(&self.arch),
-            StepKind::GemmChain { chain, .. } => chain.time(&self.arch),
-            StepKind::B2bConv { kernel, .. } => kernel.time(&self.arch),
-            StepKind::LayoutTransform { bytes, fused } => {
-                let mut profile = KernelProfile::memory_only("layout_transform", *bytes * 2.0);
-                // NCHW reads are W-contiguous, NHWC writes C-contiguous;
-                // one side is strided.
-                profile.alignment_elems = 4;
-                let mut t = simulate_kernel(&self.arch, &profile);
-                if *fused {
-                    // Folded into the adjacent kernel: no launch.
-                    t.total_us -= t.launch_us;
-                    t.launch_us = 0.0;
-                }
-                t
-            }
-            StepKind::PadChannels { bytes } => {
-                let mut profile = KernelProfile::memory_only("pad_channels", *bytes);
-                profile.alignment_elems = 2; // source is the unaligned tensor
-                simulate_kernel(&self.arch, &profile)
-            }
-            StepKind::Host => host_group_time(&self.arch, &self.graph, &step.covered),
-        }
+    /// [`CompiledModel::time`], reporting each step to `observer` as it
+    /// is priced.
+    pub fn time_observed(&self, observer: &mut dyn StepObserver) -> TimingReport {
+        self.plan.time_observed(observer)
     }
-
-    // --------------------------------------------------------------------
-    // Functional mode
-    // --------------------------------------------------------------------
 
     /// Executes the model on real inputs (one tensor per graph input, in
     /// `Graph::input_ids` order). Rank-4 inputs may be NCHW (converted
@@ -259,114 +233,22 @@ impl CompiledModel {
     /// data. Malformed inputs never panic: every message spells out the
     /// expected vs. received shape.
     pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
-        let input_ids = self.graph.input_ids();
-        if inputs.len() != input_ids.len() {
-            return Err(BoltError::BadInput {
-                reason: format!("expected {} inputs, got {}", input_ids.len(), inputs.len()),
-            });
-        }
-        let mut env: HashMap<NodeId, Tensor> = HashMap::new();
-        for (pos, (&id, tensor)) in input_ids.iter().zip(inputs).enumerate() {
-            let want = &self.graph.node(id).shape;
-            let got = logical_dims(tensor);
-            if tensor.shape().rank() != want.rank() {
-                return Err(BoltError::BadInput {
-                    reason: format!(
-                        "input {pos} ({id}) rank mismatch: expected rank {} shape {want}, \
-                         got rank {} shape {got:?}",
-                        want.rank(),
-                        tensor.shape().rank(),
-                    ),
-                });
-            }
-            if got != want.dims() {
-                let what =
-                    if !got.is_empty() && got[0] != want.dim(0) && got[1..] == want.dims()[1..] {
-                        "batch dimension mismatch"
-                    } else {
-                        "shape mismatch"
-                    };
-                return Err(BoltError::BadInput {
-                    reason: format!("input {pos} ({id}) {what}: expected {want}, got {got:?}"),
-                });
-            }
-            if tensor.shape().rank() == 4 {
-                // Normalize to NHWC internally (Bolt's layout transform).
-                let nhwc = if tensor.layout() == Layout::Nhwc {
-                    tensor.clone()
-                } else {
-                    tensor.to_activation_layout(Layout::Nhwc)?
-                };
-                env.insert(id, nhwc);
-            } else {
-                env.insert(id, tensor.clone());
-            }
-        }
-
-        for step in &self.steps {
-            self.run_step(step, &mut env)?;
-        }
-
-        let mut outputs = Vec::new();
-        for &out in self.graph.outputs() {
-            let t = env.get(&out).ok_or_else(|| BoltError::BadInput {
-                reason: format!("output {out} was never produced"),
-            })?;
-            // Convert activations back to the framework's NCHW convention.
-            let t = if t.shape().rank() == 4 && t.layout() == Layout::Nhwc {
-                t.to_activation_layout(Layout::Nchw)?
-            } else {
-                t.clone()
-            };
-            outputs.push(t);
-        }
-        Ok(outputs)
+        self.plan.run(inputs)
     }
 
-    /// The batch capacity this model was compiled for: dimension 0 shared
-    /// by every graph input.
+    /// The batch capacity this model was compiled for
+    /// ([`ExecutionPlan::batch_size`]).
     ///
     /// # Errors
     ///
     /// Returns [`BoltError::BadInput`] when the graph has no inputs, an
     /// input is scalar, or the inputs disagree on the batch dimension.
     pub fn batch_size(&self) -> Result<usize> {
-        let input_ids = self.graph.input_ids();
-        let mut batch = None;
-        for &id in &input_ids {
-            let shape = &self.graph.node(id).shape;
-            if shape.rank() == 0 {
-                return Err(BoltError::BadInput {
-                    reason: format!("input {id} is scalar; it has no batch dimension"),
-                });
-            }
-            let b = shape.dim(0);
-            match batch {
-                None => batch = Some(b),
-                Some(prev) if prev != b => {
-                    return Err(BoltError::BadInput {
-                        reason: format!(
-                            "inputs disagree on the batch dimension: {prev} vs {b} (input {id})"
-                        ),
-                    })
-                }
-                Some(_) => {}
-            }
-        }
-        batch.ok_or_else(|| BoltError::BadInput {
-            reason: "model has no inputs".into(),
-        })
+        self.plan.batch_size()
     }
 
-    /// Batch-slicing execution for the serving layer: stacks per-request
-    /// single-sample inputs along the batch dimension, pads the tail of a
-    /// partial batch by replicating the last sample, runs the whole batch
-    /// once, and slices the outputs back per sample (padding rows are
-    /// dropped).
-    ///
-    /// `samples[s]` holds sample `s`'s inputs in `Graph::input_ids` order,
-    /// each with batch dimension 1. At most [`CompiledModel::batch_size`]
-    /// samples are admitted per call.
+    /// Batch-slicing execution for the serving layer
+    /// ([`ExecutionPlan::run_batched`]).
     ///
     /// # Errors
     ///
@@ -374,232 +256,14 @@ impl CompiledModel {
     /// list, per-sample arity/shape mismatches, or any error from
     /// [`CompiledModel::run`].
     pub fn run_batched(&self, samples: &[Vec<Tensor>]) -> Result<Vec<Vec<Tensor>>> {
-        let capacity = self.batch_size()?;
-        if samples.is_empty() {
-            return Err(BoltError::BadInput {
-                reason: "run_batched needs at least one sample".into(),
-            });
-        }
-        if samples.len() > capacity {
-            return Err(BoltError::BadInput {
-                reason: format!(
-                    "{} samples exceed the compiled batch capacity {capacity}",
-                    samples.len()
-                ),
-            });
-        }
-        let arity = self.graph.input_ids().len();
-        for (s, sample) in samples.iter().enumerate() {
-            if sample.len() != arity {
-                return Err(BoltError::BadInput {
-                    reason: format!("sample {s}: expected {arity} inputs, got {}", sample.len()),
-                });
-            }
-        }
-
-        let mut batched = Vec::with_capacity(arity);
-        for i in 0..arity {
-            let columns: Vec<&Tensor> = samples.iter().map(|s| &s[i]).collect();
-            batched.push(stack_batch(&columns, capacity)?);
-        }
-        let outputs = self.run(&batched)?;
-
-        let mut per_sample = vec![Vec::with_capacity(outputs.len()); samples.len()];
-        for output in &outputs {
-            for (s, slot) in per_sample.iter_mut().enumerate() {
-                slot.push(slice_batch(output, s)?);
-            }
-        }
-        Ok(per_sample)
-    }
-
-    fn param(&self, id: NodeId) -> Result<&Tensor> {
-        self.graph.param(id).ok_or_else(|| BoltError::BadInput {
-            reason: format!(
-                "constant {id} ({}) has no data; build the model with materialized parameters",
-                self.graph.node(id).name
-            ),
-        })
-    }
-
-    /// Dense weight `(units, in)` → GEMM `B` operand `(in, units)`.
-    fn dense_weight(&self, id: NodeId) -> Result<Tensor> {
-        let w = self.param(id)?;
-        let (u, k) = (w.shape().dim(0), w.shape().dim(1));
-        let mut b = Tensor::zeros(&[k, u], w.dtype());
-        for i in 0..u {
-            for j in 0..k {
-                b.set2(j, i, w.get2(i, j));
-            }
-        }
-        Ok(b)
-    }
-
-    /// Conv filter logical `(K, C, R, S)` → physical KRSC, optionally
-    /// zero-padded to `pad_c` input channels.
-    fn conv_filter(&self, id: NodeId, pad_c: Option<usize>) -> Result<Tensor> {
-        let w = self.param(id)?;
-        let dims = w.shape().dims();
-        let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
-        let cc = pad_c.unwrap_or(c);
-        let mut out = Tensor::zeros(&[k, r, s, cc], w.dtype());
-        let src = w.data();
-        let dst = out.data_mut();
-        for ki in 0..k {
-            for ci in 0..c {
-                for ri in 0..r {
-                    for si in 0..s {
-                        let from = ((ki * c + ci) * r + ri) * s + si;
-                        let to = ((ki * r + ri) * s + si) * cc + ci;
-                        dst[to] = src[from];
-                    }
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    fn run_step(&self, step: &Step, env: &mut HashMap<NodeId, Tensor>) -> Result<()> {
-        let fetch = |env: &HashMap<NodeId, Tensor>, id: NodeId| -> Result<Tensor> {
-            env.get(&id).cloned().ok_or_else(|| BoltError::BadInput {
-                reason: format!("step input {id} not yet computed"),
-            })
-        };
-        match &step.kind {
-            StepKind::Gemm {
-                kernel,
-                weight,
-                bias,
-                residual,
-            } => {
-                let a = fetch(env, step.inputs[0])?;
-                let b = self.dense_weight(*weight)?;
-                let c = if let Some(r) = residual {
-                    Some(fetch(env, *r)?)
-                } else if let Some(b) = bias {
-                    Some(self.param(*b)?.clone())
-                } else {
-                    None
-                };
-                let (d, _) = kernel.run(&a, &b, c.as_ref())?;
-                env.insert(step.output, d);
-            }
-            StepKind::Conv2d {
-                kernel,
-                filter,
-                bias,
-                pad_to,
-                ..
-            } => {
-                let mut x = fetch(env, step.inputs[0])?;
-                if let Some(pc) = pad_to {
-                    let (_, c, _, _) = x.dims4();
-                    if c < *pc {
-                        x = x.pad_channels_nhwc(*pc)?;
-                    }
-                }
-                let f = self.conv_filter(*filter, *pad_to)?;
-                let b = match bias {
-                    Some(b) => Some(self.param(*b)?.clone()),
-                    None => None,
-                };
-                let d = kernel.run(&x, &f, b.as_ref())?;
-                env.insert(step.output, d);
-            }
-            StepKind::B2bGemm {
-                kernel,
-                w0,
-                b0,
-                w1,
-                b1,
-            } => {
-                let a = fetch(env, step.inputs[0])?;
-                let w0t = self.dense_weight(*w0)?;
-                let w1t = self.dense_weight(*w1)?;
-                let b0t = match b0 {
-                    Some(b) => Some(self.param(*b)?.clone()),
-                    None => None,
-                };
-                let b1t = match b1 {
-                    Some(b) => Some(self.param(*b)?.clone()),
-                    None => None,
-                };
-                let d = kernel.run(&a, &w0t, b0t.as_ref(), &w1t, b1t.as_ref())?;
-                env.insert(step.output, d);
-            }
-            StepKind::GemmChain {
-                chain,
-                weights,
-                biases,
-            } => {
-                let a = fetch(env, step.inputs[0])?;
-                let ws: Vec<Tensor> = weights
-                    .iter()
-                    .map(|w| self.dense_weight(*w))
-                    .collect::<Result<_>>()?;
-                let w_refs: Vec<&Tensor> = ws.iter().collect();
-                let bs: Vec<Option<Tensor>> = biases
-                    .iter()
-                    .map(|b| match b {
-                        Some(b) => Ok(Some(self.param(*b)?.clone())),
-                        None => Ok(None),
-                    })
-                    .collect::<Result<_>>()?;
-                let b_refs: Vec<Option<&Tensor>> = bs.iter().map(|b| b.as_ref()).collect();
-                let d = chain.run(&a, &w_refs, &b_refs)?;
-                env.insert(step.output, d);
-            }
-            StepKind::B2bConv {
-                kernel,
-                f0,
-                b0,
-                f1,
-                b1,
-                pad_to,
-            } => {
-                let mut x = fetch(env, step.inputs[0])?;
-                if let Some(pc) = pad_to {
-                    let (_, c, _, _) = x.dims4();
-                    if c < *pc {
-                        x = x.pad_channels_nhwc(*pc)?;
-                    }
-                }
-                let f0t = self.conv_filter(*f0, *pad_to)?;
-                let f1t = self.conv_filter(*f1, None)?;
-                let b0t = match b0 {
-                    Some(b) => Some(self.param(*b)?.clone()),
-                    None => None,
-                };
-                let b1t = match b1 {
-                    Some(b) => Some(self.param(*b)?.clone()),
-                    None => None,
-                };
-                let d = kernel.run(&x, &f0t, b0t.as_ref(), &f1t, b1t.as_ref())?;
-                env.insert(step.output, d);
-            }
-            StepKind::LayoutTransform { .. } | StepKind::PadChannels { .. } => {
-                // Functional no-ops: the runtime already tracks layouts and
-                // padding inside the kernel steps.
-            }
-            StepKind::Host => {
-                // A Host step may cover a fused injective chain: execute
-                // its nodes in topological order.
-                let mut nodes = step.covered.clone();
-                nodes.sort_unstable();
-                for node in nodes {
-                    let t = run_host_op(&self.graph, node, env)?;
-                    env.insert(node, t);
-                }
-            }
-        }
-        Ok(())
+        self.plan.run_batched(samples)
     }
 }
 
 /// The tensor's dimensions in the graph's logical convention: rank-4
 /// activations report NCHW regardless of storage layout, everything else
 /// reports shape order as stored.
-fn logical_dims(tensor: &Tensor) -> Vec<usize> {
+pub(crate) fn logical_dims(tensor: &Tensor) -> Vec<usize> {
     if tensor.shape().rank() == 4 {
         let (n, c, h, w) = tensor.dims4();
         vec![n, c, h, w]
@@ -729,16 +393,27 @@ pub fn slice_batch(batched: &Tensor, index: usize) -> Result<Tensor> {
     }
 }
 
+/// Where a host operator finds its activation inputs. The reference
+/// interpreter looks values up in its hash-map environment; the slot
+/// executor resolves them through the plan's slot table (plus
+/// chain-local values for fused groups).
+pub(crate) trait ValueLookup {
+    /// The tensor currently bound to `id`, if any.
+    fn lookup(&self, id: NodeId) -> Option<&Tensor>;
+}
+
+impl ValueLookup for HashMap<NodeId, Tensor> {
+    fn lookup(&self, id: NodeId) -> Option<&Tensor> {
+        self.get(&id)
+    }
+}
+
 /// Executes one host (TVM-fallback) operator functionally.
-pub(crate) fn run_host_op(
-    graph: &Graph,
-    id: NodeId,
-    env: &HashMap<NodeId, Tensor>,
-) -> Result<Tensor> {
+pub(crate) fn run_host_op(graph: &Graph, id: NodeId, env: &impl ValueLookup) -> Result<Tensor> {
     let node = graph.node(id);
     let input = |i: usize| -> Result<&Tensor> {
         let nid = node.inputs[i];
-        if let Some(t) = env.get(&nid) {
+        if let Some(t) = env.lookup(nid) {
             return Ok(t);
         }
         graph.param(nid).ok_or_else(|| BoltError::BadInput {
@@ -1155,6 +830,7 @@ mod tests {
     fn compiled_model_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CompiledModel>();
+        assert_send_sync::<ExecutionPlan>();
         assert_send_sync::<Step>();
         assert_send_sync::<StepKind>();
         assert_send_sync::<TimingReport>();

@@ -1,0 +1,69 @@
+//! A small end-to-end CNN with **materialized** parameters.
+//!
+//! The Figure 10 CNNs (`vgg`, `resnet`, `repvgg`) are shapes-only: big
+//! enough that materializing ImageNet-scale weights in tests would be
+//! wasteful, and the paper's experiments only price them. That leaves
+//! `Conv2d`, `PadChannels`, and `LayoutTransform` steps exercised by the
+//! timing path alone. [`serving_cnn`] closes the gap: a CIFAR-sized
+//! convolutional classifier small enough to execute functionally in
+//! serving tests, yet shaped to hit every CNN-specific lowering feature —
+//! sub-alignment input channels (3 → padded to 8, folded into the entry
+//! layout transform), a sub-alignment interior layer (6 → a standalone
+//! pad kernel, Table 3's overhead), NCHW↔NHWC boundary transforms, and a
+//! host GlobalAvgPool feeding a GEMM head.
+
+use bolt_graph::{Graph, GraphBuilder};
+use bolt_tensor::{Activation, DType};
+
+/// A small serving CNN over `batch`×3×8×8 inputs:
+/// conv3→6 (3×3, pad 1) + bias + ReLU, conv6→8 (3×3, pad 1) + bias +
+/// ReLU, global average pool, dense head to 10 classes.
+///
+/// Both convolutions have unaligned input channels (3 and 6), so the
+/// lowered plan carries channel padding in both its forms: folded into
+/// the entry layout transform for the first layer, a standalone
+/// `PadChannels` kernel mid-graph for the second.
+pub fn serving_cnn(batch: usize) -> Graph {
+    let mut b = GraphBuilder::new(DType::F16);
+    let x = b.input(&[batch, 3, 8, 8]);
+    let c1 = b.conv2d_bias(x, 6, 3, (1, 1), (1, 1), "cnn.conv1");
+    let r1 = b.activation(c1, Activation::ReLU, "cnn.relu1");
+    let c2 = b.conv2d_bias(r1, 8, 3, (1, 1), (1, 1), "cnn.conv2");
+    let r2 = b.activation(c2, Activation::ReLU, "cnn.relu2");
+    let g = b.global_avg_pool(r2, "cnn.gap");
+    let y = b.dense_bias(g, 10, "cnn.head");
+    b.finish(&[y])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_cnn_materializes_params() {
+        let g = serving_cnn(4);
+        let constants: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, bolt_graph::OpKind::Constant { .. }))
+            .collect();
+        assert!(!constants.is_empty());
+        for c in &constants {
+            assert!(g.param(c.id).is_some(), "{} has no data", c.name);
+        }
+        assert_eq!(g.node(g.outputs()[0]).shape.dims(), &[4, 10]);
+    }
+
+    #[test]
+    fn serving_cnn_channels_are_unaligned() {
+        // The point of this zoo entry: both convs need channel padding.
+        let g = serving_cnn(1);
+        let conv_in_channels: Vec<usize> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, bolt_graph::OpKind::Conv2d { .. }))
+            .map(|n| g.node(n.inputs[0]).shape.dim(1))
+            .collect();
+        assert_eq!(conv_in_channels, vec![3, 6]);
+    }
+}

@@ -12,12 +12,15 @@
 //! * [`bert`] — the GEMM workloads of Figures 1 and 8a;
 //! * [`mlp`] — DLRM/DCNv2-style MLP chains and the exact back-to-back
 //!   GEMM pairs of Table 1;
+//! * [`cnn`] — a small materialized CNN the serving layer can execute
+//!   functionally (the big CNNs above are shapes-only);
 //! * [`accuracy`] — the calibrated top-1 accuracy proxy substituting for
 //!   ImageNet training (see DESIGN.md, substitution 5);
 //! * [`zoo`] — a name-indexed registry of the Figure 10 model set.
 
 pub mod accuracy;
 pub mod bert;
+pub mod cnn;
 pub mod inception;
 pub mod mlp;
 pub mod repvgg;

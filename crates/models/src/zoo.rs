@@ -3,6 +3,7 @@
 use bolt_graph::Graph;
 use bolt_tensor::Activation;
 
+use crate::cnn::serving_cnn;
 use crate::inception::inception_v3;
 use crate::mlp::serving_mlp;
 use crate::repvgg::{RepVggSpec, RepVggVariant};
@@ -21,7 +22,7 @@ pub const FIGURE10_MODELS: [&str; 6] = [
 
 /// Zoo entries with **materialized** parameters — the models the serving
 /// layer executes functionally, not just prices.
-pub const SERVING_MODELS: [&str; 2] = ["mlp-small", "mlp-large"];
+pub const SERVING_MODELS: [&str; 3] = ["mlp-small", "mlp-large", "cnn-small"];
 
 /// Metadata for a zoo model.
 #[derive(Debug, Clone)]
@@ -77,6 +78,7 @@ pub fn try_model_by_name(name: &str, batch: usize) -> Option<ModelInfo> {
         }
         "mlp-small" => serving_mlp(batch, &[128, 256, 64, 10]),
         "mlp-large" => serving_mlp(batch, &[256, 512, 512, 128, 10]),
+        "cnn-small" => serving_cnn(batch),
         _ => return None,
     };
     let params: usize = graph

@@ -1,0 +1,80 @@
+//! The hot-path no-copy guarantee (ISSUE 3, satellite a): the slot-based
+//! executor must not clone intermediate tensors per step. The global
+//! [`bolt_tensor::clone_count`] allocation counter makes this observable:
+//! `run`'s clone cost must be **depth-independent** (input ingestion
+//! only), while the retained reference interpreter's per-step fetch
+//! clones grow with depth.
+//!
+//! This file deliberately holds a single `#[test]`: the counter is
+//! process-global, and a sibling test cloning tensors concurrently would
+//! pollute the deltas.
+
+use bolt::{BoltCompiler, BoltConfig, CompiledModel};
+use bolt_gpu_sim::GpuArch;
+use bolt_models::mlp::serving_mlp;
+use bolt_tensor::{clone_count, DType, Tensor};
+
+fn compile(widths: &[usize]) -> CompiledModel {
+    // Epilogue-only lowering: one GEMM step per dense layer, no
+    // persistent chains (whose kernels legitimately stage one internal
+    // copy), so every step exercises the plain slot-borrow path.
+    BoltCompiler::new(GpuArch::tesla_t4(), BoltConfig::epilogue_only())
+        .compile(&serving_mlp(1, widths))
+        .expect("mlp compiles")
+}
+
+fn clones_during(f: impl FnOnce()) -> u64 {
+    let before = clone_count();
+    f();
+    clone_count() - before
+}
+
+#[test]
+fn slot_executor_clone_cost_is_depth_independent() {
+    let shallow = compile(&[128, 64, 64, 10]);
+    let deep = compile(&[128, 64, 64, 64, 64, 64, 64, 10]);
+    assert_eq!(shallow.steps().len(), 3);
+    assert_eq!(deep.steps().len(), 7);
+
+    let input = vec![Tensor::randn(&[1, 128], DType::F16, 11)];
+
+    // Warm both paths once so lazy one-time work cannot skew the deltas.
+    shallow.run(&input).expect("warm");
+    deep.run(&input).expect("warm");
+    shallow.plan().run_reference(&input).expect("warm");
+    deep.plan().run_reference(&input).expect("warm");
+
+    let slot_shallow = clones_during(|| {
+        shallow.run(&input).expect("shallow run");
+    });
+    let slot_deep = clones_during(|| {
+        deep.run(&input).expect("deep run");
+    });
+    let ref_shallow = clones_during(|| {
+        shallow.plan().run_reference(&input).expect("shallow ref");
+    });
+    let ref_deep = clones_during(|| {
+        deep.plan().run_reference(&input).expect("deep ref");
+    });
+
+    // Slot executor: clones only at input ingestion, so more than
+    // doubling the step count must not change the count at all.
+    assert_eq!(
+        slot_shallow, slot_deep,
+        "slot executor must not clone per step (shallow {slot_shallow}, deep {slot_deep})"
+    );
+    assert!(
+        slot_shallow <= input.len() as u64,
+        "at most one ingestion clone per input, got {slot_shallow}"
+    );
+
+    // Reference interpreter: per-step fetch clones scale with depth.
+    assert!(
+        ref_deep > ref_shallow,
+        "reference fetch clones grow with depth ({ref_shallow} -> {ref_deep})"
+    );
+    assert!(
+        slot_deep < ref_deep,
+        "slot executor ({slot_deep}) must clone strictly less than the reference ({ref_deep})"
+    );
+}

@@ -1,0 +1,209 @@
+//! Golden-plan snapshots over the zoo: the compiled step sequence,
+//! prepacked-constant layouts, and buffer-slot plan for `mlp-small` and
+//! `cnn-small` under the fused (default) and unfused (`epilogue_only`)
+//! configurations, plus executor-equivalence checks — `run` vs.
+//! `run_batched(1)` and `run` vs. the retained reference interpreter.
+//!
+//! The snapshots are intentionally literal: a lowering change that alters
+//! fusion decisions, packed layouts, or slot counts must show up here as
+//! a reviewed diff, not as a silent behavioural drift.
+
+use bolt::{BoltCompiler, BoltConfig, CompiledModel, StepKind};
+use bolt_gpu_sim::GpuArch;
+use bolt_models::{try_model_by_name, SERVING_MODELS};
+use bolt_tensor::{DType, Tensor};
+
+fn compile(model: &str, batch: usize, config: BoltConfig) -> CompiledModel {
+    let graph = try_model_by_name(model, batch).expect(model).graph;
+    BoltCompiler::new(GpuArch::tesla_t4(), config)
+        .compile(&graph)
+        .expect(model)
+}
+
+fn kind_name(kind: &StepKind) -> &'static str {
+    match kind {
+        StepKind::Gemm { .. } => "Gemm",
+        StepKind::Conv2d { .. } => "Conv2d",
+        StepKind::B2bGemm { .. } => "B2bGemm",
+        StepKind::GemmChain { .. } => "GemmChain",
+        StepKind::B2bConv { .. } => "B2bConv",
+        StepKind::LayoutTransform { .. } => "LayoutTransform",
+        StepKind::PadChannels { .. } => "PadChannels",
+        StepKind::Host => "Host",
+    }
+}
+
+fn step_kinds(model: &CompiledModel) -> Vec<&'static str> {
+    model
+        .plan()
+        .steps()
+        .iter()
+        .map(|s| kind_name(&s.kind))
+        .collect()
+}
+
+/// Prepacked weight shapes per step, in step order.
+fn packed_weight_shapes(model: &CompiledModel) -> Vec<Vec<Vec<usize>>> {
+    let plan = model.plan();
+    (0..plan.steps().len())
+        .map(|i| {
+            plan.packed_consts(i)
+                .weights
+                .iter()
+                .map(|w| w.shape().dims().to_vec())
+                .collect()
+        })
+        .collect()
+}
+
+fn sample_inputs(model: &str, seed: u64) -> Vec<Tensor> {
+    let dims: Vec<usize> = match model {
+        "mlp-small" => vec![1, 128],
+        "mlp-large" => vec![1, 256],
+        "cnn-small" => vec![1, 3, 8, 8],
+        other => panic!("unexpected serving model {other}"),
+    };
+    vec![Tensor::randn(&dims, DType::F16, seed)]
+}
+
+/// Fused mlp-small: the persistent-kernel pass folds the last two dense
+/// layers into one B2B GEMM; liveness folds every intermediate into one
+/// reusable slot.
+#[test]
+fn golden_plan_mlp_small_fused() {
+    let model = compile("mlp-small", 1, BoltConfig::default());
+    assert_eq!(step_kinds(&model), vec!["Gemm", "B2bGemm"]);
+    assert_eq!(
+        packed_weight_shapes(&model),
+        vec![
+            // Dense weights are prepacked (units, in) → (in, units).
+            vec![vec![128, 256]],
+            vec![vec![256, 64], vec![64, 10]],
+        ]
+    );
+    let plan = model.plan();
+    assert_eq!(plan.buffer_slots(), 1, "linear chain reuses one slot");
+    assert_eq!(plan.workspace_bytes(), 512, "widest intermediate: 256×f16");
+    // 128×256 + 256 + 256×64 + 64 + 64×10 + 10 halfs.
+    assert_eq!(plan.packed_const_bytes(), 100_244);
+    assert!(plan.workspace_bytes() < plan.total_value_bytes());
+}
+
+/// Unfused mlp-small: epilogue-only keeps one GEMM per dense layer, but
+/// prepacking and the slot plan are unchanged in spirit — still one slot.
+#[test]
+fn golden_plan_mlp_small_unfused() {
+    let model = compile("mlp-small", 1, BoltConfig::epilogue_only());
+    assert_eq!(step_kinds(&model), vec!["Gemm", "Gemm", "Gemm"]);
+    assert_eq!(
+        packed_weight_shapes(&model),
+        vec![
+            vec![vec![128, 256]],
+            vec![vec![256, 64]],
+            vec![vec![64, 10]]
+        ]
+    );
+    let plan = model.plan();
+    assert_eq!(plan.buffer_slots(), 1);
+    assert_eq!(plan.workspace_bytes(), 512);
+    assert_eq!(plan.packed_const_bytes(), 100_244);
+}
+
+/// cnn-small exercises the conv path end to end: an NCHW→NHWC boundary
+/// transform, a conv whose 3→8 channel pad is folded into that boundary,
+/// a standalone pad kernel for the 6→8 interior boundary, a host
+/// global-average-pool fallback, and the classifier GEMM.
+#[test]
+fn golden_plan_cnn_small() {
+    for config in [BoltConfig::default(), BoltConfig::epilogue_only()] {
+        let model = compile("cnn-small", 1, config);
+        assert_eq!(
+            step_kinds(&model),
+            vec![
+                "LayoutTransform",
+                "Conv2d",
+                "PadChannels",
+                "Conv2d",
+                "Host",
+                "Gemm",
+            ]
+        );
+        // Filters are prepacked KCRS → KRSC with the channel pad folded
+        // in: conv1 is (6,3,3,3) padded to C=8, conv2 (8,6,3,3) likewise.
+        assert_eq!(
+            packed_weight_shapes(&model),
+            vec![
+                vec![],
+                vec![vec![6, 3, 3, 8]],
+                vec![],
+                vec![vec![8, 3, 3, 8]],
+                vec![],
+                vec![vec![8, 10]],
+            ]
+        );
+        let plan = model.plan();
+        assert_eq!(plan.buffer_slots(), 1, "pad/layout steps are in-place");
+        assert_eq!(plan.workspace_bytes(), 1024, "padded 8×8×8 NHWC × f16");
+        assert!(plan.workspace_bytes() < plan.total_value_bytes());
+    }
+}
+
+/// The ISSUE's memory-planner acceptance criterion on a deep model: the
+/// planned workspace is strictly smaller than the sum of all
+/// intermediates the old interpreter kept alive simultaneously.
+#[test]
+fn deep_model_workspace_beats_sum_of_intermediates() {
+    let model = compile("mlp-large", 1, BoltConfig::epilogue_only());
+    let plan = model.plan();
+    assert_eq!(plan.steps().len(), 4, "one GEMM per dense layer");
+    assert!(
+        plan.workspace_bytes() < plan.total_value_bytes(),
+        "workspace {} must beat sum-of-intermediates {}",
+        plan.workspace_bytes(),
+        plan.total_value_bytes()
+    );
+    // Five values (input + four activations) share one slot.
+    assert_eq!(plan.buffer_slots(), 1);
+}
+
+/// Functional equivalence across every executor the plan exposes: the
+/// slot-based `run`, the batched path at batch 1, and the retained
+/// pre-refactor reference interpreter must agree bit for bit.
+#[test]
+fn run_paths_agree_bit_for_bit() {
+    for name in SERVING_MODELS {
+        for config in [BoltConfig::default(), BoltConfig::epilogue_only()] {
+            let model = compile(name, 1, config);
+            let inputs = sample_inputs(name, 7);
+            let slots = model.run(&inputs).expect(name);
+            let reference = model.plan().run_reference(&inputs).expect(name);
+            assert_eq!(slots, reference, "{name}: run vs run_reference");
+            let batched = model
+                .run_batched(std::slice::from_ref(&inputs))
+                .expect(name);
+            assert_eq!(batched.len(), 1);
+            assert_eq!(slots, batched[0], "{name}: run vs run_batched(1)");
+        }
+    }
+}
+
+/// Prepacking means the packed bytes exist before the first request:
+/// every constant-bearing step of a materialized zoo model reports its
+/// packed constants without lazy work at run time.
+#[test]
+fn serving_models_prepack_all_constants() {
+    for name in SERVING_MODELS {
+        let model = compile(name, 1, BoltConfig::default());
+        let plan = model.plan();
+        assert!(plan.packed_const_bytes() > 0, "{name}");
+        for (i, step) in plan.steps().iter().enumerate() {
+            let packed = plan.packed_consts(i);
+            let expects_weights = !matches!(
+                step.kind,
+                StepKind::LayoutTransform { .. } | StepKind::PadChannels { .. } | StepKind::Host
+            );
+            assert!(packed.materialized, "{name} step {i} ({})", step.name);
+            assert_eq!(!packed.weights.is_empty(), expects_weights);
+        }
+    }
+}

@@ -55,7 +55,7 @@ pub mod server;
 
 pub use config::ServeConfig;
 pub use error::ServeError;
-pub use metrics::MetricsSnapshot;
+pub use metrics::{KernelStat, MetricsSnapshot};
 pub use registry::{EngineRegistry, ModelEngines};
 pub use request::{InferResponse, LatencyBreakdown, Outcome, RequestHandle};
 pub use server::BoltServer;

@@ -1,7 +1,9 @@
-//! Serving metrics: counters, latency percentiles, batch-size histogram.
+//! Serving metrics: counters, latency percentiles, batch-size histogram,
+//! and per-kernel attribution from the execution plan's step observer.
 
 use std::collections::BTreeMap;
 
+use bolt::StepTimings;
 use parking_lot::Mutex;
 
 /// Shared mutable metrics store (internal; readers take
@@ -26,6 +28,8 @@ struct Inner {
     latencies_us: Vec<f64>,
     batch_sizes: BTreeMap<usize, u64>,
     images_per_sec: Vec<f64>,
+    /// Step name → (launches, total simulated µs) across every batch.
+    kernel_us: BTreeMap<String, (u64, f64)>,
 }
 
 impl Metrics {
@@ -76,7 +80,22 @@ impl Metrics {
         inner.latencies_us.push(latency_us);
     }
 
-    pub(crate) fn snapshot(&self, wall_elapsed_us: f64) -> MetricsSnapshot {
+    /// Folds one batch's per-step timings (from the plan's
+    /// [`bolt::StepObserver`] hook) into the per-kernel totals.
+    pub(crate) fn kernel_times(&self, timings: &StepTimings) {
+        let mut inner = self.inner.lock();
+        for step in &timings.steps {
+            let entry = inner.kernel_us.entry(step.name.clone()).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += step.total_us;
+        }
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        wall_elapsed_us: f64,
+        model_workspace: Vec<(String, u64)>,
+    ) -> MetricsSnapshot {
         let inner = self.inner.lock();
         let mut sorted = inner.latencies_us.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -95,6 +114,21 @@ impl Metrics {
         } else {
             inner.images_per_sec.iter().sum::<f64>() / inner.images_per_sec.len() as f64
         };
+        let mut kernel_stats: Vec<KernelStat> = inner
+            .kernel_us
+            .iter()
+            .map(|(name, &(launches, total_us))| KernelStat {
+                name: name.clone(),
+                launches,
+                total_us,
+                mean_us: total_us / launches.max(1) as f64,
+            })
+            .collect();
+        kernel_stats.sort_by(|a, b| {
+            b.total_us
+                .partial_cmp(&a.total_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         MetricsSnapshot {
             submitted: inner.submitted,
             accepted: inner.accepted,
@@ -133,8 +167,24 @@ impl Metrics {
             } else {
                 0.0
             },
+            kernel_stats,
+            model_workspace,
         }
     }
+}
+
+/// Aggregated simulated time of one kernel (step name) across every
+/// dispatched batch, from the execution plan's per-step observer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStat {
+    /// The step's display name (e.g. `serve.fc0+bias+relu`).
+    pub name: String,
+    /// How many batches launched this kernel.
+    pub launches: u64,
+    /// Total simulated time across launches, µs.
+    pub total_us: f64,
+    /// Mean simulated time per launch, µs.
+    pub mean_us: f64,
 }
 
 /// Percentile over a **sorted** slice (nearest-rank); 0 when empty.
@@ -195,6 +245,12 @@ pub struct MetricsSnapshot {
     pub wall_elapsed_us: f64,
     /// Completed requests per wall-clock second.
     pub throughput_rps: f64,
+    /// Per-kernel simulated time attribution, descending by total time —
+    /// where batches actually spend their latency.
+    pub kernel_stats: Vec<KernelStat>,
+    /// `(model, workspace_bytes)` per registered model: the peak
+    /// intermediate memory its largest bucket's plan needs.
+    pub model_workspace: Vec<(String, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -232,7 +288,7 @@ mod tests {
         m.completed(10.0);
         m.completed(20.0);
         m.completed(30.0);
-        let s = m.snapshot(1e6);
+        let s = m.snapshot(1e6, vec![("mlp-small".into(), 4096)]);
         assert_eq!(s.accepted, 3);
         assert_eq!(s.completed, 3);
         assert_eq!(s.batches, 2);
@@ -242,5 +298,37 @@ mod tests {
         assert_eq!(s.latency_max_us, 30.0);
         assert!((s.throughput_rps - 3.0).abs() < 1e-9);
         assert_eq!(s.resolved(), 3);
+        assert_eq!(s.model_workspace, vec![("mlp-small".to_string(), 4096)]);
+    }
+
+    #[test]
+    fn kernel_times_aggregate_across_batches() {
+        use bolt::StepTiming;
+        let m = Metrics::default();
+        let timings = StepTimings {
+            steps: vec![
+                StepTiming {
+                    index: 0,
+                    name: "fc0".into(),
+                    total_us: 10.0,
+                    launch_us: 1.0,
+                },
+                StepTiming {
+                    index: 1,
+                    name: "fc1".into(),
+                    total_us: 30.0,
+                    launch_us: 1.0,
+                },
+            ],
+        };
+        m.kernel_times(&timings);
+        m.kernel_times(&timings);
+        let s = m.snapshot(1e6, vec![]);
+        assert_eq!(s.kernel_stats.len(), 2);
+        // Descending by total time.
+        assert_eq!(s.kernel_stats[0].name, "fc1");
+        assert_eq!(s.kernel_stats[0].launches, 2);
+        assert!((s.kernel_stats[0].total_us - 60.0).abs() < 1e-9);
+        assert!((s.kernel_stats[0].mean_us - 30.0).abs() < 1e-9);
     }
 }

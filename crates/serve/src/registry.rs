@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bolt::{BoltCompiler, BoltConfig, CompiledModel};
+use bolt::{BoltCompiler, BoltConfig, ExecutionPlan};
 use bolt_gpu_sim::GpuArch;
 use bolt_graph::{Graph, OpKind};
 use bolt_models::try_model_by_name;
@@ -21,14 +21,16 @@ use crate::error::ServeError;
 use crate::Result;
 
 /// The compiled engines backing one served model: one immutable
-/// [`CompiledModel`] per batch bucket.
+/// [`ExecutionPlan`] per batch bucket — constants already prepacked into
+/// kernel-native layouts, buffer slots planned, so workers pay no
+/// per-request compile-time work.
 #[derive(Debug)]
 pub struct ModelEngines {
     name: String,
     /// Logical (NCHW for rank 4) dims of one sample's inputs, batch 1.
     sample_dims: Vec<Vec<usize>>,
     /// `(bucket_size, engine)`, ascending by bucket size.
-    buckets: Vec<(usize, Arc<CompiledModel>)>,
+    buckets: Vec<(usize, Arc<ExecutionPlan>)>,
     /// True when every graph constant carries data, so batches can be
     /// executed functionally, not only priced.
     functional: bool,
@@ -64,7 +66,7 @@ impl ModelEngines {
     /// that fits (the batch is padded up to it), or the largest bucket
     /// when `batch` exceeds every bucket (callers cap batches at
     /// [`ModelEngines::max_batch`], so that branch is defensive).
-    pub fn engine_for(&self, batch: usize) -> (usize, Arc<CompiledModel>) {
+    pub fn engine_for(&self, batch: usize) -> (usize, Arc<ExecutionPlan>) {
         for (size, engine) in &self.buckets {
             if *size >= batch {
                 return (*size, Arc::clone(engine));
@@ -75,6 +77,17 @@ impl ModelEngines {
             .last()
             .expect("ModelEngines always has at least one bucket");
         (*size, Arc::clone(engine))
+    }
+
+    /// Peak intermediate memory a worker needs for this model: the
+    /// largest bucket's planned workspace
+    /// ([`ExecutionPlan::workspace_bytes`]).
+    pub fn workspace_bytes(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|(_, engine)| engine.workspace_bytes())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks one request's inputs against the sample signature.
@@ -196,8 +209,8 @@ impl EngineRegistry {
 
         let mut compiled = Vec::with_capacity(sizes.len());
         for &bucket in &sizes {
-            let engine = self.compiler.compile(&build(bucket))?;
-            compiled.push((bucket, Arc::new(engine)));
+            let model = self.compiler.compile(&build(bucket))?;
+            compiled.push((bucket, Arc::clone(model.plan())));
         }
 
         let engines = Arc::new(ModelEngines {
@@ -222,6 +235,19 @@ impl EngineRegistry {
         let mut names: Vec<String> = self.models.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// `(model, workspace_bytes)` per registered model, sorted by name —
+    /// the peak intermediate memory each model's largest bucket plans.
+    pub fn workspaces(&self) -> Vec<(String, u64)> {
+        let mut ws: Vec<(String, u64)> = self
+            .models
+            .read()
+            .iter()
+            .map(|(name, engines)| (name.clone(), engines.workspace_bytes()))
+            .collect();
+        ws.sort();
+        ws
     }
 }
 

@@ -6,6 +6,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bolt::StepTimings;
 use bolt_tensor::Tensor;
 
 use crate::config::ServeConfig;
@@ -185,7 +186,9 @@ impl BoltServer {
 
     /// A point-in-time metrics snapshot (callable while serving).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot(self.inner.now_us())
+        self.inner
+            .metrics
+            .snapshot(self.inner.now_us(), self.inner.registry.workspaces())
     }
 
     /// Graceful drain: stop accepting, flush every queue (partial batches
@@ -287,10 +290,13 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
     let (bucket, engine) = job.model.engine_for(batch);
 
     // Price the bucket's kernel timeline on the simulator; the real batch
-    // of `batch` requests rides the bucket-sized launch.
-    let report = engine.time();
+    // of `batch` requests rides the bucket-sized launch. The step
+    // observer attributes the batch's latency per kernel.
+    let mut timings = StepTimings::default();
+    let report = engine.time_observed(&mut timings);
     let kernel_us = report.total_us;
     inner.metrics.batch(batch, report.images_per_sec(batch));
+    inner.metrics.kernel_times(&timings);
 
     // Really compute the batch when the model allows it.
     let mut failure: Option<String> = None;

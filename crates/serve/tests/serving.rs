@@ -29,16 +29,20 @@ fn shared_registry() -> Arc<EngineRegistry> {
             .register_zoo("mlp-large", &[1, 2, 4, 8])
             .expect("mlp-large registers");
         registry
+            .register_zoo("cnn-small", &[1, 2, 4])
+            .expect("cnn-small registers");
+        registry
     }))
 }
 
 fn sample(model: &str, seed: u64) -> Vec<Tensor> {
-    let width = match model {
-        "mlp-small" => 128,
-        "mlp-large" => 256,
+    let dims: Vec<usize> = match model {
+        "mlp-small" => vec![1, 128],
+        "mlp-large" => vec![1, 256],
+        "cnn-small" => vec![1, 3, 8, 8],
         other => panic!("unexpected model {other}"),
     };
-    vec![Tensor::randn(&[1, width], DType::F16, seed)]
+    vec![Tensor::randn(&dims, DType::F16, seed)]
 }
 
 /// The ISSUE acceptance test: 4 workers, `max_batch` 8, 1,000 concurrent
@@ -285,6 +289,57 @@ fn timing_only_models_serve_without_outputs() {
     }
     let stats = server.shutdown();
     assert_eq!(stats.completed, 1);
+}
+
+/// The CNN zoo entry serves end to end — conv, pad, layout-transform,
+/// and host steps all run through the shared plan executor — and the
+/// plan's step observer surfaces per-kernel latency attribution plus the
+/// planned workspace in the metrics snapshot.
+#[test]
+fn cnn_serves_with_kernel_attribution_and_workspace() {
+    let server = BoltServer::start(shared_registry(), ServeConfig::default());
+    for i in 0..4 {
+        match server
+            .infer("cnn-small", sample("cnn-small", 100 + i))
+            .expect("admitted")
+        {
+            Outcome::Completed(response) => {
+                let outputs = response.outputs.expect("cnn-small runs functionally");
+                assert_eq!(outputs.len(), 1);
+                assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 4);
+
+    // Per-kernel attribution: every batch's simulated time is broken
+    // down by step name, sorted descending by total time.
+    assert!(!stats.kernel_stats.is_empty());
+    assert!(
+        stats.kernel_stats.iter().any(|k| k.name.contains("conv2d")),
+        "conv kernels appear in the attribution: {:?}",
+        stats.kernel_stats
+    );
+    for pair in stats.kernel_stats.windows(2) {
+        assert!(pair[0].total_us >= pair[1].total_us, "sorted descending");
+    }
+    for stat in &stats.kernel_stats {
+        assert!(stat.launches > 0);
+        assert!(stat.mean_us > 0.0);
+    }
+    let total_attributed: f64 = stats.kernel_stats.iter().map(|k| k.total_us).sum();
+    assert!(total_attributed > 0.0);
+
+    // The snapshot reports each model's planned peak workspace.
+    let cnn_ws = stats
+        .model_workspace
+        .iter()
+        .find(|(name, _)| name == "cnn-small")
+        .map(|(_, ws)| *ws)
+        .expect("cnn-small workspace reported");
+    assert!(cnn_ws > 0, "planned workspace is positive");
 }
 
 #[test]

@@ -16,12 +16,38 @@ use crate::shape::Shape;
 use crate::Result;
 
 /// A dense tensor.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Tensor {
     dtype: DType,
     shape: Shape,
     layout: Layout,
     data: Vec<f32>,
+}
+
+/// Process-wide count of full-tensor deep copies (every `Tensor::clone`).
+///
+/// The executor tests use deltas of this counter to prove the hot path
+/// stays copy-free: cloning a tensor duplicates its entire `data` buffer,
+/// so an interpreter that clones per step shows up as a count that grows
+/// with model depth.
+static CLONE_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Returns the number of full-tensor clones performed by this process so
+/// far. Monotonic; take deltas around the region under test.
+pub fn clone_count() -> u64 {
+    CLONE_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        CLONE_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Tensor {
+            dtype: self.dtype,
+            shape: self.shape.clone(),
+            layout: self.layout,
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Tensor {

@@ -118,6 +118,17 @@ fn main() {
         "throughput {:.0} req/s wall, simulated {:.0} images/s",
         stats.throughput_rps, stats.sim_images_per_sec
     );
+    println!("\nper-kernel latency attribution (top 5, simulated µs):");
+    for stat in stats.kernel_stats.iter().take(5) {
+        println!(
+            "  {:<55} {:>4} launches, {:>10.1} µs total, {:>7.1} µs mean",
+            stat.name, stat.launches, stat.total_us, stat.mean_us
+        );
+    }
+    println!("planned workspace per model:");
+    for (model, bytes) in &stats.model_workspace {
+        println!("  {model:<12} {bytes} B peak intermediate memory");
+    }
 
     assert_eq!(stats.resolved(), stats.accepted, "every request terminal");
     println!("\nall accepted requests reached a terminal outcome.");
