@@ -111,7 +111,7 @@ fn executor_comparison(registry: &Arc<EngineRegistry>) -> Vec<ExecutorRow> {
     let mut rows = Vec::new();
     for model in EXECUTOR_MODELS {
         let engines = registry.get(model).expect("registered above");
-        let (_, plan) = engines.engine_for(1);
+        let (_, plan) = engines.engine_for(1).expect("batch-1 engine registered");
         let input = sample(model, 42);
         // Warm both paths (first reference call may pack lazily).
         plan.run(&input).expect("run");

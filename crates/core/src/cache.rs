@@ -80,6 +80,13 @@ fn invalid(msg: impl Into<String>) -> io::Error {
 /// Writes the profiler's resolved entries to `path`, creating parent
 /// directories as needed. Output is sorted, so identical caches produce
 /// byte-identical files.
+///
+/// The write is **atomic**: the cache is staged in a uniquely-named
+/// sibling temp file and `rename`d into place, so a reader (or a crash)
+/// never observes a torn file — concurrent savers race benignly, with
+/// the last complete rename winning. This matters once online tuning
+/// saves the cache after every background compile while other
+/// processes load it.
 pub(crate) fn save(profiler: &BoltProfiler, path: &Path) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -98,7 +105,21 @@ pub(crate) fn save(profiler: &BoltProfiler, path: &Path) -> io::Result<()> {
         out.push_str(line);
         out.push('\n');
     }
-    std::fs::write(path, out)
+
+    // Unique per process *and* per call, so concurrent savers never
+    // stage into the same temp file.
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "bolt-tune-cache".into());
+    tmp_name.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Loads entries from `path` into the profiler's cache, returning the

@@ -122,6 +122,37 @@ impl BoltCompiler {
         })
     }
 
+    /// Compiles a graph with **heuristic default template configs**: the
+    /// same passes, lowering, prepacking, and memory planning as
+    /// [`BoltCompiler::compile`], but every workload resolves to the
+    /// config generator's first (default) candidate instead of a profiled
+    /// winner. Nothing is measured, the shared autotune cache is neither
+    /// consulted nor written, and the returned
+    /// [`CompiledModel::tuning`] summary is all zeros.
+    ///
+    /// This is the serving layer's immediate-fallback path for a workload
+    /// that has never been tuned: the heuristic engine serves traffic
+    /// right away while a real profiled compile runs in the background.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when graph passes fail or a workload has no legal
+    /// template configuration.
+    pub fn compile_heuristic(&self, graph: &Graph) -> Result<CompiledModel> {
+        let optimized = if self.config.deployment_passes {
+            PassManager::deployment().run(graph)?
+        } else {
+            graph.clone()
+        };
+        let profiler = BoltProfiler::heuristic(&self.arch);
+        let steps = lower(&optimized, &self.arch, &self.config, &profiler)?;
+        let plan = ExecutionPlan::build(self.arch.clone(), optimized, steps, self.config.clone());
+        Ok(CompiledModel {
+            plan: Arc::new(plan),
+            tuning: TuningSummary::default(),
+        })
+    }
+
     /// Phase-1 view of a graph's profiling work: the deduplicated
     /// workload set [`BoltCompiler::compile`] would measure, after the
     /// same deployment passes. Useful for warming caches ahead of time

@@ -350,6 +350,13 @@ impl ExecutionPlan {
         self.slots.slot_bytes.len()
     }
 
+    /// Memory this plan keeps resident while loaded: the prepacked
+    /// constants plus the planned peak workspace. This is the number an
+    /// engine-lifecycle manager accounts (and evicts) engines by.
+    pub fn resident_bytes(&self) -> u64 {
+        self.packed_const_bytes() + self.workspace_bytes()
+    }
+
     /// Bytes of prepacked constants resident in the plan.
     pub fn packed_const_bytes(&self) -> u64 {
         self.packed

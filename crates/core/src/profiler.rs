@@ -166,6 +166,9 @@ pub struct BoltProfiler {
     arch: GpuArch,
     generator: ConfigGenerator,
     pruning: bool,
+    /// Heuristic mode: resolve every workload with the generator's first
+    /// (default) candidate instead of searching, charging no tuning time.
+    heuristic: bool,
     slots: Mutex<HashMap<Key, Slot>>,
     stats: Mutex<ProfilerStats>,
 }
@@ -180,8 +183,23 @@ impl BoltProfiler {
             arch: arch.clone(),
             generator,
             pruning: true,
+            heuristic: false,
             slots: Mutex::new(HashMap::new()),
             stats: Mutex::new(ProfilerStats::default()),
+        }
+    }
+
+    /// Creates a profiler in **heuristic mode**: every workload resolves
+    /// to the generator's first legal candidate — the per-architecture
+    /// default the tuning guidelines would start from — priced on the
+    /// simulator but never searched. No measurements are recorded and
+    /// [`ProfilerStats::tuning_seconds`] stays zero, which is what makes
+    /// it usable as an immediate fallback while a real profiled compile
+    /// runs in the background.
+    pub fn heuristic(arch: &GpuArch) -> Self {
+        BoltProfiler {
+            heuristic: true,
+            ..Self::new(arch, 1)
         }
     }
 
@@ -337,6 +355,17 @@ impl BoltProfiler {
         lower_bound_us: impl Fn(&GemmConfig) -> f64,
         measure_us: impl Fn(&GemmConfig) -> f64,
     ) -> Option<ProfiledKernel> {
+        if self.heuristic {
+            // Default-config shortcut: price the first legal candidate on
+            // the simulator and return it untuned. Deliberately not
+            // recorded in the stats — nothing was searched, so heuristic
+            // compiles must report zero tuning time.
+            return candidates.first().map(|config| ProfiledKernel {
+                config: *config,
+                time_us: measure_us(config),
+                candidates: candidates.len(),
+            });
+        }
         let mut best: Option<ProfiledKernel> = None;
         let mut measured = 0usize;
         let mut pruned = 0usize;

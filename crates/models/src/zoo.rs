@@ -97,6 +97,27 @@ pub fn try_model_by_name(name: &str, batch: usize) -> Option<ModelInfo> {
     })
 }
 
+/// A deterministic single-sample input batch for a zoo model: one F16
+/// tensor per graph input, batch dimension 1, seeded by `seed`. `None`
+/// for unknown names. The serving layer's tests, benches, and examples
+/// use this instead of hard-coding each model's input dimensions.
+pub fn sample_inputs(name: &str, seed: u64) -> Option<Vec<bolt_tensor::Tensor>> {
+    let info = try_model_by_name(name, 1)?;
+    Some(
+        info.graph
+            .input_ids()
+            .iter()
+            .map(|&id| {
+                bolt_tensor::Tensor::randn(
+                    info.graph.node(id).shape.dims(),
+                    bolt_tensor::DType::F16,
+                    seed,
+                )
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +152,24 @@ mod tests {
     fn try_lookup_is_total() {
         assert!(try_model_by_name("alexnet", 1).is_none());
         assert!(try_model_by_name("resnet-18", 4).is_some());
+    }
+
+    #[test]
+    fn sample_inputs_match_each_graph_input() {
+        assert!(sample_inputs("alexnet", 0).is_none());
+        for name in SERVING_MODELS {
+            let inputs = sample_inputs(name, 7).expect(name);
+            let info = model_by_name(name, 1);
+            assert_eq!(inputs.len(), info.graph.input_ids().len(), "{name}");
+            for (tensor, id) in inputs.iter().zip(info.graph.input_ids()) {
+                assert_eq!(
+                    tensor.shape().dims(),
+                    info.graph.node(id).shape.dims(),
+                    "{name}"
+                );
+                assert_eq!(tensor.shape().dims()[0], 1, "{name}: batch-1 sample");
+            }
+        }
     }
 
     #[test]

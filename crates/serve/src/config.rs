@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::online::OnlineConfig;
+
 /// Tunables for a [`crate::BoltServer`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -32,6 +34,11 @@ pub struct ServeConfig {
     /// `max_batch` itself); a formed batch runs on the smallest bucket
     /// that fits, padded by replicating the last sample.
     pub batch_buckets: Option<Vec<usize>>,
+    /// Enables online tuning: unseen batch shapes are served on a
+    /// fallback path while a background tuner compiles, hot-swaps, and
+    /// (under a memory budget) evicts engines. `None` serves only
+    /// precompiled buckets.
+    pub online: Option<OnlineConfig>,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +51,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             functional: true,
             batch_buckets: None,
+            online: None,
         }
     }
 }

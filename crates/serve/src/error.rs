@@ -32,6 +32,16 @@ pub enum ServeError {
         /// The configured per-queue capacity that was hit.
         capacity: usize,
     },
+    /// No compiled engine can serve the model and the server has no
+    /// online tuning path to create one (the model was registered
+    /// dynamically with zero buckets but [`crate::OnlineConfig`] is not
+    /// set).
+    NoEngine {
+        /// Target model.
+        model: String,
+        /// Why no engine is available.
+        reason: String,
+    },
     /// The server is draining and no longer accepts new work.
     ShuttingDown,
     /// Compiling an engine for a registered model failed.
@@ -47,6 +57,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::QueueFull { model, capacity } => {
                 write!(f, "queue for model {model:?} is full (capacity {capacity})")
+            }
+            ServeError::NoEngine { model, reason } => {
+                write!(f, "no engine for model {model:?}: {reason}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Compile(e) => write!(f, "engine compilation failed: {e}"),

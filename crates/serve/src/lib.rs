@@ -5,7 +5,7 @@
 //! Bolt engines — the deployment tier the paper's "auto-tuning fast
 //! enough to use as a JIT" pitch feeds into.
 //!
-//! The subsystem has four moving parts:
+//! The subsystem has five moving parts:
 //!
 //! 1. **Engine registry** ([`EngineRegistry`]) — compiles each model once
 //!    per batch bucket through one shared [`bolt::BoltCompiler`] (hitting
@@ -23,6 +23,13 @@
 //!    backpressure, late requests are shed at batch formation, shutdown
 //!    drains gracefully, and [`BoltServer::metrics`] snapshots counters,
 //!    latency percentiles, and the achieved batch-size histogram.
+//! 5. **Online tuning & engine lifecycle** ([`OnlineEngineManager`],
+//!    enabled by [`ServeConfig::online`]) — unseen batch shapes are
+//!    served immediately on a fallback path (nearest bucket, explicit
+//!    split, or a heuristic default-config engine) while a background
+//!    tuner pool compiles the missing bucket through the shared,
+//!    cache-warm compiler and hot-swaps it in; engines are evicted
+//!    least-recently-used under a memory budget.
 //!
 //! # Quickstart
 //!
@@ -48,6 +55,7 @@
 pub mod config;
 pub mod error;
 pub mod metrics;
+pub mod online;
 pub mod registry;
 pub mod request;
 mod scheduler;
@@ -56,7 +64,8 @@ pub mod server;
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use metrics::{KernelStat, MetricsSnapshot};
-pub use registry::{EngineRegistry, ModelEngines};
+pub use online::{Acquired, EngineState, OnlineConfig, OnlineEngineManager, OnlineSnapshot};
+pub use registry::{EngineRegistry, ModelEngines, Placement};
 pub use request::{InferResponse, LatencyBreakdown, Outcome, RequestHandle};
 pub use server::BoltServer;
 

@@ -6,6 +6,8 @@ use std::collections::BTreeMap;
 use bolt::StepTimings;
 use parking_lot::Mutex;
 
+use crate::online::OnlineSnapshot;
+
 /// Shared mutable metrics store (internal; readers take
 /// [`MetricsSnapshot`]s).
 #[derive(Debug, Default)]
@@ -22,9 +24,11 @@ struct Inner {
     rejected_invalid_input: u64,
     rejected_queue_full: u64,
     rejected_shutting_down: u64,
+    rejected_no_engine: u64,
     rejected_execution: u64,
     deadline_shed: u64,
     batches: u64,
+    batch_overflow: u64,
     latencies_us: Vec<f64>,
     batch_sizes: BTreeMap<usize, u64>,
     images_per_sec: Vec<f64>,
@@ -57,8 +61,18 @@ impl Metrics {
         self.inner.lock().rejected_shutting_down += 1;
     }
 
+    pub(crate) fn rejected_no_engine(&self) {
+        self.inner.lock().rejected_no_engine += 1;
+    }
+
     pub(crate) fn rejected_execution(&self) {
         self.inner.lock().rejected_execution += 1;
+    }
+
+    /// Records one batch that exceeded every compiled bucket and was
+    /// explicitly split across repeated launches.
+    pub(crate) fn batch_overflow(&self) {
+        self.inner.lock().batch_overflow += 1;
     }
 
     pub(crate) fn deadline_shed(&self) {
@@ -95,6 +109,7 @@ impl Metrics {
         &self,
         wall_elapsed_us: f64,
         model_workspace: Vec<(String, u64)>,
+        online: Option<OnlineSnapshot>,
     ) -> MetricsSnapshot {
         let inner = self.inner.lock();
         let mut sorted = inner.latencies_us.clone();
@@ -137,14 +152,17 @@ impl Metrics {
                 + inner.rejected_invalid_input
                 + inner.rejected_queue_full
                 + inner.rejected_shutting_down
+                + inner.rejected_no_engine
                 + inner.rejected_execution,
             rejected_unknown_model: inner.rejected_unknown_model,
             rejected_invalid_input: inner.rejected_invalid_input,
             rejected_queue_full: inner.rejected_queue_full,
             rejected_shutting_down: inner.rejected_shutting_down,
+            rejected_no_engine: inner.rejected_no_engine,
             rejected_execution: inner.rejected_execution,
             deadline_shed: inner.deadline_shed,
             batches: inner.batches,
+            batch_overflow: inner.batch_overflow,
             mean_batch,
             batch_hist: inner
                 .batch_sizes
@@ -169,6 +187,7 @@ impl Metrics {
             },
             kernel_stats,
             model_workspace,
+            online,
         }
     }
 }
@@ -217,6 +236,9 @@ pub struct MetricsSnapshot {
     pub rejected_queue_full: u64,
     /// Admission rejections: server was draining.
     pub rejected_shutting_down: u64,
+    /// Admission rejections: the model has no compiled engine and no
+    /// online tuning path exists to create one.
+    pub rejected_no_engine: u64,
     /// Accepted requests whose batch failed to execute.
     pub rejected_execution: u64,
     /// Accepted requests shed at batch formation because their deadline
@@ -224,6 +246,9 @@ pub struct MetricsSnapshot {
     pub deadline_shed: u64,
     /// Batches dispatched to workers.
     pub batches: u64,
+    /// Batches that exceeded every compiled bucket and were explicitly
+    /// split across repeated launches of the largest bucket.
+    pub batch_overflow: u64,
     /// Mean real requests per dispatched batch.
     pub mean_batch: f64,
     /// `(batch_size, count)` pairs, ascending by size.
@@ -251,6 +276,9 @@ pub struct MetricsSnapshot {
     /// `(model, workspace_bytes)` per registered model: the peak
     /// intermediate memory its largest bucket's plan needs.
     pub model_workspace: Vec<(String, u64)>,
+    /// Online tuning counters, when the server runs with
+    /// [`crate::OnlineConfig`] set.
+    pub online: Option<OnlineSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -288,7 +316,7 @@ mod tests {
         m.completed(10.0);
         m.completed(20.0);
         m.completed(30.0);
-        let s = m.snapshot(1e6, vec![("mlp-small".into(), 4096)]);
+        let s = m.snapshot(1e6, vec![("mlp-small".into(), 4096)], None);
         assert_eq!(s.accepted, 3);
         assert_eq!(s.completed, 3);
         assert_eq!(s.batches, 2);
@@ -323,7 +351,7 @@ mod tests {
         };
         m.kernel_times(&timings);
         m.kernel_times(&timings);
-        let s = m.snapshot(1e6, vec![]);
+        let s = m.snapshot(1e6, vec![], None);
         assert_eq!(s.kernel_stats.len(), 2);
         // Descending by total time.
         assert_eq!(s.kernel_stats[0].name, "fc1");

@@ -6,10 +6,17 @@
 //! when `BoltConfig::cache_path` is set) is shared: a GEMM tuned for the
 //! batch-8 bucket is not re-tuned for batch-8 of another model, and a
 //! warm cache makes registration measure nothing.
+//!
+//! The registry also keeps each model's graph **builder** (`batch` →
+//! graph), which is what lets the online engine manager compile new
+//! buckets after registration and hot-swap them in: a swap replaces the
+//! whole `Arc<ModelEngines>` under the write lock, so lookups always see
+//! a fully-built value — never a half-updated bucket list.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bolt::runtime::TuningSummary;
 use bolt::{BoltCompiler, BoltConfig, ExecutionPlan};
 use bolt_gpu_sim::GpuArch;
 use bolt_graph::{Graph, OpKind};
@@ -20,10 +27,31 @@ use parking_lot::RwLock;
 use crate::error::ServeError;
 use crate::Result;
 
+/// A stored graph builder: `batch` → inference graph at that batch size.
+pub type GraphBuilder = Arc<dyn Fn(usize) -> Graph + Send + Sync>;
+
+/// Where a batch runs: which bucket, on which engine, in how many
+/// launches. Produced by [`ModelEngines::placement_for`].
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The chosen bucket size.
+    pub bucket: usize,
+    /// The engine compiled for that bucket.
+    pub engine: Arc<ExecutionPlan>,
+    /// How many back-to-back launches serve the batch. `1` when the
+    /// bucket fits the whole batch (padded up); more when the batch
+    /// overflows every compiled bucket and is explicitly split across
+    /// repeated launches of the largest one.
+    pub launches: usize,
+}
+
 /// The compiled engines backing one served model: one immutable
 /// [`ExecutionPlan`] per batch bucket — constants already prepacked into
 /// kernel-native layouts, buffer slots planned, so workers pay no
 /// per-request compile-time work.
+///
+/// A dynamically-registered model may start with **zero** buckets; the
+/// online engine manager fills them in as traffic arrives.
 #[derive(Debug)]
 pub struct ModelEngines {
     name: String,
@@ -53,8 +81,14 @@ impl ModelEngines {
     }
 
     /// The largest compiled bucket — the model's effective max batch.
+    /// Zero for a dynamic model whose first bucket has not compiled yet.
     pub fn max_batch(&self) -> usize {
         self.buckets.last().map(|(b, _)| *b).unwrap_or(0)
+    }
+
+    /// Whether an engine exists for exactly this bucket size.
+    pub fn has_bucket(&self, bucket: usize) -> bool {
+        self.buckets.iter().any(|(b, _)| *b == bucket)
     }
 
     /// Logical per-sample input shapes (batch dimension 1).
@@ -62,21 +96,39 @@ impl ModelEngines {
         &self.sample_dims
     }
 
-    /// The engine a batch of `batch` samples runs on: the smallest bucket
-    /// that fits (the batch is padded up to it), or the largest bucket
-    /// when `batch` exceeds every bucket (callers cap batches at
-    /// [`ModelEngines::max_batch`], so that branch is defensive).
-    pub fn engine_for(&self, batch: usize) -> (usize, Arc<ExecutionPlan>) {
-        for (size, engine) in &self.buckets {
-            if *size >= batch {
-                return (*size, Arc::clone(engine));
-            }
+    /// The engine a batch of `batch` samples runs on in a single launch:
+    /// the smallest bucket that fits (the batch is padded up to it).
+    /// `None` when the batch exceeds every compiled bucket or no bucket
+    /// exists yet — callers that can split use
+    /// [`ModelEngines::placement_for`] instead.
+    pub fn engine_for(&self, batch: usize) -> Option<(usize, Arc<ExecutionPlan>)> {
+        self.buckets
+            .iter()
+            .find(|(size, _)| *size >= batch)
+            .map(|(size, engine)| (*size, Arc::clone(engine)))
+    }
+
+    /// Places a batch on an engine, splitting explicitly on overflow.
+    ///
+    /// A batch that fits some bucket runs in one launch on the smallest
+    /// fitting bucket. A batch larger than every bucket is split into
+    /// `ceil(batch / largest)` launches of the largest bucket — reported
+    /// in [`Placement::launches`] so callers can count the overflow
+    /// instead of silently under-pricing it. `None` only when the model
+    /// has no compiled buckets at all.
+    pub fn placement_for(&self, batch: usize) -> Option<Placement> {
+        if let Some((bucket, engine)) = self.engine_for(batch) {
+            return Some(Placement {
+                bucket,
+                engine,
+                launches: 1,
+            });
         }
-        let (size, engine) = self
-            .buckets
-            .last()
-            .expect("ModelEngines always has at least one bucket");
-        (*size, Arc::clone(engine))
+        self.buckets.last().map(|(bucket, engine)| Placement {
+            bucket: *bucket,
+            engine: Arc::clone(engine),
+            launches: batch.div_ceil(*bucket),
+        })
     }
 
     /// Peak intermediate memory a worker needs for this model: the
@@ -88,6 +140,15 @@ impl ModelEngines {
             .map(|(_, engine)| engine.workspace_bytes())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Memory the model's engines keep resident: the sum of every
+    /// bucket's [`ExecutionPlan::resident_bytes`].
+    pub fn resident_bytes(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|(_, engine)| engine.resident_bytes())
+            .sum()
     }
 
     /// Checks one request's inputs against the sample signature.
@@ -117,6 +178,40 @@ impl ModelEngines {
         }
         Ok(())
     }
+
+    /// A copy of this value with `engine` present at `bucket` (replacing
+    /// any engine already there), bucket order maintained.
+    fn with_bucket(&self, bucket: usize, engine: Arc<ExecutionPlan>) -> ModelEngines {
+        let mut buckets: Vec<(usize, Arc<ExecutionPlan>)> = self
+            .buckets
+            .iter()
+            .filter(|(b, _)| *b != bucket)
+            .cloned()
+            .collect();
+        buckets.push((bucket, engine));
+        buckets.sort_by_key(|(b, _)| *b);
+        ModelEngines {
+            name: self.name.clone(),
+            sample_dims: self.sample_dims.clone(),
+            buckets,
+            functional: self.functional,
+        }
+    }
+
+    /// A copy of this value without `bucket`.
+    fn without_bucket(&self, bucket: usize) -> ModelEngines {
+        ModelEngines {
+            name: self.name.clone(),
+            sample_dims: self.sample_dims.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .filter(|(b, _)| *b != bucket)
+                .cloned()
+                .collect(),
+            functional: self.functional,
+        }
+    }
 }
 
 /// The tensor's dims in the graph's logical convention (NCHW for rank-4
@@ -131,10 +226,21 @@ fn logical_dims(tensor: &Tensor) -> Vec<usize> {
 }
 
 /// Compiles and stores engines for every served model.
-#[derive(Debug)]
 pub struct EngineRegistry {
     compiler: BoltCompiler,
     models: RwLock<HashMap<String, Arc<ModelEngines>>>,
+    /// Graph builders by model name, kept so new buckets can be compiled
+    /// after registration (online tuning, hot-swap).
+    builders: RwLock<HashMap<String, GraphBuilder>>,
+}
+
+impl std::fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRegistry")
+            .field("compiler", &self.compiler)
+            .field("models", &self.models)
+            .finish_non_exhaustive()
+    }
 }
 
 impl EngineRegistry {
@@ -144,6 +250,7 @@ impl EngineRegistry {
         EngineRegistry {
             compiler: BoltCompiler::new(arch, config),
             models: RwLock::new(HashMap::new()),
+            builders: RwLock::new(HashMap::new()),
         }
     }
 
@@ -164,8 +271,28 @@ impl EngineRegistry {
         if try_model_by_name(name, 1).is_none() {
             return Err(ServeError::UnknownModel { name: name.into() });
         }
-        self.register_with(name, buckets, |batch| {
-            try_model_by_name(name, batch)
+        let owned = name.to_string();
+        self.register_with(name, buckets, move |batch| {
+            try_model_by_name(&owned, batch)
+                .expect("existence checked above; zoo lookup is batch-independent")
+                .graph
+        })
+    }
+
+    /// Registers a `bolt-models` zoo model with **no precompiled
+    /// buckets**: engines are compiled on demand by the online engine
+    /// manager as unseen batch shapes arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for a name the zoo does not know.
+    pub fn register_zoo_dynamic(&self, name: &str) -> Result<Arc<ModelEngines>> {
+        if try_model_by_name(name, 1).is_none() {
+            return Err(ServeError::UnknownModel { name: name.into() });
+        }
+        let owned = name.to_string();
+        self.register_dynamic(name, move |batch| {
+            try_model_by_name(&owned, batch)
                 .expect("existence checked above; zoo lookup is batch-independent")
                 .graph
         })
@@ -183,7 +310,7 @@ impl EngineRegistry {
         &self,
         name: &str,
         buckets: &[usize],
-        build: impl Fn(usize) -> Graph,
+        build: impl Fn(usize) -> Graph + Send + Sync + 'static,
     ) -> Result<Arc<ModelEngines>> {
         let mut sizes: Vec<usize> = buckets.iter().copied().filter(|&b| b > 0).collect();
         sizes.sort_unstable();
@@ -194,7 +321,25 @@ impl EngineRegistry {
                 reason: "at least one positive batch bucket is required".into(),
             });
         }
+        self.register_inner(name, &sizes, Arc::new(build))
+    }
 
+    /// Registers a model from a graph-builder callback with no
+    /// precompiled buckets (see [`EngineRegistry::register_zoo_dynamic`]).
+    pub fn register_dynamic(
+        &self,
+        name: &str,
+        build: impl Fn(usize) -> Graph + Send + Sync + 'static,
+    ) -> Result<Arc<ModelEngines>> {
+        self.register_inner(name, &[], Arc::new(build))
+    }
+
+    fn register_inner(
+        &self,
+        name: &str,
+        sizes: &[usize],
+        build: GraphBuilder,
+    ) -> Result<Arc<ModelEngines>> {
         let probe = build(1);
         let sample_dims: Vec<Vec<usize>> = probe
             .input_ids()
@@ -208,7 +353,7 @@ impl EngineRegistry {
             .all(|n| probe.param(n.id).is_some());
 
         let mut compiled = Vec::with_capacity(sizes.len());
-        for &bucket in &sizes {
+        for &bucket in sizes {
             let model = self.compiler.compile(&build(bucket))?;
             compiled.push((bucket, Arc::clone(model.plan())));
         }
@@ -219,10 +364,98 @@ impl EngineRegistry {
             buckets: compiled,
             functional,
         });
+        self.builders.write().insert(name.to_string(), build);
         self.models
             .write()
             .insert(name.to_string(), Arc::clone(&engines));
         Ok(engines)
+    }
+
+    /// The stored graph builder for `name`, if registered.
+    pub fn builder(&self, name: &str) -> Option<GraphBuilder> {
+        self.builders.read().get(name).cloned()
+    }
+
+    /// Compiles a fully-profiled engine for one `(model, bucket)` through
+    /// the shared compiler (warm autotune cache). Does **not** install
+    /// the engine — pair with [`EngineRegistry::insert_bucket`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when no builder is stored for `name`,
+    /// [`ServeError::Compile`] on compilation failure.
+    pub fn compile_bucket(
+        &self,
+        name: &str,
+        bucket: usize,
+    ) -> Result<(Arc<ExecutionPlan>, TuningSummary)> {
+        let build = self
+            .builder(name)
+            .ok_or_else(|| ServeError::UnknownModel { name: name.into() })?;
+        let model = self.compiler.compile(&build(bucket))?;
+        Ok((Arc::clone(model.plan()), model.tuning))
+    }
+
+    /// Compiles a **heuristic default-config** engine for one `(model,
+    /// bucket)`: no profiling, zero tuning time, shared autotune cache
+    /// untouched. The serving layer's immediate fallback for a shape
+    /// that has never been tuned.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when no builder is stored for `name`,
+    /// [`ServeError::Compile`] on compilation failure.
+    pub fn compile_heuristic_bucket(
+        &self,
+        name: &str,
+        bucket: usize,
+    ) -> Result<Arc<ExecutionPlan>> {
+        let build = self
+            .builder(name)
+            .ok_or_else(|| ServeError::UnknownModel { name: name.into() })?;
+        let model = self.compiler.compile_heuristic(&build(bucket))?;
+        Ok(Arc::clone(model.plan()))
+    }
+
+    /// Hot-swaps `engine` in as `name`'s engine for `bucket` (replacing
+    /// any engine already at that bucket). The registry entry is replaced
+    /// wholesale — a rebuilt [`ModelEngines`] swapped under the write
+    /// lock — so concurrent lookups see either the old or the new value,
+    /// both complete.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `name` is not registered.
+    pub fn insert_bucket(
+        &self,
+        name: &str,
+        bucket: usize,
+        engine: Arc<ExecutionPlan>,
+    ) -> Result<Arc<ModelEngines>> {
+        let mut models = self.models.write();
+        let current = models
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel { name: name.into() })?;
+        let next = Arc::new(current.with_bucket(bucket, engine));
+        models.insert(name.to_string(), Arc::clone(&next));
+        Ok(next)
+    }
+
+    /// Removes `name`'s engine for `bucket` (eviction), same wholesale
+    /// swap as [`EngineRegistry::insert_bucket`]. A no-op when the bucket
+    /// does not exist.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `name` is not registered.
+    pub fn remove_bucket(&self, name: &str, bucket: usize) -> Result<Arc<ModelEngines>> {
+        let mut models = self.models.write();
+        let current = models
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel { name: name.into() })?;
+        let next = Arc::new(current.without_bucket(bucket));
+        models.insert(name.to_string(), Arc::clone(&next));
+        Ok(next)
     }
 
     /// Looks a registered model up by name.
@@ -276,6 +509,8 @@ mod tests {
         let err = registry().register_zoo("alexnet", &[1]).unwrap_err();
         assert!(matches!(err, ServeError::UnknownModel { .. }));
         assert!(registry().get("alexnet").is_none());
+        let err = registry().register_zoo_dynamic("alexnet").unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel { .. }));
     }
 
     #[test]
@@ -288,11 +523,83 @@ mod tests {
     fn engine_for_picks_smallest_fitting_bucket() {
         let reg = registry();
         let engines = reg.register_zoo("mlp-small", &[1, 4, 8]).expect("register");
-        assert_eq!(engines.engine_for(1).0, 1);
-        assert_eq!(engines.engine_for(3).0, 4);
-        assert_eq!(engines.engine_for(8).0, 8);
-        // Oversized batches clamp to the largest bucket (defensive).
-        assert_eq!(engines.engine_for(64).0, 8);
+        assert_eq!(engines.engine_for(1).unwrap().0, 1);
+        assert_eq!(engines.engine_for(3).unwrap().0, 4);
+        assert_eq!(engines.engine_for(8).unwrap().0, 8);
+        // Oversized batches no longer clamp silently: single-launch
+        // lookup refuses, placement splits explicitly.
+        assert!(engines.engine_for(64).is_none());
+        let placement = engines.placement_for(64).expect("buckets exist");
+        assert_eq!(placement.bucket, 8);
+        assert_eq!(placement.launches, 8);
+        let fits = engines.placement_for(3).expect("buckets exist");
+        assert_eq!((fits.bucket, fits.launches), (4, 1));
+    }
+
+    #[test]
+    fn dynamic_registration_starts_with_zero_buckets() {
+        let reg = registry();
+        let engines = reg.register_zoo_dynamic("mlp-small").expect("register");
+        assert_eq!(engines.bucket_sizes(), Vec::<usize>::new());
+        assert_eq!(engines.max_batch(), 0);
+        assert!(engines.engine_for(1).is_none());
+        assert!(engines.placement_for(1).is_none());
+        assert_eq!(engines.sample_dims(), &[vec![1, 128]]);
+        assert!(reg.builder("mlp-small").is_some());
+    }
+
+    #[test]
+    fn insert_and_remove_bucket_swap_whole_engines() {
+        let reg = registry();
+        let before = reg.register_zoo_dynamic("mlp-small").expect("register");
+        let (plan, tuning) = reg.compile_bucket("mlp-small", 4).expect("compile");
+        assert!(tuning.workloads >= 1);
+        let after = reg.insert_bucket("mlp-small", 4, plan).expect("insert");
+        assert_eq!(after.bucket_sizes(), vec![4]);
+        // The pre-swap snapshot is untouched; fresh lookups see the swap.
+        assert_eq!(before.bucket_sizes(), Vec::<usize>::new());
+        assert_eq!(reg.get("mlp-small").unwrap().bucket_sizes(), vec![4]);
+
+        let removed = reg.remove_bucket("mlp-small", 4).expect("remove");
+        assert_eq!(removed.bucket_sizes(), Vec::<usize>::new());
+        assert_eq!(
+            reg.get("mlp-small").unwrap().bucket_sizes(),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn heuristic_bucket_compiles_without_touching_shared_cache() {
+        let reg = registry();
+        reg.register_zoo_dynamic("mlp-small").expect("register");
+        let before = reg.compiler().profiler().stats();
+        let plan = reg
+            .compile_heuristic_bucket("mlp-small", 2)
+            .expect("heuristic compile");
+        assert!(plan.resident_bytes() > 0);
+        let after = reg.compiler().profiler().stats();
+        assert_eq!(before, after, "heuristic compile must not profile");
+    }
+
+    #[test]
+    fn bucket_ops_on_unknown_model_are_typed_errors() {
+        let reg = registry();
+        assert!(matches!(
+            reg.compile_bucket("nope", 1),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        let plan = {
+            reg.register_zoo("mlp-small", &[1]).expect("register");
+            reg.get("mlp-small").unwrap().engine_for(1).unwrap().1
+        };
+        assert!(matches!(
+            reg.insert_bucket("nope", 1, plan),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            reg.remove_bucket("nope", 1),
+            Err(ServeError::UnknownModel { .. })
+        ));
     }
 
     #[test]

@@ -31,8 +31,17 @@ pub struct InferResponse {
     pub outputs: Option<Vec<Tensor>>,
     /// How many real requests shared the batch.
     pub batch_size: usize,
-    /// The engine bucket the batch executed on (≥ `batch_size`).
+    /// The engine bucket the batch executed on (≥ `batch_size`, except
+    /// when the batch overflowed every bucket and was split).
     pub bucket: usize,
+    /// Back-to-back engine launches that served the batch (1 unless the
+    /// batch overflowed every compiled bucket and was split).
+    pub launches: usize,
+    /// True when the request was served on an online-tuning fallback
+    /// path (over-padded bucket, overflow split, or heuristic
+    /// default-config engine) instead of a tuned engine fitting the
+    /// batch.
+    pub fallback: bool,
     /// Latency breakdown.
     pub latency: LatencyBreakdown,
 }

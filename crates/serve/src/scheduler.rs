@@ -77,12 +77,18 @@ impl Scheduler {
 
     /// One scheduling pass at `now_us`. `flush` dispatches partial
     /// batches immediately (draining) instead of waiting out the timeout.
+    /// `online` ignores each model's compiled max bucket when capping
+    /// batches: with an online tuner behind the workers, a batch larger
+    /// than every compiled bucket is served by split/fallback and tunes
+    /// its own bucket, whereas a zero-bucket dynamic model would
+    /// otherwise be capped to batches of 1 forever.
     pub(crate) fn form(
         &mut self,
         now_us: f64,
         max_batch: usize,
         timeout_us: f64,
         flush: bool,
+        online: bool,
     ) -> FormResult {
         let mut result = FormResult::default();
         for queue in self.queues.values_mut() {
@@ -98,7 +104,12 @@ impl Scheduler {
             *queue = kept;
 
             let Some(front) = queue.front() else { continue };
-            let cap = max_batch.min(front.model.max_batch()).max(1);
+            let model_cap = if online {
+                usize::MAX
+            } else {
+                front.model.max_batch()
+            };
+            let cap = max_batch.min(model_cap).max(1);
             let due_us = front.submitted_us + timeout_us;
             let drain_all = flush || now_us >= due_us;
 
@@ -168,14 +179,14 @@ mod tests {
             sched.enqueue(key.clone(), request(&model, 0.0, None));
         }
         // Before the timeout, only complete batches of 8 may form.
-        let result = sched.form(10.0, 8, 1_000.0, false);
+        let result = sched.form(10.0, 8, 1_000.0, false, false);
         assert_eq!(result.jobs.len(), 2);
         assert!(result.jobs.iter().all(|j| j.requests.len() == 8));
         assert_eq!(sched.pending(), 3, "partial batch keeps waiting");
         assert!(result.next_wake_us.is_some());
 
         // Past the timeout the remainder flushes as one partial batch.
-        let result = sched.form(2_000.0, 8, 1_000.0, false);
+        let result = sched.form(2_000.0, 8, 1_000.0, false, false);
         assert_eq!(result.jobs.len(), 1);
         assert_eq!(result.jobs[0].requests.len(), 3);
         assert_eq!(sched.pending(), 0);
@@ -190,10 +201,10 @@ mod tests {
         for _ in 0..3 {
             sched.enqueue(key.clone(), request(&model, 100.0, None));
         }
-        let early = sched.form(500.0, 8, 1_000.0, false);
+        let early = sched.form(500.0, 8, 1_000.0, false, false);
         assert!(early.jobs.is_empty(), "timeout not reached");
         assert_eq!(early.next_wake_us, Some(1_100.0));
-        let due = sched.form(1_100.0, 8, 1_000.0, false);
+        let due = sched.form(1_100.0, 8, 1_000.0, false, false);
         assert_eq!(due.jobs.len(), 1);
         assert_eq!(due.jobs[0].requests.len(), 3);
     }
@@ -203,7 +214,7 @@ mod tests {
         let model = engines();
         let mut sched = Scheduler::new();
         sched.enqueue(Scheduler::key_for(&model), request(&model, 0.0, None));
-        let result = sched.form(1.0, 8, 1_000_000.0, true);
+        let result = sched.form(1.0, 8, 1_000_000.0, true, false);
         assert_eq!(result.jobs.len(), 1);
         assert_eq!(sched.pending(), 0);
     }
@@ -215,7 +226,7 @@ mod tests {
         let key = Scheduler::key_for(&model);
         sched.enqueue(key.clone(), request(&model, 0.0, Some(50.0)));
         sched.enqueue(key.clone(), request(&model, 0.0, None));
-        let result = sched.form(100.0, 8, 10.0, false);
+        let result = sched.form(100.0, 8, 10.0, false, false);
         assert_eq!(result.shed.len(), 1);
         assert_eq!(result.jobs.len(), 1, "survivor still batches");
         assert_eq!(result.jobs[0].requests.len(), 1);
@@ -233,11 +244,29 @@ mod tests {
             sched.enqueue(key.clone(), request(&model, 0.0, None));
         }
         // Global max_batch 8, but the model only has buckets up to 2.
-        let result = sched.form(10.0, 8, 0.0, false);
+        let result = sched.form(10.0, 8, 0.0, false, false);
         assert!(result.jobs.iter().all(|j| j.requests.len() <= 2));
         assert_eq!(
             result.jobs.iter().map(|j| j.requests.len()).sum::<usize>(),
             5
         );
+    }
+
+    #[test]
+    fn online_mode_ignores_model_max_bucket() {
+        let registry = EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default());
+        let model = registry
+            .register_zoo_dynamic("mlp-small")
+            .expect("register");
+        let mut sched = Scheduler::new();
+        let key = Scheduler::key_for(&model);
+        for _ in 0..5 {
+            sched.enqueue(key.clone(), request(&model, 0.0, None));
+        }
+        // A zero-bucket dynamic model would cap at 1 offline; with an
+        // online tuner behind the workers the global max_batch governs.
+        let result = sched.form(10.0, 8, 0.0, false, true);
+        assert_eq!(result.jobs.len(), 1);
+        assert_eq!(result.jobs[0].requests.len(), 5);
     }
 }

@@ -12,6 +12,7 @@ use bolt_tensor::Tensor;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::online::{Acquired, OnlineEngineManager};
 use crate::registry::EngineRegistry;
 use crate::request::{
     InferResponse, LatencyBreakdown, Outcome, QueuedRequest, RequestHandle, ResponseSlot,
@@ -23,6 +24,9 @@ use crate::Result;
 struct Inner {
     registry: Arc<EngineRegistry>,
     config: ServeConfig,
+    /// The online tuning & engine-lifecycle manager, when
+    /// [`ServeConfig::online`] is set.
+    online: Option<OnlineEngineManager>,
     /// Origin of the server's unified µs timeline.
     epoch: Instant,
     metrics: Metrics,
@@ -70,9 +74,14 @@ impl BoltServer {
             max_batch: config.max_batch.max(1),
             ..config
         };
+        let online = config
+            .online
+            .clone()
+            .map(|oc| OnlineEngineManager::new(Arc::clone(&registry), oc));
         let inner = Arc::new(Inner {
             registry,
             config,
+            online,
             epoch: Instant::now(),
             metrics: Metrics::default(),
             sched: Mutex::new(Scheduler::new()),
@@ -111,6 +120,13 @@ impl BoltServer {
         &self.inner.registry
     }
 
+    /// The online engine manager, when [`ServeConfig::online`] is set —
+    /// e.g. to inspect [`crate::EngineState`]s or wait for the compile
+    /// queue to drain in tests.
+    pub fn online(&self) -> Option<&OnlineEngineManager> {
+        self.inner.online.as_ref()
+    }
+
     /// Submits one single-sample request. `deadline` (defaulting to
     /// [`ServeConfig::default_deadline`]) bounds how long the request may
     /// wait: if it is still queued past the deadline it is shed with
@@ -138,6 +154,15 @@ impl BoltServer {
         if let Err(e) = engines.validate_sample(&inputs) {
             inner.metrics.rejected_invalid_input();
             return Err(e);
+        }
+        if engines.max_batch() == 0 && inner.online.is_none() {
+            // A zero-bucket dynamic model is only servable when an online
+            // tuner can create (or fall back past) the missing engines.
+            inner.metrics.rejected_no_engine();
+            return Err(ServeError::NoEngine {
+                model: model.into(),
+                reason: "model has no compiled buckets and online tuning is disabled".into(),
+            });
         }
 
         let key = Scheduler::key_for(&engines);
@@ -186,9 +211,14 @@ impl BoltServer {
 
     /// A point-in-time metrics snapshot (callable while serving).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner
-            .metrics
-            .snapshot(self.inner.now_us(), self.inner.registry.workspaces())
+        self.inner.metrics.snapshot(
+            self.inner.now_us(),
+            self.inner.registry.workspaces(),
+            self.inner
+                .online
+                .as_ref()
+                .map(OnlineEngineManager::snapshot),
+        )
     }
 
     /// Graceful drain: stop accepting, flush every queue (partial batches
@@ -235,7 +265,13 @@ fn batcher_loop(inner: &Inner, tx: &mpsc::SyncSender<BatchJob>) {
     loop {
         let now_us = inner.now_us();
         let flush = !sched.accepting;
-        let result = sched.form(now_us, inner.config.max_batch, timeout_us, flush);
+        let result = sched.form(
+            now_us,
+            inner.config.max_batch,
+            timeout_us,
+            flush,
+            inner.online.is_some(),
+        );
         let idle = result.jobs.is_empty() && result.shed.is_empty();
         if flush && idle && sched.pending() == 0 {
             return; // drained; dropping `tx` stops the workers
@@ -287,25 +323,79 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<BatchJob>>) {
 
 fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
     let batch = job.requests.len();
-    let (bucket, engine) = job.model.engine_for(batch);
+    // Place the batch: through the online manager (fallback + background
+    // tune) when configured, else directly on the precompiled buckets.
+    let placed = match &inner.online {
+        Some(manager) => manager.acquire(&job.model, batch),
+        None => job
+            .model
+            .placement_for(batch)
+            .map(|p| Acquired {
+                bucket: p.bucket,
+                engine: p.engine,
+                launches: p.launches,
+                fallback: false,
+            })
+            .ok_or_else(|| ServeError::NoEngine {
+                model: job.model.name().to_string(),
+                reason: "model has no compiled buckets".into(),
+            }),
+    };
+    let placed = match placed {
+        Ok(placed) => placed,
+        Err(e) => {
+            // Admission guarantees a terminal outcome; an unplaceable
+            // batch (e.g. the heuristic fallback compile failed) rejects
+            // every request in it.
+            let reason = e.to_string();
+            for request in job.requests {
+                inner.metrics.rejected_execution();
+                request.slot.resolve(Outcome::Rejected {
+                    reason: reason.clone(),
+                });
+            }
+            return;
+        }
+    };
+    if placed.launches > 1 {
+        inner.metrics.batch_overflow();
+    }
 
     // Price the bucket's kernel timeline on the simulator; the real batch
-    // of `batch` requests rides the bucket-sized launch. The step
-    // observer attributes the batch's latency per kernel.
+    // of `batch` requests rides the bucket-sized launch (repeated when
+    // the batch was split). The step observer attributes the batch's
+    // latency per kernel, once per launch.
     let mut timings = StepTimings::default();
-    let report = engine.time_observed(&mut timings);
-    let kernel_us = report.total_us;
-    inner.metrics.batch(batch, report.images_per_sec(batch));
-    inner.metrics.kernel_times(&timings);
+    let report = placed.engine.time_observed(&mut timings);
+    let kernel_us = report.total_us * placed.launches as f64;
+    let images_per_sec = if kernel_us > 0.0 {
+        batch as f64 * 1e6 / kernel_us
+    } else {
+        0.0
+    };
+    inner.metrics.batch(batch, images_per_sec);
+    for _ in 0..placed.launches {
+        inner.metrics.kernel_times(&timings);
+    }
 
-    // Really compute the batch when the model allows it.
+    // Really compute the batch when the model allows it, bucket-sized
+    // chunks per launch.
     let mut failure: Option<String> = None;
     let mut outputs: Option<Vec<Vec<Tensor>>> = None;
     if inner.config.functional && job.model.functional() {
         let samples: Vec<Vec<Tensor>> = job.requests.iter().map(|r| r.inputs.clone()).collect();
-        match engine.run_batched(&samples) {
-            Ok(per_sample) => outputs = Some(per_sample),
-            Err(e) => failure = Some(e.to_string()),
+        let mut per_sample = Vec::with_capacity(batch);
+        for chunk in samples.chunks(placed.bucket.max(1)) {
+            match placed.engine.run_batched(chunk) {
+                Ok(outs) => per_sample.extend(outs),
+                Err(e) => {
+                    failure = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if failure.is_none() {
+            outputs = Some(per_sample);
         }
     }
 
@@ -336,7 +426,9 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
                     model: job.model.name().to_string(),
                     outputs: outputs.as_mut().map(|o| std::mem::take(&mut o[index])),
                     batch_size: batch,
-                    bucket,
+                    bucket: placed.bucket,
+                    launches: placed.launches,
+                    fallback: placed.fallback,
                     latency,
                 }));
             }

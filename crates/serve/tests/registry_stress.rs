@@ -1,0 +1,84 @@
+//! Concurrency stress test for the engine registry: threads racing
+//! re-registration, lookups, hot-swaps, and evictions must never observe
+//! a partially-built `ModelEngines` — every lookup sees a complete,
+//! internally-consistent snapshot (hot-swaps replace the whole `Arc`
+//! under the write lock; there is no in-place mutation to tear).
+
+use std::sync::Arc;
+
+use bolt::BoltConfig;
+use bolt_gpu_sim::GpuArch;
+use bolt_serve::EngineRegistry;
+
+#[test]
+fn racing_register_lookup_hot_swap_and_evict_see_only_complete_snapshots() {
+    let reg = Arc::new(EngineRegistry::new(
+        GpuArch::tesla_t4(),
+        BoltConfig::default(),
+    ));
+    reg.register_zoo("mlp-small", &[1]).expect("register");
+    // Compile the hot-swap candidates up front so the loops below race
+    // registry mutation, not the compiler.
+    let (plan2, _) = reg.compile_bucket("mlp-small", 2).expect("bucket 2");
+    let (plan4, _) = reg.compile_bucket("mlp-small", 4).expect("bucket 4");
+
+    std::thread::scope(|scope| {
+        // Re-registration: wholesale replacement back to buckets [1].
+        {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    reg.register_zoo("mlp-small", &[1]).expect("re-register");
+                }
+            });
+        }
+        // Hot-swap/evict churn on two distinct buckets. A remove may
+        // no-op when a re-registration already dropped the bucket; both
+        // orders leave a complete snapshot behind.
+        for (bucket, plan) in [(2usize, &plan2), (4usize, &plan4)] {
+            let reg = Arc::clone(&reg);
+            let plan = Arc::clone(plan);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    reg.insert_bucket("mlp-small", bucket, Arc::clone(&plan))
+                        .expect("hot-swap");
+                    reg.remove_bucket("mlp-small", bucket).expect("evict");
+                }
+            });
+        }
+        // Lookups: every observed snapshot must be fully built.
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                for _ in 0..2_000 {
+                    let engines = reg.get("mlp-small").expect("always registered");
+                    assert_eq!(engines.name(), "mlp-small");
+                    let buckets = engines.bucket_sizes();
+                    assert!(
+                        buckets.windows(2).all(|w| w[0] < w[1]),
+                        "buckets sorted, unique: {buckets:?}"
+                    );
+                    assert!(
+                        buckets.contains(&1),
+                        "bucket 1 survives every interleaving: {buckets:?}"
+                    );
+                    assert_eq!(engines.max_batch(), *buckets.last().unwrap());
+                    for bucket in buckets {
+                        let (found, engine) =
+                            engines.engine_for(bucket).expect("listed bucket resolves");
+                        assert_eq!(found, bucket);
+                        assert!(engine.resident_bytes() > 0);
+                    }
+                    // The batch-placement view agrees with the snapshot.
+                    let placed = engines.placement_for(1).expect("bucket 1 places");
+                    assert_eq!(placed.launches, 1);
+                }
+            });
+        }
+    });
+
+    // The churn threads end on `remove`, the re-register thread on
+    // buckets [1]; whichever won last, the registry is consistent.
+    let final_buckets = reg.get("mlp-small").unwrap().bucket_sizes();
+    assert!(final_buckets.contains(&1));
+}
