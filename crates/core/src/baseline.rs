@@ -64,7 +64,15 @@ impl AnsorBackend {
             }
             match node.kind {
                 OpKind::Dense | OpKind::Conv2d { .. } => {
-                    let workload = node_workload(graph, node.id).expect("anchor workload");
+                    let workload = node_workload(graph, node.id).ok_or_else(|| {
+                        crate::BoltError::BadInput {
+                            reason: format!(
+                                "anchor node {} ({}) has no extractable workload",
+                                node.id.index(),
+                                node.kind.name()
+                            ),
+                        }
+                    })?;
                     let best = report.best_time_us(&workload).ok_or_else(|| {
                         crate::BoltError::BadInput {
                             reason: format!("workload {workload:?} was not tuned"),

@@ -12,9 +12,10 @@
 //! A plain-text, line-oriented format (no external serialization crates):
 //!
 //! ```text
-//! bolt-tune-cache v1 arch=<fnv1a-64 of the architecture description>
+//! bolt-tune-cache v2 arch=<fnv1a-64 of the architecture description>
 //! gemm <problem> | <epilogue> | <winning config> <time-bits> <candidates>
 //! conv <problem> <dtype> | <epilogue> | <winning config> <time-bits> <candidates>
+//! checksum <fnv1a-64 of the entry lines> <entry count>
 //! ```
 //!
 //! Floats are encoded as IEEE-754 bit patterns in hex so the round trip
@@ -29,9 +30,20 @@
 //!
 //! A version or architecture mismatch is *not* an error — the cache is
 //! an optimization, so [`load`] warns on stderr and reports zero entries,
-//! and the session re-measures and overwrites the file on save. A file
-//! that is unreadable or structurally corrupt returns an I/O error,
-//! which [`crate::BoltCompiler`] likewise degrades to a warning.
+//! and the session re-measures and overwrites the file on save.
+//!
+//! # Corruption handling
+//!
+//! The trailing `checksum` footer covers every entry line, so a torn or
+//! bit-flipped file (crash mid-write on a filesystem without atomic
+//! rename, disk corruption, a truncated copy) is *detected* rather than
+//! misparsed. Structural corruption — missing/mismatched footer, an
+//! undecodable entry, a malformed header — does not abort the session:
+//! [`load`] **quarantines** the file (renames it to `<name>.corrupt`,
+//! preserving the evidence), warns on stderr, and reports zero entries.
+//! The session warm-starts empty and the next save rebuilds a clean
+//! cache at the original path. Only real I/O failures (permissions,
+//! unreadable file) propagate as errors.
 
 use std::io;
 use std::path::Path;
@@ -44,7 +56,8 @@ use bolt_tensor::{Activation, DType, MatrixLayout};
 use crate::profiler::{BoltProfiler, Epilogue2, Key, ProfiledKernel};
 
 /// Cache schema version; bump on any change to the entry layout.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2 added the `checksum` footer line.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a fingerprint of an architecture's full datasheet description.
 ///
@@ -101,9 +114,19 @@ pub(crate) fn save(profiler: &BoltProfiler, path: &Path) -> io::Result<()> {
     lines.sort_unstable();
     let mut out = header(profiler.arch());
     out.push('\n');
+    let mut body = String::new();
     for line in &lines {
-        out.push_str(line);
-        out.push('\n');
+        body.push_str(line);
+        body.push('\n');
+    }
+    out.push_str(&body);
+    out.push_str(&footer(&body, lines.len()));
+    out.push('\n');
+
+    // Chaos: simulate a crash mid-write by truncating the staged bytes.
+    // The checksum footer is what lets the next load catch this.
+    if let Some(keep) = crate::faults::truncate(crate::faults::FaultSite::CacheSave, out.len()) {
+        out.truncate(keep);
     }
 
     // Unique per process *and* per call, so concurrent savers never
@@ -123,18 +146,46 @@ pub(crate) fn save(profiler: &BoltProfiler, path: &Path) -> io::Result<()> {
 }
 
 /// Loads entries from `path` into the profiler's cache, returning the
-/// number of entries merged. Version or architecture mismatches warn and
-/// return `Ok(0)`; unreadable or corrupt files return an error.
+/// number of entries merged.
+///
+/// * Version or architecture mismatches warn and return `Ok(0)` — the
+///   file is left in place (it is valid, just not for us).
+/// * Structural corruption (bad header, undecodable entry, missing or
+///   mismatched `checksum` footer) **quarantines** the file: it is
+///   renamed to `<name>.corrupt`, a warning is printed, and `Ok(0)` is
+///   returned so the session warm-starts empty and rebuilds the cache
+///   on its next save. Nothing is merged from a corrupt file — entries
+///   are only installed after the whole file validates.
+/// * Real I/O failures (unreadable file, permissions) propagate.
 pub(crate) fn load(profiler: &BoltProfiler, path: &Path) -> io::Result<usize> {
     let text = std::fs::read_to_string(path)?;
+    match parse(profiler, &text, path) {
+        Ok(Parsed::Mismatch) => Ok(0),
+        Ok(Parsed::Entries(entries)) => {
+            let count = entries.len();
+            for (key, kernel) in entries {
+                profiler.insert_entry(key, kernel);
+            }
+            Ok(count)
+        }
+        Err(reason) => quarantine(path, &reason),
+    }
+}
+
+enum Parsed {
+    /// Valid file for a different schema version or architecture.
+    Mismatch,
+    /// Fully validated entries, ready to merge.
+    Entries(Vec<(Key, ProfiledKernel)>),
+}
+
+/// Validates `text` end to end; any `Err` means structural corruption.
+fn parse(profiler: &BoltProfiler, text: &str, path: &Path) -> Result<Parsed, io::Error> {
     let mut lines = text.lines();
     let head = lines.next().ok_or_else(|| invalid("empty tune cache"))?;
     let mut tokens = head.split_whitespace();
     if tokens.next() != Some("bolt-tune-cache") {
-        return Err(invalid(format!(
-            "{}: not a bolt tune cache",
-            path.display()
-        )));
+        return Err(invalid("not a bolt tune cache"));
     }
     let version = tokens
         .next()
@@ -152,26 +203,70 @@ pub(crate) fn load(profiler: &BoltProfiler, path: &Path) -> io::Result<usize> {
             version,
             SCHEMA_VERSION
         );
-        return Ok(0);
+        return Ok(Parsed::Mismatch);
     }
     if arch != arch_fingerprint(profiler.arch()) {
         eprintln!(
             "warning: ignoring tune cache {}: tuned for a different architecture",
             path.display()
         );
-        return Ok(0);
+        return Ok(Parsed::Mismatch);
     }
-    let mut count = 0;
+    let mut entries = Vec::new();
+    let mut body = String::new();
+    let mut footer_line = None;
     for line in lines {
         if line.trim().is_empty() {
             continue;
         }
+        if footer_line.is_some() {
+            return Err(invalid("entries after checksum footer"));
+        }
+        if line.starts_with("checksum ") {
+            footer_line = Some(line);
+            continue;
+        }
         let (key, kernel) = decode_entry(line)
             .ok_or_else(|| invalid(format!("corrupt tune cache entry: {line:?}")))?;
-        profiler.insert_entry(key, kernel);
-        count += 1;
+        body.push_str(line);
+        body.push('\n');
+        entries.push((key, kernel));
     }
-    Ok(count)
+    let footer_line = footer_line.ok_or_else(|| invalid("missing checksum footer (truncated?)"))?;
+    if footer_line != footer(&body, entries.len()) {
+        return Err(invalid("checksum footer does not match entries"));
+    }
+    Ok(Parsed::Entries(entries))
+}
+
+/// The integrity footer covering the newline-joined entry `body`.
+fn footer(body: &str, count: usize) -> String {
+    format!("checksum {:016x} {count}", fnv1a(body.as_bytes()))
+}
+
+/// Renames a structurally corrupt cache aside to `<name>.corrupt` so the
+/// evidence survives while the original path is freed for a rebuild.
+fn quarantine(path: &Path, reason: &io::Error) -> io::Result<usize> {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "bolt-tune-cache".into());
+    name.push(".corrupt");
+    let target = path.with_file_name(name);
+    match std::fs::rename(path, &target) {
+        Ok(()) => eprintln!(
+            "warning: tune cache {} is corrupt ({reason}); quarantined to {} — \
+             continuing with an empty cache, it will be rebuilt on the next save",
+            path.display(),
+            target.display()
+        ),
+        Err(rename_err) => eprintln!(
+            "warning: tune cache {} is corrupt ({reason}) and could not be quarantined \
+             ({rename_err}); continuing with an empty cache",
+            path.display()
+        ),
+    }
+    Ok(0)
 }
 
 // ---------------------------------------------------------------------------
@@ -489,6 +584,24 @@ mod tests {
         let key = Key::Gemm(GemmProblem::fp16(64, 64, 64), (&ep).into());
         let good = encode_entry(&key, &sample_kernel());
         assert!(decode_entry(&format!("{good} trailing")).is_none());
+    }
+
+    #[test]
+    fn footer_is_deterministic_and_detects_tampering() {
+        let ep = Epilogue::linear(DType::F16);
+        let key = Key::Gemm(GemmProblem::fp16(64, 64, 64), (&ep).into());
+        let line = encode_entry(&key, &sample_kernel());
+        let body = format!("{line}\n");
+        assert_eq!(footer(&body, 1), footer(&body, 1), "footer is pure");
+        let mut flipped = body.clone().into_bytes();
+        flipped[10] ^= 1;
+        let flipped = String::from_utf8(flipped).unwrap();
+        assert_ne!(
+            footer(&body, 1),
+            footer(&flipped, 1),
+            "single-bit flip changes the checksum"
+        );
+        assert_ne!(footer(&body, 1), footer(&body, 2), "count is covered");
     }
 
     #[test]

@@ -87,6 +87,9 @@ impl BoltCompiler {
     /// Returns an error when graph passes fail or a workload has no legal
     /// template configuration.
     pub fn compile(&self, graph: &Graph) -> Result<CompiledModel> {
+        if let Some(site) = crate::faults::fail(crate::faults::FaultSite::Compile) {
+            return Err(crate::BoltError::Injected { site });
+        }
         let optimized = if self.config.deployment_passes {
             PassManager::deployment().run(graph)?
         } else {
@@ -139,6 +142,9 @@ impl BoltCompiler {
     /// Returns an error when graph passes fail or a workload has no legal
     /// template configuration.
     pub fn compile_heuristic(&self, graph: &Graph) -> Result<CompiledModel> {
+        if let Some(site) = crate::faults::fail(crate::faults::FaultSite::HeuristicCompile) {
+            return Err(crate::BoltError::Injected { site });
+        }
         let optimized = if self.config.deployment_passes {
             PassManager::deployment().run(graph)?
         } else {

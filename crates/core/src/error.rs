@@ -25,6 +25,14 @@ pub enum BoltError {
     Kernel(KernelError),
     /// A tensor operation failed.
     Tensor(TensorError),
+    /// A failure injected by the fault-injection layer
+    /// ([`crate::faults`], `chaos` feature). Never constructed in
+    /// production builds; exists unconditionally so hardened call
+    /// sites match on it without `cfg` noise.
+    Injected {
+        /// Which injection site fired (for example `"Compile occurrence 3"`).
+        site: String,
+    },
 }
 
 impl fmt::Display for BoltError {
@@ -37,6 +45,7 @@ impl fmt::Display for BoltError {
             BoltError::Graph(e) => write!(f, "graph error: {e}"),
             BoltError::Kernel(e) => write!(f, "kernel error: {e}"),
             BoltError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BoltError::Injected { site } => write!(f, "injected fault: {site}"),
         }
     }
 }

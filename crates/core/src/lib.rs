@@ -56,6 +56,7 @@ pub mod codegen;
 pub mod compile;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod lower;
 pub mod plan;
 pub mod profiler;
@@ -65,6 +66,7 @@ pub use baseline::AnsorBackend;
 pub use compile::BoltCompiler;
 pub use config::BoltConfig;
 pub use error::BoltError;
+pub use faults::{ChaosConfig, FaultEvent, FaultSite};
 pub use plan::{ExecutionPlan, PackedConsts, StepObserver, StepTiming, StepTimings};
 pub use profiler::{BoltProfiler, ProfileTask, ProfiledKernel, ProfilerStats};
 pub use runtime::{slice_batch, stack_batch, CompiledModel, Step, StepKind, TimingReport};

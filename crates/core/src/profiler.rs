@@ -297,7 +297,7 @@ impl BoltProfiler {
             return;
         }
         let chunk = pending.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             for tasks in pending.chunks(chunk) {
                 scope.spawn(move |_| {
                     for task in tasks {
@@ -305,12 +305,27 @@ impl BoltProfiler {
                     }
                 });
             }
-        })
-        .expect("profiling threads join");
+        });
+        if joined.is_err() {
+            // A profiling thread panicked. Recover instead of sinking the
+            // whole compile: re-run the still-unmeasured tasks serially,
+            // isolating each one so a poisoned measurement loses only its
+            // own slot (callers fall back to the heuristic default).
+            eprintln!(
+                "bolt: warning: a profiling thread panicked; re-profiling pending tasks serially"
+            );
+            for task in &pending {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.profile_task(task)
+                }));
+            }
+        }
     }
 
     /// Measures every non-pruned candidate of a task and returns the best.
     fn measure(&self, task: &ProfileTask) -> Option<ProfiledKernel> {
+        // Chaos: a measurement may stall (slow device, contended stream).
+        crate::faults::stall(crate::faults::FaultSite::Profile);
         match task {
             ProfileTask::Gemm { problem, epilogue } => self.search(
                 self.generator.gemm_candidates(problem),
@@ -437,11 +452,15 @@ impl BoltProfiler {
     /// [`BoltProfiler::save_cache`], merging it into this profiler's
     /// cache. Returns the number of entries loaded; entries written for a
     /// different architecture or cache schema version are skipped (the
-    /// file is treated as empty).
+    /// file is treated as empty). A structurally corrupt file — torn
+    /// write, checksum mismatch, undecodable entry — is quarantined to
+    /// `<name>.corrupt` and treated as empty, so a warm start survives
+    /// corruption and the next save rebuilds the cache.
     ///
     /// # Errors
     ///
-    /// Returns an I/O error if the file cannot be read or is corrupt.
+    /// Returns an I/O error if the file cannot be read (corruption is
+    /// quarantined, not propagated).
     pub fn load_cache(&self, path: &std::path::Path) -> std::io::Result<usize> {
         crate::cache::load(self, path)
     }

@@ -187,22 +187,44 @@ proptest! {
 }
 
 #[test]
-fn corrupt_cache_errors_on_load_but_only_warns_in_compiler() {
+fn corrupt_cache_is_quarantined_and_rebuilt() {
     let path = scratch("corrupt.tune");
+    let mut corrupt_name = path.file_name().unwrap().to_os_string();
+    corrupt_name.push(".corrupt");
+    let corrupt = path.with_file_name(corrupt_name);
+    let _ = std::fs::remove_file(&corrupt);
     std::fs::write(&path, "total garbage\nthis is not a cache\n").unwrap();
 
+    // Garbage is quarantined, not propagated: the load reports zero
+    // entries, the original path is freed, the evidence moves aside.
     let profiler = BoltProfiler::new(&t4(), 20);
-    assert!(
-        profiler.load_cache(&path).is_err(),
-        "direct load of garbage must error"
-    );
+    assert_eq!(profiler.load_cache(&path).unwrap(), 0);
+    assert!(!path.exists(), "corrupt file is renamed away");
+    assert!(corrupt.exists(), "evidence preserved as *.corrupt");
 
     // A bad entry under a valid header is also corrupt.
-    let header = format!("bolt-tune-cache v1 arch={:016x}\n", arch_fingerprint(&t4()));
+    let header = format!("bolt-tune-cache v2 arch={:016x}\n", arch_fingerprint(&t4()));
     std::fs::write(&path, format!("{header}gemm 1 2 not-a-number\n")).unwrap();
-    assert!(profiler.load_cache(&path).is_err());
+    assert_eq!(profiler.load_cache(&path).unwrap(), 0);
+    assert!(!path.exists());
 
-    // The compiler degrades to a warning and compiles cold.
+    // A truncated file (torn write: footer missing) is caught too.
+    let ep = Epilogue::linear(DType::F16);
+    profiler
+        .profile_gemm(&GemmProblem::fp16(1280, 3072, 768), &ep)
+        .unwrap();
+    profiler.save_cache(&path).unwrap();
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+    assert_eq!(
+        profiler.load_cache(&path).unwrap(),
+        0,
+        "torn write detected"
+    );
+    assert!(!path.exists());
+
+    // The compiler warm-starts through the quarantine, compiles cold,
+    // and its save rebuilds a clean cache at the original path.
     std::fs::write(&path, "total garbage\n").unwrap();
     let config = BoltConfig {
         cache_path: Some(path.clone()),
@@ -210,7 +232,14 @@ fn corrupt_cache_errors_on_load_but_only_warns_in_compiler() {
     };
     let model = BoltCompiler::new(t4(), config).compile(&mlp()).unwrap();
     assert!(model.tuning.measurements > 0, "cold compile must measure");
+    assert!(path.exists(), "cache rebuilt on save after quarantine");
+    let rebuilt = BoltProfiler::new(&t4(), 20);
+    assert!(
+        rebuilt.load_cache(&path).unwrap() > 0,
+        "rebuilt cache is valid"
+    );
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&corrupt);
 }
 
 #[test]

@@ -46,6 +46,27 @@ pub enum ServeError {
     ShuttingDown,
     /// Compiling an engine for a registered model failed.
     Compile(BoltError),
+    /// A panic was caught and isolated inside a serving component (a
+    /// batch worker or a background compile); the work it was carrying
+    /// is reported failed instead of crashing the thread pool.
+    Panicked {
+        /// What was executing when the panic fired.
+        component: String,
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads; anything else is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -63,6 +84,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Compile(e) => write!(f, "engine compilation failed: {e}"),
+            ServeError::Panicked { component, message } => {
+                write!(f, "panic isolated in {component}: {message}")
+            }
         }
     }
 }

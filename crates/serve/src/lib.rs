@@ -62,9 +62,11 @@ mod scheduler;
 pub mod server;
 
 pub use config::ServeConfig;
-pub use error::ServeError;
+pub use error::{panic_message, ServeError};
 pub use metrics::{KernelStat, MetricsSnapshot};
-pub use online::{Acquired, EngineState, OnlineConfig, OnlineEngineManager, OnlineSnapshot};
+pub use online::{
+    Acquired, EngineState, FailedBucket, OnlineConfig, OnlineEngineManager, OnlineSnapshot,
+};
 pub use registry::{EngineRegistry, ModelEngines, Placement};
 pub use request::{InferResponse, LatencyBreakdown, Outcome, RequestHandle};
 pub use server::BoltServer;

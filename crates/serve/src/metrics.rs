@@ -27,6 +27,10 @@ struct Inner {
     rejected_no_engine: u64,
     rejected_execution: u64,
     deadline_shed: u64,
+    deadline_shed_dequeue: u64,
+    worker_panics: u64,
+    worker_restarts: u64,
+    degraded: u64,
     batches: u64,
     batch_overflow: u64,
     latencies_us: Vec<f64>,
@@ -77,6 +81,28 @@ impl Metrics {
 
     pub(crate) fn deadline_shed(&self) {
         self.inner.lock().deadline_shed += 1;
+    }
+
+    /// Records a request whose deadline had passed by the time a worker
+    /// dequeued its batch (formation-time shedding missed it).
+    pub(crate) fn deadline_shed_dequeue(&self) {
+        self.inner.lock().deadline_shed_dequeue += 1;
+    }
+
+    /// Records a panic isolated inside per-batch execution.
+    pub(crate) fn worker_panic(&self) {
+        self.inner.lock().worker_panics += 1;
+    }
+
+    /// Records a worker thread respawned by the supervisor.
+    pub(crate) fn worker_restarted(&self) {
+        self.inner.lock().worker_restarts += 1;
+    }
+
+    /// Records a request completed while its model's circuit breaker was
+    /// open (degraded response).
+    pub(crate) fn degraded(&self) {
+        self.inner.lock().degraded += 1;
     }
 
     /// Records one dispatched batch: `size` real requests, achieved
@@ -161,6 +187,10 @@ impl Metrics {
             rejected_no_engine: inner.rejected_no_engine,
             rejected_execution: inner.rejected_execution,
             deadline_shed: inner.deadline_shed,
+            deadline_shed_dequeue: inner.deadline_shed_dequeue,
+            worker_panics: inner.worker_panics,
+            worker_restarts: inner.worker_restarts,
+            degraded: inner.degraded,
             batches: inner.batches,
             batch_overflow: inner.batch_overflow,
             mean_batch,
@@ -244,6 +274,19 @@ pub struct MetricsSnapshot {
     /// Accepted requests shed at batch formation because their deadline
     /// had already passed.
     pub deadline_shed: u64,
+    /// Accepted requests shed at worker dequeue time: their deadline
+    /// passed after batch formation, while the batch waited for a
+    /// stream (e.g. behind a slow batch).
+    pub deadline_shed_dequeue: u64,
+    /// Panics isolated inside per-batch execution (every request of the
+    /// affected batch resolves [`crate::Outcome::Rejected`]).
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor after a panic escaped
+    /// the batch loop; the pool never shrinks.
+    pub worker_restarts: u64,
+    /// Requests completed while their model's circuit breaker was open
+    /// (`degraded: true` in the response).
+    pub degraded: u64,
     /// Batches dispatched to workers.
     pub batches: u64,
     /// Batches that exceeded every compiled bucket and were explicitly
@@ -282,11 +325,11 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Requests with a terminal outcome: completed + shed + execution
-    /// failures. Equals [`MetricsSnapshot::accepted`] once the server has
-    /// drained.
+    /// Requests with a terminal outcome: completed + shed (at formation
+    /// or dequeue) + execution failures. Equals
+    /// [`MetricsSnapshot::accepted`] once the server has drained.
     pub fn resolved(&self) -> u64 {
-        self.completed + self.deadline_shed + self.rejected_execution
+        self.completed + self.deadline_shed + self.deadline_shed_dequeue + self.rejected_execution
     }
 }
 

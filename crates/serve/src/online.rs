@@ -52,9 +52,20 @@ pub struct OnlineConfig {
     /// engines may keep resident; least-recently-used buckets are
     /// evicted to stay under it. `None` disables eviction.
     pub memory_budget_bytes: Option<u64>,
-    /// How long a failed `(model, bucket)` compile is remembered before
-    /// a new miss may retry it.
-    pub retry_failed_after: Duration,
+    /// Base retry delay after the *first* failed compile of a
+    /// `(model, bucket)`. Each further consecutive failure doubles the
+    /// delay (capped at [`OnlineConfig::retry_backoff_max`]) and adds a
+    /// deterministic jitter of up to 25% so co-failing keys don't retry
+    /// in lockstep.
+    pub retry_backoff: Duration,
+    /// Ceiling of the exponential retry backoff.
+    pub retry_backoff_max: Duration,
+    /// Consecutive compile failures (across all of a model's buckets)
+    /// that trip the per-model circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before it half-opens and
+    /// admits a single probe compile.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for OnlineConfig {
@@ -63,7 +74,10 @@ impl Default for OnlineConfig {
             tuner_threads: 1,
             queue_capacity: 64,
             memory_budget_bytes: None,
-            retry_failed_after: Duration::from_secs(2),
+            retry_backoff: Duration::from_millis(250),
+            retry_backoff_max: Duration::from_secs(10),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(2),
         }
     }
 }
@@ -77,13 +91,44 @@ pub enum EngineState {
     /// key serve fallback without enqueueing a second compile.
     Compiling,
     /// The last compile failed; retried on the first miss after
-    /// `retry_after`.
+    /// `retry_after` (capped exponential backoff with deterministic
+    /// jitter — see [`OnlineConfig::retry_backoff`]).
     Failed {
         /// The compile error, for diagnostics.
         error: String,
         /// Earliest instant a retry may be enqueued.
         retry_after: Instant,
+        /// Consecutive failed compiles of this key (drives the backoff).
+        attempts: u32,
     },
+}
+
+/// Per-model circuit breaker over background compiles. Repeated compile
+/// failures across a model's buckets trip it open: while open, no new
+/// compiles are enqueued for the model (requests still serve on the
+/// fallback path, flagged `degraded`). After
+/// [`OnlineConfig::breaker_cooldown`] it half-opens and admits exactly
+/// one probe compile — success closes it, failure re-opens it.
+#[derive(Debug, Clone, PartialEq)]
+enum BreakerState {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
 }
 
 /// How the manager placed one batch.
@@ -100,6 +145,26 @@ pub struct Acquired {
     /// bucket, split on overflow, or a heuristic default-config engine)
     /// rather than a tuned engine fitting the batch.
     pub fallback: bool,
+    /// True when the model's circuit breaker was open (or probing) at
+    /// placement time: the request is served, but on a degraded path
+    /// with background tuning suspended for the model.
+    pub degraded: bool,
+}
+
+/// One failed `(model, bucket)` engine key, as surfaced by
+/// [`OnlineSnapshot::failed_buckets`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedBucket {
+    /// Model name.
+    pub model: String,
+    /// Batch bucket whose compile failed.
+    pub bucket: usize,
+    /// The last compile error.
+    pub error: String,
+    /// Consecutive failed compiles of this key.
+    pub attempts: u32,
+    /// Time until the next retry may be enqueued (zero if already due).
+    pub retry_in: Duration,
 }
 
 /// Point-in-time view of the online tuning counters.
@@ -127,6 +192,18 @@ pub struct OnlineSnapshot {
     /// Total resident bytes of managed tuned engines plus live heuristic
     /// fallback engines.
     pub resident_bytes: u64,
+    /// Tuner threads respawned by the supervisor after a panic.
+    pub tuner_restarts: u64,
+    /// Times a per-model circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Requests placed while their model's breaker was open or probing.
+    pub degraded_served: u64,
+    /// Every key currently in [`EngineState::Failed`], sorted by
+    /// `(model, bucket)` for stable output.
+    pub failed_buckets: Vec<FailedBucket>,
+    /// Models whose circuit breaker is currently open or half-open,
+    /// sorted.
+    pub tripped_models: Vec<String>,
 }
 
 type EngineKey = (String, usize);
@@ -142,6 +219,9 @@ struct Counters {
     evictions: AtomicU64,
     /// Simulated tuning time, µs (integer so it can be a plain atomic).
     tuning_us: AtomicU64,
+    tuner_restarts: AtomicU64,
+    breaker_trips: AtomicU64,
+    degraded_served: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -158,6 +238,11 @@ struct State {
     /// Heuristic default-config engines serving keys with no tuned
     /// engine yet; dropped when the tuned engine hot-swaps in.
     heuristic: HashMap<EngineKey, Arc<ExecutionPlan>>,
+    /// Per-model circuit breakers over background compiles.
+    breakers: HashMap<String, Breaker>,
+    /// Consecutive failed compiles per key (survives the `Failed` →
+    /// `Compiling` transition of a retry; cleared on success/eviction).
+    fail_counts: HashMap<EngineKey, u32>,
     shutdown: bool,
 }
 
@@ -188,14 +273,27 @@ impl Shared {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Enqueues a compile for `key` unless one is already queued/running,
-    /// a recent failure is still cooling down, or the queue is full.
-    /// Caller holds the state lock.
-    fn maybe_enqueue(&self, st: &mut State, key: EngineKey) {
+    /// Enqueues a compile for `key` unless the model's circuit breaker
+    /// is open, one is already queued/running, a recent failure is still
+    /// cooling down, or the queue is full. Caller holds the state lock.
+    ///
+    /// Returns `true` when the model is **degraded**: its breaker is
+    /// open (no compile enqueued) or half-open (at most a single probe
+    /// compile admitted, bypassing the per-key backoff).
+    fn maybe_enqueue(&self, st: &mut State, key: EngineKey) -> bool {
+        let now = Instant::now();
+        // The per-model breaker gates before any per-key state.
+        let mut probing = false;
+        match st.breakers.get(&key.0).map(|b| b.state.clone()) {
+            Some(BreakerState::Open { until }) if now < until => return true,
+            Some(BreakerState::Open { .. }) => probing = true, // cooldown over: try one probe
+            Some(BreakerState::HalfOpen) => return true,       // probe already in flight
+            Some(BreakerState::Closed) | None => {}
+        }
         match st.states.get(&key) {
-            Some(EngineState::Ready) | Some(EngineState::Compiling) => return,
-            Some(EngineState::Failed { retry_after, .. }) if Instant::now() < *retry_after => {
-                return;
+            Some(EngineState::Ready) | Some(EngineState::Compiling) => return probing,
+            Some(EngineState::Failed { retry_after, .. }) if !probing && now < *retry_after => {
+                return false;
             }
             _ => {}
         }
@@ -203,12 +301,42 @@ impl Shared {
             self.counters
                 .compile_queue_rejected
                 .fetch_add(1, Ordering::Relaxed);
-            return;
+            // An expired-open breaker stays open: the next miss retries
+            // the probe. Never park in HalfOpen without a probe queued.
+            return probing;
+        }
+        if probing {
+            // The transition happens only once the probe is actually
+            // enqueued, so HalfOpen always has exactly one compile out.
+            if let Some(b) = st.breakers.get_mut(&key.0) {
+                b.state = BreakerState::HalfOpen;
+            }
         }
         st.states.insert(key.clone(), EngineState::Compiling);
         st.queue.push_back(key);
         self.work_cv.notify_one();
+        probing
     }
+}
+
+/// Capped exponential backoff with deterministic jitter for the
+/// `attempts`-th consecutive failure of `key`. Doubling is capped at
+/// [`OnlineConfig::retry_backoff_max`]; jitter adds up to 25% more,
+/// derived from a hash of the key and attempt count so the schedule is
+/// reproducible yet decorrelated across keys.
+fn backoff_delay(config: &OnlineConfig, key: &EngineKey, attempts: u32) -> Duration {
+    let base = config.retry_backoff.max(Duration::from_millis(1));
+    let doublings = attempts.saturating_sub(1).min(16);
+    let delay = base
+        .saturating_mul(1u32 << doublings)
+        .min(config.retry_backoff_max.max(base));
+    let span = (delay.as_micros() as u64 / 4).max(1);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.0.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= (key.1 as u64) << 32 | attempts as u64;
+    delay + Duration::from_micros(bolt::faults::mix64(h) % span)
 }
 
 /// The online tuning & engine-lifecycle manager (see module docs).
@@ -264,7 +392,23 @@ impl OnlineEngineManager {
         let tuners = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || tuner_loop(&shared))
+                // Supervisor: a panic that escapes the tuner loop (only
+                // injected faults or real bugs — per-compile panics are
+                // caught inside the loop) restarts it in place, so the
+                // tuner pool never shrinks. A clean return is shutdown.
+                std::thread::spawn(move || loop {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        tuner_loop(&shared)
+                    })) {
+                        Ok(()) => return,
+                        Err(_) => {
+                            shared
+                                .counters
+                                .tuner_restarts
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
             })
             .collect();
         OnlineEngineManager {
@@ -312,61 +456,64 @@ impl OnlineEngineManager {
                     engine,
                     launches: 1,
                     fallback: false,
+                    degraded: false,
                 });
             }
             // Over-padded: serve the nearest bucket now, tune the right one.
-            {
+            let degraded = {
                 let mut st = shared.lock_state();
                 st.touch((name, bucket));
-                shared.maybe_enqueue(&mut st, key);
-            }
-            shared
-                .counters
-                .fallback_served
-                .fetch_add(batch as u64, Ordering::Relaxed);
+                shared.maybe_enqueue(&mut st, key)
+            };
+            self.count_fallback(batch, degraded);
             return Ok(Acquired {
                 bucket,
                 engine,
                 launches: 1,
                 fallback: true,
+                degraded,
             });
         }
 
         if let Some(placement) = engines.placement_for(batch) {
             // Overflow: explicit split across the largest bucket.
-            {
+            let degraded = {
                 let mut st = shared.lock_state();
                 st.touch((name, placement.bucket));
-                shared.maybe_enqueue(&mut st, key);
-            }
-            shared
-                .counters
-                .fallback_served
-                .fetch_add(batch as u64, Ordering::Relaxed);
+                shared.maybe_enqueue(&mut st, key)
+            };
+            self.count_fallback(batch, degraded);
             return Ok(Acquired {
                 bucket: placement.bucket,
                 engine: placement.engine,
                 launches: placement.launches,
                 fallback: true,
+                degraded,
             });
         }
 
         // No engines at all: heuristic default-config engine.
-        {
+        let degraded = {
             let mut st = shared.lock_state();
-            shared.maybe_enqueue(&mut st, key.clone());
-        }
+            shared.maybe_enqueue(&mut st, key.clone())
+        };
         let engine = self.heuristic_engine(&key)?;
-        shared
-            .counters
-            .fallback_served
-            .fetch_add(batch as u64, Ordering::Relaxed);
+        self.count_fallback(batch, degraded);
         Ok(Acquired {
             bucket: desired,
             engine,
             launches: 1,
             fallback: true,
+            degraded,
         })
+    }
+
+    fn count_fallback(&self, batch: usize, degraded: bool) {
+        let c = &self.shared.counters;
+        c.fallback_served.fetch_add(batch as u64, Ordering::Relaxed);
+        if degraded {
+            c.degraded_served.fetch_add(batch as u64, Ordering::Relaxed);
+        }
     }
 
     /// The cached heuristic engine for `key`, compiling it on first use.
@@ -425,6 +572,33 @@ impl OnlineEngineManager {
                 .values()
                 .map(|engine| engine.resident_bytes())
                 .sum::<u64>();
+        let now = Instant::now();
+        let mut failed_buckets: Vec<FailedBucket> = st
+            .states
+            .iter()
+            .filter_map(|((model, bucket), state)| match state {
+                EngineState::Failed {
+                    error,
+                    retry_after,
+                    attempts,
+                } => Some(FailedBucket {
+                    model: model.clone(),
+                    bucket: *bucket,
+                    error: error.clone(),
+                    attempts: *attempts,
+                    retry_in: retry_after.saturating_duration_since(now),
+                }),
+                _ => None,
+            })
+            .collect();
+        failed_buckets.sort_by(|a, b| (&a.model, a.bucket).cmp(&(&b.model, b.bucket)));
+        let mut tripped_models: Vec<String> = st
+            .breakers
+            .iter()
+            .filter(|(_, b)| b.state != BreakerState::Closed)
+            .map(|(model, _)| model.clone())
+            .collect();
+        tripped_models.sort();
         OnlineSnapshot {
             fallback_served: c.fallback_served.load(Ordering::Relaxed),
             compiles_started: c.compiles_started.load(Ordering::Relaxed),
@@ -436,6 +610,11 @@ impl OnlineEngineManager {
             tuning_seconds: c.tuning_us.load(Ordering::Relaxed) as f64 / 1e6,
             compile_queue_depth: st.queue.len() + st.inflight,
             resident_bytes,
+            tuner_restarts: c.tuner_restarts.load(Ordering::Relaxed),
+            breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
+            degraded_served: c.degraded_served.load(Ordering::Relaxed),
+            failed_buckets,
+            tripped_models,
         }
     }
 }
@@ -459,6 +638,10 @@ impl Drop for OnlineEngineManager {
 
 fn tuner_loop(shared: &Shared) {
     loop {
+        // Chaos: a tuner thread may die *between* compiles — before it
+        // has dequeued anything, so no key is stranded in `Compiling`.
+        // The supervisor wrapper respawns the thread.
+        bolt::faults::panic_if_scheduled(bolt::faults::FaultSite::TunerKill);
         let key = {
             let mut st = shared.lock_state();
             loop {
@@ -479,8 +662,19 @@ fn tuner_loop(shared: &Shared) {
 
         // The expensive part, outside every lock: a fully-profiled
         // compile through the shared compiler (which also persists the
-        // autotune cache on success, when one is configured).
-        let compiled = shared.registry.compile_bucket(&key.0, key.1);
+        // autotune cache on success, when one is configured). A panic in
+        // the compile (a buggy model builder, an injected fault) is
+        // isolated here and recorded as a failed compile — it must not
+        // strand the key in `Compiling` or leak the inflight count.
+        let compiled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.registry.compile_bucket(&key.0, key.1)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(crate::ServeError::Panicked {
+                component: format!("compile of ({}, {})", key.0, key.1),
+                message: crate::panic_message(&payload),
+            })
+        });
 
         match compiled {
             Ok((engine, tuning)) => {
@@ -502,6 +696,9 @@ fn tuner_loop(shared: &Shared) {
                             st.heuristic.remove(&key);
                             st.resident.insert(key.clone(), bytes);
                             st.touch(key.clone());
+                            st.fail_counts.remove(&key);
+                            // A success closes the model's breaker.
+                            st.breakers.insert(key.0.clone(), Breaker::default());
                             plan_evictions(&mut st, shared.config.memory_budget_bytes, &key)
                         };
                         // Registry mutations outside the state lock (lock
@@ -513,35 +710,11 @@ fn tuner_loop(shared: &Shared) {
                     }
                     Err(e) => {
                         // Model was unregistered while compiling.
-                        shared
-                            .counters
-                            .compiles_failed
-                            .fetch_add(1, Ordering::Relaxed);
-                        let mut st = shared.lock_state();
-                        st.states.insert(
-                            key.clone(),
-                            EngineState::Failed {
-                                error: e.to_string(),
-                                retry_after: Instant::now() + shared.config.retry_failed_after,
-                            },
-                        );
+                        record_failure(shared, &key, &e.to_string());
                     }
                 }
             }
-            Err(e) => {
-                shared
-                    .counters
-                    .compiles_failed
-                    .fetch_add(1, Ordering::Relaxed);
-                let mut st = shared.lock_state();
-                st.states.insert(
-                    key.clone(),
-                    EngineState::Failed {
-                        error: e.to_string(),
-                        retry_after: Instant::now() + shared.config.retry_failed_after,
-                    },
-                );
-            }
+            Err(e) => record_failure(shared, &key, &e.to_string()),
         }
 
         let mut st = shared.lock_state();
@@ -549,6 +722,49 @@ fn tuner_loop(shared: &Shared) {
         if st.queue.is_empty() && st.inflight == 0 {
             shared.idle_cv.notify_all();
         }
+    }
+}
+
+/// Marks `key` failed with exponential-backoff retry and advances the
+/// model's circuit breaker.
+fn record_failure(shared: &Shared, key: &EngineKey, error: &str) {
+    shared
+        .counters
+        .compiles_failed
+        .fetch_add(1, Ordering::Relaxed);
+    let mut st = shared.lock_state();
+    let counter = st.fail_counts.entry(key.clone()).or_insert(0);
+    *counter += 1;
+    let attempts = *counter;
+    let retry_after = Instant::now() + backoff_delay(&shared.config, key, attempts);
+    st.states.insert(
+        key.clone(),
+        EngineState::Failed {
+            error: error.to_string(),
+            retry_after,
+            attempts,
+        },
+    );
+    let threshold = shared.config.breaker_threshold.max(1);
+    let cooldown = shared.config.breaker_cooldown;
+    let breaker = st.breakers.entry(key.0.clone()).or_default();
+    breaker.consecutive_failures += 1;
+    let trips = match breaker.state {
+        // The half-open probe failed: straight back to open.
+        BreakerState::HalfOpen => true,
+        BreakerState::Closed => breaker.consecutive_failures >= threshold,
+        // Already open (a compile enqueued before the trip finished
+        // late); don't re-trip or extend the cooldown.
+        BreakerState::Open { .. } => false,
+    };
+    if trips {
+        breaker.state = BreakerState::Open {
+            until: Instant::now() + cooldown,
+        };
+        shared
+            .counters
+            .breaker_trips
+            .fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -575,6 +791,7 @@ fn plan_evictions(st: &mut State, budget: Option<u64>, keep: &EngineKey) -> Vec<
         total -= st.resident.remove(&victim).unwrap_or(0);
         st.touched.remove(&victim);
         st.states.remove(&victim);
+        st.fail_counts.remove(&victim);
         victims.push(victim);
     }
     victims
@@ -600,6 +817,40 @@ mod tests {
         assert_eq!(OnlineEngineManager::desired_bucket(3), 4);
         assert_eq!(OnlineEngineManager::desired_bucket(8), 8);
         assert_eq!(OnlineEngineManager::desired_bucket(9), 16);
+    }
+
+    #[test]
+    fn backoff_delay_is_deterministic_capped_and_jittered() {
+        let config = OnlineConfig {
+            retry_backoff: Duration::from_millis(100),
+            retry_backoff_max: Duration::from_secs(2),
+            ..OnlineConfig::default()
+        };
+        let key = ("mlp-small".to_string(), 4);
+        // Reproducible: same inputs, same delay, bit for bit.
+        assert_eq!(
+            backoff_delay(&config, &key, 1),
+            backoff_delay(&config, &key, 1)
+        );
+        // First failure waits at least the base, at most base + 25%.
+        let first = backoff_delay(&config, &key, 1);
+        assert!(first >= Duration::from_millis(100), "{first:?}");
+        assert!(first <= Duration::from_millis(125), "{first:?}");
+        // Doubling grows the floor until the cap.
+        let fourth = backoff_delay(&config, &key, 4);
+        assert!(fourth >= Duration::from_millis(800), "{fourth:?}");
+        // Far past the cap: never exceeds max + 25% jitter, and never
+        // overflows even at absurd attempt counts.
+        let huge = backoff_delay(&config, &key, u32::MAX);
+        assert!(huge <= Duration::from_millis(2500), "{huge:?}");
+        // Jitter decorrelates keys: two keys at the same attempt almost
+        // surely differ (equal only on a 1-in-span hash collision; these
+        // two were checked not to collide).
+        let other = ("cnn-small".to_string(), 4);
+        assert_ne!(
+            backoff_delay(&config, &key, 3),
+            backoff_delay(&config, &other, 3)
+        );
     }
 
     #[test]
@@ -693,6 +944,61 @@ mod tests {
             None,
             "evicted keys are forgotten so a new miss recompiles"
         );
+    }
+
+    /// The eviction/readmission race the LRU must survive: while bucket
+    /// 2's compile is in flight (its hot-swap will evict bucket 1), the
+    /// evicted-bucket-to-be is requested again. Whichever side of the
+    /// swap the re-request lands on, nothing errors and the system
+    /// converges to exactly one resident engine — the re-requested one.
+    #[test]
+    fn evicted_bucket_rerequested_mid_eviction_recompiles_cleanly() {
+        let reg = registry();
+        let engines = reg.register_zoo_dynamic("mlp-small").expect("register");
+        let manager = OnlineEngineManager::new(
+            Arc::clone(&reg),
+            OnlineConfig {
+                memory_budget_bytes: Some(1),
+                ..OnlineConfig::default()
+            },
+        );
+
+        manager.acquire(&engines, 1).expect("miss 1");
+        assert!(manager.wait_idle(Duration::from_secs(60)));
+        assert_eq!(reg.get("mlp-small").unwrap().bucket_sizes(), vec![1]);
+
+        // Enqueue bucket 2's compile, then immediately re-request bucket
+        // 1 while that compile (and the eviction it triggers) races.
+        manager.acquire(&engines, 2).expect("miss 2");
+        let fresh = reg.get("mlp-small").unwrap();
+        manager.acquire(&fresh, 1).expect("re-request mid-eviction");
+        assert!(manager.wait_idle(Duration::from_secs(60)));
+
+        // Either ordering needs one more round trip to converge: if the
+        // re-request beat the swap it served the still-resident engine
+        // (and bucket 1 was evicted after), if it lost it re-enqueued
+        // bucket 1's compile (evicting bucket 2 in turn).
+        manager
+            .acquire(&reg.get("mlp-small").unwrap(), 1)
+            .expect("settle");
+        assert!(manager.wait_idle(Duration::from_secs(60)));
+
+        let placed = manager
+            .acquire(&reg.get("mlp-small").unwrap(), 1)
+            .expect("tuned placement");
+        assert!(
+            !placed.fallback,
+            "bucket 1 is tuned again after readmission"
+        );
+        assert_eq!(
+            reg.get("mlp-small").unwrap().bucket_sizes(),
+            vec![1],
+            "exactly one engine stays resident under the 1-byte budget"
+        );
+        let snap = manager.snapshot();
+        assert_eq!(snap.evictions, 2, "1 evicted by 2, then 2 evicted by 1");
+        assert_eq!(snap.compiles_failed, 0);
+        assert!(snap.failed_buckets.is_empty());
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct InferResponse {
     /// default-config engine) instead of a tuned engine fitting the
     /// batch.
     pub fallback: bool,
+    /// True when the model's circuit breaker was open at placement time:
+    /// the request still completed, but on a degraded path with
+    /// background tuning suspended (see
+    /// [`crate::OnlineConfig::breaker_threshold`]).
+    pub degraded: bool,
     /// Latency breakdown.
     pub latency: LatencyBreakdown,
 }
@@ -86,13 +91,24 @@ impl ResponseSlot {
     /// scheduler guarantees exactly-once completion, and a double resolve
     /// is a serving-layer bug worth crashing loudly over in tests.
     pub(crate) fn resolve(&self, outcome: Outcome) {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         assert!(
-            state.is_none(),
-            "request resolved twice: second outcome {outcome:?}"
+            self.try_resolve(outcome),
+            "request resolved twice (second resolve on an already-terminal slot)"
         );
+    }
+
+    /// Resolves the slot if it is still pending; returns whether this
+    /// call won. The panic-recovery path uses this instead of
+    /// [`ResponseSlot::resolve`]: after a worker panic it cannot know
+    /// which requests of the batch were already resolved.
+    pub(crate) fn try_resolve(&self, outcome: Outcome) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.is_some() {
+            return false;
+        }
         *state = Some(outcome);
         self.cv.notify_all();
+        true
     }
 
     fn wait(&self) -> Outcome {

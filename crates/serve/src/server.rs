@@ -100,7 +100,19 @@ impl BoltServer {
             .map(|_| {
                 let inner = Arc::clone(&inner);
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&inner, &rx))
+                // Supervisor: per-batch panics are isolated inside the
+                // loop; one that still escapes (an injected worker kill,
+                // a real bug outside batch scope) restarts the loop in
+                // place so the stream pool never shrinks. A clean return
+                // means the channel closed: drained.
+                std::thread::spawn(move || loop {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_loop(&inner, &rx)
+                    })) {
+                        Ok(()) => return,
+                        Err(_) => inner.metrics.worker_restarted(),
+                    }
+                })
             })
             .collect();
         let batcher = {
@@ -286,7 +298,17 @@ fn batcher_loop(inner: &Inner, tx: &mpsc::SyncSender<BatchJob>) {
                 });
             }
             for job in result.jobs {
-                let _ = tx.send(job);
+                if let Err(mpsc::SendError(job)) = tx.send(job) {
+                    // The worker pool is gone (every receiver dropped).
+                    // Admission promised a terminal outcome: reject each
+                    // request rather than silently dropping the batch.
+                    for request in job.requests {
+                        inner.metrics.rejected_execution();
+                        request.slot.try_resolve(Outcome::Rejected {
+                            reason: "worker pool unavailable".into(),
+                        });
+                    }
+                }
             }
             sched = inner.sched.lock().unwrap_or_else(|e| e.into_inner());
             continue; // re-form: new work may have queued meanwhile
@@ -308,21 +330,69 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<BatchJob>>) {
     // This worker's simulated stream: absolute µs (server timeline) until
     // which the stream is busy. Batches dispatched to the same stream
     // queue behind each other, exactly like kernels on a CUDA stream.
+    // (Reset on a supervisor restart: a crashed stream loses its backlog.)
     let mut busy_until_us = 0.0f64;
     loop {
+        // Chaos: a worker thread may die *between* batches — it holds no
+        // job here, so nothing is lost; the supervisor respawns it.
+        bolt::faults::panic_if_scheduled(bolt::faults::FaultSite::WorkerKill);
         let job = {
             let receiver = rx.lock().unwrap_or_else(|e| e.into_inner());
             receiver.recv()
         };
         match job {
-            Ok(job) => execute_batch(inner, job, &mut busy_until_us),
+            Ok(mut job) => {
+                // Panic isolation per batch: a panicking kernel (or an
+                // injected fault) rejects the batch's own requests and
+                // nothing else. `execute_batch` drains requests from the
+                // job as it resolves them, so whatever remains after a
+                // panic is exactly the unresolved set.
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_batch(inner, &mut job, &mut busy_until_us)
+                }));
+                if let Err(payload) = run {
+                    inner.metrics.worker_panic();
+                    let reason = ServeError::Panicked {
+                        component: "batch execution".into(),
+                        message: crate::panic_message(&payload),
+                    }
+                    .to_string();
+                    for request in job.requests.drain(..) {
+                        if request.slot.try_resolve(Outcome::Rejected {
+                            reason: reason.clone(),
+                        }) {
+                            inner.metrics.rejected_execution();
+                        }
+                    }
+                }
+            }
             Err(_) => return, // channel closed: server drained
         }
     }
 }
 
-fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
+fn execute_batch(inner: &Inner, job: &mut BatchJob, busy_until_us: &mut f64) {
+    // Deadline enforcement at dequeue time: formation-time shedding
+    // cannot see time spent *after* the batch formed — waiting in the
+    // hand-off channel behind a slow batch. A request whose deadline has
+    // passed by now is shed, not executed late.
+    let dequeue_us = inner.now_us();
+    job.requests.retain_mut(|request| {
+        let expired = request
+            .deadline_us
+            .is_some_and(|deadline| dequeue_us > deadline);
+        if expired {
+            inner.metrics.deadline_shed_dequeue();
+            request.slot.resolve(Outcome::DeadlineExceeded {
+                waited_us: dequeue_us - request.submitted_us,
+            });
+        }
+        !expired
+    });
     let batch = job.requests.len();
+    if batch == 0 {
+        return;
+    }
     // Place the batch: through the online manager (fallback + background
     // tune) when configured, else directly on the precompiled buckets.
     let placed = match &inner.online {
@@ -335,6 +405,7 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
                 engine: p.engine,
                 launches: p.launches,
                 fallback: false,
+                degraded: false,
             })
             .ok_or_else(|| ServeError::NoEngine {
                 model: job.model.name().to_string(),
@@ -348,7 +419,7 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
             // batch (e.g. the heuristic fallback compile failed) rejects
             // every request in it.
             let reason = e.to_string();
-            for request in job.requests {
+            for request in job.requests.drain(..) {
                 inner.metrics.rejected_execution();
                 request.slot.resolve(Outcome::Rejected {
                     reason: reason.clone(),
@@ -360,6 +431,12 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
     if placed.launches > 1 {
         inner.metrics.batch_overflow();
     }
+
+    // Chaos: a slow batch (stalls this stream, so later batches queue
+    // behind it and may hit their deadlines at dequeue), then a mid-batch
+    // panic (isolated by the worker's per-batch catch_unwind above).
+    bolt::faults::stall(bolt::faults::FaultSite::BatchStall);
+    bolt::faults::panic_if_scheduled(bolt::faults::FaultSite::BatchPanic);
 
     // Price the bucket's kernel timeline on the simulator; the real batch
     // of `batch` requests rides the bucket-sized launch (repeated when
@@ -407,7 +484,7 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
     let done_us = start_us + kernel_us;
     *busy_until_us = done_us;
 
-    for (index, request) in job.requests.into_iter().enumerate() {
+    for (index, request) in job.requests.drain(..).enumerate() {
         match &failure {
             Some(reason) => {
                 inner.metrics.rejected_execution();
@@ -422,6 +499,9 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
                     total_us: done_us - request.submitted_us,
                 };
                 inner.metrics.completed(latency.total_us);
+                if placed.degraded {
+                    inner.metrics.degraded();
+                }
                 request.slot.resolve(Outcome::Completed(InferResponse {
                     model: job.model.name().to_string(),
                     outputs: outputs.as_mut().map(|o| std::mem::take(&mut o[index])),
@@ -429,6 +509,7 @@ fn execute_batch(inner: &Inner, job: BatchJob, busy_until_us: &mut f64) {
                     bucket: placed.bucket,
                     launches: placed.launches,
                     fallback: placed.fallback,
+                    degraded: placed.degraded,
                     latency,
                 }));
             }

@@ -211,3 +211,54 @@ fn oversized_batches_split_explicitly_and_count_overflow() {
     assert!(stats.batch_overflow >= 1, "split batches are counted");
     assert_eq!(stats.completed, 6);
 }
+
+/// A zero-bucket dynamic model with online tuning *disabled* is
+/// unservable: every submit is rejected fast with
+/// [`bolt_serve::ServeError::NoEngine`], counted in
+/// `rejected_no_engine`, and never enters the queues. Enabling online
+/// tuning on the identical registry makes the same submit admissible.
+#[test]
+fn zero_bucket_model_without_online_tuning_rejects_and_counts() {
+    let reg = Arc::new(EngineRegistry::new(
+        GpuArch::tesla_t4(),
+        BoltConfig::default(),
+    ));
+    reg.register_zoo_dynamic("mlp-large").expect("register");
+
+    let server = BoltServer::start(
+        Arc::clone(&reg),
+        ServeConfig {
+            online: None,
+            ..ServeConfig::default()
+        },
+    );
+    for seed in 0..3 {
+        let err = server.submit("mlp-large", sample(seed), None).unwrap_err();
+        assert!(
+            matches!(err, bolt_serve::ServeError::NoEngine { .. }),
+            "got {err:?}"
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.rejected_no_engine, 3);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(
+        stats.resolved(),
+        0,
+        "rejected-at-admission requests never enter the resolution pipeline"
+    );
+
+    // Same registry, online tuning on: the submit is admissible and the
+    // request completes on the heuristic fallback path.
+    let server = online_server(&reg);
+    let outcome = server
+        .submit("mlp-large", sample(7), None)
+        .expect("admitted with online tuning")
+        .wait();
+    let response = completed(outcome);
+    assert!(response.fallback);
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_no_engine, 0);
+    assert_eq!(stats.completed, 1);
+}

@@ -128,6 +128,25 @@ fn serve_stream(reg: &Arc<EngineRegistry>, clients: usize, per_client: usize) ->
         online.tuning_seconds,
         online.resident_bytes as f64 / 1024.0
     );
+    println!(
+        "  health: {} degraded responses, {} breaker trips (open: {:?}), \
+         {} tuner restarts, {} worker restarts",
+        online.degraded_served,
+        online.breaker_trips,
+        online.tripped_models,
+        online.tuner_restarts,
+        stats.worker_restarts
+    );
+    if online.failed_buckets.is_empty() {
+        println!("  failed buckets: none");
+    } else {
+        for failed in &online.failed_buckets {
+            println!(
+                "  failed bucket: ({}, {}) attempts={} retry in {:.0?}: {}",
+                failed.model, failed.bucket, failed.attempts, failed.retry_in, failed.error
+            );
+        }
+    }
     online.tuning_seconds
 }
 
