@@ -19,6 +19,13 @@ use bolt_gpu_sim::GpuArch;
 use bolt_models::{bert, model_by_name};
 use bolt_tensor::DType;
 
+/// Timed repetitions per configuration. Each rep resolves the full
+/// workload set on a fresh (cold-cache) profiler; the reported wall time
+/// is the fastest rep — single-shot wall measurements at this scale
+/// (hundreds of microseconds) are dominated by scheduler noise, and the
+/// minimum is the robust estimator of how fast the engine actually runs.
+const REPS: usize = 7;
+
 struct EngineRun {
     wall_us: f64,
     stats: ProfilerStats,
@@ -26,17 +33,28 @@ struct EngineRun {
 }
 
 fn run_engine(arch: &GpuArch, tasks: &[ProfileTask], pruning: bool, parallel: bool) -> EngineRun {
-    let mut profiler = BoltProfiler::new(arch, 30);
-    profiler.set_pruning(pruning);
-    let start = Instant::now();
-    if parallel {
-        profiler.profile_batch(tasks);
-    } else {
-        for task in tasks {
-            profiler.profile_task(task);
+    let mut wall_us = f64::INFINITY;
+    let mut last = None;
+    // Rep 0 is an untimed warmup (page faults, lazy allocator growth).
+    for rep in 0..=REPS {
+        let mut profiler = BoltProfiler::new(arch, 30);
+        profiler.set_pruning(pruning);
+        let start = Instant::now();
+        if parallel {
+            profiler.profile_batch(tasks);
+        } else {
+            for task in tasks {
+                profiler.profile_task(task);
+            }
         }
+        let elapsed = start.elapsed().as_secs_f64() * 1e6;
+        if rep > 0 {
+            wall_us = wall_us.min(elapsed);
+        }
+        last = Some(profiler);
     }
-    let wall_us = start.elapsed().as_secs_f64() * 1e6;
+    // Winner collection and stats read the (deterministic) last rep.
+    let profiler = last.expect("at least one rep ran");
     let winners = tasks
         .iter()
         .map(|task| profiler.profile_task(task))

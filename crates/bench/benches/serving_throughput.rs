@@ -117,17 +117,20 @@ fn executor_comparison(registry: &Arc<EngineRegistry>) -> Vec<ExecutorRow> {
         plan.run(&input).expect("run");
         plan.run_reference(&input).expect("run_reference");
 
+        // Interleave the two paths so clock-frequency drift over the
+        // measurement window lands on both sides equally.
         let iters = 300;
-        let start = Instant::now();
+        let (mut slot_total, mut ref_total) = (0.0f64, 0.0f64);
         for _ in 0..iters {
+            let start = Instant::now();
             plan.run(&input).expect("run");
-        }
-        let slot_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
-        let start = Instant::now();
-        for _ in 0..iters {
+            slot_total += start.elapsed().as_secs_f64();
+            let start = Instant::now();
             plan.run_reference(&input).expect("run_reference");
+            ref_total += start.elapsed().as_secs_f64();
         }
-        let reference_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let slot_us = slot_total * 1e6 / iters as f64;
+        let reference_us = ref_total * 1e6 / iters as f64;
 
         rows.push(ExecutorRow {
             model,
@@ -136,6 +139,55 @@ fn executor_comparison(registry: &Arc<EngineRegistry>) -> Vec<ExecutorRow> {
             reference_us,
             workspace: plan.workspace_bytes(),
             total_values: plan.total_value_bytes(),
+        });
+    }
+    rows
+}
+
+struct BatchedRow {
+    model: &'static str,
+    batch: usize,
+    batched_us: f64,
+    reference_us: f64,
+}
+
+/// Mean per-batch latency of the batch-native `run_batched` (pack once
+/// into pooled zero-padded buffers, run, slice) vs. the retained
+/// stack/interpret/slice baseline `run_batched_reference`, on each
+/// model's batch-8 engine at 6/8 occupancy (so the zero-padded partial
+/// tail is exercised, as in real serving).
+fn batched_comparison(registry: &Arc<EngineRegistry>) -> Vec<BatchedRow> {
+    let mut rows = Vec::new();
+    for model in EXECUTOR_MODELS {
+        let engines = registry.get(model).expect("registered above");
+        let (bucket, plan) = engines.engine_for(8).expect("batch-8 engine registered");
+        let samples: Vec<Vec<Tensor>> = (0..6).map(|s| sample(model, 100 + s as u64)).collect();
+        plan.run_batched(&samples).expect("run_batched");
+        plan.run_batched(&samples).expect("run_batched warm");
+        plan.run_batched_reference(&samples)
+            .expect("run_batched_reference");
+
+        // Interleaved for the same drift-cancellation reason as the
+        // executor comparison above.
+        let iters = 100;
+        let (mut batched_total, mut ref_total) = (0.0f64, 0.0f64);
+        for _ in 0..iters {
+            let start = Instant::now();
+            plan.run_batched(&samples).expect("run_batched");
+            batched_total += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            plan.run_batched_reference(&samples)
+                .expect("run_batched_reference");
+            ref_total += start.elapsed().as_secs_f64();
+        }
+        let batched_us = batched_total * 1e6 / iters as f64;
+        let reference_us = ref_total * 1e6 / iters as f64;
+
+        rows.push(BatchedRow {
+            model,
+            batch: bucket,
+            batched_us,
+            reference_us,
         });
     }
     rows
@@ -151,8 +203,10 @@ fn main() {
             .register_zoo(model, &[1, 2, 4, 8])
             .expect("zoo model registers");
     }
+    // cnn-small joins the executor sections only (batch-1 latency and
+    // the batch-8 batched-path comparison), not the load curve.
     registry
-        .register_zoo("cnn-small", &[1])
+        .register_zoo("cnn-small", &[1, 8])
         .expect("cnn registers");
 
     let mut table = Table::new(&[
@@ -258,11 +312,44 @@ fn main() {
     );
     exec_table.write_csv("serving_executor");
 
+    // Per-batch host cost: the batch-native packed path vs. the old
+    // stack/interpret/slice baseline.
+    let batched = batched_comparison(&registry);
+    let mut batch_table = Table::new(&["model", "bucket", "run_batched", "reference", "speedup"]);
+    let mut json_batched = Vec::new();
+    for row in &batched {
+        batch_table.row(&[
+            row.model.to_string(),
+            row.batch.to_string(),
+            fmt_us(row.batched_us),
+            fmt_us(row.reference_us),
+            format!("{:.2}x", row.reference_us / row.batched_us),
+        ]);
+        json_batched.push(format!(
+            concat!(
+                "    {{\"model\": \"{}\", \"bucket\": {}, \"run_batched_us\": {:.2}, ",
+                "\"reference_us\": {:.2}, \"speedup\": {:.3}}}"
+            ),
+            row.model,
+            row.batch,
+            row.batched_us,
+            row.reference_us,
+            row.reference_us / row.batched_us,
+        ));
+    }
+    batch_table.print(
+        "Batched path: batch-native run_batched vs. stack/interpret/slice \
+         baseline (batch-8 engines at 6/8 occupancy, mean of 100 batches)",
+    );
+    batch_table.write_csv("serving_batched");
+
     let json = format!(
         "{{\n  \"models\": [\"mlp-small\", \"mlp-large\"],\n  \"workers\": 4,\n  \
-         \"max_batch\": 8,\n  \"levels\": [\n{}\n  ],\n  \"executor\": [\n{}\n  ]\n}}\n",
+         \"max_batch\": 8,\n  \"levels\": [\n{}\n  ],\n  \"executor\": [\n{}\n  ],\n  \
+         \"batched\": [\n{}\n  ]\n}}\n",
         json_levels.join(",\n"),
-        json_exec.join(",\n")
+        json_exec.join(",\n"),
+        json_batched.join(",\n")
     );
     let dir = experiments_dir();
     let _ = std::fs::create_dir_all(&dir);

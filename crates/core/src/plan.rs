@@ -27,11 +27,12 @@
 //! semantic oracle and benchmark baseline.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile, KernelTime, Timeline};
 use bolt_graph::{Graph, NodeId, OpKind};
-use bolt_tensor::{Layout, Tensor};
+use bolt_tensor::conv_ref::filter_as_matrix;
+use bolt_tensor::{Layout, MatrixLayout, Tensor};
 
 use crate::config::BoltConfig;
 use crate::error::BoltError;
@@ -54,6 +55,10 @@ use crate::Result;
 pub struct PackedConsts {
     /// Prepacked weight operands (dense `(in, units)`, filters KRSC).
     pub weights: Vec<Arc<Tensor>>,
+    /// Conv filters additionally prepacked as implicit-GEMM `B` operands
+    /// (`(R*S*C, K)` row-major), one per conv stage — the per-call
+    /// `filter_as_matrix` repack the old executor paid on every run.
+    pub filter_mats: Vec<Arc<Tensor>>,
     /// Per-stage bias vectors, if present.
     pub biases: Vec<Option<Arc<Tensor>>>,
     /// False when the graph carries shapes-only parameters (nothing to
@@ -190,6 +195,74 @@ impl SlotPlan {
 }
 
 // ---------------------------------------------------------------------------
+// Workspace pool
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch memory for one in-flight run.
+///
+/// A plan keeps a pool of these ([`ExecutionPlan`] `pool` field); `run` /
+/// `run_batched` acquire a workspace, thread it through every step, and
+/// release it back when done. After a couple of warmup runs the spare
+/// stack holds a buffer for every intermediate the plan produces, so the
+/// steady-state hot path performs **zero** heap allocations for
+/// intermediates (only escaping outputs are freshly allocated).
+#[derive(Debug, Default)]
+struct Workspace {
+    /// Retired intermediate buffers, LIFO. The executor's lease/recycle
+    /// sequence is deterministic per plan, so pop-from-the-top hands each
+    /// step the same (already right-sized) buffer on every run.
+    spare: Vec<Vec<f32>>,
+    /// GEMM tile accumulator scratch.
+    acc: Vec<f32>,
+    /// im2col scratch for conv steps.
+    cols: Vec<f32>,
+    /// Persistent-kernel intermediate scratch (B2B stage handoff / chain
+    /// ping).
+    d0: Vec<f32>,
+    /// Chain pong scratch.
+    d1: Vec<f32>,
+}
+
+impl Workspace {
+    /// Pops a spare buffer (or allocates on the first runs) and resizes
+    /// it to `numel`. Callers overwrite every element.
+    fn lease(&mut self, numel: usize) -> Vec<f32> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.resize(numel, 0.0);
+        buf
+    }
+
+    /// Returns a retired buffer to the spare stack.
+    fn recycle(&mut self, buf: Vec<f32>) {
+        self.spare.push(buf);
+    }
+}
+
+/// Upper bound on pooled workspaces (one per concurrently executing
+/// run; beyond this, extra workspaces are simply dropped).
+const WORKSPACE_POOL_CAP: usize = 8;
+
+/// A value resident in a buffer slot during one run. Graph inputs that
+/// are already in the internal layout are borrowed straight from the
+/// caller's slice — the old executor cloned every input up front.
+enum Value<'a> {
+    /// An intermediate (or converted input) owned by this run; its
+    /// backing buffer is recycled into the workspace when it dies.
+    Owned(Tensor),
+    /// A caller-owned input, borrowed for the duration of the run.
+    Borrowed(&'a Tensor),
+}
+
+impl Value<'_> {
+    fn get(&self) -> &Tensor {
+        match self {
+            Value::Owned(t) => t,
+            Value::Borrowed(t) => t,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Step observation
 // ---------------------------------------------------------------------------
 
@@ -224,6 +297,35 @@ pub struct StepTimings {
     pub steps: Vec<StepTiming>,
 }
 
+impl StepTimings {
+    /// Scales the compute portion of every step by batch occupancy
+    /// (`rows / capacity`), keeping launch overhead intact.
+    ///
+    /// A partial batch still launches every kernel, but the zero-padded
+    /// tail rows are not real work — attributing the full bucket-sized
+    /// kernel time to a half-empty launch overstates per-sample cost.
+    #[must_use]
+    pub fn scaled_occupancy(&self, rows: usize, capacity: usize) -> StepTimings {
+        let frac = if capacity == 0 {
+            1.0
+        } else {
+            (rows.min(capacity) as f64) / capacity as f64
+        };
+        StepTimings {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| StepTiming {
+                    index: s.index,
+                    name: s.name.clone(),
+                    total_us: s.launch_us + (s.total_us - s.launch_us) * frac,
+                    launch_us: s.launch_us,
+                })
+                .collect(),
+        }
+    }
+}
+
 impl StepObserver for StepTimings {
     fn observe(&mut self, index: usize, step: &Step, time: &KernelTime) {
         self.steps.push(StepTiming {
@@ -251,35 +353,80 @@ pub struct ExecutionPlan {
     packed: Vec<PackedConsts>,
     /// The memory plan.
     slots: SlotPlan,
+    /// Pool of reusable run workspaces (LIFO).
+    pool: Mutex<Vec<Workspace>>,
 }
 
 /// Looks up values for host ops during slot execution: fused-chain
 /// locals first, then the slot table (params resolve inside
 /// `run_host_op` via the graph).
-struct HostScope<'a> {
+struct HostScope<'a, 'b> {
     plan: &'a ExecutionPlan,
-    state: &'a [Option<Tensor>],
+    state: &'a [Option<Value<'b>>],
     locals: &'a HashMap<NodeId, Tensor>,
 }
 
-impl ValueLookup for HostScope<'_> {
+impl ValueLookup for HostScope<'_, '_> {
     fn lookup(&self, id: NodeId) -> Option<&Tensor> {
         self.locals.get(&id).or_else(|| {
             self.plan
                 .slots
                 .slot_of
                 .get(&id)
-                .and_then(|&slot| self.state[slot].as_ref())
+                .and_then(|&slot| self.state[slot].as_ref().map(Value::get))
         })
     }
 }
 
+/// Drops standalone [`StepKind::PadChannels`] steps whose padding a
+/// downstream conv step absorbs (fusion-aware plan building).
+///
+/// A pad step forwards its input unchanged (`output == inputs[0]`) — it
+/// exists only to charge the padding kernel Bolt's §3.2.3 transform
+/// would launch. The implicit-GEMM lowering reads missing channels as
+/// zero directly from the unpadded NHWC activation, so when persistent
+/// kernels are enabled the pad is folded into the consuming conv's main
+/// loop: the step disappears and the conv is marked `pad_fused`.
+fn fold_pad_steps(steps: Vec<Step>, enabled: bool) -> Vec<Step> {
+    if !enabled {
+        return steps;
+    }
+    let padded: Vec<NodeId> = steps
+        .iter()
+        .filter(|s| matches!(s.kind, StepKind::PadChannels { .. }))
+        .map(|s| s.output)
+        .collect();
+    if padded.is_empty() {
+        return steps;
+    }
+    steps
+        .into_iter()
+        .filter(|s| !matches!(s.kind, StepKind::PadChannels { .. }))
+        .map(|mut s| {
+            if let StepKind::Conv2d {
+                pad_to: Some(_),
+                pad_fused,
+                ..
+            } = &mut s.kind
+            {
+                if s.inputs.iter().any(|i| padded.contains(i)) {
+                    *pad_fused = true;
+                }
+            }
+            s
+        })
+        .collect()
+}
+
 impl ExecutionPlan {
-    /// Builds a plan from lowered steps: prepacks every constant the
-    /// graph materializes and runs the liveness pass. Shapes-only graphs
-    /// build fine (timing needs no parameter data); their steps are
-    /// marked unmaterialized and functional runs fail lazily.
+    /// Builds a plan from lowered steps: folds standalone pad steps into
+    /// their consuming convs (when persistent kernels are enabled),
+    /// prepacks every constant the graph materializes, and runs the
+    /// liveness pass. Shapes-only graphs build fine (timing needs no
+    /// parameter data); their steps are marked unmaterialized and
+    /// functional runs fail lazily.
     pub fn build(arch: GpuArch, graph: Graph, steps: Vec<Step>, config: BoltConfig) -> Self {
+        let steps = fold_pad_steps(steps, config.persistent_kernels);
         let slots = SlotPlan::build(&graph, &steps);
         let plan = ExecutionPlan {
             arch,
@@ -288,6 +435,7 @@ impl ExecutionPlan {
             config,
             packed: Vec::new(),
             slots,
+            pool: Mutex::new(Vec::new()),
         };
         let packed = plan
             .steps
@@ -295,6 +443,17 @@ impl ExecutionPlan {
             .map(|step| plan.pack_step(step).unwrap_or_default())
             .collect();
         ExecutionPlan { packed, ..plan }
+    }
+
+    fn acquire_workspace(&self) -> Workspace {
+        self.pool.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn release_workspace(&self, ws: Workspace) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < WORKSPACE_POOL_CAP {
+            pool.push(ws);
+        }
     }
 
     /// The executable steps in order.
@@ -364,6 +523,7 @@ impl ExecutionPlan {
             .flat_map(|p| {
                 p.weights
                     .iter()
+                    .chain(p.filter_mats.iter())
                     .map(|w| (w.numel() * w.dtype().size_bytes()) as u64)
                     .chain(
                         p.biases
@@ -473,39 +633,53 @@ impl ExecutionPlan {
     fn run_impl(
         &self,
         inputs: &[Tensor],
+        observer: Option<&mut dyn StepObserver>,
+    ) -> Result<Vec<Tensor>> {
+        let mut ws = self.acquire_workspace();
+        let result = self.run_with_workspace(inputs, &mut ws, observer);
+        self.release_workspace(ws);
+        result
+    }
+
+    fn run_with_workspace<'a>(
+        &self,
+        inputs: &'a [Tensor],
+        ws: &mut Workspace,
         mut observer: Option<&mut dyn StepObserver>,
     ) -> Result<Vec<Tensor>> {
         let input_ids = self.graph.input_ids();
         self.validate_inputs(inputs, &input_ids)?;
 
-        let mut state: Vec<Option<Tensor>> = vec![None; self.slots.slot_bytes.len()];
+        let mut state: Vec<Option<Value<'a>>> = Vec::with_capacity(self.slots.slot_bytes.len());
+        state.resize_with(self.slots.slot_bytes.len(), || None);
         for (&id, tensor) in input_ids.iter().zip(inputs) {
-            let value = if tensor.shape().rank() == 4 {
-                // Normalize to NHWC internally (Bolt's layout transform).
-                if tensor.layout() == Layout::Nhwc {
-                    tensor.clone()
-                } else {
-                    tensor.to_activation_layout(Layout::Nhwc)?
-                }
+            // Normalize rank-4 activations to NHWC internally (Bolt's
+            // layout transform); anything already in the internal layout
+            // is borrowed in place, clone-free.
+            let value = if tensor.shape().rank() == 4 && tensor.layout() != Layout::Nhwc {
+                Value::Owned(tensor.to_activation_layout(Layout::Nhwc)?)
             } else {
-                tensor.clone()
+                Value::Borrowed(tensor)
             };
             state[self.slots.slot_of[&id]] = Some(value);
         }
 
         for (i, step) in self.steps.iter().enumerate() {
-            let produced = self.execute_step(i, step, &state)?;
+            let produced = self.execute_step(i, step, &state, ws)?;
             if let Some(obs) = observer.as_deref_mut() {
                 let time = self.step_time(step);
                 obs.observe(i, step, &time);
             }
             // Release dying inputs, then store: the output may reuse a
-            // slot released on this very step.
+            // slot released on this very step. Owned buffers go back to
+            // the workspace for the next step (or run) to lease.
             for &slot in &self.slots.release_after[i] {
-                state[slot] = None;
+                if let Some(Value::Owned(t)) = state[slot].take() {
+                    ws.recycle(t.into_data());
+                }
             }
             if let Some(tensor) = produced {
-                state[self.slots.slot_of[&step.output]] = Some(tensor);
+                state[self.slots.slot_of[&step.output]] = Some(Value::Owned(tensor));
             }
         }
 
@@ -516,8 +690,13 @@ impl ExecutionPlan {
             // Move the value out of its slot unless a later output reads
             // the same node again.
             let taken = match slot {
-                Some(s) if outs[k + 1..].contains(&out) => state[s].clone(),
-                Some(s) => state[s].take(),
+                Some(s) if outs[k + 1..].contains(&out) => {
+                    state[s].as_ref().map(|v| v.get().clone())
+                }
+                Some(s) => state[s].take().map(|v| match v {
+                    Value::Owned(t) => t,
+                    Value::Borrowed(t) => t.clone(),
+                }),
                 None => None,
             };
             let t = taken.ok_or_else(|| BoltError::BadInput {
@@ -525,7 +704,9 @@ impl ExecutionPlan {
             })?;
             // Convert activations back to the framework's NCHW convention.
             let t = if t.shape().rank() == 4 && t.layout() == Layout::Nhwc {
-                t.to_activation_layout(Layout::Nchw)?
+                let nchw = t.to_activation_layout(Layout::Nchw)?;
+                ws.recycle(t.into_data());
+                nchw
             } else {
                 t
             };
@@ -568,24 +749,42 @@ impl ExecutionPlan {
         Ok(())
     }
 
-    fn value<'a>(&self, state: &'a [Option<Tensor>], id: NodeId) -> Result<&'a Tensor> {
+    fn value<'a, 'b>(&self, state: &'a [Option<Value<'b>>], id: NodeId) -> Result<&'a Tensor> {
         self.slots
             .slot_of
             .get(&id)
-            .and_then(|&slot| state[slot].as_ref())
+            .and_then(|&slot| state[slot].as_ref().map(Value::get))
             .ok_or_else(|| BoltError::BadInput {
                 reason: format!("step input {id} not yet computed"),
             })
     }
 
+    /// True when `t` is a rank-2 matrix whose raw data is row-major
+    /// (`row * cols + col`) — the precondition for the allocation-free
+    /// GEMM fast path.
+    fn row_major_2d(t: &Tensor) -> bool {
+        t.shape().rank() == 2
+            && matches!(
+                t.layout(),
+                Layout::Matrix(MatrixLayout::RowMajor) | Layout::Contiguous
+            )
+    }
+
     /// Executes one step against the slot table, borrowing inputs in
-    /// place (no clones on the hot path) and returning the produced
-    /// tensor, if the step produces one.
+    /// place (no clones on the hot path), leasing the output buffer from
+    /// the workspace, and returning the produced tensor, if the step
+    /// produces one.
+    ///
+    /// Each kernel step first tries the allocation-free `run_into` fast
+    /// path (prepacked operands, pooled scratch, direct output write);
+    /// inputs in an unexpected layout fall back to the general `run`
+    /// entry points, which are bit-identical.
     fn execute_step(
         &self,
         index: usize,
         step: &Step,
-        state: &[Option<Tensor>],
+        state: &[Option<Value<'_>>],
+        ws: &mut Workspace,
     ) -> Result<Option<Tensor>> {
         // Prepacked constants, or a lazy repack for shapes-only graphs
         // (which fails with the same missing-parameter error the old
@@ -606,11 +805,59 @@ impl ExecutionPlan {
                     Some(r) => Some(self.value(state, *r)?),
                     None => packed.biases[0].as_deref(),
                 };
+                if Self::row_major_2d(a) && Self::row_major_2d(&packed.weights[0]) {
+                    let p = &kernel.problem;
+                    // Tensor stores quantize, so a weight tensor of the
+                    // kernel's element dtype holds exactly-representable
+                    // values and the per-load rounding can be skipped.
+                    let wq = packed.weights[0].dtype() == p.element;
+                    let mut buf = ws.lease(p.m * p.n);
+                    kernel.run_into(
+                        a.data(),
+                        packed.weights[0].data(),
+                        c,
+                        &mut ws.acc,
+                        &mut buf,
+                        wq,
+                    )?;
+                    let d =
+                        Tensor::from_quantized_vec(&[p.m, p.n], kernel.epilogue.out_dtype, buf)?;
+                    return Ok(Some(d));
+                }
                 let (d, _) = kernel.run(a, &packed.weights[0], c)?;
                 Ok(Some(d))
             }
             StepKind::Conv2d { kernel, pad_to, .. } => {
                 let x = self.value(state, step.inputs[0])?;
+                if x.layout() == Layout::Nhwc {
+                    // The implicit-GEMM lowering reads channels past the
+                    // activation's physical extent as zero, folding the
+                    // channel pad into the main loop — no standalone pad
+                    // kernel, no materialized padded copy.
+                    let p = &kernel.problem;
+                    let in_c = x.dims4().1;
+                    let fq = packed.filter_mats[0].dtype() == kernel.element;
+                    let mut buf = ws.lease(p.n * p.out_h() * p.out_w() * p.k);
+                    kernel.run_into(
+                        x.data(),
+                        in_c,
+                        packed.filter_mats[0].data(),
+                        packed.biases[0].as_deref(),
+                        &mut ws.cols,
+                        &mut ws.acc,
+                        &mut buf,
+                        fq,
+                    )?;
+                    let d = Tensor::from_quantized_vec_nhwc(
+                        p.n,
+                        p.k,
+                        p.out_h(),
+                        p.out_w(),
+                        kernel.epilogue.out_dtype,
+                        buf,
+                    )?;
+                    return Ok(Some(d));
+                }
                 let padded;
                 let x = match pad_to {
                     Some(pc) if x.dims4().1 < *pc => {
@@ -624,6 +871,25 @@ impl ExecutionPlan {
             }
             StepKind::B2bGemm { kernel, .. } => {
                 let a = self.value(state, step.inputs[0])?;
+                if Self::row_major_2d(a) {
+                    let (m, n1) = (kernel.gemm1.m, kernel.gemm1.n);
+                    let wq = packed.weights[0].dtype() == kernel.gemm0.element
+                        && packed.weights[1].dtype() == kernel.gemm1.element;
+                    let mut buf = ws.lease(m * n1);
+                    kernel.run_into(
+                        a.data(),
+                        packed.weights[0].data(),
+                        packed.biases[0].as_deref(),
+                        packed.weights[1].data(),
+                        packed.biases[1].as_deref(),
+                        &mut ws.acc,
+                        &mut ws.d0,
+                        &mut buf,
+                        wq,
+                    )?;
+                    let d = Tensor::from_quantized_vec(&[m, n1], kernel.epilogue1.out_dtype, buf)?;
+                    return Ok(Some(d));
+                }
                 let d = kernel.run(
                     a,
                     &packed.weights[0],
@@ -635,6 +901,31 @@ impl ExecutionPlan {
             }
             StepKind::GemmChain { chain, .. } => {
                 let a = self.value(state, step.inputs[0])?;
+                if Self::row_major_2d(a) {
+                    let last = chain.stages.last().expect("chain has stages");
+                    let (m, n) = (last.problem.m, last.problem.n);
+                    let w_slices: Vec<&[f32]> = packed.weights.iter().map(|w| w.data()).collect();
+                    let b_refs: Vec<Option<&Tensor>> =
+                        packed.biases.iter().map(|b| b.as_deref()).collect();
+                    let wq = chain
+                        .stages
+                        .iter()
+                        .zip(packed.weights.iter())
+                        .all(|(stage, w)| w.dtype() == stage.problem.element);
+                    let mut buf = ws.lease(m * n);
+                    chain.run_into(
+                        a.data(),
+                        &w_slices,
+                        &b_refs,
+                        &mut ws.acc,
+                        &mut ws.d0,
+                        &mut ws.d1,
+                        &mut buf,
+                        wq,
+                    )?;
+                    let d = Tensor::from_quantized_vec(&[m, n], last.epilogue.out_dtype, buf)?;
+                    return Ok(Some(d));
+                }
                 let w_refs: Vec<&Tensor> = packed.weights.iter().map(|w| w.as_ref()).collect();
                 let b_refs: Vec<Option<&Tensor>> =
                     packed.biases.iter().map(|b| b.as_deref()).collect();
@@ -643,6 +934,35 @@ impl ExecutionPlan {
             }
             StepKind::B2bConv { kernel, pad_to, .. } => {
                 let x = self.value(state, step.inputs[0])?;
+                if x.layout() == Layout::Nhwc {
+                    let p1 = &kernel.conv1;
+                    let in_c = x.dims4().1;
+                    let fq = packed.filter_mats[0].dtype() == kernel.element
+                        && packed.filter_mats[1].dtype() == kernel.element;
+                    let mut buf = ws.lease(p1.n * p1.out_h() * p1.out_w() * p1.k);
+                    kernel.run_into(
+                        x.data(),
+                        in_c,
+                        packed.filter_mats[0].data(),
+                        packed.biases[0].as_deref(),
+                        packed.filter_mats[1].data(),
+                        packed.biases[1].as_deref(),
+                        &mut ws.cols,
+                        &mut ws.acc,
+                        &mut ws.d0,
+                        &mut buf,
+                        fq,
+                    )?;
+                    let d = Tensor::from_quantized_vec_nhwc(
+                        p1.n,
+                        p1.k,
+                        p1.out_h(),
+                        p1.out_w(),
+                        kernel.epilogue1.out_dtype,
+                        buf,
+                    )?;
+                    return Ok(Some(d));
+                }
                 let padded;
                 let x = match pad_to {
                     Some(pc) if x.dims4().1 < *pc => {
@@ -735,11 +1055,12 @@ impl ExecutionPlan {
         })
     }
 
-    /// Batch-slicing execution for the serving layer: stacks per-request
-    /// single-sample inputs along the batch dimension, pads the tail of a
-    /// partial batch by replicating the last sample, runs the whole batch
-    /// once, and slices the outputs back per sample (padding rows are
-    /// dropped).
+    /// Batch-native execution for the serving layer: packs per-request
+    /// single-sample inputs once into pooled, zero-padded batch buffers
+    /// (rank-4 NCHW samples are transposed straight into the NHWC batch
+    /// — no intermediate stacked tensor, no layout pass over the whole
+    /// batch), runs through the pooled-workspace executor, and slices
+    /// the outputs back per sample (padding rows are dropped).
     ///
     /// `samples[s]` holds sample `s`'s inputs in `Graph::input_ids`
     /// order, each with batch dimension 1. At most
@@ -751,7 +1072,42 @@ impl ExecutionPlan {
     /// list, per-sample arity/shape mismatches, or any error from
     /// [`ExecutionPlan::run`].
     pub fn run_batched(&self, samples: &[Vec<Tensor>]) -> Result<Vec<Vec<Tensor>>> {
+        let mut ws = self.acquire_workspace();
+        let result = self.run_batched_with(samples, &mut ws);
+        self.release_workspace(ws);
+        result
+    }
+
+    fn run_batched_with(
+        &self,
+        samples: &[Vec<Tensor>],
+        ws: &mut Workspace,
+    ) -> Result<Vec<Vec<Tensor>>> {
         let capacity = self.batch_size()?;
+        self.validate_batch(samples, capacity)?;
+        let input_ids = self.graph.input_ids();
+
+        let mut batched = Vec::with_capacity(input_ids.len());
+        for (i, &id) in input_ids.iter().enumerate() {
+            batched.push(self.pack_batch_column(samples, i, id, capacity, ws)?);
+        }
+        let outputs = self.run_with_workspace(&batched, ws, None);
+        // The packed batch buffers feed the next call.
+        for t in batched {
+            ws.recycle(t.into_data());
+        }
+        let outputs = outputs?;
+
+        let mut per_sample = vec![Vec::with_capacity(outputs.len()); samples.len()];
+        for output in &outputs {
+            for (s, slot) in per_sample.iter_mut().enumerate() {
+                slot.push(slice_batch(output, s)?);
+            }
+        }
+        Ok(per_sample)
+    }
+
+    fn validate_batch(&self, samples: &[Vec<Tensor>], capacity: usize) -> Result<()> {
         if samples.is_empty() {
             return Err(BoltError::BadInput {
                 reason: "run_batched needs at least one sample".into(),
@@ -773,13 +1129,93 @@ impl ExecutionPlan {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Packs input column `i` of every sample into one pooled batch
+    /// buffer: each sample's row block is copied (rank-4 NCHW samples
+    /// are transposed to NHWC in the same pass) and the padding tail is
+    /// zero-filled — padded rows are dead weight, not replicas that
+    /// could leak another request's activations.
+    fn pack_batch_column(
+        &self,
+        samples: &[Vec<Tensor>],
+        i: usize,
+        id: NodeId,
+        capacity: usize,
+        ws: &mut Workspace,
+    ) -> Result<Tensor> {
+        let want = &self.graph.node(id).shape;
+        let proto = &samples[0][i];
+        let per = want.numel() / capacity.max(1);
+        let mut buf = ws.lease(capacity * per);
+        for (s, sample) in samples.iter().enumerate() {
+            let t = &sample[i];
+            let got = crate::runtime::logical_dims(t);
+            let ok = got.len() == want.rank()
+                && !got.is_empty()
+                && got[0] == 1
+                && got[1..] == want.dims()[1..];
+            if !ok {
+                return Err(BoltError::BadInput {
+                    reason: format!(
+                        "sample {s} input {i}: expected batch-1 shape of {want}, got {got:?}"
+                    ),
+                });
+            }
+            let dst = &mut buf[s * per..(s + 1) * per];
+            if want.rank() == 4 && t.layout() != Layout::Nhwc {
+                // NCHW (or contiguous) sample → NHWC row block.
+                let (_, c, h, w) = t.dims4();
+                let src = t.data();
+                for ci in 0..c {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            dst[(hi * w + wi) * c + ci] = src[(ci * h + hi) * w + wi];
+                        }
+                    }
+                }
+            } else {
+                dst.copy_from_slice(t.data());
+            }
+        }
+        buf[samples.len() * per..].fill(0.0);
+        if want.rank() == 4 {
+            let dims = want.dims();
+            Ok(Tensor::from_quantized_vec_nhwc(
+                capacity,
+                dims[1],
+                dims[2],
+                dims[3],
+                proto.dtype(),
+                buf,
+            )?)
+        } else {
+            let mut dims = want.dims().to_vec();
+            dims[0] = capacity;
+            Ok(Tensor::from_quantized_vec(&dims, proto.dtype(), buf)?)
+        }
+    }
+
+    /// The pre-refactor serving path, kept as the batched oracle and
+    /// benchmark baseline: stack every sample into a fresh batch tensor
+    /// (one allocation plus a whole-batch layout pass per input), run
+    /// the reference interpreter, and slice the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ExecutionPlan::run_batched`].
+    pub fn run_batched_reference(&self, samples: &[Vec<Tensor>]) -> Result<Vec<Vec<Tensor>>> {
+        let capacity = self.batch_size()?;
+        self.validate_batch(samples, capacity)?;
+        let arity = self.graph.input_ids().len();
 
         let mut batched = Vec::with_capacity(arity);
         for i in 0..arity {
             let columns: Vec<&Tensor> = samples.iter().map(|s| &s[i]).collect();
             batched.push(stack_batch(&columns, capacity)?);
         }
-        let outputs = self.run(&batched)?;
+        let outputs = self.run_reference(&batched)?;
 
         let mut per_sample = vec![Vec::with_capacity(outputs.len()); samples.len()];
         for output in &outputs {
@@ -825,14 +1261,17 @@ impl ExecutionPlan {
                 packed.biases.push(self.packed_bias(*bias)?);
             }
             StepKind::Conv2d {
+                kernel,
                 filter,
                 bias,
                 pad_to,
                 ..
             } => {
+                let krsc = pack_conv_filter(self.param(*filter)?, *pad_to);
                 packed
-                    .weights
-                    .push(Arc::new(pack_conv_filter(self.param(*filter)?, *pad_to)));
+                    .filter_mats
+                    .push(Arc::new(filter_as_matrix(&kernel.problem, &krsc)?));
+                packed.weights.push(Arc::new(krsc));
                 packed.biases.push(self.packed_bias(*bias)?);
             }
             StepKind::B2bGemm { w0, b0, w1, b1, .. } => {
@@ -858,19 +1297,23 @@ impl ExecutionPlan {
                 }
             }
             StepKind::B2bConv {
+                kernel,
                 f0,
                 b0,
                 f1,
                 b1,
                 pad_to,
-                ..
             } => {
+                let krsc0 = pack_conv_filter(self.param(*f0)?, *pad_to);
+                let krsc1 = pack_conv_filter(self.param(*f1)?, None);
                 packed
-                    .weights
-                    .push(Arc::new(pack_conv_filter(self.param(*f0)?, *pad_to)));
+                    .filter_mats
+                    .push(Arc::new(filter_as_matrix(&kernel.conv0, &krsc0)?));
                 packed
-                    .weights
-                    .push(Arc::new(pack_conv_filter(self.param(*f1)?, None)));
+                    .filter_mats
+                    .push(Arc::new(filter_as_matrix(&kernel.conv1, &krsc1)?));
+                packed.weights.push(Arc::new(krsc0));
+                packed.weights.push(Arc::new(krsc1));
                 packed.biases.push(self.packed_bias(*b0)?);
                 packed.biases.push(self.packed_bias(*b1)?);
             }

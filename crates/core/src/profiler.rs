@@ -9,11 +9,12 @@
 //!
 //! Two engine-level optimizations keep measurement cost down:
 //!
-//! * **Candidate pruning** — before measuring a candidate, a roofline
-//!   lower bound ([`bolt_cutlass::perf::gemm_lower_bound_us`]) is compared
-//!   against the best time so far; candidates that provably cannot win are
-//!   skipped. The bound is admissible (never exceeds the measured time),
-//!   so the selected winner is bit-identical to exhaustive search.
+//! * **Candidate pruning** — before measuring a candidate, an analytic
+//!   lower bound ([`bolt_cutlass::perf::CandidateBound`]) is compared
+//!   against the best time so far; candidates that provably cannot win
+//!   are skipped *before* their simulator setup (the [`KernelProfile`]) is
+//!   even built. The bound is admissible (never exceeds the measured
+//!   time), so the selected winner is bit-identical to exhaustive search.
 //! * **Batched parallel profiling** — [`BoltProfiler::profile_batch`]
 //!   fans a deduplicated workload set across worker threads. Each unique
 //!   workload is measured exactly once even under contention: the cache
@@ -25,7 +26,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use bolt_cutlass::{ConfigGenerator, Conv2dConfig, Epilogue, GemmConfig, GemmProblem};
-use bolt_gpu_sim::{simulate_kernel, GpuArch};
+use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile};
 use bolt_tensor::conv_ref::Conv2dProblem;
 use bolt_tensor::DType;
 
@@ -160,6 +161,32 @@ impl From<&Epilogue> for Epilogue2 {
 /// one thread runs the initializer, the rest block and read the result.
 type Slot = Arc<OnceLock<Option<ProfiledKernel>>>;
 
+/// Worker threads available to [`BoltProfiler::profile_batch`], resolved
+/// once per process: `std::thread::available_parallelism` reads cgroup
+/// quota files on Linux and costs ~10µs per call — real money next to a
+/// batch that resolves in a few hundred microseconds.
+fn host_parallelism() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Locally-accumulated stats, merged into the shared [`ProfilerStats`]
+/// once per call (or once per worker thread in [`BoltProfiler::profile_batch`])
+/// instead of taking the stats lock per workload.
+#[derive(Debug, Default, Clone, Copy)]
+struct StatsDelta {
+    workloads: usize,
+    measurements: usize,
+    pruned: usize,
+    cache_hits: usize,
+}
+
+impl StatsDelta {
+    fn is_empty(&self) -> bool {
+        self.workloads == 0 && self.measurements == 0 && self.pruned == 0 && self.cache_hits == 0
+    }
+}
+
 /// The profiler: candidate enumeration + pruning + measurement + caching.
 #[derive(Debug)]
 pub struct BoltProfiler {
@@ -225,16 +252,41 @@ impl BoltProfiler {
     /// Concurrent calls with the same key are coalesced: one thread
     /// measures, the others count a cache hit and reuse its result.
     pub fn profile_task(&self, task: &ProfileTask) -> Option<ProfiledKernel> {
+        let mut delta = StatsDelta::default();
+        let result = self.profile_task_with(task, &mut delta);
+        self.merge_stats(&delta);
+        result
+    }
+
+    /// [`BoltProfiler::profile_task`] accumulating stats into a local
+    /// delta instead of the shared lock — the batched path gives each
+    /// worker thread one delta and merges it once at the end.
+    fn profile_task_with(
+        &self,
+        task: &ProfileTask,
+        delta: &mut StatsDelta,
+    ) -> Option<ProfiledKernel> {
         let slot = self.slots.lock().entry(task.key()).or_default().clone();
         let mut ran = false;
         let result = *slot.get_or_init(|| {
             ran = true;
-            self.measure(task)
+            self.measure(task, delta)
         });
         if !ran {
-            self.stats.lock().cache_hits += 1;
+            delta.cache_hits += 1;
         }
         result
+    }
+
+    fn merge_stats(&self, delta: &StatsDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        let mut stats = self.stats.lock();
+        stats.workloads += delta.workloads;
+        stats.measurements += delta.measurements;
+        stats.pruned += delta.pruned;
+        stats.cache_hits += delta.cache_hits;
     }
 
     /// Finds the best template for a GEMM workload (cached).
@@ -286,23 +338,26 @@ impl BoltProfiler {
         if pending.is_empty() {
             return;
         }
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(pending.len())
-            .min(16);
+        let threads = host_parallelism().min(pending.len()).min(16);
         if threads <= 1 {
+            let mut delta = StatsDelta::default();
             for task in &pending {
-                self.profile_task(task);
+                self.profile_task_with(task, &mut delta);
             }
+            self.merge_stats(&delta);
             return;
         }
         let chunk = pending.len().div_ceil(threads);
         let joined = crossbeam::thread::scope(|scope| {
             for tasks in pending.chunks(chunk) {
                 scope.spawn(move |_| {
+                    // Batch this worker's measurements: one local stats
+                    // delta, merged under the lock once per thread.
+                    let mut delta = StatsDelta::default();
                     for task in tasks {
-                        self.profile_task(task);
+                        self.profile_task_with(task, &mut delta);
                     }
+                    self.merge_stats(&delta);
                 });
             }
         });
@@ -323,98 +378,137 @@ impl BoltProfiler {
     }
 
     /// Measures every non-pruned candidate of a task and returns the best.
-    fn measure(&self, task: &ProfileTask) -> Option<ProfiledKernel> {
+    fn measure(&self, task: &ProfileTask, delta: &mut StatsDelta) -> Option<ProfiledKernel> {
         // Chaos: a measurement may stall (slow device, contended stream).
         crate::faults::stall(crate::faults::FaultSite::Profile);
         match task {
-            ProfileTask::Gemm { problem, epilogue } => self.search(
-                self.generator.gemm_candidates(problem),
-                |config| {
-                    bolt_cutlass::perf::gemm_lower_bound_us(&self.arch, problem, config, epilogue)
-                },
-                |config| {
-                    let profile = bolt_cutlass::perf::gemm_profile(
-                        &self.arch, problem, config, epilogue, None,
-                    );
-                    simulate_kernel(&self.arch, &profile).total_us
-                },
-            ),
+            ProfileTask::Gemm { problem, epilogue } => {
+                let bound = bolt_cutlass::perf::CandidateBound::gemm(&self.arch, problem, epilogue);
+                self.search(
+                    self.generator.gemm_candidate_seeds(problem),
+                    |config| {
+                        bolt_cutlass::perf::gemm_search_profile(
+                            &self.arch, problem, config, epilogue, None,
+                        )
+                    },
+                    |seed| bound.lower_bound_us(&self.arch, seed),
+                    delta,
+                )
+            }
             ProfileTask::Conv2d {
                 problem,
                 epilogue,
                 element,
-            } => self.search(
-                self.generator.conv2d_candidates(problem, *element),
-                |config| {
-                    bolt_cutlass::perf::conv2d_lower_bound_us(
-                        &self.arch, problem, config, epilogue, *element,
-                    )
-                },
-                |config| {
-                    let profile = bolt_cutlass::perf::conv2d_profile(
-                        &self.arch, problem, config, epilogue, *element, None,
-                    );
-                    simulate_kernel(&self.arch, &profile).total_us
-                },
-            ),
+            } => {
+                let bound = bolt_cutlass::perf::CandidateBound::conv2d(
+                    &self.arch, problem, epilogue, *element,
+                );
+                self.search(
+                    self.generator.conv2d_candidate_seeds(problem, *element),
+                    |config| {
+                        bolt_cutlass::perf::conv2d_search_profile(
+                            &self.arch, problem, config, epilogue, *element, None,
+                        )
+                    },
+                    |seed| bound.lower_bound_us(&self.arch, seed),
+                    delta,
+                )
+            }
         }
     }
 
-    /// The candidate loop: prune by lower bound against the running best,
-    /// measure the rest, keep the winner. Candidates are visited in
-    /// generator order, so the result is deterministic regardless of how
-    /// workloads are scheduled across threads.
+    /// The candidate loop, visited in generator order (best heuristic
+    /// score first, so a near-best time is established within the first
+    /// few measurements).
+    ///
+    /// With pruning on, every candidate's admissible
+    /// [`bolt_cutlass::perf::CandidateBound`] is evaluated up front —
+    /// without building the candidate's simulator setup (its
+    /// [`KernelProfile`]) — and the candidate with the *lowest* bound is
+    /// measured first to seed the incumbent. Because the bound never
+    /// exceeds a candidate's simulated time, the true winner's bound is at
+    /// most the global minimum simulated time, so the seed is within one
+    /// measurement of optimal and the subsequent in-order pass prunes
+    /// nearly everything: a candidate whose bound exceeds the incumbent's
+    /// time provably cannot beat it. Candidates that survive the bound are
+    /// measured, and the incumbent is replaced only by a strictly better
+    /// time or by an equal time at a lower generator index — exactly the
+    /// tie-break exhaustive search applies — so the selected winner is
+    /// bit-identical to exhaustive search regardless of how workloads are
+    /// scheduled across threads.
     fn search(
         &self,
-        candidates: Vec<GemmConfig>,
-        lower_bound_us: impl Fn(&GemmConfig) -> f64,
-        measure_us: impl Fn(&GemmConfig) -> f64,
+        candidates: Vec<bolt_cutlass::CandidateSeed>,
+        profile_of: impl Fn(&GemmConfig) -> KernelProfile,
+        bound_of: impl Fn(&bolt_cutlass::CandidateSeed) -> f64,
+        delta: &mut StatsDelta,
     ) -> Option<ProfiledKernel> {
         if self.heuristic {
             // Default-config shortcut: price the first legal candidate on
             // the simulator and return it untuned. Deliberately not
             // recorded in the stats — nothing was searched, so heuristic
             // compiles must report zero tuning time.
-            return candidates.first().map(|config| ProfiledKernel {
-                config: *config,
-                time_us: measure_us(config),
+            return candidates.first().map(|seed| ProfiledKernel {
+                config: seed.config,
+                time_us: simulate_kernel(&self.arch, &profile_of(&seed.config)).total_us,
                 candidates: candidates.len(),
             });
         }
-        let mut best: Option<ProfiledKernel> = None;
+        let mut best: Option<(usize, f64)> = None;
         let mut measured = 0usize;
         let mut pruned = 0usize;
-        for config in &candidates {
-            if self.pruning {
-                if let Some(b) = best {
-                    // Evaluating the bound is orders of magnitude cheaper
-                    // than a measurement. The bound is admissible (never
-                    // above the measured time) and the inequality strict,
-                    // so a pruned candidate provably cannot beat `best`
-                    // and the winner matches exhaustive search exactly.
-                    if lower_bound_us(config) > b.time_us {
-                        pruned += 1;
-                        continue;
-                    }
+        if self.pruning {
+            let bounds: Vec<f64> = candidates.iter().map(&bound_of).collect();
+            // Seed with the argmin-bound candidate (earliest on ties).
+            let seed = bounds
+                .iter()
+                .enumerate()
+                .reduce(|min, x| if x.1 < min.1 { x } else { min })
+                .map(|(i, _)| i);
+            if let Some(seed) = seed {
+                let t = simulate_kernel(&self.arch, &profile_of(&candidates[seed].config)).total_us;
+                measured += 1;
+                best = Some((seed, t));
+            }
+            for (i, bound) in bounds.iter().enumerate() {
+                let (best_i, best_us) = best.expect("seeded above");
+                if Some(i) == seed {
+                    continue;
+                }
+                if *bound > best_us {
+                    pruned += 1;
+                    continue;
+                }
+                let t = simulate_kernel(&self.arch, &profile_of(&candidates[i].config)).total_us;
+                measured += 1;
+                // The seed may sit at a higher index than `i`, so an exact
+                // tie must fall to the lower index to match the in-order
+                // exhaustive scan.
+                if t < best_us || (t == best_us && i < best_i) {
+                    best = Some((i, t));
                 }
             }
-            let t = measure_us(config);
-            measured += 1;
-            if best.is_none_or(|b| t < b.time_us) {
-                best = Some(ProfiledKernel {
-                    config: *config,
-                    time_us: t,
-                    candidates: candidates.len(),
-                });
+        } else {
+            for (i, seed) in candidates.iter().enumerate() {
+                let t = simulate_kernel(&self.arch, &profile_of(&seed.config)).total_us;
+                measured += 1;
+                let better = match best {
+                    None => true,
+                    Some((_, best_us)) => t < best_us,
+                };
+                if better {
+                    best = Some((i, t));
+                }
             }
         }
-        {
-            let mut stats = self.stats.lock();
-            stats.workloads += 1;
-            stats.measurements += measured;
-            stats.pruned += pruned;
-        }
-        best
+        delta.workloads += 1;
+        delta.measurements += measured;
+        delta.pruned += pruned;
+        best.map(|(i, time_us)| ProfiledKernel {
+            config: candidates[i].config,
+            time_us,
+            candidates: candidates.len(),
+        })
     }
 
     /// Snapshot of every resolved cache entry.

@@ -279,7 +279,7 @@ fn batch_outermost(layout: Layout) -> bool {
 }
 
 /// Stacks single-sample tensors along the batch dimension into one tensor
-/// of batch `pad_to`, replicating the last sample into any padding rows.
+/// of batch `pad_to`, zero-filling any padding rows.
 /// Every supported layout (NCHW, NHWC, row-major matrix, contiguous)
 /// stores the batch outermost, so stacking is a contiguous copy.
 ///
@@ -337,10 +337,11 @@ pub fn stack_batch(samples: &[&Tensor], pad_to: usize) -> Result<Tensor> {
     for t in samples {
         data.extend_from_slice(t.data());
     }
-    let last = samples.last().unwrap_or(proto);
-    for _ in samples.len()..pad_to {
-        data.extend_from_slice(last.data());
-    }
+    // Zero-pad the tail of a partial batch. Replicating the last sample
+    // (the old behavior) would leak one request's activations into the
+    // padding rows of another's launch and inflate their measured work;
+    // zero rows are dead weight the batch slicing drops.
+    data.resize(per * pad_to, 0.0);
 
     if proto.layout() == Layout::Nhwc {
         let (_, c, h, w) = proto.dims4();
@@ -942,9 +943,9 @@ mod tests {
             let back = slice_batch(&stacked, s).expect("slice");
             assert_eq!(back.data(), sample.data());
         }
-        // Padding rows replicate the last sample.
+        // Padding rows are zero-filled, not replicas of another sample.
         let pad = slice_batch(&stacked, 3).expect("pad slice");
-        assert_eq!(pad.data(), samples[1].data());
+        assert!(pad.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -301,6 +301,162 @@ impl B2bGemmKernel {
         Ok(d1)
     }
 
+    /// Allocation-free streaming execution into a caller-provided buffer.
+    ///
+    /// Walks the same M-stripes as [`B2bGemmKernel::run`], but the
+    /// intermediate `D0` stripe lives in the reusable `d0` scratch (the
+    /// software analogue of the fast-memory residence) instead of a fresh
+    /// tensor per stripe, `A` stripes are read in place, and `D1` stripes
+    /// land directly in `out`. Bit-identical to [`B2bGemmKernel::run`].
+    ///
+    /// On multi-core hosts with a large enough M extent the stripes are
+    /// spread across threads; every stripe is independent, so results are
+    /// unchanged.
+    ///
+    /// `weights_quantized` asserts that `w0` and `w1` are already exactly
+    /// representable in the element dtype (see
+    /// [`GemmKernel::run_into`](crate::gemm::GemmKernel::run_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched operands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_into(
+        &self,
+        a: &[f32],
+        w0: &[f32],
+        c0: Option<&Tensor>,
+        w1: &[f32],
+        c1: Option<&Tensor>,
+        acc: &mut Vec<f32>,
+        d0: &mut Vec<f32>,
+        out: &mut [f32],
+        weights_quantized: bool,
+    ) -> Result<()> {
+        let (m, k0) = (self.gemm0.m, self.gemm0.k);
+        let n1 = self.gemm1.n;
+        if a.len() != m * k0 {
+            return Err(KernelError::Tensor(bolt_tensor::TensorError::shape(
+                "b2b gemm A",
+                &[m * k0],
+                &[a.len()],
+            )));
+        }
+        if out.len() != m * n1 {
+            return Err(KernelError::Tensor(bolt_tensor::TensorError::shape(
+                "b2b gemm D1",
+                &[m * n1],
+                &[out.len()],
+            )));
+        }
+        let tb_m = self.config0.threadblock.m;
+        let stripes = m.div_ceil(tb_m);
+        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        if threads > 1 && stripes > 1 && m >= crate::gemm::PARALLEL_M_ROWS {
+            let workers = threads.min(stripes);
+            let per = stripes.div_ceil(workers);
+            let result = std::sync::Mutex::new(Ok(()));
+            std::thread::scope(|scope| {
+                let mut rest = out;
+                let mut s0 = 0;
+                while s0 < stripes {
+                    let s1 = (s0 + per).min(stripes);
+                    let rows = (s1 * tb_m).min(m) - s0 * tb_m;
+                    let (chunk, tail) = rest.split_at_mut(rows * n1);
+                    rest = tail;
+                    let (lo, hi) = (s0, s1);
+                    let result = &result;
+                    scope.spawn(move || {
+                        let (mut acc, mut d0) = (Vec::new(), Vec::new());
+                        if let Err(e) = self.stripes_into(
+                            a,
+                            w0,
+                            c0,
+                            w1,
+                            c1,
+                            lo,
+                            hi,
+                            &mut acc,
+                            &mut d0,
+                            chunk,
+                            weights_quantized,
+                        ) {
+                            *result.lock().unwrap() = Err(e);
+                        }
+                    });
+                    s0 = s1;
+                }
+            });
+            result.into_inner().unwrap()
+        } else {
+            self.stripes_into(
+                a,
+                w0,
+                c0,
+                w1,
+                c1,
+                0,
+                stripes,
+                acc,
+                d0,
+                out,
+                weights_quantized,
+            )
+        }
+    }
+
+    /// Computes M-stripes `lo..hi`; `out` starts at global row
+    /// `lo * tb_m`.
+    #[allow(clippy::too_many_arguments)]
+    fn stripes_into(
+        &self,
+        a: &[f32],
+        w0: &[f32],
+        c0: Option<&Tensor>,
+        w1: &[f32],
+        c1: Option<&Tensor>,
+        lo: usize,
+        hi: usize,
+        acc: &mut Vec<f32>,
+        d0: &mut Vec<f32>,
+        out: &mut [f32],
+        weights_quantized: bool,
+    ) -> Result<()> {
+        let (m, n0, k0) = (self.gemm0.m, self.gemm0.n, self.gemm0.k);
+        let n1 = self.gemm1.n;
+        let tb_m = self.config0.threadblock.m;
+        let base = lo * tb_m;
+        for s in lo..hi {
+            let row0 = s * tb_m;
+            let rows = tb_m.min(m - row0);
+            let mut k0_kernel = GemmKernel {
+                problem: self.gemm0,
+                config: self.config0,
+                epilogue: self.epilogue0,
+            };
+            k0_kernel.problem.m = rows;
+            d0.resize(rows * n0, 0.0);
+            k0_kernel.run_into(
+                &a[row0 * k0..(row0 + rows) * k0],
+                w0,
+                c0,
+                acc,
+                d0,
+                weights_quantized,
+            )?;
+
+            let mut k1_kernel = GemmKernel {
+                problem: self.gemm1,
+                config: self.config1,
+                epilogue: self.epilogue1,
+            };
+            k1_kernel.problem.m = rows;
+            let out_rows = &mut out[(row0 - base) * n1..(row0 - base + rows) * n1];
+            k1_kernel.run_into(d0, w1, c1, acc, out_rows, weights_quantized)?;
+        }
+        Ok(())
+    }
+
     /// Performance profile of the fused kernel: one launch, no
     /// intermediate DRAM traffic, both main loops' flops, and (for the
     /// smem variant) the staging traffic through shared memory.
@@ -558,6 +714,44 @@ impl B2bConvKernel {
         let d0 = k0.run(input, f0, b0)?;
         let k1 = Conv2dKernel::new(self.conv1, self.config1, self.epilogue1, self.element);
         k1.run(&d0, f1, b1)
+    }
+
+    /// Allocation-free streaming execution into a caller-provided NHWC
+    /// buffer: conv0's output streams through the reusable `d0` scratch
+    /// as a raw NHWC buffer (never materialized as a tensor) and feeds
+    /// conv1 directly, whose output lands in `out`. `fm0`/`fm1` are the
+    /// prepacked `(R*S*C, K)` filter matrices; `in_c <= conv0.c` physical
+    /// input channels are read with the channel pad folded into im2col.
+    /// Bit-identical to [`B2bConvKernel::run`] on the padded input.
+    ///
+    /// `filters_quantized` asserts that `fm0` and `fm1` are already
+    /// exactly representable in the element dtype (see
+    /// [`GemmKernel::run_into`](crate::gemm::GemmKernel::run_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched operands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_into(
+        &self,
+        input_nhwc: &[f32],
+        in_c: usize,
+        fm0: &[f32],
+        b0: Option<&Tensor>,
+        fm1: &[f32],
+        b1: Option<&Tensor>,
+        cols: &mut Vec<f32>,
+        acc: &mut Vec<f32>,
+        d0: &mut Vec<f32>,
+        out: &mut [f32],
+        filters_quantized: bool,
+    ) -> Result<()> {
+        let k0 = Conv2dKernel::new(self.conv0, self.config0, self.epilogue0, self.element);
+        let (m0, n0, _) = self.conv0.implicit_gemm_mnk();
+        d0.resize(m0 * n0, 0.0);
+        k0.run_into(input_nhwc, in_c, fm0, b0, cols, acc, d0, filters_quantized)?;
+        let k1 = Conv2dKernel::new(self.conv1, self.config1, self.epilogue1, self.element);
+        k1.run_into(d0, self.conv1.c, fm1, b1, cols, acc, out, filters_quantized)
     }
 
     /// Performance profile of the fused kernel (one launch, no

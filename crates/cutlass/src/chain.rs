@@ -242,6 +242,67 @@ impl PersistentGemmChain {
         Ok(cur)
     }
 
+    /// Allocation-free execution into a caller-provided buffer: stage
+    /// intermediates ping-pong between the two reusable scratch buffers
+    /// (the software analogue of fast-memory residence), the input is
+    /// read in place, and the final stage writes `out` directly.
+    /// Bit-identical to [`PersistentGemmChain::run`].
+    ///
+    /// `weights_quantized` asserts that every slice in `weights` is
+    /// already exactly representable in its stage's element dtype (see
+    /// [`GemmKernel::run_into`](crate::gemm::GemmKernel::run_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched operands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_into(
+        &self,
+        a: &[f32],
+        weights: &[&[f32]],
+        biases: &[Option<&Tensor>],
+        acc: &mut Vec<f32>,
+        ping: &mut Vec<f32>,
+        pong: &mut Vec<f32>,
+        out: &mut [f32],
+        weights_quantized: bool,
+    ) -> Result<()> {
+        if weights.len() != self.stages.len() || biases.len() != self.stages.len() {
+            return Err(KernelError::unsupported(
+                "one weight/bias per stage required",
+            ));
+        }
+        let last = self.stages.len() - 1;
+        for (i, ((stage, w), b)) in self.stages.iter().zip(weights).zip(biases).enumerate() {
+            let kernel = GemmKernel {
+                problem: stage.problem,
+                config: stage.config,
+                epilogue: stage.epilogue,
+            };
+            let numel = stage.problem.m * stage.problem.n;
+            if i == last {
+                let src: &[f32] = if i == 0 {
+                    a
+                } else if i % 2 == 1 {
+                    ping
+                } else {
+                    pong
+                };
+                kernel.run_into(src, w, *b, acc, out, weights_quantized)?;
+            } else if i == 0 {
+                ping.resize(numel, 0.0);
+                kernel.run_into(a, w, *b, acc, ping, weights_quantized)?;
+            } else if i % 2 == 1 {
+                pong.resize(numel, 0.0);
+                kernel.run_into(ping, w, *b, acc, pong, weights_quantized)?;
+            } else {
+                ping.resize(numel, 0.0);
+                kernel.run_into(pong, w, *b, acc, ping, weights_quantized)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Performance profile: one launch; only the first stage's `A` and
     /// every stage's weights are read from DRAM; only the last stage's
     /// `D` is written.

@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile, KernelTime};
-use bolt_tensor::conv_ref::{filter_as_matrix, im2col, Conv2dProblem};
+use bolt_tensor::conv_ref::{filter_as_matrix, im2col, im2col_into, Conv2dProblem};
 use bolt_tensor::{DType, Tensor, TensorError};
 
 use crate::epilogue::Epilogue;
@@ -145,6 +145,61 @@ impl Conv2dKernel {
             }
         }
         Ok(out)
+    }
+
+    /// Allocation-free execution into a caller-provided NHWC buffer.
+    ///
+    /// `input_nhwc` is the raw NHWC activation with `in_c` physical
+    /// channels (`in_c <= problem.c`; missing channels read as zero, which
+    /// folds Bolt's channel padding into the im2col lowering instead of
+    /// materializing a padded copy). `filter_matrix` is the prepacked
+    /// `(R*S*C, K)` operand from `filter_as_matrix`, `cols`/`acc` are
+    /// reusable scratch buffers, and `out` receives the NHWC output.
+    ///
+    /// No fold-back pass exists on this path: the implicit GEMM's
+    /// row-major `(N*P*Q, K)` result *is* the NHWC layout (`row * K + k`
+    /// equals `((n*P + oy)*Q + ox)*K + k`), so the GEMM epilogue writes
+    /// the output activation directly. Bit-identical to
+    /// [`Conv2dKernel::run`] on the channel-padded input.
+    ///
+    /// `filter_quantized` is forwarded as the GEMM's `b_quantized`
+    /// assertion: pass `true` only when every element of `filter_matrix`
+    /// is already exactly representable in the problem's element dtype
+    /// (see [`GemmKernel::run_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched operands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_into(
+        &self,
+        input_nhwc: &[f32],
+        in_c: usize,
+        filter_matrix: &[f32],
+        bias: Option<&Tensor>,
+        cols: &mut Vec<f32>,
+        acc: &mut Vec<f32>,
+        out: &mut [f32],
+        filter_quantized: bool,
+    ) -> Result<()> {
+        if let Some(b) = bias {
+            if b.shape().rank() != 1 || b.shape().dim(0) != self.problem.k {
+                return Err(KernelError::Tensor(TensorError::shape(
+                    "conv2d bias",
+                    &[self.problem.k],
+                    b.shape().dims(),
+                )));
+            }
+        }
+        let (m, _, kk) = self.problem.implicit_gemm_mnk();
+        cols.resize(m * kk, 0.0);
+        im2col_into(&self.problem, input_nhwc, in_c, cols)?;
+        let gemm = GemmKernel {
+            problem: self.implicit_gemm(),
+            config: self.config.gemm,
+            epilogue: self.epilogue,
+        };
+        gemm.run_into(cols, filter_matrix, bias, acc, out, filter_quantized)
     }
 
     /// The kernel's performance profile for the GPU simulator.

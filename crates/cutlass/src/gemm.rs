@@ -109,6 +109,14 @@ impl fmt::Display for GemmProblem {
     }
 }
 
+/// Minimum GEMM M extent before [`GemmKernel::run_into`] spreads
+/// threadblock M-stripes across host cores. Small-M problems (single
+/// serving requests) stay on the sequential path, so single-request
+/// latency never pays thread spawn/join overhead; large-M problems
+/// (stacked batches, wide im2col matrices) parallelize when the host has
+/// more than one core.
+pub const PARALLEL_M_ROWS: usize = 256;
+
 /// A fully instantiated templated GEMM kernel: problem + config +
 /// epilogue.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -246,6 +254,227 @@ impl GemmKernel {
             None
         };
         Ok((d, reduction))
+    }
+
+    /// Allocation-free execution of one batch entry into a caller-provided
+    /// buffer: `a` is the row-major `(m, k)` operand, `b` the row-major
+    /// `(k, n)` operand, and `out` receives row-major `(m, n)` values
+    /// quantized to the epilogue's output dtype — bit-identical to
+    /// [`GemmKernel::run`]'s result. `acc` is the reusable accumulator
+    /// scratch (resized, never reallocated once warm). The column
+    /// reduction, if the epilogue requests one, is not computed here; use
+    /// [`GemmKernel::run`] when it is needed.
+    ///
+    /// `b_quantized` is the caller's assertion that every element of `b`
+    /// is already exactly representable in the problem's element dtype —
+    /// true for operands read out of a `Tensor` whose dtype equals
+    /// `problem.element`, since tensor stores quantize. Rounding is
+    /// idempotent, so skipping the per-load rounding of `b` is then an
+    /// exact no-op and the result stays bit-identical; pass `false`
+    /// whenever the provenance of `b` is not known.
+    ///
+    /// When the host has more than one core and the problem is large
+    /// enough ([`PARALLEL_M_ROWS`]), the threadblock M-stripes are
+    /// executed data-parallel with `std::thread::scope`; every tile is
+    /// computed independently with unchanged arithmetic order, so the
+    /// result stays bit-identical to the sequential walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if operand lengths disagree with the problem.
+    pub fn run_into(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        c: Option<&Tensor>,
+        acc: &mut Vec<f32>,
+        out: &mut [f32],
+        b_quantized: bool,
+    ) -> Result<()> {
+        let p = &self.problem;
+        if a.len() != p.m * p.k {
+            return Err(KernelError::Tensor(TensorError::shape(
+                "gemm kernel A",
+                &[p.m * p.k],
+                &[a.len()],
+            )));
+        }
+        if b.len() != p.k * p.n {
+            return Err(KernelError::Tensor(TensorError::shape(
+                "gemm kernel B",
+                &[p.k * p.n],
+                &[b.len()],
+            )));
+        }
+        if out.len() != p.m * p.n {
+            return Err(KernelError::Tensor(TensorError::shape(
+                "gemm kernel D",
+                &[p.m * p.n],
+                &[out.len()],
+            )));
+        }
+        self.epilogue.validate_c(c, p.m, p.n)?;
+
+        let tb_m = self.config.threadblock.m;
+        let grid_m = p.m.div_ceil(tb_m);
+        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+        if threads > 1 && grid_m > 1 && p.m >= PARALLEL_M_ROWS {
+            // Data-parallel M-stripes: each worker owns a contiguous run
+            // of threadblock rows, which is a contiguous slice of `out`.
+            let workers = threads.min(grid_m);
+            let per = grid_m.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut rest = out;
+                let mut bm0 = 0;
+                while bm0 < grid_m {
+                    let bm1 = (bm0 + per).min(grid_m);
+                    let rows = (bm1 * tb_m).min(p.m) - bm0 * tb_m;
+                    let (chunk, tail) = rest.split_at_mut(rows * p.n);
+                    rest = tail;
+                    let (b0, b1) = (bm0, bm1);
+                    scope.spawn(move || {
+                        let mut local_acc = Vec::new();
+                        self.stripes_into(a, b, c, b0, b1, &mut local_acc, chunk, b_quantized);
+                    });
+                    bm0 = bm1;
+                }
+            });
+        } else {
+            self.stripes_into(a, b, c, 0, grid_m, acc, out, b_quantized);
+        }
+        Ok(())
+    }
+
+    /// Computes threadblock stripes `bm0..bm1` into `out`, whose first
+    /// element corresponds to global row `bm0 * tb_m`. Tile walk, k-order,
+    /// and rounding are identical to [`GemmKernel::run`]: the global->smem
+    /// stage quantizes each operand element exactly once per k-tile, and
+    /// the MAC loop then reads the staged values — the same numbers
+    /// [`GemmKernel::run`] recomputes per multiply, in the same order.
+    #[allow(clippy::too_many_arguments)]
+    fn stripes_into(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        c: Option<&Tensor>,
+        bm0: usize,
+        bm1: usize,
+        acc: &mut Vec<f32>,
+        out: &mut [f32],
+        b_quantized: bool,
+    ) {
+        let p = &self.problem;
+        let tb = self.config.threadblock;
+        let elt = p.element;
+        let out_dtype = self.epilogue.out_dtype;
+        let grid_n = p.n.div_ceil(tb.n);
+        let split_k = self.config.split_k.max(1);
+        let slice_len = p.k.div_ceil(split_k);
+        let base_row = bm0 * tb.m;
+        // Shared-memory fragments: one A tile and one B tile, rounded
+        // through the element dtype on the staging copy so the inner
+        // product runs on raw f32 values. Staging B pays for itself once
+        // a tile has more than one row to reuse it; single-row tiles
+        // (GEMV-shaped problems) stream operands directly instead, so
+        // the buffers are grown lazily and stay empty for those.
+        let mut a_smem: Vec<f32> = Vec::new();
+        let mut b_smem: Vec<f32> = Vec::new();
+
+        for bm in bm0..bm1 {
+            for bn in 0..grid_n {
+                let row0 = bm * tb.m;
+                let col0 = bn * tb.n;
+                let rows = tb.m.min(p.m - row0);
+                let cols = tb.n.min(p.n - col0);
+                acc.clear();
+                acc.resize(rows * cols, 0.0);
+
+                for slice in 0..split_k {
+                    let slice_start = slice * slice_len;
+                    if slice_start >= p.k {
+                        break;
+                    }
+                    let slice_end = (slice_start + slice_len).min(p.k);
+                    let k_tiles = (slice_end - slice_start).div_ceil(tb.k);
+                    for bk in 0..k_tiles {
+                        let k0 = slice_start + bk * tb.k;
+                        let kk = tb.k.min(slice_end - k0);
+                        if rows == 1 && b_quantized {
+                            // GEMV with pre-quantized B: stream both
+                            // operands straight from global memory.
+                            let acc_row = &mut acc[..cols];
+                            for kc in 0..kk {
+                                let a_val = elt.quantize(a[row0 * p.k + k0 + kc]);
+                                let b_off = (k0 + kc) * p.n + col0;
+                                let b_row = &b[b_off..b_off + cols];
+                                for (d, &b_val) in acc_row.iter_mut().zip(b_row) {
+                                    *d += a_val * b_val;
+                                }
+                            }
+                            continue;
+                        }
+                        if rows == 1 {
+                            // Single-row tile with unknown B provenance:
+                            // staging B has no reuse to pay for itself,
+                            // so quantize it in the stream.
+                            let acc_row = &mut acc[..cols];
+                            for kc in 0..kk {
+                                let a_val = elt.quantize(a[row0 * p.k + k0 + kc]);
+                                let b_off = (k0 + kc) * p.n + col0;
+                                let b_row = &b[b_off..b_off + cols];
+                                for (d, &b_val) in acc_row.iter_mut().zip(b_row) {
+                                    *d += a_val * elt.quantize(b_val);
+                                }
+                            }
+                            continue;
+                        }
+                        if a_smem.len() < rows * kk {
+                            a_smem.resize(rows * kk, 0.0);
+                        }
+                        for r in 0..rows {
+                            for kc in 0..kk {
+                                a_smem[r * kk + kc] = elt.quantize(a[(row0 + r) * p.k + k0 + kc]);
+                            }
+                        }
+                        if !b_quantized {
+                            if b_smem.len() < kk * cols {
+                                b_smem.resize(kk * cols, 0.0);
+                            }
+                            for kc in 0..kk {
+                                for ccol in 0..cols {
+                                    b_smem[kc * cols + ccol] =
+                                        elt.quantize(b[(k0 + kc) * p.n + col0 + ccol]);
+                                }
+                            }
+                        }
+                        for r in 0..rows {
+                            for kc in 0..kk {
+                                let a_val = a_smem[r * kk + kc];
+                                let b_row = if b_quantized {
+                                    let b_off = (k0 + kc) * p.n + col0;
+                                    &b[b_off..b_off + cols]
+                                } else {
+                                    &b_smem[kc * cols..kc * cols + cols]
+                                };
+                                let acc_row = &mut acc[r * cols..r * cols + cols];
+                                for (d, &b_val) in acc_row.iter_mut().zip(b_row) {
+                                    *d += a_val * b_val;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                for r in 0..rows {
+                    for ccol in 0..cols {
+                        let v = self
+                            .epilogue
+                            .apply(acc[r * cols + ccol], row0 + r, col0 + ccol, c);
+                        out[(row0 - base_row + r) * p.n + col0 + ccol] = out_dtype.quantize(v);
+                    }
+                }
+            }
+        }
     }
 
     /// The kernel's performance profile for the GPU simulator.

@@ -17,7 +17,12 @@
 //! combinations" (paper's words) — deliberately small, which is what makes
 //! hardware-native profiling minutes instead of hours.
 
-use bolt_gpu_sim::GpuArch;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bolt_gpu_sim::{GpuArch, Occupancy};
 use bolt_tensor::conv_ref::Conv2dProblem;
 use bolt_tensor::DType;
 
@@ -25,12 +30,83 @@ use crate::gemm::GemmProblem;
 use crate::template::GemmConfig;
 use crate::tiles::TileShape;
 
+/// A candidate template paired with the pricing inputs that depend only on
+/// the base `(threadblock, warp, stages, swizzle)` combination — computed
+/// once per architecture and element type, reused across every workload
+/// and split-K/alignment variant.
+///
+/// The profiler's candidate-pruning bound consumes these instead of
+/// re-deriving them per candidate per workload: occupancy and the latency
+/// hiding factor depend only on the combo's block resources, and the
+/// L2-leak factor of the DRAM model factors into a combo-constant
+/// coefficient times the problem's reduction depth.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateSeed {
+    /// The candidate template itself.
+    pub config: GemmConfig,
+    /// `Occupancy::compute(arch, config.block_resources(element))` —
+    /// alignments and split-K don't change block resources, so the base
+    /// combo's occupancy is exact for every variant.
+    pub occupancy: Occupancy,
+    /// `bolt_gpu_sim::latency_hiding_factor(arch, occupancy.active_warps_per_sm)`.
+    pub latency_factor: f64,
+    /// L2-leak constants: the leak factor of the combo on a problem with
+    /// reduction depth `k` is
+    /// `(leak_unique_frac * sqrt(leak_evict_coeff * k).clamp(1, 3)).clamp(0.02, 1)`.
+    pub leak_unique_frac: f64,
+    /// See [`CandidateSeed::leak_unique_frac`].
+    pub leak_evict_coeff: f64,
+}
+
+impl CandidateSeed {
+    /// Derives the combo-constant pricing inputs for `config` on `arch`.
+    pub fn compute(arch: &GpuArch, config: GemmConfig, element: DType) -> Self {
+        let occupancy = Occupancy::compute(arch, config.block_resources(element));
+        let latency_factor =
+            bolt_gpu_sim::latency_hiding_factor(arch, occupancy.active_warps_per_sm);
+        // The leak constants refactor `perf::l2_leak` into a combo
+        // coefficient times the problem's reduction depth under the
+        // square root.
+        let tb = config.threadblock;
+        let elt = element.size_bytes() as f64;
+        let blocks_per_sm = (arch.smem_per_sm as f64 / config.smem_bytes(element).max(1) as f64)
+            .floor()
+            .max(1.0);
+        let wave_blocks = blocks_per_sm * arch.sm_count as f64;
+        let swizzle_quality: f64 = match config.swizzle {
+            s if s >= 4 => 1.0,
+            2 => 1.6,
+            _ => 3.0,
+        };
+        let unique_frac = (swizzle_quality / wave_blocks.sqrt()).min(1.0);
+        let evict_coeff =
+            unique_frac * wave_blocks * (tb.m + tb.n) as f64 * elt / arch.l2_bytes as f64;
+        CandidateSeed {
+            config,
+            occupancy,
+            latency_factor,
+            leak_unique_frac: unique_frac,
+            leak_evict_coeff: evict_coeff,
+        }
+    }
+}
+
 /// Enumerates candidate template configurations for an architecture.
 #[derive(Debug, Clone)]
 pub struct ConfigGenerator {
     arch: GpuArch,
     /// Hard cap on how many candidates to emit per workload.
     pub max_candidates: usize,
+    /// Legal `(threadblock, warp, stages, swizzle)` combinations per
+    /// element type, enumerated and validated once and reused across
+    /// workloads, each paired with its combo-constant pricing inputs on
+    /// `arch`. Template legality does not depend on the problem shape —
+    /// per-problem alignment clamping always keeps the alignment rule
+    /// satisfied — and neither do block resources (alignments and split-K
+    /// don't change threads/registers/smem), so re-validating the raw menu
+    /// and recomputing occupancy for every workload was pure overhead in
+    /// the profiler's hot path. Shared across clones.
+    base_combos: Arc<Mutex<HashMap<DType, Arc<Vec<CandidateSeed>>>>>,
 }
 
 impl ConfigGenerator {
@@ -39,6 +115,7 @@ impl ConfigGenerator {
         ConfigGenerator {
             arch: arch.clone(),
             max_candidates: 40,
+            base_combos: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -93,75 +170,132 @@ impl ConfigGenerator {
         out
     }
 
-    /// Candidate GEMM configs for `problem`, best-heuristic-score first.
-    pub fn gemm_candidates(&self, problem: &GemmProblem) -> Vec<GemmConfig> {
+    /// The validated base combinations for `element`, building and caching
+    /// them on first use. Alignments are set to the widest the element
+    /// type allows; per-problem clamping only ever narrows them, which
+    /// cannot invalidate a combination (every legality rule other than the
+    /// alignment-range check ignores the alignments, and clamped values
+    /// stay powers of two within the element's vector width).
+    fn base_combos(&self, element: DType) -> Arc<Vec<CandidateSeed>> {
+        if let Some(combos) = self.base_combos.lock().get(&element) {
+            return combos.clone();
+        }
         let stages_menu: &[usize] = if self.arch.compute_capability >= (8, 0) {
             &[3, 4, 2]
         } else {
             &[2]
         };
-        let mut scored: Vec<(f64, GemmConfig)> = Vec::new();
+        // Volta tensor cores expose only the 8x8x4 HMMA shape;
+        // Turing/Ampere use the wide 16x8x16.
+        let instruction = if self.arch.compute_capability < (7, 5) {
+            TileShape::MMA_8X8X4
+        } else {
+            TileShape::MMA_16X8X16
+        };
+        let align = 8usize.min(element.max_vector_elems());
+        let mut combos = Vec::new();
         for tb in self.threadblock_menu() {
             for warp in self.warp_menu(tb) {
                 for &stages in stages_menu {
                     for swizzle in [4u32, 1] {
-                        // Volta tensor cores expose only the 8x8x4 HMMA
-                        // shape; Turing/Ampere use the wide 16x8x16.
-                        let instruction = if self.arch.compute_capability < (7, 5) {
-                            TileShape::MMA_8X8X4
-                        } else {
-                            TileShape::MMA_16X8X16
-                        };
-                        let mut config = GemmConfig {
+                        let config = GemmConfig {
                             threadblock: tb,
                             warp,
                             instruction,
                             stages,
                             swizzle,
-                            alignment_a: 8,
-                            alignment_b: 8,
-                            alignment_c: 8,
+                            alignment_a: align,
+                            alignment_b: align,
+                            alignment_c: align,
                             pipeline: bolt_gpu_sim::Pipeline::TensorCore,
                             split_k: 1,
                         };
-                        let (a, b, c) = problem.max_alignments();
-                        config.alignment_a = config.alignment_a.min(a);
-                        config.alignment_b = config.alignment_b.min(b);
-                        config.alignment_c = config.alignment_c.min(c);
-                        if config.validate(&self.arch, problem.element).is_err() {
-                            continue;
-                        }
-                        scored.push((self.score(problem, &config), config));
-                        // Split-K variants when the plain grid underfills
-                        // the SMs and K is deep enough to slice.
-                        let grid =
-                            problem.batch * problem.m.div_ceil(tb.m) * problem.n.div_ceil(tb.n);
-                        if grid < self.arch.sm_count as usize && problem.k >= 4 * tb.k {
-                            for split_k in [2usize, 4, 8] {
-                                if problem.k < split_k * tb.k {
-                                    break;
-                                }
-                                let mut c = config;
-                                c.split_k = split_k;
-                                if c.validate(&self.arch, problem.element).is_ok() {
-                                    scored.push((self.score(problem, &c), c));
-                                }
-                            }
+                        if config.validate(&self.arch, element).is_ok() {
+                            combos.push(CandidateSeed::compute(&self.arch, config, element));
                         }
                     }
                 }
             }
         }
-        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-        scored
+        let combos = Arc::new(combos);
+        self.base_combos.lock().insert(element, combos.clone());
+        combos
+    }
+
+    /// Candidate GEMM configs for `problem`, best-heuristic-score first.
+    pub fn gemm_candidates(&self, problem: &GemmProblem) -> Vec<GemmConfig> {
+        self.gemm_candidate_seeds(problem)
             .into_iter()
-            .map(|(_, c)| c)
+            .map(|seed| seed.config)
+            .collect()
+    }
+
+    /// [`ConfigGenerator::gemm_candidates`] with each candidate's cached
+    /// [`CandidateSeed`] pricing inputs — the profiler's candidate-pruning
+    /// bound consumes them instead of re-deriving occupancy and the
+    /// combo-constant model factors per candidate.
+    pub fn gemm_candidate_seeds(&self, problem: &GemmProblem) -> Vec<CandidateSeed> {
+        let combos = self.base_combos(problem.element);
+        let (a, b, c) = problem.max_alignments();
+        // Sort compact `(score, combo-index | split-K)` keys instead of
+        // full `(config, occupancy)` tuples: moving the ~160-byte tuples
+        // through the stable sort dominated the cost of candidate
+        // generation, and only the `max_candidates` survivors ever need
+        // materializing. The heuristic score ignores alignments and
+        // split-K, so one evaluation per base combination covers all of
+        // its variants bit-for-bit, and the stable sort keeps equal-score
+        // candidates in push order exactly as the tuple sort did.
+        let mut scored: Vec<(f64, u32)> = Vec::with_capacity(combos.len() * 2);
+        for (idx, seed) in combos.iter().enumerate() {
+            let score = self.score(problem, &seed.config);
+            let key = (idx as u32) << 2;
+            scored.push((score, key));
+            // Split-K variants when the plain grid underfills the SMs and
+            // K is deep enough to slice. No re-validation: no legality
+            // rule besides the power-of-two range check reads `split_k`,
+            // and 2/4/8 always pass it.
+            let tb = seed.config.threadblock;
+            let grid = problem.batch * problem.m.div_ceil(tb.m) * problem.n.div_ceil(tb.n);
+            if grid < self.arch.sm_count as usize && problem.k >= 4 * tb.k {
+                for (log2, split_k) in [(1u32, 2usize), (2, 4), (3, 8)] {
+                    if problem.k < split_k * tb.k {
+                        break;
+                    }
+                    scored.push((score, key | log2));
+                }
+            }
+        }
+        scored.sort_by(|x, y| y.0.total_cmp(&x.0));
+        scored
+            .iter()
             .take(self.max_candidates)
+            .map(|&(_, key)| {
+                let mut seed = combos[(key >> 2) as usize];
+                seed.config.alignment_a = seed.config.alignment_a.min(a);
+                seed.config.alignment_b = seed.config.alignment_b.min(b);
+                seed.config.alignment_c = seed.config.alignment_c.min(c);
+                seed.config.split_k = 1usize << (key & 3);
+                debug_assert!(seed.config.validate(&self.arch, problem.element).is_ok());
+                seed
+            })
             .collect()
     }
 
     /// Candidate configs for a convolution, via its implicit GEMM.
     pub fn conv2d_candidates(&self, problem: &Conv2dProblem, element: DType) -> Vec<GemmConfig> {
+        self.conv2d_candidate_seeds(problem, element)
+            .into_iter()
+            .map(|seed| seed.config)
+            .collect()
+    }
+
+    /// [`ConfigGenerator::conv2d_candidates`] with each candidate's cached
+    /// [`CandidateSeed`] — see [`ConfigGenerator::gemm_candidate_seeds`].
+    pub fn conv2d_candidate_seeds(
+        &self,
+        problem: &Conv2dProblem,
+        element: DType,
+    ) -> Vec<CandidateSeed> {
         let (m, n, k) = problem.implicit_gemm_mnk();
         let gemm = GemmProblem {
             m,
@@ -171,7 +305,7 @@ impl ConfigGenerator {
             element,
             ..GemmProblem::fp16(m, n, k)
         };
-        self.gemm_candidates(&gemm)
+        self.gemm_candidate_seeds(&gemm)
     }
 
     /// Heuristic pre-profiling score (higher = try earlier). This is *not*

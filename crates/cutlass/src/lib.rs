@@ -55,7 +55,7 @@ pub use conv2d::{Conv2dConfig, Conv2dKernel};
 pub use epilogue::{BiasMode, Epilogue};
 pub use error::KernelError;
 pub use gemm::{GemmKernel, GemmProblem};
-pub use generator::ConfigGenerator;
+pub use generator::{CandidateSeed, ConfigGenerator};
 pub use template::GemmConfig;
 pub use tiles::TileShape;
 pub use vendor::VendorLibrary;

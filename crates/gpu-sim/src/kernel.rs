@@ -173,24 +173,11 @@ pub fn simulate_kernel(arch: &GpuArch, profile: &KernelProfile) -> KernelTime {
         };
     }
 
-    // --- Latency-hiding derate from occupancy ----------------------------
-    // Below `latency_hiding_warps` active warps per SM, the SM cannot keep
-    // its pipelines fed; throughput degrades linearly.
-    let hide = arch.params.latency_hiding_warps as f64;
-    let latency_factor = (occ.active_warps_per_sm as f64 / hide).clamp(0.15, 1.0);
-
-    // --- SM utilization from grid size (small grids idle SMs) ------------
+    let latency_factor = latency_hiding_factor(arch, occ.active_warps_per_sm);
     let concurrent_blocks = (occ.blocks_per_sm as u64) * (arch.sm_count as u64);
     let grid = profile.grid_blocks.max(1);
     let waves = grid.div_ceil(concurrent_blocks);
-    // Fraction of block slots actually used across all waves.
-    let slot_utilization = grid as f64 / (waves * concurrent_blocks) as f64;
-    // SMs can't be more idle than the fraction of SMs with zero blocks.
-    let sm_utilization = if grid >= arch.sm_count as u64 {
-        slot_utilization.max(0.5)
-    } else {
-        grid as f64 / arch.sm_count as f64
-    };
+    let sm_utilization = sm_utilization_factor(arch, occ.blocks_per_sm, profile.grid_blocks);
 
     // --- Compute streams --------------------------------------------------
     let eff = profile.mainloop_efficiency.clamp(0.01, 1.0) * latency_factor * sm_utilization;
@@ -263,6 +250,38 @@ pub fn simulate_kernel(arch: &GpuArch, profile: &KernelProfile) -> KernelTime {
     }
 }
 
+/// Latency-hiding derate from occupancy: below
+/// [`ModelParams::latency_hiding_warps`](crate::arch::ModelParams) active
+/// warps per SM the SM cannot keep its pipelines fed, and throughput
+/// degrades linearly (floored at 0.15).
+///
+/// Shared by [`simulate_kernel`] and the profiler's candidate lower bound,
+/// so the bound's derate is *by construction* the one the simulator will
+/// apply.
+pub fn latency_hiding_factor(arch: &GpuArch, active_warps_per_sm: u32) -> f64 {
+    let hide = arch.params.latency_hiding_warps as f64;
+    (active_warps_per_sm as f64 / hide).clamp(0.15, 1.0)
+}
+
+/// SM-utilization derate from grid size: small grids leave SMs idle, and
+/// the last partial wave leaves block slots empty. `blocks_per_sm` is the
+/// occupancy result for the kernel's block shape.
+///
+/// Shared by [`simulate_kernel`] and the profiler's candidate lower bound.
+pub fn sm_utilization_factor(arch: &GpuArch, blocks_per_sm: u32, grid_blocks: u64) -> f64 {
+    let concurrent_blocks = (blocks_per_sm as u64) * (arch.sm_count as u64);
+    let grid = grid_blocks.max(1);
+    if grid >= arch.sm_count as u64 {
+        // Fraction of block slots actually used across all waves...
+        let waves = grid.div_ceil(concurrent_blocks);
+        let slot_utilization = grid as f64 / (waves * concurrent_blocks) as f64;
+        slot_utilization.max(0.5)
+    } else {
+        // ...but SMs can't be more idle than the fraction with zero blocks.
+        grid as f64 / arch.sm_count as f64
+    }
+}
+
 /// A certified analytic lower bound on [`simulate_kernel`]'s `total_us`
 /// for `profile` on `arch`: launch overhead plus the roofline
 /// `max(compute_us, dram_us, smem_us)` with every stream priced at its
@@ -303,6 +322,61 @@ pub fn roofline_lower_bound_us(arch: &GpuArch, profile: &KernelProfile) -> f64 {
 
     let smem_us = if profile.smem_bytes > 0.0 {
         profile.smem_bytes / arch.smem_bytes_per_us()
+    } else {
+        0.0
+    };
+
+    arch.params.launch_overhead_us + compute_us.max(dram_us).max(smem_us)
+}
+
+/// A tighter certified lower bound on [`simulate_kernel`]'s `total_us`:
+/// the roofline of [`roofline_lower_bound_us`] with every derate that is
+/// a *deterministic function of the profile itself* applied — main-loop
+/// efficiency on the compute streams, access-alignment efficiency on
+/// DRAM, bank-conflict slowdown on shared memory.
+///
+/// Admissibility: `simulate_kernel` prices each stream with the same
+/// factors *times* additional factors that are all `<= 1` (latency
+/// hiding, SM utilization) and then only *adds* non-negative terms
+/// (overlap leak, wave-quantization tail). Every stream here is therefore
+/// priced at or above the simulator's effective rate, so this bound never
+/// exceeds the simulated total — while sitting close enough to it that a
+/// profiler can prune most losing candidates instead of simulating them.
+pub fn derated_lower_bound_us(arch: &GpuArch, profile: &KernelProfile) -> f64 {
+    // Same clamp as the simulator: `eff` there is `mainloop * latency *
+    // sm_utilization <= mainloop`, so pricing at `mainloop` alone is an
+    // upper bound on the effective rate.
+    let eff = profile.mainloop_efficiency.clamp(0.01, 1.0);
+    let tc_peak = arch.peak_tflops(Pipeline::TensorCore, profile.dtype) * 1e6; // flops/us
+    let cc_peak = arch.peak_tflops(Pipeline::CudaCore, profile.dtype) * 1e6;
+    let sfu_peak = arch.peak_tflops(Pipeline::Sfu, profile.dtype) * 1e6;
+
+    let tc_us = if profile.flops.tensor_core > 0.0 {
+        profile.flops.tensor_core / (tc_peak * eff)
+    } else {
+        0.0
+    };
+    let cc_us = if profile.flops.cuda_core > 0.0 {
+        profile.flops.cuda_core / (cc_peak * eff)
+    } else {
+        0.0
+    };
+    let sfu_us = if profile.flops.sfu > 0.0 {
+        profile.flops.sfu / (sfu_peak * eff)
+    } else {
+        0.0
+    };
+    let compute_us = tc_us.max(cc_us) + sfu_us;
+
+    // Simulator DRAM rate is `dram_bytes_per_us * alignment * max(sm_util,
+    // 0.6)`; dropping the utilization factor (<= 1) can only raise the rate.
+    let dram_bw =
+        arch.dram_bytes_per_us() * alignment_efficiency(profile.dtype, profile.alignment_elems);
+    let dram_us = (profile.dram_read_bytes + profile.dram_write_bytes) / dram_bw;
+
+    let smem_us = if profile.smem_bytes > 0.0 {
+        profile.smem_bytes * bank_conflict_slowdown(profile.bank_conflict_ways)
+            / arch.smem_bytes_per_us()
     } else {
         0.0
     };
@@ -474,6 +548,43 @@ mod tests {
         let mem = KernelProfile::memory_only("copy", 64.0 * 1024.0 * 1024.0);
         let bound = roofline_lower_bound_us(&t4(), &mem);
         assert!(bound <= simulate_kernel(&t4(), &mem).total_us);
+    }
+
+    #[test]
+    fn derated_bound_is_admissible_and_tighter_than_roofline() {
+        let mut profiles: Vec<KernelProfile> = [512, 1024, 2048, 4096]
+            .iter()
+            .map(|&mnk| big_gemm_profile(mnk))
+            .collect();
+        // Stress the derates the bound is allowed to apply.
+        let mut misaligned = big_gemm_profile(1024);
+        misaligned.alignment_elems = 2;
+        profiles.push(misaligned);
+        let mut conflicted = big_gemm_profile(2048);
+        conflicted.smem_bytes *= 8.0;
+        conflicted.bank_conflict_ways = 4.0;
+        profiles.push(conflicted);
+        let mut inefficient = big_gemm_profile(512);
+        inefficient.mainloop_efficiency = 0.4;
+        profiles.push(inefficient);
+        profiles.push(KernelProfile::memory_only("copy", 64.0 * 1024.0 * 1024.0));
+
+        for p in &profiles {
+            let roofline = roofline_lower_bound_us(&t4(), p);
+            let derated = derated_lower_bound_us(&t4(), p);
+            let t = simulate_kernel(&t4(), p);
+            assert!(
+                derated <= t.total_us,
+                "{}: derated bound {derated} exceeds simulated {}",
+                p.name,
+                t.total_us
+            );
+            assert!(
+                derated >= roofline - 1e-12,
+                "{}: derated bound {derated} below roofline {roofline}",
+                p.name
+            );
+        }
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub mod timeline;
 
 pub use arch::{GpuArch, ModelParams};
 pub use kernel::{
-    roofline_lower_bound_us, simulate_kernel, Boundedness, KernelProfile, KernelTime, PipelineFlops,
+    derated_lower_bound_us, latency_hiding_factor, roofline_lower_bound_us, simulate_kernel,
+    sm_utilization_factor, Boundedness, KernelProfile, KernelTime, PipelineFlops,
 };
 pub use memory::{alignment_efficiency, bank_conflict_slowdown, effective_dram_bandwidth};
 pub use occupancy::{BlockResources, Occupancy, OccupancyLimit};

@@ -56,6 +56,20 @@ fn packed_weight_shapes(model: &CompiledModel) -> Vec<Vec<Vec<usize>>> {
         .collect()
 }
 
+/// Prepacked implicit-GEMM filter-matrix shapes per step, in step order.
+fn packed_filter_mat_shapes(model: &CompiledModel) -> Vec<Vec<Vec<usize>>> {
+    let plan = model.plan();
+    (0..plan.steps().len())
+        .map(|i| {
+            plan.packed_consts(i)
+                .filter_mats
+                .iter()
+                .map(|w| w.shape().dims().to_vec())
+                .collect()
+        })
+        .collect()
+}
+
 fn sample_inputs(model: &str, seed: u64) -> Vec<Tensor> {
     let dims: Vec<usize> = match model {
         "mlp-small" => vec![1, 128],
@@ -109,43 +123,103 @@ fn golden_plan_mlp_small_unfused() {
     assert_eq!(plan.packed_const_bytes(), 100_244);
 }
 
-/// cnn-small exercises the conv path end to end: an NCHW→NHWC boundary
-/// transform, a conv whose 3→8 channel pad is folded into that boundary,
-/// a standalone pad kernel for the 6→8 interior boundary, a host
-/// global-average-pool fallback, and the classifier GEMM.
+/// Fused cnn-small: the 6→8 interior channel pad is folded into the
+/// consuming conv's implicit-GEMM main loop (which reads missing
+/// channels as zero), so the standalone `PadChannels` launch disappears
+/// from the plan entirely — one fewer kernel than the unfused plan.
 #[test]
-fn golden_plan_cnn_small() {
-    for config in [BoltConfig::default(), BoltConfig::epilogue_only()] {
-        let model = compile("cnn-small", 1, config);
-        assert_eq!(
-            step_kinds(&model),
-            vec![
-                "LayoutTransform",
-                "Conv2d",
-                "PadChannels",
-                "Conv2d",
-                "Host",
-                "Gemm",
-            ]
-        );
-        // Filters are prepacked KCRS → KRSC with the channel pad folded
-        // in: conv1 is (6,3,3,3) padded to C=8, conv2 (8,6,3,3) likewise.
-        assert_eq!(
-            packed_weight_shapes(&model),
-            vec![
-                vec![],
-                vec![vec![6, 3, 3, 8]],
-                vec![],
-                vec![vec![8, 3, 3, 8]],
-                vec![],
-                vec![vec![8, 10]],
-            ]
-        );
-        let plan = model.plan();
-        assert_eq!(plan.buffer_slots(), 1, "pad/layout steps are in-place");
-        assert_eq!(plan.workspace_bytes(), 1024, "padded 8×8×8 NHWC × f16");
-        assert!(plan.workspace_bytes() < plan.total_value_bytes());
-    }
+fn golden_plan_cnn_small_fused() {
+    let model = compile("cnn-small", 1, BoltConfig::default());
+    assert_eq!(
+        step_kinds(&model),
+        vec!["LayoutTransform", "Conv2d", "Conv2d", "Host", "Gemm"]
+    );
+    // Filters are prepacked KCRS → KRSC with the channel pad folded
+    // in: conv1 is (6,3,3,3) padded to C=8, conv2 (8,6,3,3) likewise.
+    assert_eq!(
+        packed_weight_shapes(&model),
+        vec![
+            vec![],
+            vec![vec![6, 3, 3, 8]],
+            vec![vec![8, 3, 3, 8]],
+            vec![],
+            vec![vec![8, 10]],
+        ]
+    );
+    // Conv filters are additionally prepacked as implicit-GEMM B
+    // operands (R*S*C, K) so runs skip the per-call matrix repack.
+    assert_eq!(
+        packed_filter_mat_shapes(&model),
+        vec![vec![], vec![vec![72, 6]], vec![vec![72, 8]], vec![], vec![],]
+    );
+    let plan = model.plan();
+    assert_eq!(plan.kernel_count(), 3, "two convs + classifier GEMM");
+    assert_eq!(plan.buffer_slots(), 1, "layout step is in-place");
+    assert_eq!(plan.workspace_bytes(), 1024, "padded 8×8×8 NHWC × f16");
+    assert!(plan.workspace_bytes() < plan.total_value_bytes());
+}
+
+/// Unfused cnn-small keeps the standalone pad kernel: an NCHW→NHWC
+/// boundary transform, a conv whose 3→8 channel pad is folded into that
+/// boundary, a `PadChannels` kernel for the 6→8 interior boundary, a
+/// host global-average-pool fallback, and the classifier GEMM.
+#[test]
+fn golden_plan_cnn_small_unfused() {
+    let model = compile("cnn-small", 1, BoltConfig::epilogue_only());
+    assert_eq!(
+        step_kinds(&model),
+        vec![
+            "LayoutTransform",
+            "Conv2d",
+            "PadChannels",
+            "Conv2d",
+            "Host",
+            "Gemm",
+        ]
+    );
+    assert_eq!(
+        packed_weight_shapes(&model),
+        vec![
+            vec![],
+            vec![vec![6, 3, 3, 8]],
+            vec![],
+            vec![vec![8, 3, 3, 8]],
+            vec![],
+            vec![vec![8, 10]],
+        ]
+    );
+    let plan = model.plan();
+    assert_eq!(plan.kernel_count(), 4, "the pad launch survives unfused");
+    assert_eq!(plan.buffer_slots(), 1, "pad/layout steps are in-place");
+    assert_eq!(plan.workspace_bytes(), 1024, "padded 8×8×8 NHWC × f16");
+    assert!(plan.workspace_bytes() < plan.total_value_bytes());
+}
+
+/// Fused mlp-large: the persistent-kernel pass declines to fuse — the
+/// 512-wide hidden layer fails the threadblock-residence/profitability
+/// check — so the fused plan is identical to the unfused one. This
+/// snapshot pins that decision; `mlp-small` (below) is where the
+/// `kernel_count` drop shows up (3 launches → 2).
+#[test]
+fn golden_plan_mlp_large_fused() {
+    let model = compile("mlp-large", 1, BoltConfig::default());
+    assert_eq!(step_kinds(&model), vec!["Gemm", "Gemm", "Gemm", "Gemm"]);
+    assert_eq!(
+        packed_weight_shapes(&model),
+        vec![
+            vec![vec![256, 512]],
+            vec![vec![512, 512]],
+            vec![vec![512, 128]],
+            vec![vec![128, 10]],
+        ]
+    );
+    let plan = model.plan();
+    assert_eq!(plan.kernel_count(), 4, "residence check rejects the chain");
+    assert_eq!(plan.buffer_slots(), 1, "linear chain reuses one slot");
+    let small_fused = compile("mlp-small", 1, BoltConfig::default());
+    let small_unfused = compile("mlp-small", 1, BoltConfig::epilogue_only());
+    assert_eq!(small_fused.plan().kernel_count(), 2, "B2B pair fused");
+    assert_eq!(small_unfused.plan().kernel_count(), 3, "one per layer");
 }
 
 /// The ISSUE's memory-planner acceptance criterion on a deep model: the
@@ -183,6 +257,47 @@ fn run_paths_agree_bit_for_bit() {
                 .expect(name);
             assert_eq!(batched.len(), 1);
             assert_eq!(slots, batched[0], "{name}: run vs run_batched(1)");
+            let batched_ref = model
+                .plan()
+                .run_batched_reference(std::slice::from_ref(&inputs))
+                .expect(name);
+            assert_eq!(
+                batched, batched_ref,
+                "{name}: run_batched vs run_batched_reference"
+            );
+        }
+    }
+}
+
+mod fused_vs_unfused {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Runs `model` on `values` under `config` and returns the outputs.
+    fn run_with(model: &str, dims: &[usize], values: &[f32], config: BoltConfig) -> Vec<Tensor> {
+        let numel: usize = dims.iter().product();
+        let input = Tensor::from_vec(dims, DType::F16, values[..numel].to_vec()).expect("input");
+        compile(model, 1, config).run(&[input]).expect(model)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Persistent-kernel fusion (B2B GEMMs, GEMM chains, folded pad
+        /// launches) must be a pure scheduling decision: the fused plan
+        /// and the unfused plan agree bit-exactly on arbitrary inputs.
+        #[test]
+        fn fused_plan_matches_unfused_bit_exactly(
+            values in proptest::collection::vec(-4.0f32..4.0, 256..257),
+            (model, dims) in prop_oneof![
+                Just(("mlp-small", vec![1usize, 128])),
+                Just(("mlp-large", vec![1usize, 256])),
+                Just(("cnn-small", vec![1usize, 3, 8, 8])),
+            ],
+        ) {
+            let fused = run_with(model, &dims, &values, BoltConfig::default());
+            let unfused = run_with(model, &dims, &values, BoltConfig::epilogue_only());
+            prop_assert_eq!(fused, unfused);
         }
     }
 }

@@ -441,7 +441,9 @@ fn execute_batch(inner: &Inner, job: &mut BatchJob, busy_until_us: &mut f64) {
     // Price the bucket's kernel timeline on the simulator; the real batch
     // of `batch` requests rides the bucket-sized launch (repeated when
     // the batch was split). The step observer attributes the batch's
-    // latency per kernel, once per launch.
+    // latency per kernel, once per launch — with each launch's compute
+    // scaled by its occupancy, so the zero-padded tail rows of a partial
+    // final launch are not priced as real per-kernel work.
     let mut timings = StepTimings::default();
     let report = placed.engine.time_observed(&mut timings);
     let kernel_us = report.total_us * placed.launches as f64;
@@ -451,8 +453,12 @@ fn execute_batch(inner: &Inner, job: &mut BatchJob, busy_until_us: &mut f64) {
         0.0
     };
     inner.metrics.batch(batch, images_per_sec);
-    for _ in 0..placed.launches {
-        inner.metrics.kernel_times(&timings);
+    let bucket = placed.bucket.max(1);
+    for launch in 0..placed.launches {
+        let rows = (batch - launch * bucket).min(bucket);
+        inner
+            .metrics
+            .kernel_times(&timings.scaled_occupancy(rows, bucket));
     }
 
     // Really compute the batch when the model allows it, bucket-sized

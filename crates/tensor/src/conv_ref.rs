@@ -205,6 +205,79 @@ pub fn im2col(problem: &Conv2dProblem, input: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
+/// [`im2col`] into a caller-provided buffer, reading the input from a raw
+/// NHWC slice with `in_c` physical channels. Channels `in_c..problem.c`
+/// are read as zero, which folds Bolt's channel padding (§3.2.3) into the
+/// lowering itself: callers can feed an unpadded activation to a kernel
+/// compiled for the padded channel count without materializing the pad.
+/// Value-identical to [`im2col`] on the channel-padded input.
+///
+/// # Errors
+///
+/// Returns an error if `in_c` exceeds `problem.c`, or if `input`/`out`
+/// disagree with the problem's input/im2col extents.
+pub fn im2col_into(
+    problem: &Conv2dProblem,
+    input_nhwc: &[f32],
+    in_c: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    let (p, q) = (problem.out_h(), problem.out_w());
+    let (m, _, kk) = problem.implicit_gemm_mnk();
+    if in_c > problem.c {
+        return Err(TensorError::shape(
+            "im2col_into input channels",
+            &[problem.c],
+            &[in_c],
+        ));
+    }
+    if input_nhwc.len() != problem.n * problem.h * problem.w * in_c {
+        return Err(TensorError::shape(
+            "im2col_into input",
+            &[problem.n * problem.h * problem.w * in_c],
+            &[input_nhwc.len()],
+        ));
+    }
+    if out.len() != m * kk {
+        return Err(TensorError::shape(
+            "im2col_into output",
+            &[m * kk],
+            &[out.len()],
+        ));
+    }
+    for n in 0..problem.n {
+        for oy in 0..p {
+            for ox in 0..q {
+                let row = (n * p + oy) * q + ox;
+                for r in 0..problem.r {
+                    for s in 0..problem.s {
+                        for c in 0..problem.c {
+                            let col = (r * problem.s + s) * problem.c + c;
+                            let iy = (oy * problem.stride.0 + r * problem.dilation.0) as isize
+                                - problem.padding.0 as isize;
+                            let ix = (ox * problem.stride.1 + s * problem.dilation.1) as isize
+                                - problem.padding.1 as isize;
+                            let v = if c >= in_c
+                                || iy < 0
+                                || iy >= problem.h as isize
+                                || ix < 0
+                                || ix >= problem.w as isize
+                            {
+                                0.0
+                            } else {
+                                let (iy, ix) = (iy as usize, ix as usize);
+                                input_nhwc[((n * problem.h + iy) * problem.w + ix) * in_c + c]
+                            };
+                            out[row * kk + col] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Reshapes a `(k, r, s, c)` filter tensor into the `(R*S*C, K)` matrix that
 /// pairs with [`im2col`].
 pub fn filter_as_matrix(problem: &Conv2dProblem, filter: &Tensor) -> Result<Tensor> {

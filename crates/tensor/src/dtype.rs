@@ -98,6 +98,7 @@ impl DType {
     /// This is how the functional executors emulate reduced-precision
     /// storage while keeping all arithmetic in `f32` (the tensor-core
     /// accumulator precision).
+    #[inline]
     pub fn quantize(self, value: f32) -> f32 {
         match self {
             DType::F16 => round_f16(value),

@@ -159,12 +159,32 @@ impl fmt::Display for Bf16 {
 
 /// Rounds an `f32` to the nearest representable f16 value and returns it as
 /// an `f32`. This is the "quantize through f16" helper the functional kernel
-/// executors use on every load/store.
+/// executors use on every load/store, so the common case — a result in the
+/// f16 normal range — runs branch-light in f32 bit arithmetic: adding
+/// `0xFFF + lsb` before truncating the low 13 mantissa bits implements
+/// round-to-nearest-even exactly (a carry propagates into the exponent on
+/// the all-ones mantissa, which is the correct rounded value). Inputs whose
+/// result could be subnormal, infinite, or NaN take the full conversion.
+#[inline]
 pub fn round_f16(value: f32) -> f32 {
+    let bits = value.to_bits();
+    let exp = (bits >> 23) & 0xFF;
+    // f32 exponents 113..=141 are |v| in [2^-14, 2^14 * (2 - 2^-23)):
+    // the result is a normal f16 (rounding up from the top of the range
+    // lands on 2^15, still finite in f16).
+    if (113..=141).contains(&exp) {
+        let lsb = (bits >> 13) & 1;
+        let rounded = bits.wrapping_add(0xFFF + lsb);
+        return f32::from_bits(rounded & !0x1FFF);
+    }
+    if bits & 0x7FFF_FFFF == 0 {
+        return value; // signed zero passes through
+    }
     F16::from_f32(value).to_f32()
 }
 
 /// Rounds an `f32` through bf16 precision and back.
+#[inline]
 pub fn round_bf16(value: f32) -> f32 {
     Bf16::from_f32(value).to_f32()
 }
@@ -347,6 +367,34 @@ mod tests {
             let v = (i as f32) * 0.37 - 350.0;
             let once = round_f16(v);
             assert_eq!(round_f16(once), once);
+        }
+    }
+
+    #[test]
+    fn round_f16_matches_full_conversion() {
+        // Sweep every f32 exponent crossed with mantissa rounding
+        // boundaries (below/at/above halfway, carry-propagating all-ones)
+        // so the fast normal-range path and its range edges agree with
+        // the full conversion bit-for-bit.
+        for exp in 0u32..=0xFF {
+            for man in [
+                0u32, 1, 0xFFF, 0x1000, 0x1001, 0x1FFF, 0x2000, 0x3F_FFFF, 0x7F_FFFF,
+            ] {
+                for sign in [0u32, 0x8000_0000] {
+                    let v = f32::from_bits(sign | (exp << 23) | man);
+                    let fast = round_f16(v);
+                    let full = F16::from_f32(v).to_f32();
+                    if full.is_nan() {
+                        assert!(fast.is_nan(), "exp {exp} man {man:#x}");
+                    } else {
+                        assert_eq!(
+                            fast.to_bits(),
+                            full.to_bits(),
+                            "exp {exp} man {man:#x} sign {sign:#x}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -41,7 +41,7 @@ pub use error::TensorError;
 pub use half::{Bf16, F16};
 pub use layout::{Layout, MatrixLayout};
 pub use shape::Shape;
-pub use tensor::{clone_count, Tensor};
+pub use tensor::{alloc_count, clone_count, Tensor};
 
 /// Result alias used across this crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

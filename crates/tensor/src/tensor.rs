@@ -38,9 +38,32 @@ pub fn clone_count() -> u64 {
     CLONE_COUNT.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Process-wide count of fresh tensor data buffers. Every constructor
+/// that brings a new backing `Vec<f32>` into existence bumps it (zeros,
+/// randn, clones, layout transforms); constructors that take ownership of
+/// an existing buffer ([`Tensor::from_vec`],
+/// [`Tensor::from_quantized_vec`]) do not.
+///
+/// The executor tests use deltas of this counter to prove the pooled hot
+/// path allocates nothing per step after warmup: a runtime that allocates
+/// its outputs per kernel shows up as a count that grows with model depth.
+static ALLOC_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Returns the number of tensor data-buffer allocations performed by this
+/// process so far. Monotonic; take deltas around the region under test.
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[inline]
+fn note_alloc() {
+    ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
 impl Clone for Tensor {
     fn clone(&self) -> Self {
         CLONE_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        note_alloc();
         Tensor {
             dtype: self.dtype,
             shape: self.shape.clone(),
@@ -55,6 +78,7 @@ impl Tensor {
     pub fn zeros(dims: &[usize], dtype: DType) -> Self {
         let shape = Shape::new(dims);
         let layout = default_layout(&shape);
+        note_alloc();
         Tensor {
             dtype,
             data: vec![0.0; shape.numel()],
@@ -71,6 +95,7 @@ impl Tensor {
     /// Creates a zero-filled NHWC activation tensor with logical dimensions
     /// `(n, c, h, w)` (NCHW order, matching [`Tensor::dims4`]).
     pub fn zeros_nhwc(n: usize, c: usize, h: usize, w: usize, dtype: DType) -> Self {
+        note_alloc();
         Tensor {
             dtype,
             shape: Shape::new(&[n, h, w, c]),
@@ -84,6 +109,7 @@ impl Tensor {
         let shape = Shape::new(dims);
         let layout = default_layout(&shape);
         let v = dtype.quantize(value);
+        note_alloc();
         Tensor {
             dtype,
             data: vec![v; shape.numel()],
@@ -108,6 +134,7 @@ impl Tensor {
                 dtype.quantize(z * 0.5)
             })
             .collect();
+        note_alloc();
         Tensor {
             dtype,
             shape,
@@ -135,6 +162,68 @@ impl Tensor {
             layout,
             data,
         })
+    }
+
+    /// Creates a tensor by taking ownership of `data` whose values are
+    /// already rounded to `dtype`, skipping [`from_vec`](Tensor::from_vec)'s
+    /// quantization pass. The workspace-pool executor uses this to wrap
+    /// recycled buffers it filled through dtype-quantizing stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` does not equal
+    /// the product of `dims`.
+    pub fn from_quantized_vec(dims: &[usize], dtype: DType, data: Vec<f32>) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.numel() {
+            return Err(TensorError::shape(
+                "Tensor::from_quantized_vec",
+                dims,
+                &[data.len()],
+            ));
+        }
+        let layout = default_layout(&shape);
+        Ok(Tensor {
+            dtype,
+            shape,
+            layout,
+            data,
+        })
+    }
+
+    /// [`Tensor::from_quantized_vec`] for NHWC activations: takes ownership
+    /// of an NHWC-ordered buffer with logical dimensions `(n, c, h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != n*c*h*w`.
+    pub fn from_quantized_vec_nhwc(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        dtype: DType,
+        data: Vec<f32>,
+    ) -> Result<Self> {
+        if data.len() != n * c * h * w {
+            return Err(TensorError::shape(
+                "Tensor::from_quantized_vec_nhwc",
+                &[n, h, w, c],
+                &[data.len()],
+            ));
+        }
+        Ok(Tensor {
+            dtype,
+            shape: Shape::new(&[n, h, w, c]),
+            layout: Layout::Nhwc,
+            data,
+        })
+    }
+
+    /// Consumes the tensor and returns its backing buffer, so the executor
+    /// can recycle a retired intermediate's storage instead of freeing it.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
     }
 
     /// The element data type.
@@ -311,6 +400,7 @@ impl Tensor {
             Layout::Nchw => vec![n, c, h, w],
             _ => vec![n, h, w, c],
         };
+        note_alloc();
         let mut out = Tensor {
             dtype: self.dtype,
             shape: Shape::new(&dims),
@@ -350,6 +440,7 @@ impl Tensor {
                 "pad_channels_nhwc: new_c {new_c} < current channels {c}"
             )));
         }
+        note_alloc();
         let mut out = Tensor {
             dtype: self.dtype,
             shape: Shape::new(&[n, h, w, new_c]),
