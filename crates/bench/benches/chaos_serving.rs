@@ -88,24 +88,27 @@ fn run_seed(seed: u64) -> Row {
     reg.register_zoo_dynamic("mlp-small").expect("register");
 
     let guard = faults::install(chaos_config(seed));
-    let server = Arc::new(BoltServer::start(
-        Arc::clone(&reg),
-        ServeConfig {
-            workers: 2,
-            max_batch: 8,
-            batch_timeout: Duration::from_millis(1),
-            queue_capacity: 1024,
-            online: Some(OnlineConfig {
-                tuner_threads: 2,
-                retry_backoff: Duration::from_millis(5),
-                retry_backoff_max: Duration::from_millis(50),
-                breaker_threshold: 4,
-                breaker_cooldown: Duration::from_millis(20),
-                ..OnlineConfig::default()
-            }),
-            ..Default::default()
-        },
-    ));
+    let server = Arc::new(
+        BoltServer::start(
+            Arc::clone(&reg),
+            ServeConfig {
+                workers: 2,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(1),
+                queue_capacity: 1024,
+                online: Some(OnlineConfig {
+                    tuner_threads: 2,
+                    retry_backoff: Duration::from_millis(5),
+                    retry_backoff_max: Duration::from_millis(50),
+                    breaker_threshold: 4,
+                    breaker_cooldown: Duration::from_millis(20),
+                    ..OnlineConfig::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .expect("valid serve config"),
+    );
 
     let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
         let clients: Vec<_> = (0..CLIENTS)

@@ -66,7 +66,8 @@ fn run_level(registry: &Arc<EngineRegistry>, offered_rps: f64) -> LevelRun {
             default_deadline: Some(Duration::from_millis(250)),
             ..Default::default()
         },
-    );
+    )
+    .expect("valid serve config");
 
     // ~0.5 s of offered traffic per level, bounded for very slow/fast rates.
     let requests = ((offered_rps * 0.5) as usize).clamp(100, 4000);

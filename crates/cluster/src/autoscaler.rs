@@ -1,0 +1,235 @@
+//! The autoscaler: grows and shrinks the replica set from live load
+//! signals.
+//!
+//! Signals per tick, scraped from each healthy replica's cheap
+//! [`bolt_serve::LoadGauges`]:
+//!
+//! - **mean outstanding** — queued + in-flight requests averaged over
+//!   replicas (queue-depth pressure), and
+//! - **max recent p99** — the worst windowed p99 latency across
+//!   replicas (the cumulative p99 cannot move once enough history
+//!   accumulates, so the window is what tracks *current* load).
+//!
+//! Hysteresis: a scale-up needs `scale_up_after` consecutive hot ticks,
+//! a scale-down `scale_down_after` consecutive cold ticks, and every
+//! action is followed by `cooldown_ticks` of mandatory holding so the
+//! signals can re-settle before the next decision. Scale-down uses
+//! [`crate::Cluster::drain_replica`] — graceful, so shrinking never
+//! drops accepted work.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::cluster::Cluster;
+use crate::error::ClusterError;
+use crate::replica::Health;
+
+/// Thresholds and pacing for an [`Autoscaler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Never drain below this many replicas.
+    pub min_replicas: usize,
+    /// Never grow above this many replicas.
+    pub max_replicas: usize,
+    /// Hot when mean outstanding requests per replica exceeds this.
+    pub queue_depth_high: f64,
+    /// Cold only when mean outstanding falls below this.
+    pub queue_depth_low: f64,
+    /// Hot when any replica's recent p99 exceeds this (µs).
+    pub p99_high_us: f64,
+    /// Cold only when every replica's recent p99 is below this (µs).
+    pub p99_low_us: f64,
+    /// Consecutive hot ticks before adding a replica.
+    pub scale_up_after: u32,
+    /// Consecutive cold ticks before draining a replica.
+    pub scale_down_after: u32,
+    /// Ticks to hold after any scaling action.
+    pub cooldown_ticks: u32,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            min_replicas: 1,
+            max_replicas: 8,
+            queue_depth_high: 32.0,
+            queue_depth_low: 2.0,
+            p99_high_us: 50_000.0,
+            p99_low_us: 10_000.0,
+            scale_up_after: 2,
+            scale_down_after: 4,
+            cooldown_ticks: 4,
+        }
+    }
+}
+
+/// What one autoscaler tick decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaleDecision {
+    /// No change (within thresholds, in hysteresis, or in cooldown).
+    Hold,
+    /// A replica was added.
+    ScaledUp {
+        /// The new replica's id.
+        added: u64,
+    },
+    /// A replica was gracefully drained out.
+    ScaledDown {
+        /// The drained replica's id.
+        drained: u64,
+    },
+    /// A scaling action was attempted and failed (e.g. launch error);
+    /// the autoscaler holds and will retry after cooldown.
+    Failed {
+        /// The error the action hit.
+        error: ClusterError,
+    },
+}
+
+/// Deterministic, manually-tickable scaling loop over a [`Cluster`].
+/// Drive it with [`Autoscaler::tick`] (tests, benches), or let
+/// [`Autoscaler::spawn`] run it on a wall-clock interval.
+pub struct Autoscaler {
+    cluster: Arc<Cluster>,
+    config: AutoscalerConfig,
+    hot_ticks: u32,
+    cold_ticks: u32,
+    cooldown: u32,
+}
+
+impl Autoscaler {
+    /// Creates an autoscaler driving `cluster` with `config`.
+    pub fn new(cluster: Arc<Cluster>, config: AutoscalerConfig) -> Self {
+        Autoscaler {
+            cluster,
+            config,
+            hot_ticks: 0,
+            cold_ticks: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// One scaling decision from the current load signals.
+    pub fn tick(&mut self) -> ScaleDecision {
+        let replicas = self.cluster.replicas();
+        let healthy: Vec<_> = replicas
+            .iter()
+            .filter(|r| r.health() == Health::Healthy)
+            .collect();
+
+        // Below the floor (e.g. after chaos kills): restore first,
+        // ignoring hysteresis — a cluster below min_replicas is not a
+        // tuning question.
+        if healthy.len() < self.config.min_replicas {
+            return self.scale_up();
+        }
+
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return ScaleDecision::Hold;
+        }
+
+        let gauges: Vec<_> = healthy.iter().filter_map(|r| r.load()).collect();
+        if gauges.is_empty() {
+            return ScaleDecision::Hold;
+        }
+        let mean_outstanding =
+            gauges.iter().map(|g| g.outstanding()).sum::<u64>() as f64 / gauges.len() as f64;
+        let max_recent_p99 = gauges.iter().map(|g| g.recent_p99_us).fold(0.0, f64::max);
+
+        let hot = mean_outstanding > self.config.queue_depth_high
+            || max_recent_p99 > self.config.p99_high_us;
+        let cold = mean_outstanding < self.config.queue_depth_low
+            && max_recent_p99 < self.config.p99_low_us;
+
+        self.hot_ticks = if hot { self.hot_ticks + 1 } else { 0 };
+        self.cold_ticks = if cold { self.cold_ticks + 1 } else { 0 };
+
+        if self.hot_ticks >= self.config.scale_up_after && healthy.len() < self.config.max_replicas
+        {
+            return self.scale_up();
+        }
+        if self.cold_ticks >= self.config.scale_down_after
+            && healthy.len() > self.config.min_replicas
+        {
+            // Drain the least-loaded healthy replica: its queue empties
+            // fastest, so the drain completes promptly.
+            let victim = healthy
+                .iter()
+                .min_by_key(|r| r.load().map_or(u64::MAX, |g| g.outstanding()))
+                .map(|r| r.id());
+            let Some(victim) = victim else {
+                return ScaleDecision::Hold;
+            };
+            self.hot_ticks = 0;
+            self.cold_ticks = 0;
+            self.cooldown = self.config.cooldown_ticks;
+            return match self.cluster.drain_replica(victim) {
+                Ok(_) => ScaleDecision::ScaledDown { drained: victim },
+                Err(error) => ScaleDecision::Failed { error },
+            };
+        }
+        ScaleDecision::Hold
+    }
+
+    fn scale_up(&mut self) -> ScaleDecision {
+        self.hot_ticks = 0;
+        self.cold_ticks = 0;
+        self.cooldown = self.config.cooldown_ticks;
+        match self.cluster.scale_up(1) {
+            Ok(ids) => ScaleDecision::ScaledUp { added: ids[0] },
+            Err(error) => ScaleDecision::Failed { error },
+        }
+    }
+
+    /// Runs the scaling loop on a background thread, ticking every
+    /// `interval`, until the returned handle is stopped or dropped.
+    pub fn spawn(mut self, interval: Duration) -> AutoscalerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut decisions = Vec::new();
+            while !stop_flag.load(Ordering::Acquire) {
+                let decision = self.tick();
+                if decision != ScaleDecision::Hold {
+                    decisions.push(decision);
+                }
+                std::thread::sleep(interval);
+            }
+            decisions
+        });
+        AutoscalerHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Stops the background autoscaler on [`AutoscalerHandle::stop`] or
+/// drop.
+pub struct AutoscalerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<Vec<ScaleDecision>>>,
+}
+
+impl AutoscalerHandle {
+    /// Stops the loop and returns every non-`Hold` decision it made.
+    pub fn stop(mut self) -> Vec<ScaleDecision> {
+        self.stop.store(true, Ordering::Release);
+        self.thread
+            .take()
+            .and_then(|t| t.join().ok())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for AutoscalerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

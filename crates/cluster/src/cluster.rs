@@ -1,0 +1,371 @@
+//! The cluster front-end: membership, routed admission with failover,
+//! and replica lifecycle (scale-up, graceful drain, abrupt kill).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bolt_serve::{MetricsSnapshot, RequestHandle, ServeError};
+use bolt_tensor::Tensor;
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::ClusterError;
+use crate::replica::{Health, Replica, ReplicaSpec};
+use crate::router::{PlacementPolicy, Router};
+
+/// Tunables for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The spec every replica launches from (the cluster is
+    /// homogeneous: same models, same serve config, same arch).
+    pub replica: ReplicaSpec,
+    /// Replicas launched by [`Cluster::new`]. Must be at least 1.
+    pub initial_replicas: usize,
+    /// Placement policy for the router.
+    pub policy: PlacementPolicy,
+}
+
+/// Final metrics of a replica that left the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetiredReplica {
+    /// The departed replica's id.
+    pub id: u64,
+    /// `true` for a graceful drain, `false` for an abrupt kill.
+    pub graceful: bool,
+    /// Its final metrics snapshot (all accepted work resolved).
+    pub stats: MetricsSnapshot,
+}
+
+/// Cluster-wide counter sums across live and retired replicas.
+///
+/// Note that `submitted` counts per-replica submit *attempts*: a request
+/// re-routed after backpressure is submitted on more than one replica,
+/// so `submitted` can exceed the number of cluster submissions. The
+/// exactly-once invariant is on `accepted` vs [`ClusterTotals::resolved`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterTotals {
+    /// Per-replica submit attempts (admission checks), incl. rejected.
+    pub submitted: u64,
+    /// Requests admitted by some replica — each is guaranteed exactly
+    /// one terminal outcome.
+    pub accepted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests with any terminal outcome (completed, shed, rejected
+    /// post-admission). Equals `accepted` once all replicas drained:
+    /// zero silently dropped requests.
+    pub resolved: u64,
+    /// Requests still queued across live replicas.
+    pub queue_depth: u64,
+    /// Requests in flight across live replicas.
+    pub inflight: u64,
+}
+
+impl ClusterTotals {
+    /// Accepted requests with no terminal outcome yet. After a full
+    /// drain this must be zero — the "no request silently dropped"
+    /// invariant the autoscaler and chaos kills are tested against.
+    pub fn unresolved(&self) -> u64 {
+        self.accepted.saturating_sub(self.resolved)
+    }
+
+    fn absorb(&mut self, stats: &MetricsSnapshot) {
+        self.submitted += stats.submitted;
+        self.accepted += stats.accepted;
+        self.completed += stats.completed;
+        self.resolved += stats.resolved();
+        self.queue_depth += stats.queue_depth;
+        self.inflight += stats.inflight;
+    }
+}
+
+/// A point-in-time view of every replica plus the cluster sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSnapshot {
+    /// `(replica id, snapshot)` for every live replica.
+    pub live: Vec<(u64, MetricsSnapshot)>,
+    /// Replicas that left the cluster, with their final metrics.
+    pub retired: Vec<RetiredReplica>,
+    /// Sums over `live` + `retired`.
+    pub totals: ClusterTotals,
+}
+
+/// A sharded serving cluster: N homogeneous [`Replica`]s fronted by a
+/// router with failover and replica-aware admission.
+///
+/// Admission semantics: the router orders the healthy replicas for each
+/// request; backpressure (queue full) or a dying replica moves the
+/// request to the next candidate, and only when **every** candidate
+/// refuses does the cluster fail fast with
+/// [`ClusterError::AllBackpressured`]. Non-recoverable rejections
+/// (unknown model, invalid input) fail immediately — every replica runs
+/// the same spec, so re-routing cannot change the answer.
+pub struct Cluster {
+    config: ClusterConfig,
+    members: RwLock<Vec<Arc<Replica>>>,
+    retired: Mutex<Vec<RetiredReplica>>,
+    router: Router,
+    /// Bumped on every membership change; the router's ring cache keys
+    /// off it.
+    epoch: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("replicas", &self.members.read().len())
+            .field("policy", &self.router.policy())
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Launches `config.initial_replicas` replicas and starts routing.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Lifecycle`] when `initial_replicas` is zero,
+    /// [`ClusterError::Launch`] when a replica fails to come up.
+    pub fn new(config: ClusterConfig) -> Result<Arc<Cluster>, ClusterError> {
+        if config.initial_replicas == 0 {
+            return Err(ClusterError::Lifecycle {
+                reason: "initial_replicas must be at least 1".into(),
+            });
+        }
+        let cluster = Arc::new(Cluster {
+            router: Router::new(config.policy),
+            members: RwLock::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            config,
+        });
+        cluster.scale_up(cluster.config.initial_replicas)?;
+        Ok(cluster)
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Live replicas, in membership order.
+    pub fn replicas(&self) -> Vec<Arc<Replica>> {
+        self.members.read().clone()
+    }
+
+    /// Number of live (non-retired) replicas.
+    pub fn replica_count(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// The current membership epoch (bumped on every change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Routes one single-sample request to a replica, failing over past
+    /// backpressured or dying replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoReplicas`] with no healthy replica,
+    /// [`ClusterError::AllBackpressured`] when every candidate refused
+    /// with backpressure, [`ClusterError::Replica`] for a
+    /// non-recoverable rejection.
+    pub fn submit(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> Result<RequestHandle, ClusterError> {
+        let mut candidates = self
+            .router
+            .candidates(model, &self.members.read(), self.epoch());
+
+        // Chaos: a seeded replica kill scheduled at this submission
+        // index abruptly kills the primary placement, then re-plans —
+        // the router must notice the death and route elsewhere. (No-op
+        // without the `chaos` feature.)
+        if bolt::faults::fail(bolt::faults::FaultSite::ReplicaKill).is_some() {
+            if let Some(primary) = candidates.first() {
+                let _ = self.kill_replica(primary.id());
+                candidates = self
+                    .router
+                    .candidates(model, &self.members.read(), self.epoch());
+            }
+        }
+
+        if candidates.is_empty() {
+            return Err(ClusterError::NoReplicas);
+        }
+        let attempted = candidates.len();
+        let mut inputs = inputs;
+        for replica in candidates {
+            match replica.submit_recoverable(model, inputs, deadline) {
+                Ok(handle) => return Ok(handle),
+                Err((error, returned)) => {
+                    inputs = returned;
+                    match error {
+                        // Recoverable on another replica: backpressure,
+                        // or this replica began dying under us.
+                        ServeError::QueueFull { .. } | ServeError::ShuttingDown => continue,
+                        other => return Err(ClusterError::Replica(other)),
+                    }
+                }
+            }
+        }
+        Err(ClusterError::AllBackpressured { attempted })
+    }
+
+    /// Blocking convenience: submit and wait for the terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::submit`].
+    pub fn infer(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor>,
+    ) -> Result<bolt_serve::Outcome, ClusterError> {
+        Ok(self.submit(model, inputs, None)?.wait())
+    }
+
+    /// Launches `n` additional replicas from the cluster spec and adds
+    /// them to the routing set. With a shared
+    /// [`bolt::BoltConfig::cache_path`] the new replicas compile warm
+    /// (the autotune cache already holds the tuned configs).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Launch`] when a replica fails to come up;
+    /// replicas launched before the failure stay in the cluster.
+    pub fn scale_up(&self, n: usize) -> Result<Vec<u64>, ClusterError> {
+        let mut added = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let replica = Replica::launch(id, &self.config.replica)?;
+            self.members.write().push(replica);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            added.push(id);
+        }
+        Ok(added)
+    }
+
+    /// Gracefully drains replica `id` out of the cluster: it leaves the
+    /// routing set immediately, queued work runs to completion, and its
+    /// final metrics are archived. Refuses to drain the last replica.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for an unknown id,
+    /// [`ClusterError::Lifecycle`] when `id` is the last live replica.
+    pub fn drain_replica(&self, id: u64) -> Result<MetricsSnapshot, ClusterError> {
+        let replica = {
+            let mut members = self.members.write();
+            if members.len() <= 1 {
+                return Err(ClusterError::Lifecycle {
+                    reason: "cannot drain the last replica".into(),
+                });
+            }
+            let index = members
+                .iter()
+                .position(|r| r.id() == id)
+                .ok_or(ClusterError::UnknownReplica { id })?;
+            let replica = members.remove(index);
+            replica.set_health(Health::Draining);
+            replica
+        };
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let stats = replica
+            .retire(true)
+            .expect("replica was a live member, so its server exists");
+        self.retired.lock().push(RetiredReplica {
+            id,
+            graceful: true,
+            stats: stats.clone(),
+        });
+        Ok(stats)
+    }
+
+    /// Abruptly kills replica `id` (a simulated crash): it leaves the
+    /// routing set, queued requests resolve `Rejected`, in-flight
+    /// batches finish. Unlike [`Cluster::drain_replica`] the last
+    /// replica *can* be killed — crashes do not ask permission.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for an unknown id.
+    pub fn kill_replica(&self, id: u64) -> Result<MetricsSnapshot, ClusterError> {
+        let replica = {
+            let mut members = self.members.write();
+            let index = members
+                .iter()
+                .position(|r| r.id() == id)
+                .ok_or(ClusterError::UnknownReplica { id })?;
+            let replica = members.remove(index);
+            replica.set_health(Health::Dead);
+            replica
+        };
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let stats = replica
+            .retire(false)
+            .expect("replica was a live member, so its server exists");
+        self.retired.lock().push(RetiredReplica {
+            id,
+            graceful: false,
+            stats: stats.clone(),
+        });
+        Ok(stats)
+    }
+
+    /// A point-in-time view of every live replica plus the archived
+    /// retired ones, with cluster-wide sums.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let live: Vec<(u64, MetricsSnapshot)> = self
+            .members
+            .read()
+            .iter()
+            .filter_map(|r| r.metrics().map(|m| (r.id(), m)))
+            .collect();
+        let retired = self.retired.lock().clone();
+        let mut totals = ClusterTotals::default();
+        for (_, stats) in &live {
+            totals.absorb(stats);
+        }
+        for r in &retired {
+            totals.absorb(&r.stats);
+        }
+        ClusterSnapshot {
+            live,
+            retired,
+            totals,
+        }
+    }
+
+    /// Gracefully drains every replica and returns the final snapshot.
+    /// After shutdown [`ClusterTotals::unresolved`] is zero: every
+    /// accepted request resolved exactly once.
+    pub fn shutdown(&self) -> ClusterSnapshot {
+        let members: Vec<Arc<Replica>> = {
+            let mut guard = self.members.write();
+            for replica in guard.iter() {
+                replica.set_health(Health::Draining);
+            }
+            std::mem::take(&mut *guard)
+        };
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        for replica in members {
+            if let Some(stats) = replica.retire(true) {
+                self.retired.lock().push(RetiredReplica {
+                    id: replica.id(),
+                    graceful: true,
+                    stats,
+                });
+            }
+        }
+        self.snapshot()
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the cluster layer.
+
+use std::fmt;
+
+use bolt_serve::ServeError;
+
+/// Errors surfaced by cluster routing and lifecycle operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The cluster has no healthy replica to route to (all drained,
+    /// killed, or never launched).
+    NoReplicas,
+    /// Every healthy candidate replica refused the request with
+    /// backpressure (queue full or mid-drain). This is the cluster-wide
+    /// fail-fast: a single backpressured replica re-routes instead.
+    AllBackpressured {
+        /// How many replicas were attempted before giving up.
+        attempted: usize,
+    },
+    /// A replica rejected the request for a non-recoverable reason
+    /// (unknown model, invalid input, no engine): every other replica
+    /// runs the same spec, so re-routing cannot help.
+    Replica(ServeError),
+    /// The named replica id does not exist (or is already retired).
+    UnknownReplica {
+        /// The requested replica id.
+        id: u64,
+    },
+    /// A replica failed to launch (engine compilation or configuration).
+    Launch(ServeError),
+    /// A lifecycle operation would violate a cluster bound (e.g.
+    /// draining the last healthy replica).
+    Lifecycle {
+        /// Why the operation was refused.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoReplicas => write!(f, "cluster has no healthy replicas"),
+            ClusterError::AllBackpressured { attempted } => {
+                write!(f, "all {attempted} candidate replicas are backpressured")
+            }
+            ClusterError::Replica(e) => write!(f, "replica rejected request: {e}"),
+            ClusterError::UnknownReplica { id } => write!(f, "no replica with id {id}"),
+            ClusterError::Launch(e) => write!(f, "replica launch failed: {e}"),
+            ClusterError::Lifecycle { reason } => {
+                write!(f, "lifecycle operation refused: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Replica(e) | ClusterError::Launch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(ClusterError::NoReplicas.to_string().contains("no healthy"));
+        assert!(ClusterError::AllBackpressured { attempted: 3 }
+            .to_string()
+            .contains('3'));
+        let e = ClusterError::Replica(ServeError::ShuttingDown);
+        assert!(e.to_string().contains("shutting down"));
+    }
+}

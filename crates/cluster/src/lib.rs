@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+//! # bolt-cluster
+//!
+//! A simulated sharded serving cluster layered on `bolt-serve` — the
+//! "millions of users" tier: N tuned replicas turned into near-linear
+//! aggregate throughput.
+//!
+//! The subsystem has four moving parts:
+//!
+//! 1. **Replicas** ([`Replica`], launched from a [`ReplicaSpec`]) — each
+//!    an independent [`bolt_serve::EngineRegistry`] plus a
+//!    [`bolt_serve::BoltServer`] (scheduler, batcher, worker pool of
+//!    simulated GPU streams), with a cluster-visible health state.
+//!    Replicas sharing a [`bolt::BoltConfig::cache_path`] launch warm:
+//!    scale-up re-reads the tuned configs the first replica profiled.
+//! 2. **Router** ([`PlacementPolicy`]) — consistent hashing of the model
+//!    name onto a virtual-node ring (cache affinity: a model's requests
+//!    stay on one replica while it lives), or least-loaded with rotating
+//!    tie-break (instantaneous balance for single-model workloads). The
+//!    candidate order doubles as the failover order.
+//! 3. **Replica-aware admission** ([`Cluster::submit`]) — backpressure
+//!    or a dying replica re-routes the request (inputs are handed back
+//!    by `submit_recoverable`, never cloned per attempt); the cluster
+//!    fails fast with [`ClusterError::AllBackpressured`] only when
+//!    *every* healthy candidate refused.
+//! 4. **Autoscaler** ([`Autoscaler`]) — grows and shrinks the replica
+//!    set from mean queue depth and windowed-p99 signals with
+//!    hysteresis and cooldown; scale-down is a graceful drain, so
+//!    shrinking never drops accepted work. Replica death (the `chaos`
+//!    feature's seeded [`bolt::faults::FaultSite::ReplicaKill`]) is
+//!    detected by the router, which re-routes around the corpse.
+//!
+//! Exactly-once everywhere: every request a replica accepts resolves to
+//! one terminal [`bolt_serve::Outcome`] — through graceful drains,
+//! abrupt kills, and autoscaler churn —
+//! [`ClusterTotals::unresolved`]` == 0` after shutdown.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bolt::BoltConfig;
+//! use bolt_cluster::{Cluster, ClusterConfig, ModelSpec, PlacementPolicy, ReplicaSpec};
+//! use bolt_gpu_sim::GpuArch;
+//! use bolt_serve::{Outcome, ServeConfig};
+//! use bolt_tensor::{DType, Tensor};
+//!
+//! let cluster = Cluster::new(ClusterConfig {
+//!     replica: ReplicaSpec {
+//!         arch: GpuArch::tesla_t4(),
+//!         bolt: BoltConfig::default(),
+//!         serve: ServeConfig::default(),
+//!         models: vec![ModelSpec::Zoo { name: "mlp-small".into(), tuned: true }],
+//!     },
+//!     initial_replicas: 2,
+//!     policy: PlacementPolicy::default(),
+//! })
+//! .unwrap();
+//!
+//! let outcome = cluster
+//!     .infer("mlp-small", vec![Tensor::randn(&[1, 128], DType::F16, 1)])
+//!     .unwrap();
+//! assert!(matches!(outcome, Outcome::Completed(_)));
+//! let end = cluster.shutdown();
+//! assert_eq!(end.totals.unresolved(), 0);
+//! ```
+
+pub mod autoscaler;
+pub mod cluster;
+pub mod error;
+pub mod replica;
+pub mod router;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, AutoscalerHandle, ScaleDecision};
+pub use cluster::{Cluster, ClusterConfig, ClusterSnapshot, ClusterTotals, RetiredReplica};
+pub use error::ClusterError;
+pub use replica::{Health, ModelSpec, Replica, ReplicaSpec};
+pub use router::PlacementPolicy;
+
+/// Result alias for cluster operations.
+pub type Result<T> = std::result::Result<T, ClusterError>;

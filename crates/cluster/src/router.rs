@@ -1,0 +1,172 @@
+//! Request placement: which replica serves a request, and in what
+//! failover order the alternatives are tried.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::replica::{Health, Replica};
+
+/// How the router picks a replica for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Consistent hashing of the model name onto a ring of virtual
+    /// nodes: a model's requests land on the same replica as long as it
+    /// lives (cache affinity — its engines, price cache, and batch
+    /// queues stay hot), and membership changes only move the models
+    /// that hashed onto the departed replica. Failover order is the ring
+    /// walk, which is also stable per model.
+    ConsistentHash {
+        /// Ring points per replica; more points smooth the load split
+        /// across models (128 is a good default).
+        virtual_nodes: usize,
+    },
+    /// Route each request to the replica with the fewest outstanding
+    /// (queued + in-flight) requests; ties rotate. Ignores affinity but
+    /// tracks instantaneous load, which is the right trade for a
+    /// single-model workload where affinity buys nothing.
+    LeastLoaded,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::ConsistentHash { virtual_nodes: 128 }
+    }
+}
+
+/// The hash ring for one membership epoch: sorted `(point, replica_id)`.
+struct RingCache {
+    epoch: u64,
+    points: Vec<(u64, u64)>,
+}
+
+/// Orders healthy replicas for each request under the configured policy.
+pub(crate) struct Router {
+    policy: PlacementPolicy,
+    ring: Mutex<RingCache>,
+    /// Tie-break rotation for [`PlacementPolicy::LeastLoaded`].
+    rotation: AtomicU64,
+}
+
+impl Router {
+    pub(crate) fn new(policy: PlacementPolicy) -> Self {
+        Router {
+            policy,
+            ring: Mutex::new(RingCache {
+                epoch: u64::MAX,
+                points: Vec::new(),
+            }),
+            rotation: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// The ordered candidate list for `model` over the current members:
+    /// first entry is the primary placement, the rest are the failover
+    /// order when it is backpressured or dead. Only healthy replicas are
+    /// returned.
+    pub(crate) fn candidates(
+        &self,
+        model: &str,
+        members: &[Arc<Replica>],
+        epoch: u64,
+    ) -> Vec<Arc<Replica>> {
+        let healthy: Vec<Arc<Replica>> = members
+            .iter()
+            .filter(|r| r.health() == Health::Healthy)
+            .map(Arc::clone)
+            .collect();
+        if healthy.len() <= 1 {
+            return healthy;
+        }
+        match self.policy {
+            PlacementPolicy::ConsistentHash { virtual_nodes } => {
+                self.ring_order(model, &healthy, virtual_nodes, epoch)
+            }
+            PlacementPolicy::LeastLoaded => self.load_order(healthy),
+        }
+    }
+
+    /// Consistent-hash order: walk the ring clockwise from the model's
+    /// point, collecting distinct replicas. The ring is rebuilt only
+    /// when the membership epoch changes.
+    fn ring_order(
+        &self,
+        model: &str,
+        healthy: &[Arc<Replica>],
+        virtual_nodes: usize,
+        epoch: u64,
+    ) -> Vec<Arc<Replica>> {
+        let mut ring = self.ring.lock();
+        if ring.epoch != epoch {
+            let mut points = Vec::with_capacity(healthy.len() * virtual_nodes.max(1));
+            for replica in healthy {
+                for vnode in 0..virtual_nodes.max(1) as u64 {
+                    let mut bytes = [0u8; 16];
+                    bytes[..8].copy_from_slice(&replica.id().to_le_bytes());
+                    bytes[8..].copy_from_slice(&vnode.to_le_bytes());
+                    points.push((fnv1a(&bytes), replica.id()));
+                }
+            }
+            points.sort_unstable();
+            *ring = RingCache { epoch, points };
+        }
+        let key = fnv1a(model.as_bytes());
+        let start = ring.points.partition_point(|&(point, _)| point < key);
+        let mut order: Vec<u64> = Vec::with_capacity(healthy.len());
+        for i in 0..ring.points.len() {
+            let (_, id) = ring.points[(start + i) % ring.points.len()];
+            if !order.contains(&id) {
+                order.push(id);
+                if order.len() == healthy.len() {
+                    break;
+                }
+            }
+        }
+        drop(ring);
+        order
+            .iter()
+            .filter_map(|id| healthy.iter().find(|r| r.id() == *id).map(Arc::clone))
+            .collect()
+    }
+
+    /// Least-loaded order: ascending by outstanding requests, with a
+    /// rotating pre-sort so equally idle replicas share placements
+    /// instead of all requests piling onto index 0.
+    fn load_order(&self, mut healthy: Vec<Arc<Replica>>) -> Vec<Arc<Replica>> {
+        let offset = self.rotation.fetch_add(1, Ordering::Relaxed) as usize % healthy.len();
+        healthy.rotate_left(offset);
+        healthy.sort_by_key(|r| r.load().map_or(u64::MAX, |g| g.outstanding()));
+        healthy
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and well-distributed enough
+/// for ring points.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_distributes_distinct_keys() {
+        let a = fnv1a(b"mlp-small");
+        let b = fnv1a(b"mlp-large");
+        let c = fnv1a(b"cnn-small");
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,98 @@
+//! Chaos acceptance at the cluster layer: seeded replica kills fire
+//! mid-traffic ([`FaultSite::ReplicaKill`]) and the router must detect
+//! each death, re-route, and lose nothing. The schedule is a pure
+//! function of the seed (`BOLT_CHAOS_SEED`, default 42).
+//!
+//! Run with: `cargo test -p bolt-cluster --features chaos`
+#![cfg(feature = "chaos")]
+
+use std::time::Duration;
+
+use bolt::faults::{self, ChaosConfig, FaultSite};
+use bolt::BoltConfig;
+use bolt_cluster::{Cluster, ClusterConfig, ClusterError, ModelSpec, PlacementPolicy, ReplicaSpec};
+use bolt_gpu_sim::GpuArch;
+use bolt_serve::{Outcome, ServeConfig};
+use bolt_tensor::{DType, Tensor};
+
+fn chaos_seed() -> u64 {
+    std::env::var("BOLT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+#[test]
+fn seeded_replica_kills_reroute_without_losing_requests() {
+    let cluster = Cluster::new(ClusterConfig {
+        replica: ReplicaSpec {
+            arch: GpuArch::tesla_t4(),
+            bolt: BoltConfig::default(),
+            serve: ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            models: vec![ModelSpec::Zoo {
+                name: "mlp-small".into(),
+                tuned: false,
+            }],
+        },
+        initial_replicas: 3,
+        policy: PlacementPolicy::LeastLoaded,
+    })
+    .expect("cluster up");
+
+    // Kill the routed replica at the 10th and 25th submissions.
+    let chaos = faults::install(ChaosConfig {
+        seed: chaos_seed(),
+        replica_kills: vec![10, 25],
+        ..ChaosConfig::default()
+    });
+
+    let total = 60u64;
+    let mut accepted = 0u64;
+    let mut completed = 0u64;
+    for i in 0..total {
+        match cluster.submit(
+            "mlp-small",
+            vec![Tensor::randn(&[1, 128], DType::F16, i)],
+            Some(Duration::from_secs(5)),
+        ) {
+            Ok(handle) => {
+                accepted += 1;
+                if matches!(handle.wait(), Outcome::Completed(_)) {
+                    completed += 1;
+                }
+            }
+            Err(ClusterError::AllBackpressured { .. } | ClusterError::NoReplicas) => {}
+            Err(other) => panic!("unexpected cluster error: {other}"),
+        }
+    }
+
+    let kills = chaos
+        .events()
+        .iter()
+        .filter(|e| e.site == FaultSite::ReplicaKill)
+        .count();
+    assert_eq!(kills, 2, "both scheduled kills fired");
+    drop(chaos);
+
+    assert_eq!(cluster.replica_count(), 1, "two of three replicas died");
+    let end = cluster.shutdown();
+    assert_eq!(
+        end.retired.iter().filter(|r| !r.graceful).count(),
+        2,
+        "the two killed replicas are archived as non-graceful"
+    );
+    assert_eq!(
+        end.totals.unresolved(),
+        0,
+        "kills dropped accepted requests"
+    );
+    assert_eq!(end.totals.accepted, accepted);
+    assert!(
+        completed >= accepted.saturating_sub(10),
+        "most accepted requests complete; only work queued on a corpse rejects \
+         (completed {completed} of accepted {accepted})"
+    );
+}

@@ -59,11 +59,15 @@ pub enum FaultSite {
     WorkerKill,
     /// A background tuner between compiles (thread death, respawned).
     TunerKill,
+    /// A whole serving replica in the cluster layer (injected as an
+    /// abrupt kill on the routed replica; the router must detect the
+    /// death and re-route). Checked once per cluster submission.
+    ReplicaKill,
 }
 
 impl FaultSite {
     /// Every site, for schedule-preview assertions.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::Compile,
         FaultSite::HeuristicCompile,
         FaultSite::Profile,
@@ -72,6 +76,7 @@ impl FaultSite {
         FaultSite::BatchStall,
         FaultSite::WorkerKill,
         FaultSite::TunerKill,
+        FaultSite::ReplicaKill,
     ];
 
     fn id(self) -> u64 {
@@ -84,6 +89,7 @@ impl FaultSite {
             FaultSite::BatchStall => 6,
             FaultSite::WorkerKill => 7,
             FaultSite::TunerKill => 8,
+            FaultSite::ReplicaKill => 9,
         }
     }
 }
@@ -134,6 +140,9 @@ pub struct ChaosConfig {
     /// Tuner-loop iteration indices at which a tuner thread dies between
     /// compiles.
     pub tuner_kills: Vec<u64>,
+    /// Cluster submission indices (per the [`FaultSite::ReplicaKill`]
+    /// counter) at which the routed replica is abruptly killed.
+    pub replica_kills: Vec<u64>,
 }
 
 impl Default for ChaosConfig {
@@ -150,6 +159,7 @@ impl Default for ChaosConfig {
             batch_stall: Duration::from_millis(1),
             worker_kills: Vec::new(),
             tuner_kills: Vec::new(),
+            replica_kills: Vec::new(),
         }
     }
 }
@@ -170,6 +180,7 @@ impl ChaosConfig {
             FaultSite::BatchPanic => return self.batch_panics.contains(&occurrence),
             FaultSite::WorkerKill => return self.worker_kills.contains(&occurrence),
             FaultSite::TunerKill => return self.tuner_kills.contains(&occurrence),
+            FaultSite::ReplicaKill => return self.replica_kills.contains(&occurrence),
         };
         if ratio <= 0.0 {
             return false;

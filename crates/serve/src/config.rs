@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use crate::error::ServeError;
 use crate::online::OnlineConfig;
 
 /// Tunables for a [`crate::BoltServer`].
@@ -57,6 +58,36 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// Checks the configuration invariants the server depends on. Called
+    /// by [`crate::BoltServer::start`]; a violation is a typed
+    /// [`ServeError::Config`] instead of a panic (or a silent hang) once
+    /// the threads are running.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when `workers == 0` (no streams to execute
+    /// on), `max_batch == 0` (no batch can ever form), `queue_capacity
+    /// == 0` (every submit would be backpressured), or `batch_timeout`
+    /// is zero with no `default_deadline` (partial batches would flush
+    /// in a hot loop with no deadline ever shedding queued work).
+    pub fn validate(&self) -> std::result::Result<(), ServeError> {
+        let reason = if self.workers == 0 {
+            "workers must be >= 1 (each worker is one simulated GPU stream)"
+        } else if self.max_batch == 0 {
+            "max_batch must be >= 1 (no batch can ever form)"
+        } else if self.queue_capacity == 0 {
+            "queue_capacity must be >= 1 (every submit would be rejected QueueFull)"
+        } else if self.batch_timeout.is_zero() && self.default_deadline.is_none() {
+            "batch_timeout of zero requires a default_deadline \
+             (otherwise nothing bounds a request's wait)"
+        } else {
+            return Ok(());
+        };
+        Err(ServeError::Config {
+            reason: reason.to_string(),
+        })
+    }
+
     /// The bucket sizes engines are compiled for: the explicit
     /// [`ServeConfig::batch_buckets`] (sorted, deduplicated), or powers
     /// of two `1, 2, 4, …` up to and including [`ServeConfig::max_batch`].

@@ -12,6 +12,16 @@ use bolt::BoltError;
 /// [`crate::Outcome`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
+    /// The server configuration is unusable ([`crate::ServeConfig`]
+    /// validation at construction): zero workers, zero max batch, zero
+    /// queue capacity, or a zero batch timeout with no default deadline
+    /// (partial batches would flush in a hot loop with nothing shedding
+    /// them). Rejected at [`crate::BoltServer::start`] instead of
+    /// panicking or hanging downstream.
+    Config {
+        /// Which invariant the configuration violates.
+        reason: String,
+    },
     /// The named model was never registered.
     UnknownModel {
         /// The requested model name.
@@ -72,6 +82,9 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ServeError::Config { reason } => {
+                write!(f, "invalid serve configuration: {reason}")
+            }
             ServeError::UnknownModel { name } => write!(f, "unknown model {name:?}"),
             ServeError::InvalidInput { model, reason } => {
                 write!(f, "invalid input for model {model:?}: {reason}")

@@ -43,7 +43,7 @@
 //! let registry = Arc::new(EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default()));
 //! registry.register_zoo("mlp-small", &[1, 2]).unwrap();
 //!
-//! let server = BoltServer::start(registry, ServeConfig::default());
+//! let server = BoltServer::start(registry, ServeConfig::default()).unwrap();
 //! let outcome = server
 //!     .infer("mlp-small", vec![Tensor::randn(&[1, 128], DType::F16, 1)])
 //!     .unwrap();
@@ -63,7 +63,7 @@ pub mod server;
 
 pub use config::ServeConfig;
 pub use error::{panic_message, ServeError};
-pub use metrics::{KernelStat, MetricsSnapshot};
+pub use metrics::{KernelStat, LoadGauges, MetricsSnapshot};
 pub use online::{
     Acquired, EngineState, FailedBucket, OnlineConfig, OnlineEngineManager, OnlineSnapshot,
 };

@@ -1,12 +1,18 @@
 //! Serving metrics: counters, latency percentiles, batch-size histogram,
 //! and per-kernel attribution from the execution plan's step observer.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use bolt::StepTimings;
 use parking_lot::Mutex;
 
 use crate::online::OnlineSnapshot;
+
+/// How many of the most recent completions feed the windowed
+/// [`MetricsSnapshot::latency_recent_p99_us`] estimate. Cumulative
+/// percentiles cannot move once thousands of samples accumulate; an
+/// autoscaler needs a signal that tracks *current* load.
+const RECENT_WINDOW: usize = 256;
 
 /// Shared mutable metrics store (internal; readers take
 /// [`MetricsSnapshot`]s).
@@ -33,7 +39,14 @@ struct Inner {
     degraded: u64,
     batches: u64,
     batch_overflow: u64,
+    /// Live gauge: requests sitting in scheduler queues right now.
+    queue_depth: u64,
+    /// Live gauge: requests inside formed batches (dispatched, not yet
+    /// resolved).
+    inflight: u64,
     latencies_us: Vec<f64>,
+    /// Ring of the last [`RECENT_WINDOW`] completion latencies.
+    recent_latencies_us: VecDeque<f64>,
     batch_sizes: BTreeMap<usize, u64>,
     images_per_sec: Vec<f64>,
     /// Step name → (launches, total simulated µs) across every batch.
@@ -46,7 +59,29 @@ impl Metrics {
     }
 
     pub(crate) fn accepted(&self) {
-        self.inner.lock().accepted += 1;
+        let mut inner = self.inner.lock();
+        inner.accepted += 1;
+        inner.queue_depth += 1;
+    }
+
+    /// Moves `n` requests from the queued gauge to the in-flight gauge:
+    /// the batcher formed them into batches.
+    pub(crate) fn dequeued(&self, n: usize) {
+        let mut inner = self.inner.lock();
+        inner.queue_depth = inner.queue_depth.saturating_sub(n as u64);
+        inner.inflight += n as u64;
+    }
+
+    /// Cheap live load gauges, read without snapshotting the histograms.
+    pub(crate) fn gauges(&self) -> LoadGauges {
+        let inner = self.inner.lock();
+        LoadGauges {
+            queue_depth: inner.queue_depth,
+            inflight: inner.inflight,
+            accepted: inner.accepted,
+            completed: inner.completed,
+            recent_p99_us: recent_p99(&inner.recent_latencies_us),
+        }
     }
 
     pub(crate) fn rejected_unknown_model(&self) {
@@ -70,7 +105,9 @@ impl Metrics {
     }
 
     pub(crate) fn rejected_execution(&self) {
-        self.inner.lock().rejected_execution += 1;
+        let mut inner = self.inner.lock();
+        inner.rejected_execution += 1;
+        inner.inflight = inner.inflight.saturating_sub(1);
     }
 
     /// Records one batch that exceeded every compiled bucket and was
@@ -80,13 +117,19 @@ impl Metrics {
     }
 
     pub(crate) fn deadline_shed(&self) {
-        self.inner.lock().deadline_shed += 1;
+        let mut inner = self.inner.lock();
+        inner.deadline_shed += 1;
+        // Shed at formation: the request left its queue without ever
+        // becoming in-flight.
+        inner.queue_depth = inner.queue_depth.saturating_sub(1);
     }
 
     /// Records a request whose deadline had passed by the time a worker
     /// dequeued its batch (formation-time shedding missed it).
     pub(crate) fn deadline_shed_dequeue(&self) {
-        self.inner.lock().deadline_shed_dequeue += 1;
+        let mut inner = self.inner.lock();
+        inner.deadline_shed_dequeue += 1;
+        inner.inflight = inner.inflight.saturating_sub(1);
     }
 
     /// Records a panic isolated inside per-batch execution.
@@ -117,7 +160,12 @@ impl Metrics {
     pub(crate) fn completed(&self, latency_us: f64) {
         let mut inner = self.inner.lock();
         inner.completed += 1;
+        inner.inflight = inner.inflight.saturating_sub(1);
         inner.latencies_us.push(latency_us);
+        if inner.recent_latencies_us.len() == RECENT_WINDOW {
+            inner.recent_latencies_us.pop_front();
+        }
+        inner.recent_latencies_us.push_back(latency_us);
     }
 
     /// Folds one batch's per-step timings (from the plan's
@@ -171,6 +219,8 @@ impl Metrics {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         MetricsSnapshot {
+            queue_depth: inner.queue_depth,
+            inflight: inner.inflight,
             submitted: inner.submitted,
             accepted: inner.accepted,
             completed: inner.completed,
@@ -207,6 +257,7 @@ impl Metrics {
             latency_p50_us: percentile(&sorted, 0.50),
             latency_p95_us: percentile(&sorted, 0.95),
             latency_p99_us: percentile(&sorted, 0.99),
+            latency_recent_p99_us: recent_p99(&inner.recent_latencies_us),
             latency_max_us: sorted.last().copied().unwrap_or(0.0),
             sim_images_per_sec: mean_images_per_sec,
             wall_elapsed_us,
@@ -236,6 +287,42 @@ pub struct KernelStat {
     pub mean_us: f64,
 }
 
+/// p99 over the bounded recent-completion window (unsorted ring).
+fn recent_p99(ring: &VecDeque<f64>) -> f64 {
+    if ring.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = ring.iter().copied().collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile(&sorted, 0.99)
+}
+
+/// Instantaneous load gauges, readable without the full snapshot's
+/// histogram work — what a cluster router polls on every placement
+/// decision ([`crate::BoltServer::load`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LoadGauges {
+    /// Requests sitting in scheduler queues right now.
+    pub queue_depth: u64,
+    /// Requests inside formed batches (dispatched, not yet resolved).
+    pub inflight: u64,
+    /// Cumulative accepted counter (monotonic).
+    pub accepted: u64,
+    /// Cumulative completed counter (monotonic).
+    pub completed: u64,
+    /// p99 latency over the last few hundred completions, µs — tracks
+    /// *current* load where the cumulative p99 cannot move.
+    pub recent_p99_us: f64,
+}
+
+impl LoadGauges {
+    /// Requests the server has admitted but not yet resolved: the load
+    /// a router should balance on.
+    pub fn outstanding(&self) -> u64 {
+        self.queue_depth + self.inflight
+    }
+}
+
 /// Percentile over a **sorted** slice (nearest-rank); 0 when empty.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -248,6 +335,13 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// A consistent point-in-time view of the server's counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Live gauge: requests sitting in scheduler queues at snapshot
+    /// time. Returns to zero after a drain.
+    pub queue_depth: u64,
+    /// Live gauge: requests inside formed batches (dispatched to a
+    /// worker, not yet resolved) at snapshot time. Returns to zero after
+    /// a drain.
+    pub inflight: u64,
     /// Submit attempts, including rejected ones.
     pub submitted: u64,
     /// Requests admitted to a queue (each resolves to exactly one
@@ -304,6 +398,10 @@ pub struct MetricsSnapshot {
     pub latency_p95_us: f64,
     /// 99th-percentile latency, µs.
     pub latency_p99_us: f64,
+    /// p99 latency over the most recent completions only (bounded
+    /// window) — the autoscaler's signal, since the cumulative p99
+    /// barely moves once enough history accumulates.
+    pub latency_recent_p99_us: f64,
     /// Worst observed latency, µs.
     pub latency_max_us: f64,
     /// Mean per-batch simulated throughput
@@ -370,6 +468,59 @@ mod tests {
         assert!((s.throughput_rps - 3.0).abs() < 1e-9);
         assert_eq!(s.resolved(), 3);
         assert_eq!(s.model_workspace, vec![("mlp-small".to_string(), 4096)]);
+    }
+
+    #[test]
+    fn gauges_track_queue_and_inflight_lifecycle() {
+        let m = Metrics::default();
+        for _ in 0..4 {
+            m.submitted();
+            m.accepted();
+        }
+        let g = m.gauges();
+        assert_eq!((g.queue_depth, g.inflight), (4, 0));
+        assert_eq!(g.outstanding(), 4);
+
+        // One request shed while still queued.
+        m.deadline_shed();
+        // The other three form a batch.
+        m.dequeued(3);
+        let g = m.gauges();
+        assert_eq!((g.queue_depth, g.inflight), (0, 3));
+
+        // One shed at dequeue, one completes, one fails in execution.
+        m.deadline_shed_dequeue();
+        m.completed(42.0);
+        m.rejected_execution();
+        let g = m.gauges();
+        assert_eq!((g.queue_depth, g.inflight), (0, 0));
+        assert_eq!(g.outstanding(), 0);
+        assert_eq!(g.recent_p99_us, 42.0);
+
+        let s = m.snapshot(1e6, vec![], None);
+        assert_eq!((s.queue_depth, s.inflight), (0, 0));
+        assert_eq!(s.latency_recent_p99_us, 42.0);
+        assert_eq!(s.resolved(), s.accepted);
+    }
+
+    #[test]
+    fn recent_p99_windows_out_old_latencies() {
+        let m = Metrics::default();
+        // Fill the window with slow completions, then overwrite it with
+        // fast ones: the cumulative p99 stays slow, the recent p99 drops.
+        for _ in 0..RECENT_WINDOW {
+            m.accepted();
+            m.dequeued(1);
+            m.completed(10_000.0);
+        }
+        for _ in 0..RECENT_WINDOW {
+            m.accepted();
+            m.dequeued(1);
+            m.completed(10.0);
+        }
+        let s = m.snapshot(1e6, vec![], None);
+        assert_eq!(s.latency_recent_p99_us, 10.0);
+        assert_eq!(s.latency_p99_us, 10_000.0);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub(crate) struct Scheduler {
     /// False once draining begins: no new admissions, partial batches
     /// flush immediately.
     pub accepting: bool,
+    /// True for an abort drain (a killed cluster replica): formed
+    /// batches are resolved `Rejected` by the batcher instead of
+    /// dispatched, so queued work terminates fast without executing.
+    pub aborting: bool,
 }
 
 impl Scheduler {
@@ -51,6 +55,7 @@ impl Scheduler {
         Scheduler {
             queues: HashMap::new(),
             accepting: true,
+            aborting: false,
         }
     }
 

@@ -1,17 +1,18 @@
 //! The serving front-end: admission control, the batcher thread, and the
 //! worker pool of simulated GPU streams.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bolt::StepTimings;
+use bolt::{ExecutionPlan, StepTimings};
 use bolt_tensor::Tensor;
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{LoadGauges, Metrics, MetricsSnapshot};
 use crate::online::{Acquired, OnlineEngineManager};
 use crate::registry::EngineRegistry;
 use crate::request::{
@@ -68,12 +69,14 @@ impl BoltServer {
     /// Starts the batcher and `config.workers` stream workers over the
     /// models already registered in `registry` (models may also be
     /// registered while the server runs).
-    pub fn start(registry: Arc<EngineRegistry>, config: ServeConfig) -> Self {
-        let config = ServeConfig {
-            workers: config.workers.max(1),
-            max_batch: config.max_batch.max(1),
-            ..config
-        };
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when the configuration violates an
+    /// invariant the server depends on ([`ServeConfig::validate`]); no
+    /// threads are started in that case.
+    pub fn start(registry: Arc<EngineRegistry>, config: ServeConfig) -> Result<Self> {
+        config.validate()?;
         let online = config
             .online
             .clone()
@@ -120,11 +123,11 @@ impl BoltServer {
             std::thread::spawn(move || batcher_loop(&inner, &tx))
         };
 
-        BoltServer {
+        Ok(BoltServer {
             inner,
             batcher: Some(batcher),
             workers,
-        }
+        })
     }
 
     /// The registry backing this server.
@@ -157,38 +160,64 @@ impl BoltServer {
         inputs: Vec<Tensor>,
         deadline: Option<Duration>,
     ) -> Result<RequestHandle> {
+        self.submit_recoverable(model, inputs, deadline)
+            .map_err(|(e, _inputs)| e)
+    }
+
+    /// Like [`BoltServer::submit`], but a rejection hands the input
+    /// tensors back to the caller alongside the error. Inputs are real
+    /// (deep-copying) buffers, so a cluster router that wants to re-route
+    /// a backpressured request to another replica must get them back
+    /// rather than clone per attempt.
+    ///
+    /// # Errors
+    ///
+    /// The same admission errors as [`BoltServer::submit`], paired with
+    /// the unconsumed inputs.
+    pub fn submit_recoverable(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> std::result::Result<RequestHandle, (ServeError, Vec<Tensor>)> {
         let inner = &*self.inner;
         inner.metrics.submitted();
         let Some(engines) = inner.registry.get(model) else {
             inner.metrics.rejected_unknown_model();
-            return Err(ServeError::UnknownModel { name: model.into() });
+            return Err((ServeError::UnknownModel { name: model.into() }, inputs));
         };
         if let Err(e) = engines.validate_sample(&inputs) {
             inner.metrics.rejected_invalid_input();
-            return Err(e);
+            return Err((e, inputs));
         }
         if engines.max_batch() == 0 && inner.online.is_none() {
             // A zero-bucket dynamic model is only servable when an online
             // tuner can create (or fall back past) the missing engines.
             inner.metrics.rejected_no_engine();
-            return Err(ServeError::NoEngine {
-                model: model.into(),
-                reason: "model has no compiled buckets and online tuning is disabled".into(),
-            });
+            return Err((
+                ServeError::NoEngine {
+                    model: model.into(),
+                    reason: "model has no compiled buckets and online tuning is disabled".into(),
+                },
+                inputs,
+            ));
         }
 
         let key = Scheduler::key_for(&engines);
         let mut sched = inner.sched.lock().unwrap_or_else(|e| e.into_inner());
         if !sched.accepting {
             inner.metrics.rejected_shutting_down();
-            return Err(ServeError::ShuttingDown);
+            return Err((ServeError::ShuttingDown, inputs));
         }
         if sched.depth(&key) >= inner.config.queue_capacity {
             inner.metrics.rejected_queue_full();
-            return Err(ServeError::QueueFull {
-                model: model.into(),
-                capacity: inner.config.queue_capacity,
-            });
+            return Err((
+                ServeError::QueueFull {
+                    model: model.into(),
+                    capacity: inner.config.queue_capacity,
+                },
+                inputs,
+            ));
         }
 
         let now_us = inner.now_us();
@@ -221,6 +250,13 @@ impl BoltServer {
         Ok(self.submit(model, inputs, None)?.wait())
     }
 
+    /// Cheap instantaneous load gauges (queue depth, in-flight count,
+    /// recent p99) — what a cluster router polls per placement decision,
+    /// without paying for the full snapshot's percentile sorts.
+    pub fn load(&self) -> LoadGauges {
+        self.inner.metrics.gauges()
+    }
+
     /// A point-in-time metrics snapshot (callable while serving).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics.snapshot(
@@ -237,6 +273,21 @@ impl BoltServer {
     /// dispatch immediately), wait for all in-flight batches, stop the
     /// threads, and return the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.drain();
+        self.metrics()
+    }
+
+    /// Abrupt stop (a killed cluster replica): stop accepting and resolve
+    /// everything still queued as [`Outcome::Rejected`] instead of
+    /// executing it. Batches already on a stream still finish — the
+    /// exactly-once guarantee holds: every accepted request resolves,
+    /// just mostly as rejections.
+    pub fn abort(mut self) -> MetricsSnapshot {
+        {
+            let mut sched = self.inner.sched.lock().unwrap_or_else(|e| e.into_inner());
+            sched.aborting = true;
+            self.inner.sched_cv.notify_all();
+        }
         self.drain();
         self.metrics()
     }
@@ -289,8 +340,12 @@ fn batcher_loop(inner: &Inner, tx: &mpsc::SyncSender<BatchJob>) {
             return; // drained; dropping `tx` stops the workers
         }
         if !idle {
+            let abort = sched.aborting;
             // Resolve/dispatch outside the lock so submitters keep moving.
             drop(sched);
+            inner
+                .metrics
+                .dequeued(result.jobs.iter().map(|j| j.requests.len()).sum());
             for request in result.shed {
                 inner.metrics.deadline_shed();
                 request.slot.resolve(Outcome::DeadlineExceeded {
@@ -298,6 +353,18 @@ fn batcher_loop(inner: &Inner, tx: &mpsc::SyncSender<BatchJob>) {
                 });
             }
             for job in result.jobs {
+                if abort {
+                    // Abort drain: terminate queued work fast instead of
+                    // executing it. Exactly-once still holds — each
+                    // request resolves, as a rejection.
+                    for request in job.requests {
+                        inner.metrics.rejected_execution();
+                        request.slot.try_resolve(Outcome::Rejected {
+                            reason: "server aborted".into(),
+                        });
+                    }
+                    continue;
+                }
                 if let Err(mpsc::SendError(job)) = tx.send(job) {
                     // The worker pool is gone (every receiver dropped).
                     // Admission promised a terminal outcome: reject each
@@ -326,12 +393,30 @@ fn batcher_loop(inner: &Inner, tx: &mpsc::SyncSender<BatchJob>) {
     }
 }
 
+/// One memoized simulator pricing of an engine. The map key is the
+/// engine's `Arc` address; holding the `Arc` here pins that address so
+/// it cannot be recycled by a later allocation while the entry lives.
+struct PricedEngine {
+    engine: Arc<ExecutionPlan>,
+    total_us: f64,
+    timings: StepTimings,
+}
+
+/// Per-worker price-cache bound: far above any realistic live engine
+/// count, but keeps a hot-swapping online server from growing the map
+/// without limit.
+const PRICE_CACHE_CAP: usize = 64;
+
 fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<BatchJob>>) {
     // This worker's simulated stream: absolute µs (server timeline) until
     // which the stream is busy. Batches dispatched to the same stream
     // queue behind each other, exactly like kernels on a CUDA stream.
     // (Reset on a supervisor restart: a crashed stream loses its backlog.)
     let mut busy_until_us = 0.0f64;
+    // Simulator pricing is a pure function of the engine, so each worker
+    // prices an engine once and reuses the result — at high offered load
+    // the per-batch pricing walk would otherwise dominate real CPU time.
+    let mut price_cache: HashMap<usize, PricedEngine> = HashMap::new();
     loop {
         // Chaos: a worker thread may die *between* batches — it holds no
         // job here, so nothing is lost; the supervisor respawns it.
@@ -348,7 +433,7 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<BatchJob>>) {
                 // job as it resolves them, so whatever remains after a
                 // panic is exactly the unresolved set.
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_batch(inner, &mut job, &mut busy_until_us)
+                    execute_batch(inner, &mut job, &mut busy_until_us, &mut price_cache)
                 }));
                 if let Err(payload) = run {
                     inner.metrics.worker_panic();
@@ -371,7 +456,12 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<BatchJob>>) {
     }
 }
 
-fn execute_batch(inner: &Inner, job: &mut BatchJob, busy_until_us: &mut f64) {
+fn execute_batch(
+    inner: &Inner,
+    job: &mut BatchJob,
+    busy_until_us: &mut f64,
+    price_cache: &mut HashMap<usize, PricedEngine>,
+) {
     // Deadline enforcement at dequeue time: formation-time shedding
     // cannot see time spent *after* the batch formed — waiting in the
     // hand-off channel behind a slow batch. A request whose deadline has
@@ -443,10 +533,23 @@ fn execute_batch(inner: &Inner, job: &mut BatchJob, busy_until_us: &mut f64) {
     // the batch was split). The step observer attributes the batch's
     // latency per kernel, once per launch — with each launch's compute
     // scaled by its occupancy, so the zero-padded tail rows of a partial
-    // final launch are not priced as real per-kernel work.
-    let mut timings = StepTimings::default();
-    let report = placed.engine.time_observed(&mut timings);
-    let kernel_us = report.total_us * placed.launches as f64;
+    // final launch are not priced as real per-kernel work. Pricing is a
+    // pure function of the engine, so it is memoized per worker.
+    let key = Arc::as_ptr(&placed.engine) as usize;
+    if price_cache.len() >= PRICE_CACHE_CAP && !price_cache.contains_key(&key) {
+        price_cache.clear();
+    }
+    let priced = price_cache.entry(key).or_insert_with(|| {
+        let mut timings = StepTimings::default();
+        let report = placed.engine.time_observed(&mut timings);
+        PricedEngine {
+            engine: Arc::clone(&placed.engine),
+            total_us: report.total_us,
+            timings,
+        }
+    });
+    debug_assert!(Arc::ptr_eq(&priced.engine, &placed.engine));
+    let kernel_us = priced.total_us * placed.launches as f64;
     let images_per_sec = if kernel_us > 0.0 {
         batch as f64 * 1e6 / kernel_us
     } else {
@@ -458,7 +561,7 @@ fn execute_batch(inner: &Inner, job: &mut BatchJob, busy_until_us: &mut f64) {
         let rows = (batch - launch * bucket).min(bucket);
         inner
             .metrics
-            .kernel_times(&timings.scaled_occupancy(rows, bucket));
+            .kernel_times(&priced.timings.scaled_occupancy(rows, bucket));
     }
 
     // Really compute the batch when the model allows it, bucket-sized

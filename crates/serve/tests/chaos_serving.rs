@@ -76,24 +76,27 @@ fn serving_survives_seeded_fault_storm_with_zero_lost_requests() {
         ..ChaosConfig::default()
     });
 
-    let server = Arc::new(BoltServer::start(
-        Arc::clone(&reg),
-        ServeConfig {
-            workers: 2,
-            max_batch: 8,
-            batch_timeout: Duration::from_millis(1),
-            queue_capacity: 1024,
-            online: Some(OnlineConfig {
-                tuner_threads: 2,
-                retry_backoff: Duration::from_millis(5),
-                retry_backoff_max: Duration::from_millis(50),
-                breaker_threshold: 4,
-                breaker_cooldown: Duration::from_millis(20),
-                ..OnlineConfig::default()
-            }),
-            ..Default::default()
-        },
-    ));
+    let server = Arc::new(
+        BoltServer::start(
+            Arc::clone(&reg),
+            ServeConfig {
+                workers: 2,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(1),
+                queue_capacity: 1024,
+                online: Some(OnlineConfig {
+                    tuner_threads: 2,
+                    retry_backoff: Duration::from_millis(5),
+                    retry_backoff_max: Duration::from_millis(50),
+                    breaker_threshold: 4,
+                    breaker_cooldown: Duration::from_millis(20),
+                    ..OnlineConfig::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .expect("valid serve config"),
+    );
 
     const REQUESTS: usize = 500;
     let handles: Vec<_> = std::thread::scope(|scope| {

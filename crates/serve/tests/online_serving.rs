@@ -33,6 +33,7 @@ fn online_server(registry: &Arc<EngineRegistry>) -> BoltServer {
             ..Default::default()
         },
     )
+    .expect("valid serve config")
 }
 
 fn completed(outcome: Outcome) -> InferResponse {
@@ -182,7 +183,8 @@ fn oversized_batches_split_explicitly_and_count_overflow() {
             online: Some(OnlineConfig::default()),
             ..Default::default()
         },
-    );
+    )
+    .expect("valid serve config");
 
     let sample = |seed: u64| sample_inputs("mlp-small", seed).expect("zoo model");
     let handles: Vec<RequestHandle> = (0..6)
@@ -231,7 +233,8 @@ fn zero_bucket_model_without_online_tuning_rejects_and_counts() {
             online: None,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("valid serve config");
     for seed in 0..3 {
         let err = server.submit("mlp-large", sample(seed), None).unwrap_err();
         assert!(

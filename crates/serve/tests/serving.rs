@@ -51,16 +51,19 @@ fn sample(model: &str, seed: u64) -> Vec<Tensor> {
 /// saturating load, and deadline-shed requests are observed and counted.
 #[test]
 fn thousand_concurrent_requests_batch_and_resolve() {
-    let server = Arc::new(BoltServer::start(
-        shared_registry(),
-        ServeConfig {
-            workers: 4,
-            max_batch: 8,
-            batch_timeout: Duration::from_millis(20),
-            queue_capacity: 2048,
-            ..Default::default()
-        },
-    ));
+    let server = Arc::new(
+        BoltServer::start(
+            shared_registry(),
+            ServeConfig {
+                workers: 4,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(20),
+                queue_capacity: 2048,
+                ..Default::default()
+            },
+        )
+        .expect("valid serve config"),
+    );
 
     let models = ["mlp-small", "mlp-large"];
     let submitters = 8;
@@ -160,7 +163,8 @@ fn batch_formation_respects_max_batch_and_timeout() {
             batch_timeout: Duration::from_secs(2),
             ..Default::default()
         },
-    );
+    )
+    .expect("valid serve config");
     let start = std::time::Instant::now();
     let handles: Vec<_> = (0..4)
         .map(|i| {
@@ -190,7 +194,8 @@ fn batch_formation_respects_max_batch_and_timeout() {
             batch_timeout: timeout,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid serve config");
     let start = std::time::Instant::now();
     let handles: Vec<_> = (0..2)
         .map(|i| {
@@ -222,7 +227,8 @@ fn admission_control_rejects_fast_and_counts() {
             queue_capacity: 3,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid serve config");
 
     assert!(matches!(
         server.submit("no-such-model", sample("mlp-small", 0), None),
@@ -276,7 +282,7 @@ fn timing_only_models_serve_without_outputs() {
         .expect("register");
     assert!(!model.functional(), "shapes-only graphs are timing-only");
 
-    let server = BoltServer::start(registry, ServeConfig::default());
+    let server = BoltServer::start(registry, ServeConfig::default()).expect("valid serve config");
     match server
         .infer("dlrm-bottom", vec![Tensor::randn(&[1, 64], DType::F16, 1)])
         .expect("admitted")
@@ -297,7 +303,8 @@ fn timing_only_models_serve_without_outputs() {
 /// planned workspace in the metrics snapshot.
 #[test]
 fn cnn_serves_with_kernel_attribution_and_workspace() {
-    let server = BoltServer::start(shared_registry(), ServeConfig::default());
+    let server =
+        BoltServer::start(shared_registry(), ServeConfig::default()).expect("valid serve config");
     for i in 0..4 {
         match server
             .infer("cnn-small", sample("cnn-small", 100 + i))
@@ -344,7 +351,8 @@ fn cnn_serves_with_kernel_attribution_and_workspace() {
 
 #[test]
 fn submissions_after_shutdown_are_rejected() {
-    let server = BoltServer::start(shared_registry(), ServeConfig::default());
+    let server =
+        BoltServer::start(shared_registry(), ServeConfig::default()).expect("valid serve config");
     let ok = server
         .submit("mlp-small", sample("mlp-small", 1), None)
         .expect("accepted while running");
@@ -352,7 +360,8 @@ fn submissions_after_shutdown_are_rejected() {
     // Dropping shuts the server down; a second server on the same
     // registry proves engines outlive individual servers.
     drop(server);
-    let server = BoltServer::start(shared_registry(), ServeConfig::default());
+    let server =
+        BoltServer::start(shared_registry(), ServeConfig::default()).expect("valid serve config");
     assert!(server
         .infer("mlp-small", sample("mlp-small", 2))
         .expect("fresh server accepts")
@@ -384,7 +393,7 @@ proptest! {
                 queue_capacity: 64,
                 ..Default::default()
             },
-        ));
+        ).expect("valid serve config"));
 
         let mut accepted: Vec<RequestHandle> = Vec::new();
         let mut admission_rejected = 0u64;

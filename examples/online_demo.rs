@@ -41,20 +41,23 @@ fn registry(cache: &std::path::Path) -> Arc<EngineRegistry> {
 }
 
 fn serve_stream(reg: &Arc<EngineRegistry>, clients: usize, per_client: usize) -> f64 {
-    let server = Arc::new(BoltServer::start(
-        Arc::clone(reg),
-        ServeConfig {
-            workers: 2,
-            max_batch: 8,
-            batch_timeout: Duration::from_millis(2),
-            queue_capacity: 1024,
-            online: Some(OnlineConfig {
-                tuner_threads: 2,
-                ..OnlineConfig::default()
-            }),
-            ..Default::default()
-        },
-    ));
+    let server = Arc::new(
+        BoltServer::start(
+            Arc::clone(reg),
+            ServeConfig {
+                workers: 2,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(2),
+                queue_capacity: 1024,
+                online: Some(OnlineConfig {
+                    tuner_threads: 2,
+                    ..OnlineConfig::default()
+                }),
+                ..Default::default()
+            },
+        )
+        .expect("valid serve config"),
+    );
 
     // The very first request has no engine anywhere — it is still served,
     // on the heuristic default-config fallback, while its bucket tunes in

@@ -46,17 +46,20 @@ fn main() {
 
     // 2. Serve: 4 simulated GPU streams, batches close at 8 requests or
     //    after 2 ms, everyone gets a 500 ms deadline.
-    let server = Arc::new(BoltServer::start(
-        Arc::clone(&registry),
-        ServeConfig {
-            workers: 4,
-            max_batch: 8,
-            batch_timeout: Duration::from_millis(2),
-            queue_capacity: 1024,
-            default_deadline: Some(Duration::from_millis(500)),
-            ..Default::default()
-        },
-    ));
+    let server = Arc::new(
+        BoltServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                workers: 4,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(2),
+                queue_capacity: 1024,
+                default_deadline: Some(Duration::from_millis(500)),
+                ..Default::default()
+            },
+        )
+        .expect("valid serve config"),
+    );
 
     // 3. Flood it from concurrent clients.
     println!(
