@@ -78,8 +78,8 @@ fn serve_config() -> ServeConfig {
 }
 
 fn cluster(replicas: usize) -> Arc<Cluster> {
-    Cluster::new(ClusterConfig {
-        replica: ReplicaSpec {
+    Cluster::new(ClusterConfig::homogeneous(
+        ReplicaSpec {
             arch: GpuArch::tesla_t4(),
             bolt: BoltConfig::default(),
             serve: serve_config(),
@@ -89,9 +89,9 @@ fn cluster(replicas: usize) -> Arc<Cluster> {
                 tuned: false,
             }],
         },
-        initial_replicas: replicas,
-        policy: PlacementPolicy::LeastLoaded,
-    })
+        replicas,
+        PlacementPolicy::LeastLoaded,
+    ))
     .expect("cluster comes up")
 }
 

@@ -1,22 +1,29 @@
-//! The autoscaler: grows and shrinks the replica set from live load
-//! signals.
+//! The autoscaler: grows and shrinks each placement class from live
+//! load signals — the *hot class* scales, not the fleet uniformly.
 //!
-//! Signals per tick, scraped from each healthy replica's cheap
-//! [`bolt_serve::LoadGauges`]:
+//! Signals per tick, scraped per class from each healthy replica's
+//! cheap [`bolt_serve::LoadGauges`]:
 //!
 //! - **mean outstanding** — queued + in-flight requests averaged over
-//!   replicas (queue-depth pressure), and
-//! - **max recent p99** — the worst windowed p99 latency across
-//!   replicas (the cumulative p99 cannot move once enough history
-//!   accumulates, so the window is what tracks *current* load).
+//!   the class's replicas (queue-depth pressure), and
+//! - **max recent p99** — the worst windowed p99 latency in the class
+//!   (the cumulative p99 cannot move once enough history accumulates,
+//!   so the window is what tracks *current* load).
 //!
-//! Hysteresis: a scale-up needs `scale_up_after` consecutive hot ticks,
-//! a scale-down `scale_down_after` consecutive cold ticks, and every
-//! action is followed by `cooldown_ticks` of mandatory holding so the
-//! signals can re-settle before the next decision. Scale-down uses
+//! On a mixed fleet the classes saturate at different points (an
+//! A100-class replica absorbs several T4s' worth of throughput
+//! traffic), so hot/cold streaks are tracked **per class** and every
+//! scaling action names the class it acted on. Class size bounds live
+//! on [`crate::PlacementClass`] — the class definition owns its shape.
+//!
+//! Hysteresis: a scale-up needs `scale_up_after` consecutive hot ticks
+//! in that class, a scale-down `scale_down_after` consecutive cold
+//! ticks, and every action is followed by `cooldown_ticks` of mandatory
+//! holding for that class so its signals can re-settle. Scale-down uses
 //! [`crate::Cluster::drain_replica`] — graceful, so shrinking never
 //! drops accepted work.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,13 +33,10 @@ use crate::cluster::Cluster;
 use crate::error::ClusterError;
 use crate::replica::Health;
 
-/// Thresholds and pacing for an [`Autoscaler`].
+/// Thresholds and pacing for an [`Autoscaler`]. Applied per placement
+/// class; the per-class size bounds live on [`crate::PlacementClass`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct AutoscalerConfig {
-    /// Never drain below this many replicas.
-    pub min_replicas: usize,
-    /// Never grow above this many replicas.
-    pub max_replicas: usize,
     /// Hot when mean outstanding requests per replica exceeds this.
     pub queue_depth_high: f64,
     /// Cold only when mean outstanding falls below this.
@@ -41,19 +45,17 @@ pub struct AutoscalerConfig {
     pub p99_high_us: f64,
     /// Cold only when every replica's recent p99 is below this (µs).
     pub p99_low_us: f64,
-    /// Consecutive hot ticks before adding a replica.
+    /// Consecutive hot ticks before adding a replica to a class.
     pub scale_up_after: u32,
-    /// Consecutive cold ticks before draining a replica.
+    /// Consecutive cold ticks before draining a replica from a class.
     pub scale_down_after: u32,
-    /// Ticks to hold after any scaling action.
+    /// Ticks a class holds after any scaling action on it.
     pub cooldown_ticks: u32,
 }
 
 impl Default for AutoscalerConfig {
     fn default() -> Self {
         AutoscalerConfig {
-            min_replicas: 1,
-            max_replicas: 8,
             queue_depth_high: 32.0,
             queue_depth_low: 2.0,
             p99_high_us: 50_000.0,
@@ -70,22 +72,34 @@ impl Default for AutoscalerConfig {
 pub enum ScaleDecision {
     /// No change (within thresholds, in hysteresis, or in cooldown).
     Hold,
-    /// A replica was added.
+    /// A replica was added to a class.
     ScaledUp {
+        /// The placement class that grew.
+        class: String,
         /// The new replica's id.
         added: u64,
     },
-    /// A replica was gracefully drained out.
+    /// A replica was gracefully drained out of a class.
     ScaledDown {
+        /// The placement class that shrank.
+        class: String,
         /// The drained replica's id.
         drained: u64,
     },
     /// A scaling action was attempted and failed (e.g. launch error);
-    /// the autoscaler holds and will retry after cooldown.
+    /// the class holds and will retry after cooldown.
     Failed {
         /// The error the action hit.
         error: ClusterError,
     },
+}
+
+/// Per-class hysteresis state.
+#[derive(Debug, Default)]
+struct ClassState {
+    hot_ticks: u32,
+    cold_ticks: u32,
+    cooldown: u32,
 }
 
 /// Deterministic, manually-tickable scaling loop over a [`Cluster`].
@@ -94,92 +108,133 @@ pub enum ScaleDecision {
 pub struct Autoscaler {
     cluster: Arc<Cluster>,
     config: AutoscalerConfig,
-    hot_ticks: u32,
-    cold_ticks: u32,
-    cooldown: u32,
+    classes: HashMap<String, ClassState>,
 }
 
 impl Autoscaler {
     /// Creates an autoscaler driving `cluster` with `config`.
     pub fn new(cluster: Arc<Cluster>, config: AutoscalerConfig) -> Self {
+        let classes = cluster
+            .config()
+            .classes
+            .iter()
+            .map(|c| (c.name.clone(), ClassState::default()))
+            .collect();
         Autoscaler {
             cluster,
             config,
-            hot_ticks: 0,
-            cold_ticks: 0,
-            cooldown: 0,
+            classes,
         }
     }
 
-    /// One scaling decision from the current load signals.
+    /// One scaling decision from the current load signals: at most one
+    /// action per tick, on the class that needs it most. Below-floor
+    /// restore (e.g. after chaos kills) preempts everything and ignores
+    /// hysteresis — a class below its `min_replicas` is not a tuning
+    /// question.
     pub fn tick(&mut self) -> ScaleDecision {
         let replicas = self.cluster.replicas();
-        let healthy: Vec<_> = replicas
+        let class_defs: Vec<(String, usize, usize)> = self
+            .cluster
+            .config()
+            .classes
             .iter()
-            .filter(|r| r.health() == Health::Healthy)
+            .map(|c| (c.name.clone(), c.min_replicas, c.max_replicas))
             .collect();
 
-        // Below the floor (e.g. after chaos kills): restore first,
-        // ignoring hysteresis — a cluster below min_replicas is not a
-        // tuning question.
-        if healthy.len() < self.config.min_replicas {
-            return self.scale_up();
-        }
-
-        if self.cooldown > 0 {
-            self.cooldown -= 1;
-            return ScaleDecision::Hold;
-        }
-
-        let gauges: Vec<_> = healthy.iter().filter_map(|r| r.load()).collect();
-        if gauges.is_empty() {
-            return ScaleDecision::Hold;
-        }
-        let mean_outstanding =
-            gauges.iter().map(|g| g.outstanding()).sum::<u64>() as f64 / gauges.len() as f64;
-        let max_recent_p99 = gauges.iter().map(|g| g.recent_p99_us).fold(0.0, f64::max);
-
-        let hot = mean_outstanding > self.config.queue_depth_high
-            || max_recent_p99 > self.config.p99_high_us;
-        let cold = mean_outstanding < self.config.queue_depth_low
-            && max_recent_p99 < self.config.p99_low_us;
-
-        self.hot_ticks = if hot { self.hot_ticks + 1 } else { 0 };
-        self.cold_ticks = if cold { self.cold_ticks + 1 } else { 0 };
-
-        if self.hot_ticks >= self.config.scale_up_after && healthy.len() < self.config.max_replicas
-        {
-            return self.scale_up();
-        }
-        if self.cold_ticks >= self.config.scale_down_after
-            && healthy.len() > self.config.min_replicas
-        {
-            // Drain the least-loaded healthy replica: its queue empties
-            // fastest, so the drain completes promptly.
-            let victim = healthy
+        for (name, min_replicas, _) in &class_defs {
+            let healthy = replicas
                 .iter()
-                .min_by_key(|r| r.load().map_or(u64::MAX, |g| g.outstanding()))
-                .map(|r| r.id());
-            let Some(victim) = victim else {
-                return ScaleDecision::Hold;
-            };
-            self.hot_ticks = 0;
-            self.cold_ticks = 0;
-            self.cooldown = self.config.cooldown_ticks;
+                .filter(|r| r.class() == *name && r.health() == Health::Healthy)
+                .count();
+            if healthy < *min_replicas {
+                return self.scale_up_class(name);
+            }
+        }
+
+        // Hottest hot class scales up first; only when no class is due
+        // to grow does the coldest cold class shrink — growth is the
+        // SLO-protecting action.
+        let mut scale_up: Option<(f64, String)> = None;
+        let mut scale_down: Option<(u32, String, u64)> = None;
+        for (name, min_replicas, max_replicas) in &class_defs {
+            let state = self.classes.entry(name.clone()).or_default();
+            if state.cooldown > 0 {
+                state.cooldown -= 1;
+                continue;
+            }
+            let members: Vec<_> = replicas
+                .iter()
+                .filter(|r| r.class() == *name && r.health() == Health::Healthy)
+                .collect();
+            let gauges: Vec<_> = members.iter().filter_map(|r| r.load()).collect();
+            if gauges.is_empty() {
+                continue;
+            }
+            let mean_outstanding =
+                gauges.iter().map(|g| g.outstanding()).sum::<u64>() as f64 / gauges.len() as f64;
+            let max_recent_p99 = gauges.iter().map(|g| g.recent_p99_us).fold(0.0, f64::max);
+
+            let hot = mean_outstanding > self.config.queue_depth_high
+                || max_recent_p99 > self.config.p99_high_us;
+            let cold = mean_outstanding < self.config.queue_depth_low
+                && max_recent_p99 < self.config.p99_low_us;
+            state.hot_ticks = if hot { state.hot_ticks + 1 } else { 0 };
+            state.cold_ticks = if cold { state.cold_ticks + 1 } else { 0 };
+
+            if state.hot_ticks >= self.config.scale_up_after && members.len() < *max_replicas {
+                // Urgency = queue pressure; the hottest class wins the
+                // tick's one action.
+                if scale_up.as_ref().is_none_or(|(p, _)| mean_outstanding > *p) {
+                    scale_up = Some((mean_outstanding, name.clone()));
+                }
+            } else if state.cold_ticks >= self.config.scale_down_after
+                && members.len() > *min_replicas
+                && scale_down.is_none()
+            {
+                // Drain the least-loaded healthy replica of the class:
+                // its queue empties fastest, so the drain completes
+                // promptly.
+                let victim = members
+                    .iter()
+                    .min_by_key(|r| r.load().map_or(u64::MAX, |g| g.outstanding()))
+                    .map(|r| r.id());
+                if let Some(victim) = victim {
+                    scale_down = Some((state.cold_ticks, name.clone(), victim));
+                }
+            }
+        }
+
+        if let Some((_, class)) = scale_up {
+            return self.scale_up_class(&class);
+        }
+        if let Some((_, class, victim)) = scale_down {
+            self.reset_class(&class);
             return match self.cluster.drain_replica(victim) {
-                Ok(_) => ScaleDecision::ScaledDown { drained: victim },
+                Ok(_) => ScaleDecision::ScaledDown {
+                    class,
+                    drained: victim,
+                },
                 Err(error) => ScaleDecision::Failed { error },
             };
         }
         ScaleDecision::Hold
     }
 
-    fn scale_up(&mut self) -> ScaleDecision {
-        self.hot_ticks = 0;
-        self.cold_ticks = 0;
-        self.cooldown = self.config.cooldown_ticks;
-        match self.cluster.scale_up(1) {
-            Ok(ids) => ScaleDecision::ScaledUp { added: ids[0] },
+    fn reset_class(&mut self, class: &str) {
+        let state = self.classes.entry(class.to_string()).or_default();
+        state.hot_ticks = 0;
+        state.cold_ticks = 0;
+        state.cooldown = self.config.cooldown_ticks;
+    }
+
+    fn scale_up_class(&mut self, class: &str) -> ScaleDecision {
+        self.reset_class(class);
+        match self.cluster.scale_up_class(class, 1) {
+            Ok(ids) => ScaleDecision::ScaledUp {
+                class: class.to_string(),
+                added: ids[0],
+            },
             Err(error) => ScaleDecision::Failed { error },
         }
     }

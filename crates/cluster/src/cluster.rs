@@ -1,5 +1,6 @@
-//! The cluster front-end: membership, routed admission with failover,
-//! and replica lifecycle (scale-up, graceful drain, abrupt kill).
+//! The cluster front-end: heterogeneous membership grouped into
+//! placement classes, routed admission with failover, and replica
+//! lifecycle (per-class scale-up, graceful drain, abrupt kill).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,16 +14,55 @@ use crate::error::ClusterError;
 use crate::replica::{Health, Replica, ReplicaSpec};
 use crate::router::{PlacementPolicy, Router};
 
+/// One homogeneous group inside a (possibly heterogeneous) cluster: a
+/// named spec plus its scaling bounds. All replicas of a class share an
+/// architecture, models, and serve config; different classes may run
+/// different GPUs (the mixed T4 + A100 fleet), and the autoscaler
+/// scales each class independently.
+#[derive(Debug, Clone)]
+pub struct PlacementClass {
+    /// Class name, unique within the cluster (e.g. `"t4"`, `"a100"`).
+    pub name: String,
+    /// The spec every replica of this class launches from.
+    pub spec: ReplicaSpec,
+    /// Replicas launched by [`Cluster::new`].
+    pub initial_replicas: usize,
+    /// The autoscaler never drains this class below this many replicas.
+    pub min_replicas: usize,
+    /// The autoscaler never grows this class above this many replicas.
+    pub max_replicas: usize,
+}
+
 /// Tunables for a [`Cluster`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// The spec every replica launches from (the cluster is
-    /// homogeneous: same models, same serve config, same arch).
-    pub replica: ReplicaSpec,
-    /// Replicas launched by [`Cluster::new`]. Must be at least 1.
-    pub initial_replicas: usize,
+    /// The placement classes. At least one; initial replica counts must
+    /// sum to at least 1; class names must be distinct.
+    pub classes: Vec<PlacementClass>,
     /// Placement policy for the router.
     pub policy: PlacementPolicy,
+}
+
+impl ClusterConfig {
+    /// A single-class (homogeneous) cluster — the pre-fleet shape:
+    /// `initial_replicas` copies of `spec` in a class named
+    /// `"default"`, scaling between 1 and 8 replicas.
+    pub fn homogeneous(
+        spec: ReplicaSpec,
+        initial_replicas: usize,
+        policy: PlacementPolicy,
+    ) -> Self {
+        ClusterConfig {
+            classes: vec![PlacementClass {
+                name: "default".into(),
+                spec,
+                initial_replicas,
+                min_replicas: 1,
+                max_replicas: 8,
+            }],
+            policy,
+        }
+    }
 }
 
 /// Final metrics of a replica that left the cluster.
@@ -30,6 +70,8 @@ pub struct ClusterConfig {
 pub struct RetiredReplica {
     /// The departed replica's id.
     pub id: u64,
+    /// The placement class it belonged to.
+    pub class: String,
     /// `true` for a graceful drain, `false` for an abrupt kill.
     pub graceful: bool,
     /// Its final metrics snapshot (all accepted work resolved).
@@ -90,16 +132,18 @@ pub struct ClusterSnapshot {
     pub totals: ClusterTotals,
 }
 
-/// A sharded serving cluster: N homogeneous [`Replica`]s fronted by a
-/// router with failover and replica-aware admission.
+/// A sharded serving cluster: [`Replica`]s grouped into
+/// [`PlacementClass`]es (possibly of different architectures), fronted
+/// by a router with failover and replica-aware admission.
 ///
 /// Admission semantics: the router orders the healthy replicas for each
 /// request; backpressure (queue full) or a dying replica moves the
-/// request to the next candidate, and only when **every** candidate
-/// refuses does the cluster fail fast with
+/// request to the next candidate — under [`PlacementPolicy::CostSlo`]
+/// that means degrading to the next-cheapest *class* — and only when
+/// **every** candidate refuses does the cluster fail fast with
 /// [`ClusterError::AllBackpressured`]. Non-recoverable rejections
-/// (unknown model, invalid input) fail immediately — every replica runs
-/// the same spec, so re-routing cannot change the answer.
+/// (unknown model, invalid input) fail immediately — every class serves
+/// the same models, so re-routing cannot change the answer.
 pub struct Cluster {
     config: ClusterConfig,
     members: RwLock<Vec<Arc<Replica>>>,
@@ -122,16 +166,36 @@ impl std::fmt::Debug for Cluster {
 }
 
 impl Cluster {
-    /// Launches `config.initial_replicas` replicas and starts routing.
+    /// Launches every class's initial replicas and starts routing.
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Lifecycle`] when `initial_replicas` is zero,
-    /// [`ClusterError::Launch`] when a replica fails to come up.
+    /// [`ClusterError::Lifecycle`] when the config has no classes,
+    /// duplicate class names, or zero total initial replicas;
+    /// [`ClusterError::Launch`] / [`ClusterError::Bundle`] when a
+    /// replica fails to come up.
     pub fn new(config: ClusterConfig) -> Result<Arc<Cluster>, ClusterError> {
-        if config.initial_replicas == 0 {
+        if config.classes.is_empty() {
             return Err(ClusterError::Lifecycle {
-                reason: "initial_replicas must be at least 1".into(),
+                reason: "cluster needs at least one placement class".into(),
+            });
+        }
+        for (i, class) in config.classes.iter().enumerate() {
+            if config.classes[..i].iter().any(|c| c.name == class.name) {
+                return Err(ClusterError::Lifecycle {
+                    reason: format!("duplicate placement class {:?}", class.name),
+                });
+            }
+        }
+        if config
+            .classes
+            .iter()
+            .map(|c| c.initial_replicas)
+            .sum::<usize>()
+            == 0
+        {
+            return Err(ClusterError::Lifecycle {
+                reason: "initial replicas must total at least 1".into(),
             });
         }
         let cluster = Arc::new(Cluster {
@@ -142,7 +206,9 @@ impl Cluster {
             next_id: AtomicU64::new(0),
             config,
         });
-        cluster.scale_up(cluster.config.initial_replicas)?;
+        for class in &cluster.config.classes {
+            cluster.scale_up_class(&class.name, class.initial_replicas)?;
+        }
         Ok(cluster)
     }
 
@@ -159,6 +225,15 @@ impl Cluster {
     /// Number of live (non-retired) replicas.
     pub fn replica_count(&self) -> usize {
         self.members.read().len()
+    }
+
+    /// Number of live replicas in placement class `class`.
+    pub fn class_count(&self, class: &str) -> usize {
+        self.members
+            .read()
+            .iter()
+            .filter(|r| r.class() == class)
+            .count()
     }
 
     /// The current membership epoch (bumped on every change).
@@ -181,9 +256,9 @@ impl Cluster {
         inputs: Vec<Tensor>,
         deadline: Option<Duration>,
     ) -> Result<RequestHandle, ClusterError> {
-        let mut candidates = self
-            .router
-            .candidates(model, &self.members.read(), self.epoch());
+        let mut candidates =
+            self.router
+                .candidates(model, &self.members.read(), self.epoch(), deadline);
 
         // Chaos: a seeded replica kill scheduled at this submission
         // index abruptly kills the primary placement, then re-plans —
@@ -192,9 +267,9 @@ impl Cluster {
         if bolt::faults::fail(bolt::faults::FaultSite::ReplicaKill).is_some() {
             if let Some(primary) = candidates.first() {
                 let _ = self.kill_replica(primary.id());
-                candidates = self
-                    .router
-                    .candidates(model, &self.members.read(), self.epoch());
+                candidates =
+                    self.router
+                        .candidates(model, &self.members.read(), self.epoch(), deadline);
             }
         }
 
@@ -233,20 +308,44 @@ impl Cluster {
         Ok(self.submit(model, inputs, None)?.wait())
     }
 
-    /// Launches `n` additional replicas from the cluster spec and adds
-    /// them to the routing set. With a shared
-    /// [`bolt::BoltConfig::cache_path`] the new replicas compile warm
-    /// (the autotune cache already holds the tuned configs).
+    /// Launches `n` additional replicas of the **first** placement
+    /// class — the whole cluster, when it is homogeneous. Heterogeneous
+    /// callers (the autoscaler) use [`Cluster::scale_up_class`].
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Launch`] when a replica fails to come up;
-    /// replicas launched before the failure stay in the cluster.
+    /// Same as [`Cluster::scale_up_class`].
     pub fn scale_up(&self, n: usize) -> Result<Vec<u64>, ClusterError> {
+        let class = self.config.classes[0].name.clone();
+        self.scale_up_class(&class, n)
+    }
+
+    /// Launches `n` additional replicas of placement class `class` and
+    /// adds them to the routing set. With a shared
+    /// [`bolt::BoltConfig::cache_path`] or a packed
+    /// [`bolt::BoltConfig::bundle_path`] the new replicas compile warm
+    /// (zero tuning seconds — the configs are already on disk).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Lifecycle`] for an unknown class name;
+    /// [`ClusterError::Launch`] / [`ClusterError::Bundle`] when a
+    /// replica fails to come up; replicas launched before the failure
+    /// stay in the cluster.
+    pub fn scale_up_class(&self, class: &str, n: usize) -> Result<Vec<u64>, ClusterError> {
+        let spec = self
+            .config
+            .classes
+            .iter()
+            .find(|c| c.name == class)
+            .map(|c| c.spec.clone())
+            .ok_or_else(|| ClusterError::Lifecycle {
+                reason: format!("unknown placement class {class:?}"),
+            })?;
         let mut added = Vec::with_capacity(n);
         for _ in 0..n {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-            let replica = Replica::launch(id, &self.config.replica)?;
+            let replica = Replica::launch(id, class, &spec)?;
             self.members.write().push(replica);
             self.epoch.fetch_add(1, Ordering::AcqRel);
             added.push(id);
@@ -284,6 +383,7 @@ impl Cluster {
             .expect("replica was a live member, so its server exists");
         self.retired.lock().push(RetiredReplica {
             id,
+            class: replica.class().to_string(),
             graceful: true,
             stats: stats.clone(),
         });
@@ -315,6 +415,7 @@ impl Cluster {
             .expect("replica was a live member, so its server exists");
         self.retired.lock().push(RetiredReplica {
             id,
+            class: replica.class().to_string(),
             graceful: false,
             stats: stats.clone(),
         });
@@ -361,6 +462,7 @@ impl Cluster {
             if let Some(stats) = replica.retire(true) {
                 self.retired.lock().push(RetiredReplica {
                     id: replica.id(),
+                    class: replica.class().to_string(),
                     graceful: true,
                     stats,
                 });

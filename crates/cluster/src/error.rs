@@ -28,6 +28,16 @@ pub enum ClusterError {
     },
     /// A replica failed to launch (engine compilation or configuration).
     Launch(ServeError),
+    /// The packed tune bundle a replica was asked to boot from is
+    /// unusable: unreadable, corrupt, or holding no shard for the
+    /// replica's architecture. Launch refuses rather than silently
+    /// re-tuning — a fleet misconfiguration must be loud.
+    Bundle {
+        /// The bundle path.
+        path: String,
+        /// The underlying cache error (arch mismatch, corruption, IO).
+        reason: String,
+    },
     /// A lifecycle operation would violate a cluster bound (e.g.
     /// draining the last healthy replica).
     Lifecycle {
@@ -46,6 +56,9 @@ impl fmt::Display for ClusterError {
             ClusterError::Replica(e) => write!(f, "replica rejected request: {e}"),
             ClusterError::UnknownReplica { id } => write!(f, "no replica with id {id}"),
             ClusterError::Launch(e) => write!(f, "replica launch failed: {e}"),
+            ClusterError::Bundle { path, reason } => {
+                write!(f, "tune bundle {path} rejected: {reason}")
+            }
             ClusterError::Lifecycle { reason } => {
                 write!(f, "lifecycle operation refused: {reason}")
             }

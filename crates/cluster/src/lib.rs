@@ -2,33 +2,43 @@
 //! # bolt-cluster
 //!
 //! A simulated sharded serving cluster layered on `bolt-serve` — the
-//! "millions of users" tier: N tuned replicas turned into near-linear
-//! aggregate throughput.
+//! "millions of users" tier: tuned replicas, possibly of **mixed
+//! architectures**, turned into near-linear aggregate throughput.
 //!
 //! The subsystem has four moving parts:
 //!
 //! 1. **Replicas** ([`Replica`], launched from a [`ReplicaSpec`]) — each
 //!    an independent [`bolt_serve::EngineRegistry`] plus a
 //!    [`bolt_serve::BoltServer`] (scheduler, batcher, worker pool of
-//!    simulated GPU streams), with a cluster-visible health state.
-//!    Replicas sharing a [`bolt::BoltConfig::cache_path`] launch warm:
-//!    scale-up re-reads the tuned configs the first replica profiled.
+//!    simulated GPU streams), with a cluster-visible health state and a
+//!    [`PlacementClass`] membership. Replicas sharing a
+//!    [`bolt::BoltConfig::cache_path`] launch warm, and a packed
+//!    multi-arch tune bundle ([`bolt::BoltConfig::bundle_path`], built
+//!    by `bolt-tune pack`) boots a replica of *any* architecture with
+//!    [`Replica::tuning_seconds`]` == 0` — launch strictly validates
+//!    the bundle and refuses ([`ClusterError::Bundle`]) rather than
+//!    silently re-tuning.
 //! 2. **Router** ([`PlacementPolicy`]) — consistent hashing of the model
-//!    name onto a virtual-node ring (cache affinity: a model's requests
-//!    stay on one replica while it lives), or least-loaded with rotating
-//!    tie-break (instantaneous balance for single-model workloads). The
-//!    candidate order doubles as the failover order.
+//!    name onto a virtual-node ring (cache affinity), least-loaded with
+//!    rotating tie-break (instantaneous balance), or **cost/SLO-aware
+//!    placement** for mixed fleets: replicas are scored by their
+//!    simulated per-arch kernel cost ([`Replica::kernel_cost`]) so
+//!    latency-critical requests land on the nearest warm fast engine
+//!    while bulk traffic flows to the class that amortizes big batches
+//!    best. The candidate order doubles as the failover order, so
+//!    backpressure degrades across classes instead of failing.
 //! 3. **Replica-aware admission** ([`Cluster::submit`]) — backpressure
 //!    or a dying replica re-routes the request (inputs are handed back
 //!    by `submit_recoverable`, never cloned per attempt); the cluster
 //!    fails fast with [`ClusterError::AllBackpressured`] only when
 //!    *every* healthy candidate refused.
-//! 4. **Autoscaler** ([`Autoscaler`]) — grows and shrinks the replica
-//!    set from mean queue depth and windowed-p99 signals with
-//!    hysteresis and cooldown; scale-down is a graceful drain, so
-//!    shrinking never drops accepted work. Replica death (the `chaos`
-//!    feature's seeded [`bolt::faults::FaultSite::ReplicaKill`]) is
-//!    detected by the router, which re-routes around the corpse.
+//! 4. **Autoscaler** ([`Autoscaler`]) — tracks mean queue depth and
+//!    windowed-p99 signals **per class** with hysteresis and cooldown,
+//!    scaling the hot class instead of the fleet uniformly; class size
+//!    bounds live on [`PlacementClass`]. Scale-down is a graceful
+//!    drain, so shrinking never drops accepted work. Replica death (the
+//!    `chaos` feature's seeded [`bolt::faults::FaultSite::ReplicaKill`])
+//!    is detected by the router, which re-routes around the corpse.
 //!
 //! Exactly-once everywhere: every request a replica accepts resolves to
 //! one terminal [`bolt_serve::Outcome`] — through graceful drains,
@@ -45,16 +55,17 @@
 //! use bolt_serve::{Outcome, ServeConfig};
 //! use bolt_tensor::{DType, Tensor};
 //!
-//! let cluster = Cluster::new(ClusterConfig {
-//!     replica: ReplicaSpec {
-//!         arch: GpuArch::tesla_t4(),
-//!         bolt: BoltConfig::default(),
-//!         serve: ServeConfig::default(),
-//!         models: vec![ModelSpec::Zoo { name: "mlp-small".into(), tuned: true }],
-//!     },
-//!     initial_replicas: 2,
-//!     policy: PlacementPolicy::default(),
-//! })
+//! let spec = ReplicaSpec {
+//!     arch: GpuArch::tesla_t4(),
+//!     bolt: BoltConfig::default(),
+//!     serve: ServeConfig::default(),
+//!     models: vec![ModelSpec::Zoo { name: "mlp-small".into(), tuned: true }],
+//! };
+//! let cluster = Cluster::new(ClusterConfig::homogeneous(
+//!     spec,
+//!     2,
+//!     PlacementPolicy::default(),
+//! ))
 //! .unwrap();
 //!
 //! let outcome = cluster
@@ -64,6 +75,11 @@
 //! let end = cluster.shutdown();
 //! assert_eq!(end.totals.unresolved(), 0);
 //! ```
+//!
+//! A heterogeneous fleet lists one [`PlacementClass`] per architecture
+//! (e.g. a `"t4"` class and an `"a100"` class over the same models)
+//! and routes with [`PlacementPolicy::CostSlo`]; see
+//! `examples/cluster_demo.rs`.
 
 pub mod autoscaler;
 pub mod cluster;
@@ -72,9 +88,11 @@ pub mod replica;
 pub mod router;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, AutoscalerHandle, ScaleDecision};
-pub use cluster::{Cluster, ClusterConfig, ClusterSnapshot, ClusterTotals, RetiredReplica};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterSnapshot, ClusterTotals, PlacementClass, RetiredReplica,
+};
 pub use error::ClusterError;
-pub use replica::{Health, ModelSpec, Replica, ReplicaSpec};
+pub use replica::{Health, KernelCost, ModelSpec, Replica, ReplicaSpec};
 pub use router::PlacementPolicy;
 
 /// Result alias for cluster operations.

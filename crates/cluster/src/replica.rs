@@ -1,7 +1,9 @@
 //! One serving replica: an independent engine registry plus a
 //! [`BoltServer`] (scheduler, batcher, worker pool of simulated GPU
-//! streams), with a cluster-visible health state and retire hooks.
+//! streams), with a cluster-visible health state, placement-class
+//! membership, per-arch kernel-cost signals, and retire hooks.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -73,15 +75,20 @@ impl std::fmt::Debug for ModelSpec {
     }
 }
 
-/// Everything needed to launch one replica. Every replica in a cluster
-/// runs the same spec; sharing [`BoltConfig::cache_path`] across
-/// replicas makes later launches (autoscaler scale-up) warm — they
-/// re-read the tuned configs the first replica profiled.
+/// Everything needed to launch one replica. Every replica in a
+/// placement class runs the same spec; different classes may run
+/// different architectures. Sharing [`BoltConfig::cache_path`] across
+/// replicas makes later launches (autoscaler scale-up) warm, and
+/// setting [`BoltConfig::bundle_path`] to a packed multi-arch bundle
+/// (`bolt-tune pack`) boots replicas of *any* arch with zero tuning
+/// time — launch strictly validates that the bundle carries a shard for
+/// the replica's architecture.
 #[derive(Debug, Clone)]
 pub struct ReplicaSpec {
     /// Simulated GPU the replica's engines compile for.
     pub arch: GpuArch,
-    /// Compiler configuration (set `cache_path` for warm scale-up).
+    /// Compiler configuration (set `cache_path` for warm scale-up,
+    /// `bundle_path` for zero-tuning boots from a shipped bundle).
     pub bolt: BoltConfig,
     /// Per-replica server configuration.
     pub serve: ServeConfig,
@@ -120,21 +127,48 @@ impl Health {
     }
 }
 
+/// The simulated kernel-cost signal the cost/SLO-aware router places
+/// by: what one request costs on *this* replica's architecture, priced
+/// from the compiled engines' `bolt-gpu-sim` timelines (no live
+/// measurement on the routing path — the costs are cached at first
+/// lookup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Simulated latency of a single-sample launch (the smallest
+    /// compiled bucket), in µs — the latency-critical signal.
+    pub batch1_us: f64,
+    /// Simulated per-sample cost at the largest compiled bucket, in µs
+    /// — the throughput signal (big arches amortize better).
+    pub per_sample_us: f64,
+    /// The largest compiled bucket the per-sample cost was priced at.
+    pub max_batch: usize,
+}
+
 /// One serving replica, owned by a [`crate::Cluster`].
 pub struct Replica {
     id: u64,
+    /// The placement class that launched this replica.
+    class: String,
     registry: Arc<EngineRegistry>,
     /// `None` once retired; the server is *taken out* to shut down, so a
     /// racing submit sees an empty slot and reports `ShuttingDown`
     /// instead of touching a joined thread pool.
     server: RwLock<Option<BoltServer>>,
     health: AtomicU8,
+    /// Simulated tuning wall-clock this replica's launch paid. Zero when
+    /// it booted fully warm from a cache or packed bundle.
+    tuning_seconds: f64,
+    /// Per-model kernel-cost cache for the router (engines are
+    /// immutable once compiled, so a priced cost never goes stale).
+    costs: RwLock<HashMap<String, KernelCost>>,
 }
 
 impl std::fmt::Debug for Replica {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Replica")
             .field("id", &self.id)
+            .field("class", &self.class)
+            .field("arch", &self.registry.arch().name)
             .field("health", &self.health())
             .finish_non_exhaustive()
     }
@@ -142,31 +176,96 @@ impl std::fmt::Debug for Replica {
 
 impl Replica {
     /// Compiles the spec's models into a fresh registry and starts the
-    /// serving threads.
+    /// serving threads, recording the replica's `class` and the tuning
+    /// time the launch paid. When the spec names a tune bundle
+    /// ([`BoltConfig::bundle_path`] or `BOLT_TUNE_BUNDLE`), the bundle
+    /// is validated **strictly** first: a missing, corrupt, or
+    /// wrong-arch bundle refuses the launch instead of silently
+    /// re-tuning for minutes.
     ///
     /// # Errors
     ///
+    /// [`ClusterError::Bundle`] for an unusable tune bundle,
     /// [`ClusterError::Launch`] when a model fails to register/compile
     /// or the serve configuration is invalid.
-    pub fn launch(id: u64, spec: &ReplicaSpec) -> Result<Arc<Replica>, ClusterError> {
+    pub fn launch(id: u64, class: &str, spec: &ReplicaSpec) -> Result<Arc<Replica>, ClusterError> {
         let registry = Arc::new(EngineRegistry::new(spec.arch.clone(), spec.bolt.clone()));
+        if let Some(path) = spec.bolt.tune_bundle_path() {
+            // The compiler already loaded the bundle leniently at
+            // construction; re-loading strictly costs one parse of a
+            // small file (inserts are first-wins no-ops) and turns a
+            // fleet misconfiguration into a typed refusal.
+            registry
+                .compiler()
+                .profiler()
+                .load_bundle(&path)
+                .map_err(|e| ClusterError::Bundle {
+                    path: path.display().to_string(),
+                    reason: e.to_string(),
+                })?;
+        }
         let buckets = spec.serve.buckets();
         for model in &spec.models {
             register_model(&registry, model, &buckets).map_err(ClusterError::Launch)?;
         }
+        let tuning_seconds = registry.compiler().profiler().stats().tuning_seconds();
         let server = BoltServer::start(Arc::clone(&registry), spec.serve.clone())
             .map_err(ClusterError::Launch)?;
         Ok(Arc::new(Replica {
             id,
+            class: class.to_string(),
             registry,
             server: RwLock::new(Some(server)),
             health: AtomicU8::new(Health::Healthy.as_u8()),
+            tuning_seconds,
+            costs: RwLock::new(HashMap::new()),
         }))
     }
 
     /// The cluster-assigned replica id (stable for its lifetime).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The placement class this replica belongs to.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    /// The architecture this replica's engines are compiled for.
+    pub fn arch(&self) -> &GpuArch {
+        self.registry.arch()
+    }
+
+    /// Simulated tuning wall-clock the launch paid (template generation
+    /// plus profiling). Zero when every workload came from a warm cache
+    /// or packed bundle — the paper's "ship the tuned configs, not the
+    /// tuning" claim, observable per replica.
+    pub fn tuning_seconds(&self) -> f64 {
+        self.tuning_seconds
+    }
+
+    /// The cached kernel-cost signal for `model` on this replica's
+    /// architecture, priced from the compiled engines on first lookup.
+    /// `None` when the model is unknown here or has no compiled bucket
+    /// yet (dynamic registration before first traffic).
+    pub fn kernel_cost(&self, model: &str) -> Option<KernelCost> {
+        if let Some(cost) = self.costs.read().get(model) {
+            return Some(*cost);
+        }
+        let engines = self.registry.get(model)?;
+        let buckets = engines.bucket_sizes();
+        let (&smallest, &largest) = (buckets.first()?, buckets.last()?);
+        let batch1_us = engines.engine_for(smallest)?.1.time().total_us;
+        let (max_batch, big_engine) = engines.engine_for(largest)?;
+        let per_sample_us = big_engine.time().total_us / max_batch.max(1) as f64;
+        let cost = KernelCost {
+            batch1_us,
+            per_sample_us,
+            max_batch,
+        };
+        self.costs.write().insert(model.to_string(), cost);
+        Some(cost)
     }
 
     /// This replica's engine registry.

@@ -3,6 +3,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -16,7 +17,8 @@ pub enum PlacementPolicy {
     /// lives (cache affinity — its engines, price cache, and batch
     /// queues stay hot), and membership changes only move the models
     /// that hashed onto the departed replica. Failover order is the ring
-    /// walk, which is also stable per model.
+    /// walk, which is also stable per model. **Arch-blind**: on a mixed
+    /// fleet a latency-critical request can hash onto the slowest class.
     ConsistentHash {
         /// Ring points per replica; more points smooth the load split
         /// across models (128 is a good default).
@@ -25,8 +27,39 @@ pub enum PlacementPolicy {
     /// Route each request to the replica with the fewest outstanding
     /// (queued + in-flight) requests; ties rotate. Ignores affinity but
     /// tracks instantaneous load, which is the right trade for a
-    /// single-model workload where affinity buys nothing.
+    /// single-model homogeneous fleet where affinity buys nothing. Also
+    /// arch-blind: an idle slow replica beats a lightly-loaded fast one.
     LeastLoaded,
+    /// Cost/SLO-aware placement for heterogeneous fleets: replicas are
+    /// scored by their **simulated kernel cost** for the request's model
+    /// ([`Replica::kernel_cost`], priced from each arch's compiled
+    /// engines) combined with instantaneous load.
+    ///
+    /// A request with a deadline at or under `tight_deadline_us` is
+    /// latency-critical: it is scored by expected single-sample latency
+    /// — `batch1_us + outstanding × per_sample_us` — which sends it to
+    /// the nearest *warm, fast* engine. Everything else is throughput
+    /// traffic, scored by per-sample cost inflated by relative queue
+    /// pressure — `per_sample_us × (1 + outstanding / max_batch)` —
+    /// which steers bulk load toward the class that amortizes big
+    /// batches best (A100-class) while still spilling onto smaller
+    /// arches when the big class saturates. The score order doubles as
+    /// the failover order, so backpressure degrades to the
+    /// next-cheapest class instead of failing.
+    CostSlo {
+        /// Deadlines at or under this many µs are latency-critical.
+        tight_deadline_us: u64,
+    },
+}
+
+impl PlacementPolicy {
+    /// The paper-benchmark default for mixed fleets: deadlines of 25 ms
+    /// or less route latency-critically.
+    pub fn cost_slo() -> Self {
+        PlacementPolicy::CostSlo {
+            tight_deadline_us: 25_000,
+        }
+    }
 }
 
 impl Default for PlacementPolicy {
@@ -68,12 +101,14 @@ impl Router {
     /// The ordered candidate list for `model` over the current members:
     /// first entry is the primary placement, the rest are the failover
     /// order when it is backpressured or dead. Only healthy replicas are
-    /// returned.
+    /// returned. `deadline` feeds the [`PlacementPolicy::CostSlo`]
+    /// latency-critical classification; the other policies ignore it.
     pub(crate) fn candidates(
         &self,
         model: &str,
         members: &[Arc<Replica>],
         epoch: u64,
+        deadline: Option<Duration>,
     ) -> Vec<Arc<Replica>> {
         let healthy: Vec<Arc<Replica>> = members
             .iter()
@@ -88,6 +123,11 @@ impl Router {
                 self.ring_order(model, &healthy, virtual_nodes, epoch)
             }
             PlacementPolicy::LeastLoaded => self.load_order(healthy),
+            PlacementPolicy::CostSlo { tight_deadline_us } => {
+                let tight =
+                    deadline.is_some_and(|d| d.as_micros() <= u128::from(tight_deadline_us));
+                self.cost_order(model, healthy, tight)
+            }
         }
     }
 
@@ -142,6 +182,41 @@ impl Router {
         healthy.rotate_left(offset);
         healthy.sort_by_key(|r| r.load().map_or(u64::MAX, |g| g.outstanding()));
         healthy
+    }
+
+    /// Cost/SLO order: ascending by the per-replica score described on
+    /// [`PlacementPolicy::CostSlo`]. A replica that cannot price the
+    /// model (unknown, or no compiled bucket yet) scores last but stays
+    /// a failover candidate. The rotating pre-sort keeps equally-scored
+    /// replicas sharing placements.
+    fn cost_order(
+        &self,
+        model: &str,
+        mut healthy: Vec<Arc<Replica>>,
+        tight: bool,
+    ) -> Vec<Arc<Replica>> {
+        let offset = self.rotation.fetch_add(1, Ordering::Relaxed) as usize % healthy.len();
+        healthy.rotate_left(offset);
+        let mut scored: Vec<(f64, Arc<Replica>)> = healthy
+            .into_iter()
+            .map(|r| {
+                let outstanding = r.load().map_or(u64::MAX, |g| g.outstanding());
+                let score = match (r.kernel_cost(model), outstanding) {
+                    (_, u64::MAX) | (None, _) => f64::INFINITY,
+                    (Some(cost), outstanding) => {
+                        if tight {
+                            cost.batch1_us + outstanding as f64 * cost.per_sample_us
+                        } else {
+                            cost.per_sample_us
+                                * (1.0 + outstanding as f64 / cost.max_batch.max(1) as f64)
+                        }
+                    }
+                };
+                (score, r)
+            })
+            .collect();
+        scored.sort_by(|(a, _), (b, _)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().map(|(_, r)| r).collect()
     }
 }
 

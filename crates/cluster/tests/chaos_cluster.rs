@@ -11,7 +11,7 @@ use std::time::Duration;
 use bolt::faults::{self, ChaosConfig, FaultSite};
 use bolt::BoltConfig;
 use bolt_cluster::{Cluster, ClusterConfig, ClusterError, ModelSpec, PlacementPolicy, ReplicaSpec};
-use bolt_gpu_sim::GpuArch;
+use bolt_serve::testing::test_arch;
 use bolt_serve::{Outcome, ServeConfig};
 use bolt_tensor::{DType, Tensor};
 
@@ -24,9 +24,9 @@ fn chaos_seed() -> u64 {
 
 #[test]
 fn seeded_replica_kills_reroute_without_losing_requests() {
-    let cluster = Cluster::new(ClusterConfig {
-        replica: ReplicaSpec {
-            arch: GpuArch::tesla_t4(),
+    let cluster = Cluster::new(ClusterConfig::homogeneous(
+        ReplicaSpec {
+            arch: test_arch(),
             bolt: BoltConfig::default(),
             serve: ServeConfig {
                 workers: 1,
@@ -37,9 +37,9 @@ fn seeded_replica_kills_reroute_without_losing_requests() {
                 tuned: false,
             }],
         },
-        initial_replicas: 3,
-        policy: PlacementPolicy::LeastLoaded,
-    })
+        3,
+        PlacementPolicy::LeastLoaded,
+    ))
     .expect("cluster up");
 
     // Kill the routed replica at the 10th and 25th submissions.

@@ -14,7 +14,7 @@ use bolt_cluster::{
     Autoscaler, AutoscalerConfig, Cluster, ClusterConfig, ClusterError, ModelSpec, PlacementPolicy,
     ReplicaSpec, ScaleDecision,
 };
-use bolt_gpu_sim::GpuArch;
+use bolt_serve::testing::test_arch;
 use bolt_serve::{Outcome, ServeConfig, ServeError};
 use bolt_tensor::{DType, Tensor};
 
@@ -24,7 +24,7 @@ fn sample(seed: u64) -> Vec<Tensor> {
 
 fn spec(serve: ServeConfig) -> ReplicaSpec {
     ReplicaSpec {
-        arch: GpuArch::tesla_t4(),
+        arch: test_arch(),
         bolt: BoltConfig::default(),
         serve,
         models: vec![ModelSpec::Zoo {
@@ -35,12 +35,22 @@ fn spec(serve: ServeConfig) -> ReplicaSpec {
 }
 
 fn cluster(replicas: usize, policy: PlacementPolicy, serve: ServeConfig) -> Arc<Cluster> {
-    Cluster::new(ClusterConfig {
-        replica: spec(serve),
-        initial_replicas: replicas,
-        policy,
-    })
-    .expect("cluster comes up")
+    Cluster::new(ClusterConfig::homogeneous(spec(serve), replicas, policy))
+        .expect("cluster comes up")
+}
+
+/// Like `cluster`, with explicit scaling bounds on the single class.
+fn bounded_cluster(
+    replicas: usize,
+    min: usize,
+    max: usize,
+    policy: PlacementPolicy,
+    serve: ServeConfig,
+) -> Arc<Cluster> {
+    let mut config = ClusterConfig::homogeneous(spec(serve), replicas, policy);
+    config.classes[0].min_replicas = min;
+    config.classes[0].max_replicas = max;
+    Cluster::new(config).expect("cluster comes up")
 }
 
 /// A serve config whose queues hold work: batches form only at
@@ -196,12 +206,10 @@ fn abrupt_kill_rejects_queued_work_exactly_once() {
 
 #[test]
 fn autoscaler_scales_up_on_queue_pressure() {
-    let cluster = cluster(1, PlacementPolicy::LeastLoaded, holding_config(64));
+    let cluster = bounded_cluster(1, 1, 2, PlacementPolicy::LeastLoaded, holding_config(64));
     let mut scaler = Autoscaler::new(
         Arc::clone(&cluster),
         AutoscalerConfig {
-            min_replicas: 1,
-            max_replicas: 2,
             queue_depth_high: 4.0,
             scale_up_after: 2,
             cooldown_ticks: 0,
@@ -239,12 +247,16 @@ fn autoscaler_scales_up_on_queue_pressure() {
 
 #[test]
 fn autoscaler_drains_idle_replicas_down_to_min() {
-    let cluster = cluster(2, PlacementPolicy::LeastLoaded, ServeConfig::default());
+    let cluster = bounded_cluster(
+        2,
+        1,
+        4,
+        PlacementPolicy::LeastLoaded,
+        ServeConfig::default(),
+    );
     let mut scaler = Autoscaler::new(
         Arc::clone(&cluster),
         AutoscalerConfig {
-            min_replicas: 1,
-            max_replicas: 4,
             scale_down_after: 2,
             cooldown_ticks: 0,
             ..AutoscalerConfig::default()

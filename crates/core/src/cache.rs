@@ -61,12 +61,58 @@ pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a fingerprint of an architecture's full datasheet description.
 ///
-/// Hashes the `Debug` rendering of [`GpuArch`], which covers every field
-/// including the calibrated [`bolt_gpu_sim::ModelParams`] — so editing
-/// either the hardware numbers or the model calibration invalidates
-/// caches tuned under the old numbers.
+/// Hashes every field of [`GpuArch`] — including the calibrated
+/// [`bolt_gpu_sim::ModelParams`] — **by explicit label and value**, with
+/// floats encoded as IEEE-754 bit patterns. Editing either the hardware
+/// numbers or the model calibration invalidates caches tuned under the
+/// old numbers, but a pure refactor of the struct (derive changes, field
+/// reordering, a tweaked `Debug` impl) does not: the fingerprint is
+/// pinned to this function, not to `#[derive(Debug)]` output. The
+/// preset values are locked by a golden test below.
 pub fn arch_fingerprint(arch: &GpuArch) -> u64 {
-    fnv1a(format!("{arch:?}").as_bytes())
+    use std::fmt::Write as _;
+    let p = &arch.params;
+    let mut d = String::with_capacity(640);
+    let _ = write!(
+        d,
+        "name={};cc={}.{};sm_count={};clock_ghz={:016x};cuda_cores_per_sm={};\
+         tensor_cores_per_sm={};sfu_per_sm={};fp16_tensor_tflops={:016x};\
+         fp32_cuda_tflops={:016x};dram_bw_gbps={:016x};l2_bytes={};\
+         smem_bw_gbps={:016x};smem_per_sm={};max_smem_per_block={};\
+         regs_per_sm={};max_regs_per_thread={};max_threads_per_sm={};\
+         max_threads_per_block={};max_blocks_per_sm={};warp_size={};\
+         launch_overhead_us={:016x};dram_peak_fraction={:016x};\
+         latency_hiding_warps={};overlap_leak={:016x};wave_tail_us={:016x};\
+         sfu_ops_per_clock_per_sm={:016x}",
+        arch.name,
+        arch.compute_capability.0,
+        arch.compute_capability.1,
+        arch.sm_count,
+        arch.clock_ghz.to_bits(),
+        arch.cuda_cores_per_sm,
+        arch.tensor_cores_per_sm,
+        arch.sfu_per_sm,
+        arch.fp16_tensor_tflops.to_bits(),
+        arch.fp32_cuda_tflops.to_bits(),
+        arch.dram_bw_gbps.to_bits(),
+        arch.l2_bytes,
+        arch.smem_bw_gbps.to_bits(),
+        arch.smem_per_sm,
+        arch.max_smem_per_block,
+        arch.regs_per_sm,
+        arch.max_regs_per_thread,
+        arch.max_threads_per_sm,
+        arch.max_threads_per_block,
+        arch.max_blocks_per_sm,
+        arch.warp_size,
+        p.launch_overhead_us.to_bits(),
+        p.dram_peak_fraction.to_bits(),
+        p.latency_hiding_warps,
+        p.overlap_leak.to_bits(),
+        p.wave_tail_us.to_bits(),
+        p.sfu_ops_per_clock_per_sm.to_bits(),
+    );
+    fnv1a(d.as_bytes())
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -79,10 +125,14 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 fn header(arch: &GpuArch) -> String {
+    // The trailing `name=` token is advisory (diagnostics for `bolt-tune
+    // inspect`); readers key off the fingerprint and ignore unknown
+    // header tokens, so adding it did not bump the schema version.
     format!(
-        "bolt-tune-cache v{} arch={:016x}",
+        "bolt-tune-cache v{} arch={:016x} name={}",
         SCHEMA_VERSION,
-        arch_fingerprint(arch)
+        arch_fingerprint(arch),
+        arch.name
     )
 }
 
@@ -129,6 +179,14 @@ pub(crate) fn save(profiler: &BoltProfiler, path: &Path) -> io::Result<()> {
         out.truncate(keep);
     }
 
+    atomic_write(path, &out)
+}
+
+/// Stages `contents` in a uniquely-named sibling temp file and `rename`s
+/// it into place: readers and crashes never observe a torn file, and
+/// concurrent writers race benignly with the last complete rename
+/// winning.
+fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
     // Unique per process *and* per call, so concurrent savers never
     // stage into the same temp file.
     static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -139,7 +197,7 @@ pub(crate) fn save(profiler: &BoltProfiler, path: &Path) -> io::Result<()> {
         .unwrap_or_else(|| "bolt-tune-cache".into());
     tmp_name.push(format!(".tmp.{}.{seq}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, out)?;
+    std::fs::write(&tmp, contents)?;
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
     })
@@ -179,39 +237,48 @@ enum Parsed {
     Entries(Vec<(Key, ProfiledKernel)>),
 }
 
-/// Validates `text` end to end; any `Err` means structural corruption.
-fn parse(profiler: &BoltProfiler, text: &str, path: &Path) -> Result<Parsed, io::Error> {
-    let mut lines = text.lines();
-    let head = lines.next().ok_or_else(|| invalid("empty tune cache"))?;
+/// A parsed single-shard cache header: schema version string, arch
+/// fingerprint, and the advisory arch name (empty for files written
+/// before the `name=` token existed). Unknown trailing tokens are
+/// ignored, so the header can grow without a schema bump.
+struct CacheHeader {
+    version: String,
+    arch: u64,
+    name: String,
+}
+
+fn parse_header(head: &str) -> Result<CacheHeader, io::Error> {
     let mut tokens = head.split_whitespace();
     if tokens.next() != Some("bolt-tune-cache") {
         return Err(invalid("not a bolt tune cache"));
     }
     let version = tokens
         .next()
-        .ok_or_else(|| invalid("missing cache version"))?;
+        .ok_or_else(|| invalid("missing cache version"))?
+        .to_string();
     let arch_hex = tokens
         .next()
         .and_then(|t| t.strip_prefix("arch="))
         .ok_or_else(|| invalid("missing arch fingerprint"))?;
     let arch =
         u64::from_str_radix(arch_hex, 16).map_err(|_| invalid("malformed arch fingerprint"))?;
-    if version != format!("v{SCHEMA_VERSION}") {
-        eprintln!(
-            "warning: ignoring tune cache {}: schema {} (expected v{})",
-            path.display(),
-            version,
-            SCHEMA_VERSION
-        );
-        return Ok(Parsed::Mismatch);
-    }
-    if arch != arch_fingerprint(profiler.arch()) {
-        eprintln!(
-            "warning: ignoring tune cache {}: tuned for a different architecture",
-            path.display()
-        );
-        return Ok(Parsed::Mismatch);
-    }
+    // The name may contain spaces, so it is everything after `name=`.
+    let name = head
+        .split_once(" name=")
+        .map(|(_, n)| n.trim().to_string())
+        .unwrap_or_default();
+    Ok(CacheHeader {
+        version,
+        arch,
+        name,
+    })
+}
+
+/// Walks the entry lines after a header, validating the `checksum`
+/// footer; any `Err` means structural corruption.
+fn parse_entry_block<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(Key, ProfiledKernel)>, io::Error> {
     let mut entries = Vec::new();
     let mut body = String::new();
     let mut footer_line = None;
@@ -236,7 +303,31 @@ fn parse(profiler: &BoltProfiler, text: &str, path: &Path) -> Result<Parsed, io:
     if footer_line != footer(&body, entries.len()) {
         return Err(invalid("checksum footer does not match entries"));
     }
-    Ok(Parsed::Entries(entries))
+    Ok(entries)
+}
+
+/// Validates `text` end to end; any `Err` means structural corruption.
+fn parse(profiler: &BoltProfiler, text: &str, path: &Path) -> Result<Parsed, io::Error> {
+    let mut lines = text.lines();
+    let head = lines.next().ok_or_else(|| invalid("empty tune cache"))?;
+    let header = parse_header(head)?;
+    if header.version != format!("v{SCHEMA_VERSION}") {
+        eprintln!(
+            "warning: ignoring tune cache {}: schema {} (expected v{})",
+            path.display(),
+            header.version,
+            SCHEMA_VERSION
+        );
+        return Ok(Parsed::Mismatch);
+    }
+    if header.arch != arch_fingerprint(profiler.arch()) {
+        eprintln!(
+            "warning: ignoring tune cache {}: tuned for a different architecture",
+            path.display()
+        );
+        return Ok(Parsed::Mismatch);
+    }
+    Ok(Parsed::Entries(parse_entry_block(lines)?))
 }
 
 /// The integrity footer covering the newline-joined entry `body`.
@@ -267,6 +358,390 @@ fn quarantine(path: &Path, reason: &io::Error) -> io::Result<usize> {
         ),
     }
     Ok(0)
+}
+
+// ---------------------------------------------------------------------------
+// Shards and bundles: the shippable multi-arch store
+// ---------------------------------------------------------------------------
+
+/// One architecture's worth of tuned winners, decoupled from a live
+/// profiler — the unit `bolt-tune` packs, merges, and ships. A shard is
+/// what [`save`] writes for a single arch; a [`TuneBundle`] holds one
+/// shard per architecture fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneShard {
+    arch: u64,
+    /// Advisory arch name (e.g. `"Tesla T4"`); empty when the source
+    /// file predates the `name=` header token.
+    name: String,
+    entries: Vec<(Key, ProfiledKernel)>,
+}
+
+impl TuneShard {
+    /// The architecture fingerprint this shard was tuned for.
+    pub fn arch_fingerprint(&self) -> u64 {
+        self.arch
+    }
+
+    /// The advisory architecture name (may be empty for old files).
+    pub fn arch_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable identity: the name when known, else the
+    /// fingerprint in hex.
+    pub fn describe(&self) -> String {
+        if self.name.is_empty() {
+            format!("arch {:016x}", self.arch)
+        } else {
+            format!("{} ({:016x})", self.name, self.arch)
+        }
+    }
+
+    /// Number of tuned entries in the shard.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the shard holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn from_profiler(profiler: &BoltProfiler) -> TuneShard {
+        let mut shard = TuneShard {
+            arch: arch_fingerprint(profiler.arch()),
+            name: profiler.arch().name.clone(),
+            entries: profiler.entries(),
+        };
+        shard.sort();
+        shard
+    }
+
+    pub(crate) fn entries(&self) -> &[(Key, ProfiledKernel)] {
+        &self.entries
+    }
+
+    /// Reads a single-shard cache file **strictly**: a missing file,
+    /// wrong schema version, or structural corruption is an error, never
+    /// a silent empty result — this is the tooling/shipping path, where
+    /// an ignored file would hide a fleet misconfiguration.
+    pub fn read(path: &Path) -> io::Result<TuneShard> {
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        let head = lines.next().ok_or_else(|| invalid("empty tune cache"))?;
+        let header = parse_header(head)?;
+        if header.version != format!("v{SCHEMA_VERSION}") {
+            return Err(invalid(format!(
+                "schema {} (this build reads v{SCHEMA_VERSION})",
+                header.version
+            )));
+        }
+        let mut shard = TuneShard {
+            arch: header.arch,
+            name: header.name,
+            entries: parse_entry_block(lines)?,
+        };
+        shard.sort();
+        Ok(shard)
+    }
+
+    /// Writes the shard as a standalone single-arch cache file — the
+    /// inverse of [`TuneShard::read`], used by `bolt-tune extract` to
+    /// pull one architecture back out of a packed bundle. The output is
+    /// a regular v2 cache any profiler of the matching arch can load.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut canonical = self.clone();
+        canonical.sort();
+        let mut out = format!(
+            "bolt-tune-cache v{SCHEMA_VERSION} arch={:016x} name={}\n",
+            canonical.arch, canonical.name
+        );
+        let mut body = String::new();
+        for line in canonical.encoded_lines() {
+            body.push_str(&line);
+            body.push('\n');
+        }
+        out.push_str(&body);
+        out.push_str(&footer(&body, canonical.len()));
+        out.push('\n');
+        atomic_write(path, &out)
+    }
+
+    /// Merges `other` into this shard, keeping the **faster winner** per
+    /// workload key (strictly lower simulated time replaces; ties keep
+    /// the incumbent). Entries for new keys are appended. Both shards
+    /// must describe the same architecture — merging across arches is a
+    /// caller bug, checked by [`TuneBundle::absorb`].
+    pub fn merge(&mut self, other: &TuneShard) {
+        debug_assert_eq!(self.arch, other.arch, "cross-arch shard merge");
+        if self.name.is_empty() && !other.name.is_empty() {
+            self.name = other.name.clone();
+        }
+        for (key, kernel) in &other.entries {
+            match self.entries.iter_mut().find(|(k, _)| k == key) {
+                Some((_, incumbent)) => {
+                    if kernel.time_us < incumbent.time_us {
+                        *incumbent = *kernel;
+                    }
+                }
+                None => self.entries.push((*key, *kernel)),
+            }
+        }
+        self.sort();
+    }
+
+    /// Canonical entry order (sorted encoded lines), so identical shards
+    /// serialize to byte-identical files.
+    fn sort(&mut self) {
+        self.entries
+            .sort_by_cached_key(|(key, kernel)| encode_entry(key, kernel));
+    }
+
+    fn encoded_lines(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|(key, kernel)| encode_entry(key, kernel))
+            .collect()
+    }
+}
+
+/// Bundle schema version; independent of the per-shard entry schema
+/// ([`SCHEMA_VERSION`]), which governs the entry lines inside.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// A multi-architecture tune bundle: one [`TuneShard`] per arch
+/// fingerprint, packed into a single shippable file.
+///
+/// # Format
+///
+/// ```text
+/// bolt-tune-bundle v1 entries=v2
+/// shard arch=<fnv1a-64> entries=<count> name=<arch name>
+/// <entry lines, same codec as the single-shard cache>
+/// shard ...
+/// checksum <fnv1a-64 of every line above, after the header> <line count>
+/// ```
+///
+/// Writing is deterministic — shards sorted by (name, fingerprint),
+/// entries in canonical order — so pack → ship → load → re-pack round
+/// trips **bit-identically**, and the trailing checksum covers every
+/// shard and entry line so torn copies are detected, not misparsed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuneBundle {
+    shards: Vec<TuneShard>,
+}
+
+impl TuneBundle {
+    /// An empty bundle.
+    pub fn new() -> TuneBundle {
+        TuneBundle::default()
+    }
+
+    /// The shards, in canonical (name, fingerprint) order.
+    pub fn shards(&self) -> &[TuneShard] {
+        &self.shards
+    }
+
+    /// The shard tuned for `arch_fingerprint`, if the bundle has one.
+    pub fn shard_for(&self, arch_fingerprint: u64) -> Option<&TuneShard> {
+        self.shards.iter().find(|s| s.arch == arch_fingerprint)
+    }
+
+    /// Total tuned entries across every shard.
+    pub fn total_entries(&self) -> usize {
+        self.shards.iter().map(TuneShard::len).sum()
+    }
+
+    /// Absorbs a shard: merged into the existing shard of the same
+    /// architecture (keeping the faster winner per key,
+    /// [`TuneShard::merge`]) or added as a new shard.
+    pub fn absorb(&mut self, shard: TuneShard) {
+        match self.shards.iter_mut().find(|s| s.arch == shard.arch) {
+            Some(existing) => existing.merge(&shard),
+            None => self.shards.push(shard),
+        }
+        self.sort();
+    }
+
+    /// Absorbs every shard of another bundle.
+    pub fn absorb_bundle(&mut self, other: TuneBundle) {
+        for shard in other.shards {
+            self.absorb(shard);
+        }
+    }
+
+    fn sort(&mut self) {
+        self.shards
+            .sort_by(|a, b| (&a.name, a.arch).cmp(&(&b.name, b.arch)));
+    }
+
+    /// Reads a bundle file **strictly** (same rules as
+    /// [`TuneShard::read`]: corruption and version skew are errors).
+    pub fn read(path: &Path) -> io::Result<TuneBundle> {
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        let head = lines.next().ok_or_else(|| invalid("empty tune bundle"))?;
+        let mut tokens = head.split_whitespace();
+        if tokens.next() != Some("bolt-tune-bundle") {
+            return Err(invalid("not a bolt tune bundle"));
+        }
+        match tokens.next() {
+            Some(v) if v == format!("v{BUNDLE_VERSION}") => {}
+            Some(v) => {
+                return Err(invalid(format!(
+                    "bundle schema {v} (this build reads v{BUNDLE_VERSION})"
+                )))
+            }
+            None => return Err(invalid("missing bundle version")),
+        }
+
+        // Validate the global checksum before interpreting any section.
+        let mut body = String::new();
+        let mut count = 0usize;
+        let mut footer_line = None;
+        let mut section_lines = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if footer_line.is_some() {
+                return Err(invalid("lines after bundle checksum footer"));
+            }
+            if line.starts_with("checksum ") {
+                footer_line = Some(line);
+                continue;
+            }
+            body.push_str(line);
+            body.push('\n');
+            count += 1;
+            section_lines.push(line);
+        }
+        let footer_line =
+            footer_line.ok_or_else(|| invalid("missing bundle checksum footer (truncated?)"))?;
+        if footer_line != footer(&body, count) {
+            return Err(invalid("bundle checksum does not match contents"));
+        }
+
+        let mut bundle = TuneBundle::new();
+        let mut current: Option<(TuneShard, usize)> = None;
+        for line in section_lines {
+            if let Some(rest) = line.strip_prefix("shard ") {
+                if let Some((shard, expected)) = current.take() {
+                    finish_shard(&mut bundle, shard, expected)?;
+                }
+                let arch_hex = rest
+                    .split_whitespace()
+                    .find_map(|t| t.strip_prefix("arch="))
+                    .ok_or_else(|| invalid("shard line missing arch fingerprint"))?;
+                let arch = u64::from_str_radix(arch_hex, 16)
+                    .map_err(|_| invalid("malformed shard arch fingerprint"))?;
+                let expected = rest
+                    .split_whitespace()
+                    .find_map(|t| t.strip_prefix("entries="))
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| invalid("shard line missing entry count"))?;
+                let name = rest
+                    .split_once("name=")
+                    .map(|(_, n)| n.trim().to_string())
+                    .unwrap_or_default();
+                current = Some((
+                    TuneShard {
+                        arch,
+                        name,
+                        entries: Vec::with_capacity(expected),
+                    },
+                    expected,
+                ));
+            } else {
+                let (shard, _) = current
+                    .as_mut()
+                    .ok_or_else(|| invalid("entry line before any shard header"))?;
+                let (key, kernel) = decode_entry(line)
+                    .ok_or_else(|| invalid(format!("corrupt bundle entry: {line:?}")))?;
+                shard.entries.push((key, kernel));
+            }
+        }
+        if let Some((shard, expected)) = current.take() {
+            finish_shard(&mut bundle, shard, expected)?;
+        }
+        Ok(bundle)
+    }
+
+    /// Reads either a bundle **or** a single-shard cache file, wrapping
+    /// the latter as a one-shard bundle — so `bolt-tune pack` accepts
+    /// both per-arch shards and previously packed bundles as inputs.
+    pub fn read_any(path: &Path) -> io::Result<TuneBundle> {
+        let first = {
+            let text = std::fs::read_to_string(path)?;
+            text.lines().next().unwrap_or_default().to_string()
+        };
+        if first.starts_with("bolt-tune-bundle") {
+            TuneBundle::read(path)
+        } else {
+            let shard = TuneShard::read(path)?;
+            let mut bundle = TuneBundle::new();
+            bundle.absorb(shard);
+            Ok(bundle)
+        }
+    }
+
+    /// Serializes the bundle to its canonical byte representation.
+    pub fn to_string_canonical(&self) -> String {
+        let mut canonical = self.clone();
+        canonical.sort();
+        let mut body = String::new();
+        let mut count = 0usize;
+        for shard in &canonical.shards {
+            body.push_str(&format!(
+                "shard arch={:016x} entries={} name={}\n",
+                shard.arch,
+                shard.len(),
+                shard.name
+            ));
+            count += 1;
+            for line in shard.encoded_lines() {
+                body.push_str(&line);
+                body.push('\n');
+                count += 1;
+            }
+        }
+        let mut out = format!("bolt-tune-bundle v{BUNDLE_VERSION} entries=v{SCHEMA_VERSION}\n");
+        out.push_str(&body);
+        out.push_str(&footer(&body, count));
+        out.push('\n');
+        out
+    }
+
+    /// Writes the bundle atomically (temp file + rename), creating
+    /// parent directories as needed. Deterministic: the same shards
+    /// always produce byte-identical files.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        atomic_write(path, &self.to_string_canonical())
+    }
+}
+
+fn finish_shard(bundle: &mut TuneBundle, mut shard: TuneShard, expected: usize) -> io::Result<()> {
+    if shard.entries.len() != expected {
+        return Err(invalid(format!(
+            "shard {} declares {expected} entries but carries {}",
+            shard.describe(),
+            shard.entries.len()
+        )));
+    }
+    shard.sort();
+    bundle.absorb(shard);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -616,5 +1091,139 @@ mod tests {
             arch_fingerprint(&GpuArch::tesla_t4()),
             "fingerprint is stable"
         );
+    }
+
+    /// Golden stability values for the three presets. These are pinned
+    /// on purpose: the fingerprint keys every on-disk cache and every
+    /// bundle shard, so it must only change when the *datasheet or
+    /// calibration values* change — never from a refactor of `GpuArch`
+    /// (derive changes, field reordering, `Debug` formatting). If this
+    /// test fails without a deliberate preset edit, the fingerprint
+    /// function regressed; if you did edit a preset, update its golden
+    /// value here (old caches for that arch are then correctly invalid).
+    #[test]
+    fn fingerprint_golden_values_for_presets() {
+        let t4 = arch_fingerprint(&GpuArch::tesla_t4());
+        let v100 = arch_fingerprint(&GpuArch::tesla_v100());
+        let a100 = arch_fingerprint(&GpuArch::a100());
+        assert_eq!(t4, GOLD_T4, "Tesla T4 fingerprint drifted: {t4:#018x}");
+        assert_eq!(
+            v100, GOLD_V100,
+            "Tesla V100 fingerprint drifted: {v100:#018x}"
+        );
+        assert_eq!(a100, GOLD_A100, "A100 fingerprint drifted: {a100:#018x}");
+    }
+
+    const GOLD_T4: u64 = 0x7860_d9be_0f74_57ca;
+    const GOLD_V100: u64 = 0x3470_eec3_d4d3_0cb1;
+    const GOLD_A100: u64 = 0x3e04_fc37_8bea_5dee;
+
+    #[test]
+    fn fingerprint_covers_model_params() {
+        let base = GpuArch::tesla_t4();
+        let mut recalibrated = base.clone();
+        recalibrated.params.overlap_leak += 0.01;
+        assert_ne!(
+            arch_fingerprint(&base),
+            arch_fingerprint(&recalibrated),
+            "re-calibrating the model must invalidate caches"
+        );
+    }
+
+    fn shard_with(times: &[(usize, f64)], arch: &GpuArch) -> TuneShard {
+        // Distinct keys via the GEMM m dimension; times as given.
+        let ep = Epilogue::linear(DType::F16);
+        let entries = times
+            .iter()
+            .map(|&(m, time_us)| {
+                (
+                    Key::Gemm(GemmProblem::fp16(m, 64, 64), (&ep).into()),
+                    ProfiledKernel {
+                        config: GemmConfig::turing_default(),
+                        time_us,
+                        candidates: 4,
+                    },
+                )
+            })
+            .collect();
+        let mut shard = TuneShard {
+            arch: arch_fingerprint(arch),
+            name: arch.name.clone(),
+            entries,
+        };
+        shard.sort();
+        shard
+    }
+
+    #[test]
+    fn shard_merge_keeps_the_faster_winner_per_key() {
+        let t4 = GpuArch::tesla_t4();
+        let mut a = shard_with(&[(64, 10.0), (128, 5.0)], &t4);
+        let b = shard_with(&[(64, 7.0), (128, 9.0), (256, 3.0)], &t4);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let time_of = |m: usize| {
+            a.entries()
+                .iter()
+                .find_map(|(k, kernel)| match k {
+                    Key::Gemm(p, _) if p.m == m => Some(kernel.time_us),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(time_of(64), 7.0, "other's faster winner replaces");
+        assert_eq!(time_of(128), 5.0, "incumbent faster winner survives");
+        assert_eq!(time_of(256), 3.0, "new keys are appended");
+    }
+
+    #[test]
+    fn bundle_round_trips_bit_identically() {
+        let dir = std::env::temp_dir().join("bolt_bundle_roundtrip_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("fleet.bundle");
+
+        let mut bundle = TuneBundle::new();
+        bundle.absorb(shard_with(&[(64, 10.5), (128, 3.25)], &GpuArch::tesla_t4()));
+        bundle.absorb(shard_with(&[(64, 4.125)], &GpuArch::a100()));
+        bundle.write(&path).unwrap();
+
+        let shipped = std::fs::read_to_string(&path).unwrap();
+        let reloaded = TuneBundle::read(&path).unwrap();
+        assert_eq!(reloaded, bundle);
+        assert_eq!(
+            reloaded.to_string_canonical(),
+            shipped,
+            "pack -> ship -> load -> re-pack must be bit-identical"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bundle_detects_tampering_and_truncation() {
+        let dir = std::env::temp_dir().join("bolt_bundle_tamper_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("fleet.bundle");
+        let mut bundle = TuneBundle::new();
+        bundle.absorb(shard_with(&[(64, 10.5)], &GpuArch::tesla_t4()));
+        bundle.write(&path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        std::fs::write(&path, truncated).unwrap();
+        let err = TuneBundle::read(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bundle_absorb_merges_same_arch_shards() {
+        let t4 = GpuArch::tesla_t4();
+        let mut bundle = TuneBundle::new();
+        bundle.absorb(shard_with(&[(64, 10.0)], &t4));
+        bundle.absorb(shard_with(&[(64, 6.0), (128, 2.0)], &t4));
+        bundle.absorb(shard_with(&[(64, 1.0)], &GpuArch::a100()));
+        assert_eq!(bundle.shards().len(), 2, "same-arch shards merge");
+        let t4_shard = bundle.shard_for(arch_fingerprint(&t4)).unwrap();
+        assert_eq!(t4_shard.len(), 2);
     }
 }

@@ -25,12 +25,19 @@ pub struct BoltCompiler {
 impl BoltCompiler {
     /// Creates a compiler for `arch` with `config`.
     ///
-    /// If `config.cache_path` (or, failing that, the `BOLT_TUNE_CACHE`
-    /// environment variable) names an existing autotune cache file, it is
-    /// loaded here so compilation starts warm. A missing file is normal
+    /// If `config.bundle_path` (or `BOLT_TUNE_BUNDLE`) names a packed
+    /// multi-arch bundle, the shard matching `arch` is loaded first —
+    /// the fleet warm-boot path, one shipped artifact serving replicas
+    /// of every architecture. Then, if `config.cache_path` (or
+    /// `BOLT_TUNE_CACHE`) names an existing autotune cache file, it is
+    /// loaded so compilation starts warm. A missing cache file is normal
     /// (first run); an invalid one — corrupt, wrong schema version, or
     /// tuned for a different architecture — degrades to a warning and a
-    /// cold start, never a failure.
+    /// cold start, never a failure. Bundle problems also degrade to a
+    /// warning here; fleet code that *requires* the warm boot validates
+    /// the bundle strictly before launch (typed
+    /// [`crate::BoltError::CacheArchMismatch`]) via
+    /// [`BoltProfiler::load_bundle`].
     pub fn new(arch: GpuArch, config: BoltConfig) -> Self {
         let mut profiler = BoltProfiler::new(&arch, config.profiler_candidates);
         profiler.set_pruning(config.candidate_pruning);
@@ -39,6 +46,11 @@ impl BoltCompiler {
             config,
             profiler,
         };
+        if let Some(path) = compiler.config.tune_bundle_path() {
+            if let Err(e) = compiler.profiler.load_bundle(&path) {
+                eprintln!("warning: ignoring tune bundle: {e}");
+            }
+        }
         if let Some(path) = compiler.tune_cache_path() {
             if path.exists() {
                 if let Err(e) = compiler.profiler.load_cache(&path) {
@@ -52,10 +64,7 @@ impl BoltCompiler {
     /// The on-disk autotune cache location: `config.cache_path`, else the
     /// `BOLT_TUNE_CACHE` environment variable, else none.
     pub fn tune_cache_path(&self) -> Option<std::path::PathBuf> {
-        self.config
-            .cache_path
-            .clone()
-            .or_else(|| std::env::var_os("BOLT_TUNE_CACHE").map(std::path::PathBuf::from))
+        self.config.tune_cache_path()
     }
 
     /// The target architecture.

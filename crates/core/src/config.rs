@@ -39,6 +39,14 @@ pub struct BoltConfig {
     /// the `BOLT_TUNE_CACHE` environment variable is consulted instead;
     /// if that is unset too, the cache stays in-memory only.
     pub cache_path: Option<PathBuf>,
+    /// A packed multi-arch tune bundle ([`crate::cache::TuneBundle`],
+    /// produced by `bolt-tune pack`). Loaded at compiler construction:
+    /// the shard matching the target architecture seeds the profiler, so
+    /// a replica of any arch boots from one shipped bundle with zero
+    /// tuning time. When `None`, the `BOLT_TUNE_BUNDLE` environment
+    /// variable is consulted instead. Unlike `cache_path` the bundle is
+    /// read-only — compiles never write back to it.
+    pub bundle_path: Option<PathBuf>,
 }
 
 impl Default for BoltConfig {
@@ -53,11 +61,28 @@ impl Default for BoltConfig {
             candidate_pruning: true,
             parallel_profiling: true,
             cache_path: None,
+            bundle_path: None,
         }
     }
 }
 
 impl BoltConfig {
+    /// The on-disk autotune cache location: `cache_path`, else the
+    /// `BOLT_TUNE_CACHE` environment variable, else none.
+    pub fn tune_cache_path(&self) -> Option<PathBuf> {
+        self.cache_path
+            .clone()
+            .or_else(|| std::env::var_os("BOLT_TUNE_CACHE").map(PathBuf::from))
+    }
+
+    /// The packed tune-bundle location: `bundle_path`, else the
+    /// `BOLT_TUNE_BUNDLE` environment variable, else none.
+    pub fn tune_bundle_path(&self) -> Option<PathBuf> {
+        self.bundle_path
+            .clone()
+            .or_else(|| std::env::var_os("BOLT_TUNE_BUNDLE").map(PathBuf::from))
+    }
+
     /// Baseline for Figure 9 / Tables 1-2: epilogue fusion only, no
     /// persistent kernels.
     pub fn epilogue_only() -> Self {

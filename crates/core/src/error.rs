@@ -25,6 +25,28 @@ pub enum BoltError {
     Kernel(KernelError),
     /// A tensor operation failed.
     Tensor(TensorError),
+    /// A strict tune-cache or bundle load was asked to serve an
+    /// architecture the file holds no shard for. Strict loads are used
+    /// for *shipped* artifacts (`bolt-tune` bundles, fleet boot), where
+    /// silently ignoring the file — the opportunistic cache's behavior —
+    /// would hide a fleet misconfiguration behind minutes of surprise
+    /// re-tuning.
+    CacheArchMismatch {
+        /// The cache or bundle path.
+        path: String,
+        /// The architecture the load needed (name + fingerprint).
+        expected: String,
+        /// What the file actually contains.
+        found: String,
+    },
+    /// An explicitly configured tune cache or bundle could not be read
+    /// or failed validation (I/O error, corruption, schema skew).
+    CacheLoad {
+        /// The cache or bundle path.
+        path: String,
+        /// Why the load failed.
+        reason: String,
+    },
     /// A failure injected by the fault-injection layer
     /// ([`crate::faults`], `chaos` feature). Never constructed in
     /// production builds; exists unconditionally so hardened call
@@ -45,6 +67,17 @@ impl fmt::Display for BoltError {
             BoltError::Graph(e) => write!(f, "graph error: {e}"),
             BoltError::Kernel(e) => write!(f, "kernel error: {e}"),
             BoltError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BoltError::CacheArchMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "tune cache {path} has no shard for {expected} (found: {found})"
+            ),
+            BoltError::CacheLoad { path, reason } => {
+                write!(f, "failed to load tune cache {path}: {reason}")
+            }
             BoltError::Injected { site } => write!(f, "injected fault: {site}"),
         }
     }

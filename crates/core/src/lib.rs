@@ -26,7 +26,8 @@
 //! [`ExecutionPlan`] with prepacked constants and liveness-planned
 //! buffer slots) executes in two modes: *functional* (really computes,
 //! for correctness tests) and *timing* (prices every kernel on the
-//! `bolt-gpu-sim` T4 model, for the paper's performance experiments).
+//! target's `bolt-gpu-sim` architecture model — T4, V100, or A100 —
+//! for the paper's performance experiments).
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub mod profiler;
 pub mod runtime;
 
 pub use baseline::AnsorBackend;
+pub use cache::{arch_fingerprint, TuneBundle, TuneShard};
 pub use compile::BoltCompiler;
 pub use config::BoltConfig;
 pub use error::BoltError;

@@ -559,6 +559,103 @@ impl BoltProfiler {
         crate::cache::load(self, path)
     }
 
+    /// Exports every resolved entry as a portable [`TuneShard`] — the
+    /// unit `bolt-tune` packs into multi-arch bundles.
+    pub fn export_shard(&self) -> crate::cache::TuneShard {
+        crate::cache::TuneShard::from_profiler(self)
+    }
+
+    /// Merges a [`TuneShard`] into this profiler's cache. Entries
+    /// already resolved in this process win over the shard's.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::BoltError::CacheArchMismatch`] when the shard was tuned
+    /// for a different architecture — strict by design: shards are
+    /// shipped artifacts, and loading a V100 shard into a T4 profiler is
+    /// a fleet misconfiguration, not an ignorable cache miss.
+    pub fn load_shard(&self, shard: &crate::cache::TuneShard) -> crate::Result<usize> {
+        let want = crate::cache::arch_fingerprint(&self.arch);
+        if shard.arch_fingerprint() != want {
+            return Err(crate::BoltError::CacheArchMismatch {
+                path: String::new(),
+                expected: format!("{} ({want:016x})", self.arch.name),
+                found: shard.describe(),
+            });
+        }
+        let entries = shard.entries();
+        for (key, kernel) in entries {
+            self.insert_entry(*key, *kernel);
+        }
+        Ok(entries.len())
+    }
+
+    /// Strictly loads a single-shard cache file written by
+    /// [`BoltProfiler::save_cache`]: unlike the lenient
+    /// [`BoltProfiler::load_cache`], a missing/corrupt file or an
+    /// arch/schema mismatch is a typed error, never a silent empty load.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::BoltError::CacheLoad`] for I/O or validation failures,
+    /// [`crate::BoltError::CacheArchMismatch`] for a wrong-arch shard.
+    pub fn load_shard_strict(&self, path: &std::path::Path) -> crate::Result<usize> {
+        let shard =
+            crate::cache::TuneShard::read(path).map_err(|e| crate::BoltError::CacheLoad {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
+        self.load_shard(&shard).map_err(|e| match e {
+            crate::BoltError::CacheArchMismatch {
+                expected, found, ..
+            } => crate::BoltError::CacheArchMismatch {
+                path: path.display().to_string(),
+                expected,
+                found,
+            },
+            other => other,
+        })
+    }
+
+    /// Loads the shard matching this profiler's architecture from a
+    /// packed multi-arch bundle ([`crate::cache::TuneBundle`]). This is
+    /// the fleet warm-boot path: one shipped bundle serves every
+    /// replica, each picking its own arch's shard, so a fresh replica of
+    /// *any* architecture boots with zero measurements — and therefore
+    /// zero tuning seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::BoltError::CacheLoad`] for I/O or validation failures,
+    /// [`crate::BoltError::CacheArchMismatch`] when the bundle holds no
+    /// shard for this architecture (the error lists what it does hold).
+    pub fn load_bundle(&self, path: &std::path::Path) -> crate::Result<usize> {
+        let bundle =
+            crate::cache::TuneBundle::read(path).map_err(|e| crate::BoltError::CacheLoad {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
+        let want = crate::cache::arch_fingerprint(&self.arch);
+        let Some(shard) = bundle.shard_for(want) else {
+            let found = if bundle.shards().is_empty() {
+                "no shards".to_string()
+            } else {
+                bundle
+                    .shards()
+                    .iter()
+                    .map(crate::cache::TuneShard::describe)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            return Err(crate::BoltError::CacheArchMismatch {
+                path: path.display().to_string(),
+                expected: format!("{} ({want:016x})", self.arch.name),
+                found,
+            });
+        };
+        self.load_shard(shard)
+    }
+
     /// The best conv config wrapped as a [`Conv2dConfig`].
     pub fn best_conv_config(
         &self,

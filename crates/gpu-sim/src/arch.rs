@@ -179,6 +179,39 @@ impl GpuArch {
         }
     }
 
+    /// Short preset names accepted by [`GpuArch::preset`], in the order
+    /// the CLIs list them.
+    pub const PRESET_NAMES: [&'static str; 3] = ["t4", "v100", "a100"];
+
+    /// Looks up a preset by short name (`"t4"`, `"v100"`, `"a100"`,
+    /// case-insensitive; full marketing names are accepted too). This is
+    /// the one place CLI/fleet code maps arch strings to presets, so
+    /// every tool spells them the same way.
+    pub fn preset(name: &str) -> Option<GpuArch> {
+        match name.to_ascii_lowercase().as_str() {
+            "t4" | "tesla t4" | "tesla-t4" => Some(GpuArch::tesla_t4()),
+            "v100" | "tesla v100" | "tesla-v100" => Some(GpuArch::tesla_v100()),
+            "a100" => Some(GpuArch::a100()),
+            _ => None,
+        }
+    }
+
+    /// A filesystem/CLI-safe short name for this architecture: the
+    /// preset slug when the name matches one, else the lowercased name
+    /// with whitespace collapsed to `-`.
+    pub fn slug(&self) -> String {
+        match self.name.as_str() {
+            "Tesla T4" => "t4".into(),
+            "Tesla V100" => "v100".into(),
+            "A100" => "a100".into(),
+            other => other
+                .to_ascii_lowercase()
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join("-"),
+        }
+    }
+
     /// Peak throughput in TFLOPS (or TOPS for integers) of `pipeline` when
     /// computing on `dtype`.
     ///
@@ -265,6 +298,20 @@ mod tests {
             let cc = arch.peak_tflops(Pipeline::CudaCore, DType::F16);
             assert!(tc / cc > 3.5, "{}: {tc} vs {cc}", arch.name);
         }
+    }
+
+    #[test]
+    fn presets_resolve_by_short_and_full_name() {
+        for name in GpuArch::PRESET_NAMES {
+            let arch = GpuArch::preset(name).expect("preset resolves");
+            assert_eq!(arch.slug(), name, "slug round-trips the preset name");
+            assert_eq!(
+                GpuArch::preset(&arch.name).expect("full name resolves"),
+                arch
+            );
+        }
+        assert_eq!(GpuArch::preset("T4"), Some(GpuArch::tesla_t4()));
+        assert_eq!(GpuArch::preset("h100"), None);
     }
 
     #[test]

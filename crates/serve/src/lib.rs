@@ -60,6 +60,7 @@ pub mod registry;
 pub mod request;
 mod scheduler;
 pub mod server;
+pub mod testing;
 
 pub use config::ServeConfig;
 pub use error::{panic_message, ServeError};

@@ -800,14 +800,11 @@ fn plan_evictions(st: &mut State, budget: Option<u64>, keep: &EngineKey) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::test_arch;
     use bolt::BoltConfig;
-    use bolt_gpu_sim::GpuArch;
 
     fn registry() -> Arc<EngineRegistry> {
-        Arc::new(EngineRegistry::new(
-            GpuArch::tesla_t4(),
-            BoltConfig::default(),
-        ))
+        Arc::new(EngineRegistry::new(test_arch(), BoltConfig::default()))
     }
 
     #[test]

@@ -259,6 +259,11 @@ impl EngineRegistry {
         &self.compiler
     }
 
+    /// The architecture every engine in this registry is compiled for.
+    pub fn arch(&self) -> &GpuArch {
+        self.compiler.arch()
+    }
+
     /// Registers a `bolt-models` zoo model by name, compiling one engine
     /// per bucket size. Re-registering a name replaces its engines.
     ///
@@ -490,7 +495,7 @@ mod tests {
     use bolt_tensor::DType;
 
     fn registry() -> EngineRegistry {
-        EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default())
+        EngineRegistry::new(crate::testing::test_arch(), BoltConfig::default())
     }
 
     #[test]

@@ -149,13 +149,13 @@ impl Scheduler {
 mod tests {
     use super::*;
     use crate::request::ResponseSlot;
+    use crate::testing::test_arch;
     use crate::{EngineRegistry, ServeConfig};
     use bolt::BoltConfig;
-    use bolt_gpu_sim::GpuArch;
     use bolt_tensor::{DType, Tensor};
 
     fn engines() -> Arc<ModelEngines> {
-        let registry = EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default());
+        let registry = EngineRegistry::new(test_arch(), BoltConfig::default());
         registry
             .register_zoo("mlp-small", &ServeConfig::default().buckets())
             .expect("register")
@@ -239,7 +239,7 @@ mod tests {
 
     #[test]
     fn batch_cap_respects_model_max_bucket() {
-        let registry = EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default());
+        let registry = EngineRegistry::new(test_arch(), BoltConfig::default());
         let model = registry
             .register_zoo("mlp-small", &[1, 2])
             .expect("register");
@@ -259,7 +259,7 @@ mod tests {
 
     #[test]
     fn online_mode_ignores_model_max_bucket() {
-        let registry = EngineRegistry::new(GpuArch::tesla_t4(), BoltConfig::default());
+        let registry = EngineRegistry::new(test_arch(), BoltConfig::default());
         let model = registry
             .register_zoo_dynamic("mlp-small")
             .expect("register");

@@ -1,0 +1,44 @@
+//! Test support shared by the serving and cluster test suites.
+//!
+//! Tests and benches that don't care *which* architecture they run on
+//! should build their registries from [`test_arch`] instead of
+//! hardcoding a preset, so the whole suite can be re-pointed at another
+//! simulated GPU (`BOLT_TEST_ARCH=a100 cargo test`) to shake out
+//! arch-dependent assumptions.
+
+use bolt_gpu_sim::GpuArch;
+
+/// The architecture the test suite compiles for: the `BOLT_TEST_ARCH`
+/// environment variable resolved through [`GpuArch::preset`] (`t4`,
+/// `v100`, or `a100`), defaulting to Tesla T4.
+///
+/// # Panics
+///
+/// Panics when `BOLT_TEST_ARCH` is set to a name no preset matches —
+/// silently falling back would run the suite on the wrong hardware
+/// model.
+pub fn test_arch() -> GpuArch {
+    match std::env::var("BOLT_TEST_ARCH") {
+        Ok(name) => GpuArch::preset(&name).unwrap_or_else(|| {
+            panic!(
+                "BOLT_TEST_ARCH={name:?} matches no preset (known: {})",
+                GpuArch::PRESET_NAMES.join(", ")
+            )
+        }),
+        Err(_) => GpuArch::tesla_t4(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_t4() {
+        // The suite never sets BOLT_TEST_ARCH from inside a test (env
+        // vars are process-global); this only checks the default path.
+        if std::env::var_os("BOLT_TEST_ARCH").is_none() {
+            assert_eq!(test_arch().name, "Tesla T4");
+        }
+    }
+}

@@ -16,8 +16,8 @@ use std::time::Duration;
 
 use bolt::faults::{self, ChaosConfig, FaultSite};
 use bolt::BoltConfig;
-use bolt_gpu_sim::GpuArch;
 use bolt_models::zoo::sample_inputs;
+use bolt_serve::testing::test_arch;
 use bolt_serve::{
     BoltServer, EngineRegistry, OnlineConfig, OnlineEngineManager, Outcome, ServeConfig,
 };
@@ -38,7 +38,7 @@ fn scratch_dir(name: &str) -> std::path::PathBuf {
 
 fn dynamic_registry(cache: Option<std::path::PathBuf>) -> Arc<EngineRegistry> {
     let reg = Arc::new(EngineRegistry::new(
-        GpuArch::tesla_t4(),
+        test_arch(),
         BoltConfig {
             cache_path: cache,
             ..BoltConfig::default()

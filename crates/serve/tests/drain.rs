@@ -13,15 +13,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bolt::BoltConfig;
-use bolt_gpu_sim::GpuArch;
+use bolt_serve::testing::test_arch;
 use bolt_serve::{BoltServer, EngineRegistry, Outcome, ServeConfig, ServeError};
 use bolt_tensor::{DType, Tensor};
 
 fn registry() -> Arc<EngineRegistry> {
-    let reg = Arc::new(EngineRegistry::new(
-        GpuArch::tesla_t4(),
-        BoltConfig::default(),
-    ));
+    let reg = Arc::new(EngineRegistry::new(test_arch(), BoltConfig::default()));
     // Heuristic engines: fast to build, and engine quality is irrelevant
     // to drain semantics.
     reg.register_zoo_dynamic("mlp-small").expect("register");

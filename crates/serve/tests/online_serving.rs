@@ -11,8 +11,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bolt::BoltConfig;
-use bolt_gpu_sim::GpuArch;
 use bolt_models::zoo::sample_inputs;
+use bolt_serve::testing::test_arch;
 use bolt_serve::{
     BoltServer, EngineRegistry, InferResponse, OnlineConfig, Outcome, RequestHandle, ServeConfig,
 };
@@ -52,7 +52,7 @@ fn cold_server_serves_unseen_shapes_and_converges_to_tuned_engines() {
     let cache = dir.join("autotune.tune");
     let registry = || {
         let reg = Arc::new(EngineRegistry::new(
-            GpuArch::tesla_t4(),
+            test_arch(),
             BoltConfig {
                 cache_path: Some(cache.clone()),
                 ..BoltConfig::default()
@@ -168,10 +168,7 @@ fn cold_server_serves_unseen_shapes_and_converges_to_tuned_engines() {
 /// the quantized bucket so later batches run in one launch.
 #[test]
 fn oversized_batches_split_explicitly_and_count_overflow() {
-    let reg = Arc::new(EngineRegistry::new(
-        GpuArch::tesla_t4(),
-        BoltConfig::default(),
-    ));
+    let reg = Arc::new(EngineRegistry::new(test_arch(), BoltConfig::default()));
     reg.register_zoo("mlp-small", &[2]).expect("register");
     let server = BoltServer::start(
         Arc::clone(&reg),
@@ -221,10 +218,7 @@ fn oversized_batches_split_explicitly_and_count_overflow() {
 /// tuning on the identical registry makes the same submit admissible.
 #[test]
 fn zero_bucket_model_without_online_tuning_rejects_and_counts() {
-    let reg = Arc::new(EngineRegistry::new(
-        GpuArch::tesla_t4(),
-        BoltConfig::default(),
-    ));
+    let reg = Arc::new(EngineRegistry::new(test_arch(), BoltConfig::default()));
     reg.register_zoo_dynamic("mlp-large").expect("register");
 
     let server = BoltServer::start(

@@ -7,15 +7,12 @@
 use std::sync::Arc;
 
 use bolt::BoltConfig;
-use bolt_gpu_sim::GpuArch;
+use bolt_serve::testing::test_arch;
 use bolt_serve::EngineRegistry;
 
 #[test]
 fn racing_register_lookup_hot_swap_and_evict_see_only_complete_snapshots() {
-    let reg = Arc::new(EngineRegistry::new(
-        GpuArch::tesla_t4(),
-        BoltConfig::default(),
-    ));
+    let reg = Arc::new(EngineRegistry::new(test_arch(), BoltConfig::default()));
     reg.register_zoo("mlp-small", &[1]).expect("register");
     // Compile the hot-swap candidates up front so the loops below race
     // registry mutation, not the compiler.

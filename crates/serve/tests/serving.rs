@@ -8,7 +8,7 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use bolt::BoltConfig;
-use bolt_gpu_sim::GpuArch;
+use bolt_serve::testing::test_arch;
 use bolt_serve::{BoltServer, EngineRegistry, Outcome, RequestHandle, ServeConfig, ServeError};
 use bolt_tensor::{DType, Tensor};
 
@@ -18,10 +18,7 @@ use bolt_tensor::{DType, Tensor};
 fn shared_registry() -> Arc<EngineRegistry> {
     static REGISTRY: OnceLock<Arc<EngineRegistry>> = OnceLock::new();
     Arc::clone(REGISTRY.get_or_init(|| {
-        let registry = Arc::new(EngineRegistry::new(
-            GpuArch::tesla_t4(),
-            BoltConfig::default(),
-        ));
+        let registry = Arc::new(EngineRegistry::new(test_arch(), BoltConfig::default()));
         registry
             .register_zoo("mlp-small", &[1, 2, 4, 8])
             .expect("mlp-small registers");
@@ -271,10 +268,7 @@ fn admission_control_rejects_fast_and_counts() {
 /// serves them, pricing batches on the simulator (outputs `None`).
 #[test]
 fn timing_only_models_serve_without_outputs() {
-    let registry = Arc::new(EngineRegistry::new(
-        GpuArch::tesla_t4(),
-        BoltConfig::default(),
-    ));
+    let registry = Arc::new(EngineRegistry::new(test_arch(), BoltConfig::default()));
     let model = registry
         .register_with("dlrm-bottom", &[1, 2], |batch| {
             bolt_models::mlp::dlrm_bottom_mlp(batch, &[64, 32, 8])

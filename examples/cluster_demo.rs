@@ -62,14 +62,14 @@ fn sample(seed: u64) -> Vec<Tensor> {
 /// owner re-routes its traffic to a survivor without losing a request.
 fn routing_and_failover() {
     println!("== routing & failover (consistent hashing, 3 replicas) ==");
-    let cluster = Cluster::new(ClusterConfig {
-        replica: spec(vec![ModelSpec::Zoo {
+    let cluster = Cluster::new(ClusterConfig::homogeneous(
+        spec(vec![ModelSpec::Zoo {
             name: "mlp-small".into(),
             tuned: false,
         }]),
-        initial_replicas: 3,
-        policy: PlacementPolicy::default(),
-    })
+        3,
+        PlacementPolicy::default(),
+    ))
     .expect("cluster comes up");
 
     for i in 0..9 {
@@ -110,18 +110,15 @@ fn routing_and_failover() {
 /// floor once a light trickle shows the cluster cold again.
 fn autoscale_under_storm(smoke: bool) {
     println!("\n== autoscaler (1..4 replicas, least-loaded routing) ==");
-    let cluster = Cluster::new(ClusterConfig {
-        replica: spec(vec![dense_deep()]),
-        initial_replicas: 1,
-        policy: PlacementPolicy::LeastLoaded,
-    })
-    .expect("cluster comes up");
+    let mut config =
+        ClusterConfig::homogeneous(spec(vec![dense_deep()]), 1, PlacementPolicy::LeastLoaded);
+    config.classes[0].min_replicas = 1;
+    config.classes[0].max_replicas = 4;
+    let cluster = Cluster::new(config).expect("cluster comes up");
 
     let scaler = Autoscaler::new(
         Arc::clone(&cluster),
         AutoscalerConfig {
-            min_replicas: 1,
-            max_replicas: 4,
             // The trickle keeps a couple of requests queued per replica
             // while partial batches wait out the batch timeout; "cold"
             // must sit above that floor or it never fires.
@@ -198,11 +195,11 @@ fn autoscale_under_storm(smoke: bool) {
     let decisions = handle.stop();
     for decision in &decisions {
         match decision {
-            ScaleDecision::ScaledUp { added } => {
-                println!("  decision: scaled up (replica {added})")
+            ScaleDecision::ScaledUp { class, added } => {
+                println!("  decision: scaled up class {class} (replica {added})")
             }
-            ScaleDecision::ScaledDown { drained } => {
-                println!("  decision: scaled down (drained replica {drained})")
+            ScaleDecision::ScaledDown { class, drained } => {
+                println!("  decision: scaled down class {class} (drained replica {drained})")
             }
             ScaleDecision::Failed { error } => println!("  decision: failed ({error})"),
             ScaleDecision::Hold => {}
