@@ -1,0 +1,323 @@
+//! Autoregressive LLM serving benchmark (ISSUE 9): decode-step
+//! throughput of the continuous batcher vs. the legacy pad-to-bucket
+//! static cohort, swept over concurrent sequence counts on the
+//! simulated-GPU clock.
+//!
+//! Each sweep point runs twice on the same batcher: a **cold** pass
+//! (unseen M buckets served on heuristic fallback engines while the
+//! online tuner compiles in the background) and a **warm** pass after
+//! `wait_tuned` (every bucket hot-swapped to its tuned engine — the
+//! steady-state numbers CI gates on). Every pass is checked
+//! token-for-token against a sequential oracle (the same model at
+//! `max_slots = 1`, one sequence at a time): `lost_tokens` /
+//! `duplicated_tokens` must be zero and the streams bit-identical, or
+//! batching changed the math.
+//!
+//! Results print as tables and are emitted to
+//! `target/experiments/llm_serving.json` and `BENCH_llm.json` at the
+//! workspace root; CI gates on the continuous path scaling from 1 to 32
+//! concurrent sequences and on token conservation.
+//!
+//! Run with: `cargo bench --bench llm_serving`
+
+use bolt::BoltConfig;
+use bolt_bench::{experiments_dir, write_bench_json, Table};
+use bolt_gpu_sim::GpuArch;
+use bolt_models::{sample_prompts, PromptLengths};
+use bolt_serve::{BatchMode, ContinuousBatcher, LlmServeConfig, SequenceRequest};
+
+const CONCURRENCY: [usize; 3] = [1, 8, 32];
+const MAX_SLOTS: usize = 8;
+const PROMPT_SEED: u64 = 42;
+
+struct Workload {
+    prompts: Vec<Vec<u32>>,
+    max_new: Vec<usize>,
+}
+
+impl Workload {
+    fn tiny_lm(sequences: usize) -> Workload {
+        let prompts = sample_prompts(
+            "tiny-lm",
+            sequences,
+            PromptLengths::uniform(4, 32),
+            PROMPT_SEED,
+        )
+        .expect("tiny-lm in the zoo");
+        // Ragged generation lengths: sequences retire at different
+        // steps, which is where pad-to-bucket wastes flops.
+        let max_new = (0..sequences).map(|i| 6 + i % 5).collect();
+        Workload { prompts, max_new }
+    }
+
+    fn expected_tokens(&self) -> u64 {
+        self.max_new.iter().map(|&n| n as u64).sum()
+    }
+}
+
+struct Run {
+    mode: &'static str,
+    sequences: usize,
+    tokens_per_sec: f64,
+    ttft_p99_us: f64,
+    padding_fraction: f64,
+    steps: u64,
+    expected_tokens: u64,
+    generated_tokens: u64,
+    lost_tokens: u64,
+    duplicated_tokens: u64,
+    bit_identical: bool,
+}
+
+fn batcher(max_slots: usize, mode: BatchMode) -> ContinuousBatcher {
+    ContinuousBatcher::new(
+        GpuArch::tesla_t4(),
+        BoltConfig::default(),
+        LlmServeConfig {
+            max_slots,
+            mode,
+            ..LlmServeConfig::default()
+        },
+    )
+    .expect("tiny-lm engines")
+}
+
+fn submit(batcher: &mut ContinuousBatcher, workload: &Workload, upto: usize) {
+    for (prompt, &max_new) in workload.prompts.iter().zip(&workload.max_new).take(upto) {
+        batcher
+            .submit(SequenceRequest {
+                prompt: prompt.clone(),
+                max_new_tokens: max_new,
+                deadline_us: None,
+            })
+            .expect("valid request");
+    }
+}
+
+/// One sequence at a time through a fresh single-slot batcher: the
+/// ground truth every batched sweep point must reproduce bit-for-bit.
+fn oracle_streams(workload: &Workload) -> Vec<Vec<u32>> {
+    let mut oracle = batcher(1, BatchMode::Continuous);
+    workload
+        .prompts
+        .iter()
+        .zip(&workload.max_new)
+        .map(|(prompt, &max_new)| {
+            oracle
+                .submit(SequenceRequest {
+                    prompt: prompt.clone(),
+                    max_new_tokens: max_new,
+                    deadline_us: None,
+                })
+                .expect("valid request");
+            let mut done = oracle.run_to_completion();
+            done.pop().expect("one sequence").tokens
+        })
+        .collect()
+}
+
+/// Snapshot of the cumulative batcher counters a pass is diffed against.
+#[derive(Clone, Copy, Default)]
+struct Baseline {
+    sim_us: f64,
+    generated: u64,
+    steps: u64,
+    real_flops: f64,
+    launched_flops: f64,
+}
+
+fn baseline(batcher: &ContinuousBatcher) -> Baseline {
+    let stats = batcher.stats();
+    let metrics = batcher.metrics();
+    Baseline {
+        sim_us: batcher.sim_now_us(),
+        generated: stats.generated_tokens,
+        steps: stats.steps,
+        real_flops: metrics.real_flops,
+        launched_flops: metrics.launched_flops,
+    }
+}
+
+/// Runs the workload once on `batcher` and reports the pass relative to
+/// the counters at entry (so a warm pass excludes the cold pass).
+fn run_pass(
+    batcher: &mut ContinuousBatcher,
+    label: &'static str,
+    workload: &Workload,
+    oracle: &[Vec<u32>],
+) -> Run {
+    let sequences = workload.prompts.len();
+    let before = baseline(batcher);
+    submit(batcher, workload, sequences);
+    let mut results = batcher.run_to_completion();
+    results.sort_by_key(|r| r.id);
+    let after = baseline(batcher);
+
+    let sim_us = (after.sim_us - before.sim_us).max(1.0);
+    let generated = after.generated - before.generated;
+    let launched = after.launched_flops - before.launched_flops;
+    let real = after.real_flops - before.real_flops;
+
+    let mut ttfts: Vec<f64> = results.iter().filter_map(|r| r.ttft_us).collect();
+    ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite ttft"));
+    let ttft_p99_us = ttfts
+        .get(((ttfts.len() as f64 * 0.99).ceil() as usize).max(1) - 1)
+        .copied()
+        .unwrap_or(0.0);
+
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    let mut bit_identical = results.len() == sequences;
+    for (i, seq) in results.iter().enumerate() {
+        let expected = &oracle[i];
+        lost += expected.len().saturating_sub(seq.tokens.len()) as u64;
+        duplicated += seq.tokens.len().saturating_sub(expected.len()) as u64;
+        bit_identical &= &seq.tokens == expected;
+    }
+
+    Run {
+        mode: label,
+        sequences,
+        tokens_per_sec: generated as f64 * 1e6 / sim_us,
+        ttft_p99_us,
+        padding_fraction: if launched > 0.0 {
+            ((launched - real) / launched).max(0.0)
+        } else {
+            0.0
+        },
+        steps: after.steps - before.steps,
+        expected_tokens: workload.expected_tokens(),
+        generated_tokens: generated,
+        lost_tokens: lost,
+        duplicated_tokens: duplicated,
+        bit_identical,
+    }
+}
+
+/// Cold pass, tuner drain, warm pass — same batcher, same workload.
+fn run_point(
+    mode: BatchMode,
+    label: &'static str,
+    sequences: usize,
+    oracle: &[Vec<u32>],
+) -> (Run, Run) {
+    let workload = Workload::tiny_lm(sequences);
+    let mut batcher = batcher(MAX_SLOTS.min(sequences), mode);
+    let cold = run_pass(&mut batcher, label, &workload, oracle);
+    assert!(
+        batcher.wait_tuned(std::time::Duration::from_secs(60)),
+        "online tuner drains between passes"
+    );
+    let warm = run_pass(&mut batcher, label, &workload, oracle);
+    (cold, warm)
+}
+
+fn json_rows(runs: &[Run]) -> String {
+    runs.iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"sequences\": {}, \"tokens_per_sec\": {:.1}, \
+                 \"ttft_p99_us\": {:.1}, \"padding_fraction\": {:.4}, \"steps\": {}, \
+                 \"expected_tokens\": {}, \"generated_tokens\": {}, \"lost_tokens\": {}, \
+                 \"duplicated_tokens\": {}, \"bit_identical\": {}}}",
+                r.mode,
+                r.sequences,
+                r.tokens_per_sec,
+                r.ttft_p99_us,
+                r.padding_fraction,
+                r.steps,
+                r.expected_tokens,
+                r.generated_tokens,
+                r.lost_tokens,
+                r.duplicated_tokens,
+                r.bit_identical
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn table_for(runs: &[Run]) -> Table {
+    let mut table = Table::new(&[
+        "mode",
+        "seqs",
+        "tokens/sec",
+        "ttft p99 (us)",
+        "padding",
+        "steps",
+        "tokens (got/want)",
+        "bit-identical",
+    ]);
+    for run in runs {
+        table.row(&[
+            run.mode.to_string(),
+            run.sequences.to_string(),
+            format!("{:.0}", run.tokens_per_sec),
+            format!("{:.1}", run.ttft_p99_us),
+            format!("{:.1}%", run.padding_fraction * 100.0),
+            run.steps.to_string(),
+            format!("{}/{}", run.generated_tokens, run.expected_tokens),
+            run.bit_identical.to_string(),
+        ]);
+    }
+    table
+}
+
+fn scaling(runs: &[Run], label: &str) -> f64 {
+    let at = |n: usize| {
+        runs.iter()
+            .find(|r| r.mode == label && r.sequences == n)
+            .map_or(0.0, |r| r.tokens_per_sec)
+    };
+    at(32) / at(1).max(1.0)
+}
+
+fn main() {
+    // One oracle over the largest request set; smaller sweep points use
+    // prefixes of the same seeded workload.
+    let largest = Workload::tiny_lm(*CONCURRENCY.iter().max().expect("non-empty sweep"));
+    let oracle = oracle_streams(&largest);
+
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for &sequences in &CONCURRENCY {
+        for (label, mode) in [
+            ("continuous", BatchMode::Continuous),
+            ("static-cohort", BatchMode::StaticCohort),
+        ] {
+            let (c, w) = run_point(mode, label, sequences, &oracle);
+            cold.push(c);
+            warm.push(w);
+        }
+    }
+    table_for(&cold).print(
+        "LLM decode-step serving on tiny-lm, cold start (simulated T4, \
+         8 slots): unseen M buckets served on heuristic fallbacks",
+    );
+    table_for(&warm).print(
+        "LLM decode-step serving on tiny-lm, warm (every bucket tuned \
+         and hot-swapped): steady-state continuous vs pad-to-bucket",
+    );
+    println!(
+        "\nwarm tokens/sec scaling 1 -> 32 sequences: continuous {:.2}x, static-cohort {:.2}x",
+        scaling(&warm, "continuous"),
+        scaling(&warm, "static-cohort")
+    );
+
+    let json = format!(
+        "{{\n  \"model\": \"tiny-lm\",\n  \"max_slots\": {MAX_SLOTS},\n  \
+         \"concurrency\": [1, 8, 32],\n  \"cold\": [\n{}\n  ],\n  \
+         \"warm\": [\n{}\n  ],\n  \
+         \"warm_continuous_scaling_1_to_32\": {:.3}\n}}\n",
+        json_rows(&cold),
+        json_rows(&warm),
+        scaling(&warm, "continuous"),
+    );
+    let out_dir = experiments_dir();
+    let _ = std::fs::create_dir_all(&out_dir);
+    let path = out_dir.join("llm_serving.json");
+    if std::fs::write(&path, &json).is_ok() {
+        println!("wrote {}", path.display());
+    }
+    write_bench_json("BENCH_llm.json", &json);
+}

@@ -69,7 +69,10 @@ pub use compile::BoltCompiler;
 pub use config::BoltConfig;
 pub use error::BoltError;
 pub use faults::{ChaosConfig, FaultEvent, FaultSite};
-pub use plan::{ExecutionPlan, PackedConsts, StepObserver, StepTiming, StepTimings};
+pub use plan::{
+    ExecutionPlan, KvArena, KvSpec, KvWorkspace, PackedConsts, StepObserver, StepTiming,
+    StepTimings,
+};
 pub use profiler::{BoltProfiler, ProfileTask, ProfiledKernel, ProfilerStats};
 pub use runtime::{slice_batch, stack_batch, CompiledModel, Step, StepKind, TimingReport};
 

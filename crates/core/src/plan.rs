@@ -27,12 +27,13 @@
 //! semantic oracle and benchmark baseline.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bolt_gpu_sim::{simulate_kernel, GpuArch, KernelProfile, KernelTime, Timeline};
 use bolt_graph::{Graph, NodeId, OpKind};
 use bolt_tensor::conv_ref::filter_as_matrix;
-use bolt_tensor::{Layout, MatrixLayout, Tensor};
+use bolt_tensor::{DType, Layout, MatrixLayout, Tensor};
 
 use crate::config::BoltConfig;
 use crate::error::BoltError;
@@ -241,6 +242,215 @@ impl Workspace {
 /// Upper bound on pooled workspaces (one per concurrently executing
 /// run; beyond this, extra workspaces are simply dropped).
 const WORKSPACE_POOL_CAP: usize = 8;
+
+// ---------------------------------------------------------------------------
+// KV workspaces (autoregressive decode)
+// ---------------------------------------------------------------------------
+
+/// Geometry of a per-sequence attention KV cache: `layers` decoder
+/// layers, each holding a key matrix and a value matrix of up to
+/// `max_seq` rows of width `kv_dim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvSpec {
+    /// Decoder layers (each owns one K and one V region).
+    pub layers: usize,
+    /// Row width: `heads * head_dim`.
+    pub kv_dim: usize,
+    /// Capacity in sequence positions (prompt + generated tokens).
+    pub max_seq: usize,
+}
+
+impl KvSpec {
+    /// Total f32 elements one sequence's cache occupies.
+    pub fn numel(&self) -> usize {
+        self.layers * 2 * self.max_seq * self.kv_dim
+    }
+
+    /// Backing-store footprint in bytes (f32 canonical storage).
+    pub fn bytes(&self) -> u64 {
+        self.numel() as u64 * 4
+    }
+}
+
+/// A persistent per-sequence KV cache backed by **one** tensor
+/// allocation for the sequence's whole lifetime.
+///
+/// This extends the liveness discipline [`SlotPlan`] applies to
+/// per-run intermediates out to multi-step sequence state: a
+/// sequence's cache is a single live range from admission to
+/// retirement, so every decode step appends rows **in place**
+/// ([`KvWorkspace::write_row`] via `data_mut`) instead of reallocating
+/// a grown buffer per step. `bolt_tensor::alloc_count()` therefore
+/// stays flat across decode steps — the property the `kv_no_alloc`
+/// tier-1 test pins.
+///
+/// Writes and commits are separated so a mid-step failure needs no
+/// rollback: rows written past [`KvWorkspace::len`] are invisible
+/// until [`KvWorkspace::commit`] publishes them, and a retried step
+/// simply overwrites them.
+#[derive(Debug)]
+pub struct KvWorkspace {
+    spec: KvSpec,
+    /// Committed sequence length (rows visible to readers).
+    len: usize,
+    /// `[layers * 2 * max_seq, kv_dim]`: per layer, the K region then
+    /// the V region, each `max_seq` rows.
+    buf: Tensor,
+}
+
+impl KvWorkspace {
+    /// Allocates the full-capacity cache (the only allocation this
+    /// workspace ever performs).
+    pub fn new(spec: KvSpec) -> Self {
+        assert!(
+            spec.layers > 0 && spec.kv_dim > 0 && spec.max_seq > 0,
+            "degenerate KvSpec {spec:?}"
+        );
+        KvWorkspace {
+            spec,
+            len: 0,
+            buf: Tensor::zeros(&[spec.layers * 2 * spec.max_seq, spec.kv_dim], DType::F32),
+        }
+    }
+
+    /// The geometry this workspace was allocated for.
+    pub fn spec(&self) -> KvSpec {
+        self.spec
+    }
+
+    /// Committed sequence length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first commit.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn base(&self, layer: usize, region: usize) -> usize {
+        debug_assert!(layer < self.spec.layers && region < 2);
+        (layer * 2 + region) * self.spec.max_seq * self.spec.kv_dim
+    }
+
+    /// Writes one K row and one V row for `layer` at position `pos`,
+    /// in place. `pos` may lie at or past [`KvWorkspace::len`] (the
+    /// rows stay invisible until committed) but not past capacity.
+    pub fn write_row(&mut self, layer: usize, pos: usize, k_row: &[f32], v_row: &[f32]) {
+        let d = self.spec.kv_dim;
+        assert!(layer < self.spec.layers, "layer {layer} out of range");
+        assert!(pos < self.spec.max_seq, "position {pos} past capacity");
+        assert_eq!(k_row.len(), d, "K row width");
+        assert_eq!(v_row.len(), d, "V row width");
+        let kb = self.base(layer, 0) + pos * d;
+        let vb = self.base(layer, 1) + pos * d;
+        let data = self.buf.data_mut();
+        data[kb..kb + d].copy_from_slice(k_row);
+        data[vb..vb + d].copy_from_slice(v_row);
+    }
+
+    /// Publishes (or rolls back to) a committed length. The single
+    /// transaction point: a decode step writes its rows, finishes the
+    /// whole layer stack, then commits `len + 1` once.
+    pub fn commit(&mut self, len: usize) {
+        assert!(len <= self.spec.max_seq, "commit past capacity");
+        self.len = len;
+    }
+
+    /// The first `n` key rows of `layer` as one contiguous `n * kv_dim`
+    /// slice. `n` may exceed the committed length (up to capacity) so a
+    /// step can read rows it has written but not yet published.
+    pub fn keys(&self, layer: usize, n: usize) -> &[f32] {
+        assert!(n <= self.spec.max_seq, "read past capacity");
+        let b = self.base(layer, 0);
+        &self.buf.data()[b..b + n * self.spec.kv_dim]
+    }
+
+    /// The first `n` value rows of `layer`; see [`KvWorkspace::keys`].
+    pub fn values(&self, layer: usize, n: usize) -> &[f32] {
+        assert!(n <= self.spec.max_seq, "read past capacity");
+        let b = self.base(layer, 1);
+        &self.buf.data()[b..b + n * self.spec.kv_dim]
+    }
+
+    /// Forgets all committed rows (the backing buffer is retained), so
+    /// a recycled workspace serves its next sequence allocation-free.
+    pub fn reset(&mut self) {
+        self.len = 0;
+    }
+}
+
+/// A LIFO pool of [`KvWorkspace`]s, mirroring the executor's workspace
+/// pool: sequence lifetimes are the live ranges, and a retired
+/// sequence's cache is handed, already allocated, to the next admitted
+/// sequence. Steady-state serving leases every cache from the spare
+/// stack — [`KvArena::fresh_allocations`] stops growing once the pool
+/// is warm.
+#[derive(Debug)]
+pub struct KvArena {
+    spec: KvSpec,
+    cap: usize,
+    spare: Mutex<Vec<KvWorkspace>>,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl KvArena {
+    /// An arena handing out caches of geometry `spec`, retaining up to
+    /// `cap` spares (typically the batcher's slot count).
+    pub fn new(spec: KvSpec, cap: usize) -> Self {
+        KvArena {
+            spec,
+            cap: cap.max(1),
+            spare: Mutex::new(Vec::new()),
+            fresh: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// The geometry every leased workspace has.
+    pub fn spec(&self) -> KvSpec {
+        self.spec
+    }
+
+    /// Pops a recycled workspace, or allocates one on a cold start.
+    pub fn lease(&self) -> KvWorkspace {
+        if let Some(mut ws) = self.spare.lock().unwrap().pop() {
+            ws.reset();
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return ws;
+        }
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        KvWorkspace::new(self.spec)
+    }
+
+    /// Returns a retired sequence's workspace to the spare stack
+    /// (dropped past `cap`, or if its geometry does not match).
+    pub fn recycle(&self, ws: KvWorkspace) {
+        if ws.spec != self.spec {
+            return;
+        }
+        let mut spare = self.spare.lock().unwrap();
+        if spare.len() < self.cap {
+            spare.push(ws);
+        }
+    }
+
+    /// Workspaces built from scratch (cold-start cost).
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Leases served from the spare stack (the steady-state path).
+    pub fn reuses(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Currently pooled spares.
+    pub fn spare_len(&self) -> usize {
+        self.spare.lock().unwrap().len()
+    }
+}
 
 /// A value resident in a buffer slot during one run. Graph inputs that
 /// are already in the internal layout are borrowed straight from the
@@ -488,6 +698,32 @@ impl ExecutionPlan {
                 )
             })
             .count()
+    }
+
+    /// Floating-point work one run of this plan performs across its
+    /// compute kernels (host glue and layout transforms are free). Used
+    /// by the serving metrics to weight pad rows into the
+    /// `padding_fraction` gauge.
+    pub fn flops(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| match &s.kind {
+                StepKind::Gemm { kernel, .. } => kernel.problem.flops(),
+                StepKind::Conv2d { kernel, .. } => {
+                    let (m, n, k) = kernel.problem.implicit_gemm_mnk();
+                    2.0 * (m as f64) * (n as f64) * (k as f64)
+                }
+                StepKind::B2bGemm { kernel, .. } => kernel.gemm0.flops() + kernel.gemm1.flops(),
+                StepKind::GemmChain { chain, .. } => {
+                    chain.stages.iter().map(|st| st.problem.flops()).sum()
+                }
+                StepKind::B2bConv { kernel, .. } => {
+                    let b2b = kernel.as_b2b_gemm();
+                    b2b.gemm0.flops() + b2b.gemm1.flops()
+                }
+                _ => 0.0,
+            })
+            .sum()
     }
 
     /// Peak intermediate memory of the planned execution: the sum of the

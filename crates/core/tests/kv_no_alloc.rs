@@ -1,0 +1,70 @@
+//! The KV-workspace liveness guarantee (ISSUE 9 tentpole): a sequence's
+//! attention cache is **one** allocation for its whole lifetime, grown
+//! through in-place row writes — never reallocated per decode step —
+//! and a warm [`bolt::KvArena`] serves admissions entirely from
+//! recycled workspaces.
+//!
+//! The global [`bolt_tensor::alloc_count`] counter observes every fresh
+//! tensor backing-buffer creation; in-place `data_mut` writes are
+//! invisible to it. This file deliberately holds a single `#[test]`:
+//! the counter is process-global, and a sibling test allocating tensors
+//! concurrently would pollute the deltas.
+
+use bolt::{KvArena, KvSpec, KvWorkspace};
+use bolt_tensor::alloc_count;
+
+fn deltas_during(f: impl FnOnce()) -> u64 {
+    let allocs = alloc_count();
+    f();
+    alloc_count() - allocs
+}
+
+#[test]
+fn decode_steps_never_reallocate_kv() {
+    let spec = KvSpec {
+        layers: 4,
+        kv_dim: 32,
+        max_seq: 96,
+    };
+
+    // One allocation per workspace, at construction, and none after:
+    // a full sequence of decode-step appends writes in place.
+    let mut ws = KvWorkspace::new(spec);
+    let k = vec![0.25f32; spec.kv_dim];
+    let v = vec![0.5f32; spec.kv_dim];
+    let appends = deltas_during(|| {
+        for pos in 0..spec.max_seq {
+            for layer in 0..spec.layers {
+                ws.write_row(layer, pos, &k, &v);
+            }
+            ws.commit(pos + 1);
+        }
+    });
+    assert_eq!(appends, 0, "decode-step KV appends must not allocate");
+    assert_eq!(ws.len(), spec.max_seq);
+    assert_eq!(ws.keys(1, 3).len(), 3 * spec.kv_dim);
+    assert!(ws.keys(1, 3).iter().all(|&x| x == 0.25));
+    assert!(ws.values(3, spec.max_seq).iter().all(|&x| x == 0.5));
+
+    // A warm arena admits new sequences allocation-free: retire the
+    // sequence, lease again, decode again — zero fresh tensors.
+    let arena = KvArena::new(spec, 8);
+    arena.recycle(ws);
+    let steady_state = deltas_during(|| {
+        for round in 0..5 {
+            let mut ws = arena.lease();
+            assert!(ws.is_empty(), "recycled workspaces start blank");
+            for pos in 0..8 {
+                for layer in 0..spec.layers {
+                    ws.write_row(layer, pos, &k, &v);
+                }
+                ws.commit(pos + 1);
+            }
+            assert_eq!(ws.len(), 8, "round {round}");
+            arena.recycle(ws);
+        }
+    });
+    assert_eq!(steady_state, 0, "warm arena lease/decode/recycle cycles");
+    assert_eq!(arena.reuses(), 5);
+    assert_eq!(arena.fresh_allocations(), 0, "the pool seeded every lease");
+}

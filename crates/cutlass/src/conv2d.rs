@@ -122,6 +122,7 @@ impl Conv2dKernel {
             problem: self.implicit_gemm(),
             config: self.config.gemm,
             epilogue: self.epilogue,
+            parallel_m_rows: crate::gemm::PARALLEL_M_ROWS,
         };
         let (d, _) = gemm.run(&cols, &fm, bias)?;
 
@@ -198,6 +199,7 @@ impl Conv2dKernel {
             problem: self.implicit_gemm(),
             config: self.config.gemm,
             epilogue: self.epilogue,
+            parallel_m_rows: crate::gemm::PARALLEL_M_ROWS,
         };
         gemm.run_into(cols, filter_matrix, bias, acc, out, filter_quantized)
     }

@@ -127,6 +127,12 @@ pub struct GemmKernel {
     pub config: GemmConfig,
     /// Fused epilogue.
     pub epilogue: Epilogue,
+    /// Minimum M extent before [`GemmKernel::run_into`] spreads
+    /// threadblock M-stripes across host cores ([`PARALLEL_M_ROWS`] by
+    /// default). Deployments serving decode-step skinny GEMMs tune this
+    /// through `BoltConfig::parallel_m_rows` so single-token batches
+    /// never pay thread-scope overhead.
+    pub parallel_m_rows: usize,
 }
 
 impl GemmKernel {
@@ -142,7 +148,18 @@ impl GemmKernel {
             problem,
             config,
             epilogue,
+            parallel_m_rows: PARALLEL_M_ROWS,
         }
+    }
+
+    /// Overrides the M extent at which [`GemmKernel::run_into`] goes
+    /// data-parallel. Clamped to at least 1 (0 would claim every
+    /// problem, including the degenerate single-stripe ones the parallel
+    /// path already skips).
+    #[must_use]
+    pub fn with_parallel_m_rows(mut self, rows: usize) -> Self {
+        self.parallel_m_rows = rows.max(1);
+        self
     }
 
     /// Validates the template against `arch`.
@@ -274,7 +291,7 @@ impl GemmKernel {
     /// whenever the provenance of `b` is not known.
     ///
     /// When the host has more than one core and the problem is large
-    /// enough ([`PARALLEL_M_ROWS`]), the threadblock M-stripes are
+    /// enough ([`GemmKernel::parallel_m_rows`]), the threadblock M-stripes are
     /// executed data-parallel with `std::thread::scope`; every tile is
     /// computed independently with unchanged arithmetic order, so the
     /// result stays bit-identical to the sequential walk.
@@ -318,7 +335,7 @@ impl GemmKernel {
         let tb_m = self.config.threadblock.m;
         let grid_m = p.m.div_ceil(tb_m);
         let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-        if threads > 1 && grid_m > 1 && p.m >= PARALLEL_M_ROWS {
+        if threads > 1 && grid_m > 1 && p.m >= self.parallel_m_rows.max(1) {
             // Data-parallel M-stripes: each worker owns a contiguous run
             // of threadblock rows, which is a contiguous slice of `out`.
             let workers = threads.min(grid_m);
@@ -709,6 +726,61 @@ mod tests {
             split.time(&t4).total_us < plain.time(&t4).total_us,
             "split-K should beat the underfilled plain kernel"
         );
+    }
+
+    #[test]
+    fn skinny_m1_stays_sequential_at_any_threshold() {
+        // Decode-step regression: an M=1 GEMM must produce the same bits
+        // whatever the parallel-stripe threshold is set to, and must
+        // never enter the thread-scope path (grid_m == 1 at M=1 makes
+        // that structurally impossible; this pins it).
+        let problem = GemmProblem::fp16(1, 96, 64);
+        let a = Tensor::randn(&[1, 64], DType::F16, 11);
+        let b = Tensor::randn(&[64, 96], DType::F16, 12);
+        let base = GemmKernel::new(
+            problem,
+            GemmConfig::turing_default(),
+            Epilogue::linear(DType::F16),
+        );
+        let mut acc = Vec::new();
+        let mut want = vec![0.0f32; 96];
+        base.run_into(a.data(), b.data(), None, &mut acc, &mut want, true)
+            .unwrap();
+        for threshold in [1usize, 2, 256, usize::MAX] {
+            let k = base.clone().with_parallel_m_rows(threshold);
+            let mut got = vec![0.0f32; 96];
+            k.run_into(a.data(), b.data(), None, &mut acc, &mut got, true)
+                .unwrap();
+            assert_eq!(want, got, "threshold={threshold}");
+        }
+        // with_parallel_m_rows(0) clamps to 1 rather than claiming
+        // every problem.
+        assert_eq!(base.clone().with_parallel_m_rows(0).parallel_m_rows, 1);
+    }
+
+    #[test]
+    fn parallel_threshold_is_bit_identical_to_sequential() {
+        // Force the parallel branch with a low threshold on a multi-stripe
+        // problem and compare against the sequential walk bit for bit.
+        let problem = GemmProblem::fp16(96, 40, 32);
+        let mut c = GemmConfig::turing_default();
+        c.threadblock = crate::tiles::TileShape::new(16, 16, 8);
+        c.warp = crate::tiles::TileShape::new(8, 8, 8);
+        let a = Tensor::randn(&[96, 32], DType::F16, 21);
+        let b = Tensor::randn(&[32, 40], DType::F16, 22);
+        let sequential = GemmKernel::new(problem, c, Epilogue::linear(DType::F16))
+            .with_parallel_m_rows(usize::MAX);
+        let parallel = sequential.clone().with_parallel_m_rows(1);
+        let mut acc = Vec::new();
+        let mut want = vec![0.0f32; 96 * 40];
+        let mut got = vec![0.0f32; 96 * 40];
+        sequential
+            .run_into(a.data(), b.data(), None, &mut acc, &mut want, true)
+            .unwrap();
+        parallel
+            .run_into(a.data(), b.data(), None, &mut acc, &mut got, true)
+            .unwrap();
+        assert_eq!(want, got);
     }
 
     #[test]

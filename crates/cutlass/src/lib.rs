@@ -54,7 +54,7 @@ pub use chain::{ChainStage, PersistentGemmChain};
 pub use conv2d::{Conv2dConfig, Conv2dKernel};
 pub use epilogue::{BiasMode, Epilogue};
 pub use error::KernelError;
-pub use gemm::{GemmKernel, GemmProblem};
+pub use gemm::{GemmKernel, GemmProblem, PARALLEL_M_ROWS};
 pub use generator::{CandidateSeed, ConfigGenerator};
 pub use template::GemmConfig;
 pub use tiles::TileShape;

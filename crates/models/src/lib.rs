@@ -10,6 +10,9 @@
 //!   "RepVGGAug" variants with extra 1×1 convolutions and alternative
 //!   activations (Section 4.3);
 //! * [`bert`] — the GEMM workloads of Figures 1 and 8a;
+//! * [`llm`] — an autoregressive transformer decoder (prefill = wide
+//!   GEMM, decode step = skinny GEMM) split into per-layer compilable
+//!   sub-models plus host-side attention, for the LLM-serving path;
 //! * [`mlp`] — DLRM/DCNv2-style MLP chains and the exact back-to-back
 //!   GEMM pairs of Table 1;
 //! * [`cnn`] — a small materialized CNN the serving layer can execute
@@ -22,6 +25,7 @@ pub mod accuracy;
 pub mod bert;
 pub mod cnn;
 pub mod inception;
+pub mod llm;
 pub mod mlp;
 pub mod repvgg;
 pub mod resnet;
@@ -29,5 +33,9 @@ pub mod vgg;
 pub mod zoo;
 
 pub use accuracy::{AccuracyModel, TrainRecipe};
+pub use llm::{DecoderModel, DecoderSpec};
 pub use repvgg::{RepVggSpec, RepVggVariant};
-pub use zoo::{model_by_name, try_model_by_name, ModelInfo, FIGURE10_MODELS, SERVING_MODELS};
+pub use zoo::{
+    llm_by_name, model_by_name, sample_prompts, try_model_by_name, ModelInfo, PromptLengths,
+    FIGURE10_MODELS, LLM_MODELS, SERVING_MODELS,
+};

@@ -118,6 +118,80 @@ pub fn sample_inputs(name: &str, seed: u64) -> Option<Vec<bolt_tensor::Tensor>> 
     )
 }
 
+/// Autoregressive zoo entries served through the continuous batcher
+/// (ragged token prompts, per-step decode) rather than the fixed-shape
+/// tensor path above.
+pub const LLM_MODELS: [&str; 1] = ["tiny-lm"];
+
+/// Looks up an autoregressive zoo model's architecture. `None` for
+/// names that are not LLM entries (including the fixed-shape
+/// [`SERVING_MODELS`], which keep using [`sample_inputs`]).
+pub fn llm_by_name(name: &str) -> Option<crate::llm::DecoderSpec> {
+    match name {
+        "tiny-lm" => Some(crate::llm::DecoderSpec::tiny()),
+        _ => None,
+    }
+}
+
+/// Prompt-length distribution for [`sample_prompts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromptLengths {
+    /// Shortest prompt, in tokens (≥ 1).
+    pub min: usize,
+    /// Longest prompt, inclusive.
+    pub max: usize,
+}
+
+impl PromptLengths {
+    /// Uniform lengths over `min..=max`.
+    pub fn uniform(min: usize, max: usize) -> Self {
+        assert!(min >= 1 && max >= min, "degenerate range {min}..={max}");
+        PromptLengths { min, max }
+    }
+
+    /// Every prompt exactly `n` tokens.
+    pub fn fixed(n: usize) -> Self {
+        Self::uniform(n, n)
+    }
+}
+
+/// Seeded variable-length prompt generator for an LLM zoo model — the
+/// ragged-input companion to [`sample_inputs`], shared by the serving
+/// tests, `benches/llm_serving.rs`, and `examples/llm_demo.rs` so they
+/// all exercise one distribution. Lengths are drawn from `lengths`
+/// (clamped to the model's `max_seq`), token ids uniformly from the
+/// model's vocabulary; the same `(name, count, lengths, seed)` always
+/// yields the same prompts. `None` for names without an LLM zoo entry.
+pub fn sample_prompts(
+    name: &str,
+    count: usize,
+    lengths: PromptLengths,
+    seed: u64,
+) -> Option<Vec<Vec<u32>>> {
+    let spec = llm_by_name(name)?;
+    // Splitmix64 stream, one chain per call.
+    let mut state = seed ^ 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut x = state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    };
+    let hi = lengths.max.min(spec.max_seq.saturating_sub(1)).max(1);
+    let lo = lengths.min.min(hi);
+    Some(
+        (0..count)
+            .map(|_| {
+                let len = lo + (next() as usize) % (hi - lo + 1);
+                (0..len)
+                    .map(|_| (next() % spec.vocab as u64) as u32)
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +244,56 @@ mod tests {
                 assert_eq!(tensor.shape().dims()[0], 1, "{name}: batch-1 sample");
             }
         }
+    }
+
+    #[test]
+    fn llm_lookup_is_total_and_disjoint_from_tensor_zoo() {
+        for name in LLM_MODELS {
+            assert!(llm_by_name(name).is_some(), "{name}");
+            assert!(
+                try_model_by_name(name, 1).is_none(),
+                "{name} must not shadow a fixed-shape zoo entry"
+            );
+        }
+        assert!(llm_by_name("mlp-small").is_none());
+        assert!(llm_by_name("gpt-oss").is_none());
+    }
+
+    #[test]
+    fn sample_prompts_are_seeded_bounded_and_variable_length() {
+        let lengths = PromptLengths::uniform(3, 24);
+        let a = sample_prompts("tiny-lm", 64, lengths, 11).unwrap();
+        let b = sample_prompts("tiny-lm", 64, lengths, 11).unwrap();
+        assert_eq!(a, b, "same seed, same prompts");
+        let c = sample_prompts("tiny-lm", 64, lengths, 12).unwrap();
+        assert_ne!(a, c, "different seed, different prompts");
+
+        let spec = llm_by_name("tiny-lm").unwrap();
+        assert_eq!(a.len(), 64);
+        for prompt in &a {
+            assert!((3..=24).contains(&prompt.len()), "{}", prompt.len());
+            assert!(prompt.iter().all(|&t| (t as usize) < spec.vocab));
+        }
+        let distinct: std::collections::HashSet<usize> = a.iter().map(|p| p.len()).collect();
+        assert!(distinct.len() > 4, "lengths actually vary: {distinct:?}");
+    }
+
+    #[test]
+    fn fixed_prompt_lengths_and_max_seq_clamp() {
+        let fixed = sample_prompts("tiny-lm", 8, PromptLengths::fixed(5), 3).unwrap();
+        assert!(fixed.iter().all(|p| p.len() == 5));
+
+        // A distribution wider than the context window leaves decode headroom.
+        let spec = llm_by_name("tiny-lm").unwrap();
+        let wide = PromptLengths::uniform(1, spec.max_seq * 4);
+        let clamped = sample_prompts("tiny-lm", 32, wide, 9).unwrap();
+        assert!(clamped.iter().all(|p| p.len() < spec.max_seq));
+
+        assert!(sample_prompts("alexnet", 4, fixed_one(), 0).is_none());
+    }
+
+    fn fixed_one() -> PromptLengths {
+        PromptLengths::fixed(1)
     }
 
     #[test]

@@ -1,0 +1,1213 @@
+//! Continuous batching for autoregressive LLM serving (ISSUE 9
+//! tentpole): per-step slot admission and retirement over a decode-step
+//! transformer, replacing pad-to-bucket batching for the autoregressive
+//! path while the existing [`crate::BoltServer`] batcher keeps serving
+//! fixed-shape models.
+//!
+//! # Why the fixed-shape batcher cannot serve an LLM
+//!
+//! The legacy scheduler forms a batch once and runs it to completion on
+//! a bucket-sized engine. An autoregressive sequence instead needs one
+//! skinny GEMM launch *per generated token*, and different sequences
+//! finish at different times: under pad-to-bucket semantics a cohort of
+//! 8 sequences keeps launching 8-row kernels until the *last* one
+//! finishes, burning pad-row FLOPs on every finished slot and making
+//! queued prompts wait for the whole cohort to drain.
+//!
+//! The [`ContinuousBatcher`] instead re-forms the batch **every decode
+//! step**:
+//!
+//! * **Admission** — free slots are filled from the queue at each step;
+//!   a prompt runs its prefill (wide GEMM, M = prompt length)
+//!   immediately and joins the next decode step. Step-level deadline
+//!   accounting sheds queued sequences whose deadline already passed and
+//!   evicts live sequences mid-generation.
+//! * **Decode** — all live sequences advance together through skinny
+//!   GEMMs whose M is the *live* count, shifting every step as
+//!   sequences join and finish. Unseen `(sub-model, M)` buckets are
+//!   served through the [`OnlineEngineManager`] heuristic fallback and
+//!   hot-swap to tuned engines mid-stream.
+//! * **Retirement** — finished sequences leave their slot at the end of
+//!   the step (mid-batch eviction); their KV workspace returns to the
+//!   [`bolt::KvArena`] for allocation-free re-admission.
+//!
+//! # Bit-identity
+//!
+//! Token streams are **bit-identical** to sequential per-sequence
+//! execution, whatever the interleaving: GEMM rows are independent and
+//! f32 accumulation order per output element never depends on M (or on
+//! the tile config a hot-swapped engine picked), sub-model weights are
+//! reseeded by name so every M bucket carries identical parameters, and
+//! attention is per-sequence host math against the sequence's own KV
+//! rows. The decode step is **transactional**: KV rows are written in
+//! place but published only by `commit`, and tokens append only after
+//! the whole step's compute succeeded — a mid-step worker kill (chaos
+//! [`bolt::FaultSite::WorkerKill`]) retries the step with no rollback
+//! logic and no lost or duplicated tokens.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bolt::{BoltConfig, KvArena, KvSpec};
+use bolt_gpu_sim::GpuArch;
+use bolt_models::llm::{
+    lm_head_graph, lm_head_name, post_graph, post_name, qkv_graph, qkv_name, DecoderModel,
+};
+use bolt_models::llm_by_name;
+use bolt_tensor::{DType, Tensor};
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::online::{OnlineConfig, OnlineEngineManager};
+use crate::registry::{EngineRegistry, ModelEngines};
+use crate::{Result, ServeError};
+
+/// Memoized engine prices the batcher keeps (same bound as the server's
+/// per-worker price cache).
+const PRICE_CACHE_CAP: usize = 64;
+
+/// How the batcher re-forms batches across decode steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Per-step join/leave: finished sequences are evicted mid-batch and
+    /// free slots refill from the queue every step.
+    Continuous,
+    /// The pad-to-bucket baseline: a cohort is admitted only when all
+    /// slots are free, and finished sequences keep occupying their rows
+    /// as padding until the whole cohort drains.
+    StaticCohort,
+}
+
+/// One autoregressive generation request.
+#[derive(Debug, Clone)]
+pub struct SequenceRequest {
+    /// Prompt token ids, each `< vocab`; non-empty, shorter than the
+    /// model's context window.
+    pub prompt: Vec<u32>,
+    /// Tokens to generate (≥ 1); generation may stop earlier on context
+    /// exhaustion or deadline.
+    pub max_new_tokens: usize,
+    /// Absolute simulated-clock deadline, µs. Queued sequences past it
+    /// are shed unstarted; live sequences are evicted mid-generation.
+    pub deadline_us: Option<f64>,
+}
+
+/// Why a sequence left its slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// Generated `max_new_tokens`.
+    Length,
+    /// The KV workspace reached the model's context window.
+    ContextFull,
+    /// Shed before starting or evicted mid-generation past its deadline.
+    DeadlineExceeded,
+    /// The step's compute failed (engine error); partial tokens stand.
+    Failed,
+}
+
+/// A retired sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceResult {
+    /// Id assigned at [`ContinuousBatcher::submit`], in submission order.
+    pub id: u64,
+    /// Prompt length, tokens.
+    pub prompt_len: usize,
+    /// Generated tokens (prompt excluded), in order.
+    pub tokens: Vec<u32>,
+    /// Simulated time from submission to the first generated token;
+    /// `None` when shed before prefill.
+    pub ttft_us: Option<f64>,
+    /// Simulated submission timestamp, µs.
+    pub submitted_us: f64,
+    /// Simulated retirement timestamp, µs.
+    pub finished_us: f64,
+    /// Why the sequence retired.
+    pub finish: FinishReason,
+}
+
+/// What one [`ContinuousBatcher::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepReport {
+    /// Sequences admitted (prefilled) this step.
+    pub admitted: usize,
+    /// Tokens decoded this step (one per live sequence).
+    pub decoded: usize,
+    /// Sequences retired this step (finished, evicted, or shed).
+    pub retired: usize,
+    /// Live slots after the step.
+    pub live: usize,
+    /// Queued sequences after the step.
+    pub queued: usize,
+    /// Simulated time the step consumed, µs.
+    pub sim_us: f64,
+}
+
+/// Cumulative batcher counters (see [`ContinuousBatcher::metrics`] for
+/// the full serving-metrics view including `padding_fraction`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LlmStats {
+    /// Decode steps executed (committed, not counting chaos retries).
+    pub steps: u64,
+    /// Prefills run (sequences admitted to a slot).
+    pub prefills: u64,
+    /// Tokens generated across all sequences (prefill first tokens plus
+    /// decode tokens).
+    pub generated_tokens: u64,
+    /// Decode attempts retried after a mid-step worker kill.
+    pub step_retries: u64,
+    /// Kernel launches issued (prefill + decode, all sub-models).
+    pub launches: u64,
+    /// Launches served on an online-tuning fallback engine (heuristic or
+    /// over-padded) before the tuned bucket hot-swapped in.
+    pub fallback_launches: u64,
+    /// Simulated clock, µs.
+    pub sim_us: f64,
+}
+
+/// Configuration for [`ContinuousBatcher::new`].
+#[derive(Debug, Clone)]
+pub struct LlmServeConfig {
+    /// LLM zoo model name (see [`bolt_models::LLM_MODELS`]).
+    pub model: String,
+    /// Parameter salt shared by every sub-model and the host embedding.
+    pub salt: u64,
+    /// Concurrent sequence slots.
+    pub max_slots: usize,
+    /// Continuous vs. pad-to-bucket batching.
+    pub mode: BatchMode,
+    /// Online tuning over the per-M sub-model buckets.
+    pub online: OnlineConfig,
+    /// KV workspaces the arena keeps warm for re-admission.
+    pub kv_pool: usize,
+}
+
+impl Default for LlmServeConfig {
+    fn default() -> Self {
+        LlmServeConfig {
+            model: "tiny-lm".into(),
+            salt: 9,
+            max_slots: 8,
+            mode: BatchMode::Continuous,
+            online: OnlineConfig::default(),
+            kv_pool: 16,
+        }
+    }
+}
+
+/// A queued, not-yet-admitted sequence.
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    prompt: Vec<u32>,
+    max_new: usize,
+    deadline_us: Option<f64>,
+    submitted_us: f64,
+}
+
+/// A live slot.
+#[derive(Debug)]
+struct Slot {
+    id: u64,
+    /// Prompt followed by generated tokens.
+    tokens: Vec<u32>,
+    prompt_len: usize,
+    max_new: usize,
+    deadline_us: Option<f64>,
+    submitted_us: f64,
+    ttft_us: f64,
+    kv: bolt::KvWorkspace,
+    /// `Some` once finished; in [`BatchMode::StaticCohort`] the slot
+    /// stays resident as padding until the whole cohort drains.
+    done: Option<FinishReason>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Priced {
+    us: f64,
+    flops: f64,
+}
+
+/// Per-attempt launch accounting, folded into the batcher only at the
+/// step's commit point (so a retried attempt charges nothing twice —
+/// except wall-clock the retry really spent, tracked separately).
+#[derive(Debug, Clone, Copy, Default)]
+struct StagedLaunches {
+    real_flops: f64,
+    launched_flops: f64,
+    sim_us: f64,
+    launches: u64,
+    fallback_launches: u64,
+}
+
+/// A decode attempt's result: tokens staged per slot index, not yet
+/// committed.
+struct StagedStep {
+    tokens: Vec<(usize, u32)>,
+    launches: StagedLaunches,
+}
+
+/// The GEMM-execution side of the batcher, split out so decode can
+/// borrow it mutably while iterating slots.
+struct ExecCtx {
+    registry: Arc<EngineRegistry>,
+    online: OnlineEngineManager,
+    handles: HashMap<String, Arc<ModelEngines>>,
+    prices: HashMap<usize, Priced>,
+}
+
+impl ExecCtx {
+    /// Runs one sub-model over `m` ragged rows (one sample per row,
+    /// `cols` holding each input's rows), placing the batch through the
+    /// online manager — bucket-padded, split on overflow — and returns
+    /// the output rows. `real_rows` of the `m` are genuinely live (the
+    /// rest are resident padding in static-cohort mode); accounting
+    /// charges pad rows to `staged.launched_flops` only.
+    fn run_rows(
+        &mut self,
+        name: &str,
+        cols: &[&[Vec<f32>]],
+        real_rows: usize,
+        staged: &mut StagedLaunches,
+    ) -> Result<Vec<Vec<f32>>> {
+        let m = cols[0].len();
+        debug_assert!(cols.iter().all(|c| c.len() == m), "ragged input columns");
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        let engines = self
+            .handles
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel { name: name.into() })?;
+        let placed = self.online.acquire(&engines, m)?;
+        let bucket = placed.bucket.max(1);
+        let key = Arc::as_ptr(&placed.engine) as usize;
+        if self.prices.len() >= PRICE_CACHE_CAP && !self.prices.contains_key(&key) {
+            self.prices.clear();
+        }
+        let priced = *self.prices.entry(key).or_insert_with(|| Priced {
+            us: placed.engine.time().total_us,
+            flops: placed.engine.flops(),
+        });
+
+        let samples: Vec<Vec<Tensor>> = (0..m)
+            .map(|i| {
+                cols.iter()
+                    .map(|c| {
+                        let row = &c[i];
+                        Tensor::from_vec(&[1, row.len()], DType::F16, row.clone())
+                            .expect("row length matches dims")
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut rows = Vec::with_capacity(m);
+        let mut launches = 0u64;
+        for chunk in samples.chunks(bucket) {
+            let outs = placed.engine.run_batched(chunk)?;
+            for mut out in outs {
+                rows.push(out.swap_remove(0).data().to_vec());
+            }
+            launches += 1;
+        }
+        staged.real_flops += priced.flops * real_rows as f64 / bucket as f64;
+        staged.launched_flops += priced.flops * launches as f64;
+        staged.sim_us += priced.us * launches as f64;
+        staged.launches += launches;
+        if placed.fallback {
+            staged.fallback_launches += launches;
+        }
+        Ok(rows)
+    }
+}
+
+/// Registry names of the model's compilable sub-models.
+struct SubModelNames {
+    qkv: Vec<String>,
+    post: Vec<String>,
+    lm_head: String,
+}
+
+/// The continuous-batching LLM scheduler (see module docs).
+pub struct ContinuousBatcher {
+    model: DecoderModel,
+    names: SubModelNames,
+    exec: ExecCtx,
+    arena: KvArena,
+    mode: BatchMode,
+    max_slots: usize,
+    queue: VecDeque<Pending>,
+    slots: Vec<Slot>,
+    finished: Vec<SequenceResult>,
+    metrics: Metrics,
+    stats: LlmStats,
+    sim_now_us: f64,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for ContinuousBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContinuousBatcher")
+            .field("mode", &self.mode)
+            .field("max_slots", &self.max_slots)
+            .field("live", &self.slots.len())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ContinuousBatcher {
+    /// Builds a batcher for one LLM zoo model on `arch`: registers every
+    /// per-layer sub-model dynamically (zero precompiled buckets — the
+    /// online manager fills them in as the live-row count shifts) and
+    /// sizes the KV arena to the slot count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `config.model` is not an LLM
+    /// zoo entry, [`ServeError::Config`] for a zero slot count.
+    pub fn new(arch: GpuArch, bolt_config: BoltConfig, config: LlmServeConfig) -> Result<Self> {
+        let spec = llm_by_name(&config.model).ok_or_else(|| ServeError::UnknownModel {
+            name: config.model.clone(),
+        })?;
+        if config.max_slots == 0 {
+            return Err(ServeError::Config {
+                reason: "max_slots must be at least 1".into(),
+            });
+        }
+        let registry = Arc::new(EngineRegistry::new(arch, bolt_config));
+        let salt = config.salt;
+        let mut names = SubModelNames {
+            qkv: Vec::with_capacity(spec.layers),
+            post: Vec::with_capacity(spec.layers),
+            lm_head: lm_head_name(&config.model),
+        };
+        let mut handles = HashMap::new();
+        for layer in 0..spec.layers {
+            let name = qkv_name(&config.model, layer);
+            let h = registry
+                .register_dynamic(&name, move |rows| qkv_graph(&spec, salt, layer, rows))?;
+            handles.insert(name.clone(), h);
+            names.qkv.push(name);
+
+            let name = post_name(&config.model, layer);
+            let h = registry
+                .register_dynamic(&name, move |rows| post_graph(&spec, salt, layer, rows))?;
+            handles.insert(name.clone(), h);
+            names.post.push(name);
+        }
+        let h = registry
+            .register_dynamic(&names.lm_head, move |rows| lm_head_graph(&spec, salt, rows))?;
+        handles.insert(names.lm_head.clone(), h);
+
+        let online = OnlineEngineManager::new(Arc::clone(&registry), config.online.clone());
+        let kv_spec = KvSpec {
+            layers: spec.layers,
+            kv_dim: spec.kv_dim(),
+            max_seq: spec.max_seq,
+        };
+        Ok(ContinuousBatcher {
+            model: DecoderModel::new(spec, salt),
+            names,
+            exec: ExecCtx {
+                registry,
+                online,
+                handles,
+                prices: HashMap::new(),
+            },
+            arena: KvArena::new(kv_spec, config.kv_pool.max(config.max_slots)),
+            mode: config.mode,
+            max_slots: config.max_slots,
+            queue: VecDeque::new(),
+            slots: Vec::new(),
+            finished: Vec::new(),
+            metrics: Metrics::default(),
+            stats: LlmStats::default(),
+            sim_now_us: 0.0,
+            next_id: 0,
+        })
+    }
+
+    /// Queues a sequence; ids are assigned in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidInput`] for an empty prompt, a prompt that
+    /// leaves no room to generate inside the context window, an
+    /// out-of-vocabulary token, or `max_new_tokens == 0`.
+    pub fn submit(&mut self, request: SequenceRequest) -> Result<u64> {
+        self.metrics.submitted();
+        let spec = self.model.spec();
+        let model = self.names.lm_head.clone();
+        let reject = |reason: String| ServeError::InvalidInput {
+            model: model.clone(),
+            reason,
+        };
+        if request.prompt.is_empty() {
+            self.metrics.rejected_invalid_input();
+            return Err(reject("prompt must be non-empty".into()));
+        }
+        if request.prompt.len() >= spec.max_seq {
+            self.metrics.rejected_invalid_input();
+            return Err(reject(format!(
+                "prompt of {} tokens leaves no room in the {}-token context",
+                request.prompt.len(),
+                spec.max_seq
+            )));
+        }
+        if let Some(&t) = request.prompt.iter().find(|&&t| t as usize >= spec.vocab) {
+            self.metrics.rejected_invalid_input();
+            return Err(reject(format!("token {t} outside vocab {}", spec.vocab)));
+        }
+        if request.max_new_tokens == 0 {
+            self.metrics.rejected_invalid_input();
+            return Err(reject("max_new_tokens must be at least 1".into()));
+        }
+        self.metrics.accepted();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending {
+            id,
+            prompt: request.prompt,
+            max_new: request.max_new_tokens,
+            deadline_us: request.deadline_us,
+            submitted_us: self.sim_now_us,
+        });
+        Ok(id)
+    }
+
+    /// Runs one serving step: admit (prefill) into free slots, decode
+    /// one token for every live sequence, retire finished ones. A
+    /// mid-step worker kill (chaos) retries the decode attempt; the
+    /// commit discipline makes the retry exactly-once.
+    pub fn step(&mut self) -> StepReport {
+        let sim_before = self.sim_now_us;
+        let admitted = self.admit();
+        // Sequences already finished at prefill (max_new_tokens == 1, or
+        // a prompt that filled the context window) must retire before
+        // the decode GEMM, or they would over-generate by one token.
+        let mut retired = self.retire();
+        let mut decoded = 0;
+        if !self.slots.is_empty() {
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| self.decode_once())) {
+                    Err(_) => {
+                        // Mid-step worker kill: uncommitted KV rows are
+                        // invisible, no token was appended — retry.
+                        self.stats.step_retries += 1;
+                    }
+                    Ok(Err(e)) => {
+                        self.fail_all_live(&e.to_string());
+                        break;
+                    }
+                    Ok(Ok(staged)) => {
+                        decoded = staged.tokens.len();
+                        self.commit_step(staged);
+                        break;
+                    }
+                }
+            }
+        }
+        retired += self.retire();
+        StepReport {
+            admitted,
+            decoded,
+            retired,
+            live: self.slots.len(),
+            queued: self.queue.len(),
+            sim_us: self.sim_now_us - sim_before,
+        }
+    }
+
+    /// Steps until the queue and every slot drain, then returns all
+    /// finished sequences (ascending by id).
+    pub fn run_to_completion(&mut self) -> Vec<SequenceResult> {
+        while !self.queue.is_empty() || !self.slots.is_empty() {
+            self.step();
+        }
+        self.take_finished()
+    }
+
+    /// Drains the finished-sequence buffer, ascending by id.
+    pub fn take_finished(&mut self) -> Vec<SequenceResult> {
+        let mut out = std::mem::take(&mut self.finished);
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Live slot count.
+    pub fn live(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Queued (not yet admitted) sequence count.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The simulated clock, µs: every kernel launch advances it by the
+    /// engine's priced time.
+    pub fn sim_now_us(&self) -> f64 {
+        self.sim_now_us
+    }
+
+    /// Cumulative batcher counters.
+    pub fn stats(&self) -> LlmStats {
+        self.stats
+    }
+
+    /// The KV arena, for liveness assertions (fresh allocations vs.
+    /// recycled workspaces).
+    pub fn kv_arena(&self) -> &KvArena {
+        &self.arena
+    }
+
+    /// The sub-model engine registry, for inspecting which per-M buckets
+    /// the online tuner has hot-swapped in.
+    pub fn registry(&self) -> &Arc<EngineRegistry> {
+        &self.exec.registry
+    }
+
+    /// Full serving-metrics snapshot — including `padding_fraction` over
+    /// every launch and the online-tuning counters — directly comparable
+    /// with [`crate::BoltServer::metrics`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            self.sim_now_us.max(1.0),
+            Vec::new(),
+            Some(self.exec.online.snapshot()),
+        )
+    }
+
+    /// Blocks until no background sub-model compile is queued or
+    /// running, up to `timeout` (`false` on timeout). Useful to pin down
+    /// hot-swap timing in tests; never required for correctness.
+    pub fn wait_tuned(&self, timeout: Duration) -> bool {
+        self.exec.online.wait_idle(timeout)
+    }
+
+    /// Admits queued sequences into free slots (all slots must be free
+    /// first in static-cohort mode), shedding those past their deadline,
+    /// and prefills each admission. Returns the number admitted.
+    fn admit(&mut self) -> usize {
+        if self.mode == BatchMode::StaticCohort && !self.slots.is_empty() {
+            return 0;
+        }
+        let mut admitted = 0;
+        while self.slots.len() < self.max_slots {
+            let Some(pending) = self.queue.pop_front() else {
+                break;
+            };
+            if pending
+                .deadline_us
+                .is_some_and(|deadline| self.sim_now_us > deadline)
+            {
+                self.metrics.deadline_shed();
+                self.finished.push(SequenceResult {
+                    id: pending.id,
+                    prompt_len: pending.prompt.len(),
+                    tokens: Vec::new(),
+                    ttft_us: None,
+                    submitted_us: pending.submitted_us,
+                    finished_us: self.sim_now_us,
+                    finish: FinishReason::DeadlineExceeded,
+                });
+                continue;
+            }
+            self.metrics.dequeued(1);
+            match self.prefill(&pending) {
+                Ok(slot) => {
+                    self.slots.push(slot);
+                    self.stats.prefills += 1;
+                    self.stats.generated_tokens += 1;
+                    admitted += 1;
+                }
+                Err(e) => {
+                    self.metrics.rejected_execution();
+                    self.finished.push(SequenceResult {
+                        id: pending.id,
+                        prompt_len: pending.prompt.len(),
+                        tokens: Vec::new(),
+                        ttft_us: None,
+                        submitted_us: pending.submitted_us,
+                        finished_us: self.sim_now_us,
+                        finish: FinishReason::Failed,
+                    });
+                    let _ = e;
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Runs one prompt's prefill: the whole prompt as a wide GEMM
+    /// through every layer, KV rows written per position, first token
+    /// from the last position's logits. Commits the KV transaction and
+    /// the simulated time only on success.
+    fn prefill(&mut self, pending: &Pending) -> Result<Slot> {
+        let spec = *self.model.spec();
+        let n = pending.prompt.len();
+        let mut staged = StagedLaunches::default();
+        let mut kv = self.arena.lease();
+        let mut x: Vec<Vec<f32>> = pending
+            .prompt
+            .iter()
+            .map(|&t| self.model.embed_token(t).to_vec())
+            .collect();
+        let result = (|| -> Result<u32> {
+            for layer in 0..spec.layers {
+                let qkv = self
+                    .exec
+                    .run_rows(&self.names.qkv[layer], &[&x], n, &mut staged)?;
+                let mut attn = Vec::with_capacity(n);
+                for (t, row) in qkv.iter().enumerate() {
+                    let (q, rest) = row.split_at(spec.hidden);
+                    let (k, v) = rest.split_at(spec.hidden);
+                    kv.write_row(layer, t, k, v);
+                    attn.push(self.model.attention(
+                        q,
+                        kv.keys(layer, t + 1),
+                        kv.values(layer, t + 1),
+                        t + 1,
+                    ));
+                }
+                x = self
+                    .exec
+                    .run_rows(&self.names.post[layer], &[&attn, &x], n, &mut staged)?;
+            }
+            // Only the last position's logits matter for the first token.
+            let last = vec![x.pop().expect("non-empty prompt")];
+            let logits = self
+                .exec
+                .run_rows(&self.names.lm_head, &[&last], 1, &mut staged)?;
+            Ok(self.model.argmax(&logits[0]))
+        })();
+        match result {
+            Ok(first) => {
+                kv.commit(n);
+                self.charge(staged);
+                let mut tokens = pending.prompt.clone();
+                tokens.push(first);
+                Ok(Slot {
+                    id: pending.id,
+                    tokens,
+                    prompt_len: n,
+                    max_new: pending.max_new,
+                    deadline_us: pending.deadline_us,
+                    submitted_us: pending.submitted_us,
+                    ttft_us: self.sim_now_us - pending.submitted_us,
+                    kv,
+                    done: None,
+                })
+            }
+            Err(e) => {
+                self.arena.recycle(kv);
+                Err(e)
+            }
+        }
+    }
+
+    /// One decode attempt over every resident slot: embed each slot's
+    /// last token, run the layer stack at M = resident rows, stage one
+    /// token per *live* slot. Mutates only uncommitted KV rows — safe to
+    /// retry after a mid-step panic.
+    fn decode_once(&mut self) -> Result<StagedStep> {
+        bolt::faults::panic_if_scheduled(bolt::faults::FaultSite::WorkerKill);
+        let spec = *self.model.spec();
+        let mut staged = StagedLaunches::default();
+        let live: Vec<bool> = self.slots.iter().map(|s| s.done.is_none()).collect();
+        let real_rows = live.iter().filter(|&&l| l).count();
+        let mut x: Vec<Vec<f32>> = self
+            .slots
+            .iter()
+            .map(|s| {
+                self.model
+                    .embed_token(*s.tokens.last().expect("slots hold ≥ 1 token"))
+                    .to_vec()
+            })
+            .collect();
+        for layer in 0..spec.layers {
+            let qkv = self
+                .exec
+                .run_rows(&self.names.qkv[layer], &[&x], real_rows, &mut staged)?;
+            let mut attn = vec![vec![0.0f32; spec.hidden]; x.len()];
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                if !live[i] {
+                    continue; // dead cohort rows are pure padding
+                }
+                let (q, rest) = qkv[i].split_at(spec.hidden);
+                let (k, v) = rest.split_at(spec.hidden);
+                let pos = slot.kv.len();
+                slot.kv.write_row(layer, pos, k, v);
+                attn[i] = self.model.attention(
+                    q,
+                    slot.kv.keys(layer, pos + 1),
+                    slot.kv.values(layer, pos + 1),
+                    pos + 1,
+                );
+            }
+            x = self.exec.run_rows(
+                &self.names.post[layer],
+                &[&attn, &x],
+                real_rows,
+                &mut staged,
+            )?;
+        }
+        let logits = self
+            .exec
+            .run_rows(&self.names.lm_head, &[&x], real_rows, &mut staged)?;
+        let tokens = live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l)
+            .map(|(i, _)| (i, self.model.argmax(&logits[i])))
+            .collect();
+        Ok(StagedStep {
+            tokens,
+            launches: staged,
+        })
+    }
+
+    /// The step's transaction point: publish every live slot's KV row
+    /// and append its token, then charge the attempt's time and FLOPs.
+    fn commit_step(&mut self, staged: StagedStep) {
+        let live = staged.tokens.len();
+        for (i, token) in staged.tokens {
+            let slot = &mut self.slots[i];
+            slot.kv.commit(slot.tokens.len());
+            slot.tokens.push(token);
+            self.stats.generated_tokens += 1;
+        }
+        let sim_us = staged.launches.sim_us;
+        self.charge(staged.launches);
+        self.stats.steps += 1;
+        let tokens_per_sec = if sim_us > 0.0 {
+            live as f64 * 1e6 / sim_us
+        } else {
+            0.0
+        };
+        self.metrics.batch(live, tokens_per_sec);
+    }
+
+    /// Folds one attempt's launch accounting into the clock and metrics.
+    fn charge(&mut self, launches: StagedLaunches) {
+        self.sim_now_us += launches.sim_us;
+        self.stats.sim_us = self.sim_now_us;
+        self.stats.launches += launches.launches;
+        self.stats.fallback_launches += launches.fallback_launches;
+        self.metrics
+            .launch_flops(launches.real_flops, launches.launched_flops);
+    }
+
+    /// A failed decode attempt fails every live sequence (partial tokens
+    /// stand); cohort padding rows retire with their original reason.
+    fn fail_all_live(&mut self, _reason: &str) {
+        for slot in &mut self.slots {
+            if slot.done.is_none() {
+                slot.done = Some(FinishReason::Failed);
+                self.metrics.rejected_execution();
+            }
+        }
+    }
+
+    /// Marks finished sequences and evicts them: immediately in
+    /// continuous mode (mid-batch), only when the whole cohort drained
+    /// in static-cohort mode. Returns the number retired.
+    fn retire(&mut self) -> usize {
+        let max_seq = self.model.spec().max_seq;
+        for slot in &mut self.slots {
+            if slot.done.is_some() {
+                continue;
+            }
+            let generated = slot.tokens.len() - slot.prompt_len;
+            slot.done = if generated >= slot.max_new {
+                Some(FinishReason::Length)
+            } else if slot.tokens.len() >= max_seq {
+                Some(FinishReason::ContextFull)
+            } else if slot
+                .deadline_us
+                .is_some_and(|deadline| self.sim_now_us > deadline)
+            {
+                Some(FinishReason::DeadlineExceeded)
+            } else {
+                None
+            };
+        }
+        let drain_cohort =
+            self.mode == BatchMode::StaticCohort && self.slots.iter().all(|s| s.done.is_some());
+        let mut retired = 0;
+        let mut i = 0;
+        while i < self.slots.len() {
+            let evict = match self.mode {
+                BatchMode::Continuous => self.slots[i].done.is_some(),
+                BatchMode::StaticCohort => drain_cohort,
+            };
+            if !evict {
+                i += 1;
+                continue;
+            }
+            let slot = self.slots.remove(i);
+            let finish = slot.done.expect("evicted slots are finished");
+            if finish != FinishReason::Failed {
+                self.metrics.completed(self.sim_now_us - slot.submitted_us);
+            }
+            self.finished.push(SequenceResult {
+                id: slot.id,
+                prompt_len: slot.prompt_len,
+                tokens: slot.tokens[slot.prompt_len..].to_vec(),
+                ttft_us: Some(slot.ttft_us),
+                submitted_us: slot.submitted_us,
+                finished_us: self.sim_now_us,
+                finish,
+            });
+            self.arena.recycle(slot.kv);
+            retired += 1;
+        }
+        retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::test_arch;
+    use bolt_models::{sample_prompts, PromptLengths};
+
+    fn batcher(config: LlmServeConfig) -> ContinuousBatcher {
+        ContinuousBatcher::new(test_arch(), BoltConfig::default(), config).expect("tiny-lm builds")
+    }
+
+    fn submit_prompts(
+        engine: &mut ContinuousBatcher,
+        prompts: &[Vec<u32>],
+        max_new: usize,
+    ) -> Vec<u64> {
+        prompts
+            .iter()
+            .map(|p| {
+                engine
+                    .submit(SequenceRequest {
+                        prompt: p.clone(),
+                        max_new_tokens: max_new,
+                        deadline_us: None,
+                    })
+                    .expect("valid prompt")
+            })
+            .collect()
+    }
+
+    /// The sequential oracle: one slot, sequences run start-to-finish
+    /// one at a time — continuous batching must match it bit for bit.
+    fn sequential_tokens(prompts: &[Vec<u32>], max_new: usize) -> Vec<Vec<u32>> {
+        let mut engine = batcher(LlmServeConfig {
+            max_slots: 1,
+            ..LlmServeConfig::default()
+        });
+        submit_prompts(&mut engine, prompts, max_new);
+        let results = engine.run_to_completion();
+        results.into_iter().map(|r| r.tokens).collect()
+    }
+
+    #[test]
+    fn generates_exactly_once_and_in_submission_order() {
+        let prompts = sample_prompts("tiny-lm", 6, PromptLengths::uniform(2, 9), 42).unwrap();
+        let mut engine = batcher(LlmServeConfig::default());
+        let ids = submit_prompts(&mut engine, &prompts, 4);
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), 6, "every sequence retires exactly once");
+        for (result, (id, prompt)) in results.iter().zip(ids.iter().zip(&prompts)) {
+            assert_eq!(result.id, *id);
+            assert_eq!(result.prompt_len, prompt.len());
+            assert_eq!(result.tokens.len(), 4);
+            assert_eq!(result.finish, FinishReason::Length);
+            assert!(result.ttft_us.is_some());
+            assert!(result.finished_us >= result.submitted_us);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.generated_tokens, 24);
+        assert_eq!(stats.prefills, 6);
+        assert!(stats.sim_us > 0.0);
+        let m = engine.metrics();
+        assert_eq!(m.completed, 6);
+        assert_eq!((m.queue_depth, m.inflight), (0, 0), "gauges drained");
+    }
+
+    #[test]
+    fn continuous_matches_sequential_bit_for_bit() {
+        let prompts = sample_prompts("tiny-lm", 8, PromptLengths::uniform(1, 12), 7).unwrap();
+        let oracle = sequential_tokens(&prompts, 5);
+
+        let mut engine = batcher(LlmServeConfig {
+            max_slots: 8,
+            ..LlmServeConfig::default()
+        });
+        submit_prompts(&mut engine, &prompts, 5);
+        let results = engine.run_to_completion();
+        for (result, want) in results.iter().zip(&oracle) {
+            assert_eq!(
+                &result.tokens, want,
+                "sequence {} diverged from sequential execution",
+                result.id
+            );
+        }
+    }
+
+    #[test]
+    fn static_cohort_matches_sequential_and_wastes_more_flops() {
+        // Ragged max_new: in the cohort, early finishers become padding.
+        let prompts = sample_prompts("tiny-lm", 4, PromptLengths::uniform(2, 6), 3).unwrap();
+        // Strongly ragged lengths (2, 8, 14, 20): the early finishers sit
+        // dead in the cohort for most of its lifetime, so the structural
+        // waste dwarfs any bucket-placement noise from tuner timing.
+        let max_new = |i: usize| 2 + i * 6;
+        let oracle: Vec<Vec<u32>> = prompts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| sequential_tokens(std::slice::from_ref(p), max_new(i)).remove(0))
+            .collect();
+
+        let run = |mode: BatchMode| {
+            let mut engine = batcher(LlmServeConfig {
+                max_slots: 4,
+                mode,
+                ..LlmServeConfig::default()
+            });
+            for (i, p) in prompts.iter().enumerate() {
+                engine
+                    .submit(SequenceRequest {
+                        prompt: p.clone(),
+                        max_new_tokens: max_new(i),
+                        deadline_us: None,
+                    })
+                    .expect("valid");
+            }
+            let results = engine.run_to_completion();
+            let padding = engine.metrics().padding_fraction;
+            (results, padding)
+        };
+        let (cont, cont_padding) = run(BatchMode::Continuous);
+        let (stat, stat_padding) = run(BatchMode::StaticCohort);
+        for ((c, s), want) in cont.iter().zip(&stat).zip(&oracle) {
+            let n = c.tokens.len();
+            assert_eq!(c.tokens, s.tokens, "modes agree");
+            assert_eq!(c.tokens[..], want[..n], "prefix of the oracle stream");
+        }
+        assert!(
+            stat_padding > cont_padding,
+            "pad-to-bucket wastes more: static {stat_padding:.3} vs continuous {cont_padding:.3}"
+        );
+    }
+
+    #[test]
+    fn interleaved_joins_match_sequential() {
+        let prompts = sample_prompts("tiny-lm", 6, PromptLengths::uniform(1, 8), 99).unwrap();
+        let oracle = sequential_tokens(&prompts, 4);
+
+        // Join mid-stream: two up front, then one more after every step.
+        let mut engine = batcher(LlmServeConfig {
+            max_slots: 4,
+            ..LlmServeConfig::default()
+        });
+        submit_prompts(&mut engine, &prompts[..2], 4);
+        let mut next = 2;
+        while engine.live() > 0 || engine.queued() > 0 || next < prompts.len() {
+            if next < prompts.len() {
+                submit_prompts(&mut engine, &prompts[next..next + 1], 4);
+                next += 1;
+            }
+            engine.step();
+        }
+        let mut results = engine.take_finished();
+        results.sort_by_key(|r| r.id);
+        assert_eq!(results.len(), 6);
+        for (result, want) in results.iter().zip(&oracle) {
+            assert_eq!(&result.tokens, want, "sequence {}", result.id);
+        }
+    }
+
+    #[test]
+    fn hot_swapped_engines_keep_streams_bit_identical() {
+        let prompts = sample_prompts("tiny-lm", 4, PromptLengths::uniform(2, 7), 5).unwrap();
+        // Run A drains compiles after every step (maximum hot-swapping
+        // mid-stream); run B never waits (mostly heuristic fallbacks).
+        let mut waits = batcher(LlmServeConfig::default());
+        submit_prompts(&mut waits, &prompts, 4);
+        while waits.live() > 0 || waits.queued() > 0 {
+            waits.step();
+            assert!(waits.wait_tuned(Duration::from_secs(120)));
+        }
+        let swapped = waits.take_finished();
+        assert!(
+            !waits
+                .registry()
+                .get(&qkv_name("tiny-lm", 0))
+                .unwrap()
+                .bucket_sizes()
+                .is_empty(),
+            "tuned buckets hot-swapped in"
+        );
+
+        let mut cold = batcher(LlmServeConfig::default());
+        submit_prompts(&mut cold, &prompts, 4);
+        let unswapped = cold.run_to_completion();
+        for (a, b) in swapped.iter().zip(&unswapped) {
+            assert_eq!(a.tokens, b.tokens, "engine hot-swap changed tokens");
+        }
+    }
+
+    #[test]
+    fn deadlines_shed_queued_and_evict_live_sequences() {
+        let mut engine = batcher(LlmServeConfig {
+            max_slots: 1,
+            ..LlmServeConfig::default()
+        });
+        // First sequence: generous deadline; runs long enough that the
+        // queued second sequence's tight deadline expires before a slot
+        // frees up.
+        engine
+            .submit(SequenceRequest {
+                prompt: vec![1, 2, 3],
+                max_new_tokens: 20,
+                deadline_us: None,
+            })
+            .expect("valid");
+        engine
+            .submit(SequenceRequest {
+                prompt: vec![4, 5],
+                max_new_tokens: 4,
+                deadline_us: Some(1e-3),
+            })
+            .expect("valid");
+        // Run the first sequence out, then calibrate the third
+        // sequence's deadline from this engine's own observed per-step
+        // cost — a separate cold probe would race the online tuner
+        // (tuned engines can be several times faster than the
+        // fallbacks a fresh batcher starts on).
+        while engine.live() > 0 || engine.stats().steps == 0 {
+            engine.step();
+        }
+        let warm = engine.stats();
+        let per_step_us = engine.sim_now_us() / warm.steps.max(1) as f64;
+        // Deadline a handful of steps out: far more than admission +
+        // prefill + one decode, far less than 140 tokens' worth even if
+        // every remaining launch sped up by an order of magnitude.
+        engine
+            .submit(SequenceRequest {
+                prompt: vec![6],
+                max_new_tokens: 140,
+                deadline_us: Some(engine.sim_now_us() + 6.0 * per_step_us),
+            })
+            .expect("valid");
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].finish, FinishReason::Length);
+        assert_eq!(results[0].tokens.len(), 20);
+        assert_eq!(results[1].finish, FinishReason::DeadlineExceeded);
+        assert!(results[1].tokens.is_empty(), "shed before prefill");
+        assert_eq!(results[2].finish, FinishReason::DeadlineExceeded);
+        assert!(
+            !results[2].tokens.is_empty() && results[2].tokens.len() < 140,
+            "evicted mid-generation with partial output, got {}",
+            results[2].tokens.len()
+        );
+        let m = engine.metrics();
+        assert_eq!(m.deadline_shed, 1);
+        assert_eq!(m.completed, 2, "shed sequences are not completions");
+    }
+
+    #[test]
+    fn context_window_exhaustion_retires_with_context_full() {
+        let spec = llm_by_name("tiny-lm").unwrap();
+        let mut engine = batcher(LlmServeConfig::default());
+        let prompt: Vec<u32> = (0..(spec.max_seq - 3) as u32).map(|t| t % 64).collect();
+        engine
+            .submit(SequenceRequest {
+                prompt,
+                max_new_tokens: 50,
+                deadline_us: None,
+            })
+            .expect("valid");
+        let results = engine.run_to_completion();
+        assert_eq!(results[0].finish, FinishReason::ContextFull);
+        assert_eq!(results[0].tokens.len(), 3, "prompt + 3 fills the window");
+    }
+
+    #[test]
+    fn kv_workspaces_recycle_across_admissions() {
+        let prompts = sample_prompts("tiny-lm", 6, PromptLengths::fixed(3), 1).unwrap();
+        let mut engine = batcher(LlmServeConfig {
+            max_slots: 2,
+            ..LlmServeConfig::default()
+        });
+        submit_prompts(&mut engine, &prompts, 3);
+        engine.run_to_completion();
+        let arena = engine.kv_arena();
+        assert!(
+            arena.fresh_allocations() <= 2,
+            "at most one workspace per slot is ever allocated, got {}",
+            arena.fresh_allocations()
+        );
+        assert!(arena.reuses() >= 4, "later admissions reuse retired KV");
+    }
+
+    #[test]
+    fn submit_validation_rejects_bad_requests() {
+        let spec = llm_by_name("tiny-lm").unwrap();
+        let mut engine = batcher(LlmServeConfig::default());
+        let bad = [
+            SequenceRequest {
+                prompt: vec![],
+                max_new_tokens: 1,
+                deadline_us: None,
+            },
+            SequenceRequest {
+                prompt: vec![0; spec.max_seq],
+                max_new_tokens: 1,
+                deadline_us: None,
+            },
+            SequenceRequest {
+                prompt: vec![spec.vocab as u32],
+                max_new_tokens: 1,
+                deadline_us: None,
+            },
+            SequenceRequest {
+                prompt: vec![1],
+                max_new_tokens: 0,
+                deadline_us: None,
+            },
+        ];
+        for request in bad {
+            assert!(matches!(
+                engine.submit(request),
+                Err(ServeError::InvalidInput { .. })
+            ));
+        }
+        assert_eq!(engine.metrics().rejected_invalid_input, 4);
+        assert!(matches!(
+            ContinuousBatcher::new(
+                test_arch(),
+                BoltConfig::default(),
+                LlmServeConfig {
+                    model: "mlp-small".into(),
+                    ..LlmServeConfig::default()
+                }
+            )
+            .err(),
+            Some(ServeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            ContinuousBatcher::new(
+                test_arch(),
+                BoltConfig::default(),
+                LlmServeConfig {
+                    max_slots: 0,
+                    ..LlmServeConfig::default()
+                }
+            )
+            .err(),
+            Some(ServeError::Config { .. })
+        ));
+    }
+}

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod config;
+pub mod continuous;
 pub mod error;
 pub mod metrics;
 pub mod online;
@@ -63,6 +64,10 @@ pub mod server;
 pub mod testing;
 
 pub use config::ServeConfig;
+pub use continuous::{
+    BatchMode, ContinuousBatcher, FinishReason, LlmServeConfig, LlmStats, SequenceRequest,
+    SequenceResult, StepReport,
+};
 pub use error::{panic_message, ServeError};
 pub use metrics::{KernelStat, LoadGauges, MetricsSnapshot};
 pub use online::{

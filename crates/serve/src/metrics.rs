@@ -49,6 +49,11 @@ struct Inner {
     recent_latencies_us: VecDeque<f64>,
     batch_sizes: BTreeMap<usize, u64>,
     images_per_sec: Vec<f64>,
+    /// FLOPs spent on real request rows across every launch.
+    real_flops: f64,
+    /// FLOPs the launches actually issued (bucket-sized, pad rows
+    /// included).
+    launched_flops: f64,
     /// Step name → (launches, total simulated µs) across every batch.
     kernel_us: BTreeMap<String, (u64, f64)>,
 }
@@ -148,6 +153,19 @@ impl Metrics {
         self.inner.lock().degraded += 1;
     }
 
+    /// Records one launch's FLOP accounting: `real` FLOPs went to actual
+    /// request rows, `launched` FLOPs were issued by the bucket-sized
+    /// kernel (pad rows included). The running totals feed
+    /// [`MetricsSnapshot::padding_fraction`]. Both the legacy
+    /// pad-to-bucket batcher and the continuous batcher report here, so
+    /// the two paths' padding waste is directly comparable.
+    pub(crate) fn launch_flops(&self, real: f64, launched: f64) {
+        debug_assert!(real <= launched + 1e-6, "{real} real > {launched} launched");
+        let mut inner = self.inner.lock();
+        inner.real_flops += real.max(0.0);
+        inner.launched_flops += launched.max(0.0);
+    }
+
     /// Records one dispatched batch: `size` real requests, achieved
     /// simulated throughput from `TimingReport::images_per_sec`.
     pub(crate) fn batch(&self, size: usize, images_per_sec: f64) {
@@ -243,6 +261,13 @@ impl Metrics {
             degraded: inner.degraded,
             batches: inner.batches,
             batch_overflow: inner.batch_overflow,
+            padding_fraction: if inner.launched_flops > 0.0 {
+                ((inner.launched_flops - inner.real_flops) / inner.launched_flops).max(0.0)
+            } else {
+                0.0
+            },
+            real_flops: inner.real_flops,
+            launched_flops: inner.launched_flops,
             mean_batch,
             batch_hist: inner
                 .batch_sizes
@@ -386,6 +411,16 @@ pub struct MetricsSnapshot {
     /// Batches that exceeded every compiled bucket and were explicitly
     /// split across repeated launches of the largest bucket.
     pub batch_overflow: u64,
+    /// Fraction of launched FLOPs wasted on pad rows: batches run on
+    /// bucket-sized kernels, and every row past the real batch (or, for
+    /// the continuous LLM batcher, past the live sequences) is padding.
+    /// `(launched - real) / launched` over all launches; 0 before any
+    /// launch.
+    pub padding_fraction: f64,
+    /// Cumulative useful FLOPs across all launches (real rows only).
+    pub real_flops: f64,
+    /// Cumulative launched FLOPs across all launches (bucket-sized).
+    pub launched_flops: f64,
     /// Mean real requests per dispatched batch.
     pub mean_batch: f64,
     /// `(batch_size, count)` pairs, ascending by size.
@@ -521,6 +556,20 @@ mod tests {
         let s = m.snapshot(1e6, vec![], None);
         assert_eq!(s.latency_recent_p99_us, 10.0);
         assert_eq!(s.latency_p99_us, 10_000.0);
+    }
+
+    #[test]
+    fn padding_fraction_weights_pad_rows_by_flops() {
+        let m = Metrics::default();
+        let s = m.snapshot(1e6, vec![], None);
+        assert_eq!(s.padding_fraction, 0.0, "no launches, no padding");
+
+        // 3 real rows on a bucket of 4, then a full bucket of 4: 8 rows
+        // launched for 7 real. With 100 FLOPs/row: 100 of 800 wasted.
+        m.launch_flops(300.0, 400.0);
+        m.launch_flops(400.0, 400.0);
+        let s = m.snapshot(1e6, vec![], None);
+        assert!((s.padding_fraction - 100.0 / 800.0).abs() < 1e-12);
     }
 
     #[test]

@@ -557,8 +557,12 @@ fn execute_batch(
     };
     inner.metrics.batch(batch, images_per_sec);
     let bucket = placed.bucket.max(1);
+    let plan_flops = placed.engine.flops();
     for launch in 0..placed.launches {
         let rows = (batch - launch * bucket).min(bucket);
+        inner
+            .metrics
+            .launch_flops(plan_flops * rows as f64 / bucket as f64, plan_flops);
         inner
             .metrics
             .kernel_times(&priced.timings.scaled_occupancy(rows, bucket));

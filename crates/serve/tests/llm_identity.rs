@@ -1,0 +1,144 @@
+//! Property tests for the continuous batcher (ISSUE 9, satellite d):
+//! under random prompts, generation lengths, slot counts, batching
+//! modes, and join/step interleavings, every submitted sequence
+//! finishes **exactly once** with a token stream **bit-identical** to
+//! running that sequence alone through the same engines (the
+//! `max_slots = 1` sequential oracle). Batching — who else shares the
+//! step, when they join, when they retire — must never leak into the
+//! generated tokens.
+
+use proptest::prelude::*;
+
+use bolt::BoltConfig;
+use bolt_serve::testing::test_arch;
+use bolt_serve::{
+    BatchMode, ContinuousBatcher, FinishReason, LlmServeConfig, SequenceRequest, SequenceResult,
+};
+
+const VOCAB: u32 = 128; // tiny-lm vocabulary
+
+fn batcher(max_slots: usize, mode: BatchMode) -> ContinuousBatcher {
+    ContinuousBatcher::new(
+        test_arch(),
+        BoltConfig::default(),
+        LlmServeConfig {
+            max_slots,
+            mode,
+            ..LlmServeConfig::default()
+        },
+    )
+    .expect("tiny-lm batcher")
+}
+
+/// One sequence at a time through the same model: the ground truth each
+/// batched run must reproduce bit-for-bit.
+fn sequential_oracle(requests: &[(Vec<u32>, usize)]) -> Vec<Vec<u32>> {
+    let mut oracle = batcher(1, BatchMode::Continuous);
+    requests
+        .iter()
+        .map(|(prompt, max_new)| {
+            oracle
+                .submit(SequenceRequest {
+                    prompt: prompt.clone(),
+                    max_new_tokens: *max_new,
+                    deadline_us: None,
+                })
+                .expect("valid request");
+            let mut done = oracle.run_to_completion();
+            assert_eq!(done.len(), 1, "oracle runs one sequence at a time");
+            let seq = done.pop().expect("one result");
+            assert_eq!(seq.finish, FinishReason::Length);
+            seq.tokens
+        })
+        .collect()
+}
+
+/// Drives `requests` through a batcher, submitting `joins[k]` new
+/// sequences before step `k` (remainder submitted up front), and
+/// returns the results sorted by submission id.
+fn interleaved_run(
+    max_slots: usize,
+    mode: BatchMode,
+    requests: &[(Vec<u32>, usize)],
+    joins: &[usize],
+) -> (Vec<SequenceResult>, bolt_serve::LlmStats) {
+    let mut batcher = batcher(max_slots, mode);
+    let mut next = 0usize;
+    let mut submit_n = |batcher: &mut ContinuousBatcher, n: usize| {
+        for _ in 0..n {
+            if next >= requests.len() {
+                return;
+            }
+            let (prompt, max_new) = &requests[next];
+            batcher
+                .submit(SequenceRequest {
+                    prompt: prompt.clone(),
+                    max_new_tokens: *max_new,
+                    deadline_us: None,
+                })
+                .expect("valid request");
+            next += 1;
+        }
+    };
+    for &n in joins {
+        submit_n(&mut batcher, n);
+        batcher.step();
+    }
+    submit_n(&mut batcher, requests.len());
+    let mut results = batcher.run_to_completion();
+    results.sort_by_key(|r| r.id);
+    (results, batcher.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Exactly-once + bit-identity under interleaved joins: random
+    /// sequences joining mid-stream produce the same streams as solo
+    /// runs, each sequence finishing exactly once at full length.
+    #[test]
+    fn interleaved_continuous_matches_sequential_oracle(
+        requests in prop::collection::vec(
+            (prop::collection::vec(0u32..VOCAB, 1..24), 1usize..7),
+            1..8,
+        ),
+        max_slots in 1usize..7,
+        joins in prop::collection::vec(0usize..3, 0..10),
+    ) {
+        let expected = sequential_oracle(&requests);
+        let (results, stats) =
+            interleaved_run(max_slots, BatchMode::Continuous, &requests, &joins);
+
+        prop_assert_eq!(results.len(), requests.len(), "exactly one result per submit");
+        let mut generated = 0u64;
+        for (i, seq) in results.iter().enumerate() {
+            prop_assert_eq!(seq.finish, FinishReason::Length);
+            prop_assert_eq!(seq.prompt_len, requests[i].0.len());
+            prop_assert_eq!(seq.tokens.len(), requests[i].1, "no lost or duplicated tokens");
+            prop_assert_eq!(&seq.tokens, &expected[i], "stream diverged from solo run");
+            generated += seq.tokens.len() as u64;
+        }
+        prop_assert_eq!(stats.generated_tokens, generated);
+    }
+
+    /// The legacy pad-to-bucket path must also stay bit-identical: a
+    /// static cohort wastes flops on retired rows but never changes the
+    /// tokens.
+    #[test]
+    fn static_cohort_matches_sequential_oracle(
+        requests in prop::collection::vec(
+            (prop::collection::vec(0u32..VOCAB, 1..16), 1usize..6),
+            1..6,
+        ),
+        max_slots in 1usize..5,
+    ) {
+        let expected = sequential_oracle(&requests);
+        let (results, _) = interleaved_run(max_slots, BatchMode::StaticCohort, &requests, &[]);
+
+        prop_assert_eq!(results.len(), requests.len());
+        for (i, seq) in results.iter().enumerate() {
+            prop_assert_eq!(seq.finish, FinishReason::Length);
+            prop_assert_eq!(&seq.tokens, &expected[i]);
+        }
+    }
+}
