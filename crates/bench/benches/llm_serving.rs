@@ -13,6 +13,14 @@
 //! `duplicated_tokens` must be zero and the streams bit-identical, or
 //! batching changed the math.
 //!
+//! A third sweep (ISSUE 10) measures the **KV memory governor** under
+//! pressure: the same 32-sequence workload at shrinking block budgets —
+//! unconstrained, moderate, and severe — forcing watermark stalls and
+//! preempt-and-recompute. CI gates that pressure never loses or
+//! duplicates a token, streams stay bit-identical, warm-pool steady
+//! state allocates zero fresh blocks, and goodput at the moderate
+//! budget holds ≥ 0.7× unconstrained.
+//!
 //! Results print as tables and are emitted to
 //! `target/experiments/llm_serving.json` and `BENCH_llm.json` at the
 //! workspace root; CI gates on the continuous path scaling from 1 to 32
@@ -29,6 +37,16 @@ use bolt_serve::{BatchMode, ContinuousBatcher, LlmServeConfig, SequenceRequest};
 const CONCURRENCY: [usize; 3] = [1, 8, 32];
 const MAX_SLOTS: usize = 8;
 const PROMPT_SEED: u64 = 42;
+/// Pressure sweep: sequences competing for the KV block pool.
+const PRESSURE_SEQUENCES: usize = 32;
+/// Block budgets for the pressure sweep: unconstrained (slots × full
+/// context — preemption never fires), moderate, and severe. The
+/// moderate budget is what the goodput gate compares against.
+const PRESSURE_BUDGETS: [(&str, Option<usize>); 3] = [
+    ("unconstrained", None),
+    ("moderate", Some(16)),
+    ("severe", Some(13)),
+];
 
 struct Workload {
     prompts: Vec<Vec<u32>>,
@@ -47,6 +65,22 @@ impl Workload {
         // Ragged generation lengths: sequences retire at different
         // steps, which is where pad-to-bucket wastes flops.
         let max_new = (0..sequences).map(|i| 6 + i % 5).collect();
+        Workload { prompts, max_new }
+    }
+
+    /// The pressure-sweep workload: same prompts, but generations long
+    /// enough that sequences repeatedly cross 16-row block boundaries
+    /// mid-decode — where the governor actually has to preempt — and
+    /// long enough to amortize each preemption's recompute.
+    fn tiny_lm_pressure(sequences: usize) -> Workload {
+        let prompts = sample_prompts(
+            "tiny-lm",
+            sequences,
+            PromptLengths::uniform(4, 32),
+            PROMPT_SEED,
+        )
+        .expect("tiny-lm in the zoo");
+        let max_new = (0..sequences).map(|i| 16 + i % 9).collect();
         Workload { prompts, max_new }
     }
 
@@ -194,6 +228,67 @@ fn run_pass(
     }
 }
 
+/// One pressure-sweep measurement: a [`Run`] plus the KV governor's
+/// preemption and allocation accounting for the pass.
+struct PressureRun {
+    budget: &'static str,
+    kv_budget_blocks: Option<usize>,
+    run: Run,
+    preemptions: u64,
+    preemption_fraction: f64,
+    recompute_tokens: u64,
+    /// Fresh block-tensor allocations during the pass; must be zero in
+    /// the warm pass (steady state is served entirely from the pool).
+    fresh_allocations_delta: u64,
+}
+
+/// Cold pass, tuner drain, warm pass at one KV block budget — the
+/// governor's preemption counters diffed per pass.
+fn pressure_point(
+    budget_label: &'static str,
+    budget: Option<usize>,
+    oracle: &[Vec<u32>],
+) -> (PressureRun, PressureRun) {
+    let workload = Workload::tiny_lm_pressure(PRESSURE_SEQUENCES);
+    let mut batcher = ContinuousBatcher::new(
+        GpuArch::tesla_t4(),
+        BoltConfig::default(),
+        LlmServeConfig {
+            max_slots: MAX_SLOTS,
+            mode: BatchMode::Continuous,
+            kv_budget_blocks: budget,
+            // Admit optimistically (no decode-growth reserve): the sweep
+            // measures preempt-and-recompute, not watermark throttling.
+            kv_reserve_blocks: 0,
+            ..LlmServeConfig::default()
+        },
+    )
+    .expect("tiny-lm engines");
+    let pass = |batcher: &mut ContinuousBatcher| {
+        let stats_before = batcher.stats();
+        let fresh_before = batcher.kv_governor().kv_fresh_allocations;
+        let run = run_pass(batcher, "continuous", &workload, oracle);
+        let stats_after = batcher.stats();
+        let preemptions = stats_after.preemptions - stats_before.preemptions;
+        PressureRun {
+            budget: budget_label,
+            kv_budget_blocks: budget,
+            run,
+            preemptions,
+            preemption_fraction: preemptions as f64 / PRESSURE_SEQUENCES as f64,
+            recompute_tokens: stats_after.recompute_tokens - stats_before.recompute_tokens,
+            fresh_allocations_delta: batcher.kv_governor().kv_fresh_allocations - fresh_before,
+        }
+    };
+    let cold = pass(&mut batcher);
+    assert!(
+        batcher.wait_tuned(std::time::Duration::from_secs(60)),
+        "online tuner drains between passes"
+    );
+    let warm = pass(&mut batcher);
+    (cold, warm)
+}
+
 /// Cold pass, tuner drain, warm pass — same batcher, same workload.
 fn run_point(
     mode: BatchMode,
@@ -235,6 +330,68 @@ fn json_rows(runs: &[Run]) -> String {
         })
         .collect::<Vec<_>>()
         .join(",\n")
+}
+
+fn pressure_json_rows(runs: &[PressureRun]) -> String {
+    runs.iter()
+        .map(|p| {
+            let budget = p.kv_budget_blocks.map_or("null".into(), |b| b.to_string());
+            format!(
+                "    {{\"budget\": \"{}\", \"kv_budget_blocks\": {budget}, \
+                 \"tokens_per_sec\": {:.1}, \"tokens_per_step\": {:.3}, \
+                 \"ttft_p99_us\": {:.1}, \
+                 \"preemptions\": {}, \"preemption_fraction\": {:.4}, \
+                 \"recompute_tokens\": {}, \"fresh_allocations_delta\": {}, \
+                 \"lost_tokens\": {}, \"duplicated_tokens\": {}, \
+                 \"bit_identical\": {}}}",
+                p.budget,
+                p.run.tokens_per_sec,
+                p.run.generated_tokens as f64 / p.run.steps.max(1) as f64,
+                p.run.ttft_p99_us,
+                p.preemptions,
+                p.preemption_fraction,
+                p.recompute_tokens,
+                p.fresh_allocations_delta,
+                p.run.lost_tokens,
+                p.run.duplicated_tokens,
+                p.run.bit_identical
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn pressure_table(runs: &[PressureRun]) -> Table {
+    let mut table = Table::new(&[
+        "budget",
+        "blocks",
+        "tokens/sec",
+        "tok/step",
+        "ttft p99 (us)",
+        "preempt",
+        "preempt frac",
+        "recompute",
+        "fresh allocs",
+        "bit-identical",
+    ]);
+    for p in runs {
+        table.row(&[
+            p.budget.to_string(),
+            p.kv_budget_blocks.map_or("∞".into(), |b| b.to_string()),
+            format!("{:.0}", p.run.tokens_per_sec),
+            format!(
+                "{:.2}",
+                p.run.generated_tokens as f64 / p.run.steps.max(1) as f64
+            ),
+            format!("{:.1}", p.run.ttft_p99_us),
+            p.preemptions.to_string(),
+            format!("{:.1}%", p.preemption_fraction * 100.0),
+            p.recompute_tokens.to_string(),
+            p.fresh_allocations_delta.to_string(),
+            p.run.bit_identical.to_string(),
+        ]);
+    }
+    table
 }
 
 fn table_for(runs: &[Run]) -> Table {
@@ -304,14 +461,54 @@ fn main() {
         scaling(&warm, "static-cohort")
     );
 
+    // KV memory-pressure sweep: longer generations, shrinking block
+    // budgets, its own oracle.
+    let pressure_oracle = oracle_streams(&Workload::tiny_lm_pressure(PRESSURE_SEQUENCES));
+    let mut pressure_cold = Vec::new();
+    let mut pressure_warm = Vec::new();
+    for &(label, budget) in &PRESSURE_BUDGETS {
+        let (c, w) = pressure_point(label, budget, &pressure_oracle);
+        pressure_cold.push(c);
+        pressure_warm.push(w);
+    }
+    pressure_table(&pressure_warm).print(
+        "KV governor under memory pressure, warm (tiny-lm, 32 sequences, \
+         8 slots): preempt-and-recompute at shrinking block budgets",
+    );
+    // Goodput is gated on tokens per scheduler step, not tokens/sec:
+    // step counts are fully deterministic (admission, watermark stalls,
+    // preemption replays), while wall-clock rates inherit tuner
+    // measurement noise that would make a CI ratio gate flaky.
+    let goodput_ratio = {
+        let at = |label: &str| {
+            pressure_warm
+                .iter()
+                .find(|p| p.budget == label)
+                .map_or(0.0, |p| {
+                    p.run.generated_tokens as f64 / p.run.steps.max(1) as f64
+                })
+        };
+        at("moderate") / at("unconstrained").max(1e-9)
+    };
+    println!(
+        "\nwarm goodput (tokens/step) at the moderate budget: {:.2}x unconstrained",
+        goodput_ratio
+    );
+
     let json = format!(
         "{{\n  \"model\": \"tiny-lm\",\n  \"max_slots\": {MAX_SLOTS},\n  \
          \"concurrency\": [1, 8, 32],\n  \"cold\": [\n{}\n  ],\n  \
          \"warm\": [\n{}\n  ],\n  \
-         \"warm_continuous_scaling_1_to_32\": {:.3}\n}}\n",
+         \"warm_continuous_scaling_1_to_32\": {:.3},\n  \
+         \"pressure\": {{\n  \"sequences\": {PRESSURE_SEQUENCES},\n  \
+         \"cold\": [\n{}\n  ],\n  \"warm\": [\n{}\n  ],\n  \
+         \"warm_moderate_goodput_ratio\": {:.3}\n  }}\n}}\n",
         json_rows(&cold),
         json_rows(&warm),
         scaling(&warm, "continuous"),
+        pressure_json_rows(&pressure_cold),
+        pressure_json_rows(&pressure_warm),
+        goodput_ratio,
     );
     let out_dir = experiments_dir();
     let _ = std::fs::create_dir_all(&out_dir);

@@ -47,6 +47,34 @@ pub enum BoltError {
         /// Why the load failed.
         reason: String,
     },
+    /// A KV-cache operation addressed a sequence position past the
+    /// workspace's context capacity, or past the rows its block table
+    /// currently has reserved. Recoverable: the caller reserves more
+    /// blocks (or retires the sequence) instead of panicking a worker.
+    KvCapacity {
+        /// The offending sequence position (or requested row count).
+        pos: usize,
+        /// Rows the workspace's block table currently covers.
+        reserved: usize,
+        /// The hard per-sequence context capacity.
+        max_seq: usize,
+    },
+    /// The paged KV block pool has no free block to hand out: every
+    /// block under the budget is either in use by a live sequence or
+    /// withheld by memory pressure. Recoverable: the serving layer
+    /// preempts a victim sequence (releasing its blocks) or queues the
+    /// admission until blocks free up.
+    KvExhausted {
+        /// Blocks the failed reservation still needed.
+        needed: usize,
+        /// Blocks currently held by live sequences.
+        in_use: usize,
+        /// Total block budget of the pool.
+        budget: usize,
+        /// Blocks transiently withheld (memory-pressure injection or an
+        /// external cap), unusable until released.
+        withheld: usize,
+    },
     /// A failure injected by the fault-injection layer
     /// ([`crate::faults`], `chaos` feature). Never constructed in
     /// production builds; exists unconditionally so hardened call
@@ -78,6 +106,24 @@ impl fmt::Display for BoltError {
             BoltError::CacheLoad { path, reason } => {
                 write!(f, "failed to load tune cache {path}: {reason}")
             }
+            BoltError::KvCapacity {
+                pos,
+                reserved,
+                max_seq,
+            } => write!(
+                f,
+                "KV position {pos} out of capacity (reserved rows {reserved}, context {max_seq})"
+            ),
+            BoltError::KvExhausted {
+                needed,
+                in_use,
+                budget,
+                withheld,
+            } => write!(
+                f,
+                "KV block pool exhausted: {needed} more block(s) needed, \
+                 {in_use}/{budget} in use, {withheld} withheld"
+            ),
             BoltError::Injected { site } => write!(f, "injected fault: {site}"),
         }
     }

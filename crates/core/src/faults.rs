@@ -63,11 +63,17 @@ pub enum FaultSite {
     /// abrupt kill on the routed replica; the router must detect the
     /// death and re-route). Checked once per cluster submission.
     ReplicaKill,
+    /// The continuous batcher's KV block pool, checked once per batcher
+    /// step (injected as a transient withholding of part of the block
+    /// budget — memory pressure the KV governor must degrade through
+    /// via watermark back-off and preempt-and-recompute, never a
+    /// panic).
+    KvPressure,
 }
 
 impl FaultSite {
     /// Every site, for schedule-preview assertions.
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::Compile,
         FaultSite::HeuristicCompile,
         FaultSite::Profile,
@@ -77,6 +83,7 @@ impl FaultSite {
         FaultSite::WorkerKill,
         FaultSite::TunerKill,
         FaultSite::ReplicaKill,
+        FaultSite::KvPressure,
     ];
 
     fn id(self) -> u64 {
@@ -90,6 +97,7 @@ impl FaultSite {
             FaultSite::WorkerKill => 7,
             FaultSite::TunerKill => 8,
             FaultSite::ReplicaKill => 9,
+            FaultSite::KvPressure => 10,
         }
     }
 }
@@ -143,6 +151,18 @@ pub struct ChaosConfig {
     /// Cluster submission indices (per the [`FaultSite::ReplicaKill`]
     /// counter) at which the routed replica is abruptly killed.
     pub replica_kills: Vec<u64>,
+    /// Fraction of batcher steps (per the [`FaultSite::KvPressure`]
+    /// counter) at which a memory-pressure episode starts.
+    pub kv_pressure_ratio: f64,
+    /// Batcher step indices at which a pressure episode starts,
+    /// in addition to any ratio draws.
+    pub kv_pressure_steps: Vec<u64>,
+    /// Fraction of the KV block budget withheld while an episode is
+    /// active.
+    pub kv_pressure_fraction: f64,
+    /// Batcher steps a pressure episode lasts before the withheld
+    /// blocks are returned.
+    pub kv_pressure_duration_steps: u64,
 }
 
 impl Default for ChaosConfig {
@@ -160,6 +180,10 @@ impl Default for ChaosConfig {
             worker_kills: Vec::new(),
             tuner_kills: Vec::new(),
             replica_kills: Vec::new(),
+            kv_pressure_ratio: 0.0,
+            kv_pressure_steps: Vec::new(),
+            kv_pressure_fraction: 0.5,
+            kv_pressure_duration_steps: 4,
         }
     }
 }
@@ -181,6 +205,14 @@ impl ChaosConfig {
             FaultSite::WorkerKill => return self.worker_kills.contains(&occurrence),
             FaultSite::TunerKill => return self.tuner_kills.contains(&occurrence),
             FaultSite::ReplicaKill => return self.replica_kills.contains(&occurrence),
+            FaultSite::KvPressure => {
+                // Pressure takes both an explicit step list and a ratio:
+                // tests pin exact episodes, chaos sweeps draw them.
+                if self.kv_pressure_steps.contains(&occurrence) {
+                    return true;
+                }
+                self.kv_pressure_ratio
+            }
         };
         if ratio <= 0.0 {
             return false;
@@ -353,6 +385,30 @@ mod imp {
         plan.record(site, occurrence, format!("truncate {len} -> {keep}"));
         Some(keep)
     }
+
+    /// Injected memory pressure at [`FaultSite::KvPressure`], checked
+    /// once per batcher step: when the schedule fires, returns the
+    /// configured episode as `(fraction_of_budget_withheld,
+    /// duration_in_steps)`. The batcher withholds that share of its KV
+    /// block budget for the episode's duration, then restores it.
+    pub fn kv_pressure() -> Option<(f64, u64)> {
+        let plan = active()?;
+        let (occurrence, fires) = plan.roll(FaultSite::KvPressure);
+        if !fires {
+            return None;
+        }
+        let fraction = plan.config.kv_pressure_fraction.clamp(0.0, 1.0);
+        let steps = plan.config.kv_pressure_duration_steps.max(1);
+        plan.record(
+            FaultSite::KvPressure,
+            occurrence,
+            format!(
+                "withhold {:.0}% of KV budget for {steps} steps",
+                fraction * 100.0
+            ),
+        );
+        Some((fraction, steps))
+    }
 }
 
 #[cfg(not(feature = "chaos"))]
@@ -384,12 +440,18 @@ mod imp {
     pub fn events() -> Vec<FaultEvent> {
         Vec::new()
     }
+
+    /// Injected memory pressure (no-op without the `chaos` feature).
+    #[inline(always)]
+    pub fn kv_pressure() -> Option<(f64, u64)> {
+        None
+    }
 }
 
 #[cfg(feature = "chaos")]
 pub use imp::{install, ChaosGuard};
 
-pub use imp::{events, fail, panic_if_scheduled, stall, truncate};
+pub use imp::{events, fail, kv_pressure, panic_if_scheduled, stall, truncate};
 
 #[cfg(test)]
 mod tests {
@@ -456,6 +518,34 @@ mod tests {
         assert!(config.fires(FaultSite::WorkerKill, 0));
         assert!(config.fires(FaultSite::WorkerKill, 2));
         assert!(!config.fires(FaultSite::WorkerKill, 1));
+    }
+
+    #[test]
+    fn kv_pressure_fires_on_explicit_steps_and_ratio_draws() {
+        let config = ChaosConfig {
+            seed: 11,
+            kv_pressure_steps: vec![4],
+            kv_pressure_ratio: 0.2,
+            ..ChaosConfig::default()
+        };
+        assert!(
+            config.fires(FaultSite::KvPressure, 4),
+            "explicit steps always fire"
+        );
+        let fired = (0..10_000)
+            .filter(|&n| config.fires(FaultSite::KvPressure, n))
+            .count();
+        assert!(
+            (1_500..2_600).contains(&fired),
+            "20% ratio should fire ~2000/10000 times, got {fired}"
+        );
+        let list_only = ChaosConfig {
+            kv_pressure_steps: vec![0, 7],
+            ..ChaosConfig::default()
+        };
+        assert!(list_only.fires(FaultSite::KvPressure, 0));
+        assert!(list_only.fires(FaultSite::KvPressure, 7));
+        assert!(!list_only.fires(FaultSite::KvPressure, 3));
     }
 
     #[test]

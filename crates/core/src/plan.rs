@@ -244,12 +244,13 @@ impl Workspace {
 const WORKSPACE_POOL_CAP: usize = 8;
 
 // ---------------------------------------------------------------------------
-// KV workspaces (autoregressive decode)
+// KV workspaces (autoregressive decode) — paged block allocator
 // ---------------------------------------------------------------------------
 
 /// Geometry of a per-sequence attention KV cache: `layers` decoder
 /// layers, each holding a key matrix and a value matrix of up to
-/// `max_seq` rows of width `kv_dim`.
+/// `max_seq` rows of width `kv_dim`, paged into fixed-size blocks of
+/// `block_rows` sequence positions each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KvSpec {
     /// Decoder layers (each owns one K and one V region).
@@ -258,62 +259,87 @@ pub struct KvSpec {
     pub kv_dim: usize,
     /// Capacity in sequence positions (prompt + generated tokens).
     pub max_seq: usize,
+    /// Sequence positions per block — the paging granularity. One
+    /// block extends a sequence's usable context by `block_rows`
+    /// positions across the *whole* stack: it holds `block_rows` K
+    /// rows and `block_rows` V rows for every layer.
+    pub block_rows: usize,
 }
 
 impl KvSpec {
-    /// Total f32 elements one sequence's cache occupies.
+    /// Total f32 elements one *full-context* sequence occupies (its
+    /// block table grown to cover `max_seq`).
     pub fn numel(&self) -> usize {
-        self.layers * 2 * self.max_seq * self.kv_dim
+        self.blocks_for(self.max_seq) * self.block_numel()
     }
 
-    /// Backing-store footprint in bytes (f32 canonical storage).
+    /// Full-context footprint in bytes (f32 canonical storage).
     pub fn bytes(&self) -> u64 {
         self.numel() as u64 * 4
     }
+
+    /// f32 elements in one block.
+    pub fn block_numel(&self) -> usize {
+        self.layers * 2 * self.block_rows * self.kv_dim
+    }
+
+    /// One block's backing-store footprint in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_numel() as u64 * 4
+    }
+
+    /// Blocks needed to cover `rows` sequence positions (ceiling).
+    pub fn blocks_for(&self, rows: usize) -> usize {
+        rows.div_ceil(self.block_rows.max(1))
+    }
 }
 
-/// A persistent per-sequence KV cache backed by **one** tensor
-/// allocation for the sequence's whole lifetime.
+/// A per-sequence KV cache backed by a **block table**: a list of
+/// fixed-size tensors, each covering `block_rows` consecutive sequence
+/// positions for every layer and both K/V regions. The table grows one
+/// block at a time via [`KvArena::reserve`] as the sequence lengthens,
+/// so resident KV memory tracks the *actual* context length instead of
+/// `max_seq` — the paged-KV discipline of vLLM-style servers.
 ///
-/// This extends the liveness discipline [`SlotPlan`] applies to
-/// per-run intermediates out to multi-step sequence state: a
-/// sequence's cache is a single live range from admission to
-/// retirement, so every decode step appends rows **in place**
-/// ([`KvWorkspace::write_row`] via `data_mut`) instead of reallocating
-/// a grown buffer per step. `bolt_tensor::alloc_count()` therefore
-/// stays flat across decode steps — the property the `kv_no_alloc`
-/// tier-1 test pins.
+/// Blocks come from the arena's free list, so steady-state decode
+/// performs **zero** tensor allocations: `bolt_tensor::alloc_count()`
+/// stays flat across appends — the property the `kv_no_alloc` tier-1
+/// test pins.
 ///
 /// Writes and commits are separated so a mid-step failure needs no
 /// rollback: rows written past [`KvWorkspace::len`] are invisible
 /// until [`KvWorkspace::commit`] publishes them, and a retried step
-/// simply overwrites them.
+/// simply overwrites them. Capacity misuse surfaces as typed
+/// [`BoltError::KvCapacity`] errors, not panics, so the serving layer
+/// can preempt-and-recompute instead of losing a worker.
 #[derive(Debug)]
 pub struct KvWorkspace {
     spec: KvSpec,
     /// Committed sequence length (rows visible to readers).
     len: usize,
-    /// `[layers * 2 * max_seq, kv_dim]`: per layer, the K region then
-    /// the V region, each `max_seq` rows.
-    buf: Tensor,
+    /// Block table: entry `b` covers positions `[b*block_rows,
+    /// (b+1)*block_rows)`. Each block is `[layers * 2 * block_rows,
+    /// kv_dim]`: per layer, `block_rows` K rows then `block_rows` V
+    /// rows.
+    blocks: Vec<Tensor>,
 }
 
 impl KvWorkspace {
-    /// Allocates the full-capacity cache (the only allocation this
-    /// workspace ever performs).
+    /// An empty workspace with no blocks reserved. Rows become
+    /// writable only after [`KvArena::reserve`] grows the block table.
     pub fn new(spec: KvSpec) -> Self {
         assert!(
-            spec.layers > 0 && spec.kv_dim > 0 && spec.max_seq > 0,
+            spec.layers > 0 && spec.kv_dim > 0 && spec.max_seq > 0 && spec.block_rows > 0,
             "degenerate KvSpec {spec:?}"
         );
         KvWorkspace {
             spec,
             len: 0,
-            buf: Tensor::zeros(&[spec.layers * 2 * spec.max_seq, spec.kv_dim], DType::F32),
+            blocks: Vec::new(),
         }
     }
 
-    /// The geometry this workspace was allocated for.
+    /// The geometry this workspace pages against.
     pub fn spec(&self) -> KvSpec {
         self.spec
     }
@@ -328,127 +354,309 @@ impl KvWorkspace {
         self.len == 0
     }
 
-    fn base(&self, layer: usize, region: usize) -> usize {
-        debug_assert!(layer < self.spec.layers && region < 2);
-        (layer * 2 + region) * self.spec.max_seq * self.spec.kv_dim
+    /// Sequence positions the block table currently covers (writable
+    /// without further reservation), capped at `max_seq`.
+    pub fn reserved_rows(&self) -> usize {
+        (self.blocks.len() * self.spec.block_rows).min(self.spec.max_seq)
+    }
+
+    /// Blocks currently in the table.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
     }
 
     /// Writes one K row and one V row for `layer` at position `pos`,
     /// in place. `pos` may lie at or past [`KvWorkspace::len`] (the
-    /// rows stay invisible until committed) but not past capacity.
-    pub fn write_row(&mut self, layer: usize, pos: usize, k_row: &[f32], v_row: &[f32]) {
+    /// rows stay invisible until committed) but must fall inside the
+    /// reserved block table — otherwise a recoverable
+    /// [`BoltError::KvCapacity`] is returned. Row-width and layer
+    /// mismatches remain programmer errors (asserts).
+    pub fn write_row(
+        &mut self,
+        layer: usize,
+        pos: usize,
+        k_row: &[f32],
+        v_row: &[f32],
+    ) -> Result<()> {
         let d = self.spec.kv_dim;
         assert!(layer < self.spec.layers, "layer {layer} out of range");
-        assert!(pos < self.spec.max_seq, "position {pos} past capacity");
         assert_eq!(k_row.len(), d, "K row width");
         assert_eq!(v_row.len(), d, "V row width");
-        let kb = self.base(layer, 0) + pos * d;
-        let vb = self.base(layer, 1) + pos * d;
-        let data = self.buf.data_mut();
+        if pos >= self.reserved_rows() {
+            return Err(BoltError::KvCapacity {
+                pos,
+                reserved: self.reserved_rows(),
+                max_seq: self.spec.max_seq,
+            });
+        }
+        let br = self.spec.block_rows;
+        let (block, row) = (pos / br, pos % br);
+        let kb = ((layer * 2) * br + row) * d;
+        let vb = ((layer * 2 + 1) * br + row) * d;
+        let data = self.blocks[block].data_mut();
         data[kb..kb + d].copy_from_slice(k_row);
         data[vb..vb + d].copy_from_slice(v_row);
+        Ok(())
     }
 
     /// Publishes (or rolls back to) a committed length. The single
     /// transaction point: a decode step writes its rows, finishes the
-    /// whole layer stack, then commits `len + 1` once.
-    pub fn commit(&mut self, len: usize) {
-        assert!(len <= self.spec.max_seq, "commit past capacity");
+    /// whole layer stack, then commits `len + 1` once. Committing past
+    /// the reserved block table is a recoverable
+    /// [`BoltError::KvCapacity`].
+    pub fn commit(&mut self, len: usize) -> Result<()> {
+        if len > self.reserved_rows() {
+            return Err(BoltError::KvCapacity {
+                pos: len,
+                reserved: self.reserved_rows(),
+                max_seq: self.spec.max_seq,
+            });
+        }
         self.len = len;
+        Ok(())
     }
 
-    /// The first `n` key rows of `layer` as one contiguous `n * kv_dim`
-    /// slice. `n` may exceed the committed length (up to capacity) so a
-    /// step can read rows it has written but not yet published.
-    pub fn keys(&self, layer: usize, n: usize) -> &[f32] {
-        assert!(n <= self.spec.max_seq, "read past capacity");
-        let b = self.base(layer, 0);
-        &self.buf.data()[b..b + n * self.spec.kv_dim]
+    /// The first `n` key rows of `layer` as per-block contiguous
+    /// chunks, in position order; the chunks concatenate to exactly
+    /// `n * kv_dim` elements. `n` may exceed the committed length (up
+    /// to the reserved rows) so a step can read rows it has written
+    /// but not yet published. Reading past the reserved block table is
+    /// a recoverable [`BoltError::KvCapacity`].
+    pub fn key_chunks(&self, layer: usize, n: usize) -> Result<Vec<&[f32]>> {
+        self.chunks(layer, 0, n)
     }
 
-    /// The first `n` value rows of `layer`; see [`KvWorkspace::keys`].
-    pub fn values(&self, layer: usize, n: usize) -> &[f32] {
-        assert!(n <= self.spec.max_seq, "read past capacity");
-        let b = self.base(layer, 1);
-        &self.buf.data()[b..b + n * self.spec.kv_dim]
+    /// The first `n` value rows of `layer`; see
+    /// [`KvWorkspace::key_chunks`].
+    pub fn value_chunks(&self, layer: usize, n: usize) -> Result<Vec<&[f32]>> {
+        self.chunks(layer, 1, n)
     }
 
-    /// Forgets all committed rows (the backing buffer is retained), so
-    /// a recycled workspace serves its next sequence allocation-free.
+    fn chunks(&self, layer: usize, region: usize, n: usize) -> Result<Vec<&[f32]>> {
+        assert!(layer < self.spec.layers, "layer {layer} out of range");
+        if n > self.reserved_rows() {
+            return Err(BoltError::KvCapacity {
+                pos: n,
+                reserved: self.reserved_rows(),
+                max_seq: self.spec.max_seq,
+            });
+        }
+        let br = self.spec.block_rows;
+        let d = self.spec.kv_dim;
+        let base = (layer * 2 + region) * br * d;
+        let mut out = Vec::with_capacity(self.spec.blocks_for(n));
+        let mut remaining = n;
+        for block in &self.blocks {
+            if remaining == 0 {
+                break;
+            }
+            let rows = remaining.min(br);
+            out.push(&block.data()[base..base + rows * d]);
+            remaining -= rows;
+        }
+        Ok(out)
+    }
+
+    /// Forgets all committed rows (the block table is retained), so a
+    /// preempted-and-readmitted sequence can replay its prefill into
+    /// already-reserved blocks without touching the pool.
     pub fn reset(&mut self) {
         self.len = 0;
     }
+
+    /// Appends one block to the table (arena reserve path).
+    fn push_block(&mut self, block: Tensor) {
+        self.blocks.push(block);
+    }
+
+    /// Detaches the block table (arena release path).
+    fn take_blocks(&mut self) -> Vec<Tensor> {
+        self.len = 0;
+        std::mem::take(&mut self.blocks)
+    }
 }
 
-/// A LIFO pool of [`KvWorkspace`]s, mirroring the executor's workspace
-/// pool: sequence lifetimes are the live ranges, and a retired
-/// sequence's cache is handed, already allocated, to the next admitted
-/// sequence. Steady-state serving leases every cache from the spare
-/// stack — [`KvArena::fresh_allocations`] stops growing once the pool
-/// is warm.
+/// A budgeted pool of fixed-size KV blocks shared by every sequence in
+/// a batcher — the allocation arm of the KV memory governor.
+///
+/// The pool hands out at most `budget_blocks` blocks at a time.
+/// Released blocks return to a free list and are reused LIFO, so a
+/// warm pool serves reservations with **zero** fresh tensor
+/// allocations ([`KvArena::fresh_allocations`] stops growing).
+/// When every block under the budget is in use (or withheld by
+/// memory-pressure injection — [`KvArena::set_withheld`]), a
+/// reservation fails with a recoverable [`BoltError::KvExhausted`]
+/// and the serving layer preempts a victim sequence or queues the
+/// admission. Exhaustion is a scheduling event here, never a panic.
 #[derive(Debug)]
 pub struct KvArena {
     spec: KvSpec,
-    cap: usize,
-    spare: Mutex<Vec<KvWorkspace>>,
+    budget: usize,
+    pool: Mutex<KvPool>,
     fresh: AtomicU64,
     reused: AtomicU64,
 }
 
+#[derive(Debug)]
+struct KvPool {
+    /// Materialized blocks awaiting reuse (LIFO).
+    free: Vec<Tensor>,
+    /// Blocks currently attached to live workspaces.
+    in_use: usize,
+    /// Blocks transiently unusable (chaos `KvPressure` or an external
+    /// cap). Pure accounting: no specific tensor is marked, the count
+    /// just shrinks what reservations may take.
+    withheld: usize,
+}
+
 impl KvArena {
-    /// An arena handing out caches of geometry `spec`, retaining up to
-    /// `cap` spares (typically the batcher's slot count).
-    pub fn new(spec: KvSpec, cap: usize) -> Self {
+    /// An arena paging blocks of geometry `spec`, handing out at most
+    /// `budget_blocks` at a time.
+    pub fn new(spec: KvSpec, budget_blocks: usize) -> Self {
         KvArena {
             spec,
-            cap: cap.max(1),
-            spare: Mutex::new(Vec::new()),
+            budget: budget_blocks.max(1),
+            pool: Mutex::new(KvPool {
+                free: Vec::new(),
+                in_use: 0,
+                withheld: 0,
+            }),
             fresh: AtomicU64::new(0),
             reused: AtomicU64::new(0),
         }
     }
 
-    /// The geometry every leased workspace has.
+    /// The geometry every block serves.
     pub fn spec(&self) -> KvSpec {
         self.spec
     }
 
-    /// Pops a recycled workspace, or allocates one on a cold start.
+    /// The hard cap on simultaneously outstanding blocks.
+    pub fn budget_blocks(&self) -> usize {
+        self.budget
+    }
+
+    /// An empty workspace; its block table grows via
+    /// [`KvArena::reserve`].
     pub fn lease(&self) -> KvWorkspace {
-        if let Some(mut ws) = self.spare.lock().unwrap().pop() {
-            ws.reset();
-            self.reused.fetch_add(1, Ordering::Relaxed);
-            return ws;
-        }
-        self.fresh.fetch_add(1, Ordering::Relaxed);
         KvWorkspace::new(self.spec)
     }
 
-    /// Returns a retired sequence's workspace to the spare stack
-    /// (dropped past `cap`, or if its geometry does not match).
-    pub fn recycle(&self, ws: KvWorkspace) {
-        if ws.spec != self.spec {
-            return;
+    /// Grows `ws`'s block table until it covers `rows` sequence
+    /// positions, taking blocks from the free list (or materializing
+    /// fresh ones while the pool is cold). On [`BoltError::KvExhausted`]
+    /// the blocks acquired so far stay attached — after the caller
+    /// frees capacity (preempting a victim), retrying reserves only the
+    /// remainder. `rows > max_seq` is a [`BoltError::KvCapacity`].
+    pub fn reserve(&self, ws: &mut KvWorkspace, rows: usize) -> Result<()> {
+        assert_eq!(ws.spec(), self.spec, "workspace geometry mismatch");
+        if rows > self.spec.max_seq {
+            return Err(BoltError::KvCapacity {
+                pos: rows,
+                reserved: ws.reserved_rows(),
+                max_seq: self.spec.max_seq,
+            });
         }
-        let mut spare = self.spare.lock().unwrap();
-        if spare.len() < self.cap {
-            spare.push(ws);
+        let target = self.spec.blocks_for(rows);
+        while ws.block_count() < target {
+            let block = {
+                let mut pool = self.pool.lock().unwrap();
+                if pool.in_use + pool.withheld >= self.budget {
+                    return Err(BoltError::KvExhausted {
+                        needed: target - ws.block_count(),
+                        in_use: pool.in_use,
+                        budget: self.budget,
+                        withheld: pool.withheld,
+                    });
+                }
+                pool.in_use += 1;
+                pool.free.pop()
+            };
+            let block = match block {
+                Some(b) => {
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    b
+                }
+                None => {
+                    self.fresh.fetch_add(1, Ordering::Relaxed);
+                    Tensor::zeros(
+                        &[
+                            self.spec.layers * 2 * self.spec.block_rows,
+                            self.spec.kv_dim,
+                        ],
+                        DType::F32,
+                    )
+                }
+            };
+            ws.push_block(block);
         }
+        Ok(())
     }
 
-    /// Workspaces built from scratch (cold-start cost).
+    /// Returns every block of a retired (or preempted) workspace to
+    /// the free list. Workspaces of mismatched geometry are dropped
+    /// whole (their blocks were never this pool's).
+    pub fn release(&self, mut ws: KvWorkspace) {
+        if ws.spec() != self.spec {
+            return;
+        }
+        let blocks = ws.take_blocks();
+        if blocks.is_empty() {
+            return;
+        }
+        let mut pool = self.pool.lock().unwrap();
+        pool.in_use = pool.in_use.saturating_sub(blocks.len());
+        pool.free.extend(blocks);
+    }
+
+    /// Transiently withholds `n` blocks from the usable budget (chaos
+    /// `KvPressure`, or an external cap). Accounting only: live
+    /// workspaces keep their blocks, but new reservations see a pool
+    /// shrunk by `n` until the count is restored to 0. May push
+    /// `in_use + withheld` past the budget — reservations then fail
+    /// until enough live blocks release.
+    pub fn set_withheld(&self, n: usize) {
+        self.pool.lock().unwrap().withheld = n.min(self.budget);
+    }
+
+    /// Blocks currently withheld from the usable budget.
+    pub fn withheld(&self) -> usize {
+        self.pool.lock().unwrap().withheld
+    }
+
+    /// Blocks attached to live workspaces right now.
+    pub fn in_use_blocks(&self) -> usize {
+        self.pool.lock().unwrap().in_use
+    }
+
+    /// Blocks a reservation could still take: budget minus in-use
+    /// minus withheld (saturating at 0).
+    pub fn free_blocks(&self) -> usize {
+        let pool = self.pool.lock().unwrap();
+        self.budget.saturating_sub(pool.in_use + pool.withheld)
+    }
+
+    /// Bytes of KV backing store currently materialized (live blocks
+    /// plus the warm free list) — the number the online engine
+    /// manager charges against its memory budget.
+    pub fn resident_bytes(&self) -> u64 {
+        let pool = self.pool.lock().unwrap();
+        (pool.in_use + pool.free.len()) as u64 * self.spec.block_bytes()
+    }
+
+    /// Blocks materialized from scratch (cold-start cost).
     pub fn fresh_allocations(&self) -> u64 {
         self.fresh.load(Ordering::Relaxed)
     }
 
-    /// Leases served from the spare stack (the steady-state path).
+    /// Reservations served from the free list (the steady-state path).
     pub fn reuses(&self) -> u64 {
         self.reused.load(Ordering::Relaxed)
     }
 
-    /// Currently pooled spares.
-    pub fn spare_len(&self) -> usize {
-        self.spare.lock().unwrap().len()
+    /// Currently pooled free blocks (materialized, awaiting reuse).
+    pub fn free_list_len(&self) -> usize {
+        self.pool.lock().unwrap().free.len()
     }
 }
 

@@ -238,16 +238,23 @@ impl DecoderModel {
 
     /// Causal multi-head attention for one query row against `n` cached
     /// rows (the current position's K/V already written into the
-    /// cache). Pure, sequential, per-sequence host math — its result
-    /// depends only on this sequence's history, never on batch
-    /// composition, which is half of the bit-identity argument for
-    /// continuous batching.
-    pub fn attention(&self, q: &[f32], keys: &[f32], values: &[f32], n: usize) -> Vec<f32> {
+    /// cache). `keys`/`values` arrive as lists of contiguous whole-row
+    /// chunks in position order — the per-block runs a paged KV cache
+    /// (`bolt::KvWorkspace::key_chunks`) hands out — concatenating to
+    /// at least `n` rows of width `hidden`. Pure, sequential,
+    /// per-sequence host math, and positions are visited strictly in
+    /// order across chunk boundaries, so the float-op order (and hence
+    /// the result, bit for bit) is identical however the rows are
+    /// paged: its result depends only on this sequence's history, never
+    /// on batch composition or block size, which is half of the
+    /// bit-identity argument for continuous batching.
+    pub fn attention(&self, q: &[f32], keys: &[&[f32]], values: &[&[f32]], n: usize) -> Vec<f32> {
         let h = self.spec.hidden;
         let heads = self.spec.heads;
         let d = self.spec.head_dim();
         debug_assert_eq!(q.len(), h);
-        debug_assert!(keys.len() >= n * h && values.len() >= n * h);
+        debug_assert!(keys.iter().map(|c| c.len()).sum::<usize>() >= n * h);
+        debug_assert!(values.iter().map(|c| c.len()).sum::<usize>() >= n * h);
         let inv_sqrt_d = 1.0 / (d as f32).sqrt();
         let mut out = vec![0.0f32; h];
         let mut scores = vec![0.0f32; n];
@@ -255,14 +262,20 @@ impl DecoderModel {
             let o = head * d;
             // Scaled dot-product scores over the causal window.
             let mut max = f32::NEG_INFINITY;
-            for (t, s) in scores.iter_mut().enumerate() {
-                let k_row = &keys[t * h + o..t * h + o + d];
-                let mut dot = 0.0f32;
-                for (qe, ke) in q[o..o + d].iter().zip(k_row) {
-                    dot += qe * ke;
+            let mut t = 0usize;
+            'keys: for chunk in keys {
+                for k_row in chunk.chunks_exact(h) {
+                    if t >= n {
+                        break 'keys;
+                    }
+                    let mut dot = 0.0f32;
+                    for (qe, ke) in q[o..o + d].iter().zip(&k_row[o..o + d]) {
+                        dot += qe * ke;
+                    }
+                    scores[t] = dot * inv_sqrt_d;
+                    max = max.max(scores[t]);
+                    t += 1;
                 }
-                *s = dot * inv_sqrt_d;
-                max = max.max(*s);
             }
             // Max-subtracted softmax, then the value mix.
             let mut denom = 0.0f32;
@@ -271,11 +284,17 @@ impl DecoderModel {
                 denom += *s;
             }
             let inv = 1.0 / denom;
-            for (t, s) in scores.iter().enumerate() {
-                let w = *s * inv;
-                let v_row = &values[t * h + o..t * h + o + d];
-                for (oe, ve) in out[o..o + d].iter_mut().zip(v_row) {
-                    *oe += w * ve;
+            let mut t = 0usize;
+            'values: for chunk in values {
+                for v_row in chunk.chunks_exact(h) {
+                    if t >= n {
+                        break 'values;
+                    }
+                    let w = scores[t] * inv;
+                    for (oe, ve) in out[o..o + d].iter_mut().zip(&v_row[o..o + d]) {
+                        *oe += w * ve;
+                    }
+                    t += 1;
                 }
             }
         }
@@ -348,11 +367,18 @@ mod tests {
         let keys: Vec<f32> = (0..n * h).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect();
         // All values equal => any softmax weighting returns that value.
         let values = vec![0.75f32; n * h];
-        let out = model.attention(&q, &keys, &values, n);
+        let out = model.attention(&q, &[&keys], &[&values], n);
         assert_eq!(out.len(), h);
-        for v in out {
+        for v in &out {
             assert!((v - 0.75).abs() < 1e-5, "got {v}");
         }
+        // Paging the same rows into uneven chunks is bit-identical:
+        // positions are visited in order regardless of chunking.
+        let split = 2 * h;
+        let chunked_keys: Vec<&[f32]> = vec![&keys[..split], &keys[split..]];
+        let chunked_values: Vec<&[f32]> = vec![&values[..split], &values[split..]];
+        let paged = model.attention(&q, &chunked_keys, &chunked_values, n);
+        assert_eq!(out, paged, "chunking must not change a single bit");
     }
 
     #[test]

@@ -44,13 +44,43 @@
 //! the whole step's compute succeeded — a mid-step worker kill (chaos
 //! [`bolt::FaultSite::WorkerKill`]) retries the step with no rollback
 //! logic and no lost or duplicated tokens.
+//!
+//! # The KV memory governor
+//!
+//! KV memory is paged: sequences hold fixed-size blocks
+//! ([`bolt::KvSpec::block_rows`] positions each) from a budgeted
+//! [`bolt::KvArena`] pool, growing their block table one block at a
+//! time as decode advances. Because real accelerator memory is finite,
+//! the batcher governs the pool with two policies:
+//!
+//! * **Watermark admission** — a prompt is admitted only when its
+//!   prefill blocks *plus* a configurable reserve
+//!   ([`LlmServeConfig::kv_reserve_blocks`], headroom for the live
+//!   batch's decode growth) fit in the free pool; otherwise it waits at
+//!   the head of the queue.
+//! * **Preempt-and-recompute** — when decode growth itself runs out of
+//!   blocks (admitted optimistically, or squeezed by a chaos
+//!   [`bolt::FaultSite::KvPressure`] episode withholding part of the
+//!   pool), the governor evicts the victim with the fewest generated
+//!   tokens (ties: youngest), releases its blocks, and re-queues it at
+//!   the front. The victim replays prompt + generated tokens through a
+//!   later prefill — recompute instead of swap, exactly like the
+//!   recomputation path of vLLM-style paged attention.
+//!
+//! Preemption preserves every guarantee above: argmax decoding is
+//! deterministic and attention visits positions in order across block
+//! boundaries, so a replayed prefill reproduces the victim's KV state
+//! bit for bit and its continuation is the stream it would have
+//! generated unpreempted. Replayed tokens are counted once (the replay
+//! prefill's "first token" is genuinely new output); the recompute cost
+//! is visible in [`LlmStats::recompute_tokens`].
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bolt::{BoltConfig, KvArena, KvSpec};
+use bolt::{BoltConfig, BoltError, KvArena, KvSpec};
 use bolt_gpu_sim::GpuArch;
 use bolt_models::llm::{
     lm_head_graph, lm_head_name, post_graph, post_name, qkv_graph, qkv_name, DecoderModel,
@@ -58,7 +88,7 @@ use bolt_models::llm::{
 use bolt_models::llm_by_name;
 use bolt_tensor::{DType, Tensor};
 
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{KvGovernorSnapshot, Metrics, MetricsSnapshot};
 use crate::online::{OnlineConfig, OnlineEngineManager};
 use crate::registry::{EngineRegistry, ModelEngines};
 use crate::{Result, ServeError};
@@ -161,6 +191,15 @@ pub struct LlmStats {
     /// Launches served on an online-tuning fallback engine (heuristic or
     /// over-padded) before the tuned bucket hot-swapped in.
     pub fallback_launches: u64,
+    /// Live sequences evicted by the KV governor to free blocks; each
+    /// re-queues and replays through prefill.
+    pub preemptions: u64,
+    /// Tokens replayed by preempted sequences' recovery prefills (the
+    /// recompute cost of preempt-and-recompute).
+    pub recompute_tokens: u64,
+    /// Chaos-injected KV memory-pressure episodes observed
+    /// ([`bolt::FaultSite::KvPressure`]).
+    pub kv_pressure_events: u64,
     /// Simulated clock, µs.
     pub sim_us: f64,
 }
@@ -178,8 +217,16 @@ pub struct LlmServeConfig {
     pub mode: BatchMode,
     /// Online tuning over the per-M sub-model buckets.
     pub online: OnlineConfig,
-    /// KV workspaces the arena keeps warm for re-admission.
-    pub kv_pool: usize,
+    /// Hard ceiling on KV blocks the arena may materialize — the
+    /// governor's memory budget. `None` sizes the pool so every slot
+    /// can hold a full-context sequence (no preemption ever needed);
+    /// tighter budgets trade preemption-and-recompute for memory.
+    pub kv_budget_blocks: Option<usize>,
+    /// Free blocks the watermark admission keeps in reserve for the
+    /// live batch's decode growth before admitting another prompt.
+    pub kv_reserve_blocks: usize,
+    /// KV rows per block (the paging granularity).
+    pub kv_block_rows: usize,
 }
 
 impl Default for LlmServeConfig {
@@ -190,19 +237,31 @@ impl Default for LlmServeConfig {
             max_slots: 8,
             mode: BatchMode::Continuous,
             online: OnlineConfig::default(),
-            kv_pool: 16,
+            kv_budget_blocks: None,
+            kv_reserve_blocks: 1,
+            kv_block_rows: 16,
         }
     }
 }
 
-/// A queued, not-yet-admitted sequence.
+/// A queued, not-yet-admitted sequence. A fresh submission and a
+/// preempted sequence awaiting its recompute replay share this shape:
+/// for a replay, `prompt` is the original prompt *plus* every token
+/// already generated, `prompt_len` still marks the original prompt
+/// boundary, and `ttft_us` carries the first-token latency already
+/// observed (replays must not reset TTFT).
 #[derive(Debug)]
 struct Pending {
     id: u64,
     prompt: Vec<u32>,
+    /// Original prompt length; `< prompt.len()` for a preemption replay.
+    prompt_len: usize,
     max_new: usize,
     deadline_us: Option<f64>,
     submitted_us: f64,
+    /// `Some` once the sequence has produced its first token (set when a
+    /// live sequence is preempted back into the queue).
+    ttft_us: Option<f64>,
 }
 
 /// A live slot.
@@ -337,6 +396,11 @@ pub struct ContinuousBatcher {
     arena: KvArena,
     mode: BatchMode,
     max_slots: usize,
+    /// Watermark: free blocks admission keeps back for decode growth.
+    kv_reserve_blocks: usize,
+    /// Steps left in the current chaos memory-pressure episode; the
+    /// arena's withheld count resets to zero when it expires.
+    pressure_steps_left: u64,
     queue: VecDeque<Pending>,
     slots: Vec<Slot>,
     finished: Vec<SequenceResult>,
@@ -362,12 +426,15 @@ impl ContinuousBatcher {
     /// Builds a batcher for one LLM zoo model on `arch`: registers every
     /// per-layer sub-model dynamically (zero precompiled buckets — the
     /// online manager fills them in as the live-row count shifts) and
-    /// sizes the KV arena to the slot count.
+    /// sizes the KV block pool from the governor budget.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] when `config.model` is not an LLM
-    /// zoo entry, [`ServeError::Config`] for a zero slot count.
+    /// zoo entry, [`ServeError::Config`] for a zero slot count, zero
+    /// `kv_block_rows`, or a block budget too small to ever hold one
+    /// full-context sequence (such a budget could deadlock: a lone
+    /// sequence would exhaust the pool with no victim to preempt).
     pub fn new(arch: GpuArch, bolt_config: BoltConfig, config: LlmServeConfig) -> Result<Self> {
         let spec = llm_by_name(&config.model).ok_or_else(|| ServeError::UnknownModel {
             name: config.model.clone(),
@@ -375,6 +442,11 @@ impl ContinuousBatcher {
         if config.max_slots == 0 {
             return Err(ServeError::Config {
                 reason: "max_slots must be at least 1".into(),
+            });
+        }
+        if config.kv_block_rows == 0 {
+            return Err(ServeError::Config {
+                reason: "kv_block_rows must be at least 1".into(),
             });
         }
         let registry = Arc::new(EngineRegistry::new(arch, bolt_config));
@@ -407,7 +479,21 @@ impl ContinuousBatcher {
             layers: spec.layers,
             kv_dim: spec.kv_dim(),
             max_seq: spec.max_seq,
+            block_rows: config.kv_block_rows,
         };
+        let full_seq = kv_spec.blocks_for(spec.max_seq);
+        let budget = config
+            .kv_budget_blocks
+            .unwrap_or(config.max_slots * full_seq);
+        if budget < full_seq {
+            return Err(ServeError::Config {
+                reason: format!(
+                    "kv_budget_blocks {budget} cannot hold one full-context sequence \
+                     ({full_seq} blocks of {} rows)",
+                    kv_spec.block_rows
+                ),
+            });
+        }
         Ok(ContinuousBatcher {
             model: DecoderModel::new(spec, salt),
             names,
@@ -417,9 +503,11 @@ impl ContinuousBatcher {
                 handles,
                 prices: HashMap::new(),
             },
-            arena: KvArena::new(kv_spec, config.kv_pool.max(config.max_slots)),
+            arena: KvArena::new(kv_spec, budget),
             mode: config.mode,
             max_slots: config.max_slots,
+            kv_reserve_blocks: config.kv_reserve_blocks,
+            pressure_steps_left: 0,
             queue: VecDeque::new(),
             slots: Vec::new(),
             finished: Vec::new(),
@@ -468,27 +556,37 @@ impl ContinuousBatcher {
         self.metrics.accepted();
         let id = self.next_id;
         self.next_id += 1;
+        let prompt_len = request.prompt.len();
         self.queue.push_back(Pending {
             id,
             prompt: request.prompt,
+            prompt_len,
             max_new: request.max_new_tokens,
             deadline_us: request.deadline_us,
             submitted_us: self.sim_now_us,
+            ttft_us: None,
         });
         Ok(id)
     }
 
-    /// Runs one serving step: admit (prefill) into free slots, decode
-    /// one token for every live sequence, retire finished ones. A
-    /// mid-step worker kill (chaos) retries the decode attempt; the
+    /// Runs one serving step: poll chaos memory pressure, admit
+    /// (prefill) into free slots under the watermark, reserve every live
+    /// sequence's next KV row (preempting victims if the pool is dry),
+    /// decode one token for every live sequence, retire finished ones.
+    /// A mid-step worker kill (chaos) retries the decode attempt; the
     /// commit discipline makes the retry exactly-once.
     pub fn step(&mut self) -> StepReport {
         let sim_before = self.sim_now_us;
+        self.poll_pressure();
         let admitted = self.admit();
         // Sequences already finished at prefill (max_new_tokens == 1, or
         // a prompt that filled the context window) must retire before
         // the decode GEMM, or they would over-generate by one token.
         let mut retired = self.retire();
+        // Every surviving live sequence holds a reservation for its next
+        // KV row before the decode GEMM launches: decode itself can then
+        // never hit pool exhaustion mid-step.
+        self.reserve_for_decode();
         let mut decoded = 0;
         if !self.slots.is_empty() {
             loop {
@@ -511,6 +609,12 @@ impl ContinuousBatcher {
             }
         }
         retired += self.retire();
+        // Engines and KV blocks share accelerator memory: charge the
+        // pool's resident footprint against the online tuner's budget so
+        // eviction pressure sees the governor's growth.
+        self.exec
+            .online
+            .set_external_resident_bytes(self.arena.resident_bytes());
         StepReport {
             admitted,
             decoded,
@@ -571,14 +675,32 @@ impl ContinuousBatcher {
     }
 
     /// Full serving-metrics snapshot — including `padding_fraction` over
-    /// every launch and the online-tuning counters — directly comparable
-    /// with [`crate::BoltServer::metrics`].
+    /// every launch, the online-tuning counters, and the KV governor
+    /// gauges — directly comparable with [`crate::BoltServer::metrics`].
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(
+        let mut snap = self.metrics.snapshot(
             self.sim_now_us.max(1.0),
             Vec::new(),
             Some(self.exec.online.snapshot()),
-        )
+        );
+        snap.kv_governor = Some(self.kv_governor());
+        snap
+    }
+
+    /// Point-in-time KV governor gauges: block-pool occupancy plus the
+    /// admission/preemption counters.
+    pub fn kv_governor(&self) -> KvGovernorSnapshot {
+        KvGovernorSnapshot {
+            kv_blocks_in_use: self.arena.in_use_blocks(),
+            kv_blocks_free: self.arena.free_blocks(),
+            kv_budget_blocks: self.arena.budget_blocks(),
+            kv_block_rows: self.arena.spec().block_rows,
+            kv_resident_bytes: self.arena.resident_bytes(),
+            preemptions: self.stats.preemptions,
+            recompute_tokens: self.stats.recompute_tokens,
+            kv_fresh_allocations: self.arena.fresh_allocations(),
+            kv_pressure_events: self.stats.kv_pressure_events,
+        }
     }
 
     /// Blocks until no background sub-model compile is queued or
@@ -588,13 +710,126 @@ impl ContinuousBatcher {
         self.exec.online.wait_idle(timeout)
     }
 
+    /// Polls the chaos memory-pressure site and ticks the running
+    /// episode: while one is active, a fraction of the block budget is
+    /// withheld from the pool — pure accounting, live blocks are never
+    /// touched — stalling admission and forcing decode growth to
+    /// preempt exactly as a real co-tenant's allocation would. The
+    /// withholding lifts when the episode's step count expires.
+    fn poll_pressure(&mut self) {
+        if self.pressure_steps_left > 0 {
+            self.pressure_steps_left -= 1;
+            if self.pressure_steps_left == 0 {
+                self.arena.set_withheld(0);
+            }
+        }
+        if let Some((fraction, steps)) = bolt::faults::kv_pressure() {
+            let withheld = (self.arena.budget_blocks() as f64 * fraction).round() as usize;
+            self.arena.set_withheld(withheld);
+            self.pressure_steps_left = steps;
+            self.stats.kv_pressure_events += 1;
+        }
+    }
+
+    /// Reserves the next KV row for every live slot before the decode
+    /// GEMM launches, so decode itself can never hit pool exhaustion
+    /// mid-step. When the pool runs dry, the governor preempts victims
+    /// (fewest generated tokens, ties youngest) until the reservation
+    /// fits; preempting the requester itself also counts as progress —
+    /// its blocks go back to the pool for the sequences kept.
+    fn reserve_for_decode(&mut self) {
+        let mut i = 0;
+        while i < self.slots.len() {
+            if self.slots[i].done.is_some() {
+                i += 1;
+                continue;
+            }
+            let rows = self.slots[i].kv.len() + 1;
+            match self.arena.reserve(&mut self.slots[i].kv, rows) {
+                Ok(()) => i += 1,
+                Err(_) => {
+                    let Some(victim) = self.pick_victim() else {
+                        break;
+                    };
+                    self.preempt(victim);
+                    if victim < i {
+                        i -= 1;
+                    }
+                    // victim == i retries the slot now sitting at i;
+                    // victim > i retries slot i itself, one block richer.
+                }
+            }
+        }
+    }
+
+    /// The preemption victim among live slots: fewest generated tokens
+    /// (cheapest recompute), ties broken by youngest (largest id — the
+    /// governor protects the progress of the oldest work first).
+    fn pick_victim(&self) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.done.is_none())
+            .min_by_key(|(_, slot)| {
+                (
+                    slot.tokens.len() - slot.prompt_len,
+                    std::cmp::Reverse(slot.id),
+                )
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Evicts slot `idx` back to the head of the queue: its blocks
+    /// return to the pool and its prompt *plus generated tokens* replay
+    /// through a later prefill (recompute, not swap). The replay's
+    /// "first token" is the next genuinely new token, so token
+    /// accounting stays exactly-once; TTFT keeps its original value.
+    fn preempt(&mut self, idx: usize) {
+        let slot = self.slots.remove(idx);
+        self.stats.preemptions += 1;
+        self.stats.recompute_tokens += slot.kv.len() as u64;
+        self.metrics.requeued();
+        self.arena.release(slot.kv);
+        self.queue.push_front(Pending {
+            id: slot.id,
+            prompt: slot.tokens,
+            prompt_len: slot.prompt_len,
+            max_new: slot.max_new,
+            deadline_us: slot.deadline_us,
+            submitted_us: slot.submitted_us,
+            ttft_us: Some(slot.ttft_us),
+        });
+    }
+
+    /// Terminal result for a sequence leaving the queue without
+    /// (re)entering a slot. A preemption replay keeps the tokens it
+    /// already generated and its observed TTFT; a fresh submission has
+    /// neither.
+    fn queue_result(pending: &Pending, now: f64, finish: FinishReason) -> SequenceResult {
+        SequenceResult {
+            id: pending.id,
+            prompt_len: pending.prompt_len,
+            tokens: pending.prompt[pending.prompt_len..].to_vec(),
+            ttft_us: pending.ttft_us,
+            submitted_us: pending.submitted_us,
+            finished_us: now,
+            finish,
+        }
+    }
+
     /// Admits queued sequences into free slots (all slots must be free
     /// first in static-cohort mode), shedding those past their deadline,
-    /// and prefills each admission. Returns the number admitted.
+    /// and prefills each admission. Admission is watermark-gated: the
+    /// prompt's prefill blocks plus a decode-growth reserve must fit in
+    /// the free pool, or the prompt waits at the head of the queue (the
+    /// reserve is waived when no sequence is live — a lone admission can
+    /// never be starved by headroom for nobody). Returns the number
+    /// admitted.
     fn admit(&mut self) -> usize {
         if self.mode == BatchMode::StaticCohort && !self.slots.is_empty() {
             return 0;
         }
+        let kv_spec = self.arena.spec();
         let mut admitted = 0;
         while self.slots.len() < self.max_slots {
             let Some(pending) = self.queue.pop_front() else {
@@ -605,16 +840,22 @@ impl ContinuousBatcher {
                 .is_some_and(|deadline| self.sim_now_us > deadline)
             {
                 self.metrics.deadline_shed();
-                self.finished.push(SequenceResult {
-                    id: pending.id,
-                    prompt_len: pending.prompt.len(),
-                    tokens: Vec::new(),
-                    ttft_us: None,
-                    submitted_us: pending.submitted_us,
-                    finished_us: self.sim_now_us,
-                    finish: FinishReason::DeadlineExceeded,
-                });
+                self.finished.push(Self::queue_result(
+                    &pending,
+                    self.sim_now_us,
+                    FinishReason::DeadlineExceeded,
+                ));
                 continue;
+            }
+            let needed = kv_spec.blocks_for(pending.prompt.len());
+            let reserve = if self.slots.is_empty() {
+                0
+            } else {
+                self.kv_reserve_blocks
+            };
+            if self.arena.free_blocks() < needed + reserve {
+                self.queue.push_front(pending);
+                break;
             }
             self.metrics.dequeued(1);
             match self.prefill(&pending) {
@@ -624,17 +865,23 @@ impl ContinuousBatcher {
                     self.stats.generated_tokens += 1;
                     admitted += 1;
                 }
+                // Lost the blocks race despite the watermark: bounce
+                // back to the queue head — transient pressure must never
+                // fail a request.
+                Err(ServeError::Compile(
+                    BoltError::KvExhausted { .. } | BoltError::KvCapacity { .. },
+                )) => {
+                    self.metrics.requeued();
+                    self.queue.push_front(pending);
+                    break;
+                }
                 Err(e) => {
                     self.metrics.rejected_execution();
-                    self.finished.push(SequenceResult {
-                        id: pending.id,
-                        prompt_len: pending.prompt.len(),
-                        tokens: Vec::new(),
-                        ttft_us: None,
-                        submitted_us: pending.submitted_us,
-                        finished_us: self.sim_now_us,
-                        finish: FinishReason::Failed,
-                    });
+                    self.finished.push(Self::queue_result(
+                        &pending,
+                        self.sim_now_us,
+                        FinishReason::Failed,
+                    ));
                     let _ = e;
                 }
             }
@@ -644,8 +891,12 @@ impl ContinuousBatcher {
 
     /// Runs one prompt's prefill: the whole prompt as a wide GEMM
     /// through every layer, KV rows written per position, first token
-    /// from the last position's logits. Commits the KV transaction and
-    /// the simulated time only on success.
+    /// from the last position's logits. Reserves the prompt's blocks up
+    /// front; commits the KV transaction and the simulated time only on
+    /// success, releasing every block back to the pool on failure. For a
+    /// preemption replay, `pending.prompt` already includes the
+    /// generated tokens, so this same path rebuilds the victim's KV
+    /// state bit for bit.
     fn prefill(&mut self, pending: &Pending) -> Result<Slot> {
         let spec = *self.model.spec();
         let n = pending.prompt.len();
@@ -657,6 +908,7 @@ impl ContinuousBatcher {
             .map(|&t| self.model.embed_token(t).to_vec())
             .collect();
         let result = (|| -> Result<u32> {
+            self.arena.reserve(&mut kv, n)?;
             for layer in 0..spec.layers {
                 let qkv = self
                     .exec
@@ -665,13 +917,10 @@ impl ContinuousBatcher {
                 for (t, row) in qkv.iter().enumerate() {
                     let (q, rest) = row.split_at(spec.hidden);
                     let (k, v) = rest.split_at(spec.hidden);
-                    kv.write_row(layer, t, k, v);
-                    attn.push(self.model.attention(
-                        q,
-                        kv.keys(layer, t + 1),
-                        kv.values(layer, t + 1),
-                        t + 1,
-                    ));
+                    kv.write_row(layer, t, k, v)?;
+                    let keys = kv.key_chunks(layer, t + 1)?;
+                    let values = kv.value_chunks(layer, t + 1)?;
+                    attn.push(self.model.attention(q, &keys, &values, t + 1));
                 }
                 x = self
                     .exec
@@ -682,28 +931,30 @@ impl ContinuousBatcher {
             let logits = self
                 .exec
                 .run_rows(&self.names.lm_head, &[&last], 1, &mut staged)?;
+            kv.commit(n)?;
             Ok(self.model.argmax(&logits[0]))
         })();
         match result {
             Ok(first) => {
-                kv.commit(n);
                 self.charge(staged);
                 let mut tokens = pending.prompt.clone();
                 tokens.push(first);
                 Ok(Slot {
                     id: pending.id,
                     tokens,
-                    prompt_len: n,
+                    prompt_len: pending.prompt_len,
                     max_new: pending.max_new,
                     deadline_us: pending.deadline_us,
                     submitted_us: pending.submitted_us,
-                    ttft_us: self.sim_now_us - pending.submitted_us,
+                    ttft_us: pending
+                        .ttft_us
+                        .unwrap_or(self.sim_now_us - pending.submitted_us),
                     kv,
                     done: None,
                 })
             }
             Err(e) => {
-                self.arena.recycle(kv);
+                self.arena.release(kv);
                 Err(e)
             }
         }
@@ -740,13 +991,10 @@ impl ContinuousBatcher {
                 let (q, rest) = qkv[i].split_at(spec.hidden);
                 let (k, v) = rest.split_at(spec.hidden);
                 let pos = slot.kv.len();
-                slot.kv.write_row(layer, pos, k, v);
-                attn[i] = self.model.attention(
-                    q,
-                    slot.kv.keys(layer, pos + 1),
-                    slot.kv.values(layer, pos + 1),
-                    pos + 1,
-                );
+                slot.kv.write_row(layer, pos, k, v)?;
+                let keys = slot.kv.key_chunks(layer, pos + 1)?;
+                let values = slot.kv.value_chunks(layer, pos + 1)?;
+                attn[i] = self.model.attention(q, &keys, &values, pos + 1);
             }
             x = self.exec.run_rows(
                 &self.names.post[layer],
@@ -776,7 +1024,9 @@ impl ContinuousBatcher {
         let live = staged.tokens.len();
         for (i, token) in staged.tokens {
             let slot = &mut self.slots[i];
-            slot.kv.commit(slot.tokens.len());
+            slot.kv
+                .commit(slot.tokens.len())
+                .expect("decode rows were reserved before the step");
             slot.tokens.push(token);
             self.stats.generated_tokens += 1;
         }
@@ -862,7 +1112,7 @@ impl ContinuousBatcher {
                 finished_us: self.sim_now_us,
                 finish,
             });
-            self.arena.recycle(slot.kv);
+            self.arena.release(slot.kv);
             retired += 1;
         }
         retired
@@ -1150,6 +1400,150 @@ mod tests {
             arena.fresh_allocations()
         );
         assert!(arena.reuses() >= 4, "later admissions reuse retired KV");
+    }
+
+    /// The governor's acceptance gate: a budget at the floor (one
+    /// full-context sequence) with 8 competing sequences forces real
+    /// preemptions, and every stream must still match the sequential
+    /// oracle bit for bit with exactly-once token accounting.
+    #[test]
+    fn tight_kv_budget_preempts_and_recomputes_bit_identically() {
+        let spec = llm_by_name("tiny-lm").unwrap();
+        // Geometry the squeeze relies on: 10 blocks of 16 rows, prompts
+        // of 14 that cross into a second block mid-decode.
+        assert_eq!(spec.max_seq, 160);
+        let prompts = sample_prompts("tiny-lm", 8, PromptLengths::fixed(14), 11).unwrap();
+        let oracle = sequential_tokens(&prompts, 8);
+
+        let mut engine = batcher(LlmServeConfig {
+            max_slots: 8,
+            kv_budget_blocks: Some(10),
+            ..LlmServeConfig::default()
+        });
+        submit_prompts(&mut engine, &prompts, 8);
+        let results = engine.run_to_completion();
+
+        let stats = engine.stats();
+        assert!(stats.preemptions > 0, "the budget must actually squeeze");
+        assert!(stats.recompute_tokens > 0, "replays recompute KV state");
+        assert_eq!(results.len(), 8, "every sequence retires exactly once");
+        for (result, want) in results.iter().zip(&oracle) {
+            assert_eq!(result.finish, FinishReason::Length);
+            assert_eq!(
+                &result.tokens, want,
+                "sequence {} diverged under preemption",
+                result.id
+            );
+        }
+        // Exactly-once accounting: 8 sequences × 8 tokens, however many
+        // replays happened — replayed positions count only as recompute.
+        assert_eq!(stats.generated_tokens, 64);
+        let gov = engine.kv_governor();
+        assert_eq!(gov.kv_blocks_in_use, 0, "drained pool");
+        assert_eq!(gov.kv_budget_blocks, 10);
+        assert!(
+            gov.kv_fresh_allocations <= 10,
+            "the arena never materializes past its budget, got {}",
+            gov.kv_fresh_allocations
+        );
+        assert_eq!(gov.preemptions, stats.preemptions);
+        assert_eq!(gov.recompute_tokens, stats.recompute_tokens);
+        let m = engine.metrics();
+        assert_eq!(m.completed, 8);
+        assert_eq!((m.queue_depth, m.inflight), (0, 0), "gauges drained");
+        assert_eq!(m.kv_governor, Some(gov));
+    }
+
+    /// Victim policy, pinned deterministically: under a squeeze the
+    /// governor evicts the live sequence with the fewest generated
+    /// tokens, breaking ties toward the youngest — never the elder
+    /// that has the most progress to lose.
+    #[test]
+    fn preemption_victims_are_fewest_generated_then_youngest() {
+        let prompts = sample_prompts("tiny-lm", 3, PromptLengths::fixed(14), 4).unwrap();
+        let oracle = sequential_tokens(&prompts, 10);
+        let mut engine = batcher(LlmServeConfig {
+            max_slots: 3,
+            kv_budget_blocks: Some(10),
+            ..LlmServeConfig::default()
+        });
+        // The elder runs two steps ahead; the juniors join together, so
+        // they tie on generated tokens and only age can split them.
+        let elder = submit_prompts(&mut engine, &prompts[..1], 10);
+        engine.step();
+        engine.step();
+        let juniors = submit_prompts(&mut engine, &prompts[1..], 10);
+        engine.step();
+        assert_eq!(engine.live(), 3);
+
+        // Withhold every block the three live sequences are not already
+        // holding: the next block-table growth must preempt someone.
+        engine.arena.set_withheld(10 - engine.arena.in_use_blocks());
+        let before = engine.stats().preemptions;
+        for _ in 0..20 {
+            if engine.stats().preemptions > before {
+                break;
+            }
+            engine.step();
+            assert!(engine.live() > 0, "the squeeze must preempt, not wedge");
+        }
+        assert_eq!(
+            engine.stats().preemptions,
+            before + 1,
+            "freeing one victim's blocks unblocks the step"
+        );
+        assert_eq!(
+            engine.queue.front().expect("victim re-queued").id,
+            juniors[1],
+            "victim is the youngest of the tied juniors"
+        );
+        assert!(
+            engine.slots.iter().any(|s| s.id == elder[0]),
+            "the elder's progress is protected"
+        );
+
+        // Pressure lifts; the victim replays and every stream still
+        // matches the oracle.
+        engine.arena.set_withheld(0);
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), 3);
+        for (result, want) in results.iter().zip(&oracle) {
+            assert_eq!(&result.tokens, want, "sequence {} diverged", result.id);
+        }
+    }
+
+    /// A budget below one full-context sequence could deadlock (a lone
+    /// sequence exhausts the pool with nobody to preempt) and must be
+    /// rejected at construction.
+    #[test]
+    fn sub_context_budgets_are_rejected() {
+        for (budget, block_rows) in [(Some(9), 16), (Some(0), 16), (Some(39), 4)] {
+            assert!(matches!(
+                ContinuousBatcher::new(
+                    test_arch(),
+                    BoltConfig::default(),
+                    LlmServeConfig {
+                        kv_budget_blocks: budget,
+                        kv_block_rows: block_rows,
+                        ..LlmServeConfig::default()
+                    }
+                )
+                .err(),
+                Some(ServeError::Config { .. })
+            ));
+        }
+        assert!(matches!(
+            ContinuousBatcher::new(
+                test_arch(),
+                BoltConfig::default(),
+                LlmServeConfig {
+                    kv_block_rows: 0,
+                    ..LlmServeConfig::default()
+                }
+            )
+            .err(),
+            Some(ServeError::Config { .. })
+        ));
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use continuous::{
     SequenceResult, StepReport,
 };
 pub use error::{panic_message, ServeError};
-pub use metrics::{KernelStat, LoadGauges, MetricsSnapshot};
+pub use metrics::{KernelStat, KvGovernorSnapshot, LoadGauges, MetricsSnapshot};
 pub use online::{
     Acquired, EngineState, FailedBucket, OnlineConfig, OnlineEngineManager, OnlineSnapshot,
 };

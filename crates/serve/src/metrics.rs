@@ -77,6 +77,15 @@ impl Metrics {
         inner.inflight += n as u64;
     }
 
+    /// Moves one request back from the in-flight gauge to the queued
+    /// gauge: the KV governor preempted a live sequence (or bounced an
+    /// admission) back into the queue for a later retry.
+    pub(crate) fn requeued(&self) {
+        let mut inner = self.inner.lock();
+        inner.inflight = inner.inflight.saturating_sub(1);
+        inner.queue_depth += 1;
+    }
+
     /// Cheap live load gauges, read without snapshotting the histograms.
     pub(crate) fn gauges(&self) -> LoadGauges {
         let inner = self.inner.lock();
@@ -294,8 +303,42 @@ impl Metrics {
             kernel_stats,
             model_workspace,
             online,
+            // Filled in by the continuous batcher after the generic
+            // snapshot: only it owns a KV arena.
+            kv_governor: None,
         }
     }
+}
+
+/// Point-in-time view of the KV memory governor: the paged block pool's
+/// occupancy plus the admission/preemption counters that show how hard
+/// the budget is squeezing the batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KvGovernorSnapshot {
+    /// Blocks currently attached to live sequences.
+    pub kv_blocks_in_use: usize,
+    /// Blocks currently available to admissions and decode growth
+    /// (`budget - in_use - withheld`).
+    pub kv_blocks_free: usize,
+    /// The hard pool ceiling the governor enforces.
+    pub kv_budget_blocks: usize,
+    /// KV rows per block (the paging granularity).
+    pub kv_block_rows: usize,
+    /// Bytes of every materialized block, leased or pooled — what the
+    /// arena actually holds resident on the accelerator.
+    pub kv_resident_bytes: u64,
+    /// Sequences evicted mid-decode to free blocks for others; each one
+    /// re-queues and replays its tokens through prefill.
+    pub preemptions: u64,
+    /// Tokens recomputed by those replays (the recompute cost of
+    /// preempt-and-recompute, in tokens).
+    pub recompute_tokens: u64,
+    /// Fresh tensor allocations the arena ever made; flat in steady
+    /// state once the pool is warm.
+    pub kv_fresh_allocations: u64,
+    /// Chaos-injected memory-pressure episodes observed
+    /// ([`bolt::FaultSite::KvPressure`]).
+    pub kv_pressure_events: u64,
 }
 
 /// Aggregated simulated time of one kernel (step name) across every
@@ -455,6 +498,10 @@ pub struct MetricsSnapshot {
     /// Online tuning counters, when the server runs with
     /// [`crate::OnlineConfig`] set.
     pub online: Option<OnlineSnapshot>,
+    /// KV memory-governor gauges, when the snapshot comes from the
+    /// continuous LLM batcher (`None` for the request/response paths,
+    /// which hold no KV state).
+    pub kv_governor: Option<KvGovernorSnapshot>,
 }
 
 impl MetricsSnapshot {

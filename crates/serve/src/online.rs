@@ -192,6 +192,9 @@ pub struct OnlineSnapshot {
     /// Total resident bytes of managed tuned engines plus live heuristic
     /// fallback engines.
     pub resident_bytes: u64,
+    /// Externally-owned bytes (the KV block pool) currently charged
+    /// against `memory_budget_bytes` ahead of tuned engines.
+    pub external_resident_bytes: u64,
     /// Tuner threads respawned by the supervisor after a panic.
     pub tuner_restarts: u64,
     /// Times a per-model circuit breaker tripped open.
@@ -264,6 +267,10 @@ struct Shared {
     /// Wakes [`OnlineEngineManager::wait_idle`] when the queue drains.
     idle_cv: Condvar,
     counters: Counters,
+    /// Bytes of externally-owned accelerator memory (the continuous
+    /// batcher's KV block pool) charged against the engine memory
+    /// budget; see [`OnlineEngineManager::set_external_resident_bytes`].
+    external_bytes: AtomicU64,
 }
 
 impl Shared {
@@ -372,6 +379,7 @@ impl OnlineEngineManager {
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             counters: Counters::default(),
+            external_bytes: AtomicU64::new(0),
         });
         {
             let mut st = shared.lock_state();
@@ -563,6 +571,16 @@ impl OnlineEngineManager {
         }
     }
 
+    /// Charges externally-owned accelerator memory — the continuous
+    /// batcher's resident KV block pool — against `memory_budget_bytes`.
+    /// Tuned engines only get to fill whatever the KV governor left:
+    /// eviction planning sees `budget - external`, so a growing KV
+    /// footprint squeezes cold engines out first while live engines and
+    /// the KV blocks themselves are never touched.
+    pub fn set_external_resident_bytes(&self, bytes: u64) {
+        self.shared.external_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Point-in-time counters.
     pub fn snapshot(&self) -> OnlineSnapshot {
         let c = &self.shared.counters;
@@ -610,6 +628,7 @@ impl OnlineEngineManager {
             tuning_seconds: c.tuning_us.load(Ordering::Relaxed) as f64 / 1e6,
             compile_queue_depth: st.queue.len() + st.inflight,
             resident_bytes,
+            external_resident_bytes: self.shared.external_bytes.load(Ordering::Relaxed),
             tuner_restarts: c.tuner_restarts.load(Ordering::Relaxed),
             breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
             degraded_served: c.degraded_served.load(Ordering::Relaxed),
@@ -699,7 +718,15 @@ fn tuner_loop(shared: &Shared) {
                             st.fail_counts.remove(&key);
                             // A success closes the model's breaker.
                             st.breakers.insert(key.0.clone(), Breaker::default());
-                            plan_evictions(&mut st, shared.config.memory_budget_bytes, &key)
+                            // KV blocks and tuned engines share the same
+                            // accelerator memory: the budget engines may
+                            // fill is whatever the KV pool left behind.
+                            let external = shared.external_bytes.load(Ordering::Relaxed);
+                            let budget = shared
+                                .config
+                                .memory_budget_bytes
+                                .map(|b| b.saturating_sub(external));
+                            plan_evictions(&mut st, budget, &key)
                         };
                         // Registry mutations outside the state lock (lock
                         // order: never hold both).
@@ -941,6 +968,42 @@ mod tests {
             None,
             "evicted keys are forgotten so a new miss recompiles"
         );
+    }
+
+    #[test]
+    fn external_kv_bytes_tighten_the_engine_memory_budget() {
+        let reg = registry();
+        let engines = reg.register_zoo_dynamic("mlp-small").expect("register");
+        // Roomy budget: absent external pressure every engine coexists.
+        let manager = OnlineEngineManager::new(
+            Arc::clone(&reg),
+            OnlineConfig {
+                memory_budget_bytes: Some(1 << 40),
+                ..OnlineConfig::default()
+            },
+        );
+
+        manager.acquire(&engines, 1).expect("miss 1");
+        assert!(manager.wait_idle(Duration::from_secs(60)));
+        manager
+            .acquire(&reg.get("mlp-small").unwrap(), 2)
+            .expect("miss 2");
+        assert!(manager.wait_idle(Duration::from_secs(60)));
+        assert_eq!(reg.get("mlp-small").unwrap().bucket_sizes(), vec![1, 2]);
+        assert_eq!(manager.snapshot().evictions, 0, "no pressure yet");
+
+        // The KV pool claims nearly the whole device: the next hot-swap
+        // plans evictions against `budget - external` and squeezes both
+        // cold engines out, keeping only the engine it just swapped in.
+        manager.set_external_resident_bytes((1 << 40) - 1);
+        manager
+            .acquire(&reg.get("mlp-small").unwrap(), 4)
+            .expect("miss 4");
+        assert!(manager.wait_idle(Duration::from_secs(60)));
+        let snap = manager.snapshot();
+        assert_eq!(snap.external_resident_bytes, (1 << 40) - 1);
+        assert_eq!(snap.evictions, 2, "both cold engines squeezed out");
+        assert_eq!(reg.get("mlp-small").unwrap().bucket_sizes(), vec![4]);
     }
 
     /// The eviction/readmission race the LRU must survive: while bucket

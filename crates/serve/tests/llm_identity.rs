@@ -1,11 +1,12 @@
-//! Property tests for the continuous batcher (ISSUE 9, satellite d):
-//! under random prompts, generation lengths, slot counts, batching
-//! modes, and join/step interleavings, every submitted sequence
-//! finishes **exactly once** with a token stream **bit-identical** to
-//! running that sequence alone through the same engines (the
-//! `max_slots = 1` sequential oracle). Batching — who else shares the
-//! step, when they join, when they retire — must never leak into the
-//! generated tokens.
+//! Property tests for the continuous batcher (ISSUE 9, satellite d;
+//! KV-budget cases from ISSUE 10): under random prompts, generation
+//! lengths, slot counts, batching modes, join/step interleavings, and
+//! KV block budgets, every submitted sequence finishes **exactly once**
+//! with a token stream **bit-identical** to running that sequence alone
+//! through the same engines (the `max_slots = 1` sequential oracle).
+//! Batching — who else shares the step, when they join, when they
+//! retire, who got preempted and replayed under memory pressure — must
+//! never leak into the generated tokens.
 
 use proptest::prelude::*;
 
@@ -53,16 +54,16 @@ fn sequential_oracle(requests: &[(Vec<u32>, usize)]) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Drives `requests` through a batcher, submitting `joins[k]` new
-/// sequences before step `k` (remainder submitted up front), and
-/// returns the results sorted by submission id.
+/// Drives `requests` through a batcher built from `config`, submitting
+/// `joins[k]` new sequences before step `k` (remainder submitted up
+/// front), and returns the results sorted by submission id.
 fn interleaved_run(
-    max_slots: usize,
-    mode: BatchMode,
+    config: LlmServeConfig,
     requests: &[(Vec<u32>, usize)],
     joins: &[usize],
 ) -> (Vec<SequenceResult>, bolt_serve::LlmStats) {
-    let mut batcher = batcher(max_slots, mode);
+    let mut batcher = ContinuousBatcher::new(test_arch(), BoltConfig::default(), config)
+        .expect("tiny-lm batcher");
     let mut next = 0usize;
     let mut submit_n = |batcher: &mut ContinuousBatcher, n: usize| {
         for _ in 0..n {
@@ -106,8 +107,12 @@ proptest! {
         joins in prop::collection::vec(0usize..3, 0..10),
     ) {
         let expected = sequential_oracle(&requests);
-        let (results, stats) =
-            interleaved_run(max_slots, BatchMode::Continuous, &requests, &joins);
+        let config = LlmServeConfig {
+            max_slots,
+            mode: BatchMode::Continuous,
+            ..LlmServeConfig::default()
+        };
+        let (results, stats) = interleaved_run(config, &requests, &joins);
 
         prop_assert_eq!(results.len(), requests.len(), "exactly one result per submit");
         let mut generated = 0u64;
@@ -133,12 +138,60 @@ proptest! {
         max_slots in 1usize..5,
     ) {
         let expected = sequential_oracle(&requests);
-        let (results, _) = interleaved_run(max_slots, BatchMode::StaticCohort, &requests, &[]);
+        let config = LlmServeConfig {
+            max_slots,
+            mode: BatchMode::StaticCohort,
+            ..LlmServeConfig::default()
+        };
+        let (results, _) = interleaved_run(config, &requests, &[]);
 
         prop_assert_eq!(results.len(), requests.len());
         for (i, seq) in results.iter().enumerate() {
             prop_assert_eq!(seq.finish, FinishReason::Length);
             prop_assert_eq!(&seq.tokens, &expected[i]);
         }
+    }
+
+    /// ISSUE 10: random tight KV block budgets (down to the one-full-
+    /// context floor of 10) force watermark stalls and preemption
+    /// replays at random points — and none of it may leak into the
+    /// streams. Exactly-once accounting must hold however many times a
+    /// sequence was evicted and recomputed.
+    #[test]
+    fn tight_kv_budgets_preempt_without_changing_streams(
+        requests in prop::collection::vec(
+            (prop::collection::vec(0u32..VOCAB, 1..24), 1usize..7),
+            1..8,
+        ),
+        max_slots in 2usize..7,
+        budget in 10usize..16,
+        joins in prop::collection::vec(0usize..3, 0..6),
+    ) {
+        let expected = sequential_oracle(&requests);
+        let config = LlmServeConfig {
+            max_slots,
+            mode: BatchMode::Continuous,
+            kv_budget_blocks: Some(budget),
+            ..LlmServeConfig::default()
+        };
+        let (results, stats) = interleaved_run(config, &requests, &joins);
+
+        prop_assert_eq!(results.len(), requests.len(), "exactly one result per submit");
+        let mut generated = 0u64;
+        for (i, seq) in results.iter().enumerate() {
+            prop_assert_eq!(seq.finish, FinishReason::Length);
+            prop_assert_eq!(seq.prompt_len, requests[i].0.len());
+            prop_assert_eq!(
+                seq.tokens.len(), requests[i].1,
+                "no lost or duplicated tokens under preemption"
+            );
+            prop_assert_eq!(&seq.tokens, &expected[i], "preemption leaked into the stream");
+            generated += seq.tokens.len() as u64;
+        }
+        prop_assert_eq!(stats.generated_tokens, generated);
+        prop_assert!(
+            stats.preemptions > 0 || stats.recompute_tokens == 0,
+            "recompute only ever comes from preemptions"
+        );
     }
 }

@@ -1,9 +1,12 @@
-//! Autoregressive LLM serving demo (ISSUE 9): the `tiny-lm` decoder zoo
-//! model served through the continuous batcher vs. the legacy
-//! pad-to-bucket static cohort, on the simulated-GPU clock.
+//! Autoregressive LLM serving demo (ISSUE 9, governor from ISSUE 10):
+//! the `tiny-lm` decoder zoo model served through the continuous
+//! batcher vs. the legacy pad-to-bucket static cohort, on the
+//! simulated-GPU clock — then re-run under a squeezed KV block budget
+//! to show the memory governor preempting and recomputing without
+//! touching the streams.
 //!
-//! Prints tokens/sec, time-to-first-token, and `padding_fraction` for
-//! both modes and checks the streams are bit-identical.
+//! Prints tokens/sec, time-to-first-token, `padding_fraction`, and the
+//! KV governor's health, and checks all streams are bit-identical.
 //!
 //! Run with: `cargo run --release --example llm_demo`
 //! CI smoke mode (small load, fast): `... --example llm_demo -- --smoke`
@@ -11,20 +14,35 @@
 use bolt::BoltConfig;
 use bolt_gpu_sim::GpuArch;
 use bolt_models::{sample_prompts, PromptLengths};
-use bolt_serve::{BatchMode, ContinuousBatcher, LlmServeConfig, SequenceRequest, SequenceResult};
+use bolt_serve::{
+    BatchMode, ContinuousBatcher, KvGovernorSnapshot, LlmServeConfig, SequenceRequest,
+    SequenceResult,
+};
 
+#[allow(clippy::type_complexity)]
 fn run_mode(
     mode: BatchMode,
     prompts: &[Vec<u32>],
     max_new: &[usize],
     max_slots: usize,
-) -> (Vec<SequenceResult>, bolt_serve::LlmStats, f64, f64) {
+    kv_budget_blocks: Option<usize>,
+) -> (
+    Vec<SequenceResult>,
+    bolt_serve::LlmStats,
+    f64,
+    f64,
+    KvGovernorSnapshot,
+) {
     let mut batcher = ContinuousBatcher::new(
         GpuArch::tesla_t4(),
         BoltConfig::default(),
         LlmServeConfig {
             mode,
             max_slots,
+            kv_budget_blocks,
+            // When squeezed, admit optimistically and let the governor
+            // preempt — the point of the pressure leg of the demo.
+            kv_reserve_blocks: if kv_budget_blocks.is_some() { 0 } else { 1 },
             ..LlmServeConfig::default()
         },
     )
@@ -38,7 +56,9 @@ fn run_mode(
             })
             .expect("valid request");
     }
-    let results = batcher.run_to_completion();
+    let mut results = batcher.run_to_completion();
+    // Preemption replays reorder completion; compare streams by id.
+    results.sort_by_key(|r| r.id);
     let metrics = batcher.metrics();
     let stats = batcher.stats();
     (
@@ -46,6 +66,7 @@ fn run_mode(
         stats,
         metrics.padding_fraction,
         batcher.sim_now_us(),
+        batcher.kv_governor(),
     )
 }
 
@@ -91,7 +112,8 @@ fn main() {
         ("continuous", BatchMode::Continuous),
         ("static-cohort", BatchMode::StaticCohort),
     ] {
-        let (results, stats, padding, sim_us) = run_mode(mode, &prompts, &max_new, max_slots);
+        let (results, stats, padding, sim_us, _) =
+            run_mode(mode, &prompts, &max_new, max_slots, None);
         let tokens_per_sec = stats.generated_tokens as f64 * 1e6 / sim_us.max(1.0);
         println!(
             "{label:<14} {tokens_per_sec:>12.0} {:>14.1} {:>13.1}% {:>10}",
@@ -111,4 +133,47 @@ fn main() {
         "continuous and static-cohort streams must be bit-identical"
     );
     println!("\nstreams bit-identical across modes: ok");
+
+    // Now squeeze the KV block pool and let the governor earn its keep:
+    // preempt the cheapest-to-recompute sequence when decode growth
+    // drains the pool, replay it later, change nothing in the streams.
+    let budget = if smoke { 12 } else { 14 };
+    let (results, stats, _, sim_us, gov) = run_mode(
+        BatchMode::Continuous,
+        &prompts,
+        &max_new,
+        max_slots,
+        Some(budget),
+    );
+    let tokens_per_sec = stats.generated_tokens as f64 * 1e6 / sim_us.max(1.0);
+    println!(
+        "\nKV governor at a squeezed budget ({budget} blocks of {} rows):",
+        gov.kv_block_rows
+    );
+    println!("  tokens/sec        {tokens_per_sec:.0}");
+    println!("  preemptions       {}", stats.preemptions);
+    println!("  recompute tokens  {}", stats.recompute_tokens);
+    println!(
+        "  blocks in use     {} (free {}, budget {})",
+        gov.kv_blocks_in_use, gov.kv_blocks_free, gov.kv_budget_blocks
+    );
+    println!(
+        "  fresh block allocs {} (pool reuses the rest)",
+        gov.kv_fresh_allocations
+    );
+    println!("  kv resident bytes {}", gov.kv_resident_bytes);
+    assert_eq!(
+        stats.generated_tokens, total_new,
+        "governor: exactly-once token accounting under preemption"
+    );
+    let squeezed: Vec<Vec<u32>> = results.iter().map(|r| r.tokens.clone()).collect();
+    assert_eq!(
+        streams[0], squeezed,
+        "preemption and replay must never change a token"
+    );
+    assert!(
+        gov.kv_fresh_allocations as usize <= budget,
+        "the arena never materializes more blocks than its budget"
+    );
+    println!("\nstreams bit-identical under KV pressure: ok");
 }
